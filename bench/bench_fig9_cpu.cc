@@ -1,0 +1,84 @@
+// Reproduces Figure 9: amortized CPU cost per transaction for RVM vs the
+// Camelot baseline, across recoverable-memory sizes and access patterns.
+//
+// The paper's claims (§7.2):
+//   - sequential: RVM needs about half the CPU of Camelot; both flat;
+//   - random: both grow with recoverable memory size, but even at the limit
+//     of the range RVM's CPU usage stays below Camelot's;
+//   - localized: both grow roughly linearly, RVM well below Camelot.
+// The metric amortizes everything — including truncation and page-fault
+// servicing — over all transactions, exactly as §7.2 describes.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench/tpca_machine.h"
+
+namespace rvm {
+namespace {
+
+int Main() {
+  MachineConfig machine;
+  std::printf("Figure 9: Amortized CPU Cost per Transaction (ms), §7.2\n\n");
+  std::printf("%9s %10s | %9s %9s %9s | %11s %11s %11s | %9s\n", "Accounts",
+              "Rmem/Pmem", "RVM Seq", "RVM Rand", "RVM Local", "Camelot Seq",
+              "Camelot Rand", "Camelot Loc", "Cam/RVM seq");
+
+  std::vector<std::array<double, 7>> series;
+  for (int row = 0; row < 14; ++row) {
+    uint64_t accounts = 32768ull * (row + 1);
+    double cpu[6];
+    double ratio = 0;
+    int column = 0;
+    for (bool camelot : {false, true}) {
+      for (TpcaPattern pattern : {TpcaPattern::kSequential, TpcaPattern::kRandom,
+                                  TpcaPattern::kLocalized}) {
+        TpcaConfig config;
+        config.num_accounts = accounts;
+        config.pattern = pattern;
+        TpcaRunResult result = camelot ? RunCamelotTpca(config, machine)
+                                       : RunRvmTpca(config, machine);
+        cpu[column++] = result.cpu_ms_per_txn;
+        ratio = result.rmem_pmem_pct;
+      }
+    }
+    std::printf("%9llu %9.1f%% | %9.2f %9.2f %9.2f | %11.2f %11.2f %11.2f | %8.2fx\n",
+                static_cast<unsigned long long>(accounts), ratio, cpu[0], cpu[1],
+                cpu[2], cpu[3], cpu[4], cpu[5], cpu[3] / cpu[0]);
+    series.push_back({ratio, cpu[0], cpu[1], cpu[2], cpu[3], cpu[4], cpu[5]});
+  }
+
+  std::printf("\nFigure 9 series (CSV): rmem_pmem_pct,rvm_seq,rvm_rand,"
+              "rvm_loc,camelot_seq,camelot_rand,camelot_loc\n");
+  for (const auto& row : series) {
+    std::printf("fig9,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n", row[0], row[1],
+                row[2], row[3], row[4], row[5], row[6]);
+  }
+
+  bool ok = true;
+  auto check = [&](bool condition, const char* what) {
+    std::printf("shape: %-64s %s\n", what, condition ? "OK" : "VIOLATED");
+    ok = ok && condition;
+  };
+  std::printf("\n");
+  const auto& first = series.front();
+  const auto& last = series.back();
+  check(first[4] > 1.6 * first[1] && first[4] < 3.0 * first[1],
+        "sequential: RVM needs about half the CPU of Camelot");
+  check(last[1] < 1.2 * first[1] && last[4] < 1.2 * first[4],
+        "sequential CPU flat across recoverable memory sizes");
+  check(last[2] > 1.1 * first[2] && last[5] > 1.05 * first[5],
+        "random CPU grows with recoverable memory size");
+  bool rvm_below = true;
+  for (const auto& row : series) {
+    rvm_below = rvm_below && row[2] < row[5] && row[3] < row[6] && row[1] < row[4];
+  }
+  check(rvm_below, "RVM CPU below Camelot's everywhere (even at the limit)");
+  check(last[3] > first[3], "localized CPU increases with size");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rvm
+
+int main() { return rvm::Main(); }

@@ -1,0 +1,122 @@
+// RVM vs SimpleDB (Birrell et al., §9 related work).
+//
+// The paper: "The reliance of Birrell et al's technique on full-database
+// checkpointing makes the technique practical only for applications which
+// manage small amounts of recoverable data and which have moderate update
+// rates." We measure single-item update throughput for both systems across
+// database sizes on the simulated machine. SimpleDB pays a periodic
+// whole-image checkpoint that grows with the database; RVM's truncation cost
+// tracks the update volume instead, so RVM pulls ahead as the database
+// grows.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/rvm/rvm.h"
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/simpledb/simpledb.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kItemBytes = 256;
+constexpr uint64_t kUpdates = 600;
+
+double RunSimpleDb(uint64_t items) {
+  SimClock clock;
+  SimDisk disk(&clock, "db");
+  SimEnv env(&clock);
+  env.Mount("/db", &disk);
+  auto db = SimpleDb::Open(&env, "/db/simple");
+  std::vector<uint8_t> value(kItemBytes, 1);
+  for (uint64_t key = 0; key < items; ++key) {
+    (void)(*db)->Put(key, value);
+  }
+  (void)(*db)->Checkpoint();
+
+  Xoshiro256 rng(5);
+  clock.Reset();
+  for (uint64_t i = 0; i < kUpdates; ++i) {
+    value[0] = static_cast<uint8_t>(i);
+    (void)(*db)->Put(rng.Below(items), value);
+    // "Periodically, the entire memory image is checkpointed to disk": a
+    // fixed cadence, so recovery time stays bounded. The whole-image write
+    // is what scales with database size.
+    if ((i + 1) % 150 == 0) {
+      (void)(*db)->Checkpoint();
+    }
+  }
+  return static_cast<double>(kUpdates) / (clock.now_micros() / 1e6);
+}
+
+double RunRvm(uint64_t items) {
+  SimClock clock;
+  SimDisk log_disk(&clock, "log");
+  SimDisk data_disk(&clock, "data");
+  SimEnv env(&clock);
+  env.Mount("/log", &log_disk);
+  env.Mount("/data", &data_disk);
+  (void)RvmInstance::CreateLog(&env, "/log/rvm", 8ull << 20);
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log/rvm";
+  auto rvm = RvmInstance::Initialize(options);
+  uint64_t region_len = ((items * kItemBytes) + 4095) / 4096 * 4096;
+  RegionDescriptor region;
+  region.segment_path = "/data/seg";
+  region.length = region_len;
+  (void)(*rvm)->Map(region);
+  auto* base = static_cast<uint8_t*>(region.address);
+
+  Xoshiro256 rng(5);
+  clock.Reset();
+  for (uint64_t i = 0; i < kUpdates; ++i) {
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kNoRestore);
+    uint64_t offset = rng.Below(items) * kItemBytes;
+    (void)(*rvm)->SetRange(*tid, base + offset, kItemBytes);
+    base[offset] = static_cast<uint8_t>(i);
+    (void)(*rvm)->EndTransaction(*tid, CommitMode::kFlush);
+  }
+  return static_cast<double>(kUpdates) / (clock.now_micros() / 1e6);
+}
+
+int Main() {
+  std::printf("RVM vs SimpleDB (Birrell et al. §9): single-item update "
+              "throughput vs database size\n\n");
+  std::printf("%10s %12s | %14s %14s %10s\n", "items", "db size KB",
+              "SimpleDB tps", "RVM tps", "winner");
+  std::vector<std::array<double, 3>> rows;
+  for (uint64_t items : {64ull, 256ull, 1024ull, 4096ull, 16384ull}) {
+    double simpledb_tps = RunSimpleDb(items);
+    double rvm_tps = RunRvm(items);
+    rows.push_back({static_cast<double>(items), simpledb_tps, rvm_tps});
+    std::printf("%10llu %12llu | %14.1f %14.1f %10s\n",
+                static_cast<unsigned long long>(items),
+                static_cast<unsigned long long>(items * kItemBytes / 1024),
+                simpledb_tps, rvm_tps, rvm_tps > simpledb_tps ? "RVM" : "SimpleDB");
+  }
+  std::printf("\n");
+
+  bool ok = true;
+  auto check = [&](bool condition, const char* what) {
+    std::printf("shape: %-64s %s\n", what, condition ? "OK" : "VIOLATED");
+    ok = ok && condition;
+  };
+  // SimpleDB's checkpoint penalty grows with DB size; RVM's cost is flat.
+  double simpledb_degradation = rows.front()[1] / rows.back()[1];
+  double rvm_degradation = rows.front()[2] / rows.back()[2];
+  check(simpledb_degradation > 1.5,
+        "SimpleDB throughput falls substantially as the database grows");
+  check(rvm_degradation < 1.2, "RVM throughput roughly flat across sizes");
+  check(rows.back()[2] > rows.back()[1],
+        "RVM wins for larger databases (the paper's practicality argument)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rvm
+
+int main() { return rvm::Main(); }

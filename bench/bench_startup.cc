@@ -1,0 +1,110 @@
+// Startup latency: the cost RVM consciously pays for VM independence.
+//
+// §3.2: "The most apparent impact on Coda has been slower startup because a
+// process' recoverable memory must be read in en masse rather than being
+// paged in on demand." Camelot's Disk-Manager-integrated VM demand-pages
+// recoverable regions, so its time-to-first-transaction is flat; RVM's map
+// copies the whole region in and grows linearly with region size.
+#include <cstdio>
+#include <vector>
+
+#include "src/camelot/camelot.h"
+#include "src/rvm/rvm.h"
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/sim/sim_ipc.h"
+#include "src/sim/sim_vm.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+// Time from cold start to first committed transaction.
+double RvmStartupSeconds(uint64_t region_bytes) {
+  SimClock clock;
+  SimDisk log_disk(&clock, "log");
+  SimDisk data_disk(&clock, "data");
+  SimEnv env(&clock);
+  env.Mount("/log", &log_disk);
+  env.Mount("/data", &data_disk);
+  (void)RvmInstance::CreateLog(&env, "/log/rvm", 8ull << 20);
+  // Pre-populate the segment so the copy-in actually reads data.
+  {
+    auto file = env.Open("/data/seg", OpenMode::kCreateIfMissing);
+    (void)(*file)->Resize(region_bytes);
+    (void)(*file)->Sync();
+  }
+  clock.Reset();
+
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log/rvm";
+  auto rvm = RvmInstance::Initialize(options);
+  RegionDescriptor region;
+  region.segment_path = "/data/seg";
+  region.length = region_bytes;
+  (void)(*rvm)->Map(region);  // en-masse copy-in happens here
+  auto* base = static_cast<uint8_t*>(region.address);
+  auto tid = (*rvm)->BeginTransaction(RestoreMode::kNoRestore);
+  (void)(*rvm)->SetRange(*tid, base, 128);
+  base[0] = 1;
+  (void)(*rvm)->EndTransaction(*tid, CommitMode::kFlush);
+  return clock.now_micros() / 1e6;
+}
+
+double CamelotStartupSeconds(uint64_t region_bytes) {
+  SimClock clock;
+  SimDisk log_disk(&clock, "log");
+  SimDisk data_disk(&clock, "data");
+  SimEnv env(&clock);
+  env.Mount("/log", &log_disk);
+  SimIpc ipc(&clock);
+  SimVm vm(&clock, 64ull << 20, kPage);
+  CamelotEngine engine(&env, &clock, &ipc, &vm, &data_disk);
+  (void)engine.AttachLog("/log/camelot", 8ull << 20);
+  clock.Reset();
+
+  auto base = engine.MapRegion("/seg/camelot", region_bytes);  // demand paged
+  auto* bytes = static_cast<uint8_t*>(*base);
+  auto tid = engine.Begin();
+  (void)engine.SetRange(*tid, bytes, 128);  // faults in exactly one page
+  bytes[0] = 1;
+  (void)engine.End(*tid);
+  return clock.now_micros() / 1e6;
+}
+
+int Main() {
+  std::printf("Startup latency to first transaction (§3.2): en-masse copy-in "
+              "vs demand paging\n\n");
+  std::printf("%12s %16s %20s\n", "region MB", "RVM startup s",
+              "Camelot startup s");
+  std::vector<std::array<double, 3>> rows;
+  for (uint64_t mb : {8ull, 16ull, 32ull, 64ull, 96ull}) {
+    double rvm_s = RvmStartupSeconds(mb << 20);
+    double camelot_s = CamelotStartupSeconds(mb << 20);
+    rows.push_back({static_cast<double>(mb), rvm_s, camelot_s});
+    std::printf("%12llu %16.2f %20.3f\n", static_cast<unsigned long long>(mb),
+                rvm_s, camelot_s);
+  }
+  std::printf("\n");
+
+  bool ok = true;
+  auto check = [&](bool condition, const char* what) {
+    std::printf("shape: %-64s %s\n", what, condition ? "OK" : "VIOLATED");
+    ok = ok && condition;
+  };
+  check(rows.back()[1] > 6 * rows.front()[1],
+        "RVM startup grows ~linearly with recoverable memory size");
+  check(rows.back()[2] < 2 * rows.front()[2],
+        "Camelot (demand-paged) startup flat across sizes");
+  check(rows.back()[2] < rows.back()[1] / 20,
+        "demand paging wins startup decisively — the cost RVM accepts (§3.2)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rvm
+
+int main() { return rvm::Main(); }

@@ -1,0 +1,243 @@
+#include "bench/tpca_machine.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/camelot/camelot.h"
+#include "src/rvm/rvm.h"
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/sim/sim_ipc.h"
+#include "src/sim/sim_vm.h"
+
+namespace rvm {
+namespace {
+
+// Region layout: [accounts | audit | tellers | branches], page aligned.
+struct Layout {
+  uint64_t accounts_offset = 0;
+  uint64_t audit_offset = 0;
+  uint64_t tellers_offset = 0;
+  uint64_t branches_offset = 0;
+  uint64_t total = 0;
+
+  explicit Layout(const TpcaConfig& config) {
+    accounts_offset = 0;
+    audit_offset = accounts_offset + config.accounts_bytes();
+    tellers_offset = audit_offset + config.audit_bytes();
+    branches_offset = tellers_offset + config.tellers_bytes();
+    total = config.rmem_bytes();
+  }
+};
+
+// Simulated machine: clock, three disks, IPC.
+struct Machine {
+  SimClock clock;
+  SimDisk log_disk;
+  SimDisk data_disk;
+  SimDisk paging_disk;
+  SimEnv env;
+  SimIpc ipc;
+  SimVm vm;
+
+  explicit Machine(const MachineConfig& config)
+      : log_disk(&clock, "log"),
+        data_disk(&clock, "data"),
+        paging_disk(&clock, "paging"),
+        env(&clock),
+        ipc(&clock),
+        vm(&clock, config.physical_bytes, config.page_size) {
+    env.Mount("/log", &log_disk);
+    env.Mount("/data", &data_disk);
+    vm.ReserveFrames(config.reserved_bytes / config.page_size);
+  }
+};
+
+}  // namespace
+
+const char* PatternName(TpcaPattern pattern) {
+  switch (pattern) {
+    case TpcaPattern::kSequential:
+      return "Sequential";
+    case TpcaPattern::kRandom:
+      return "Random";
+    case TpcaPattern::kLocalized:
+      return "Localized";
+  }
+  return "?";
+}
+
+TpcaRunResult RunRvmTpca(const TpcaConfig& workload_config,
+                         const MachineConfig& machine_config) {
+  Machine machine(machine_config);
+  Layout layout(workload_config);
+
+  // RVM setup: log + one recoverable region holding everything.
+  Status created = RvmInstance::CreateLog(&machine.env, "/log/rvm",
+                                          machine_config.log_size);
+  assert(created.ok());
+  RvmOptions options;
+  options.env = &machine.env;
+  options.log_path = "/log/rvm";
+  options.page_size = machine_config.page_size;
+  // The paper's measured version: epoch truncation only (Table 1 caption).
+  options.runtime.use_incremental_truncation = false;
+  auto rvm = RvmInstance::Initialize(options);
+  assert(rvm.ok());
+
+  RegionDescriptor region;
+  region.segment_path = "/data/seg";
+  region.length = layout.total;
+  Status mapped = (*rvm)->Map(region);
+  assert(mapped.ok());
+  auto* base = static_cast<uint8_t*>(region.address);
+
+  // Recoverable memory is ordinary pageable VM (§3.2): swap-backed space.
+  SwapPager pager(&machine.clock, &machine.paging_disk,
+                  machine_config.page_size, /*swap_base_offset=*/0);
+  int space = machine.vm.CreateSpace(&pager, layout.total / machine_config.page_size);
+  // En-masse copy-in at map time leaves pages resident (up to memory size).
+  for (uint64_t page = 0; page < layout.total / machine_config.page_size; ++page) {
+    machine.vm.LoadResident(space, page, /*dirty=*/true);
+  }
+
+  TpcaWorkload workload(workload_config);
+  auto touch = [&](uint64_t offset, uint64_t bytes) {
+    for (uint64_t page = offset / machine_config.page_size;
+         page <= (offset + bytes - 1) / machine_config.page_size; ++page) {
+      machine.vm.Touch(space, page, /*write=*/true);
+    }
+  };
+
+  auto run_txn = [&]() {
+    TpcaTxn txn = workload.Next();
+    uint64_t account_offset =
+        layout.accounts_offset + txn.account * TpcaConfig::kAccountBytes;
+    uint64_t audit_offset =
+        layout.audit_offset + txn.audit_slot * TpcaConfig::kAuditBytes;
+    uint64_t teller_offset =
+        layout.tellers_offset + txn.teller * TpcaConfig::kAccountBytes;
+    uint64_t branch_offset =
+        layout.branches_offset + txn.branch * TpcaConfig::kAccountBytes;
+
+    touch(account_offset, TpcaConfig::kAccountBytes);
+    touch(audit_offset, TpcaConfig::kAuditBytes);
+    touch(teller_offset, TpcaConfig::kAccountBytes);
+    touch(branch_offset, TpcaConfig::kAccountBytes);
+
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+    assert(tid.ok());
+    for (auto [offset, bytes] :
+         {std::pair{account_offset, TpcaConfig::kAccountBytes},
+          {audit_offset, TpcaConfig::kAuditBytes},
+          {teller_offset, TpcaConfig::kAccountBytes},
+          {branch_offset, TpcaConfig::kAccountBytes}}) {
+      Status status = (*rvm)->SetRange(*tid, base + offset, bytes);
+      assert(status.ok());
+      // Update balances / write the history record.
+      std::memset(base + offset, static_cast<int>(txn.account & 0xFF), 16);
+    }
+    Status committed = (*rvm)->EndTransaction(*tid, CommitMode::kFlush);
+    assert(committed.ok());
+  };
+
+  for (uint64_t i = 0; i < machine_config.warmup_txns; ++i) {
+    run_txn();
+  }
+  machine.clock.Reset();
+  uint64_t faults_before = machine.vm.stats().faults;
+  uint64_t truncations_before = (*rvm)->statistics().epoch_truncations;
+
+  for (uint64_t i = 0; i < machine_config.measured_txns; ++i) {
+    run_txn();
+  }
+
+  TpcaRunResult result;
+  double seconds = machine.clock.now_micros() / 1e6;
+  result.tps = static_cast<double>(machine_config.measured_txns) / seconds;
+  result.cpu_ms_per_txn = machine.clock.cpu_micros() / 1000.0 /
+                          static_cast<double>(machine_config.measured_txns);
+  result.faults_per_txn =
+      static_cast<double>(machine.vm.stats().faults - faults_before) /
+      static_cast<double>(machine_config.measured_txns);
+  result.truncations =
+      (*rvm)->statistics().epoch_truncations - truncations_before;
+  result.rmem_pmem_pct = 100.0 * static_cast<double>(layout.total) /
+                         static_cast<double>(machine_config.physical_bytes);
+  return result;
+}
+
+TpcaRunResult RunCamelotTpca(const TpcaConfig& workload_config,
+                             const MachineConfig& machine_config) {
+  Machine machine(machine_config);
+  Layout layout(workload_config);
+  machine.vm.ReserveFrames(machine_config.camelot_extra_reserved_bytes /
+                           machine_config.page_size);
+
+  CamelotConfig config;
+  config.page_size = machine_config.page_size;
+  CamelotEngine engine(&machine.env, &machine.clock, &machine.ipc, &machine.vm,
+                       &machine.data_disk, config);
+  // The Camelot segment file is unmounted ("/seg"): its disk time is charged
+  // explicitly through data_disk by the engine (external-pager model), never
+  // through the file layer, so nothing is double-counted.
+  Status attached = engine.AttachLog("/log/camelot", machine_config.log_size);
+  assert(attached.ok());
+  auto base_or = engine.MapRegion("/seg/camelot", layout.total);
+  assert(base_or.ok());
+  auto* base = static_cast<uint8_t*>(*base_or);
+
+  TpcaWorkload workload(workload_config);
+  auto run_txn = [&]() {
+    TpcaTxn txn = workload.Next();
+    uint64_t account_offset =
+        layout.accounts_offset + txn.account * TpcaConfig::kAccountBytes;
+    uint64_t audit_offset =
+        layout.audit_offset + txn.audit_slot * TpcaConfig::kAuditBytes;
+    uint64_t teller_offset =
+        layout.tellers_offset + txn.teller * TpcaConfig::kAccountBytes;
+    uint64_t branch_offset =
+        layout.branches_offset + txn.branch * TpcaConfig::kAccountBytes;
+
+    auto tid = engine.Begin();
+    assert(tid.ok());
+    for (auto [offset, bytes] :
+         {std::pair{account_offset, TpcaConfig::kAccountBytes},
+          {audit_offset, TpcaConfig::kAuditBytes},
+          {teller_offset, TpcaConfig::kAccountBytes},
+          {branch_offset, TpcaConfig::kAccountBytes}}) {
+      Status status = engine.SetRange(*tid, base + offset, bytes);
+      assert(status.ok());
+      std::memset(base + offset, static_cast<int>(txn.account & 0xFF), 16);
+    }
+    Status committed = engine.End(*tid);
+    assert(committed.ok());
+  };
+
+  for (uint64_t i = 0; i < machine_config.warmup_txns; ++i) {
+    run_txn();
+  }
+  machine.clock.Reset();
+  uint64_t faults_before = machine.vm.stats().faults;
+  uint64_t truncations_before = engine.truncations();
+
+  for (uint64_t i = 0; i < machine_config.measured_txns; ++i) {
+    run_txn();
+  }
+
+  TpcaRunResult result;
+  double seconds = machine.clock.now_micros() / 1e6;
+  result.tps = static_cast<double>(machine_config.measured_txns) / seconds;
+  result.cpu_ms_per_txn = machine.clock.cpu_micros() / 1000.0 /
+                          static_cast<double>(machine_config.measured_txns);
+  result.faults_per_txn =
+      static_cast<double>(machine.vm.stats().faults - faults_before) /
+      static_cast<double>(machine_config.measured_txns);
+  result.truncations = engine.truncations() - truncations_before;
+  result.rmem_pmem_pct = 100.0 * static_cast<double>(layout.total) /
+                         static_cast<double>(machine_config.physical_bytes);
+  return result;
+}
+
+}  // namespace rvm

@@ -1,0 +1,159 @@
+// address_book: a persistent key-value application on RecoverableMap — the
+// full stack in one small program: RVM transactions under an RDS heap under
+// a B-tree, all crash-consistent.
+//
+//   ./address_book add "Ada Lovelace" "+44 20 7946 0958"
+//   ./address_book find "Ada Lovelace"
+//   ./address_book remove "Ada Lovelace"
+//   ./address_book list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/rds/rds.h"
+#include "src/rmap/rmap.h"
+#include "src/rvm/rvm.h"
+
+namespace {
+
+constexpr const char* kLogPath = "/tmp/rvm_abook.log";
+constexpr const char* kSegPath = "/tmp/rvm_abook.seg";
+constexpr uint64_t kHeapLen = 256 * 1024;
+
+// Fixed-size record: name + phone (the map key is the name's hash; the name
+// is stored in the record to resolve the lookup).
+struct Contact {
+  char name[64];
+  char phone[32];
+};
+
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  for (char c : name) {
+    hash = (hash ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  return hash == 0 ? 1 : hash;
+}
+
+std::span<const uint8_t> AsBytes(const Contact& contact) {
+  return {reinterpret_cast<const uint8_t*>(&contact), sizeof(Contact)};
+}
+
+struct Book {
+  std::unique_ptr<rvm::RvmInstance> instance;
+  std::unique_ptr<rvm::RdsHeap> heap;
+  std::unique_ptr<rvm::RecoverableMap> map;
+
+  rvm::Status Open() {
+    (void)rvm::RvmInstance::CreateLog(rvm::GetRealEnv(), kLogPath, 2 << 20);
+    rvm::RvmOptions options;
+    options.log_path = kLogPath;
+    RVM_ASSIGN_OR_RETURN(instance, rvm::RvmInstance::Initialize(options));
+    rvm::RegionDescriptor region;
+    region.segment_path = kSegPath;
+    region.length = kHeapLen;
+    RVM_RETURN_IF_ERROR(instance->Map(region));
+    auto* base = static_cast<uint8_t*>(region.address);
+
+    if (*reinterpret_cast<uint64_t*>(base) == 0) {
+      rvm::Transaction txn(*instance);
+      RVM_ASSIGN_OR_RETURN(auto fresh_heap,
+                           rvm::RdsHeap::Format(*instance, base, kHeapLen, txn.id()));
+      heap = std::make_unique<rvm::RdsHeap>(fresh_heap);
+      RVM_ASSIGN_OR_RETURN(auto fresh_map,
+                           rvm::RecoverableMap::Create(*instance, *heap, txn.id(),
+                                                       sizeof(Contact)));
+      map = std::make_unique<rvm::RecoverableMap>(fresh_map);
+      RVM_RETURN_IF_ERROR(heap->SetRoot(txn.id(), map->header()));
+      RVM_RETURN_IF_ERROR(txn.Commit());
+    } else {
+      RVM_ASSIGN_OR_RETURN(auto attached_heap,
+                           rvm::RdsHeap::Attach(*instance, base, kHeapLen));
+      heap = std::make_unique<rvm::RdsHeap>(attached_heap);
+      RVM_ASSIGN_OR_RETURN(auto attached_map,
+                           rvm::RecoverableMap::Attach(*instance, *heap,
+                                                       heap->GetRoot()));
+      map = std::make_unique<rvm::RecoverableMap>(attached_map);
+    }
+    return rvm::OkStatus();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Book book;
+  if (rvm::Status opened = book.Open(); !opened.ok()) {
+    std::fprintf(stderr, "open: %s\n", opened.ToString().c_str());
+    return 1;
+  }
+
+  std::string command = argc > 1 ? argv[1] : "list";
+  if (command == "add" && argc == 4) {
+    std::string name = argv[2];
+    if (name.size() >= sizeof(Contact::name) ||
+        std::strlen(argv[3]) >= sizeof(Contact::phone)) {
+      std::fprintf(stderr, "name or phone too long\n");
+      return 1;
+    }
+    Contact contact = {};
+    std::strcpy(contact.name, name.c_str());
+    std::strcpy(contact.phone, argv[3]);
+    rvm::Transaction txn(*book.instance);
+    rvm::Status status = book.map->Put(txn.id(), HashName(name), AsBytes(contact));
+    if (status.ok()) {
+      status = txn.Commit();
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "add: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("added %s (%zu contacts)\n", contact.name,
+                static_cast<size_t>(book.map->size()));
+  } else if (command == "find" && argc == 3) {
+    auto value = book.map->Get(HashName(argv[2]));
+    if (!value.ok()) {
+      std::printf("no entry for %s\n", argv[2]);
+      return 1;
+    }
+    const auto* contact = reinterpret_cast<const Contact*>(value->data());
+    std::printf("%s: %s\n", contact->name, contact->phone);
+  } else if (command == "remove" && argc == 3) {
+    rvm::Transaction txn(*book.instance);
+    rvm::Status status = book.map->Erase(txn.id(), HashName(argv[2]));
+    if (status.ok()) {
+      status = txn.Commit();
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "remove: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("removed %s\n", argv[2]);
+  } else if (command == "list") {
+    std::printf("%zu contacts:\n", static_cast<size_t>(book.map->size()));
+    (void)book.map->ForEach([](uint64_t, std::span<const uint8_t> value) {
+      const auto* contact = reinterpret_cast<const Contact*>(value.data());
+      std::printf("  %-30s %s\n", contact->name, contact->phone);
+      return rvm::OkStatus();
+    });
+  } else if (command == "selftest") {
+    // Used by the build's smoke test: deterministic round trip.
+    rvm::Transaction txn(*book.instance);
+    Contact contact = {};
+    std::strcpy(contact.name, "Self Test");
+    std::strcpy(contact.phone, "555-0100");
+    if (!book.map->Put(txn.id(), HashName("Self Test"), AsBytes(contact)).ok() ||
+        !txn.Commit().ok() || !book.map->Contains(HashName("Self Test")) ||
+        !book.map->Validate().ok() || !book.heap->Validate().ok()) {
+      std::fprintf(stderr, "selftest FAILED\n");
+      return 1;
+    }
+    std::printf("selftest OK (%zu contacts)\n",
+                static_cast<size_t>(book.map->size()));
+  } else {
+    std::fprintf(stderr,
+                 "usage: address_book [add NAME PHONE|find NAME|remove NAME|list]\n");
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+// metadata_store: a Coda-server-style directory store — the application
+// class that motivated RVM (§2.2): file-system meta-data in recoverable
+// memory, built on the layered packages of §4.1:
+//
+//   - SegmentLoader maps the heap segment at the same base address every
+//     run, so the directory tree uses ordinary absolute pointers;
+//   - RdsHeap allocates directory nodes transactionally;
+//   - every mutation (mkdir / touch / rm) is one RVM transaction covering
+//     both the allocator metadata and the tree links.
+//
+//   ./metadata_store mkdir /a /a/b       create directories
+//   ./metadata_store touch /a/file 42    create a file entry of size 42
+//   ./metadata_store rm /a/file          remove an entry
+//   ./metadata_store ls                  recursively list the tree
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/rds/rds.h"
+#include "src/rvm/rvm.h"
+#include "src/segloader/segment_loader.h"
+
+namespace {
+
+constexpr const char* kLogPath = "/tmp/rvm_mds.log";
+constexpr const char* kMapPath = "/tmp/rvm_mds.map";
+constexpr const char* kHeapPath = "/tmp/rvm_mds.heap";
+constexpr uint64_t kHeapLen = 1 << 20;
+
+// Directory tree with absolute pointers (valid because the segment loader
+// pins the mapping base).
+struct Entry {
+  char name[52];
+  uint64_t is_directory;
+  uint64_t size;
+  Entry* first_child;
+  Entry* next_sibling;
+};
+
+Entry* FindChild(Entry* dir, const std::string& name) {
+  for (Entry* child = dir->first_child; child != nullptr;
+       child = child->next_sibling) {
+    if (name == child->name) {
+      return child;
+    }
+  }
+  return nullptr;
+}
+
+// Resolves a /path/like/this to (parent, leaf-name).
+rvm::StatusOr<std::pair<Entry*, std::string>> ResolveParent(
+    Entry* root, const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return rvm::InvalidArgument("paths must be absolute");
+  }
+  Entry* current = root;
+  std::string remaining = path.substr(1);
+  while (true) {
+    size_t slash = remaining.find('/');
+    std::string component = remaining.substr(0, slash);
+    if (component.empty() || component.size() >= sizeof(Entry::name)) {
+      return rvm::InvalidArgument("bad path component");
+    }
+    if (slash == std::string::npos) {
+      return std::make_pair(current, component);
+    }
+    Entry* next = FindChild(current, component);
+    if (next == nullptr || next->is_directory == 0) {
+      return rvm::NotFound("no such directory: " + component);
+    }
+    current = next;
+    remaining = remaining.substr(slash + 1);
+  }
+}
+
+rvm::Status CreateEntry(rvm::RvmInstance& instance, rvm::RdsHeap& heap,
+                        Entry* root, const std::string& path, bool directory,
+                        uint64_t size) {
+  RVM_ASSIGN_OR_RETURN(auto parent_and_name, ResolveParent(root, path));
+  auto [parent, name] = parent_and_name;
+  if (FindChild(parent, name) != nullptr) {
+    return rvm::AlreadyExists(path);
+  }
+  rvm::Transaction txn(instance);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  RVM_ASSIGN_OR_RETURN(Entry * entry, heap.AllocateObject<Entry>(txn.id()));
+  // Allocate() already covered the new node with set_range; just fill it.
+  std::memcpy(entry->name, name.c_str(), name.size() + 1);
+  entry->is_directory = directory ? 1 : 0;
+  entry->size = size;
+  entry->next_sibling = parent->first_child;
+  RVM_RETURN_IF_ERROR(txn.SetRange(&parent->first_child, sizeof(Entry*)));
+  parent->first_child = entry;
+  return txn.Commit();
+}
+
+rvm::Status RemoveEntry(rvm::RvmInstance& instance, rvm::RdsHeap& heap,
+                        Entry* root, const std::string& path) {
+  RVM_ASSIGN_OR_RETURN(auto parent_and_name, ResolveParent(root, path));
+  auto [parent, name] = parent_and_name;
+  Entry** link = &parent->first_child;
+  while (*link != nullptr && name != (*link)->name) {
+    link = &(*link)->next_sibling;
+  }
+  if (*link == nullptr) {
+    return rvm::NotFound(path);
+  }
+  Entry* victim = *link;
+  if (victim->is_directory != 0 && victim->first_child != nullptr) {
+    return rvm::FailedPrecondition("directory not empty");
+  }
+  rvm::Transaction txn(instance);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  RVM_RETURN_IF_ERROR(txn.SetRange(link, sizeof(Entry*)));
+  *link = victim->next_sibling;
+  RVM_RETURN_IF_ERROR(heap.Free(txn.id(), victim));
+  return txn.Commit();
+}
+
+void List(const Entry* entry, int depth) {
+  for (const Entry* child = entry->first_child; child != nullptr;
+       child = child->next_sibling) {
+    std::printf("%*s%s%s", depth * 2, "", child->name,
+                child->is_directory ? "/" : "");
+    if (child->is_directory == 0) {
+      std::printf("  (%llu bytes)", static_cast<unsigned long long>(child->size));
+    }
+    std::printf("\n");
+    if (child->is_directory != 0) {
+      List(child, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)rvm::RvmInstance::CreateLog(rvm::GetRealEnv(), kLogPath, 4 << 20);
+  rvm::RvmOptions options;
+  options.log_path = kLogPath;
+  auto instance = rvm::RvmInstance::Initialize(options);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "initialize: %s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  auto loader = rvm::SegmentLoader::Open(**instance, kMapPath);
+  if (!loader.ok()) {
+    std::fprintf(stderr, "loader: %s\n", loader.status().ToString().c_str());
+    return 1;
+  }
+  auto base = (*loader)->Load(kHeapPath, kHeapLen);
+  if (!base.ok()) {
+    std::fprintf(stderr, "load: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+
+  // Attach (or format) the recoverable heap and its root directory.
+  rvm::StatusOr<rvm::RdsHeap> heap = rvm::RdsHeap::Attach(**instance, *base, kHeapLen);
+  if (!heap.ok()) {
+    rvm::Transaction txn(**instance);
+    heap = rvm::RdsHeap::Format(**instance, *base, kHeapLen, txn.id());
+    if (!heap.ok()) {
+      std::fprintf(stderr, "format: %s\n", heap.status().ToString().c_str());
+      return 1;
+    }
+    auto root = heap->AllocateObject<Entry>(txn.id());
+    std::strcpy((*root)->name, "/");
+    (*root)->is_directory = 1;
+    (void)heap->SetRoot(txn.id(), *root);
+    if (rvm::Status committed = txn.Commit(); !committed.ok()) {
+      std::fprintf(stderr, "format commit: %s\n", committed.ToString().c_str());
+      return 1;
+    }
+    std::printf("formatted metadata store\n");
+  }
+  auto* root = static_cast<Entry*>(heap->GetRoot());
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  rvm::Status status = rvm::OkStatus();
+  if (args.empty() || args[0] == "demo") {
+    status = CreateEntry(**instance, *heap, root, "/projects", true, 0);
+    if (status.ok()) {
+      (void)CreateEntry(**instance, *heap, root, "/projects/rvm", true, 0);
+      (void)CreateEntry(**instance, *heap, root, "/projects/rvm/design.txt",
+                        false, 1024);
+      (void)CreateEntry(**instance, *heap, root, "/projects/rvm/paper.ps",
+                        false, 250000);
+      std::printf("demo tree created; run './metadata_store ls'\n");
+      status = rvm::OkStatus();
+    }
+  } else if (args[0] == "ls") {
+    std::printf("/\n");
+    List(root, 1);
+  } else if (args[0] == "mkdir" && args.size() >= 2) {
+    for (size_t i = 1; i < args.size() && status.ok(); ++i) {
+      status = CreateEntry(**instance, *heap, root, args[i], true, 0);
+    }
+  } else if (args[0] == "touch" && args.size() >= 2) {
+    uint64_t size = args.size() > 2 ? std::stoull(args[2]) : 0;
+    status = CreateEntry(**instance, *heap, root, args[1], false, size);
+  } else if (args[0] == "rm" && args.size() >= 2) {
+    status = RemoveEntry(**instance, *heap, root, args[1]);
+  } else {
+    std::fprintf(stderr, "usage: metadata_store [demo|ls|mkdir P..|touch P [size]|rm P]\n");
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  rvm::Status valid = heap->Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "HEAP CORRUPT: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Camelot baseline: a functional model of the transactional facility RVM is
+// evaluated against in §7.
+//
+// The paper attributes Camelot's behaviour to three structural choices
+// (Figure 1, §2.3, §3.2, §7.1.2), all reproduced here:
+//
+//   1. Modular decomposition over Mach IPC: the application talks to the
+//      Transaction Manager and Disk Manager by messages costing ~430 µs each
+//      (600x a procedure call), and manager path lengths are roughly twice
+//      RVM's library paths. Manager CPU runs in separate tasks, so part of
+//      it overlaps the application's I/O waits (charged as overlappable).
+//
+//   2. Disk-Manager-integrated virtual memory: recoverable regions page
+//      directly against the external data segment (no double paging, demand
+//      paging at map time); each page fault is serviced by the DM — two
+//      messages plus a data-segment disk read. Dirty pages are pinned until
+//      commit.
+//
+//   3. Aggressive log truncation: "the Disk Manager writes out all dirty
+//      pages referenced by entries in the affected portion of the log", at a
+//      low log-usage threshold, serialized through the single DM task (so
+//      its disk traffic delays forward processing). Frequent truncation plus
+//      random access loses write-amortization opportunities — the paper's
+//      §7.1.2 conjecture, and the mechanism behind Camelot's random-access
+//      curve in Figure 8.
+//
+// The engine is functional, not just a cost model: it keeps real data in
+// mapped memory, writes real log records (reusing the RVM log format), and
+// can recover them after a crash — see camelot_test.cc.
+#ifndef RVM_CAMELOT_CAMELOT_H_
+#define RVM_CAMELOT_CAMELOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rvm/log_device.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/sim/sim_ipc.h"
+#include "src/sim/sim_vm.h"
+#include "src/util/interval_set.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+struct CamelotConfig {
+  uint64_t page_size = 4096;
+  // Aggressive truncation threshold (fraction of log capacity). RVM's
+  // default is 0.50; Camelot's Disk Manager truncates early and often.
+  double truncation_threshold = 0.03;
+  // IPC messages per operation (application <-> TM/DM round trips).
+  int ipcs_per_begin = 1;
+  int ipcs_per_set_range = 1;
+  int ipcs_per_commit = 2;
+  int ipcs_per_page_fault = 2;
+  // Manager-side CPU per transaction, microseconds (runs in separate tasks:
+  // charged overlappable).
+  double manager_cpu_per_commit_us = 1000.0;
+  double manager_cpu_per_byte_us = 0.05;
+  // Library-side fixed costs (Camelot's paths are longer than RVM's).
+  double begin_us = 200.0;
+  double set_range_us = 150.0;
+  double commit_fixed_us = 800.0;
+  double copy_us_per_byte = 0.05;
+};
+
+// One Camelot "Data Server" with its recoverable regions.
+class CamelotEngine {
+ public:
+  // `vm` supplies physical memory; pass nullptr to disable paging simulation
+  // (functional tests). `data_disk` is the external data segment's disk for
+  // fault/writeback charging (may be nullptr when vm is nullptr).
+  CamelotEngine(SimEnv* env, SimClock* clock, SimIpc* ipc, SimVm* vm,
+                SimDisk* data_disk, CamelotConfig config = {});
+  ~CamelotEngine();
+
+  // Creates/opens the engine's log (reuses the RVM log format).
+  Status AttachLog(const std::string& log_path, uint64_t log_size);
+
+  // Runs recovery and maps [0, length) of `segment_path`. Demand-paged: no
+  // en-masse copy-in (§3.2 — this is Camelot's advantage at startup).
+  StatusOr<void*> MapRegion(const std::string& segment_path, uint64_t length);
+
+  StatusOr<TransactionId> Begin();
+  Status SetRange(TransactionId tid, void* base, uint64_t length);
+  Status End(TransactionId tid);  // commit, always a log force
+  Status Abort(TransactionId tid);
+
+  // Simulates a read access (paging only, no transaction needed).
+  void TouchForRead(const void* address, uint64_t length);
+
+  uint64_t committed() const { return committed_; }
+  uint64_t truncations() const { return truncations_; }
+  uint64_t pages_written_by_truncation() const { return truncation_pages_; }
+
+ private:
+  struct Region;
+  struct Txn;
+
+  Status TruncateIfNeeded();
+  void TouchPages(Region& region, uint64_t start, uint64_t end, bool write);
+  StatusOr<Region*> FindRegion(const void* address, uint64_t length);
+
+  SimEnv* env_;
+  SimClock* clock_;
+  SimIpc* ipc_;
+  SimVm* vm_;
+  SimDisk* data_disk_;
+  CamelotConfig config_;
+  std::unique_ptr<LogDevice> log_;
+  std::map<uintptr_t, std::unique_ptr<Region>> regions_;
+  std::map<TransactionId, Txn> txns_;
+  TransactionId next_tid_ = 1;
+  // Data-disk placement cursor for regions (seek modeling).
+  uint64_t next_disk_base_ = 64ull << 20;
+  uint64_t committed_ = 0;
+  uint64_t truncations_ = 0;
+  uint64_t truncation_pages_ = 0;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_CAMELOT_CAMELOT_H_

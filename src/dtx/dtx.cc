@@ -1,0 +1,463 @@
+#include "src/dtx/dtx.h"
+
+#include <cstring>
+
+#include "src/util/serialize.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPageSize = 4096;
+
+// --- participant prepared table ------------------------------------------
+
+constexpr uint64_t kPreparedMagic = 0x44545850524550ull;  // "DTXPREP"
+constexpr uint64_t kPreparedEntries = 15;
+constexpr uint64_t kUndoCapacity = 8064;
+
+struct PreparedEntry {
+  uint64_t gtid;
+  uint64_t state;  // 0 = empty, 1 = prepared
+  uint64_t undo_length;
+  uint64_t pad;
+  uint8_t undo[kUndoCapacity];
+};
+static_assert(sizeof(PreparedEntry) == 32 + kUndoCapacity, "entry layout");
+
+struct PreparedTable {
+  uint64_t magic;
+  uint64_t version;
+  uint64_t pad[2];
+  PreparedEntry entries[kPreparedEntries];
+};
+constexpr uint64_t kParticipantRegionLen =
+    (sizeof(PreparedTable) + kPageSize - 1) / kPageSize * kPageSize;
+
+// --- coordinator decision table --------------------------------------------
+
+constexpr uint64_t kDecisionMagic = 0x44545844454331ull;  // "DTXDEC1"
+constexpr uint64_t kDecisionEntries = 500;
+
+struct DecisionEntry {
+  uint64_t gtid;      // 0 = empty
+  uint64_t decision;  // 1 = commit (aborts are never recorded: presumed abort)
+};
+
+struct DecisionTable {
+  uint64_t magic;
+  uint64_t version;
+  uint64_t next_gtid;
+  uint64_t next_slot;  // ring cursor
+  DecisionEntry entries[kDecisionEntries];
+};
+constexpr uint64_t kCoordinatorRegionLen =
+    (sizeof(DecisionTable) + kPageSize - 1) / kPageSize * kPageSize;
+
+std::vector<uint8_t> SerializeUndo(
+    const std::vector<RvmInstance::OldValueRecord>& records) {
+  ByteWriter writer;
+  writer.U32(static_cast<uint32_t>(records.size()));
+  for (const auto& record : records) {
+    writer.LengthPrefixedString(record.segment_path);
+    writer.U64(record.segment_offset);
+    writer.LengthPrefixed(record.bytes);
+  }
+  return std::move(writer).Take();
+}
+
+StatusOr<std::vector<RvmInstance::OldValueRecord>> DeserializeUndo(
+    std::span<const uint8_t> blob) {
+  ByteReader reader(blob);
+  uint32_t count = reader.U32();
+  std::vector<RvmInstance::OldValueRecord> records;
+  for (uint32_t i = 0; i < count && reader.ok(); ++i) {
+    RvmInstance::OldValueRecord record;
+    record.segment_path = reader.LengthPrefixedString();
+    record.segment_offset = reader.U64();
+    std::span<const uint8_t> bytes = reader.LengthPrefixed();
+    record.bytes.assign(bytes.begin(), bytes.end());
+    records.push_back(std::move(record));
+  }
+  if (reader.failed()) {
+    return Corruption("prepared undo blob truncated");
+  }
+  return records;
+}
+
+}  // namespace
+
+// --- DtxParticipant ----------------------------------------------------------
+
+struct DtxParticipant::Work {
+  TransactionId tid = kInvalidTransactionId;
+  IntervalSet covered;  // absolute addresses, first-capture-wins
+  std::vector<RvmInstance::OldValueRecord> undo;
+};
+
+StatusOr<std::unique_ptr<DtxParticipant>> DtxParticipant::Open(
+    RvmInstance& rvm, const std::string& control_segment_path) {
+  RegionDescriptor region;
+  region.segment_path = control_segment_path;
+  region.length = kParticipantRegionLen;
+  RVM_RETURN_IF_ERROR(rvm.Map(region));
+  auto* table = static_cast<PreparedTable*>(region.address);
+  if (table->magic != kPreparedMagic) {
+    Transaction txn(rvm);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    RVM_RETURN_IF_ERROR(txn.SetRange(table, sizeof(PreparedTable)));
+    std::memset(table, 0, sizeof(PreparedTable));
+    table->magic = kPreparedMagic;
+    table->version = 1;
+    RVM_RETURN_IF_ERROR(txn.Commit());
+  }
+  return std::unique_ptr<DtxParticipant>(
+      new DtxParticipant(rvm, std::move(region)));
+}
+
+DtxParticipant::DtxParticipant(RvmInstance& rvm, RegionDescriptor region)
+    : rvm_(&rvm), region_(std::move(region)) {}
+
+DtxParticipant::~DtxParticipant() {
+  for (auto& [gtid, work] : work_) {
+    (void)rvm_->AbortTransaction(work.tid);
+  }
+  (void)rvm_->Unmap(region_);
+}
+
+Status DtxParticipant::BeginWork(GlobalTxnId gtid) {
+  if (work_.contains(gtid)) {
+    return AlreadyExists("work already in progress for this gtid");
+  }
+  RVM_ASSIGN_OR_RETURN(TransactionId tid,
+                       rvm_->BeginTransaction(RestoreMode::kRestore));
+  work_[gtid].tid = tid;
+  return OkStatus();
+}
+
+Status DtxParticipant::SetRange(GlobalTxnId gtid, void* base, uint64_t length) {
+  auto it = work_.find(gtid);
+  if (it == work_.end()) {
+    return NotFound("no work in progress for this gtid");
+  }
+  Work& work = it->second;
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(work.tid, base, length));
+  // Capture segment-relative old values for the compensating transaction.
+  // First capture wins; duplicates are skipped via the coverage set.
+  uint64_t start = reinterpret_cast<uintptr_t>(base);
+  for (const Interval& piece : work.covered.Uncovered(start, start + length)) {
+    RVM_ASSIGN_OR_RETURN(auto location,
+                         rvm_->TranslateAddress(reinterpret_cast<void*>(piece.start)));
+    RvmInstance::OldValueRecord record;
+    record.segment_path = location.first;
+    record.segment_offset = location.second;
+    record.bytes.assign(reinterpret_cast<uint8_t*>(piece.start),
+                        reinterpret_cast<uint8_t*>(piece.end));
+    work.undo.push_back(std::move(record));
+  }
+  work.covered.Add(start, start + length);
+  return OkStatus();
+}
+
+Status DtxParticipant::Modify(GlobalTxnId gtid, void* dest, const void* value,
+                              uint64_t length) {
+  RVM_RETURN_IF_ERROR(SetRange(gtid, dest, length));
+  std::memcpy(dest, value, length);
+  return OkStatus();
+}
+
+Status DtxParticipant::AbortWork(GlobalTxnId gtid) {
+  auto it = work_.find(gtid);
+  if (it == work_.end()) {
+    return OkStatus();  // idempotent: nothing to roll back
+  }
+  Status status = rvm_->AbortTransaction(it->second.tid);
+  work_.erase(it);
+  return status;
+}
+
+StatusOr<uint64_t> DtxParticipant::FindPreparedSlot(GlobalTxnId gtid) const {
+  const auto* table = static_cast<const PreparedTable*>(region_.address);
+  for (uint64_t i = 0; i < kPreparedEntries; ++i) {
+    if (table->entries[i].state == 1 && table->entries[i].gtid == gtid) {
+      return i;
+    }
+  }
+  return NotFound("gtid not prepared");
+}
+
+Status DtxParticipant::Prepare(GlobalTxnId gtid) {
+  auto it = work_.find(gtid);
+  if (it == work_.end()) {
+    return NotFound("no work in progress for this gtid");
+  }
+  Work& work = it->second;
+  auto* table = static_cast<PreparedTable*>(region_.address);
+
+  std::vector<uint8_t> blob = SerializeUndo(work.undo);
+  uint64_t slot = kPreparedEntries;
+  for (uint64_t i = 0; i < kPreparedEntries; ++i) {
+    if (table->entries[i].state == 0) {
+      slot = i;
+      break;
+    }
+  }
+  if (blob.size() > kUndoCapacity || slot == kPreparedEntries) {
+    // Vote no: roll the local work back.
+    (void)AbortWork(gtid);
+    return blob.size() > kUndoCapacity
+               ? FailedPrecondition("undo too large for prepared table")
+               : FailedPrecondition("prepared table full");
+  }
+
+  // Atomically commit the data AND the prepared record in the same flushed
+  // transaction: a crash leaves us either fully prepared or fully unworked.
+  PreparedEntry& entry = table->entries[slot];
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(work.tid, &entry,
+                                     offsetof(PreparedEntry, undo) + blob.size()));
+  entry.gtid = gtid;
+  entry.state = 1;
+  entry.undo_length = blob.size();
+  std::memcpy(entry.undo, blob.data(), blob.size());
+
+  Status committed = rvm_->EndTransaction(work.tid, CommitMode::kFlush);
+  work_.erase(it);
+  return committed;
+}
+
+Status DtxParticipant::CommitDecision(GlobalTxnId gtid) {
+  StatusOr<uint64_t> slot = FindPreparedSlot(gtid);
+  if (!slot.ok()) {
+    return OkStatus();  // idempotent retransmission
+  }
+  auto* table = static_cast<PreparedTable*>(region_.address);
+  Transaction txn(*rvm_);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  RVM_RETURN_IF_ERROR(txn.SetRange(&table->entries[*slot].state, sizeof(uint64_t)));
+  table->entries[*slot].state = 0;
+  return txn.Commit();
+}
+
+Status DtxParticipant::RunCompensation(GlobalTxnId gtid, uint64_t slot) {
+  auto* table = static_cast<PreparedTable*>(region_.address);
+  PreparedEntry& entry = table->entries[slot];
+  RVM_ASSIGN_OR_RETURN(
+      std::vector<RvmInstance::OldValueRecord> records,
+      DeserializeUndo(std::span<const uint8_t>(entry.undo, entry.undo_length)));
+
+  // Compensating transaction (§8): restore old values newest-capture-last,
+  // and clear the prepared record in the same atomic step.
+  Transaction txn(*rvm_);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  for (auto record = records.rbegin(); record != records.rend(); ++record) {
+    RVM_ASSIGN_OR_RETURN(void* address,
+                         rvm_->ResolveSegmentAddress(record->segment_path,
+                                                     record->segment_offset));
+    RVM_RETURN_IF_ERROR(txn.SetRange(address, record->bytes.size()));
+    std::memcpy(address, record->bytes.data(), record->bytes.size());
+  }
+  RVM_RETURN_IF_ERROR(txn.SetRange(&entry.state, sizeof(uint64_t)));
+  entry.state = 0;
+  (void)gtid;
+  return txn.Commit();
+}
+
+Status DtxParticipant::AbortDecision(GlobalTxnId gtid) {
+  // Undecided local work (vote never happened): plain rollback.
+  if (work_.contains(gtid)) {
+    return AbortWork(gtid);
+  }
+  StatusOr<uint64_t> slot = FindPreparedSlot(gtid);
+  if (!slot.ok()) {
+    return OkStatus();  // idempotent
+  }
+  return RunCompensation(gtid, *slot);
+}
+
+std::vector<GlobalTxnId> DtxParticipant::InDoubt() const {
+  const auto* table = static_cast<const PreparedTable*>(region_.address);
+  std::vector<GlobalTxnId> out;
+  for (uint64_t i = 0; i < kPreparedEntries; ++i) {
+    if (table->entries[i].state == 1) {
+      out.push_back(table->entries[i].gtid);
+    }
+  }
+  return out;
+}
+
+// --- LoopbackTransport -------------------------------------------------------
+
+StatusOr<DtxParticipant*> LoopbackTransport::Find(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return NotFound("unreachable site: " + site);
+  }
+  return it->second;
+}
+
+Status LoopbackTransport::Prepare(const std::string& site, GlobalTxnId gtid) {
+  RVM_ASSIGN_OR_RETURN(DtxParticipant * participant, Find(site));
+  return participant->Prepare(gtid);
+}
+Status LoopbackTransport::CommitDecision(const std::string& site,
+                                         GlobalTxnId gtid) {
+  RVM_ASSIGN_OR_RETURN(DtxParticipant * participant, Find(site));
+  return participant->CommitDecision(gtid);
+}
+Status LoopbackTransport::AbortDecision(const std::string& site,
+                                        GlobalTxnId gtid) {
+  RVM_ASSIGN_OR_RETURN(DtxParticipant * participant, Find(site));
+  return participant->AbortDecision(gtid);
+}
+Status LoopbackTransport::AbortWork(const std::string& site, GlobalTxnId gtid) {
+  RVM_ASSIGN_OR_RETURN(DtxParticipant * participant, Find(site));
+  return participant->AbortWork(gtid);
+}
+
+// --- DtxCoordinator ----------------------------------------------------------
+
+StatusOr<std::unique_ptr<DtxCoordinator>> DtxCoordinator::Open(
+    RvmInstance& rvm, const std::string& control_segment_path,
+    DtxTransport& transport) {
+  RegionDescriptor region;
+  region.segment_path = control_segment_path;
+  region.length = kCoordinatorRegionLen;
+  RVM_RETURN_IF_ERROR(rvm.Map(region));
+  auto* table = static_cast<DecisionTable*>(region.address);
+  if (table->magic != kDecisionMagic) {
+    Transaction txn(rvm);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    RVM_RETURN_IF_ERROR(txn.SetRange(table, sizeof(DecisionTable)));
+    std::memset(table, 0, sizeof(DecisionTable));
+    table->magic = kDecisionMagic;
+    table->version = 1;
+    table->next_gtid = 1;
+    RVM_RETURN_IF_ERROR(txn.Commit());
+  }
+  return std::unique_ptr<DtxCoordinator>(
+      new DtxCoordinator(rvm, std::move(region), transport));
+}
+
+DtxCoordinator::DtxCoordinator(RvmInstance& rvm, RegionDescriptor region,
+                               DtxTransport& transport)
+    : rvm_(&rvm), region_(std::move(region)), transport_(&transport) {}
+
+DtxCoordinator::~DtxCoordinator() { (void)rvm_->Unmap(region_); }
+
+StatusOr<GlobalTxnId> DtxCoordinator::BeginGlobal(
+    const std::vector<std::string>& sites) {
+  auto* table = static_cast<DecisionTable*>(region_.address);
+  Transaction txn(*rvm_);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  RVM_RETURN_IF_ERROR(txn.SetRange(&table->next_gtid, sizeof(uint64_t)));
+  GlobalTxnId gtid = table->next_gtid++;
+  RVM_RETURN_IF_ERROR(txn.Commit());
+  pending_[gtid] = sites;
+  return gtid;
+}
+
+StatusOr<DtxOutcome> DtxCoordinator::CommitGlobal(GlobalTxnId gtid) {
+  auto it = pending_.find(gtid);
+  if (it == pending_.end()) {
+    return NotFound("unknown global transaction");
+  }
+  std::vector<std::string> sites = it->second;
+  pending_.erase(it);
+
+  // Phase 1: collect votes.
+  std::vector<std::string> prepared;
+  bool all_yes = true;
+  for (const std::string& site : sites) {
+    Status vote = transport_->Prepare(site, gtid);
+    if (vote.ok()) {
+      prepared.push_back(site);
+    } else {
+      all_yes = false;
+      break;
+    }
+  }
+
+  if (!all_yes) {
+    // Global abort: compensate prepared sites, roll back the rest. No
+    // decision record needed — absence means abort (presumed abort).
+    for (const std::string& site : prepared) {
+      (void)transport_->AbortDecision(site, gtid);
+    }
+    for (const std::string& site : sites) {
+      (void)transport_->AbortWork(site, gtid);
+    }
+    return DtxOutcome::kAborted;
+  }
+
+  // Decision point: the COMMIT record must be durable before any phase-2
+  // message, or a coordinator crash could orphan committed participants.
+  auto* table = static_cast<DecisionTable*>(region_.address);
+  {
+    Transaction txn(*rvm_);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    uint64_t slot = table->next_slot % kDecisionEntries;
+    RVM_RETURN_IF_ERROR(txn.SetRange(&table->entries[slot], sizeof(DecisionEntry)));
+    RVM_RETURN_IF_ERROR(txn.SetRange(&table->next_slot, sizeof(uint64_t)));
+    table->entries[slot].gtid = gtid;
+    table->entries[slot].decision = 1;
+    ++table->next_slot;
+    RVM_RETURN_IF_ERROR(txn.Commit(CommitMode::kFlush));
+  }
+
+  // Phase 2: transport failures here are retried via ResolveInDoubt once the
+  // site returns; the decision is already durable.
+  for (const std::string& site : sites) {
+    (void)transport_->CommitDecision(site, gtid);
+  }
+  return DtxOutcome::kCommitted;
+}
+
+Status DtxCoordinator::AbortGlobal(GlobalTxnId gtid) {
+  auto it = pending_.find(gtid);
+  if (it == pending_.end()) {
+    return NotFound("unknown global transaction");
+  }
+  for (const std::string& site : it->second) {
+    (void)transport_->AbortWork(site, gtid);
+  }
+  pending_.erase(it);
+  return OkStatus();
+}
+
+DtxOutcome DtxCoordinator::QueryOutcome(GlobalTxnId gtid) const {
+  const auto* table = static_cast<const DecisionTable*>(region_.address);
+  for (uint64_t i = 0; i < kDecisionEntries; ++i) {
+    if (table->entries[i].gtid == gtid && table->entries[i].decision == 1) {
+      return DtxOutcome::kCommitted;
+    }
+  }
+  if (gtid >= table->next_gtid) {
+    return DtxOutcome::kUnknown;
+  }
+  return DtxOutcome::kAborted;  // presumed abort
+}
+
+Status DtxCoordinator::ResolveInDoubt(const std::string& site,
+                                      DtxParticipant& participant) {
+  for (GlobalTxnId gtid : participant.InDoubt()) {
+    if (QueryOutcome(gtid) == DtxOutcome::kCommitted) {
+      RVM_RETURN_IF_ERROR(transport_->CommitDecision(site, gtid));
+    } else {
+      RVM_RETURN_IF_ERROR(transport_->AbortDecision(site, gtid));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace rvm

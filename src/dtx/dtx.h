@@ -1,0 +1,169 @@
+// Distributed transactions layered on RVM via two-phase commit.
+//
+// §8 of the paper sketches this library: "coordinator and subordinate
+// routines for each phase of a two-phase commit ... The communication
+// mechanism could be left unspecified until runtime by using upcalls from
+// the library to perform communications. RVM would have to be extended to
+// enable a subordinate to undo the effects of a first-phase commit ... On a
+// global abort, the library at each subordinate could use the saved records
+// to construct a compensating RVM transaction."
+//
+// Protocol (presumed abort):
+//   Phase 1: each participant commits its local work AND a prepared record
+//            {gtid, serialized old-value records} in ONE flushed RVM
+//            transaction — so "prepared" and the data are atomically durable
+//            together.
+//   Decision: if every vote is yes, the coordinator durably logs COMMIT in
+//            its own recoverable decision table, then issues phase 2.
+//   Phase 2: commit — participant deletes its prepared record;
+//            abort — participant runs a compensating transaction built from
+//            the saved old-value records, then deletes the record.
+//   Recovery: a restarted participant lists in-doubt gtids from its prepared
+//            table and asks the coordinator; no COMMIT decision found means
+//            abort (presumed abort).
+//
+// The transport is an upcall interface; LoopbackTransport wires participants
+// in-process for tests and examples.
+#ifndef RVM_DTX_DTX_H_
+#define RVM_DTX_DTX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rvm/rvm.h"
+#include "src/util/interval_set.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+using GlobalTxnId = uint64_t;
+
+enum class DtxOutcome {
+  kCommitted,
+  kAborted,
+  kUnknown,  // no work/decision on record
+};
+
+// Subordinate side.
+class DtxParticipant {
+ public:
+  // Opens (creating if fresh) the participant's prepared-transaction table
+  // in `control_segment_path`. In-doubt entries from a previous incarnation
+  // are visible via InDoubt() immediately after.
+  static StatusOr<std::unique_ptr<DtxParticipant>> Open(
+      RvmInstance& rvm, const std::string& control_segment_path);
+
+  ~DtxParticipant();
+  DtxParticipant(const DtxParticipant&) = delete;
+  DtxParticipant& operator=(const DtxParticipant&) = delete;
+
+  // --- work phase (application code, before 2PC) ---
+  Status BeginWork(GlobalTxnId gtid);
+  Status SetRange(GlobalTxnId gtid, void* base, uint64_t length);
+  Status Modify(GlobalTxnId gtid, void* dest, const void* value, uint64_t length);
+  // Local abort before prepare (also the coordinator's path for sites that
+  // never got to vote).
+  Status AbortWork(GlobalTxnId gtid);
+
+  // --- 2PC upcall targets ---
+  // Phase 1. On success the participant has voted yes and MUST await the
+  // decision. Any failure is a no vote (local work is rolled back).
+  Status Prepare(GlobalTxnId gtid);
+  // Phase 2 decisions (idempotent: deciding an unknown gtid is a no-op,
+  // since retransmissions happen after participant recovery).
+  Status CommitDecision(GlobalTxnId gtid);
+  Status AbortDecision(GlobalTxnId gtid);
+
+  // Prepared-but-undecided transactions (survivors of a crash).
+  std::vector<GlobalTxnId> InDoubt() const;
+
+ private:
+  struct Work;
+  DtxParticipant(RvmInstance& rvm, RegionDescriptor region);
+
+  Status RunCompensation(GlobalTxnId gtid, uint64_t slot);
+  StatusOr<uint64_t> FindPreparedSlot(GlobalTxnId gtid) const;
+
+  RvmInstance* rvm_;
+  RegionDescriptor region_;
+  std::map<GlobalTxnId, Work> work_;
+};
+
+// Upcall transport: how the coordinator reaches participants. "Left
+// unspecified until runtime" (§8) — implementations may be in-process,
+// RPC-based, or fault-injecting test doubles.
+class DtxTransport {
+ public:
+  virtual ~DtxTransport() = default;
+  virtual Status Prepare(const std::string& site, GlobalTxnId gtid) = 0;
+  virtual Status CommitDecision(const std::string& site, GlobalTxnId gtid) = 0;
+  virtual Status AbortDecision(const std::string& site, GlobalTxnId gtid) = 0;
+  virtual Status AbortWork(const std::string& site, GlobalTxnId gtid) = 0;
+};
+
+// In-process transport used by tests and examples.
+class LoopbackTransport : public DtxTransport {
+ public:
+  void Register(const std::string& site, DtxParticipant* participant) {
+    sites_[site] = participant;
+  }
+  void Unregister(const std::string& site) { sites_.erase(site); }
+
+  Status Prepare(const std::string& site, GlobalTxnId gtid) override;
+  Status CommitDecision(const std::string& site, GlobalTxnId gtid) override;
+  Status AbortDecision(const std::string& site, GlobalTxnId gtid) override;
+  Status AbortWork(const std::string& site, GlobalTxnId gtid) override;
+
+ private:
+  StatusOr<DtxParticipant*> Find(const std::string& site);
+  std::map<std::string, DtxParticipant*> sites_;
+};
+
+// Coordinator side.
+class DtxCoordinator {
+ public:
+  // Opens the coordinator's decision table in `control_segment_path`.
+  static StatusOr<std::unique_ptr<DtxCoordinator>> Open(
+      RvmInstance& rvm, const std::string& control_segment_path,
+      DtxTransport& transport);
+
+  ~DtxCoordinator();
+  DtxCoordinator(const DtxCoordinator&) = delete;
+  DtxCoordinator& operator=(const DtxCoordinator&) = delete;
+
+  // A fresh, globally unique transaction id (persistent counter).
+  StatusOr<GlobalTxnId> BeginGlobal(const std::vector<std::string>& sites);
+
+  // Runs two-phase commit. Returns kCommitted or kAborted; transport errors
+  // during phase 2 leave retransmission to ResolveInDoubt after the site
+  // recovers.
+  StatusOr<DtxOutcome> CommitGlobal(GlobalTxnId gtid);
+
+  // Aborts a global transaction before/instead of commit.
+  Status AbortGlobal(GlobalTxnId gtid);
+
+  // The durable decision for a gtid; kAborted when none is recorded
+  // (presumed abort) — only meaningful for gtids this coordinator issued.
+  DtxOutcome QueryOutcome(GlobalTxnId gtid) const;
+
+  // Participant-recovery helper: resolves every in-doubt gtid at `site`
+  // according to this coordinator's decisions.
+  Status ResolveInDoubt(const std::string& site, DtxParticipant& participant);
+
+ private:
+  struct PendingGlobal;
+  DtxCoordinator(RvmInstance& rvm, RegionDescriptor region,
+                 DtxTransport& transport);
+
+  RvmInstance* rvm_;
+  RegionDescriptor region_;
+  DtxTransport* transport_;
+  std::map<GlobalTxnId, std::vector<std::string>> pending_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_DTX_DTX_H_

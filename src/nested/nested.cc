@@ -1,0 +1,145 @@
+#include "src/nested/nested.h"
+
+#include <cstring>
+
+namespace rvm {
+
+StatusOr<NestedTxnManager::Node*> NestedTxnManager::FindNode(NestedTxnId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("no such nested transaction");
+  }
+  return &it->second;
+}
+
+NestedTxnManager::Node* NestedTxnManager::TopLevelOf(Node* node) {
+  while (node->parent != kInvalidNestedTxnId) {
+    node = &nodes_.at(node->parent);
+  }
+  return node;
+}
+
+StatusOr<NestedTxnId> NestedTxnManager::Begin() {
+  RVM_ASSIGN_OR_RETURN(TransactionId rvm_tid,
+                       rvm_->BeginTransaction(RestoreMode::kRestore));
+  Node node;
+  node.id = next_id_++;
+  node.rvm_tid = rvm_tid;
+  NestedTxnId id = node.id;
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+StatusOr<NestedTxnId> NestedTxnManager::BeginNested(NestedTxnId parent) {
+  RVM_ASSIGN_OR_RETURN(Node * parent_node, FindNode(parent));
+  Node node;
+  node.id = next_id_++;
+  node.parent = parent;
+  ++parent_node->live_children;
+  NestedTxnId id = node.id;
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+Status NestedTxnManager::SetRange(NestedTxnId id, void* base, uint64_t length) {
+  RVM_ASSIGN_OR_RETURN(Node * node, FindNode(id));
+  if (node->live_children > 0) {
+    return FailedPrecondition(
+        "parent cannot modify data while a child is active");
+  }
+  // Forward to RVM under the top-level tid so commit logs the new values.
+  Node* top = TopLevelOf(node);
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(top->rvm_tid, base, length));
+
+  // Node-local undo capture, first-capture-wins within the node.
+  uint64_t start = reinterpret_cast<uintptr_t>(base);
+  for (const Interval& piece : node->covered.Uncovered(start, start + length)) {
+    UndoEntry entry;
+    entry.address = reinterpret_cast<void*>(piece.start);
+    entry.old_bytes.assign(reinterpret_cast<uint8_t*>(piece.start),
+                           reinterpret_cast<uint8_t*>(piece.end));
+    node->undo.push_back(std::move(entry));
+  }
+  node->covered.Add(start, start + length);
+  return OkStatus();
+}
+
+Status NestedTxnManager::Commit(NestedTxnId id, CommitMode mode) {
+  RVM_ASSIGN_OR_RETURN(Node * node, FindNode(id));
+  if (node->live_children > 0) {
+    return FailedPrecondition("cannot commit with live children");
+  }
+  if (node->parent == kInvalidNestedTxnId) {
+    Status status = rvm_->EndTransaction(node->rvm_tid, mode);
+    nodes_.erase(id);
+    return status;
+  }
+  // Child commit: effects survive only if ancestors commit, so the undo log
+  // and coverage migrate to the parent. Appending preserves capture order:
+  // a later parent abort restores child entries first (they captured later
+  // values), then the parent's own earlier captures win.
+  Node& parent = nodes_.at(node->parent);
+  for (UndoEntry& entry : node->undo) {
+    // Parent keeps only first-capture entries: a byte the parent already
+    // covers restores from the parent's earlier capture.
+    uint64_t start = reinterpret_cast<uintptr_t>(entry.address);
+    uint64_t end = start + entry.old_bytes.size();
+    if (!parent.covered.Contains(start, end)) {
+      parent.undo.push_back(std::move(entry));
+      parent.covered.Add(start, end);
+    }
+  }
+  --parent.live_children;
+  nodes_.erase(id);
+  return OkStatus();
+}
+
+Status NestedTxnManager::Abort(NestedTxnId id) {
+  RVM_ASSIGN_OR_RETURN(Node * node, FindNode(id));
+  if (node->live_children > 0) {
+    return FailedPrecondition("cannot abort with live children");
+  }
+  if (node->parent == kInvalidNestedTxnId) {
+    Status status = rvm_->AbortTransaction(node->rvm_tid);
+    nodes_.erase(id);
+    return status;
+  }
+  // Child abort: restore the node's own captures, newest first. Ancestors'
+  // state (including the RVM-level old values) is untouched; the forwarded
+  // set_ranges merely mean the top-level commit will log bytes that ended up
+  // unchanged — correct, just conservative.
+  for (auto it = node->undo.rbegin(); it != node->undo.rend(); ++it) {
+    std::memcpy(it->address, it->old_bytes.data(), it->old_bytes.size());
+  }
+  --nodes_.at(node->parent).live_children;
+  nodes_.erase(id);
+  return OkStatus();
+}
+
+StatusOr<TransactionId> NestedTxnManager::RvmTid(NestedTxnId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("no such nested transaction");
+  }
+  const Node* node = &it->second;
+  while (node->parent != kInvalidNestedTxnId) {
+    node = &nodes_.at(node->parent);
+  }
+  return node->rvm_tid;
+}
+
+StatusOr<int> NestedTxnManager::Depth(NestedTxnId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("no such nested transaction");
+  }
+  int depth = 1;
+  const Node* node = &it->second;
+  while (node->parent != kInvalidNestedTxnId) {
+    node = &nodes_.at(node->parent);
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace rvm

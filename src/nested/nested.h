@@ -1,0 +1,102 @@
+// Nested transactions layered on RVM.
+//
+// §8 of the paper: "nested transactions could be implemented using RVM as a
+// substrate for bookkeeping state such as the undo logs of nested
+// transactions. Only top-level begin, commit, and abort operations would be
+// visible to RVM. Recovery would be simple, since the restoration of
+// committed state would be handled entirely by RVM."
+//
+// That is exactly this layer's design:
+//   - A top-level Begin opens one RVM transaction; descendants share it.
+//   - SetRange on any node forwards to RVM (so the top-level commit logs the
+//     right new values) AND captures the old value in the node's volatile
+//     undo log (so the node can abort independently).
+//   - Child commit merges its undo log and coverage into the parent;
+//     child abort replays its own undo, leaving ancestors untouched.
+//   - Top-level commit/abort map to RVM end/abort; crash recovery is pure
+//     RVM recovery — in-flight nests simply vanish, which is correct because
+//     nothing was committed at top level.
+//
+// Serializability between independent transaction trees remains the
+// application's concern, per §3.1.
+#ifndef RVM_NESTED_NESTED_H_
+#define RVM_NESTED_NESTED_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/rvm/rvm.h"
+#include "src/util/interval_set.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+using NestedTxnId = uint64_t;
+inline constexpr NestedTxnId kInvalidNestedTxnId = 0;
+
+class NestedTxnManager {
+ public:
+  explicit NestedTxnManager(RvmInstance& rvm) : rvm_(&rvm) {}
+
+  // Begins a top-level transaction (opens the underlying RVM transaction).
+  StatusOr<NestedTxnId> Begin();
+
+  // Begins a child of `parent` (top-level or itself nested).
+  StatusOr<NestedTxnId> BeginNested(NestedTxnId parent);
+
+  // Declares [base, base+length) about to be modified by `id`. Forwards to
+  // RVM and captures the node-local old value for independent abort.
+  Status SetRange(NestedTxnId id, void* base, uint64_t length);
+
+  // Commits a node. For a child: merges its effects into the parent (they
+  // become permanent only if every ancestor commits). For the top level:
+  // commits the RVM transaction with `mode`. A node with live children
+  // cannot commit.
+  Status Commit(NestedTxnId id, CommitMode mode = CommitMode::kFlush);
+
+  // Aborts a node: restores every byte it (or its committed descendants)
+  // modified to the value at its own begin, leaving ancestors intact. A
+  // top-level abort aborts the RVM transaction.
+  Status Abort(NestedTxnId id);
+
+  // The underlying top-level RVM transaction a node belongs to. Lets other
+  // RVM-layered packages (e.g. the RDS allocator) participate in a nest:
+  // their writes commit or abort with the top level. Note that such writes
+  // bypass this manager's per-node undo, so a *child* abort does not undo
+  // them — only the top level's fate applies.
+  StatusOr<TransactionId> RvmTid(NestedTxnId id) const;
+
+  // Depth of a node (1 = top level). Testing/introspection.
+  StatusOr<int> Depth(NestedTxnId id) const;
+  size_t active_count() const { return nodes_.size(); }
+
+ private:
+  struct UndoEntry {
+    void* address;
+    std::vector<uint8_t> old_bytes;
+  };
+
+  struct Node {
+    NestedTxnId id = kInvalidNestedTxnId;
+    NestedTxnId parent = kInvalidNestedTxnId;  // 0 for top level
+    TransactionId rvm_tid = kInvalidTransactionId;  // top level only
+    int live_children = 0;
+    // Coverage in absolute addresses: a byte already covered (by this node
+    // or a committed descendant) is not re-captured.
+    IntervalSet covered;
+    std::vector<UndoEntry> undo;
+  };
+
+  StatusOr<Node*> FindNode(NestedTxnId id);
+  Node* TopLevelOf(Node* node);
+
+  RvmInstance* rvm_;
+  NestedTxnId next_id_ = 1;
+  std::map<NestedTxnId, Node> nodes_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_NESTED_NESTED_H_

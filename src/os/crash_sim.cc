@@ -1,0 +1,274 @@
+#include "src/os/crash_sim.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rvm {
+namespace internal {
+
+struct PendingOp {
+  // A resize is encoded as data.empty() && is_resize.
+  uint64_t offset = 0;
+  std::vector<uint8_t> data;
+  bool is_resize = false;
+  uint64_t new_size = 0;
+};
+
+struct CrashFileData {
+  std::vector<uint8_t> durable;
+  std::vector<uint8_t> volatile_image;
+  std::vector<PendingOp> pending;
+  bool exists_durably = false;  // file creation itself is volatile until sync
+};
+
+struct CrashSimState {
+  explicit CrashSimState(const CrashSimEnv::Options& opts)
+      : options(opts), rng(opts.seed) {}
+
+  mutable std::mutex mu;
+  CrashSimEnv::Options options;
+  Xoshiro256 rng;
+  std::map<std::string, std::shared_ptr<CrashFileData>> files;
+  bool crashed = false;
+  uint64_t persisted = 0;
+  uint64_t syncs = 0;
+  uint64_t fake_time = 0;
+
+  // Applies one pending op to the durable image, honoring the persist budget.
+  // Returns false if the budget ran out (crash!), possibly after a torn
+  // partial application.
+  bool PersistOp(CrashFileData& file, const PendingOp& op) {
+    if (op.is_resize) {
+      file.durable.resize(op.new_size);
+      return true;
+    }
+    uint64_t budget_left = options.persist_budget - persisted;
+    uint64_t n = op.data.size();
+    if (n > budget_left) {
+      if (options.torn_writes && budget_left > 0) {
+        // Torn write: a prefix of this write reaches the platter.
+        if (file.durable.size() < op.offset + budget_left) {
+          file.durable.resize(op.offset + budget_left);
+        }
+        std::memcpy(file.durable.data() + op.offset, op.data.data(),
+                    budget_left);
+        persisted += budget_left;
+      }
+      crashed = true;
+      return false;
+    }
+    if (file.durable.size() < op.offset + n) {
+      file.durable.resize(op.offset + n);
+    }
+    std::memcpy(file.durable.data() + op.offset, op.data.data(), n);
+    persisted += n;
+    return true;
+  }
+
+  // Called with mu held.
+  Status SyncLocked(const std::string& path, CrashFileData& file) {
+    if (crashed) {
+      return IoError("simulated crash");
+    }
+    ++syncs;
+    file.exists_durably = true;
+    for (size_t i = 0; i < file.pending.size(); ++i) {
+      if (!PersistOp(file, file.pending[i])) {
+        // Power failed during this fsync. Everything still pending (on all
+        // files) is lost; volatile state is gone too, but we keep volatile
+        // images untouched until Recover() so the "process" can observe the
+        // crash via error returns, as a real process would via SIGKILL.
+        (void)path;
+        return IoError("simulated crash during fsync");
+      }
+    }
+    file.pending.clear();
+    return OkStatus();
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::CrashFileData;
+using internal::CrashSimState;
+using internal::PendingOp;
+
+class CrashFile final : public File {
+ public:
+  CrashFile(std::shared_ptr<CrashSimState> state, std::string path,
+            std::shared_ptr<CrashFileData> data)
+      : state_(std::move(state)), path_(std::move(path)), data_(std::move(data)) {}
+
+  StatusOr<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) {
+      return IoError("simulated crash");
+    }
+    const auto& bytes = data_->volatile_image;
+    if (offset >= bytes.size()) {
+      return static_cast<size_t>(0);
+    }
+    size_t n = std::min<uint64_t>(out.size(), bytes.size() - offset);
+    std::memcpy(out.data(), bytes.data() + offset, n);
+    return n;
+  }
+
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) {
+      return IoError("simulated crash");
+    }
+    auto& bytes = data_->volatile_image;
+    if (offset + data.size() > bytes.size()) {
+      bytes.resize(offset + data.size());
+    }
+    std::memcpy(bytes.data() + offset, data.data(), data.size());
+    PendingOp op;
+    op.offset = offset;
+    op.data.assign(data.begin(), data.end());
+    data_->pending.push_back(std::move(op));
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->SyncLocked(path_, *data_);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) {
+      return IoError("simulated crash");
+    }
+    return static_cast<uint64_t>(data_->volatile_image.size());
+  }
+
+  Status Resize(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->crashed) {
+      return IoError("simulated crash");
+    }
+    data_->volatile_image.resize(size);
+    PendingOp op;
+    op.is_resize = true;
+    op.new_size = size;
+    data_->pending.push_back(std::move(op));
+    return OkStatus();
+  }
+
+ private:
+  std::shared_ptr<CrashSimState> state_;
+  std::string path_;
+  std::shared_ptr<CrashFileData> data_;
+};
+
+}  // namespace
+
+CrashSimEnv::CrashSimEnv(const Options& options)
+    : state_(std::make_shared<CrashSimState>(options)) {}
+
+CrashSimEnv::~CrashSimEnv() = default;
+
+StatusOr<std::unique_ptr<File>> CrashSimEnv::Open(const std::string& path,
+                                                  OpenMode mode) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->crashed) {
+    return IoError("simulated crash");
+  }
+  auto it = state_->files.find(path);
+  if (it == state_->files.end()) {
+    if (mode == OpenMode::kReadOnly || mode == OpenMode::kReadWrite) {
+      return NotFound("crash-sim file does not exist: " + path);
+    }
+    it = state_->files.emplace(path, std::make_shared<CrashFileData>()).first;
+  } else if (mode == OpenMode::kTruncate) {
+    auto& file = *it->second;
+    file.volatile_image.clear();
+    PendingOp op;
+    op.is_resize = true;
+    op.new_size = 0;
+    file.pending.push_back(std::move(op));
+  }
+  return std::unique_ptr<File>(new CrashFile(state_, path, it->second));
+}
+
+Status CrashSimEnv::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->crashed) {
+    return IoError("simulated crash");
+  }
+  if (state_->files.erase(path) == 0) {
+    return NotFound("crash-sim file does not exist: " + path);
+  }
+  return OkStatus();
+}
+
+bool CrashSimEnv::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->files.contains(path);
+}
+
+uint64_t CrashSimEnv::NowMicros() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return ++state_->fake_time;
+}
+
+void CrashSimEnv::Crash() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->options.flush_on_crash) {
+    // Page-cache writeback racing the power failure: persist a random prefix
+    // of each file's pending ops (budget still applies).
+    for (auto& [path, file] : state_->files) {
+      size_t limit = state_->rng.Below(file->pending.size() + 1);
+      for (size_t i = 0; i < limit; ++i) {
+        if (!state_->PersistOp(*file, file->pending[i])) {
+          break;
+        }
+      }
+    }
+  }
+  state_->crashed = true;
+}
+
+void CrashSimEnv::Recover() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (auto it = state_->files.begin(); it != state_->files.end();) {
+    auto& file = *it->second;
+    if (!file.exists_durably && file.durable.empty()) {
+      // The file was created but never synced: it does not survive.
+      it = state_->files.erase(it);
+      continue;
+    }
+    file.volatile_image = file.durable;
+    file.pending.clear();
+    ++it;
+  }
+  state_->crashed = false;
+  // Allow the recovered process a fresh persistence budget.
+  state_->options.persist_budget = UINT64_MAX;
+}
+
+void CrashSimEnv::SetPersistBudget(uint64_t remaining) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->options.persist_budget =
+      remaining == UINT64_MAX ? UINT64_MAX : state_->persisted + remaining;
+}
+
+bool CrashSimEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->crashed;
+}
+
+uint64_t CrashSimEnv::bytes_persisted() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->persisted;
+}
+
+uint64_t CrashSimEnv::sync_count() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->syncs;
+}
+
+}  // namespace rvm

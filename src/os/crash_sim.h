@@ -1,0 +1,90 @@
+// CrashSimEnv: an in-memory environment with a durable/volatile split and
+// fault injection, used to verify RVM's permanence and atomicity guarantees.
+//
+// Model (deliberately adversarial, strictly weaker than any real Unix):
+//   - WriteAt modifies only the *volatile* image and queues a pending write.
+//   - Sync persists pending writes, in order, into the *durable* image.
+//   - A crash discards all volatile state. Optionally, a random prefix of
+//     the still-pending writes is persisted first ("torn write"), modeling a
+//     page-cache flush interrupted by power failure.
+//   - A persist budget (in bytes) can force a crash in the middle of a Sync,
+//     so sweeping the budget from 0 upward exercises recovery against every
+//     possible durable prefix of a workload.
+//
+// After a crash, every file operation fails with kIoError until Recover() is
+// called, which resets each volatile image to its durable image — i.e. the
+// state a restarted process would observe.
+#ifndef RVM_OS_CRASH_SIM_H_
+#define RVM_OS_CRASH_SIM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/os/file.h"
+#include "src/util/random.h"
+
+namespace rvm {
+
+namespace internal {
+struct CrashSimState;
+struct CrashFileData;
+}  // namespace internal
+
+class CrashSimEnv : public Env {
+ public:
+  struct Options {
+    // Bytes allowed to become durable (across all files) before a simulated
+    // power failure. Defaults to unlimited.
+    uint64_t persist_budget = UINT64_MAX;
+    // If true, a crash may persist a partial prefix of an individual pending
+    // write (torn write). If false, writes persist all-or-nothing.
+    bool torn_writes = true;
+    // If true, pending writes at crash time are considered for persistence
+    // in random order rather than not at all (models page-cache writeback
+    // racing the failure).
+    bool flush_on_crash = false;
+    uint64_t seed = 1;
+  };
+
+  CrashSimEnv() : CrashSimEnv(Options{}) {}
+  explicit CrashSimEnv(const Options& options);
+  ~CrashSimEnv() override;
+
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  uint64_t NowMicros() override;
+
+  // Simulates a power failure now: drops volatile state on all files
+  // (after optional random writeback, per Options::flush_on_crash).
+  void Crash();
+
+  // Restores service after a crash: volatile images := durable images.
+  // Also usable without a crash to model a clean process restart that lost
+  // its page cache.
+  void Recover();
+
+  bool crashed() const;
+
+  // Re-arms the fault injector: allows `remaining` more bytes to persist
+  // before the next simulated power failure. Useful for crashing *during
+  // recovery* (the budget is otherwise cleared by Recover()).
+  void SetPersistBudget(uint64_t remaining);
+
+  // Total bytes persisted so far (counts against persist_budget).
+  uint64_t bytes_persisted() const;
+
+  // Number of fsync calls observed (for write-amplification assertions).
+  uint64_t sync_count() const;
+
+ private:
+  std::shared_ptr<internal::CrashSimState> state_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_OS_CRASH_SIM_H_

@@ -1,0 +1,100 @@
+#include "src/os/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rvm {
+namespace {
+
+class MemFile final : public File {
+ public:
+  explicit MemFile(std::shared_ptr<internal::MemFileData> data)
+      : data_(std::move(data)) {}
+
+  StatusOr<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    const auto& bytes = data_->bytes;
+    if (offset >= bytes.size()) {
+      return static_cast<size_t>(0);
+    }
+    size_t n = std::min<uint64_t>(out.size(), bytes.size() - offset);
+    std::memcpy(out.data(), bytes.data() + offset, n);
+    return n;
+  }
+
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    auto& bytes = data_->bytes;
+    if (offset + data.size() > bytes.size()) {
+      bytes.resize(offset + data.size());
+    }
+    std::memcpy(bytes.data() + offset, data.data(), data.size());
+    return OkStatus();
+  }
+
+  Status Sync() override { return OkStatus(); }
+
+  StatusOr<uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return static_cast<uint64_t>(data_->bytes.size());
+  }
+
+  Status Resize(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->bytes.resize(size);
+    return OkStatus();
+  }
+
+ private:
+  std::shared_ptr<internal::MemFileData> data_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<File>> MemEnv::Open(const std::string& path,
+                                             OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (mode == OpenMode::kReadOnly || mode == OpenMode::kReadWrite) {
+      return NotFound("mem file does not exist: " + path);
+    }
+    it = files_.emplace(path, std::make_shared<internal::MemFileData>()).first;
+  } else if (mode == OpenMode::kTruncate) {
+    std::lock_guard<std::mutex> flock(it->second->mu);
+    it->second->bytes.clear();
+  }
+  return std::unique_ptr<File>(new MemFile(it->second));
+}
+
+Status MemEnv::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return NotFound("mem file does not exist: " + path);
+  }
+  return OkStatus();
+}
+
+bool MemEnv::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.contains(path);
+}
+
+uint64_t MemEnv::NowMicros() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A fake clock that always moves forward keeps timestamp-dependent code
+  // deterministic in tests.
+  return ++fake_time_micros_;
+}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (auto& [path, data] : files_) {
+    std::lock_guard<std::mutex> flock(data->mu);
+    total += data->bytes.size();
+  }
+  return total;
+}
+
+}  // namespace rvm

@@ -1,0 +1,43 @@
+// In-memory Env for fast, hermetic unit tests. Files persist across
+// open/close within one MemEnv instance, so tests can model process restarts
+// by dropping File handles and reopening paths.
+#ifndef RVM_OS_MEM_ENV_H_
+#define RVM_OS_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/os/file.h"
+
+namespace rvm {
+
+namespace internal {
+struct MemFileData {
+  std::mutex mu;
+  std::vector<uint8_t> bytes;
+};
+}  // namespace internal
+
+class MemEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  uint64_t NowMicros() override;
+
+  // Total bytes across all files (test introspection).
+  uint64_t TotalBytes();
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<internal::MemFileData>> files_;
+  uint64_t fake_time_micros_ = 0;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_OS_MEM_ENV_H_

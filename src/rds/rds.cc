@@ -1,0 +1,461 @@
+#include "src/rds/rds.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace rvm {
+namespace {
+
+// On-heap structures. The heap only ever lives in little-endian 64-bit
+// mapped memory in this codebase, so direct struct overlay is safe; every
+// field is a uint64_t to avoid padding surprises.
+constexpr uint64_t kRdsMagic = 0x5244534845415031ull;  // "RDSHEAP1"
+constexpr uint64_t kRdsVersion = 1;
+constexpr size_t kNumClasses = 64;
+
+struct RdsHeader {
+  uint64_t magic;
+  uint64_t version;
+  uint64_t region_length;
+  uint64_t root_offset;  // 0 = unset
+  uint64_t allocated_bytes;
+  uint64_t free_bytes;
+  uint64_t allocated_blocks;
+  uint64_t free_blocks;
+  uint64_t free_list[kNumClasses];  // offset of first free block, 0 = empty
+};
+
+constexpr uint64_t kFreeFlag = 1;
+constexpr uint64_t kSizeMask = ~uint64_t{15};
+constexpr uint64_t kAllocMagic = 0x414C4C4F43424C4Bull;  // "ALLOCBLK"
+
+struct BlockHeader {
+  uint64_t size_flags;  // total block size (multiple of 16) | kFreeFlag
+  uint64_t next_free;   // offsets, meaningful only when free
+  uint64_t prev_free;
+  uint64_t canary;      // kAllocMagic when allocated (catches bad Free)
+};
+
+constexpr uint64_t kHeaderSize = sizeof(BlockHeader);  // 32
+constexpr uint64_t kFooterSize = 8;
+constexpr uint64_t kOverhead = kHeaderSize + kFooterSize;
+constexpr uint64_t kMinBlock = 64;
+constexpr uint64_t kHeapStart = (sizeof(RdsHeader) + 15) & ~uint64_t{15};
+
+uint64_t SizeClass(uint64_t block_size) {
+  return 63 - static_cast<uint64_t>(std::countl_zero(block_size));
+}
+
+uint64_t RoundBlock(uint64_t payload) {
+  uint64_t total = payload + kOverhead;
+  total = (total + 15) & ~uint64_t{15};
+  return total < kMinBlock ? kMinBlock : total;
+}
+
+}  // namespace
+
+// Accessor helpers bound to one heap instance. Reads are plain memory;
+// writes go through Modify so they are covered by the transaction.
+namespace {
+
+struct HeapView {
+  RvmInstance* rvm;
+  uint8_t* base;
+  uint64_t length;
+
+  RdsHeader* header() const { return reinterpret_cast<RdsHeader*>(base); }
+  BlockHeader* block(uint64_t offset) const {
+    return reinterpret_cast<BlockHeader*>(base + offset);
+  }
+  uint64_t block_size(uint64_t offset) const {
+    return block(offset)->size_flags & kSizeMask;
+  }
+  bool block_free(uint64_t offset) const {
+    return (block(offset)->size_flags & kFreeFlag) != 0;
+  }
+  uint64_t* footer(uint64_t offset) const {
+    return reinterpret_cast<uint64_t*>(base + offset + block_size(offset) -
+                                       kFooterSize);
+  }
+
+  Status Store(TransactionId tid, void* dest, uint64_t value) const {
+    return rvm->Modify(tid, dest, &value, sizeof(value));
+  }
+
+  Status SetBlockSizeFlags(TransactionId tid, uint64_t offset, uint64_t size,
+                           bool free) const {
+    uint64_t value = size | (free ? kFreeFlag : 0);
+    RVM_RETURN_IF_ERROR(Store(tid, &block(offset)->size_flags, value));
+    return Store(tid, base + offset + size - kFooterSize, value);
+  }
+
+  // Unlinks a free block from its size-class list.
+  Status Unlink(TransactionId tid, uint64_t offset) const {
+    BlockHeader* header_ptr = block(offset);
+    uint64_t cls = SizeClass(block_size(offset));
+    if (header_ptr->prev_free != 0) {
+      RVM_RETURN_IF_ERROR(
+          Store(tid, &block(header_ptr->prev_free)->next_free, header_ptr->next_free));
+    } else {
+      RVM_RETURN_IF_ERROR(
+          Store(tid, &header()->free_list[cls], header_ptr->next_free));
+    }
+    if (header_ptr->next_free != 0) {
+      RVM_RETURN_IF_ERROR(
+          Store(tid, &block(header_ptr->next_free)->prev_free, header_ptr->prev_free));
+    }
+    return OkStatus();
+  }
+
+  // Pushes a free block onto the head of its size-class list.
+  Status Link(TransactionId tid, uint64_t offset) const {
+    uint64_t cls = SizeClass(block_size(offset));
+    uint64_t old_head = header()->free_list[cls];
+    RVM_RETURN_IF_ERROR(Store(tid, &block(offset)->next_free, old_head));
+    RVM_RETURN_IF_ERROR(Store(tid, &block(offset)->prev_free, 0));
+    if (old_head != 0) {
+      RVM_RETURN_IF_ERROR(Store(tid, &block(old_head)->prev_free, offset));
+    }
+    return Store(tid, &header()->free_list[cls], offset);
+  }
+};
+
+}  // namespace
+
+StatusOr<RdsHeap> RdsHeap::Format(RvmInstance& rvm, void* base,
+                                  uint64_t length, TransactionId tid) {
+  if (base == nullptr || length < kHeapStart + kMinBlock) {
+    return InvalidArgument("region too small for an RDS heap");
+  }
+  HeapView view{&rvm, static_cast<uint8_t*>(base), length};
+  // Zero and initialize the header transactionally.
+  RVM_RETURN_IF_ERROR(rvm.SetRange(tid, base, kHeapStart));
+  std::memset(base, 0, kHeapStart);
+  RdsHeader* header = view.header();
+  header->magic = kRdsMagic;
+  header->version = kRdsVersion;
+  header->region_length = length;
+
+  // One giant free block covering the rest of the region, truncated to a
+  // 16-byte multiple.
+  uint64_t heap_bytes = (length - kHeapStart) & ~uint64_t{15};
+  uint64_t first = kHeapStart;
+  RVM_RETURN_IF_ERROR(rvm.SetRange(tid, view.base + first, kHeaderSize));
+  RVM_RETURN_IF_ERROR(
+      rvm.SetRange(tid, view.base + first + heap_bytes - kFooterSize, kFooterSize));
+  BlockHeader* first_block = view.block(first);
+  first_block->size_flags = heap_bytes | kFreeFlag;
+  first_block->next_free = 0;
+  first_block->prev_free = 0;
+  first_block->canary = 0;
+  *view.footer(first) = heap_bytes | kFreeFlag;
+  header->free_list[SizeClass(heap_bytes)] = first;
+  header->free_bytes = heap_bytes - kOverhead;
+  header->free_blocks = 1;
+  return RdsHeap(rvm, static_cast<uint8_t*>(base), length);
+}
+
+StatusOr<RdsHeap> RdsHeap::Attach(RvmInstance& rvm, void* base,
+                                  uint64_t length) {
+  if (base == nullptr || length < kHeapStart + kMinBlock) {
+    return InvalidArgument("region too small for an RDS heap");
+  }
+  const auto* header = static_cast<const RdsHeader*>(base);
+  if (header->magic != kRdsMagic) {
+    return Corruption("RDS magic mismatch: region not a formatted heap");
+  }
+  if (header->version != kRdsVersion) {
+    return Corruption("RDS version unsupported");
+  }
+  if (header->region_length != length) {
+    return InvalidArgument("RDS heap formatted with a different length");
+  }
+  return RdsHeap(rvm, static_cast<uint8_t*>(base), length);
+}
+
+StatusOr<void*> RdsHeap::Allocate(TransactionId tid, uint64_t size) {
+  if (size == 0) {
+    return InvalidArgument("zero-size allocation");
+  }
+  HeapView view{rvm_, base_, length_};
+  RdsHeader* header = view.header();
+  uint64_t need = RoundBlock(size);
+
+  // Search the exact class first (first-fit within it), then any larger
+  // class (head block is guaranteed big enough only when its class exceeds
+  // need's class, so still check).
+  uint64_t found = 0;
+  for (uint64_t cls = SizeClass(need); cls < kNumClasses && found == 0; ++cls) {
+    for (uint64_t cursor = header->free_list[cls]; cursor != 0;
+         cursor = view.block(cursor)->next_free) {
+      if (view.block_size(cursor) >= need) {
+        found = cursor;
+        break;
+      }
+    }
+  }
+  if (found == 0) {
+    return FailedPrecondition("RDS heap exhausted");
+  }
+
+  uint64_t total = view.block_size(found);
+  RVM_RETURN_IF_ERROR(view.Unlink(tid, found));
+
+  uint64_t remainder = total - need;
+  if (remainder >= kMinBlock) {
+    // Split: the tail becomes a new free block.
+    uint64_t tail = found + need;
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, base_ + tail, kHeaderSize));
+    view.block(tail)->canary = 0;
+    view.block(tail)->next_free = 0;
+    view.block(tail)->prev_free = 0;
+    RVM_RETURN_IF_ERROR(view.SetBlockSizeFlags(tid, tail, remainder, true));
+    RVM_RETURN_IF_ERROR(view.Link(tid, tail));
+  } else {
+    need = total;  // use the whole block
+  }
+
+  RVM_RETURN_IF_ERROR(view.SetBlockSizeFlags(tid, found, need, false));
+  RVM_RETURN_IF_ERROR(view.Store(tid, &view.block(found)->canary, kAllocMagic));
+
+  // Accounting. free_bytes tracks payload capacity: remove this block's
+  // payload plus the overhead consumed if we split off a remainder.
+  uint64_t payload = need - kOverhead;
+  RVM_RETURN_IF_ERROR(view.Store(tid, &header->allocated_bytes,
+                                 header->allocated_bytes + payload));
+  RVM_RETURN_IF_ERROR(view.Store(tid, &header->allocated_blocks,
+                                 header->allocated_blocks + 1));
+  uint64_t free_delta = (remainder >= kMinBlock) ? payload + kOverhead : payload;
+  RVM_RETURN_IF_ERROR(
+      view.Store(tid, &header->free_bytes, header->free_bytes - free_delta));
+  RVM_RETURN_IF_ERROR(view.Store(
+      tid, &header->free_blocks,
+      header->free_blocks - 1 + (remainder >= kMinBlock ? 1 : 0)));
+
+  uint8_t* payload_ptr = base_ + found + kHeaderSize;
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, payload_ptr, payload));
+  std::memset(payload_ptr, 0, payload);
+  return static_cast<void*>(payload_ptr);
+}
+
+Status RdsHeap::Free(TransactionId tid, void* ptr) {
+  HeapView view{rvm_, base_, length_};
+  RdsHeader* header = view.header();
+  auto addr = reinterpret_cast<uintptr_t>(ptr);
+  auto base_addr = reinterpret_cast<uintptr_t>(base_);
+  if (addr < base_addr + kHeapStart + kHeaderSize || addr >= base_addr + length_) {
+    return InvalidArgument("pointer not from this heap");
+  }
+  uint64_t offset = addr - base_addr - kHeaderSize;
+  BlockHeader* block = view.block(offset);
+  if ((offset & 15) != 0 || block->canary != kAllocMagic ||
+      view.block_free(offset)) {
+    return InvalidArgument("pointer is not an allocated RDS block");
+  }
+
+  uint64_t size = view.block_size(offset);
+  uint64_t payload = size - kOverhead;
+  RVM_RETURN_IF_ERROR(view.Store(tid, &header->allocated_bytes,
+                                 header->allocated_bytes - payload));
+  RVM_RETURN_IF_ERROR(view.Store(tid, &header->allocated_blocks,
+                                 header->allocated_blocks - 1));
+  RVM_RETURN_IF_ERROR(view.Store(tid, &block->canary, 0));
+
+  uint64_t merged = offset;
+  uint64_t merged_size = size;
+  uint64_t merges = 0;
+
+  // Coalesce with the physically following block.
+  uint64_t next = offset + size;
+  uint64_t heap_end = kHeapStart + ((length_ - kHeapStart) & ~uint64_t{15});
+  if (next < heap_end && view.block_free(next)) {
+    RVM_RETURN_IF_ERROR(view.Unlink(tid, next));
+    merged_size += view.block_size(next);
+    ++merges;
+  }
+  // Coalesce with the physically preceding block (via its footer).
+  if (offset > kHeapStart) {
+    uint64_t prev_footer =
+        *reinterpret_cast<const uint64_t*>(base_ + offset - kFooterSize);
+    if ((prev_footer & kFreeFlag) != 0) {
+      uint64_t prev_size = prev_footer & kSizeMask;
+      uint64_t prev = offset - prev_size;
+      RVM_RETURN_IF_ERROR(view.Unlink(tid, prev));
+      merged = prev;
+      merged_size += prev_size;
+      ++merges;
+    }
+  }
+
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, view.block(merged), kHeaderSize));
+  view.block(merged)->next_free = 0;
+  view.block(merged)->prev_free = 0;
+  view.block(merged)->canary = 0;
+  RVM_RETURN_IF_ERROR(view.SetBlockSizeFlags(tid, merged, merged_size, true));
+  RVM_RETURN_IF_ERROR(view.Link(tid, merged));
+
+  // Freed payload plus the header/footer overhead reclaimed per coalesce.
+  uint64_t reclaimed = payload + merges * kOverhead;
+  RVM_RETURN_IF_ERROR(
+      view.Store(tid, &header->free_bytes, header->free_bytes + reclaimed));
+  RVM_RETURN_IF_ERROR(
+      view.Store(tid, &header->free_blocks, header->free_blocks + 1 - merges));
+  return OkStatus();
+}
+
+StatusOr<void*> RdsHeap::Reallocate(TransactionId tid, void* ptr,
+                                    uint64_t new_size) {
+  RVM_ASSIGN_OR_RETURN(uint64_t old_size, AllocationSize(ptr));
+  if (new_size == 0) {
+    return InvalidArgument("zero-size reallocation");
+  }
+  // Shrink-in-place when the rounded block would not change.
+  if (RoundBlock(new_size) == RoundBlock(old_size)) {
+    return ptr;
+  }
+  RVM_ASSIGN_OR_RETURN(void* fresh, Allocate(tid, new_size));
+  uint64_t copy = std::min(old_size, new_size);
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, fresh, copy));
+  std::memcpy(fresh, ptr, copy);
+  RVM_RETURN_IF_ERROR(Free(tid, ptr));
+  return fresh;
+}
+
+Status RdsHeap::SetRoot(TransactionId tid, const void* root_ptr) {
+  HeapView view{rvm_, base_, length_};
+  uint64_t offset = 0;
+  if (root_ptr != nullptr) {
+    auto addr = reinterpret_cast<uintptr_t>(root_ptr);
+    auto base_addr = reinterpret_cast<uintptr_t>(base_);
+    if (addr < base_addr || addr >= base_addr + length_) {
+      return InvalidArgument("root pointer not inside the heap region");
+    }
+    offset = addr - base_addr;
+  }
+  return view.Store(tid, &view.header()->root_offset, offset);
+}
+
+void* RdsHeap::GetRoot() const {
+  const auto* header = reinterpret_cast<const RdsHeader*>(base_);
+  return header->root_offset == 0 ? nullptr : base_ + header->root_offset;
+}
+
+StatusOr<uint64_t> RdsHeap::AllocationSize(const void* ptr) const {
+  HeapView view{rvm_, const_cast<uint8_t*>(base_), length_};
+  auto addr = reinterpret_cast<uintptr_t>(ptr);
+  auto base_addr = reinterpret_cast<uintptr_t>(base_);
+  if (addr < base_addr + kHeapStart + kHeaderSize || addr >= base_addr + length_) {
+    return InvalidArgument("pointer not from this heap");
+  }
+  uint64_t offset = addr - base_addr - kHeaderSize;
+  if (view.block(offset)->canary != kAllocMagic) {
+    return InvalidArgument("pointer is not an allocated RDS block");
+  }
+  return view.block_size(offset) - kOverhead;
+}
+
+RdsHeap::HeapStats RdsHeap::Stats() const {
+  const auto* header = reinterpret_cast<const RdsHeader*>(base_);
+  HeapStats stats;
+  stats.region_length = length_;
+  stats.allocated_bytes = header->allocated_bytes;
+  stats.free_bytes = header->free_bytes;
+  stats.allocated_blocks = header->allocated_blocks;
+  stats.free_blocks = header->free_blocks;
+  return stats;
+}
+
+Status RdsHeap::Validate() const {
+  HeapView view{rvm_, const_cast<uint8_t*>(base_), length_};
+  const RdsHeader* header = view.header();
+  if (header->magic != kRdsMagic) {
+    return Corruption("bad heap magic");
+  }
+  uint64_t heap_end = kHeapStart + ((length_ - kHeapStart) & ~uint64_t{15});
+
+  // Physical walk: blocks must tile [kHeapStart, heap_end) exactly.
+  uint64_t offset = kHeapStart;
+  uint64_t free_bytes = 0;
+  uint64_t allocated_bytes = 0;
+  uint64_t free_blocks = 0;
+  uint64_t allocated_blocks = 0;
+  bool prev_free = false;
+  std::map<uint64_t, bool> free_offsets;  // offset -> seen in a list
+  while (offset < heap_end) {
+    uint64_t size = view.block_size(offset);
+    if (size < kMinBlock || (size & 15) != 0 || offset + size > heap_end) {
+      return Corruption("block size invalid at offset " + std::to_string(offset));
+    }
+    if (*view.footer(offset) != view.block(offset)->size_flags) {
+      return Corruption("footer mismatch at offset " + std::to_string(offset));
+    }
+    bool is_free = view.block_free(offset);
+    if (is_free && prev_free) {
+      return Corruption("adjacent free blocks not coalesced at " +
+                        std::to_string(offset));
+    }
+    if (is_free) {
+      free_bytes += size - kOverhead;
+      ++free_blocks;
+      free_offsets[offset] = false;
+    } else {
+      if (view.block(offset)->canary != kAllocMagic) {
+        return Corruption("allocated block missing canary at " +
+                          std::to_string(offset));
+      }
+      allocated_bytes += size - kOverhead;
+      ++allocated_blocks;
+    }
+    prev_free = is_free;
+    offset += size;
+  }
+  if (offset != heap_end) {
+    return Corruption("blocks do not tile the heap exactly");
+  }
+
+  // Free-list walk: every listed block is free, in the right class, linked
+  // consistently; every free block appears in exactly one list.
+  for (uint64_t cls = 0; cls < kNumClasses; ++cls) {
+    uint64_t prev = 0;
+    for (uint64_t cursor = header->free_list[cls]; cursor != 0;
+         cursor = view.block(cursor)->next_free) {
+      auto it = free_offsets.find(cursor);
+      if (it == free_offsets.end()) {
+        return Corruption("free list references non-free block");
+      }
+      if (it->second) {
+        return Corruption("block linked into multiple free lists");
+      }
+      it->second = true;
+      if (SizeClass(view.block_size(cursor)) != cls) {
+        return Corruption("block in wrong size class");
+      }
+      if (view.block(cursor)->prev_free != prev) {
+        return Corruption("free list prev link broken");
+      }
+      prev = cursor;
+    }
+  }
+  for (const auto& [free_offset, seen] : free_offsets) {
+    if (!seen) {
+      return Corruption("free block missing from its size-class list");
+    }
+  }
+
+  if (free_bytes != header->free_bytes ||
+      allocated_bytes != header->allocated_bytes ||
+      free_blocks != header->free_blocks ||
+      allocated_blocks != header->allocated_blocks) {
+    return Corruption("heap accounting does not match physical walk");
+  }
+  if (header->root_offset != 0 &&
+      (header->root_offset < kHeapStart || header->root_offset >= heap_end)) {
+    return Corruption("root offset out of range");
+  }
+  return OkStatus();
+}
+
+}  // namespace rvm

@@ -1,0 +1,99 @@
+// RDS: recoverable dynamic storage — a transactional heap allocator layered
+// on RVM.
+//
+// §4.1 of the paper: "A recoverable memory allocator, also layered on RVM,
+// supports heap management of storage within a segment." This is that
+// package. All allocator metadata lives inside the mapped region itself and
+// every mutation is covered by set_range under a caller-supplied transaction,
+// so allocations and frees are atomic with the application data changes they
+// accompany: crash anywhere and recovery restores a heap in which the
+// allocation either fully happened or never did.
+//
+// The design is a classic boundary-tag segregated-fit allocator. All links
+// are *offsets relative to the region base*, never raw pointers, so a heap
+// works no matter where its region is mapped (the segment loader can still
+// pin a base address for application-level absolute pointers).
+//
+// Layout within the region:
+//   [ RdsHeader | block | block | ... ]
+// Each block: 32-byte header (size, flags, free-list links), payload,
+// 8-byte footer (size | free bit) enabling O(1) coalescing with the
+// physically preceding block.
+#ifndef RVM_RDS_RDS_H_
+#define RVM_RDS_RDS_H_
+
+#include <cstdint>
+
+#include "src/rvm/rvm.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+class RdsHeap {
+ public:
+  struct HeapStats {
+    uint64_t region_length = 0;
+    uint64_t allocated_bytes = 0;  // payload bytes handed out
+    uint64_t free_bytes = 0;       // payload capacity available
+    uint64_t allocated_blocks = 0;
+    uint64_t free_blocks = 0;
+  };
+
+  // Formats a fresh heap across [base, base+length) of a mapped region,
+  // inside transaction `tid`. length must cover at least one minimal block.
+  static StatusOr<RdsHeap> Format(RvmInstance& rvm, void* base,
+                                  uint64_t length, TransactionId tid);
+
+  // Attaches to a previously formatted heap (after mapping its region).
+  // Validates the header.
+  static StatusOr<RdsHeap> Attach(RvmInstance& rvm, void* base,
+                                  uint64_t length);
+
+  // Allocates `size` payload bytes inside `tid`. The returned memory is
+  // 16-byte aligned and zeroed. Fails with kLogFull/kOutOfRange per RVM, or
+  // kFailedPrecondition when the heap has no fitting block.
+  StatusOr<void*> Allocate(TransactionId tid, uint64_t size);
+
+  template <typename T>
+  StatusOr<T*> AllocateObject(TransactionId tid) {
+    RVM_ASSIGN_OR_RETURN(void* memory, Allocate(tid, sizeof(T)));
+    return static_cast<T*>(memory);
+  }
+
+  // Returns `ptr` (from Allocate) to the heap inside `tid`, coalescing with
+  // free neighbors.
+  Status Free(TransactionId tid, void* ptr);
+
+  // Grows or shrinks an allocation inside `tid`: allocate-copy-free, all
+  // covered by the transaction (a crash mid-realloc leaves the original).
+  // Returns the new pointer; the old pointer is invalid after success.
+  StatusOr<void*> Reallocate(TransactionId tid, void* ptr, uint64_t new_size);
+
+  // The heap's root object offset: the application's entry point into its
+  // persistent data structures (set inside a transaction).
+  Status SetRoot(TransactionId tid, const void* root_ptr);
+  // Returns nullptr if no root has been set.
+  void* GetRoot() const;
+
+  // Payload size of an allocated block.
+  StatusOr<uint64_t> AllocationSize(const void* ptr) const;
+
+  HeapStats Stats() const;
+
+  // Full structural audit: block chain covers the region exactly, footers
+  // match headers, free lists are consistent, no two adjacent free blocks,
+  // byte accounting matches. Used heavily by crash tests.
+  Status Validate() const;
+
+ private:
+  RdsHeap(RvmInstance& rvm, uint8_t* base, uint64_t length)
+      : rvm_(&rvm), base_(base), length_(length) {}
+
+  RvmInstance* rvm_;
+  uint8_t* base_;
+  uint64_t length_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RDS_RDS_H_

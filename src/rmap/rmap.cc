@@ -1,0 +1,550 @@
+#include "src/rmap/rmap.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rvm {
+namespace {
+
+// Classic B-tree of minimum degree t: every node except the root holds
+// between t-1 and 2t-1 keys. t = 4 keeps nodes small enough that tests
+// exercise splits, borrows, and merges with modest data.
+constexpr uint32_t kMinDegree = 4;
+constexpr uint32_t kMaxKeys = 2 * kMinDegree - 1;  // 7
+constexpr uint32_t kMinKeys = kMinDegree - 1;      // 3
+
+constexpr uint64_t kMapMagic = 0x524D415031ull;  // "RMAP1"
+
+}  // namespace
+
+struct RecoverableMap::Header {
+  uint64_t magic;
+  uint64_t value_size;
+  uint64_t root;  // header-relative node delta, 0 = empty map
+  uint64_t size;  // number of keys
+};
+
+// All links are deltas relative to the header address, stored as two's-
+// complement in uint64. Every allocation lives in the same mapped region, so
+// deltas survive remapping at a different base; 0 is the header itself and
+// therefore an unambiguous null.
+struct RecoverableMap::Node {
+  uint64_t is_leaf;
+  uint64_t count;
+  uint64_t keys[kMaxKeys];
+  uint64_t values[kMaxKeys];        // deltas of value blobs
+  uint64_t children[kMaxKeys + 1];  // deltas of child nodes (internal only)
+};
+
+RecoverableMap::Header* RecoverableMap::Hdr() const {
+  return static_cast<Header*>(header_);
+}
+
+RecoverableMap::Node* RecoverableMap::At(uint64_t delta) const {
+  if (delta == 0) {
+    return nullptr;
+  }
+  return reinterpret_cast<Node*>(static_cast<uint8_t*>(header_) +
+                                 static_cast<int64_t>(delta));
+}
+
+uint64_t RecoverableMap::OffsetOf(const void* ptr) const {
+  return static_cast<uint64_t>(static_cast<const uint8_t*>(ptr) -
+                               static_cast<const uint8_t*>(header_));
+}
+
+StatusOr<RecoverableMap> RecoverableMap::Create(RvmInstance& rvm, RdsHeap& heap,
+                                                TransactionId tid,
+                                                uint64_t value_size) {
+  if (value_size == 0 || value_size > (1u << 20)) {
+    return InvalidArgument("value_size must be in (0, 1 MB]");
+  }
+  RVM_ASSIGN_OR_RETURN(void* memory, heap.Allocate(tid, sizeof(Header)));
+  auto* header = static_cast<Header*>(memory);
+  RVM_RETURN_IF_ERROR(rvm.SetRange(tid, header, sizeof(Header)));
+  header->magic = kMapMagic;
+  header->value_size = value_size;
+  header->root = 0;
+  header->size = 0;
+  return RecoverableMap(rvm, heap, memory);
+}
+
+StatusOr<RecoverableMap> RecoverableMap::Attach(RvmInstance& rvm, RdsHeap& heap,
+                                                void* header) {
+  if (header == nullptr || static_cast<Header*>(header)->magic != kMapMagic) {
+    return Corruption("not a RecoverableMap header");
+  }
+  return RecoverableMap(rvm, heap, header);
+}
+
+uint64_t RecoverableMap::size() const { return Hdr()->size; }
+uint64_t RecoverableMap::value_size() const { return Hdr()->value_size; }
+
+StatusOr<uint64_t> RecoverableMap::AllocateNode(TransactionId tid, bool leaf) {
+  RVM_ASSIGN_OR_RETURN(void* memory, heap_->Allocate(tid, sizeof(Node)));
+  auto* node = static_cast<Node*>(memory);
+  // Allocate() zeroed and covered the block already; just set the flag.
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, node, sizeof(Node)));
+  node->is_leaf = leaf ? 1 : 0;
+  node->count = 0;
+  return OffsetOf(node);
+}
+
+Status RecoverableMap::FreeNode(TransactionId tid, uint64_t delta) {
+  return heap_->Free(tid, At(delta));
+}
+
+// --- lookup -------------------------------------------------------------------
+
+StatusOr<std::span<const uint8_t>> RecoverableMap::Get(uint64_t key) const {
+  const Node* node = At(Hdr()->root);
+  while (node != nullptr) {
+    uint32_t i = 0;
+    while (i < node->count && node->keys[i] < key) {
+      ++i;
+    }
+    if (i < node->count && node->keys[i] == key) {
+      const auto* value = reinterpret_cast<const uint8_t*>(At(node->values[i]));
+      return std::span<const uint8_t>(value, Hdr()->value_size);
+    }
+    node = node->is_leaf ? nullptr : At(node->children[i]);
+  }
+  return NotFound("key not in map");
+}
+
+std::optional<uint64_t> RecoverableMap::LowerBound(uint64_t key) const {
+  std::optional<uint64_t> best;
+  const Node* node = At(Hdr()->root);
+  while (node != nullptr) {
+    uint32_t i = 0;
+    while (i < node->count && node->keys[i] < key) {
+      ++i;
+    }
+    if (i < node->count) {
+      best = node->keys[i];  // candidate; a smaller one may hide below
+      if (node->keys[i] == key) {
+        return best;
+      }
+    }
+    node = node->is_leaf ? nullptr : At(node->children[i]);
+  }
+  return best;
+}
+
+Status RecoverableMap::ForEach(
+    const std::function<Status(uint64_t, std::span<const uint8_t>)>& fn) const {
+  // Explicit stack in-order walk.
+  struct Frame {
+    const Node* node;
+    uint32_t position;  // next key index to emit
+  };
+  std::vector<Frame> stack;
+  const Node* node = At(Hdr()->root);
+  while (node != nullptr && node->is_leaf == 0) {
+    stack.push_back({node, 0});
+    node = At(node->children[0]);
+  }
+  if (node != nullptr) {
+    stack.push_back({node, 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.position >= frame.node->count) {
+      stack.pop_back();
+      continue;
+    }
+    uint32_t i = frame.position++;
+    const auto* value =
+        reinterpret_cast<const uint8_t*>(At(frame.node->values[i]));
+    RVM_RETURN_IF_ERROR(
+        fn(frame.node->keys[i], std::span<const uint8_t>(value, Hdr()->value_size)));
+    if (frame.node->is_leaf == 0) {
+      // Descend into the child right of key i.
+      const Node* child = At(frame.node->children[i + 1]);
+      while (child != nullptr) {
+        stack.push_back({child, 0});
+        if (child->is_leaf != 0) {
+          break;
+        }
+        child = At(child->children[0]);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+// --- insertion -----------------------------------------------------------------
+
+Status RecoverableMap::SplitChild(TransactionId tid, Node* parent,
+                                  uint32_t index) {
+  Node* full = At(parent->children[index]);
+  RVM_ASSIGN_OR_RETURN(uint64_t fresh_delta,
+                       AllocateNode(tid, full->is_leaf != 0));
+  Node* fresh = At(fresh_delta);
+
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, parent, sizeof(Node)));
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, full, sizeof(Node)));
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, fresh, sizeof(Node)));
+
+  // Upper t-1 keys move to the fresh right sibling.
+  fresh->count = kMinDegree - 1;
+  for (uint32_t i = 0; i < kMinDegree - 1; ++i) {
+    fresh->keys[i] = full->keys[i + kMinDegree];
+    fresh->values[i] = full->values[i + kMinDegree];
+  }
+  if (full->is_leaf == 0) {
+    for (uint32_t i = 0; i < kMinDegree; ++i) {
+      fresh->children[i] = full->children[i + kMinDegree];
+    }
+  }
+  full->count = kMinDegree - 1;
+
+  // Median rises into the parent.
+  for (uint32_t i = parent->count; i > index; --i) {
+    parent->keys[i] = parent->keys[i - 1];
+    parent->values[i] = parent->values[i - 1];
+    parent->children[i + 1] = parent->children[i];
+  }
+  parent->keys[index] = full->keys[kMinDegree - 1];
+  parent->values[index] = full->values[kMinDegree - 1];
+  parent->children[index + 1] = fresh_delta;
+  parent->count += 1;
+  return OkStatus();
+}
+
+Status RecoverableMap::InsertNonFull(TransactionId tid, uint64_t node_delta,
+                                     uint64_t key,
+                                     std::span<const uint8_t> value,
+                                     bool* inserted) {
+  Node* node = At(node_delta);
+  uint32_t i = 0;
+  while (i < node->count && node->keys[i] < key) {
+    ++i;
+  }
+  if (i < node->count && node->keys[i] == key) {
+    // Update in place.
+    auto* dest = reinterpret_cast<uint8_t*>(At(node->values[i]));
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, dest, value.size()));
+    std::memcpy(dest, value.data(), value.size());
+    *inserted = false;
+    return OkStatus();
+  }
+  if (node->is_leaf != 0) {
+    RVM_ASSIGN_OR_RETURN(void* blob, heap_->Allocate(tid, Hdr()->value_size));
+    std::memcpy(blob, value.data(), value.size());  // covered by Allocate
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, node, sizeof(Node)));
+    for (uint32_t j = node->count; j > i; --j) {
+      node->keys[j] = node->keys[j - 1];
+      node->values[j] = node->values[j - 1];
+    }
+    node->keys[i] = key;
+    node->values[i] = OffsetOf(blob);
+    node->count += 1;
+    *inserted = true;
+    return OkStatus();
+  }
+  // Preemptive split keeps the descent single-pass.
+  if (At(node->children[i])->count == kMaxKeys) {
+    RVM_RETURN_IF_ERROR(SplitChild(tid, node, i));
+    if (key == node->keys[i]) {
+      auto* dest = reinterpret_cast<uint8_t*>(At(node->values[i]));
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, dest, value.size()));
+      std::memcpy(dest, value.data(), value.size());
+      *inserted = false;
+      return OkStatus();
+    }
+    if (key > node->keys[i]) {
+      ++i;
+    }
+  }
+  return InsertNonFull(tid, node->children[i], key, value, inserted);
+}
+
+Status RecoverableMap::Put(TransactionId tid, uint64_t key,
+                           std::span<const uint8_t> value) {
+  Header* header = Hdr();
+  if (value.size() != header->value_size) {
+    return InvalidArgument("value has wrong size for this map");
+  }
+  if (header->root == 0) {
+    RVM_ASSIGN_OR_RETURN(uint64_t root, AllocateNode(tid, /*leaf=*/true));
+    RVM_RETURN_IF_ERROR(rvm_->Modify(tid, &header->root, &root, 8));
+  } else if (At(header->root)->count == kMaxKeys) {
+    RVM_ASSIGN_OR_RETURN(uint64_t new_root_delta,
+                         AllocateNode(tid, /*leaf=*/false));
+    Node* new_root = At(new_root_delta);
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, new_root, sizeof(Node)));
+    new_root->children[0] = header->root;
+    RVM_RETURN_IF_ERROR(SplitChild(tid, new_root, 0));
+    RVM_RETURN_IF_ERROR(rvm_->Modify(tid, &header->root, &new_root_delta, 8));
+  }
+  bool inserted = false;
+  RVM_RETURN_IF_ERROR(InsertNonFull(tid, header->root, key, value, &inserted));
+  if (inserted) {
+    uint64_t new_size = header->size + 1;
+    RVM_RETURN_IF_ERROR(rvm_->Modify(tid, &header->size, &new_size, 8));
+  }
+  return OkStatus();
+}
+
+// --- deletion -------------------------------------------------------------------
+
+// Ensures parent->children[index] has at least kMinDegree keys by borrowing
+// from a sibling or merging with one. May shrink parent->count.
+Status RecoverableMap::FixChildUnderflow(TransactionId tid, Node* parent,
+                                         uint32_t index) {
+  Node* child = At(parent->children[index]);
+  Node* left = index > 0 ? At(parent->children[index - 1]) : nullptr;
+  Node* right = index < parent->count ? At(parent->children[index + 1]) : nullptr;
+
+  if (left != nullptr && left->count >= kMinDegree) {
+    // Rotate right: parent separator moves down, left's last key moves up.
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, parent, sizeof(Node)));
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, child, sizeof(Node)));
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, left, sizeof(Node)));
+    for (uint32_t j = child->count; j > 0; --j) {
+      child->keys[j] = child->keys[j - 1];
+      child->values[j] = child->values[j - 1];
+    }
+    if (child->is_leaf == 0) {
+      for (uint32_t j = child->count + 1; j > 0; --j) {
+        child->children[j] = child->children[j - 1];
+      }
+      child->children[0] = left->children[left->count];
+    }
+    child->keys[0] = parent->keys[index - 1];
+    child->values[0] = parent->values[index - 1];
+    child->count += 1;
+    parent->keys[index - 1] = left->keys[left->count - 1];
+    parent->values[index - 1] = left->values[left->count - 1];
+    left->count -= 1;
+    return OkStatus();
+  }
+  if (right != nullptr && right->count >= kMinDegree) {
+    // Rotate left: parent separator moves down, right's first key moves up.
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, parent, sizeof(Node)));
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, child, sizeof(Node)));
+    RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, right, sizeof(Node)));
+    child->keys[child->count] = parent->keys[index];
+    child->values[child->count] = parent->values[index];
+    if (child->is_leaf == 0) {
+      child->children[child->count + 1] = right->children[0];
+    }
+    child->count += 1;
+    parent->keys[index] = right->keys[0];
+    parent->values[index] = right->values[0];
+    for (uint32_t j = 0; j + 1 < right->count; ++j) {
+      right->keys[j] = right->keys[j + 1];
+      right->values[j] = right->values[j + 1];
+    }
+    if (right->is_leaf == 0) {
+      for (uint32_t j = 0; j < right->count; ++j) {
+        right->children[j] = right->children[j + 1];
+      }
+    }
+    right->count -= 1;
+    return OkStatus();
+  }
+
+  // Merge with a sibling (both have exactly kMinKeys): the separator comes
+  // down between them.
+  return MergeChildren(tid, parent, left != nullptr ? index - 1 : index);
+}
+
+Status RecoverableMap::MergeChildren(TransactionId tid, Node* parent,
+                                     uint32_t sep) {
+  Node* into = At(parent->children[sep]);
+  Node* from = At(parent->children[sep + 1]);
+  uint64_t from_delta = parent->children[sep + 1];
+
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, parent, sizeof(Node)));
+  RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, into, sizeof(Node)));
+  into->keys[into->count] = parent->keys[sep];
+  into->values[into->count] = parent->values[sep];
+  for (uint32_t j = 0; j < from->count; ++j) {
+    into->keys[into->count + 1 + j] = from->keys[j];
+    into->values[into->count + 1 + j] = from->values[j];
+  }
+  if (into->is_leaf == 0) {
+    for (uint32_t j = 0; j <= from->count; ++j) {
+      into->children[into->count + 1 + j] = from->children[j];
+    }
+  }
+  into->count += 1 + from->count;
+  for (uint32_t j = sep; j + 1 < parent->count; ++j) {
+    parent->keys[j] = parent->keys[j + 1];
+    parent->values[j] = parent->values[j + 1];
+    parent->children[j + 1] = parent->children[j + 2];
+  }
+  parent->count -= 1;
+  return FreeNode(tid, from_delta);
+}
+
+Status RecoverableMap::EraseFrom(TransactionId tid, uint64_t node_delta,
+                                 uint64_t key) {
+  Node* node = At(node_delta);
+  uint32_t i = 0;
+  while (i < node->count && node->keys[i] < key) {
+    ++i;
+  }
+
+  if (i < node->count && node->keys[i] == key) {
+    if (node->is_leaf != 0) {
+      // Case 1: delete directly from the leaf.
+      RVM_RETURN_IF_ERROR(heap_->Free(tid, At(node->values[i])));
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, node, sizeof(Node)));
+      for (uint32_t j = i; j + 1 < node->count; ++j) {
+        node->keys[j] = node->keys[j + 1];
+        node->values[j] = node->values[j + 1];
+      }
+      node->count -= 1;
+      return OkStatus();
+    }
+    // Case 2: internal node. Replace with predecessor or successor if a
+    // neighboring child is rich enough, else merge and recurse.
+    Node* before = At(node->children[i]);
+    Node* after = At(node->children[i + 1]);
+    if (before->count >= kMinDegree) {
+      // Swap with predecessor (rightmost key of the left subtree), then
+      // delete the predecessor. Value blobs swap so the recursive delete
+      // frees the blob of the key actually being removed.
+      Node* walk = before;
+      while (walk->is_leaf == 0) {
+        walk = At(walk->children[walk->count]);
+      }
+      uint64_t pred_key = walk->keys[walk->count - 1];
+      uint64_t pred_value = walk->values[walk->count - 1];
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, node, sizeof(Node)));
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, walk, sizeof(Node)));
+      walk->values[walk->count - 1] = node->values[i];
+      node->keys[i] = pred_key;
+      node->values[i] = pred_value;
+      return EraseFrom(tid, node->children[i], pred_key);
+    }
+    if (after->count >= kMinDegree) {
+      Node* walk = after;
+      while (walk->is_leaf == 0) {
+        walk = At(walk->children[0]);
+      }
+      uint64_t succ_key = walk->keys[0];
+      uint64_t succ_value = walk->values[0];
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, node, sizeof(Node)));
+      RVM_RETURN_IF_ERROR(rvm_->SetRange(tid, walk, sizeof(Node)));
+      walk->values[0] = node->values[i];
+      node->keys[i] = succ_key;
+      node->values[i] = succ_value;
+      return EraseFrom(tid, node->children[i + 1], succ_key);
+    }
+    // Both children minimal: merge around the key (the key itself descends
+    // into the merged child), then delete from it.
+    RVM_RETURN_IF_ERROR(MergeChildren(tid, node, i));
+    return EraseFrom(tid, node->children[i], key);
+  }
+
+  if (node->is_leaf != 0) {
+    return NotFound("key not in map");
+  }
+  // Case 3: descend, topping the child up first if minimal.
+  if (At(node->children[i])->count == kMinKeys) {
+    RVM_RETURN_IF_ERROR(FixChildUnderflow(tid, node, i));
+    // The fix may have merged the target child leftward or shifted keys;
+    // recompute the descent index.
+    i = 0;
+    while (i < node->count && node->keys[i] < key) {
+      ++i;
+    }
+    if (i < node->count && node->keys[i] == key) {
+      return EraseFrom(tid, node_delta, key);  // key moved into this node
+    }
+  }
+  return EraseFrom(tid, node->children[i], key);
+}
+
+Status RecoverableMap::Erase(TransactionId tid, uint64_t key) {
+  Header* header = Hdr();
+  if (header->root == 0) {
+    return NotFound("key not in map");
+  }
+  RVM_RETURN_IF_ERROR(EraseFrom(tid, header->root, key));
+
+  // Shrink the root: an empty internal root hands over to its only child;
+  // an empty leaf root empties the map.
+  Node* root = At(header->root);
+  if (root->count == 0) {
+    uint64_t old_root = header->root;
+    uint64_t new_root = root->is_leaf != 0 ? 0 : root->children[0];
+    RVM_RETURN_IF_ERROR(rvm_->Modify(tid, &header->root, &new_root, 8));
+    RVM_RETURN_IF_ERROR(FreeNode(tid, old_root));
+  }
+  uint64_t new_size = header->size - 1;
+  return rvm_->Modify(tid, &header->size, &new_size, 8);
+}
+
+// --- validation ------------------------------------------------------------------
+
+Status RecoverableMap::ValidateNode(uint64_t node_delta,
+                                    std::optional<uint64_t> lo,
+                                    std::optional<uint64_t> hi, int depth,
+                                    int* leaf_depth, uint64_t* keys_seen) const {
+  const Node* node = At(node_delta);
+  bool is_root = node_delta == Hdr()->root;
+  if (node->count > kMaxKeys || (!is_root && node->count < kMinKeys) ||
+      (is_root && node->count == 0)) {
+    return Corruption("node occupancy out of bounds");
+  }
+  for (uint32_t i = 0; i < node->count; ++i) {
+    if (i > 0 && node->keys[i] <= node->keys[i - 1]) {
+      return Corruption("keys not strictly increasing");
+    }
+    if ((lo && node->keys[i] <= *lo) || (hi && node->keys[i] >= *hi)) {
+      return Corruption("key outside subtree bounds");
+    }
+    if (node->values[i] == 0) {
+      return Corruption("missing value blob");
+    }
+    RVM_ASSIGN_OR_RETURN(uint64_t blob_size,
+                         heap_->AllocationSize(At(node->values[i])));
+    if (blob_size < Hdr()->value_size) {
+      return Corruption("value blob too small");
+    }
+  }
+  *keys_seen += node->count;
+  if (node->is_leaf != 0) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Corruption("leaves at differing depths");
+    }
+    return OkStatus();
+  }
+  for (uint32_t i = 0; i <= node->count; ++i) {
+    if (node->children[i] == 0) {
+      return Corruption("missing child");
+    }
+    std::optional<uint64_t> child_lo = i == 0 ? lo : node->keys[i - 1];
+    std::optional<uint64_t> child_hi = i == node->count ? hi : node->keys[i];
+    RVM_RETURN_IF_ERROR(ValidateNode(node->children[i], child_lo, child_hi,
+                                     depth + 1, leaf_depth, keys_seen));
+  }
+  return OkStatus();
+}
+
+Status RecoverableMap::Validate() const {
+  const Header* header = Hdr();
+  if (header->magic != kMapMagic) {
+    return Corruption("bad map magic");
+  }
+  if (header->root == 0) {
+    return header->size == 0 ? OkStatus() : Corruption("empty tree, nonzero size");
+  }
+  int leaf_depth = -1;
+  uint64_t keys_seen = 0;
+  RVM_RETURN_IF_ERROR(ValidateNode(header->root, std::nullopt, std::nullopt, 0,
+                                   &leaf_depth, &keys_seen));
+  if (keys_seen != header->size) {
+    return Corruption("size accounting mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace rvm

@@ -1,0 +1,106 @@
+// RecoverableMap: a transactional ordered map (B-tree) in recoverable
+// memory.
+//
+// This is the kind of data-structure package Coda layered over RVM and RDS
+// (directories, the hoard database, replica-control tables — §2.2/§6): all
+// nodes and values are RDS allocations inside a mapped region, every
+// mutation is covered by the caller's transaction, and therefore any crash
+// leaves the map exactly as of the last commit. Links are region offsets, so
+// the map is position-independent (no segment loader required).
+//
+// Keys are uint64_t; values are byte strings of a fixed size chosen at
+// Create time (fixed sizes keep updates in place and the node layout
+// simple — variable values can store an RDS offset as their value).
+//
+// Concurrency: like RVM itself, the map provides no isolation. Callers
+// serialize access (one writer at a time; readers see in-progress writes).
+#ifndef RVM_RMAP_RMAP_H_
+#define RVM_RMAP_RMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/rds/rds.h"
+#include "src/rvm/rvm.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+class RecoverableMap {
+ public:
+  // Creates an empty map inside `tid`. The returned handle's header lives in
+  // the heap; persist it via RdsHeap::SetRoot or any recoverable pointer.
+  static StatusOr<RecoverableMap> Create(RvmInstance& rvm, RdsHeap& heap,
+                                         TransactionId tid,
+                                         uint64_t value_size);
+
+  // Attaches to an existing map given its header pointer (e.g. the heap
+  // root). Validates the magic.
+  static StatusOr<RecoverableMap> Attach(RvmInstance& rvm, RdsHeap& heap,
+                                         void* header);
+
+  // The header pointer, for persisting (stable across restarts only as an
+  // offset / via the segment loader).
+  void* header() const { return header_; }
+
+  // Inserts or updates. `value` must be exactly value_size bytes.
+  Status Put(TransactionId tid, uint64_t key, std::span<const uint8_t> value);
+
+  // Returns a view of the stored value (into recoverable memory; valid until
+  // the next mutation).
+  StatusOr<std::span<const uint8_t>> Get(uint64_t key) const;
+  bool Contains(uint64_t key) const { return Get(key).ok(); }
+
+  // Removes a key; kNotFound if absent. The B-tree rebalances (borrow/merge)
+  // so occupancy invariants hold for all following operations.
+  Status Erase(TransactionId tid, uint64_t key);
+
+  uint64_t size() const;
+  uint64_t value_size() const;
+
+  // Smallest key >= `key`, if any (ordered iteration: LowerBound(0), then
+  // LowerBound(k+1) repeatedly).
+  std::optional<uint64_t> LowerBound(uint64_t key) const;
+
+  // In-order traversal.
+  Status ForEach(
+      const std::function<Status(uint64_t key, std::span<const uint8_t>)>& fn) const;
+
+  // Full structural audit: node occupancy bounds, key ordering, uniform
+  // leaf depth, size accounting. Used by the crash tests.
+  Status Validate() const;
+
+ private:
+  RecoverableMap(RvmInstance& rvm, RdsHeap& heap, void* header)
+      : rvm_(&rvm), heap_(&heap), header_(header) {}
+
+  struct Node;
+  struct Header;
+
+  Header* Hdr() const;
+  Node* At(uint64_t offset) const;
+  uint64_t OffsetOf(const void* ptr) const;
+
+  StatusOr<uint64_t> AllocateNode(TransactionId tid, bool leaf);
+  Status FreeNode(TransactionId tid, uint64_t offset);
+  Status SplitChild(TransactionId tid, Node* parent, uint32_t index);
+  // Merges children[sep] and children[sep+1] around keys[sep] into
+  // children[sep]; the separator descends into the merged node.
+  Status MergeChildren(TransactionId tid, Node* parent, uint32_t sep);
+  Status InsertNonFull(TransactionId tid, uint64_t node_offset, uint64_t key,
+                       std::span<const uint8_t> value, bool* inserted);
+  Status EraseFrom(TransactionId tid, uint64_t node_offset, uint64_t key);
+  Status FixChildUnderflow(TransactionId tid, Node* parent, uint32_t index);
+  Status ValidateNode(uint64_t offset, std::optional<uint64_t> lo,
+                      std::optional<uint64_t> hi, int depth, int* leaf_depth,
+                      uint64_t* keys_seen) const;
+
+  RvmInstance* rvm_;
+  RdsHeap* heap_;
+  void* header_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RMAP_RMAP_H_

@@ -1,0 +1,232 @@
+#include "src/rvm/log_device.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace rvm {
+namespace {
+
+// Free space we always keep in reserve so the area never fills completely
+// (tail == head must unambiguously mean "empty") and a wrap filler always
+// fits.
+constexpr uint64_t kAppendSlack = 2 * kRecordHeaderSize;
+
+constexpr uint64_t kMinLogSize = kLogDataStart + 16 * 1024;
+
+}  // namespace
+
+Status LogDevice::Create(Env* env, const std::string& path,
+                         uint64_t total_size, bool overwrite) {
+  if (total_size < kMinLogSize) {
+    return InvalidArgument("log size too small (minimum 24 KB)");
+  }
+  if (!overwrite && env->Exists(path)) {
+    return AlreadyExists("log already exists: " + path);
+  }
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path, OpenMode::kTruncate));
+  RVM_RETURN_IF_ERROR(file->Resize(total_size));
+
+  LogStatusBlock status;
+  status.generation = 1;
+  status.log_size = total_size;
+  status.head = kLogDataStart;
+  status.tail = kLogDataStart;
+  status.tail_seqno = 1;
+  status.last_record_offset = 0;
+  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(status));
+  // Write the same generation-1 content to both slots so a reader finds a
+  // valid block regardless of which slot the first update lands in.
+  RVM_RETURN_IF_ERROR(file->WriteAt(0, encoded));
+  RVM_RETURN_IF_ERROR(file->WriteAt(kStatusBlockSize, encoded));
+  return file->Sync();
+}
+
+StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(Env* env,
+                                                     const std::string& path) {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path, OpenMode::kReadWrite));
+  // Read both status slots; take the valid one with the higher generation.
+  std::vector<uint8_t> slot(kStatusBlockSize);
+  StatusOr<LogStatusBlock> best = Corruption("no valid status block");
+  for (uint64_t slot_offset : {uint64_t{0}, kStatusBlockSize}) {
+    RVM_ASSIGN_OR_RETURN(size_t n, file->ReadAt(slot_offset, slot));
+    if (n != kStatusBlockSize) {
+      continue;
+    }
+    StatusOr<LogStatusBlock> decoded = DecodeStatusBlock(slot);
+    if (decoded.ok() &&
+        (!best.ok() || decoded->generation > best->generation)) {
+      best = std::move(decoded);
+    }
+  }
+  if (!best.ok()) {
+    return Corruption("log has no valid status block: " + path);
+  }
+  RVM_ASSIGN_OR_RETURN(uint64_t file_size, file->Size());
+  if (file_size < best->log_size) {
+    return Corruption("log file shorter than its declared size: " + path);
+  }
+  return std::unique_ptr<LogDevice>(
+      new LogDevice(env, std::move(file), std::move(*best)));
+}
+
+uint64_t LogDevice::used() const {
+  if (status_.tail >= status_.head) {
+    return status_.tail - status_.head;
+  }
+  return (status_.log_size - status_.head) + (status_.tail - kLogDataStart);
+}
+
+Status LogDevice::WriteRaw(uint64_t offset, std::span<const uint8_t> bytes) {
+  bytes_appended_ += bytes.size();
+  return file_->WriteAt(offset, bytes);
+}
+
+StatusOr<uint64_t> LogDevice::AppendTransaction(
+    TransactionId tid, std::span<const RangeView> ranges) {
+  std::vector<uint8_t> record = EncodeTransactionRecord(
+      status_.tail_seqno, tid, status_.last_record_offset, ranges);
+
+  uint64_t need = record.size();
+  if (need + kAppendSlack > capacity()) {
+    return LogFull("record larger than the log area");
+  }
+  if (free_space() < need + kAppendSlack) {
+    return LogFull("log free space exhausted");
+  }
+
+  uint64_t remaining_to_end = status_.log_size - status_.tail;
+  if (remaining_to_end < need) {
+    // Wrap: emit a filler (if a header fits) and restart at the area start.
+    if (remaining_to_end >= kRecordHeaderSize) {
+      std::vector<uint8_t> filler =
+          EncodeWrapFiller(status_.tail_seqno, status_.last_record_offset);
+      RVM_RETURN_IF_ERROR(WriteRaw(status_.tail, filler));
+      status_.last_record_offset = status_.tail;
+      ++status_.tail_seqno;
+      // Re-encode with the updated seqno / displacement.
+      record = EncodeTransactionRecord(status_.tail_seqno, tid,
+                                       status_.last_record_offset, ranges);
+    }
+    status_.tail = kLogDataStart;
+    if (free_space() < need + kAppendSlack) {
+      return LogFull("log free space exhausted at wrap");
+    }
+  }
+
+  uint64_t offset = status_.tail;
+  RVM_RETURN_IF_ERROR(WriteRaw(offset, record));
+  status_.last_record_offset = offset;
+  status_.tail = offset + record.size();
+  ++status_.tail_seqno;
+  ++records_appended_;
+  return offset;
+}
+
+Status LogDevice::Sync() {
+  ++syncs_;
+  return file_->Sync();
+}
+
+Status LogDevice::WriteStatus() {
+  ++status_.generation;
+  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(status_));
+  uint64_t slot_offset = (status_.generation % 2 == 0) ? 0 : kStatusBlockSize;
+  RVM_RETURN_IF_ERROR(file_->WriteAt(slot_offset, encoded));
+  return file_->Sync();
+}
+
+StatusOr<OwnedRecord> LogDevice::ReadRecordAt(uint64_t offset) {
+  OwnedRecord record;
+  record.offset = offset;
+  record.bytes.resize(kRecordHeaderSize);
+  RVM_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(offset, record.bytes));
+  if (n != kRecordHeaderSize) {
+    return Corruption("short read of record header");
+  }
+  RVM_ASSIGN_OR_RETURN(RecordHeader header, PeekRecordHeader(record.bytes));
+  if (header.payload_length > 0) {
+    record.bytes.resize(kRecordHeaderSize + header.payload_length);
+    RVM_ASSIGN_OR_RETURN(
+        size_t payload_read,
+        file_->ReadAt(offset + kRecordHeaderSize,
+                      std::span<uint8_t>(record.bytes)
+                          .subspan(kRecordHeaderSize)));
+    if (payload_read != header.payload_length) {
+      return Corruption("short read of record payload");
+    }
+  }
+  RVM_ASSIGN_OR_RETURN(record.parsed, ParseRecord(record.bytes));
+  return record;
+}
+
+StatusOr<uint64_t> LogDevice::ExtendTailForward() {
+  uint64_t found = 0;
+  uint64_t scanned = 0;
+  while (scanned < capacity()) {
+    if (status_.log_size - status_.tail < kRecordHeaderSize) {
+      // Too little room for any record: writers wrap implicitly here.
+      scanned += status_.log_size - status_.tail;
+      status_.tail = kLogDataStart;
+      continue;
+    }
+    StatusOr<OwnedRecord> record = ReadRecordAt(status_.tail);
+    if (!record.ok()) {
+      break;  // torn, stale, or unwritten: this is the true end of the log
+    }
+    if (record->parsed.header.seqno != status_.tail_seqno) {
+      break;  // stale record from a previous trip around the area
+    }
+    status_.last_record_offset = status_.tail;
+    ++status_.tail_seqno;
+    ++found;
+    if (record->parsed.header.type == RecordType::kWrapFiller) {
+      scanned += status_.log_size - status_.tail;
+      status_.tail = kLogDataStart;
+    } else {
+      scanned += record->bytes.size();
+      status_.tail += record->bytes.size();
+    }
+  }
+  return found;
+}
+
+bool LogDevice::InLiveRange(uint64_t offset) const {
+  if (offset < kLogDataStart || offset >= status_.log_size) {
+    return false;
+  }
+  if (status_.head == status_.tail) {
+    return false;  // empty
+  }
+  if (status_.head < status_.tail) {
+    return offset >= status_.head && offset < status_.tail;
+  }
+  return offset >= status_.head || offset < status_.tail;
+}
+
+StatusOr<std::vector<uint64_t>> LogDevice::CollectRecordOffsets() {
+  std::vector<uint64_t> offsets;
+  const uint64_t max_records = capacity() / kRecordHeaderSize + 1;
+  uint64_t offset = status_.last_record_offset;
+  while (offset != 0 && InLiveRange(offset)) {
+    offsets.push_back(offset);
+    if (offsets.size() > max_records) {
+      return Corruption("record reverse displacement chain loops");
+    }
+    if (offset == status_.head) {
+      break;  // reached the oldest live record
+    }
+    RVM_ASSIGN_OR_RETURN(OwnedRecord record, ReadRecordAt(offset));
+    offset = record.parsed.header.prev_offset;
+  }
+  return offsets;
+}
+
+void LogDevice::MarkEmpty() {
+  status_.head = status_.tail;
+  status_.last_record_offset = 0;
+}
+
+}  // namespace rvm

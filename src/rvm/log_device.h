@@ -1,0 +1,111 @@
+// LogDevice: the write-ahead log as a circular record area on a File.
+//
+// Responsibilities: formatting a new log (create_log, §4.2), atomically
+// maintaining the duplicated status block, appending records with wraparound
+// handling and free-space accounting, forcing the log, and the two scans
+// recovery and truncation need — a forward validity scan that discovers
+// records beyond the last durable tail pointer, and a backward walk over the
+// reverse-displacement chain (Figure 5).
+//
+// LogDevice knows nothing about transactions or segments-in-memory; it deals
+// purely in encoded records. Synchronization is the caller's job (RvmInstance
+// holds its lock around every call).
+#ifndef RVM_RVM_LOG_DEVICE_H_
+#define RVM_RVM_LOG_DEVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/os/file.h"
+#include "src/rvm/log_format.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+// A fully read record: owns its bytes; `parsed` views point into `bytes`.
+struct OwnedRecord {
+  uint64_t offset = 0;  // absolute log offset of the record header
+  std::vector<uint8_t> bytes;
+  ParsedRecord parsed;
+};
+
+class LogDevice {
+ public:
+  // Formats a fresh log of `total_size` bytes at `path`. Fails with
+  // kAlreadyExists unless `overwrite`. total_size must leave a usable record
+  // area after the two status blocks.
+  static Status Create(Env* env, const std::string& path, uint64_t total_size,
+                       bool overwrite);
+
+  // Opens an existing log, reading the newest valid status block copy.
+  static StatusOr<std::unique_ptr<LogDevice>> Open(Env* env,
+                                                   const std::string& path);
+
+  // In-memory status. Mutations (segment dictionary, head moves) take effect
+  // on disk only at the next WriteStatus().
+  LogStatusBlock& status() { return status_; }
+  const LogStatusBlock& status() const { return status_; }
+
+  uint64_t capacity() const { return status_.log_size - kLogDataStart; }
+  uint64_t used() const;
+  uint64_t free_space() const { return capacity() - used(); }
+
+  // Appends a transaction record, writing a wrap filler first if the record
+  // does not fit before the end of the area. Assigns the sequence number and
+  // reverse displacement. Buffered: call Sync() to force. Returns the
+  // record's log offset, or kLogFull if there is not enough free space (the
+  // caller should truncate and retry).
+  StatusOr<uint64_t> AppendTransaction(TransactionId tid,
+                                       std::span<const RangeView> ranges);
+
+  // Forces all appended records to disk.
+  Status Sync();
+
+  // Writes the in-memory status block to the alternate slot and syncs.
+  // Callers must ensure record data up to status().tail is already durable.
+  Status WriteStatus();
+
+  // Reads and validates the record at `offset`.
+  StatusOr<OwnedRecord> ReadRecordAt(uint64_t offset);
+
+  // Forward validity scan from the in-memory tail: extends tail, tail_seqno
+  // and last_record_offset past any records that were forced after the
+  // status block was last written. Used once, at recovery. Returns the
+  // number of records discovered.
+  StatusOr<uint64_t> ExtendTailForward();
+
+  // Walks the reverse-displacement chain from the newest record down to the
+  // head. Returns record offsets newest-first (wrap fillers included).
+  StatusOr<std::vector<uint64_t>> CollectRecordOffsets();
+
+  // True if `offset` lies within the live area [head, tail) in circular
+  // order.
+  bool InLiveRange(uint64_t offset) const;
+
+  // Declares the log empty at the current tail position (after truncation or
+  // recovery has applied everything): head = tail, chain restarts.
+  void MarkEmpty();
+
+  // Statistics for benchmarks and Table 2.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  LogDevice(Env* env, std::unique_ptr<File> file, LogStatusBlock status)
+      : env_(env), file_(std::move(file)), status_(std::move(status)) {}
+
+  Status WriteRaw(uint64_t offset, std::span<const uint8_t> bytes);
+
+  Env* env_;
+  std::unique_ptr<File> file_;
+  LogStatusBlock status_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_LOG_DEVICE_H_

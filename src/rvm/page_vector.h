@@ -1,0 +1,62 @@
+// Page vector and page queue: the data structures of incremental truncation
+// (Figure 7 of the paper).
+//
+// Each mapped region has a page vector, "loosely analogous to a VM page
+// table": per page, a dirty bit (committed changes not yet reflected in the
+// external data segment) and an uncommitted reference count (incremented by
+// set_range, decremented on commit or abort). We extend it with an
+// *unflushed* reference count: pages carrying committed-but-unflushed
+// (no-flush) changes must not be written to the segment either, or a crash
+// before the flush could leave a torn transaction in the segment.
+//
+// The page queue is a FIFO of modification descriptors giving the order in
+// which dirty pages must be written out to advance the log head. A page
+// appears at most once, at the earliest log offset that references it.
+#ifndef RVM_RVM_PAGE_VECTOR_H_
+#define RVM_RVM_PAGE_VECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rvm {
+
+struct PageEntry {
+  bool dirty = false;
+  bool in_queue = false;
+  uint32_t uncommitted_refs = 0;
+  uint32_t unflushed_refs = 0;
+
+  bool write_blocked() const { return uncommitted_refs > 0 || unflushed_refs > 0; }
+};
+
+class PageVector {
+ public:
+  explicit PageVector(uint64_t num_pages) : entries_(num_pages) {}
+
+  PageEntry& entry(uint64_t page) { return entries_[page]; }
+  const PageEntry& entry(uint64_t page) const { return entries_[page]; }
+  uint64_t num_pages() const { return entries_.size(); }
+
+  uint64_t dirty_count() const {
+    uint64_t n = 0;
+    for (const PageEntry& e : entries_) {
+      n += e.dirty ? 1 : 0;
+    }
+    return n;
+  }
+
+  void ClearDirtyAndQueued() {
+    for (PageEntry& e : entries_) {
+      e.dirty = false;
+      e.in_queue = false;
+    }
+  }
+
+ private:
+  std::vector<PageEntry> entries_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_PAGE_VECTOR_H_

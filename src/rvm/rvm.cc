@@ -1,0 +1,723 @@
+#include "src/rvm/rvm.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace rvm {
+
+Status RvmInstance::CreateLog(Env* env, const std::string& path,
+                              uint64_t log_size, bool overwrite) {
+  if (env == nullptr) {
+    env = GetRealEnv();
+  }
+  return LogDevice::Create(env, path, log_size, overwrite);
+}
+
+StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
+    const RvmOptions& options) {
+  Env* env = options.env != nullptr ? options.env : GetRealEnv();
+  if (options.page_size == 0 || (options.page_size & (options.page_size - 1)) != 0) {
+    return InvalidArgument("page_size must be a power of two");
+  }
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<LogDevice> log,
+                       LogDevice::Open(env, options.log_path));
+  RvmOptions resolved = options;
+  resolved.env = env;
+  std::unique_ptr<RvmInstance> instance(
+      new RvmInstance(resolved, std::move(log)));
+  {
+    std::lock_guard<std::mutex> lock(instance->mu_);
+    RVM_RETURN_IF_ERROR(instance->RecoverLocked());
+  }
+  if (instance->truncation_mode_ == TruncationMode::kBackground) {
+    instance->truncation_thread_ =
+        std::thread([raw = instance.get()] { raw->TruncationThreadMain(); });
+  }
+  return instance;
+}
+
+bool RvmInstance::NeedsTruncationLocked() const {
+  uint64_t threshold = static_cast<uint64_t>(
+      runtime_.truncation_threshold * static_cast<double>(log_->capacity()));
+  return log_->used() > threshold;
+}
+
+void RvmInstance::TruncationThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_truncation_) {
+    truncation_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+      return stop_truncation_ || NeedsTruncationLocked();
+    });
+    if (stop_truncation_) {
+      return;
+    }
+    if (!NeedsTruncationLocked()) {
+      continue;
+    }
+    // Incremental steps are bounded, so the lock is released between bursts
+    // and forward processing interleaves — the paper's "concurrent forward
+    // processing" discipline. Epoch truncation (when configured or as the
+    // §5.1.2 fallback) holds the lock for the full pass.
+    Status status = runtime_.use_incremental_truncation
+                        ? IncrementalTruncateLocked()
+                        : TruncateEpochLocked();
+    if (!status.ok()) {
+      RVM_LOG_ERROR("background truncation failed: %s",
+                    status.ToString().c_str());
+    }
+  }
+}
+
+void RvmInstance::StopTruncationThread() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_truncation_ = true;
+  }
+  truncation_cv_.notify_all();
+  if (truncation_thread_.joinable()) {
+    truncation_thread_.join();
+  }
+}
+
+RvmInstance::RvmInstance(const RvmOptions& options,
+                         std::unique_ptr<LogDevice> log)
+    : env_(options.env),
+      cpu_(options.env, options.cpu_model),
+      page_size_(options.page_size),
+      runtime_(options.runtime),
+      log_(std::move(log)),
+      truncation_mode_(options.truncation_mode) {}
+
+RvmInstance::~RvmInstance() {
+  StopTruncationThread();
+  if (!terminated_) {
+    Status status = Terminate();
+    if (!status.ok()) {
+      RVM_LOG_WARN("terminate on destruction failed: %s",
+                   status.ToString().c_str());
+    }
+  }
+  for (auto& [base, region] : regions_) {
+    if (region->owns_memory) {
+      std::free(region->base);
+    }
+  }
+}
+
+Status RvmInstance::Terminate() {
+  StopTruncationThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (terminated_) {
+    return OkStatus();
+  }
+  if (!transactions_.empty()) {
+    return FailedPrecondition("uncommitted transactions outstanding");
+  }
+  RVM_RETURN_IF_ERROR(FlushLocked());
+  // Persist the exact tail so the next Initialize has no forward scanning to
+  // do; not required for correctness, recovery would find the tail itself.
+  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  terminated_ = true;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Mapping
+// ---------------------------------------------------------------------------
+
+StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
+  for (const SegmentDictEntry& entry : log_->status().segments) {
+    if (entry.path == path) {
+      return entry.id;
+    }
+  }
+  SegmentId id = log_->status().next_segment_id++;
+  log_->status().segments.push_back({id, path});
+  // The dictionary must be durable before any log record names this id.
+  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  return id;
+}
+
+StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentLocked(SegmentId id) {
+  // Not used for the cached map; see segment_files_ handling in callers.
+  for (const SegmentDictEntry& entry : log_->status().segments) {
+    if (entry.id == id) {
+      return env_->Open(entry.path, OpenMode::kCreateIfMissing);
+    }
+  }
+  return NotFound("segment id not in dictionary");
+}
+
+Status RvmInstance::Map(RegionDescriptor& region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (region.length == 0 || region.length % page_size_ != 0) {
+    return InvalidArgument("region length must be a nonzero page multiple");
+  }
+  if (region.segment_offset % page_size_ != 0) {
+    return InvalidArgument("segment offset must be page aligned");
+  }
+  if (region.address != nullptr &&
+      reinterpret_cast<uintptr_t>(region.address) % page_size_ != 0) {
+    return InvalidArgument("mapping address must be page aligned");
+  }
+
+  // §4.1 restrictions: no byte of a segment mapped twice, no overlap in
+  // virtual memory.
+  for (const auto& [base, existing] : regions_) {
+    if (existing->segment_path == region.segment_path &&
+        region.segment_offset < existing->segment_offset + existing->length &&
+        existing->segment_offset < region.segment_offset + region.length) {
+      return OverlapError("segment range already mapped");
+    }
+  }
+
+  RVM_ASSIGN_OR_RETURN(SegmentId seg_id, SegmentIdForLocked(region.segment_path));
+
+  if (!segment_files_.contains(seg_id)) {
+    RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                         env_->Open(region.segment_path, OpenMode::kCreateIfMissing));
+    segment_files_[seg_id] = std::move(file);
+  }
+  File& seg_file = *segment_files_[seg_id];
+  RVM_ASSIGN_OR_RETURN(uint64_t seg_size, seg_file.Size());
+  if (seg_size < region.segment_offset + region.length) {
+    RVM_RETURN_IF_ERROR(seg_file.Resize(region.segment_offset + region.length));
+  }
+
+  uint8_t* base = static_cast<uint8_t*>(region.address);
+  bool owns = false;
+  if (base == nullptr) {
+    base = static_cast<uint8_t*>(std::aligned_alloc(page_size_, region.length));
+    if (base == nullptr) {
+      return Internal("out of memory mapping region");
+    }
+    owns = true;
+  }
+
+  uintptr_t base_addr = reinterpret_cast<uintptr_t>(base);
+  for (const auto& [existing_base, existing] : regions_) {
+    if (base_addr < existing_base + existing->length &&
+        existing_base < base_addr + region.length) {
+      if (owns) {
+        std::free(base);
+      }
+      return OverlapError("mappings cannot overlap in virtual memory");
+    }
+  }
+
+  // Copy-in: the mapped image is the committed image (§4.1). The log holds
+  // no records for this range (Unmap truncates), so the segment file is
+  // current.
+  RVM_ASSIGN_OR_RETURN(
+      size_t read,
+      seg_file.ReadAt(region.segment_offset, std::span<uint8_t>(base, region.length)));
+  if (read < region.length) {
+    std::memset(base + read, 0, region.length - read);
+  }
+  cpu_.Fixed(cpu_.model().map_fixed_us);
+  cpu_.Copy(region.length);
+
+  auto state = std::make_unique<RegionState>(region.length / page_size_);
+  state->segment_id = seg_id;
+  state->segment_path = region.segment_path;
+  state->segment_offset = region.segment_offset;
+  state->length = region.length;
+  state->base = base;
+  state->owns_memory = owns;
+  regions_.emplace(base_addr, std::move(state));
+  region.address = base;
+  return OkStatus();
+}
+
+Status RvmInstance::Unmap(const RegionDescriptor& region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(reinterpret_cast<uintptr_t>(region.address));
+  if (it == regions_.end()) {
+    return NotFound("no mapping at this address");
+  }
+  RegionState* state = it->second.get();
+  if (state->active_transactions > 0) {
+    return FailedPrecondition("region has uncommitted transactions (§4.1)");
+  }
+  // Make the external data segment current before the in-memory image goes
+  // away: flush spooled commits, then apply the whole log.
+  RVM_RETURN_IF_ERROR(FlushLocked());
+  RVM_RETURN_IF_ERROR(TruncateEpochLocked());
+  if (state->owns_memory) {
+    std::free(state->base);
+  }
+  regions_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<RvmInstance::RegionState*> RvmInstance::FindRegionLocked(
+    const void* address, uint64_t length) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(address);
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) {
+    return NotFound("address not in any mapped region");
+  }
+  --it;
+  RegionState* region = it->second.get();
+  if (addr < it->first || addr + length > it->first + region->length) {
+    return NotFound("range not contained in a single mapped region");
+  }
+  return region;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+StatusOr<TransactionId> RvmInstance::BeginTransaction(RestoreMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cpu_.Fixed(cpu_.model().begin_txn_us);
+  TransactionId tid = next_tid_++;
+  TxnState& txn = transactions_[tid];
+  txn.tid = tid;
+  txn.mode = mode;
+  return tid;
+}
+
+Status RvmInstance::SetRange(TransactionId tid, void* base, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(tid);
+  if (it == transactions_.end()) {
+    return NotFound("no such transaction");
+  }
+  if (length == 0) {
+    return OkStatus();
+  }
+  TxnState& txn = it->second;
+  RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(base, length));
+  cpu_.Fixed(cpu_.model().set_range_us);
+  ++stats_.set_range_calls;
+  stats_.bytes_requested += length;
+
+  uint64_t start = reinterpret_cast<uintptr_t>(base) -
+                   reinterpret_cast<uintptr_t>(region->base);
+  uint64_t end = start + length;
+
+  auto [covered_it, inserted] = txn.covered.try_emplace(region);
+  if (inserted) {
+    ++region->active_transactions;
+  }
+  IntervalSet& covered = covered_it->second;
+
+  // Uncommitted reference counts, one per (transaction, page) pair.
+  std::set<uint64_t>& touched = txn.pages_touched[region];
+  for (uint64_t page = start / page_size_; page <= (end - 1) / page_size_; ++page) {
+    if (touched.insert(page).second) {
+      ++region->pages.entry(page).uncommitted_refs;
+    }
+  }
+
+  if (runtime_.enable_intra_optimization) {
+    // Intra-transaction optimization (§5.2): only the parts of the range not
+    // already covered by this transaction contribute old-value copies and
+    // eventual log traffic.
+    std::vector<Interval> fresh = covered.Uncovered(start, end);
+    uint64_t fresh_bytes = 0;
+    for (const Interval& piece : fresh) {
+      fresh_bytes += piece.length();
+      if (txn.mode == RestoreMode::kRestore) {
+        OldValue old_value;
+        old_value.region = region;
+        old_value.offset = piece.start;
+        old_value.bytes.assign(region->base + piece.start,
+                               region->base + piece.end);
+        cpu_.Copy(piece.length());
+        txn.old_values.push_back(std::move(old_value));
+      }
+    }
+    stats_.intra_saved_bytes += length - fresh_bytes;
+    covered.Add(start, end);
+  } else {
+    // Unoptimized path (for the ablation benchmark): every call is logged
+    // verbatim and captures its full old value.
+    txn.raw_ranges[region].push_back({start, end});
+    if (txn.mode == RestoreMode::kRestore) {
+      OldValue old_value;
+      old_value.region = region;
+      old_value.offset = start;
+      old_value.bytes.assign(region->base + start, region->base + end);
+      cpu_.Copy(length);
+      txn.old_values.push_back(std::move(old_value));
+    }
+    covered.Add(start, end);  // still tracked for inter-txn subsumption
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::Modify(TransactionId tid, void* dest, const void* value,
+                           uint64_t length) {
+  RVM_RETURN_IF_ERROR(SetRange(tid, dest, length));
+  std::memcpy(dest, value, length);
+  return OkStatus();
+}
+
+void RvmInstance::ReleaseUncommittedLocked(TxnState& txn) {
+  for (auto& [region, pages] : txn.pages_touched) {
+    for (uint64_t page : pages) {
+      PageEntry& entry = region->pages.entry(page);
+      if (entry.uncommitted_refs > 0) {
+        --entry.uncommitted_refs;
+      }
+    }
+  }
+  for (auto& region_cover : txn.covered) {
+    RegionState* region = region_cover.first;
+    if (region->active_transactions > 0) {
+      --region->active_transactions;
+    }
+  }
+}
+
+Status RvmInstance::AbortTransaction(TransactionId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(tid);
+  if (it == transactions_.end()) {
+    return NotFound("no such transaction");
+  }
+  TxnState& txn = it->second;
+  if (txn.mode == RestoreMode::kNoRestore) {
+    transactions_.erase(it);
+    return FailedPrecondition("no-restore transactions cannot abort (§4.2)");
+  }
+  cpu_.Fixed(cpu_.model().abort_fixed_us);
+  // Restore old values newest-first so that, without intra-transaction
+  // coalescing, earlier captures win.
+  for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend(); ++ov) {
+    std::memcpy(ov->region->base + ov->offset, ov->bytes.data(), ov->bytes.size());
+    cpu_.Copy(ov->bytes.size());
+  }
+  ReleaseUncommittedLocked(txn);
+  ++stats_.transactions_aborted;
+  transactions_.erase(it);
+  return OkStatus();
+}
+
+RvmInstance::SpoolEntry RvmInstance::BuildSpoolEntryLocked(TxnState& txn) {
+  SpoolEntry entry;
+  entry.tid = txn.tid;
+  std::vector<uint64_t> lengths;
+
+  auto add_range = [&](RegionState* region, uint64_t start, uint64_t end) {
+    SpoolEntry::SegRange range;
+    range.segment = region->segment_id;
+    range.offset = region->segment_offset + start;
+    range.length = end - start;
+    range.data_offset = entry.data.size();
+    entry.data.insert(entry.data.end(), region->base + start, region->base + end);
+    entry.ranges.push_back(range);
+    lengths.push_back(range.length);
+  };
+
+  if (runtime_.enable_intra_optimization) {
+    for (auto& [region, covered] : txn.covered) {
+      for (const Interval& ivl : covered.ToVector()) {
+        add_range(region, ivl.start, ivl.end);
+      }
+    }
+  } else {
+    for (auto& [region, ranges] : txn.raw_ranges) {
+      for (const Interval& ivl : ranges) {
+        add_range(region, ivl.start, ivl.end);
+      }
+    }
+  }
+
+  for (auto& [region, pages] : txn.pages_touched) {
+    for (uint64_t page : pages) {
+      entry.pages.emplace_back(region, page);
+    }
+  }
+  entry.encoded_size = TransactionRecordSize(lengths);
+  cpu_.Copy(entry.data.size());
+  cpu_.LogAssembly(entry.data.size());
+  cpu_.Fixed(cpu_.model().per_range_us * static_cast<double>(entry.ranges.size()));
+  return entry;
+}
+
+Status RvmInstance::InterTransactionOptimizeLocked(const TxnState& txn) {
+  // Build this transaction's coverage in segment coordinates.
+  std::map<SegmentId, IntervalSet> coverage;
+  for (const auto& [region, covered] : txn.covered) {
+    IntervalSet& seg_cover = coverage[region->segment_id];
+    for (const Interval& ivl : covered.ToVector()) {
+      seg_cover.Add(region->segment_offset + ivl.start,
+                    region->segment_offset + ivl.end);
+    }
+  }
+  if (coverage.empty()) {
+    return OkStatus();
+  }
+  // Discard any recently spooled record completely subsumed by this commit
+  // (§5.2). The scan is bounded to the newest entries; see
+  // RuntimeOptions::inter_optimization_window.
+  size_t window_start =
+      spool_.size() > runtime_.inter_optimization_window
+          ? spool_.size() - runtime_.inter_optimization_window
+          : 0;
+  for (auto it = spool_.begin() + static_cast<ptrdiff_t>(window_start);
+       it != spool_.end();) {
+    bool subsumed = true;
+    for (const SpoolEntry::SegRange& range : it->ranges) {
+      auto cover_it = coverage.find(range.segment);
+      if (cover_it == coverage.end() ||
+          !cover_it->second.Contains(range.offset, range.offset + range.length)) {
+        subsumed = false;
+        break;
+      }
+    }
+    if (!subsumed) {
+      ++it;
+      continue;
+    }
+    for (auto& [region, page] : it->pages) {
+      PageEntry& entry = region->pages.entry(page);
+      if (entry.unflushed_refs > 0) {
+        --entry.unflushed_refs;
+      }
+    }
+    stats_.inter_saved_bytes += it->encoded_size;
+    spool_bytes_ -= it->encoded_size;
+    it = spool_.erase(it);
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
+  std::vector<RangeView> views;
+  views.reserve(entry.ranges.size());
+  for (const SpoolEntry::SegRange& range : entry.ranges) {
+    RangeView view;
+    view.segment = range.segment;
+    view.offset = range.offset;
+    view.data = std::span<const uint8_t>(entry.data)
+                    .subspan(range.data_offset, range.length);
+    views.push_back(view);
+  }
+
+  StatusOr<uint64_t> offset = log_->AppendTransaction(entry.tid, views);
+  if (!offset.ok() && offset.status().code() == ErrorCode::kLogFull) {
+    // Make room: force what we have and apply the whole log to segments.
+    RVM_RETURN_IF_ERROR(log_->Sync());
+    RVM_RETURN_IF_ERROR(TruncateEpochLocked());
+    offset = log_->AppendTransaction(entry.tid, views);
+  }
+  if (!offset.ok()) {
+    return offset.status();
+  }
+  stats_.bytes_logged += entry.encoded_size;
+
+  // Incremental-truncation bookkeeping (Fig. 7): the pages carrying this
+  // record's changes become dirty; first-reference pages join the queue at
+  // this record's offset.
+  for (auto& [region, page] : entry.pages) {
+    PageEntry& page_entry = region->pages.entry(page);
+    if (page_entry.unflushed_refs > 0) {
+      --page_entry.unflushed_refs;
+    }
+    page_entry.dirty = true;
+    if (!page_entry.in_queue) {
+      page_entry.in_queue = true;
+      page_queue_.push_back({region, page, *offset});
+    }
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode) {
+  cpu_.Fixed(cpu_.model().commit_fixed_us);
+
+  if (runtime_.enable_inter_optimization && !spool_.empty()) {
+    RVM_RETURN_IF_ERROR(InterTransactionOptimizeLocked(txn));
+  }
+
+  bool has_changes = false;
+  for (const auto& [region, covered] : txn.covered) {
+    if (!covered.empty()) {
+      has_changes = true;
+      break;
+    }
+  }
+
+  if (!has_changes) {
+    ReleaseUncommittedLocked(txn);
+    ++stats_.transactions_committed;
+    return OkStatus();
+  }
+
+  SpoolEntry entry = BuildSpoolEntryLocked(txn);
+  ReleaseUncommittedLocked(txn);
+  ++stats_.transactions_committed;
+
+  if (mode == CommitMode::kNoFlush) {
+    ++stats_.no_flush_commits;
+    for (auto& [region, page] : entry.pages) {
+      ++region->pages.entry(page).unflushed_refs;
+    }
+    spool_bytes_ += entry.encoded_size;
+    spool_.push_back(std::move(entry));
+    if (spool_bytes_ > runtime_.max_spool_bytes) {
+      RVM_RETURN_IF_ERROR(FlushLocked());
+    }
+    return OkStatus();
+  }
+
+  // Flush-mode commit: earlier no-flush records must reach the log first so
+  // that log order equals commit order (recovery applies newest-record-wins).
+  ++stats_.flush_commits;
+  while (!spool_.empty()) {
+    SpoolEntry spooled = std::move(spool_.front());
+    spool_.pop_front();
+    spool_bytes_ -= spooled.encoded_size;
+    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(spooled));
+  }
+  RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
+  RVM_RETURN_IF_ERROR(log_->Sync());
+  ++stats_.log_forces;
+  return MaybeTruncateLocked();
+}
+
+Status RvmInstance::EndTransaction(TransactionId tid, CommitMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(tid);
+  if (it == transactions_.end()) {
+    return NotFound("no such transaction");
+  }
+  TxnState txn = std::move(it->second);
+  transactions_.erase(it);
+  return EndTransactionLocked(txn, mode);
+}
+
+Status RvmInstance::EndTransactionWithUndo(TransactionId tid, CommitMode mode,
+                                           std::vector<OldValueRecord>* undo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(tid);
+  if (it == transactions_.end()) {
+    return NotFound("no such transaction");
+  }
+  if (it->second.mode != RestoreMode::kRestore) {
+    return FailedPrecondition(
+        "old-value records require a restore-mode transaction");
+  }
+  TxnState txn = std::move(it->second);
+  transactions_.erase(it);
+  undo->clear();
+  undo->reserve(txn.old_values.size());
+  for (const OldValue& old_value : txn.old_values) {
+    OldValueRecord record;
+    record.segment_path = old_value.region->segment_path;
+    record.segment_offset = old_value.region->segment_offset + old_value.offset;
+    record.bytes = old_value.bytes;
+    undo->push_back(std::move(record));
+  }
+  return EndTransactionLocked(txn, mode);
+}
+
+StatusOr<void*> RvmInstance::ResolveSegmentAddress(
+    const std::string& segment_path, uint64_t segment_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [base, region] : regions_) {
+    if (region->segment_path == segment_path &&
+        segment_offset >= region->segment_offset &&
+        segment_offset < region->segment_offset + region->length) {
+      return static_cast<void*>(region->base +
+                                (segment_offset - region->segment_offset));
+    }
+  }
+  return NotFound("segment location not mapped");
+}
+
+StatusOr<std::pair<std::string, uint64_t>> RvmInstance::TranslateAddress(
+    const void* address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(address, 1));
+  uint64_t offset = reinterpret_cast<uintptr_t>(address) -
+                    reinterpret_cast<uintptr_t>(region->base);
+  return std::make_pair(region->segment_path, region->segment_offset + offset);
+}
+
+Status RvmInstance::FlushLocked() {
+  ++stats_.log_flush_calls;
+  if (spool_.empty()) {
+    return OkStatus();
+  }
+  while (!spool_.empty()) {
+    SpoolEntry entry = std::move(spool_.front());
+    spool_.pop_front();
+    spool_bytes_ -= entry.encoded_size;
+    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
+  }
+  RVM_RETURN_IF_ERROR(log_->Sync());
+  ++stats_.log_forces;
+  return MaybeTruncateLocked();
+}
+
+Status RvmInstance::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status RvmInstance::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // truncate() promises all *committed* changes reach the segments; spooled
+  // no-flush commits must therefore be forced first.
+  RVM_RETURN_IF_ERROR(FlushLocked());
+  return TruncateEpochLocked();
+}
+
+StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(address, 1));
+  RegionQuery query;
+  query.uncommitted_transactions = region->active_transactions;
+  for (const auto& [tid, txn] : transactions_) {
+    if (txn.covered.contains(region)) {
+      query.uncommitted_tids.push_back(tid);
+    }
+  }
+  query.mapped_length = region->length;
+  query.dirty_pages = region->pages.dirty_count();
+  for (const SpoolEntry& entry : spool_) {
+    for (const auto& [entry_region, page] : entry.pages) {
+      if (entry_region == region) {
+        ++query.committed_unflushed_transactions;
+        break;
+      }
+    }
+  }
+  return query;
+}
+
+void RvmInstance::SetOptions(const RuntimeOptions& runtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  runtime_ = runtime;
+}
+
+RuntimeOptions RvmInstance::GetOptions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runtime_;
+}
+
+uint64_t RvmInstance::log_bytes_in_use() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_->used();
+}
+
+uint64_t RvmInstance::log_capacity() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_->capacity();
+}
+
+uint64_t RvmInstance::spooled_bytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spool_bytes_;
+}
+
+}  // namespace rvm

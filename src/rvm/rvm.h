@@ -1,0 +1,321 @@
+// RVM: lightweight recoverable virtual memory.
+//
+// This is the library's public interface, a C++ rendering of the primitives
+// in Figure 4 of "Lightweight Recoverable Virtual Memory" (Satyanarayanan et
+// al., SOSP '93). One RvmInstance corresponds to one process using RVM: it
+// owns one write-ahead log and any number of mapped regions of external data
+// segments.
+//
+// Guarantees (§1, §3.1):
+//   - Atomicity: a transaction's changes apply all-or-nothing across
+//     crashes.
+//   - Permanence: after a kFlush commit the changes survive process and
+//     machine failure; after a kNoFlush commit they survive once Flush()
+//     returns ("bounded persistence").
+//   - Serializability is NOT provided: concurrency control is the layer
+//     above (the library is internally thread-safe, but transactions see
+//     each other's in-memory writes immediately).
+//
+// Typical use:
+//
+//   RvmInstance::CreateLog(env, "app.log", 8 << 20, /*overwrite=*/false);
+//   RvmOptions options;
+//   options.log_path = "app.log";
+//   auto rvm = RvmInstance::Initialize(options);      // runs crash recovery
+//   RegionDescriptor region{.segment_path = "app.seg", .length = 1 << 20};
+//   rvm->Map(region);                                  // committed image
+//   auto* data = static_cast<MyRoot*>(region.address);
+//
+//   TransactionId tid = rvm->BeginTransaction(RestoreMode::kRestore).value();
+//   rvm->SetRange(tid, &data->counter, sizeof(data->counter));
+//   data->counter++;
+//   rvm->EndTransaction(tid, CommitMode::kFlush);
+#ifndef RVM_RVM_RVM_H_
+#define RVM_RVM_RVM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/os/file.h"
+#include "src/rvm/cpu_model.h"
+#include "src/rvm/log_device.h"
+#include "src/rvm/options.h"
+#include "src/rvm/page_vector.h"
+#include "src/rvm/statistics.h"
+#include "src/rvm/types.h"
+#include "src/util/interval_set.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+class RvmInstance {
+ public:
+  // create_log (§4.2): formats a fresh write-ahead log of `log_size` bytes.
+  static Status CreateLog(Env* env, const std::string& path,
+                          uint64_t log_size, bool overwrite = false);
+
+  // initialize (§4.2): opens the log named in `options` and performs crash
+  // recovery (§5.1.2), bringing every external data segment named in the log
+  // to its last committed state.
+  static StatusOr<std::unique_ptr<RvmInstance>> Initialize(
+      const RvmOptions& options);
+
+  // terminate: flushes spooled no-flush transactions and writes a clean
+  // status block. Fails if transactions are still uncommitted. Also invoked
+  // (best-effort) by the destructor.
+  Status Terminate();
+
+  ~RvmInstance();
+  RvmInstance(const RvmInstance&) = delete;
+  RvmInstance& operator=(const RvmInstance&) = delete;
+
+  // map (§4.1): maps [segment_offset, segment_offset+length) of the named
+  // external data segment. On success region.address holds the base (RVM
+  // allocates page-aligned memory when region.address is null; a caller-
+  // provided address must be page-aligned). The mapped bytes are the
+  // committed image. Restrictions per the paper: offsets and lengths are
+  // multiples of the page size; no byte of a segment may be mapped twice;
+  // mappings cannot overlap in memory.
+  Status Map(RegionDescriptor& region);
+
+  // unmap (§4.1): requires no uncommitted transactions on the region.
+  // Flushes and truncates so the external data segment is current, then
+  // releases the mapping. The region may afterwards be mapped elsewhere.
+  Status Unmap(const RegionDescriptor& region);
+
+  // begin_transaction (§4.2).
+  StatusOr<TransactionId> BeginTransaction(RestoreMode mode);
+
+  // set_range (§4.2): declares that [base, base+length) — which must lie
+  // within a single mapped region — is about to be modified by `tid`.
+  // Duplicate, overlapping, and adjacent ranges are coalesced (§5.2).
+  Status SetRange(TransactionId tid, void* base, uint64_t length);
+
+  // Convenience: SetRange followed by copying `value` into place.
+  Status Modify(TransactionId tid, void* dest, const void* value,
+                uint64_t length);
+
+  // end_transaction (§4.2).
+  Status EndTransaction(TransactionId tid, CommitMode mode);
+
+  // §8 extension for distributed transactions: commits like EndTransaction
+  // but also returns the transaction's old-value records, which a two-phase
+  // commit library can preserve to build a compensating transaction if the
+  // coordinator later aborts. Requires a kRestore transaction.
+  struct OldValueRecord {
+    std::string segment_path;
+    uint64_t segment_offset = 0;
+    std::vector<uint8_t> bytes;
+  };
+  Status EndTransactionWithUndo(TransactionId tid, CommitMode mode,
+                                std::vector<OldValueRecord>* undo);
+
+  // Translates a (segment, offset) location into its current mapped address,
+  // or kNotFound if that part of the segment is not mapped. Used when
+  // replaying preserved old-value records after a restart.
+  StatusOr<void*> ResolveSegmentAddress(const std::string& segment_path,
+                                        uint64_t segment_offset);
+
+  // Inverse translation: the (segment, offset) a mapped address corresponds
+  // to. kNotFound if the address is not in any mapped region.
+  StatusOr<std::pair<std::string, uint64_t>> TranslateAddress(
+      const void* address);
+
+  // abort_transaction (§4.2): restores every set_range'd byte to its value
+  // at the time of the set_range. Illegal for kNoRestore transactions.
+  Status AbortTransaction(TransactionId tid);
+
+  // flush (§4.2): blocks until all committed no-flush transactions are
+  // forced to the log.
+  Status Flush();
+
+  // truncate (§4.2): blocks until all committed changes in the log have been
+  // reflected to external data segments and the log is empty.
+  Status Truncate();
+
+  // query (§4.2): information about the region containing `address`.
+  StatusOr<RegionQuery> Query(const void* address);
+
+  // set_options (§4.2).
+  void SetOptions(const RuntimeOptions& runtime);
+  RuntimeOptions GetOptions();
+
+  const RvmStatistics& statistics() const { return stats_; }
+  uint64_t log_bytes_in_use();
+  uint64_t log_capacity();
+  uint64_t spooled_bytes();
+
+ private:
+  struct RegionState {
+    SegmentId segment_id = kInvalidSegmentId;
+    std::string segment_path;
+    uint64_t segment_offset = 0;
+    uint64_t length = 0;
+    uint8_t* base = nullptr;
+    bool owns_memory = false;
+    PageVector pages;
+    uint64_t active_transactions = 0;
+
+    RegionState(uint64_t num_pages) : pages(num_pages) {}
+  };
+
+  struct OldValue {
+    RegionState* region;
+    uint64_t offset;  // within the region
+    std::vector<uint8_t> bytes;
+  };
+
+  struct TxnState {
+    TransactionId tid = kInvalidTransactionId;
+    RestoreMode mode = RestoreMode::kRestore;
+    // Per-region coalesced modification ranges (region-relative offsets).
+    std::map<RegionState*, IntervalSet> covered;
+    // Verbatim ranges, kept only when intra-transaction optimization is
+    // disabled (ablation benchmarks).
+    std::map<RegionState*, std::vector<Interval>> raw_ranges;
+    // Pages referenced, for uncommitted-reference accounting.
+    std::map<RegionState*, std::set<uint64_t>> pages_touched;
+    std::vector<OldValue> old_values;
+  };
+
+  // A committed no-flush transaction whose record has not reached the log.
+  struct SpoolEntry {
+    TransactionId tid;
+    struct SegRange {
+      SegmentId segment;
+      uint64_t offset;       // within the segment
+      uint64_t length;
+      uint64_t data_offset;  // into `data`
+    };
+    std::vector<SegRange> ranges;
+    std::vector<uint8_t> data;  // new values, concatenated
+    // Pages holding this entry's changes (unflushed refs to release, dirty
+    // bits to set at append time).
+    std::vector<std::pair<RegionState*, uint64_t>> pages;
+    uint64_t encoded_size = 0;
+  };
+
+  struct QueuedPage {
+    RegionState* region;
+    uint64_t page;
+    uint64_t log_offset;  // first record referencing the page
+  };
+
+  RvmInstance(const RvmOptions& options, std::unique_ptr<LogDevice> log);
+
+  // --- recovery & truncation (rvm_truncation.cc) ---
+  Status RecoverLocked();
+  Status TruncateEpochLocked();
+  Status MaybeTruncateLocked();
+  Status IncrementalTruncateLocked();
+  bool NeedsTruncationLocked() const;
+  void TruncationThreadMain();
+  void StopTruncationThread();
+  // Applies the live log [head, tail) to external data segments using
+  // newest-record-wins, the shared core of recovery and epoch truncation.
+  // Counters distinguish the two callers.
+  Status ApplyLogToSegmentsLocked(uint64_t* records_applied,
+                                  uint64_t* bytes_applied);
+  // Copies the live records into a fresh, rvmutl-readable log file (§6).
+  Status ArchiveLiveLogLocked();
+
+  // --- commit path (rvm.cc) ---
+  Status EndTransactionLocked(TxnState& txn, CommitMode mode);
+  SpoolEntry BuildSpoolEntryLocked(TxnState& txn);
+  Status InterTransactionOptimizeLocked(const TxnState& txn);
+  Status AppendSpoolEntryLocked(SpoolEntry& entry);
+  Status FlushLocked();
+  void ReleaseUncommittedLocked(TxnState& txn);
+
+  // --- mapping helpers ---
+  StatusOr<RegionState*> FindRegionLocked(const void* address,
+                                          uint64_t length);
+  StatusOr<SegmentId> SegmentIdForLocked(const std::string& path);
+  StatusOr<std::unique_ptr<File>> OpenSegmentLocked(SegmentId id);
+
+  Env* env_;
+  CpuMeter cpu_;
+  uint64_t page_size_;
+  RuntimeOptions runtime_;
+  std::unique_ptr<LogDevice> log_;
+
+  std::mutex mu_;
+  bool terminated_ = false;
+  // Background truncation thread state (TruncationMode::kBackground).
+  TruncationMode truncation_mode_;
+  std::thread truncation_thread_;
+  std::condition_variable truncation_cv_;
+  bool stop_truncation_ = false;
+  TransactionId next_tid_ = 1;
+  std::map<TransactionId, TxnState> transactions_;
+  // Regions ordered by base address for containment lookup.
+  std::map<uintptr_t, std::unique_ptr<RegionState>> regions_;
+  std::deque<SpoolEntry> spool_;
+  uint64_t spool_bytes_ = 0;
+  std::deque<QueuedPage> page_queue_;
+  // Segment files kept open for truncation/recovery writes.
+  std::map<SegmentId, std::unique_ptr<File>> segment_files_;
+
+  RvmStatistics stats_;
+};
+
+// RAII transaction helper. Aborts on destruction unless committed.
+class Transaction {
+ public:
+  Transaction(RvmInstance& rvm, RestoreMode mode = RestoreMode::kRestore)
+      : rvm_(rvm) {
+    StatusOr<TransactionId> tid = rvm.BeginTransaction(mode);
+    if (tid.ok()) {
+      tid_ = *tid;
+    } else {
+      status_ = tid.status();
+    }
+  }
+
+  ~Transaction() {
+    if (tid_ != kInvalidTransactionId && !finished_) {
+      (void)rvm_.AbortTransaction(tid_);
+    }
+  }
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  TransactionId id() const { return tid_; }
+
+  Status SetRange(void* base, uint64_t length) {
+    return rvm_.SetRange(tid_, base, length);
+  }
+  template <typename T>
+  Status SetRange(T* object) {
+    return rvm_.SetRange(tid_, object, sizeof(T));
+  }
+
+  Status Commit(CommitMode mode = CommitMode::kFlush) {
+    finished_ = true;
+    return rvm_.EndTransaction(tid_, mode);
+  }
+  Status Abort() {
+    finished_ = true;
+    return rvm_.AbortTransaction(tid_);
+  }
+
+ private:
+  RvmInstance& rvm_;
+  TransactionId tid_ = kInvalidTransactionId;
+  bool finished_ = false;
+  Status status_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_RVM_H_

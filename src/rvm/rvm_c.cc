@@ -1,0 +1,226 @@
+#include "src/rvm/rvm_c.h"
+
+#include <memory>
+
+#include "src/rvm/rvm.h"
+
+// The opaque C handle wraps an owning pointer to the C++ instance.
+struct rvm_state {
+  std::unique_ptr<rvm::RvmInstance> instance;
+};
+
+namespace {
+
+rvm_return_t Translate(const rvm::Status& status) {
+  switch (status.code()) {
+    case rvm::ErrorCode::kOk:
+      return RVM_SUCCESS;
+    case rvm::ErrorCode::kInvalidArgument:
+      return RVM_EINVAL;
+    case rvm::ErrorCode::kNotFound:
+      return RVM_ENOT_FOUND;
+    case rvm::ErrorCode::kAlreadyExists:
+      return RVM_EEXISTS;
+    case rvm::ErrorCode::kOutOfRange:
+      return RVM_ERANGE;
+    case rvm::ErrorCode::kFailedPrecondition:
+    case rvm::ErrorCode::kAborted:
+      return RVM_EPRECONDITION;
+    case rvm::ErrorCode::kOverlap:
+      return RVM_EOVERLAP;
+    case rvm::ErrorCode::kIoError:
+      return RVM_EIO;
+    case rvm::ErrorCode::kCorruption:
+      return RVM_ECORRUPT;
+    case rvm::ErrorCode::kLogFull:
+      return RVM_ELOG_FULL;
+    default:
+      return RVM_EINTERNAL;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+rvm_return_t rvm_create_log(const char* log_path, uint64_t log_size,
+                            int overwrite) {
+  if (log_path == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(rvm::RvmInstance::CreateLog(rvm::GetRealEnv(), log_path,
+                                               log_size, overwrite != 0));
+}
+
+rvm_return_t rvm_initialize(const char* log_path, rvm_state_t** state_out) {
+  if (log_path == nullptr || state_out == nullptr) {
+    return RVM_EINVAL;
+  }
+  rvm::RvmOptions options;
+  options.log_path = log_path;
+  auto instance = rvm::RvmInstance::Initialize(options);
+  if (!instance.ok()) {
+    return Translate(instance.status());
+  }
+  *state_out = new rvm_state{std::move(*instance)};
+  return RVM_SUCCESS;
+}
+
+rvm_return_t rvm_terminate(rvm_state_t* state) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  rvm::Status status = state->instance->Terminate();
+  if (!status.ok()) {
+    return Translate(status);
+  }
+  delete state;
+  return RVM_SUCCESS;
+}
+
+rvm_return_t rvm_map(rvm_state_t* state, rvm_region_t* region) {
+  if (state == nullptr || region == nullptr || region->segment_path == nullptr) {
+    return RVM_EINVAL;
+  }
+  rvm::RegionDescriptor descriptor;
+  descriptor.segment_path = region->segment_path;
+  descriptor.segment_offset = region->segment_offset;
+  descriptor.length = region->length;
+  descriptor.address = region->address;
+  rvm::Status status = state->instance->Map(descriptor);
+  if (status.ok()) {
+    region->address = descriptor.address;
+  }
+  return Translate(status);
+}
+
+rvm_return_t rvm_unmap(rvm_state_t* state, rvm_region_t* region) {
+  if (state == nullptr || region == nullptr) {
+    return RVM_EINVAL;
+  }
+  rvm::RegionDescriptor descriptor;
+  descriptor.address = region->address;
+  return Translate(state->instance->Unmap(descriptor));
+}
+
+rvm_return_t rvm_begin_transaction(rvm_state_t* state,
+                                   rvm_restore_mode_t restore_mode,
+                                   rvm_tid_t* tid_out) {
+  if (state == nullptr || tid_out == nullptr) {
+    return RVM_EINVAL;
+  }
+  auto tid = state->instance->BeginTransaction(
+      restore_mode == RVM_NO_RESTORE ? rvm::RestoreMode::kNoRestore
+                                     : rvm::RestoreMode::kRestore);
+  if (!tid.ok()) {
+    return Translate(tid.status());
+  }
+  *tid_out = *tid;
+  return RVM_SUCCESS;
+}
+
+rvm_return_t rvm_set_range(rvm_state_t* state, rvm_tid_t tid, void* base,
+                           uint64_t length) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(state->instance->SetRange(tid, base, length));
+}
+
+rvm_return_t rvm_end_transaction(rvm_state_t* state, rvm_tid_t tid,
+                                 rvm_commit_mode_t commit_mode) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(state->instance->EndTransaction(
+      tid, commit_mode == RVM_NO_FLUSH ? rvm::CommitMode::kNoFlush
+                                       : rvm::CommitMode::kFlush));
+}
+
+rvm_return_t rvm_abort_transaction(rvm_state_t* state, rvm_tid_t tid) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(state->instance->AbortTransaction(tid));
+}
+
+rvm_return_t rvm_flush(rvm_state_t* state) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(state->instance->Flush());
+}
+
+rvm_return_t rvm_truncate(rvm_state_t* state) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  return Translate(state->instance->Truncate());
+}
+
+rvm_return_t rvm_query(rvm_state_t* state, const void* address,
+                       uint64_t* uncommitted_out, uint64_t* unflushed_out,
+                       uint64_t* dirty_pages_out) {
+  if (state == nullptr) {
+    return RVM_EINVAL;
+  }
+  auto query = state->instance->Query(address);
+  if (!query.ok()) {
+    return Translate(query.status());
+  }
+  if (uncommitted_out != nullptr) {
+    *uncommitted_out = query->uncommitted_transactions;
+  }
+  if (unflushed_out != nullptr) {
+    *unflushed_out = query->committed_unflushed_transactions;
+  }
+  if (dirty_pages_out != nullptr) {
+    *dirty_pages_out = query->dirty_pages;
+  }
+  return RVM_SUCCESS;
+}
+
+rvm_return_t rvm_set_options(rvm_state_t* state, double truncation_threshold,
+                             uint64_t max_spool_bytes) {
+  if (state == nullptr || truncation_threshold <= 0 ||
+      truncation_threshold > 1.0) {
+    return RVM_EINVAL;
+  }
+  rvm::RuntimeOptions runtime = state->instance->GetOptions();
+  runtime.truncation_threshold = truncation_threshold;
+  if (max_spool_bytes > 0) {
+    runtime.max_spool_bytes = max_spool_bytes;
+  }
+  state->instance->SetOptions(runtime);
+  return RVM_SUCCESS;
+}
+
+const char* rvm_strerror(rvm_return_t code) {
+  switch (code) {
+    case RVM_SUCCESS:
+      return "success";
+    case RVM_EINVAL:
+      return "invalid argument";
+    case RVM_ENOT_FOUND:
+      return "not found";
+    case RVM_EEXISTS:
+      return "already exists";
+    case RVM_ERANGE:
+      return "out of range";
+    case RVM_EPRECONDITION:
+      return "operation illegal in current state";
+    case RVM_EOVERLAP:
+      return "mapping overlap";
+    case RVM_EIO:
+      return "i/o error";
+    case RVM_ECORRUPT:
+      return "corruption detected";
+    case RVM_ELOG_FULL:
+      return "log full";
+    case RVM_EINTERNAL:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+}  // extern "C"

@@ -1,0 +1,93 @@
+// C binding for RVM, mirroring the primitives of Figure 4 in the paper.
+//
+// The original RVM was a C library ("A Unix programmer thinks of RVM in
+// essentially the same way he thinks of a typical subroutine library, such
+// as the stdio package", §10); this header preserves that interface style —
+// rvm_initialize / rvm_map / rvm_begin_transaction / ... — over the C++
+// implementation, for C callers and for source familiarity with the
+// original. One rvm_state_t corresponds to one RvmInstance.
+#ifndef RVM_RVM_RVM_C_H_
+#define RVM_RVM_RVM_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum {
+  RVM_SUCCESS = 0,
+  RVM_EINVAL,          /* bad argument */
+  RVM_ENOT_FOUND,      /* no such log/segment/region/transaction */
+  RVM_EEXISTS,         /* log already exists */
+  RVM_ERANGE,          /* offset/length out of range */
+  RVM_EPRECONDITION,   /* illegal in current state */
+  RVM_EOVERLAP,        /* mapping overlap (§4.1 restrictions) */
+  RVM_EIO,             /* underlying I/O failure */
+  RVM_ECORRUPT,        /* log or heap corruption detected */
+  RVM_ELOG_FULL,       /* transaction larger than the log */
+  RVM_EINTERNAL
+} rvm_return_t;
+
+typedef struct rvm_state rvm_state_t;      /* opaque: one RVM instance */
+typedef uint64_t rvm_tid_t;                /* transaction identifier */
+
+typedef enum { RVM_RESTORE = 0, RVM_NO_RESTORE = 1 } rvm_restore_mode_t;
+typedef enum { RVM_FLUSH = 0, RVM_NO_FLUSH = 1 } rvm_commit_mode_t;
+
+typedef struct {
+  const char* segment_path; /* external data segment (file) */
+  uint64_t segment_offset;  /* page aligned */
+  uint64_t length;          /* nonzero page multiple */
+  void* address;            /* in: desired base or NULL; out: mapped base */
+} rvm_region_t;
+
+/* create_log: format a fresh write-ahead log. */
+rvm_return_t rvm_create_log(const char* log_path, uint64_t log_size,
+                            int overwrite);
+
+/* initialize: open the log and run crash recovery. */
+rvm_return_t rvm_initialize(const char* log_path, rvm_state_t** state_out);
+
+/* terminate: flush spooled transactions, write a clean status block, and
+   free the state. Passing a state with uncommitted transactions fails. */
+rvm_return_t rvm_terminate(rvm_state_t* state);
+
+/* map / unmap (§4.1). */
+rvm_return_t rvm_map(rvm_state_t* state, rvm_region_t* region);
+rvm_return_t rvm_unmap(rvm_state_t* state, rvm_region_t* region);
+
+/* begin_transaction / set_range / end_transaction / abort_transaction. */
+rvm_return_t rvm_begin_transaction(rvm_state_t* state,
+                                   rvm_restore_mode_t restore_mode,
+                                   rvm_tid_t* tid_out);
+rvm_return_t rvm_set_range(rvm_state_t* state, rvm_tid_t tid, void* base,
+                           uint64_t length);
+rvm_return_t rvm_end_transaction(rvm_state_t* state, rvm_tid_t tid,
+                                 rvm_commit_mode_t commit_mode);
+rvm_return_t rvm_abort_transaction(rvm_state_t* state, rvm_tid_t tid);
+
+/* flush / truncate (§4.2 log control). */
+rvm_return_t rvm_flush(rvm_state_t* state);
+rvm_return_t rvm_truncate(rvm_state_t* state);
+
+/* query: counts for the region containing `address`. Any out-pointer may be
+   NULL. */
+rvm_return_t rvm_query(rvm_state_t* state, const void* address,
+                       uint64_t* uncommitted_out, uint64_t* unflushed_out,
+                       uint64_t* dirty_pages_out);
+
+/* set_options: truncation threshold as a fraction of log capacity (§4.2's
+   "threshold for triggering log truncation"). */
+rvm_return_t rvm_set_options(rvm_state_t* state, double truncation_threshold,
+                             uint64_t max_spool_bytes);
+
+/* Human-readable name for a return code. */
+const char* rvm_strerror(rvm_return_t code);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* RVM_RVM_RVM_C_H_ */

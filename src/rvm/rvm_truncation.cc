@@ -1,0 +1,226 @@
+// Crash recovery, epoch truncation (Fig. 6), and incremental truncation
+// (Fig. 7).
+//
+// Recovery and epoch truncation share one core, ApplyLogToSegmentsLocked:
+// walk the live log newest-record-first via the reverse-displacement chain,
+// and for each modification range apply only the bytes not already covered
+// by a newer record ("an in-memory tree of the latest committed changes",
+// §5.1.2). Idempotency comes from deferring the status-block update that
+// declares the log empty until after every segment write is durable: a crash
+// anywhere in between simply reruns the whole procedure.
+#include <algorithm>
+#include <set>
+
+#include "src/rvm/rvm.h"
+#include "src/util/logging.h"
+
+namespace rvm {
+
+Status RvmInstance::ApplyLogToSegmentsLocked(uint64_t* records_applied,
+                                             uint64_t* bytes_applied) {
+  // One backward pass over the reverse-displacement chain, newest record
+  // first ("reading the log from tail to head", §5.1.2). Latest committed
+  // value wins: track covered bytes per segment, applying only uncovered
+  // pieces of older records.
+  std::map<SegmentId, IntervalSet> covered;
+  std::set<File*> touched;
+  const uint64_t max_records = log_->capacity() / kRecordHeaderSize + 1;
+  uint64_t walked = 0;
+  uint64_t offset = log_->status().last_record_offset;
+  while (offset != 0 && log_->InLiveRange(offset)) {
+    if (++walked > max_records) {
+      return Corruption("record reverse displacement chain loops");
+    }
+    RVM_ASSIGN_OR_RETURN(OwnedRecord record, log_->ReadRecordAt(offset));
+    uint64_t record_offset = offset;
+    offset = (record_offset == log_->status().head)
+                 ? 0  // oldest live record processed: stop after this one
+                 : record.parsed.header.prev_offset;
+    if (record.parsed.header.type == RecordType::kWrapFiller) {
+      continue;
+    }
+    cpu_.Fixed(cpu_.model().truncation_record_us);
+    ++*records_applied;
+    for (const RangeView& range : record.parsed.ranges) {
+      IntervalSet& seg_covered = covered[range.segment];
+      uint64_t range_end = range.offset + range.data.size();
+      for (const Interval& piece : seg_covered.Uncovered(range.offset, range_end)) {
+        if (!segment_files_.contains(range.segment)) {
+          RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                               OpenSegmentLocked(range.segment));
+          segment_files_[range.segment] = std::move(file);
+        }
+        File* file = segment_files_[range.segment].get();
+        RVM_RETURN_IF_ERROR(file->WriteAt(
+            piece.start,
+            range.data.subspan(piece.start - range.offset, piece.length())));
+        touched.insert(file);
+        *bytes_applied += piece.length();
+        cpu_.Copy(piece.length());
+      }
+      seg_covered.Add(range.offset, range_end);
+    }
+  }
+  for (File* file : touched) {
+    RVM_RETURN_IF_ERROR(file->Sync());
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::RecoverLocked() {
+  // Find the true end of the log: records forced after the last status-block
+  // write are discovered by forward validity scanning (§5.1.2's "reading the
+  // log from tail to head" starts from this recovered tail).
+  RVM_RETURN_IF_ERROR(log_->ExtendTailForward().status());
+  if (log_->used() == 0) {
+    return OkStatus();
+  }
+  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsLocked(&stats_.recovery_records_applied,
+                                               &stats_.recovery_bytes_applied));
+  // Only now, with every change durably in the segments, declare the log
+  // empty. A crash before this point reruns recovery from scratch.
+  log_->MarkEmpty();
+  return log_->WriteStatus();
+}
+
+Status RvmInstance::ArchiveLiveLogLocked() {
+  // The archive is itself a formatted log whose records are the live
+  // records, oldest first — rvmutl reads it like any other log.
+  RVM_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets,
+                       log_->CollectRecordOffsets());
+  if (offsets.empty()) {
+    return OkStatus();
+  }
+  std::string path =
+      runtime_.log_archive_prefix + std::to_string(log_->status().generation);
+  uint64_t size = std::max<uint64_t>(log_->status().log_size,
+                                     kLogDataStart + 16 * 1024);
+  RVM_RETURN_IF_ERROR(LogDevice::Create(env_, path, size, /*overwrite=*/true));
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<LogDevice> archive,
+                       LogDevice::Open(env_, path));
+  archive->status().segments = log_->status().segments;
+  archive->status().next_segment_id = log_->status().next_segment_id;
+  for (auto offset = offsets.rbegin(); offset != offsets.rend(); ++offset) {
+    RVM_ASSIGN_OR_RETURN(OwnedRecord record, log_->ReadRecordAt(*offset));
+    if (record.parsed.header.type == RecordType::kWrapFiller) {
+      continue;
+    }
+    std::vector<RangeView> ranges = record.parsed.ranges;
+    RVM_RETURN_IF_ERROR(
+        archive->AppendTransaction(record.parsed.header.tid, ranges).status());
+  }
+  RVM_RETURN_IF_ERROR(archive->Sync());
+  return archive->WriteStatus();
+}
+
+Status RvmInstance::TruncateEpochLocked() {
+  // Everything the epoch applies must be durable in the log first, so a
+  // crash mid-truncation can re-derive the same segment contents.
+  RVM_RETURN_IF_ERROR(log_->Sync());
+  if (log_->used() == 0) {
+    return OkStatus();
+  }
+  if (!runtime_.log_archive_prefix.empty()) {
+    RVM_RETURN_IF_ERROR(ArchiveLiveLogLocked());
+  }
+  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsLocked(
+      &stats_.truncation_records_applied, &stats_.truncation_bytes_applied));
+  log_->MarkEmpty();
+  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  // All committed changes are in the segments: no page is dirty with respect
+  // to the log anymore. Unflushed/uncommitted reference counts are
+  // unaffected (those changes are not in the log).
+  page_queue_.clear();
+  for (auto& [base, region] : regions_) {
+    region->pages.ClearDirtyAndQueued();
+  }
+  ++stats_.epoch_truncations;
+  return OkStatus();
+}
+
+Status RvmInstance::MaybeTruncateLocked() {
+  if (!NeedsTruncationLocked()) {
+    return OkStatus();
+  }
+  if (truncation_mode_ == TruncationMode::kBackground) {
+    // Hand the work to the truncation thread. If it falls behind and the
+    // log actually fills, the append path still epoch-truncates inline as a
+    // last resort.
+    truncation_cv_.notify_one();
+    return OkStatus();
+  }
+  if (runtime_.use_incremental_truncation) {
+    return IncrementalTruncateLocked();
+  }
+  return TruncateEpochLocked();
+}
+
+Status RvmInstance::IncrementalTruncateLocked() {
+  const uint64_t target = static_cast<uint64_t>(
+      runtime_.truncation_target * static_cast<double>(log_->capacity()));
+  const uint64_t critical = static_cast<uint64_t>(
+      runtime_.epoch_critical_fraction * static_cast<double>(log_->capacity()));
+
+  std::set<File*> touched;
+  bool advanced = false;
+  uint64_t steps = 0;
+  while (log_->used() > target && !page_queue_.empty() &&
+         steps < runtime_.incremental_max_steps) {
+    const QueuedPage& front = page_queue_.front();
+    PageEntry& entry = front.region->pages.entry(front.page);
+    if (!entry.dirty || !entry.in_queue) {
+      page_queue_.pop_front();  // stale descriptor (cleared by an epoch)
+      continue;
+    }
+    if (entry.write_blocked()) {
+      // The head page still has uncommitted or unflushed changes. If log
+      // space is critical, revert to epoch truncation (§5.1.2); otherwise
+      // retry on a later trigger.
+      if (log_->used() > critical) {
+        return TruncateEpochLocked();
+      }
+      break;
+    }
+    // Write the page directly from VM to the external data segment (Fig. 7).
+    RegionState* region = front.region;
+    uint64_t page_start = front.page * page_size_;
+    uint64_t page_len = std::min(page_size_, region->length - page_start);
+    if (!segment_files_.contains(region->segment_id)) {
+      RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           OpenSegmentLocked(region->segment_id));
+      segment_files_[region->segment_id] = std::move(file);
+    }
+    File* file = segment_files_[region->segment_id].get();
+    RVM_RETURN_IF_ERROR(
+        file->WriteAt(region->segment_offset + page_start,
+                      std::span<const uint8_t>(region->base + page_start, page_len)));
+    touched.insert(file);
+    cpu_.Copy(page_len);
+    entry.dirty = false;
+    entry.in_queue = false;
+    page_queue_.pop_front();
+    ++stats_.incremental_steps;
+    ++stats_.incremental_pages_written;
+    ++steps;
+    advanced = true;
+  }
+
+  if (!advanced) {
+    return OkStatus();
+  }
+  // Segment writes must be durable before the head moves past the records
+  // they supersede, and the head move must be durable before new appends
+  // reuse the reclaimed space (appends happen only after we return, under
+  // the same lock discipline).
+  for (File* file : touched) {
+    RVM_RETURN_IF_ERROR(file->Sync());
+  }
+  if (page_queue_.empty()) {
+    log_->MarkEmpty();
+  } else {
+    log_->status().head = page_queue_.front().log_offset;
+  }
+  return log_->WriteStatus();
+}
+
+}  // namespace rvm

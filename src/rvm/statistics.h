@@ -1,0 +1,45 @@
+// Operation counters, including the log-traffic optimization accounting that
+// reproduces Table 2.
+#ifndef RVM_RVM_STATISTICS_H_
+#define RVM_RVM_STATISTICS_H_
+
+#include <cstdint>
+
+namespace rvm {
+
+struct RvmStatistics {
+  uint64_t transactions_committed = 0;
+  uint64_t transactions_aborted = 0;
+  uint64_t flush_commits = 0;
+  uint64_t no_flush_commits = 0;
+  uint64_t set_range_calls = 0;
+
+  // Log-traffic accounting (Table 2). "requested" counts every byte named by
+  // a set_range call; "logged" counts record bytes actually written to the
+  // log file; the two savings counters attribute the suppressed volume.
+  uint64_t bytes_requested = 0;
+  uint64_t bytes_logged = 0;
+  uint64_t intra_saved_bytes = 0;  // duplicate/overlap coalescing (§5.2)
+  uint64_t inter_saved_bytes = 0;  // subsumed unflushed records (§5.2)
+
+  uint64_t log_forces = 0;
+  uint64_t log_flush_calls = 0;
+
+  uint64_t epoch_truncations = 0;
+  uint64_t incremental_steps = 0;
+  uint64_t incremental_pages_written = 0;
+  uint64_t truncation_records_applied = 0;
+  uint64_t truncation_bytes_applied = 0;
+
+  uint64_t recovery_records_applied = 0;
+  uint64_t recovery_bytes_applied = 0;
+
+  // Total volume the log would have carried with no optimizations.
+  uint64_t unoptimized_log_bytes() const {
+    return bytes_logged + intra_saved_bytes + inter_saved_bytes;
+  }
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_STATISTICS_H_

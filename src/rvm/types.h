@@ -1,0 +1,60 @@
+// Program-visible types of the RVM interface (paper §4, Figure 4).
+#ifndef RVM_RVM_TYPES_H_
+#define RVM_RVM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvm {
+
+// Transaction identifier returned by begin_transaction.
+using TransactionId = uint64_t;
+inline constexpr TransactionId kInvalidTransactionId = 0;
+
+// Internal compact identifier for an external data segment, assigned when a
+// segment is first named to this log (persisted in the log status block's
+// segment dictionary so recovery can resolve log records to segment files).
+using SegmentId = uint32_t;
+inline constexpr SegmentId kInvalidSegmentId = 0;
+
+// begin_transaction mode (§4.2): a no-restore transaction promises never to
+// call abort, letting RVM skip copying old values on each set_range.
+enum class RestoreMode {
+  kRestore,    // abort possible; old values are preserved in memory
+  kNoRestore,  // application will never explicitly abort
+};
+
+// end_transaction mode (§4.2): a no-flush ("lazy") commit spools the log
+// records in memory instead of forcing them to disk, trading bounded
+// persistence (until the next flush) for much lower commit latency.
+enum class CommitMode {
+  kFlush,    // synchronous log force; permanent on return
+  kNoFlush,  // spooled; permanent after the next rvm flush
+};
+
+// Describes one mapping request/existing mapping (Figure 3). A region of the
+// external data segment [segment_offset, segment_offset + length) is mapped
+// at a page-aligned virtual address.
+struct RegionDescriptor {
+  std::string segment_path;    // external data segment (file or raw device)
+  uint64_t segment_offset = 0; // byte offset within the segment (page aligned)
+  uint64_t length = 0;         // bytes (multiple of page size)
+  // Desired address, or nullptr to let RVM allocate. After a successful map
+  // this holds the mapped base address.
+  void* address = nullptr;
+};
+
+// Result of rvm query (§4.2): "information such as the number and identity
+// of uncommitted transactions in a region".
+struct RegionQuery {
+  uint64_t uncommitted_transactions = 0;
+  std::vector<TransactionId> uncommitted_tids;
+  uint64_t committed_unflushed_transactions = 0;
+  uint64_t mapped_length = 0;
+  uint64_t dirty_pages = 0;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_TYPES_H_

@@ -1,0 +1,210 @@
+#include "src/segloader/segment_loader.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rvm {
+namespace {
+
+// The load map: a fixed-capacity table in the control segment. All fields
+// are plain integers/char arrays so the map is position-independent.
+constexpr uint64_t kMapMagic = 0x5345474C4F414431ull;  // "SEGLOAD1"
+constexpr uint64_t kMaxEntries = 62;
+constexpr uint64_t kMaxPath = 192;
+constexpr uint64_t kPageSize = 4096;
+// Fresh bases are carved out of a quiet corner of the address space, spaced
+// 16 GB apart so segments can grow across runs without colliding.
+constexpr uint64_t kArenaBase = 0x5A00'0000'0000ull;
+constexpr uint64_t kArenaStride = 16ull << 30;
+
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
+struct MapEntry {
+  char path[kMaxPath];
+  uint64_t base;
+  uint64_t length;  // most recently loaded length (informational)
+  uint64_t in_use;  // slot allocated
+};
+
+struct LoadMap {
+  uint64_t magic;
+  uint64_t version;
+  uint64_t next_slot;
+  uint64_t pad;
+  MapEntry entries[kMaxEntries];
+};
+
+static_assert(sizeof(LoadMap) <= 16 * kPageSize, "load map must fit its region");
+constexpr uint64_t kMapRegionLen = 16 * kPageSize;
+
+uint64_t RoundUpPages(uint64_t length) {
+  return (length + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+}  // namespace
+
+struct SegmentLoader::Mapping {
+  std::string path;
+  void* address = nullptr;
+  uint64_t mapped_bytes = 0;  // mmap'd span (page rounded)
+  uint64_t region_length = 0;
+};
+
+StatusOr<std::unique_ptr<SegmentLoader>> SegmentLoader::Open(
+    RvmInstance& rvm, const std::string& map_segment_path) {
+  RegionDescriptor region;
+  region.segment_path = map_segment_path;
+  region.length = kMapRegionLen;
+  RVM_RETURN_IF_ERROR(rvm.Map(region));
+  auto* map = static_cast<LoadMap*>(region.address);
+  if (map->magic != kMapMagic) {
+    // Fresh control segment: initialize it transactionally.
+    Transaction txn(rvm);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    RVM_RETURN_IF_ERROR(txn.SetRange(map, sizeof(LoadMap)));
+    std::memset(map, 0, sizeof(LoadMap));
+    map->magic = kMapMagic;
+    map->version = 1;
+    RVM_RETURN_IF_ERROR(txn.Commit());
+  }
+  return std::unique_ptr<SegmentLoader>(
+      new SegmentLoader(rvm, std::move(region)));
+}
+
+SegmentLoader::SegmentLoader(RvmInstance& rvm, RegionDescriptor map_region)
+    : rvm_(&rvm), map_region_(std::move(map_region)) {}
+
+SegmentLoader::~SegmentLoader() {
+  for (Mapping& mapping : mappings_) {
+    if (mapping.address != nullptr) {
+      RegionDescriptor region;
+      region.address = mapping.address;
+      (void)rvm_->Unmap(region);
+      ::munmap(mapping.address, mapping.mapped_bytes);
+    }
+  }
+  (void)rvm_->Unmap(map_region_);
+}
+
+StatusOr<void*> SegmentLoader::Load(const std::string& path, uint64_t length) {
+  if (path.size() >= kMaxPath) {
+    return InvalidArgument("segment path too long for load map");
+  }
+  if (length == 0 || length % kPageSize != 0) {
+    return InvalidArgument("length must be a nonzero page multiple");
+  }
+  for (const Mapping& mapping : mappings_) {
+    if (mapping.path == path && mapping.address != nullptr) {
+      return FailedPrecondition("segment already loaded: " + path);
+    }
+  }
+  auto* map = static_cast<LoadMap*>(map_region_.address);
+
+  MapEntry* entry = nullptr;
+  for (uint64_t i = 0; i < kMaxEntries; ++i) {
+    if (map->entries[i].in_use != 0 && path == map->entries[i].path) {
+      entry = &map->entries[i];
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    // Assign a fresh slot and base address, durably, before mapping.
+    if (map->next_slot >= kMaxEntries) {
+      return FailedPrecondition("load map full");
+    }
+    Transaction txn(*rvm_);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    entry = &map->entries[map->next_slot];
+    RVM_RETURN_IF_ERROR(txn.SetRange(entry, sizeof(MapEntry)));
+    RVM_RETURN_IF_ERROR(txn.SetRange(&map->next_slot, sizeof(uint64_t)));
+    std::memset(entry, 0, sizeof(MapEntry));
+    std::memcpy(entry->path, path.c_str(), path.size() + 1);
+    entry->base = kArenaBase + map->next_slot * kArenaStride;
+    entry->length = length;
+    entry->in_use = 1;
+    ++map->next_slot;
+    RVM_RETURN_IF_ERROR(txn.Commit());
+  } else if (entry->length != length) {
+    Transaction txn(*rvm_);
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    RVM_RETURN_IF_ERROR(txn.SetRange(&entry->length, sizeof(uint64_t)));
+    entry->length = length;
+    RVM_RETURN_IF_ERROR(txn.Commit());
+  }
+
+  uint64_t mapped_bytes = RoundUpPages(length);
+  void* address = ::mmap(reinterpret_cast<void*>(entry->base), mapped_bytes,
+                         PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE,
+                         -1, 0);
+  if (address == MAP_FAILED) {
+    return Internal("cannot map segment at its recorded base 0x" +
+                    std::to_string(entry->base) + ": " + std::strerror(errno));
+  }
+  if (reinterpret_cast<uint64_t>(address) != entry->base) {
+    // Kernel ignored the fixed placement (old kernels treat NOREPLACE as a
+    // hint): relocating would break absolute pointers, so refuse.
+    ::munmap(address, mapped_bytes);
+    return Internal("recorded base address unavailable");
+  }
+
+  RegionDescriptor region;
+  region.segment_path = path;
+  region.length = length;
+  region.address = address;
+  Status mapped = rvm_->Map(region);
+  if (!mapped.ok()) {
+    ::munmap(address, mapped_bytes);
+    return mapped;
+  }
+  mappings_.push_back({path, address, mapped_bytes, length});
+  return address;
+}
+
+Status SegmentLoader::Unload(const std::string& path) {
+  for (Mapping& mapping : mappings_) {
+    if (mapping.path == path && mapping.address != nullptr) {
+      RegionDescriptor region;
+      region.address = mapping.address;
+      RVM_RETURN_IF_ERROR(rvm_->Unmap(region));
+      ::munmap(mapping.address, mapping.mapped_bytes);
+      mapping.address = nullptr;
+      return OkStatus();
+    }
+  }
+  return NotFound("segment not loaded: " + path);
+}
+
+std::vector<SegmentLoader::LoadedSegment> SegmentLoader::Entries() const {
+  const auto* map = static_cast<const LoadMap*>(map_region_.address);
+  std::vector<LoadedSegment> out;
+  for (uint64_t i = 0; i < kMaxEntries; ++i) {
+    const MapEntry& entry = map->entries[i];
+    if (entry.in_use == 0) {
+      continue;
+    }
+    LoadedSegment segment;
+    segment.path = entry.path;
+    segment.base = entry.base;
+    segment.length = entry.length;
+    for (const Mapping& mapping : mappings_) {
+      if (mapping.path == segment.path && mapping.address != nullptr) {
+        segment.loaded = true;
+      }
+    }
+    out.push_back(std::move(segment));
+  }
+  return out;
+}
+
+}  // namespace rvm

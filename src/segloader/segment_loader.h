@@ -1,0 +1,66 @@
+// Segment loader: stable base addresses for recoverable segments.
+//
+// §4.1 of the paper: "A segment loader package, built on top of RVM, allows
+// the creation and maintenance of a load map for recoverable storage and
+// takes care of mapping a segment into the same base address each time. This
+// simplifies the use of absolute pointers in segments."
+//
+// The load map lives in a control segment (itself recoverable, so base
+// assignments survive crashes). Data segments are backed by anonymous mmap
+// placed at their recorded base with MAP_FIXED_NOREPLACE; the pointer is
+// handed to RvmInstance::Map as a caller-provided address. If another
+// mapping already occupies the recorded base (address-space layout changed),
+// Load fails rather than silently relocating — relocating would corrupt
+// absolute pointers, the exact failure the loader exists to prevent.
+#ifndef RVM_SEGLOADER_SEGMENT_LOADER_H_
+#define RVM_SEGLOADER_SEGMENT_LOADER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rvm/rvm.h"
+#include "src/util/status.h"
+
+namespace rvm {
+
+class SegmentLoader {
+ public:
+  struct LoadedSegment {
+    std::string path;
+    uint64_t base = 0;
+    uint64_t length = 0;
+    bool loaded = false;  // currently mapped by this loader
+  };
+
+  // Opens (creating on first use) the load map in `map_segment_path`.
+  static StatusOr<std::unique_ptr<SegmentLoader>> Open(
+      RvmInstance& rvm, const std::string& map_segment_path);
+
+  ~SegmentLoader();
+  SegmentLoader(const SegmentLoader&) = delete;
+  SegmentLoader& operator=(const SegmentLoader&) = delete;
+
+  // Maps [0, length) of `path` at its recorded base address, assigning a
+  // fresh base on first load. Lengths may grow across runs (the recorded
+  // base is reused; the arena reserves generous spacing).
+  StatusOr<void*> Load(const std::string& path, uint64_t length);
+
+  // Unmaps a loaded segment (flushing + truncating per RVM Unmap rules).
+  Status Unload(const std::string& path);
+
+  std::vector<LoadedSegment> Entries() const;
+
+ private:
+  struct Mapping;
+  SegmentLoader(RvmInstance& rvm, RegionDescriptor map_region);
+
+  RvmInstance* rvm_;
+  RegionDescriptor map_region_;
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_SEGLOADER_SEGMENT_LOADER_H_

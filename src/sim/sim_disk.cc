@@ -1,0 +1,71 @@
+#include "src/sim/sim_disk.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rvm {
+
+void SimDisk::Transfer(uint64_t offset, uint64_t bytes, bool background) {
+  double micros = 0;
+  const double full_rotation_us = 60.0 * 1e6 / params_.rpm;
+  uint64_t distance =
+      offset > head_pos_ ? offset - head_pos_ : head_pos_ - offset;
+  bool idle =
+      clock_->now_micros() > last_end_micros_ + params_.idle_streaming_us;
+  if (distance > params_.near_distance_bytes) {
+    // Full repositioning: settle + travel + average rotational latency.
+    double frac =
+        static_cast<double>(distance) / static_cast<double>(params_.capacity_bytes);
+    micros += (params_.settle_ms +
+               (params_.full_seek_ms - params_.settle_ms) * std::sqrt(frac)) *
+              1000.0;
+    micros += full_rotation_us / 2.0;
+  } else if (idle) {
+    // The platter rotated away during the idle gap: half a revolution on
+    // average to reacquire the target sector.
+    micros += full_rotation_us / 2.0;
+  } else if (distance > 0) {
+    // Elevator-sorted batch: rotational positioning pro-rata by gap.
+    double frac = std::min(
+        1.0, static_cast<double>(distance) / static_cast<double>(params_.track_bytes));
+    micros += frac * full_rotation_us;
+  }
+  // distance == 0 && !idle: pure streaming continuation, transfer only.
+  // Media transfer.
+  micros += static_cast<double>(bytes) / (params_.transfer_mb_per_s * 1048576.0) * 1e6;
+  head_pos_ = offset + bytes;
+  busy_micros_ += micros;
+  if (background) {
+    clock_->WaitIoBackground(micros);
+  } else {
+    clock_->WaitIo(micros);
+  }
+  last_end_micros_ = clock_->now_micros();
+}
+
+void SimDisk::Read(uint64_t offset, uint64_t bytes) {
+  ++reads_;
+  bytes_read_ += bytes;
+  Transfer(offset, bytes, /*background=*/false);
+}
+
+void SimDisk::Write(uint64_t offset, uint64_t bytes) {
+  ++writes_;
+  bytes_written_ += bytes;
+  Transfer(offset, bytes, /*background=*/false);
+}
+
+void SimDisk::WriteBackground(uint64_t offset, uint64_t bytes) {
+  ++writes_;
+  bytes_written_ += bytes;
+  Transfer(offset, bytes, /*background=*/true);
+}
+
+void SimDisk::Sync() {
+  ++syncs_;
+  double micros = params_.sync_overhead_ms * 1000.0;
+  busy_micros_ += micros;
+  clock_->WaitIo(micros);
+}
+
+}  // namespace rvm

@@ -1,0 +1,137 @@
+#include "src/sim/sim_env.h"
+
+#include <algorithm>
+
+namespace rvm {
+namespace {
+
+// Coalesces buffered writes so one fsync streams contiguous byte ranges
+// instead of charging per tiny write, like a real buffer cache would.
+struct PendingRange {
+  uint64_t offset;
+  uint64_t length;
+};
+
+class SimFile final : public File {
+ public:
+  SimFile(std::unique_ptr<File> inner, SimDisk* disk)
+      : inner_(std::move(inner)), disk_(disk) {}
+
+  StatusOr<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    RVM_ASSIGN_OR_RETURN(size_t n, inner_->ReadAt(offset, out));
+    // Pending (buffered) bytes read back for free; disk time only for the
+    // portion that is not already in the cache. We approximate: if the whole
+    // range is pending, no charge, else charge the full read.
+    if (disk_ != nullptr && n > 0 && !FullyPending(offset, n)) {
+      disk_->Read(offset, n);
+    }
+    return n;
+  }
+
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override {
+    RVM_RETURN_IF_ERROR(inner_->WriteAt(offset, data));
+    AddPending(offset, data.size());
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    RVM_RETURN_IF_ERROR(inner_->Sync());
+    if (disk_ != nullptr) {
+      // The buffer cache writes back sorted by offset (elevator order),
+      // merging ranges that became adjacent.
+      std::sort(pending_.begin(), pending_.end(),
+                [](const PendingRange& a, const PendingRange& b) {
+                  return a.offset < b.offset;
+                });
+      size_t merged = 0;
+      for (size_t i = 1; i < pending_.size(); ++i) {
+        PendingRange& last = pending_[merged];
+        if (pending_[i].offset <= last.offset + last.length) {
+          uint64_t end = std::max(last.offset + last.length,
+                                  pending_[i].offset + pending_[i].length);
+          last.length = end - last.offset;
+        } else {
+          pending_[++merged] = pending_[i];
+        }
+      }
+      if (!pending_.empty()) {
+        pending_.resize(merged + 1);
+      }
+      for (const PendingRange& range : pending_) {
+        disk_->Write(range.offset, range.length);
+      }
+      disk_->Sync();
+    }
+    pending_.clear();
+    return OkStatus();
+  }
+
+  StatusOr<uint64_t> Size() override { return inner_->Size(); }
+
+  Status Resize(uint64_t size) override { return inner_->Resize(size); }
+
+ private:
+  void AddPending(uint64_t offset, uint64_t length) {
+    if (length == 0) {
+      return;
+    }
+    // Common case: sequential append extends the previous range.
+    if (!pending_.empty()) {
+      PendingRange& last = pending_.back();
+      if (last.offset + last.length == offset) {
+        last.length += length;
+        return;
+      }
+    }
+    pending_.push_back({offset, length});
+  }
+
+  bool FullyPending(uint64_t offset, uint64_t length) const {
+    for (const PendingRange& range : pending_) {
+      if (offset >= range.offset && offset + length <= range.offset + range.length) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<File> inner_;
+  SimDisk* disk_;
+  std::vector<PendingRange> pending_;
+};
+
+}  // namespace
+
+void SimEnv::Mount(const std::string& prefix, SimDisk* disk) {
+  mounts_[prefix] = disk;
+}
+
+SimDisk* SimEnv::DiskFor(const std::string& path) const {
+  SimDisk* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, disk] : mounts_) {
+    if (path.starts_with(prefix) && prefix.size() >= best_len) {
+      best = disk;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+StatusOr<std::unique_ptr<File>> SimEnv::Open(const std::string& path,
+                                             OpenMode mode) {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> inner, mem_.Open(path, mode));
+  return std::unique_ptr<File>(new SimFile(std::move(inner), DiskFor(path)));
+}
+
+Status SimEnv::Delete(const std::string& path) { return mem_.Delete(path); }
+
+bool SimEnv::Exists(const std::string& path) { return mem_.Exists(path); }
+
+uint64_t SimEnv::NowMicros() {
+  return static_cast<uint64_t>(clock_->now_micros());
+}
+
+void SimEnv::ChargeCpu(double micros) { clock_->ChargeCpu(micros); }
+
+}  // namespace rvm

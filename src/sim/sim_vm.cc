@@ -1,0 +1,117 @@
+#include "src/sim/sim_vm.h"
+
+#include <cassert>
+
+namespace rvm {
+
+int SimVm::CreateSpace(Pager* pager, uint64_t num_pages) {
+  Space space;
+  space.pager = pager;
+  space.pages.resize(num_pages);
+  spaces_.push_back(std::move(space));
+  return static_cast<int>(spaces_.size() - 1);
+}
+
+void SimVm::ReserveFrames(uint64_t frames) { reserved_frames_ += frames; }
+
+void SimVm::MakeRoomForOneFrame() {
+  if (resident_count_ + reserved_frames_ < total_frames_) {
+    return;
+  }
+  // Evict the least recently used unpinned page.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto [victim_space, victim_page] = *it;
+    PageState& state = spaces_[victim_space].pages[victim_page];
+    if (state.pin_count > 0) {
+      continue;
+    }
+    if (state.dirty) {
+      spaces_[victim_space].pager->PageOut(victim_page);
+      ++stats_.page_outs;
+    } else {
+      ++stats_.clean_drops;
+    }
+    state.resident = false;
+    state.dirty = false;
+    lru_.erase(it);
+    --resident_count_;
+    return;
+  }
+  // Everything is pinned: physical memory is genuinely exhausted. The
+  // Camelot baseline avoids this by forcing truncation when pin counts grow;
+  // reaching here is a modeling bug.
+  assert(false && "SimVm: all frames pinned, cannot evict");
+}
+
+void SimVm::InsertResident(int space, uint64_t page, bool dirty) {
+  MakeRoomForOneFrame();
+  PageState& state = spaces_[space].pages[page];
+  lru_.emplace_back(space, page);
+  state.lru_pos = std::prev(lru_.end());
+  state.resident = true;
+  state.dirty = dirty;
+  ++resident_count_;
+}
+
+void SimVm::Touch(int space, uint64_t page, bool write) {
+  PageState& state = spaces_[space].pages[page];
+  if (!state.resident) {
+    ++stats_.faults;
+    ++stats_.page_ins;
+    spaces_[space].pager->PageIn(page);
+    InsertResident(space, page, write);
+    return;
+  }
+  // Move to MRU position.
+  lru_.splice(lru_.end(), lru_, state.lru_pos);
+  state.lru_pos = std::prev(lru_.end());
+  if (write) {
+    state.dirty = true;
+  }
+}
+
+void SimVm::LoadResident(int space, uint64_t page, bool dirty) {
+  PageState& state = spaces_[space].pages[page];
+  if (state.resident) {
+    state.dirty = state.dirty || dirty;
+    return;
+  }
+  InsertResident(space, page, dirty);
+}
+
+void SimVm::Pin(int space, uint64_t page) {
+  PageState& state = spaces_[space].pages[page];
+  if (!state.resident) {
+    Touch(space, page, false);
+  }
+  ++spaces_[space].pages[page].pin_count;
+}
+
+void SimVm::Unpin(int space, uint64_t page) {
+  PageState& state = spaces_[space].pages[page];
+  assert(state.pin_count > 0);
+  --state.pin_count;
+}
+
+void SimVm::CleanPage(int space, uint64_t page) {
+  PageState& state = spaces_[space].pages[page];
+  if (state.resident && state.dirty) {
+    spaces_[space].pager->PageOut(page);
+    state.dirty = false;
+    ++stats_.writebacks;
+  }
+}
+
+void SimVm::MarkClean(int space, uint64_t page) {
+  spaces_[space].pages[page].dirty = false;
+}
+
+bool SimVm::IsResident(int space, uint64_t page) const {
+  return spaces_[space].pages[page].resident;
+}
+
+bool SimVm::IsDirty(int space, uint64_t page) const {
+  return spaces_[space].pages[page].dirty;
+}
+
+}  // namespace rvm

@@ -1,0 +1,150 @@
+// SimVm: a model of the machine's physical memory and paging behaviour.
+//
+// The paper's central performance question (§7.1) is what happens as the
+// ratio of recoverable memory to physical memory (Rmem/Pmem) grows: RVM's
+// recoverable regions are ordinary pageable virtual memory, so beyond ~70%
+// the VM subsystem starts paging and throughput falls. SimVm reproduces that
+// mechanism: a fixed pool of physical frames shared by all address spaces,
+// LRU eviction, dirty-page writeback, and pin/unpin (used by the Camelot
+// baseline's Disk Manager, which pins dirty recoverable pages until commit).
+//
+// Where a faulted page is read from and where an evicted dirty page is
+// written to is delegated to a per-space Pager: RVM regions swap against the
+// paging disk; Camelot regions page directly against the external data
+// segment through the Disk Manager (charging IPC).
+#ifndef RVM_SIM_SIM_VM_H_
+#define RVM_SIM_SIM_VM_H_
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+
+namespace rvm {
+
+// Supplies the backing-store traffic for one address space's pages.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+  // Charge the cost of reading `page` from backing store on a fault.
+  virtual void PageIn(uint64_t page) = 0;
+  // Charge the cost of writing dirty `page` to backing store on eviction.
+  virtual void PageOut(uint64_t page) = 0;
+};
+
+// Default pager: pages against a swap disk, with a kernel fault-service CPU
+// charge. Swap slots are linear in page index from a fixed base offset.
+class SwapPager : public Pager {
+ public:
+  SwapPager(SimClock* clock, SimDisk* swap_disk, uint64_t page_size,
+            uint64_t swap_base_offset, double fault_cpu_micros = 800.0)
+      : clock_(clock),
+        swap_(swap_disk),
+        page_size_(page_size),
+        base_(swap_base_offset),
+        fault_cpu_micros_(fault_cpu_micros) {}
+
+  void PageIn(uint64_t page) override {
+    clock_->ChargeCpu(fault_cpu_micros_);
+    swap_->Read(base_ + page * page_size_, page_size_);
+  }
+  void PageOut(uint64_t page) override {
+    // Dirty evictions are pagedaemon work: asynchronous writeback that
+    // overlaps the faulting process's I/O waits.
+    clock_->ChargeCpu(fault_cpu_micros_ / 2);
+    swap_->WriteBackground(base_ + page * page_size_, page_size_);
+  }
+
+ private:
+  SimClock* clock_;
+  SimDisk* swap_;
+  uint64_t page_size_;
+  uint64_t base_;
+  double fault_cpu_micros_;
+};
+
+class SimVm {
+ public:
+  struct Stats {
+    uint64_t faults = 0;
+    uint64_t page_ins = 0;
+    uint64_t page_outs = 0;      // dirty evictions
+    uint64_t clean_drops = 0;    // clean evictions
+    uint64_t writebacks = 0;     // explicit CleanPage calls
+  };
+
+  SimVm(SimClock* clock, uint64_t physical_bytes, uint64_t page_size)
+      : clock_(clock),
+        page_size_(page_size),
+        total_frames_(physical_bytes / page_size) {}
+
+  // Registers an address space of `num_pages` pages backed by `pager`.
+  // Returns the space id. The pager must outlive the SimVm.
+  int CreateSpace(Pager* pager, uint64_t num_pages);
+
+  // Reserves `frames` frames permanently (kernel, benchmark code, buffers),
+  // shrinking what is available for paging.
+  void ReserveFrames(uint64_t frames);
+
+  // Simulates one memory access. Faults and evicts as needed.
+  void Touch(int space, uint64_t page, bool write);
+
+  // Marks the page resident and dirty without fault cost (used to model the
+  // en-masse copy-in at map time, §3.2/§4.1).
+  void LoadResident(int space, uint64_t page, bool dirty);
+
+  // Pin/unpin: pinned pages are never evicted. Camelot's Disk Manager pins
+  // dirty recoverable pages until commit (§3.2).
+  void Pin(int space, uint64_t page);
+  void Unpin(int space, uint64_t page);
+
+  // Writes a dirty resident page back through its pager and marks it clean
+  // (Disk-Manager-style truncation, or RVM incremental truncation writing
+  // pages "directly from VM").
+  void CleanPage(int space, uint64_t page);
+
+  // Clears the dirty bit without pager traffic — for callers that charged
+  // the writeback themselves (e.g. the Camelot Disk Manager's truncation).
+  void MarkClean(int space, uint64_t page);
+
+  bool IsResident(int space, uint64_t page) const;
+  bool IsDirty(int space, uint64_t page) const;
+
+  uint64_t resident_frames() const { return resident_count_ + reserved_frames_; }
+  uint64_t total_frames() const { return total_frames_; }
+  uint64_t page_size() const { return page_size_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PageState {
+    bool resident = false;
+    bool dirty = false;
+    uint32_t pin_count = 0;
+    // Valid only when resident: position in the LRU list.
+    std::list<std::pair<int, uint64_t>>::iterator lru_pos;
+  };
+
+  struct Space {
+    Pager* pager;
+    std::vector<PageState> pages;
+  };
+
+  void MakeRoomForOneFrame();
+  void InsertResident(int space, uint64_t page, bool dirty);
+
+  SimClock* clock_;
+  uint64_t page_size_;
+  uint64_t total_frames_;
+  uint64_t reserved_frames_ = 0;
+  uint64_t resident_count_ = 0;
+  std::vector<Space> spaces_;
+  // LRU order, least-recently-used at front. Entries are (space, page).
+  std::list<std::pair<int, uint64_t>> lru_;
+  Stats stats_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_SIM_SIM_VM_H_

@@ -1,0 +1,41 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace rvm {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  for (uint8_t byte : data) {
+    state = (state >> 8) ^ kTable[(state ^ byte) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace rvm

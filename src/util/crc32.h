@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used to detect torn or partial
+// log-record writes during crash recovery. A record whose CRC does not match
+// is treated as the end of the valid log, exactly as a real RVM log device
+// would treat a torn sector.
+#ifndef RVM_UTIL_CRC32_H_
+#define RVM_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rvm {
+
+// One-shot CRC over a byte span.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental interface: crc = Crc32Update(crc, chunk) for each chunk,
+// starting from Crc32Init() and finishing with Crc32Finish(crc).
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
+uint32_t Crc32Finish(uint32_t state);
+
+}  // namespace rvm
+
+#endif  // RVM_UTIL_CRC32_H_

@@ -1,0 +1,125 @@
+#include "src/util/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rvm {
+
+void IntervalSet::Add(uint64_t start, uint64_t end) {
+  if (end <= start) {
+    return;
+  }
+  // Find the first interval whose end is >= start (candidates for merging;
+  // adjacency counts, hence >= rather than >).
+  auto it = intervals_.lower_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      it = prev;
+    }
+  }
+  while (it != intervals_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(start, end);
+}
+
+void IntervalSet::Remove(uint64_t start, uint64_t end) {
+  if (end <= start) {
+    return;
+  }
+  auto it = intervals_.lower_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      it = prev;
+    }
+  }
+  while (it != intervals_.end() && it->first < end) {
+    uint64_t ivl_start = it->first;
+    uint64_t ivl_end = it->second;
+    it = intervals_.erase(it);
+    if (ivl_start < start) {
+      intervals_.emplace(ivl_start, start);
+    }
+    if (ivl_end > end) {
+      intervals_.emplace(end, ivl_end);
+      break;  // nothing beyond this interval can intersect [start, end)
+    }
+  }
+}
+
+bool IntervalSet::Contains(uint64_t start, uint64_t end) const {
+  if (end <= start) {
+    return true;
+  }
+  auto it = intervals_.upper_bound(start);
+  if (it == intervals_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= start && it->second >= end;
+}
+
+bool IntervalSet::Intersects(uint64_t start, uint64_t end) const {
+  if (end <= start) {
+    return false;
+  }
+  auto it = intervals_.lower_bound(start);
+  if (it != intervals_.end() && it->first < end) {
+    return true;
+  }
+  if (it != intervals_.begin()) {
+    --it;
+    return it->second > start;
+  }
+  return false;
+}
+
+std::vector<Interval> IntervalSet::Uncovered(uint64_t start, uint64_t end) const {
+  std::vector<Interval> out;
+  if (end <= start) {
+    return out;
+  }
+  uint64_t cursor = start;
+  auto it = intervals_.upper_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      cursor = std::min(end, prev->second);
+    }
+  }
+  while (cursor < end) {
+    if (it == intervals_.end() || it->first >= end) {
+      out.push_back({cursor, end});
+      break;
+    }
+    if (it->first > cursor) {
+      out.push_back({cursor, it->first});
+    }
+    cursor = std::min(end, it->second);
+    ++it;
+  }
+  return out;
+}
+
+uint64_t IntervalSet::total_length() const {
+  uint64_t total = 0;
+  for (const auto& [start, end] : intervals_) {
+    total += end - start;
+  }
+  return total;
+}
+
+std::vector<Interval> IntervalSet::ToVector() const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const auto& [start, end] : intervals_) {
+    out.push_back({start, end});
+  }
+  return out;
+}
+
+}  // namespace rvm

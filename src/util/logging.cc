@@ -1,0 +1,59 @@
+#include "src/util/logging.h"
+
+#include <cstdarg>
+#include <atomic>
+
+namespace rvm {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kNone)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[rvm %s] %s\n", LevelTag(level), message.c_str());
+}
+
+namespace internal {
+
+std::string FormatLog(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace internal
+}  // namespace rvm

@@ -1,0 +1,44 @@
+// Minimal diagnostic logging. Off by default; enabled per-process via
+// SetLogLevel. RVM is a library, so it must never spam an application's
+// stderr unless asked to.
+#ifndef RVM_UTIL_LOGGING_H_
+#define RVM_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace rvm {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarning = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Logs a preformatted message if `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+std::string FormatLog(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+}  // namespace rvm
+
+#define RVM_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (static_cast<int>(::rvm::GetLogLevel()) >= static_cast<int>(level)) { \
+      ::rvm::LogMessage(level, ::rvm::internal::FormatLog(__VA_ARGS__));     \
+    }                                                                        \
+  } while (0)
+
+#define RVM_LOG_ERROR(...) RVM_LOG(::rvm::LogLevel::kError, __VA_ARGS__)
+#define RVM_LOG_WARN(...) RVM_LOG(::rvm::LogLevel::kWarning, __VA_ARGS__)
+#define RVM_LOG_INFO(...) RVM_LOG(::rvm::LogLevel::kInfo, __VA_ARGS__)
+#define RVM_LOG_DEBUG(...) RVM_LOG(::rvm::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // RVM_UTIL_LOGGING_H_

@@ -1,0 +1,136 @@
+// Little-endian serialization cursors for on-disk structures.
+//
+// All RVM on-disk formats (log status block, log records, segment headers)
+// are serialized explicitly, field by field, in little-endian order. We never
+// memcpy structs to disk: explicit serialization keeps the format independent
+// of compiler padding and host endianness.
+#ifndef RVM_UTIL_SERIALIZE_H_
+#define RVM_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvm {
+
+// Appends fixed-width little-endian values to a growable byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {
+    if (out_ == nullptr) {
+      out_ = &owned_;
+    }
+  }
+
+  void U8(uint8_t v) { out().push_back(v); }
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+
+  void Bytes(std::span<const uint8_t> data) {
+    out().insert(out().end(), data.begin(), data.end());
+  }
+
+  // Length-prefixed (u32) byte string.
+  void LengthPrefixed(std::span<const uint8_t> data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Bytes(data);
+  }
+  void LengthPrefixedString(std::string_view s) {
+    LengthPrefixed(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  void Zeros(size_t n) { out().insert(out().end(), n, 0); }
+
+  size_t size() const { return out_ ? out_->size() : owned_.size(); }
+  std::vector<uint8_t>& out() { return out_ ? *out_ : owned_; }
+  const std::vector<uint8_t>& buffer() const { return out_ ? *out_ : owned_; }
+  std::vector<uint8_t> Take() && { return std::move(out()); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out().push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>* out_ = nullptr;
+  std::vector<uint8_t> owned_;
+};
+
+// Reads fixed-width little-endian values from a byte span. All reads are
+// bounds-checked; an out-of-bounds read sets the failed flag and returns 0,
+// letting a parser validate once at the end instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t U8() { return ReadLe<uint8_t>(); }
+  uint16_t U16() { return ReadLe<uint16_t>(); }
+  uint32_t U32() { return ReadLe<uint32_t>(); }
+  uint64_t U64() { return ReadLe<uint64_t>(); }
+  int64_t I64() { return static_cast<int64_t>(ReadLe<uint64_t>()); }
+
+  // Returns a view into the underlying buffer (no copy).
+  std::span<const uint8_t> Bytes(size_t n) {
+    if (remaining() < n) {
+      failed_ = true;
+      pos_ = data_.size();
+      return {};
+    }
+    std::span<const uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const uint8_t> LengthPrefixed() {
+    uint32_t n = U32();
+    return Bytes(n);
+  }
+  std::string LengthPrefixedString() {
+    std::span<const uint8_t> b = LengthPrefixed();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  void Skip(size_t n) { (void)Bytes(n); }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool failed() const { return failed_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    if (remaining() < sizeof(T)) {
+      failed_ = true;
+      pos_ = data_.size();
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+inline std::span<const uint8_t> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace rvm
+
+#endif  // RVM_UTIL_SERIALIZE_H_

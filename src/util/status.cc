@@ -1,0 +1,49 @@
+#include "src/util/status.h"
+
+namespace rvm {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid argument";
+    case ErrorCode::kNotFound:
+      return "not found";
+    case ErrorCode::kAlreadyExists:
+      return "already exists";
+    case ErrorCode::kOutOfRange:
+      return "out of range";
+    case ErrorCode::kFailedPrecondition:
+      return "failed precondition";
+    case ErrorCode::kOverlap:
+      return "overlap";
+    case ErrorCode::kIoError:
+      return "io error";
+    case ErrorCode::kCorruption:
+      return "corruption";
+    case ErrorCode::kLogFull:
+      return "log full";
+    case ErrorCode::kAborted:
+      return "aborted";
+    case ErrorCode::kUnimplemented:
+      return "unimplemented";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rvm

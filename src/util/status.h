@@ -1,0 +1,157 @@
+// Status and StatusOr: lightweight error propagation for the RVM libraries.
+//
+// RVM is a storage library; almost every operation can fail for reasons the
+// caller must be able to distinguish (bad arguments vs. I/O failure vs. log
+// corruption). We use value-semantic Status objects rather than exceptions so
+// that failure paths are explicit in signatures, matching the C heritage of
+// the original RVM interface.
+#ifndef RVM_UTIL_STATUS_H_
+#define RVM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rvm {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kInvalidArgument,    // caller passed a malformed descriptor / range / mode
+  kNotFound,           // no such segment, region, transaction, or file
+  kAlreadyExists,      // e.g. create_log over an existing log
+  kOutOfRange,         // offset/length outside a segment or region
+  kFailedPrecondition, // operation illegal in current state (e.g. unmap with
+                       // uncommitted transactions outstanding)
+  kOverlap,            // mapping would alias existing mapped memory (§4.1)
+  kIoError,            // underlying read/write/fsync failed
+  kCorruption,         // checksum or structural validation failed
+  kLogFull,            // no log space and truncation cannot free any
+  kAborted,            // transaction was aborted
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of an error code ("kIoError" -> "io error").
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "io error: short write at offset 42".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OverlapError(std::string msg) {
+  return Status(ErrorCode::kOverlap, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status Corruption(std::string msg) {
+  return Status(ErrorCode::kCorruption, std::move(msg));
+}
+inline Status LogFull(std::string msg) {
+  return Status(ErrorCode::kLogFull, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(ErrorCode::kAborted, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// StatusOr<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors out of the current function. These are the only macros in
+// the codebase; they exist because C++ has no try-operator for Status.
+#define RVM_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::rvm::Status rvm_status_ = (expr);      \
+    if (!rvm_status_.ok()) {                 \
+      return rvm_status_;                    \
+    }                                        \
+  } while (0)
+
+#define RVM_CONCAT_INNER_(a, b) a##b
+#define RVM_CONCAT_(a, b) RVM_CONCAT_INNER_(a, b)
+
+#define RVM_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto RVM_CONCAT_(rvm_or_, __LINE__) = (expr);                  \
+  if (!RVM_CONCAT_(rvm_or_, __LINE__).ok()) {                    \
+    return RVM_CONCAT_(rvm_or_, __LINE__).status();              \
+  }                                                              \
+  lhs = std::move(RVM_CONCAT_(rvm_or_, __LINE__)).value()
+
+}  // namespace rvm
+
+#endif  // RVM_UTIL_STATUS_H_

@@ -1,0 +1,132 @@
+// The paper's TPC-A variant (§7.1.1).
+//
+// "A transaction updates a randomly chosen account, updates branch and
+// teller balances, and appends a history record to an audit trail. ... The
+// accounts and the audit trail are represented as arrays of 128-byte and
+// 64-byte records respectively. Each of these data structures occupies close
+// to half the total recoverable memory. ... Access to the audit trail is
+// always sequential, with wrap-around."
+//
+// Access patterns: sequential; random (uniform); localized — "70% of the
+// transactions update accounts on 5% of the pages, 25% ... on a different
+// 15% of the pages, and the remaining 5% ... on the remaining 80% of the
+// pages. Within each set, accesses are uniformly distributed."
+//
+// This header is pure workload logic: given a transaction number it says
+// which records are touched. Drivers (RVM, Camelot) bind it to an engine.
+#ifndef RVM_WORKLOAD_TPCA_H_
+#define RVM_WORKLOAD_TPCA_H_
+
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace rvm {
+
+enum class TpcaPattern {
+  kSequential,
+  kRandom,
+  kLocalized,
+};
+
+struct TpcaConfig {
+  uint64_t num_accounts = 32768;
+  TpcaPattern pattern = TpcaPattern::kSequential;
+  uint64_t seed = 42;
+  uint64_t page_size = 4096;
+
+  static constexpr uint64_t kAccountBytes = 128;
+  static constexpr uint64_t kAuditBytes = 64;
+  static constexpr uint64_t kTellers = 10;
+  static constexpr uint64_t kBranches = 1;
+
+  uint64_t accounts_bytes() const { return num_accounts * kAccountBytes; }
+  // Audit trail sized to match the account array ("close to half ... each").
+  uint64_t audit_records() const { return num_accounts * 2; }
+  uint64_t audit_bytes() const { return audit_records() * kAuditBytes; }
+  uint64_t tellers_bytes() const { return kTellers * kAccountBytes; }
+  uint64_t branches_bytes() const { return kBranches * kAccountBytes; }
+  // Total recoverable memory (Rmem), page aligned.
+  uint64_t rmem_bytes() const {
+    uint64_t raw = accounts_bytes() + audit_bytes() + tellers_bytes() +
+                   branches_bytes();
+    return (raw + page_size - 1) / page_size * page_size;
+  }
+};
+
+// One transaction's touch set.
+struct TpcaTxn {
+  uint64_t account = 0;
+  uint64_t teller = 0;
+  uint64_t branch = 0;
+  uint64_t audit_slot = 0;
+};
+
+class TpcaWorkload {
+ public:
+  explicit TpcaWorkload(const TpcaConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        accounts_per_page_(config.page_size / TpcaConfig::kAccountBytes) {}
+
+  const TpcaConfig& config() const { return config_; }
+
+  TpcaTxn Next() {
+    TpcaTxn txn;
+    txn.account = NextAccount();
+    txn.teller = rng_.Below(TpcaConfig::kTellers);
+    txn.branch = 0;
+    txn.audit_slot = audit_cursor_;
+    audit_cursor_ = (audit_cursor_ + 1) % config_.audit_records();
+    ++txn_count_;
+    return txn;
+  }
+
+ private:
+  uint64_t NextAccount() {
+    switch (config_.pattern) {
+      case TpcaPattern::kSequential:
+        return txn_count_ % config_.num_accounts;
+      case TpcaPattern::kRandom:
+        return rng_.Below(config_.num_accounts);
+      case TpcaPattern::kLocalized: {
+        // Zone split by *pages* of the account array (paper wording).
+        uint64_t pages =
+            (config_.accounts_bytes() + config_.page_size - 1) / config_.page_size;
+        uint64_t hot_pages = pages * 5 / 100;
+        uint64_t warm_pages = pages * 15 / 100;
+        if (hot_pages == 0) {
+          hot_pages = 1;
+        }
+        if (warm_pages == 0) {
+          warm_pages = 1;
+        }
+        double draw = rng_.NextDouble();
+        uint64_t page;
+        if (draw < 0.70) {
+          page = rng_.Below(hot_pages);
+        } else if (draw < 0.95) {
+          page = hot_pages + rng_.Below(warm_pages);
+        } else {
+          uint64_t cold_pages = pages - hot_pages - warm_pages;
+          page = hot_pages + warm_pages + rng_.Below(cold_pages);
+        }
+        uint64_t account = page * accounts_per_page_ +
+                           rng_.Below(accounts_per_page_);
+        return account < config_.num_accounts ? account
+                                              : config_.num_accounts - 1;
+      }
+    }
+    return 0;
+  }
+
+  TpcaConfig config_;
+  Xoshiro256 rng_;
+  uint64_t accounts_per_page_;
+  uint64_t audit_cursor_ = 0;
+  uint64_t txn_count_ = 0;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_WORKLOAD_TPCA_H_

@@ -1,0 +1,176 @@
+// Determinism guarantees: the whole benchmark environment must produce
+// bit-identical results across runs (EXPERIMENTS.md promises reproducible
+// numbers), and log state must be stable across shutdown/reopen cycles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+// One fixed mini-workload on a simulated machine; returns final sim time.
+double RunSimWorkload() {
+  SimClock clock;
+  SimDisk log_disk(&clock, "log");
+  SimDisk data_disk(&clock, "data");
+  SimEnv env(&clock);
+  env.Mount("/log", &log_disk);
+  env.Mount("/data", &data_disk);
+  (void)RvmInstance::CreateLog(&env, "/log/rvm", 2ull << 20);
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log/rvm";
+  auto rvm = RvmInstance::Initialize(options);
+  RegionDescriptor region;
+  region.segment_path = "/data/seg";
+  region.length = 8 * kPage;
+  (void)(*rvm)->Map(region);
+  auto* base = static_cast<uint8_t*>(region.address);
+  Xoshiro256 rng(12345);
+  for (int i = 0; i < 100; ++i) {
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+    uint64_t offset = rng.Below(8 * kPage - 512);
+    (void)(*rvm)->SetRange(*tid, base + offset, 512);
+    base[offset] = static_cast<uint8_t>(i);
+    (void)(*rvm)->EndTransaction(*tid, i % 3 == 0 ? CommitMode::kFlush
+                                                  : CommitMode::kNoFlush);
+  }
+  (void)(*rvm)->Flush();
+  return clock.now_micros();
+}
+
+TEST(DeterminismTest, SimulatedTimeIsBitIdenticalAcrossRuns) {
+  double first = RunSimWorkload();
+  double second = RunSimWorkload();
+  double third = RunSimWorkload();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, third);
+  EXPECT_GT(first, 0);
+}
+
+TEST(DeterminismTest, LogBytesIdenticalAcrossRuns) {
+  auto run = [](MemEnv& env) {
+    (void)RvmInstance::CreateLog(&env, "/log", kLogDataStart + 256 * 1024);
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = 4 * kPage;
+    (void)(*rvm)->Map(region);
+    auto* base = static_cast<uint8_t*>(region.address);
+    Xoshiro256 rng(777);
+    for (int i = 0; i < 40; ++i) {
+      Transaction txn(**rvm);
+      uint64_t offset = rng.Below(4 * kPage - 100);
+      (void)txn.SetRange(base + offset, 100);
+      std::memset(base + offset, i, 100);
+      (void)txn.Commit();
+    }
+    (void)(*rvm)->Terminate();
+  };
+  MemEnv env_a;
+  MemEnv env_b;
+  run(env_a);
+  run(env_b);
+  auto file_a = env_a.Open("/log", OpenMode::kReadOnly);
+  auto file_b = env_b.Open("/log", OpenMode::kReadOnly);
+  auto bytes_a = ReadWholeFile(**file_a);
+  auto bytes_b = ReadWholeFile(**file_b);
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+  EXPECT_EQ(*bytes_a, *bytes_b) << "log contents must be deterministic";
+}
+
+// --- log lifecycle across incarnations ---------------------------------------
+
+TEST(LogLifecycleTest, SeqnosContinueAcrossTruncationAndReopen) {
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogDataStart + 64 * 1024).ok());
+  uint64_t seqno_after_first;
+  {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* base = static_cast<uint8_t*>(region.address);
+    for (int i = 0; i < 5; ++i) {
+      Transaction txn(**rvm);
+      ASSERT_TRUE(txn.SetRange(base, 64).ok());
+      base[0] = static_cast<uint8_t>(i);
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    ASSERT_TRUE((*rvm)->Truncate().ok());
+    ASSERT_TRUE((*rvm)->Terminate().ok());
+  }
+  {
+    auto log = LogDevice::Open(&env, "/log");
+    ASSERT_TRUE(log.ok());
+    seqno_after_first = (*log)->status().tail_seqno;
+    EXPECT_GE(seqno_after_first, 6u) << "seqnos must not reset at truncation";
+  }
+  // A second incarnation keeps counting upward: stale records from the first
+  // life can never alias new ones.
+  {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* base = static_cast<uint8_t*>(region.address);
+    Transaction txn(**rvm);
+    ASSERT_TRUE(txn.SetRange(base, 8).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    ASSERT_TRUE((*rvm)->Terminate().ok());
+  }
+  auto log = LogDevice::Open(&env, "/log");
+  EXPECT_GT((*log)->status().tail_seqno, seqno_after_first);
+}
+
+TEST(LogLifecycleTest, HundredsOfIncarnationsStayHealthy) {
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogDataStart + 32 * 1024).ok());
+  for (int incarnation = 0; incarnation < 60; ++incarnation) {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok()) << "incarnation " << incarnation << ": "
+                          << rvm.status().ToString();
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* counter = static_cast<uint64_t*>(region.address);
+    EXPECT_EQ(*counter, static_cast<uint64_t>(incarnation));
+    Transaction txn(**rvm);
+    ASSERT_TRUE(txn.SetRange(counter, 8).ok());
+    ++*counter;
+    ASSERT_TRUE(txn.Commit().ok());
+    // Half the incarnations terminate cleanly; the others just vanish
+    // (destructor without Terminate).
+    if (incarnation % 2 == 0) {
+      ASSERT_TRUE((*rvm)->Terminate().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,218 @@
+// Edge cases and failure paths: segment dictionary limits, torn status
+// blocks, wraparound-plus-crash interactions, and Camelot baseline recovery
+// under fault injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/camelot/camelot.h"
+#include "src/os/crash_sim.h"
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+// --- segment dictionary limits ---------------------------------------------
+
+TEST(SegmentDictionaryTest, ManySegmentsSupported) {
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogDataStart + (1 << 20)).ok());
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok());
+  // Dozens of segments with short paths fit comfortably.
+  for (int i = 0; i < 60; ++i) {
+    RegionDescriptor region;
+    region.segment_path = "/s" + std::to_string(i);
+    region.length = kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok()) << "segment " << i;
+  }
+}
+
+TEST(SegmentDictionaryTest, DictionaryOverflowFailsCleanly) {
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogDataStart + (1 << 20)).ok());
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok());
+  // Long paths exhaust the 4 KB status block; the failing Map must report
+  // an error, and already-mapped segments must keep working.
+  Status status = OkStatus();
+  int mapped = 0;
+  std::string first_path;
+  void* first_base = nullptr;
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    RegionDescriptor region;
+    region.segment_path =
+        "/very/long/segment/path/padding/padding/padding/padding/padding/"
+        "padding/padding/padding/padding/padding/number/" + std::to_string(i);
+    region.length = kPage;
+    status = (*rvm)->Map(region);
+    if (status.ok()) {
+      ++mapped;
+      if (first_base == nullptr) {
+        first_base = region.address;
+        first_path = region.segment_path;
+      }
+    }
+  }
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_GT(mapped, 10);
+  // The earlier mappings still commit fine.
+  Transaction txn(**rvm);
+  ASSERT_TRUE(txn.SetRange(first_base, 8).ok());
+  std::memset(first_base, 1, 8);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST(SegmentDictionaryTest, OverlongPathRejectedUpFront) {
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogDataStart + (1 << 20)).ok());
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  RegionDescriptor region;
+  region.segment_path = std::string(400, 'x');
+  region.length = kPage;
+  EXPECT_EQ((*rvm)->Map(region).code(), ErrorCode::kInvalidArgument);
+}
+
+// --- torn status block writes ------------------------------------------------
+
+TEST(TornStatusTest, CrashDuringStatusWriteRecoversFromOtherSlot) {
+  // Sweep budgets so the power failure lands inside status-block writes as
+  // well as record writes; the dual-slot scheme must always leave one valid
+  // copy and the library must recover.
+  for (uint64_t budget_step = 0; budget_step < 12; ++budget_step) {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log",
+                                       kLogDataStart + 64 * 1024).ok());
+    uint64_t setup = env.bytes_persisted();
+    {
+      RvmOptions options;
+      options.env = &env;
+      options.log_path = "/log";
+      auto rvm = RvmInstance::Initialize(options);
+      ASSERT_TRUE(rvm.ok());
+      RegionDescriptor region;
+      region.segment_path = "/seg";
+      region.length = kPage;
+      ASSERT_TRUE((*rvm)->Map(region).ok());
+      auto* base = static_cast<uint8_t*>(region.address);
+      Transaction txn(**rvm);
+      ASSERT_TRUE(txn.SetRange(base, 64).ok());
+      std::memset(base, 0x42, 64);
+      ASSERT_TRUE(txn.Commit().ok());
+      // Arm a budget that tears during Truncate's status update sequence.
+      env.SetPersistBudget(env.bytes_persisted() - setup > 0
+                               ? 200 + budget_step * 700
+                               : 0);
+      (void)(*rvm)->Truncate();  // may fail mid-status-write
+    }
+    if (!env.crashed()) {
+      continue;  // budget outlasted the truncation
+    }
+    env.Recover();
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok()) << "status-block tear not survivable at step "
+                          << budget_step << ": " << rvm.status().ToString();
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    const auto* base = static_cast<const uint8_t*>(region.address);
+    EXPECT_EQ(base[0], 0x42) << "committed data lost at step " << budget_step;
+  }
+}
+
+// --- wraparound + crash --------------------------------------------------------
+
+TEST(WrapCrashTest, CrashAfterManyWrapsRecoversNewestState) {
+  CrashSimEnv env;
+  constexpr uint64_t kTinyLog = kLogDataStart + 24 * 1024;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kTinyLog).ok());
+  std::vector<uint8_t> expected(2 * kPage, 0);
+  {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    options.runtime.truncation_threshold = 0.6;
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok());
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = 2 * kPage;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* base = static_cast<uint8_t*>(region.address);
+    Xoshiro256 rng(77);
+    // Enough traffic to lap the tiny log several times.
+    for (int i = 0; i < 120; ++i) {
+      Transaction txn(**rvm);
+      uint64_t offset = rng.Below(2 * kPage - 700);
+      uint64_t length = 100 + rng.Below(600);
+      ASSERT_TRUE(txn.SetRange(base + offset, length).ok());
+      std::memset(base + offset, i + 1, length);
+      std::memset(expected.data() + offset, i + 1, length);
+      ASSERT_TRUE(txn.Commit(CommitMode::kFlush).ok());
+    }
+    env.Crash();  // no Terminate
+  }
+  env.Recover();
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok()) << rvm.status().ToString();
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = 2 * kPage;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  EXPECT_EQ(std::memcmp(region.address, expected.data(), expected.size()), 0);
+}
+
+// --- Camelot baseline crash recovery ------------------------------------------
+
+TEST(CamelotCrashTest, BaselineRecoversCommittedState) {
+  // The Camelot baseline is a real engine: a second engine instance opened
+  // over the same log and segment files (a fresh "node" after the first one
+  // died without any shutdown) must reconstruct all committed state.
+  SimClock clock;
+  SimIpc ipc(&clock);
+  std::vector<uint8_t> expected(4 * kPage, 0);
+  SimEnv shared(&clock);
+  CamelotEngine writer(&shared, &clock, &ipc, nullptr, nullptr);
+  ASSERT_TRUE(writer.AttachLog("/log/camelot", kLogDataStart + 256 * 1024).ok());
+  auto base = writer.MapRegion("/seg/camelot", 4 * kPage);
+  ASSERT_TRUE(base.ok());
+  auto* bytes = static_cast<uint8_t*>(*base);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 30; ++i) {
+    auto tid = writer.Begin();
+    uint64_t offset = rng.Below(4 * kPage - 256);
+    ASSERT_TRUE(writer.SetRange(*tid, bytes + offset, 256).ok());
+    std::memset(bytes + offset, i + 1, 256);
+    std::memset(expected.data() + offset, i + 1, 256);
+    ASSERT_TRUE(writer.End(*tid).ok());
+  }
+  // A second engine on the same files replays the log at MapRegion.
+  CamelotEngine reader(&shared, &clock, &ipc, nullptr, nullptr);
+  ASSERT_TRUE(reader.AttachLog("/log/camelot", kLogDataStart + 256 * 1024).ok());
+  auto recovered = reader.MapRegion("/seg/camelot", 4 * kPage);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(std::memcmp(*recovered, expected.data(), expected.size()), 0);
+}
+
+}  // namespace
+}  // namespace rvm

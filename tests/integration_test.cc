@@ -1,0 +1,264 @@
+// Cross-layer integration tests: the layered packages of §4.1/§8 composed
+// the way an application would actually use them — nested transactions over
+// an RDS heap, two-phase commit over RDS-allocated state, and the whole
+// stack surviving restarts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/dtx/dtx.h"
+#include "src/nested/nested.h"
+#include "src/os/mem_env.h"
+#include "src/rds/rds.h"
+#include "src/rvm/rvm.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kLogSize = kLogDataStart + 1024 * 1024;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log", kLogSize).ok());
+    Reopen();
+  }
+
+  void Reopen() {
+    heap_.reset();
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+    RegionDescriptor region;
+    region.segment_path = "/heap";
+    region.length = 64 * kPage;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    base_ = static_cast<uint8_t*>(region.address);
+    if (*reinterpret_cast<uint64_t*>(base_) == 0) {
+      Transaction txn(*rvm_);
+      auto heap = RdsHeap::Format(*rvm_, base_, 64 * kPage, txn.id());
+      ASSERT_TRUE(heap.ok());
+      ASSERT_TRUE(txn.Commit().ok());
+      heap_ = std::make_unique<RdsHeap>(*heap);
+    } else {
+      auto heap = RdsHeap::Attach(*rvm_, base_, 64 * kPage);
+      ASSERT_TRUE(heap.ok());
+      heap_ = std::make_unique<RdsHeap>(*heap);
+    }
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+  std::unique_ptr<RdsHeap> heap_;
+  uint8_t* base_ = nullptr;
+};
+
+// --- nested transactions driving RDS allocations ---------------------------
+
+TEST_F(IntegrationTest, HeapAllocationsInsideNestFollowTopLevelFate) {
+  // RDS calls attach to the nest's top-level RVM transaction (via RvmTid),
+  // so allocations made anywhere in the nest commit or abort with the top
+  // level — exactly §8's "only top-level begin, commit, and abort
+  // operations would be visible to RVM".
+  RdsHeap::HeapStats before = heap_->Stats();
+  NestedTxnManager nested(*rvm_);
+
+  // Aborted top level: allocation in a grandchild vanishes.
+  {
+    auto top = nested.Begin();
+    auto child = nested.BeginNested(*top);
+    auto rvm_tid = nested.RvmTid(*child);
+    ASSERT_TRUE(rvm_tid.ok());
+    ASSERT_TRUE(heap_->Allocate(*rvm_tid, 256).ok());
+    ASSERT_TRUE(nested.Commit(*child).ok());
+    ASSERT_TRUE(nested.Abort(*top).ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  EXPECT_EQ(heap_->Stats().allocated_blocks, before.allocated_blocks);
+
+  // Committed top level: allocation in a child persists.
+  {
+    auto top = nested.Begin();
+    auto child = nested.BeginNested(*top);
+    auto rvm_tid = nested.RvmTid(*child);
+    auto object = heap_->AllocateObject<uint64_t>(*rvm_tid);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE(nested.SetRange(*child, *object, 8).ok());
+    **object = 42;
+    ASSERT_TRUE(nested.Commit(*child).ok());
+    ASSERT_TRUE(nested.Commit(*top).ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  EXPECT_EQ(heap_->Stats().allocated_blocks, before.allocated_blocks + 1);
+}
+
+TEST_F(IntegrationTest, RdsAllocationsInsideAbortedTopLevelVanish) {
+  RdsHeap::HeapStats before = heap_->Stats();
+  {
+    Transaction txn(*rvm_);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(heap_->Allocate(txn.id(), 100 + i * 10).ok());
+    }
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  RdsHeap::HeapStats after = heap_->Stats();
+  EXPECT_EQ(after.allocated_blocks, before.allocated_blocks);
+  EXPECT_EQ(after.free_bytes, before.free_bytes);
+}
+
+TEST_F(IntegrationTest, LinkedListBuiltAcrossRestarts) {
+  struct Node {
+    uint64_t value;
+    uint64_t next_offset;  // offset links: restart-safe without segloader
+  };
+  auto node_at = [&](uint64_t offset) {
+    return reinterpret_cast<Node*>(base_ + offset);
+  };
+  auto offset_of = [&](void* p) {
+    return static_cast<uint64_t>(static_cast<uint8_t*>(p) - base_);
+  };
+
+  // Build a 30-node list over three process lifetimes.
+  for (int generation = 0; generation < 3; ++generation) {
+    for (int i = 0; i < 10; ++i) {
+      Transaction txn(*rvm_);
+      auto node = heap_->AllocateObject<Node>(txn.id());
+      ASSERT_TRUE(node.ok());
+      uint64_t head = heap_->GetRoot() == nullptr ? 0 : offset_of(heap_->GetRoot());
+      (*node)->value = static_cast<uint64_t>(generation * 10 + i);
+      (*node)->next_offset = head;
+      ASSERT_TRUE(heap_->SetRoot(txn.id(), *node).ok());
+      ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+    }
+    ASSERT_TRUE(rvm_->Flush().ok());
+    Reopen();
+  }
+
+  // Walk and verify: values descend 29..0 from the head.
+  ASSERT_NE(heap_->GetRoot(), nullptr);
+  uint64_t expected = 29;
+  uint64_t count = 0;
+  for (Node* node = static_cast<Node*>(heap_->GetRoot());;
+       node = node_at(node->next_offset)) {
+    EXPECT_EQ(node->value, expected);
+    ++count;
+    if (node->next_offset == 0) {
+      break;
+    }
+    --expected;
+  }
+  EXPECT_EQ(count, 30u);
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+// --- 2PC over RDS-allocated state ------------------------------------------
+
+TEST_F(IntegrationTest, TwoPhaseCommitOverHeapObjects) {
+  // Site A = this instance's heap; site B = a second instance. A global
+  // transaction moves a value from a heap object at A to one at B.
+  MemEnv env_b;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env_b, "/logb", kLogSize).ok());
+  RvmOptions options_b;
+  options_b.env = &env_b;
+  options_b.log_path = "/logb";
+  auto rvm_b = RvmInstance::Initialize(options_b);
+  ASSERT_TRUE(rvm_b.ok());
+  RegionDescriptor region_b;
+  region_b.segment_path = "/datab";
+  region_b.length = kPage;
+  ASSERT_TRUE((*rvm_b)->Map(region_b).ok());
+  auto* value_b = static_cast<uint64_t*>(region_b.address);
+
+  auto participant_a = DtxParticipant::Open(*rvm_, "/dtxa");
+  auto participant_b = DtxParticipant::Open(**rvm_b, "/dtxb");
+  ASSERT_TRUE(participant_a.ok());
+  ASSERT_TRUE(participant_b.ok());
+  LoopbackTransport transport;
+  transport.Register("a", participant_a->get());
+  transport.Register("b", participant_b->get());
+  auto coordinator = DtxCoordinator::Open(*rvm_, "/dtxcoord", transport);
+  ASSERT_TRUE(coordinator.ok());
+
+  // Heap object at A holding the source value.
+  uint64_t* value_a = nullptr;
+  {
+    Transaction txn(*rvm_);
+    auto object = heap_->AllocateObject<uint64_t>(txn.id());
+    ASSERT_TRUE(object.ok());
+    value_a = *object;
+    ASSERT_TRUE(rvm_->Modify(txn.id(), value_a,
+                             std::vector<uint64_t>{500}.data(), 8).ok());
+    ASSERT_TRUE(heap_->SetRoot(txn.id(), value_a).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  auto gtid = (*coordinator)->BeginGlobal({"a", "b"});
+  ASSERT_TRUE(gtid.ok());
+  ASSERT_TRUE((*participant_a)->BeginWork(*gtid).ok());
+  ASSERT_TRUE((*participant_b)->BeginWork(*gtid).ok());
+  uint64_t new_a = *value_a - 200;
+  uint64_t new_b = *value_b + 200;
+  ASSERT_TRUE((*participant_a)->Modify(*gtid, value_a, &new_a, 8).ok());
+  ASSERT_TRUE((*participant_b)->Modify(*gtid, value_b, &new_b, 8).ok());
+  auto outcome = (*coordinator)->CommitGlobal(*gtid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, DtxOutcome::kCommitted);
+  EXPECT_EQ(*value_a, 300u);
+  EXPECT_EQ(*value_b, 200u);
+  ASSERT_TRUE(heap_->Validate().ok());
+
+  // Another global transaction that aborts: compensation must restore the
+  // heap object exactly and leave the heap valid.
+  auto gtid2 = (*coordinator)->BeginGlobal({"a", "ghost"});
+  ASSERT_TRUE((*participant_a)->BeginWork(*gtid2).ok());
+  uint64_t scribble = 1;
+  ASSERT_TRUE((*participant_a)->Modify(*gtid2, value_a, &scribble, 8).ok());
+  auto outcome2 = (*coordinator)->CommitGlobal(*gtid2);
+  ASSERT_TRUE(outcome2.ok());
+  EXPECT_EQ(*outcome2, DtxOutcome::kAborted);
+  EXPECT_EQ(*value_a, 300u) << "compensation failed to restore heap object";
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+// --- nested transactions over mapped regions across restart ----------------
+
+TEST_F(IntegrationTest, NestedTreeCommitsSurviveRestart) {
+  NestedTxnManager nested(*rvm_);
+  uint8_t* data = base_ + 32 * kPage;  // free space beyond heap? inside heap
+  // Use a dedicated region instead of heap space to avoid confusing the
+  // allocator's validator.
+  RegionDescriptor region;
+  region.segment_path = "/nested_seg";
+  region.length = kPage;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  data = static_cast<uint8_t*>(region.address);
+
+  auto top = nested.Begin();
+  auto child_kept = nested.BeginNested(*top);
+  ASSERT_TRUE(nested.SetRange(*child_kept, data, 5).ok());
+  std::memcpy(data, "kept!", 5);
+  ASSERT_TRUE(nested.Commit(*child_kept).ok());
+  auto child_dropped = nested.BeginNested(*top);
+  ASSERT_TRUE(nested.SetRange(*child_dropped, data + 8, 5).ok());
+  std::memcpy(data + 8, "drop!", 5);
+  ASSERT_TRUE(nested.Abort(*child_dropped).ok());
+  ASSERT_TRUE(nested.Commit(*top, CommitMode::kFlush).ok());
+
+  Reopen();
+  RegionDescriptor reopened;
+  reopened.segment_path = "/nested_seg";
+  reopened.length = kPage;
+  ASSERT_TRUE(rvm_->Map(reopened).ok());
+  const auto* bytes = static_cast<const uint8_t*>(reopened.address);
+  EXPECT_EQ(std::memcmp(bytes, "kept!", 5), 0);
+  EXPECT_EQ(bytes[8], 0);
+}
+
+}  // namespace
+}  // namespace rvm

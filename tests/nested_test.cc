@@ -1,0 +1,173 @@
+// Tests for the nested-transaction layer (§8).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/nested/nested.h"
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+class NestedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log",
+                                       kLogDataStart + 256 * 1024).ok());
+    Reopen();
+  }
+
+  void Reopen() {
+    manager_.reset();
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = 2 * kPage;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    base_ = static_cast<uint8_t*>(region.address);
+    manager_ = std::make_unique<NestedTxnManager>(*rvm_);
+  }
+
+  Status Write(NestedTxnId id, uint64_t offset, const char* text) {
+    RVM_RETURN_IF_ERROR(manager_->SetRange(id, base_ + offset, strlen(text)));
+    std::memcpy(base_ + offset, text, strlen(text));
+    return OkStatus();
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+  std::unique_ptr<NestedTxnManager> manager_;
+  uint8_t* base_ = nullptr;
+};
+
+TEST_F(NestedTest, TopLevelCommitPersists) {
+  auto top = manager_->Begin();
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(Write(*top, 0, "top").ok());
+  ASSERT_TRUE(manager_->Commit(*top).ok());
+  Reopen();
+  EXPECT_EQ(std::memcmp(base_, "top", 3), 0);
+}
+
+TEST_F(NestedTest, ChildCommitVisibleOnlyIfTopCommits) {
+  auto top = manager_->Begin();
+  auto child = manager_->BeginNested(*top);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(Write(*child, 0, "child").ok());
+  ASSERT_TRUE(manager_->Commit(*child).ok());
+  EXPECT_EQ(std::memcmp(base_, "child", 5), 0) << "visible in memory pre-commit";
+  ASSERT_TRUE(manager_->Abort(*top).ok());
+  EXPECT_EQ(base_[0], 0) << "top abort must undo committed child";
+  Reopen();
+  EXPECT_EQ(base_[0], 0);
+}
+
+TEST_F(NestedTest, ChildAbortLeavesParentIntact) {
+  auto top = manager_->Begin();
+  ASSERT_TRUE(Write(*top, 0, "parentdata").ok());
+  auto child = manager_->BeginNested(*top);
+  ASSERT_TRUE(Write(*child, 0, "CHILDSCRIB").ok());
+  ASSERT_TRUE(Write(*child, 32, "childonly").ok());
+  ASSERT_TRUE(manager_->Abort(*child).ok());
+  EXPECT_EQ(std::memcmp(base_, "parentdata", 10), 0)
+      << "child abort must restore parent's value, not original";
+  EXPECT_EQ(base_[32], 0);
+  ASSERT_TRUE(manager_->Commit(*top).ok());
+  Reopen();
+  EXPECT_EQ(std::memcmp(base_, "parentdata", 10), 0);
+}
+
+TEST_F(NestedTest, ThreeLevelNesting) {
+  auto top = manager_->Begin();
+  auto mid = manager_->BeginNested(*top);
+  auto leaf = manager_->BeginNested(*mid);
+  EXPECT_EQ(manager_->Depth(*leaf).value(), 3);
+  ASSERT_TRUE(Write(*leaf, 0, "leaf").ok());
+  ASSERT_TRUE(manager_->Commit(*leaf).ok());
+  ASSERT_TRUE(Write(*mid, 8, "mid!").ok());
+  ASSERT_TRUE(manager_->Abort(*mid).ok());
+  // Mid abort undoes both mid's own write and the committed leaf's.
+  EXPECT_EQ(base_[0], 0);
+  EXPECT_EQ(base_[8], 0);
+  ASSERT_TRUE(manager_->Commit(*top).ok());
+}
+
+TEST_F(NestedTest, ParentCannotCommitWithLiveChild) {
+  auto top = manager_->Begin();
+  auto child = manager_->BeginNested(*top);
+  EXPECT_EQ(manager_->Commit(*top).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(manager_->Abort(*top).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(manager_->Abort(*child).ok());
+  EXPECT_TRUE(manager_->Commit(*top).ok());
+}
+
+TEST_F(NestedTest, ParentCannotWriteWhileChildActive) {
+  auto top = manager_->Begin();
+  auto child = manager_->BeginNested(*top);
+  EXPECT_EQ(manager_->SetRange(*top, base_, 4).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(manager_->Abort(*child).ok());
+  ASSERT_TRUE(manager_->Abort(*top).ok());
+}
+
+TEST_F(NestedTest, SiblingsSequentially) {
+  auto top = manager_->Begin();
+  auto first = manager_->BeginNested(*top);
+  ASSERT_TRUE(Write(*first, 0, "first").ok());
+  ASSERT_TRUE(manager_->Commit(*first).ok());
+  auto second = manager_->BeginNested(*top);
+  ASSERT_TRUE(Write(*second, 16, "second").ok());
+  ASSERT_TRUE(manager_->Abort(*second).ok());
+  ASSERT_TRUE(manager_->Commit(*top).ok());
+  Reopen();
+  EXPECT_EQ(std::memcmp(base_, "first", 5), 0);
+  EXPECT_EQ(base_[16], 0);
+}
+
+TEST_F(NestedTest, ChildOverwriteOfParentByteThenChildAbort) {
+  // The precise §8 semantics: child abort restores the value at *child*
+  // begin (which includes the parent's uncommitted modification).
+  auto top = manager_->Begin();
+  ASSERT_TRUE(Write(*top, 0, "AAAA").ok());
+  auto child = manager_->BeginNested(*top);
+  ASSERT_TRUE(Write(*child, 0, "BBBB").ok());
+  auto grandchild = manager_->BeginNested(*child);
+  ASSERT_TRUE(Write(*grandchild, 0, "CCCC").ok());
+  ASSERT_TRUE(manager_->Commit(*grandchild).ok());
+  ASSERT_TRUE(manager_->Abort(*child).ok());
+  EXPECT_EQ(std::memcmp(base_, "AAAA", 4), 0);
+  ASSERT_TRUE(manager_->Commit(*top).ok());
+  Reopen();
+  EXPECT_EQ(std::memcmp(base_, "AAAA", 4), 0);
+}
+
+TEST_F(NestedTest, UnknownIdFails) {
+  EXPECT_EQ(manager_->Commit(999).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(manager_->Abort(999).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(manager_->SetRange(999, base_, 4).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(manager_->BeginNested(999).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NestedTest, IndependentTopLevelTrees) {
+  auto tree_a = manager_->Begin();
+  auto tree_b = manager_->Begin();
+  ASSERT_TRUE(Write(*tree_a, 0, "aaaa").ok());
+  ASSERT_TRUE(Write(*tree_b, 16, "bbbb").ok());
+  ASSERT_TRUE(manager_->Commit(*tree_a).ok());
+  ASSERT_TRUE(manager_->Abort(*tree_b).ok());
+  Reopen();
+  EXPECT_EQ(std::memcmp(base_, "aaaa", 4), 0);
+  EXPECT_EQ(base_[16], 0);
+}
+
+}  // namespace
+}  // namespace rvm

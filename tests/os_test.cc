@@ -1,0 +1,275 @@
+// Tests for the OS abstraction layer: MemEnv, RealEnv, and the adversarial
+// CrashSimEnv used by the recovery property tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/os/crash_sim.h"
+#include "src/os/file.h"
+#include "src/os/mem_env.h"
+
+namespace rvm {
+namespace {
+
+std::span<const uint8_t> Bytes(const char* s) {
+  return {reinterpret_cast<const uint8_t*>(s), strlen(s)};
+}
+
+std::string ReadAll(File& file) {
+  auto data = ReadWholeFile(file);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::string(data->begin(), data->end());
+}
+
+// --- MemEnv ----------------------------------------------------------------
+
+TEST(MemEnvTest, CreateWriteReadBack) {
+  MemEnv env;
+  auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("hello")).ok());
+  EXPECT_EQ(ReadAll(**file), "hello");
+}
+
+TEST(MemEnvTest, PersistsAcrossReopen) {
+  MemEnv env;
+  {
+    auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteAt(0, Bytes("persist")).ok());
+  }
+  auto reopened = env.Open("/a", OpenMode::kReadWrite);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(ReadAll(**reopened), "persist");
+}
+
+TEST(MemEnvTest, OpenMissingFails) {
+  MemEnv env;
+  EXPECT_EQ(env.Open("/missing", OpenMode::kReadWrite).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_FALSE(env.Exists("/missing"));
+}
+
+TEST(MemEnvTest, TruncateModeClears) {
+  MemEnv env;
+  {
+    auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+    ASSERT_TRUE((*file)->WriteAt(0, Bytes("old content")).ok());
+  }
+  auto file = env.Open("/a", OpenMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Size().value(), 0u);
+}
+
+TEST(MemEnvTest, SparseWriteZeroFills) {
+  MemEnv env;
+  auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(10, Bytes("x")).ok());
+  std::vector<uint8_t> out(11);
+  ASSERT_EQ((*file)->ReadAt(0, out).value(), 11u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[10], 'x');
+}
+
+TEST(MemEnvTest, ReadPastEofReturnsShort) {
+  MemEnv env;
+  auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("abc")).ok());
+  std::vector<uint8_t> out(10);
+  EXPECT_EQ((*file)->ReadAt(1, out).value(), 2u);
+  EXPECT_EQ((*file)->ReadAt(5, out).value(), 0u);
+}
+
+TEST(MemEnvTest, DeleteRemoves) {
+  MemEnv env;
+  (void)env.Open("/a", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(env.Exists("/a"));
+  ASSERT_TRUE(env.Delete("/a").ok());
+  EXPECT_FALSE(env.Exists("/a"));
+  EXPECT_EQ(env.Delete("/a").code(), ErrorCode::kNotFound);
+}
+
+TEST(MemEnvTest, ResizeGrowsAndShrinks) {
+  MemEnv env;
+  auto file = env.Open("/a", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->Resize(100).ok());
+  EXPECT_EQ((*file)->Size().value(), 100u);
+  ASSERT_TRUE((*file)->Resize(10).ok());
+  EXPECT_EQ((*file)->Size().value(), 10u);
+}
+
+// --- RealEnv ----------------------------------------------------------------
+
+class RealEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rvm_os_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RealEnvTest, WriteSyncReadBack) {
+  Env* env = GetRealEnv();
+  auto file = env->Open(Path("f"), OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("real bytes")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto reopened = env->Open(Path("f"), OpenMode::kReadOnly);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(ReadAll(**reopened), "real bytes");
+}
+
+TEST_F(RealEnvTest, OpenMissingIsNotFound) {
+  EXPECT_EQ(GetRealEnv()->Open(Path("nope"), OpenMode::kReadWrite).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RealEnvTest, ResizeAndSize) {
+  Env* env = GetRealEnv();
+  auto file = env->Open(Path("g"), OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Resize(4096).ok());
+  EXPECT_EQ((*file)->Size().value(), 4096u);
+}
+
+TEST_F(RealEnvTest, MonotonicClock) {
+  Env* env = GetRealEnv();
+  uint64_t a = env->NowMicros();
+  uint64_t b = env->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+// --- CrashSimEnv -------------------------------------------------------------
+
+TEST(CrashSimTest, UnsyncedWritesLostOnCrash) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("synced")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("LOSTME")).ok());
+  env.Crash();
+  env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(ReadAll(**reopened), "synced");
+}
+
+TEST(CrashSimTest, SyncedWritesSurviveCrash) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("keep")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  env.Crash();
+  env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  EXPECT_EQ(ReadAll(**reopened), "keep");
+}
+
+TEST(CrashSimTest, OperationsFailAfterCrashUntilRecover) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  env.Crash();
+  EXPECT_EQ((*file)->WriteAt(0, Bytes("x")).code(), ErrorCode::kIoError);
+  std::vector<uint8_t> out(1);
+  EXPECT_EQ((*file)->ReadAt(0, out).status().code(), ErrorCode::kIoError);
+  env.Recover();
+  EXPECT_TRUE((*file)->WriteAt(0, Bytes("x")).ok());
+}
+
+TEST(CrashSimTest, NeverSyncedFileDoesNotSurvive) {
+  CrashSimEnv env;
+  (void)env.Open("/ghost", OpenMode::kCreateIfMissing);
+  env.Crash();
+  env.Recover();
+  EXPECT_FALSE(env.Exists("/ghost"));
+}
+
+TEST(CrashSimTest, PersistBudgetCausesCrashDuringSync) {
+  CrashSimEnv::Options options;
+  options.persist_budget = 4;  // only 4 bytes may ever persist
+  options.torn_writes = true;
+  CrashSimEnv env(options);
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("ABCDEFGH")).ok());
+  Status sync_status = (*file)->Sync();
+  EXPECT_EQ(sync_status.code(), ErrorCode::kIoError);
+  EXPECT_TRUE(env.crashed());
+  env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  ASSERT_TRUE(reopened.ok());
+  // Torn write: exactly the budgeted prefix persisted.
+  EXPECT_EQ(ReadAll(**reopened), "ABCD");
+}
+
+TEST(CrashSimTest, NoTornWritesMeansAllOrNothing) {
+  CrashSimEnv::Options options;
+  options.persist_budget = 4;
+  options.torn_writes = false;
+  CrashSimEnv env(options);
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("ABCDEFGH")).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  EXPECT_EQ(ReadAll(**reopened), "");
+}
+
+TEST(CrashSimTest, BudgetSpansMultipleSyncs) {
+  CrashSimEnv::Options options;
+  options.persist_budget = 10;
+  CrashSimEnv env(options);
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("12345")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());  // 5 bytes persisted
+  EXPECT_EQ(env.bytes_persisted(), 5u);
+  ASSERT_TRUE((*file)->WriteAt(5, Bytes("67890")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());  // 10 bytes persisted, at the limit
+  ASSERT_TRUE((*file)->WriteAt(10, Bytes("X")).ok());
+  EXPECT_FALSE((*file)->Sync().ok());  // budget exhausted
+  EXPECT_TRUE(env.crashed());
+}
+
+TEST(CrashSimTest, RecoverResetsVolatileToDurableRepeatedly) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("base")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*file)->WriteAt(0, Bytes("junk")).ok());
+    env.Crash();
+    env.Recover();
+    auto reopened = env.Open("/f", OpenMode::kReadWrite);
+    ASSERT_EQ(ReadAll(**reopened), "base");
+    file = std::move(reopened);
+  }
+}
+
+TEST(CrashSimTest, ResizePersistsOnlyAfterSync) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("abcdef")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Resize(2).ok());
+  env.Crash();
+  env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  EXPECT_EQ(ReadAll(**reopened), "abcdef");
+}
+
+TEST(CrashSimTest, SyncCountTracksFsyncs) {
+  CrashSimEnv env;
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(env.sync_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,439 @@
+// Tests for the RDS recoverable heap allocator: allocation semantics,
+// coalescing, transactional atomicity of allocator metadata, and crash
+// consistency via the structural validator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/os/crash_sim.h"
+#include "src/os/mem_env.h"
+#include "src/rds/rds.h"
+#include "src/rvm/rvm.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kHeapLen = 64 * kPage;
+constexpr uint64_t kLogSize = kLogDataStart + 1024 * 1024;
+
+class RdsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log", kLogSize).ok());
+    Reopen(/*format=*/true);
+  }
+
+  void Reopen(bool format) {
+    heap_.reset();
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+    RegionDescriptor region;
+    region.segment_path = "/heapseg";
+    region.length = kHeapLen;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    base_ = static_cast<uint8_t*>(region.address);
+    if (format) {
+      Transaction txn(*rvm_);
+      auto heap = RdsHeap::Format(*rvm_, base_, kHeapLen, txn.id());
+      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+      ASSERT_TRUE(txn.Commit().ok());
+      heap_ = std::make_unique<RdsHeap>(*heap);
+    } else {
+      auto heap = RdsHeap::Attach(*rvm_, base_, kHeapLen);
+      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+      heap_ = std::make_unique<RdsHeap>(*heap);
+    }
+  }
+
+  void* MustAllocate(uint64_t size) {
+    Transaction txn(*rvm_);
+    auto ptr = heap_->Allocate(txn.id(), size);
+    EXPECT_TRUE(ptr.ok()) << ptr.status().ToString();
+    EXPECT_TRUE(txn.Commit().ok());
+    return ptr.ok() ? *ptr : nullptr;
+  }
+
+  void MustFree(void* ptr) {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(heap_->Free(txn.id(), ptr).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+  std::unique_ptr<RdsHeap> heap_;
+  uint8_t* base_ = nullptr;
+};
+
+TEST_F(RdsTest, FreshHeapValidates) {
+  ASSERT_TRUE(heap_->Validate().ok());
+  RdsHeap::HeapStats stats = heap_->Stats();
+  EXPECT_EQ(stats.allocated_blocks, 0u);
+  EXPECT_EQ(stats.free_blocks, 1u);
+  EXPECT_GT(stats.free_bytes, kHeapLen / 2);
+}
+
+TEST_F(RdsTest, AllocateReturnsZeroedAlignedMemory) {
+  auto* p = static_cast<uint8_t*>(MustAllocate(100));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(p[i], 0);
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RdsTest, AllocationSizeReflectsRounding) {
+  void* p = MustAllocate(100);
+  auto size = heap_->AllocationSize(p);
+  ASSERT_TRUE(size.ok());
+  EXPECT_GE(*size, 100u);
+  EXPECT_LT(*size, 200u);
+}
+
+TEST_F(RdsTest, ZeroSizeAllocationRejected) {
+  Transaction txn(*rvm_);
+  EXPECT_EQ(heap_->Allocate(txn.id(), 0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RdsTest, FreeReclaimsAndCoalesces) {
+  void* a = MustAllocate(1000);
+  void* b = MustAllocate(1000);
+  void* c = MustAllocate(1000);
+  RdsHeap::HeapStats mid = heap_->Stats();
+  EXPECT_EQ(mid.allocated_blocks, 3u);
+  MustFree(a);
+  MustFree(c);
+  MustFree(b);  // merges with both neighbors and the wilderness
+  ASSERT_TRUE(heap_->Validate().ok());
+  RdsHeap::HeapStats after = heap_->Stats();
+  EXPECT_EQ(after.allocated_blocks, 0u);
+  EXPECT_EQ(after.free_blocks, 1u) << "blocks should fully coalesce";
+}
+
+TEST_F(RdsTest, DoubleFreeRejected) {
+  void* p = MustAllocate(64);
+  MustFree(p);
+  Transaction txn(*rvm_);
+  EXPECT_EQ(heap_->Free(txn.id(), p).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RdsTest, ForeignPointerRejected) {
+  Transaction txn(*rvm_);
+  int local = 0;
+  EXPECT_EQ(heap_->Free(txn.id(), &local).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(heap_->Free(txn.id(), base_ + 7777).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RdsTest, ExhaustionFailsCleanly) {
+  // Grab ever-larger chunks until failure; heap must remain valid.
+  Transaction txn(*rvm_);
+  Status status = OkStatus();
+  int allocations = 0;
+  while (true) {
+    auto ptr = heap_->Allocate(txn.id(), 16 * kPage);
+    if (!ptr.ok()) {
+      status = ptr.status();
+      break;
+    }
+    ++allocations;
+  }
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_GT(allocations, 2);
+  ASSERT_TRUE(txn.Commit().ok());
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RdsTest, AbortUndoesAllocation) {
+  RdsHeap::HeapStats before = heap_->Stats();
+  {
+    Transaction txn(*rvm_);
+    auto ptr = heap_->Allocate(txn.id(), 500);
+    ASSERT_TRUE(ptr.ok());
+    std::memset(*ptr, 0xAB, 500);
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok()) << "abort left the heap inconsistent";
+  RdsHeap::HeapStats after = heap_->Stats();
+  EXPECT_EQ(after.allocated_blocks, before.allocated_blocks);
+  EXPECT_EQ(after.free_bytes, before.free_bytes);
+}
+
+TEST_F(RdsTest, AbortUndoesFree) {
+  auto* p = static_cast<uint8_t*>(MustAllocate(64));
+  std::memset(p, 0x5C, 64);
+  {
+    Transaction keep(*rvm_);
+    ASSERT_TRUE(keep.SetRange(p, 64).ok());
+    ASSERT_TRUE(keep.Commit().ok());
+  }
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(heap_->Free(txn.id(), p).ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  EXPECT_EQ(heap_->Stats().allocated_blocks, 1u);
+  EXPECT_EQ(p[0], 0x5C) << "data clobbered by aborted free";
+  MustFree(p);  // still freeable
+}
+
+TEST_F(RdsTest, RootSurvivesRestart) {
+  auto* p = static_cast<uint8_t*>(MustAllocate(128));
+  std::memcpy(p, "root-object", 12);
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(p, 12).ok());
+    ASSERT_TRUE(heap_->SetRoot(txn.id(), p).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Reopen(/*format=*/false);
+  void* root = heap_->GetRoot();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(std::memcmp(root, "root-object", 12), 0);
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RdsTest, AttachRejectsUnformattedRegion) {
+  RegionDescriptor region;
+  region.segment_path = "/otherseg";
+  region.length = kHeapLen;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  EXPECT_EQ(RdsHeap::Attach(*rvm_, region.address, kHeapLen).status().code(),
+            ErrorCode::kCorruption);
+}
+
+TEST_F(RdsTest, AttachRejectsWrongLength)  {
+  EXPECT_EQ(RdsHeap::Attach(*rvm_, base_, kHeapLen / 2).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RdsTest, ReallocateGrowsAndPreservesContent) {
+  auto* p = static_cast<uint8_t*>(MustAllocate(100));
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(rvm_->SetRange(txn.id(), p, 100).ok());
+    for (int i = 0; i < 100; ++i) {
+      p[i] = static_cast<uint8_t>(i);
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(*rvm_);
+  auto grown = heap_->Reallocate(txn.id(), p, 4000);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  ASSERT_TRUE(txn.Commit().ok());
+  auto* q = static_cast<uint8_t*>(*grown);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(q[i], static_cast<uint8_t>(i));
+  }
+  EXPECT_GE(heap_->AllocationSize(q).value(), 4000u);
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RdsTest, ReallocateSameRoundedSizeIsInPlace) {
+  void* p = MustAllocate(100);
+  Transaction txn(*rvm_);
+  auto same = heap_->Reallocate(txn.id(), p, 104);  // same 16-byte block
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, p);
+  ASSERT_TRUE(txn.Commit().ok());
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RdsTest, AbortedReallocateLeavesOriginal) {
+  auto* p = static_cast<uint8_t*>(MustAllocate(64));
+  {
+    Transaction seed(*rvm_);
+    ASSERT_TRUE(rvm_->SetRange(seed.id(), p, 64).ok());
+    std::memset(p, 0x3D, 64);
+    ASSERT_TRUE(seed.Commit().ok());
+  }
+  RdsHeap::HeapStats before = heap_->Stats();
+  {
+    Transaction txn(*rvm_);
+    auto grown = heap_->Reallocate(txn.id(), p, 5000);
+    ASSERT_TRUE(grown.ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  RdsHeap::HeapStats after = heap_->Stats();
+  EXPECT_EQ(after.allocated_blocks, before.allocated_blocks);
+  EXPECT_EQ(p[0], 0x3D) << "original must survive aborted realloc";
+  MustFree(p);
+}
+
+// Randomized differential test: RDS against a std::map model, with heap
+// validation and restart checks interleaved.
+class RdsPropertyTest : public RdsTest,
+                        public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(RdsPropertyTest, RandomAllocFreeMatchesModel) {
+  Xoshiro256 rng(GetParam());
+  std::map<void*, std::pair<uint64_t, uint8_t>> live;  // ptr -> (size, fill)
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.Chance(0.6)) {
+      uint64_t size = 1 + rng.Below(2000);
+      Transaction txn(*rvm_);
+      auto ptr = heap_->Allocate(txn.id(), size);
+      if (!ptr.ok()) {
+        ASSERT_TRUE(txn.Commit().ok());
+        continue;  // exhausted is fine under churn
+      }
+      auto fill = static_cast<uint8_t>(step + 1);
+      ASSERT_TRUE(rvm_->SetRange(txn.id(), *ptr, size).ok());
+      std::memset(*ptr, fill, size);
+      ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+      live[*ptr] = {size, fill};
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      Transaction txn(*rvm_);
+      ASSERT_TRUE(heap_->Free(txn.id(), it->first).ok());
+      ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+      live.erase(it);
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(heap_->Validate().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(heap_->Validate().ok());
+  // Contents intact for all live blocks.
+  for (const auto& [ptr, info] : live) {
+    const auto* bytes = static_cast<const uint8_t*>(ptr);
+    for (uint64_t i = 0; i < info.first; ++i) {
+      ASSERT_EQ(bytes[i], info.second);
+    }
+  }
+  // And across a restart.
+  ASSERT_TRUE(rvm_->Flush().ok());
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> snapshot;
+  for (const auto& [ptr, info] : live) {
+    uint64_t offset = static_cast<uint8_t*>(ptr) - base_;
+    snapshot.emplace_back(offset, std::vector<uint8_t>(
+        static_cast<uint8_t*>(ptr), static_cast<uint8_t*>(ptr) + info.first));
+  }
+  Reopen(/*format=*/false);
+  ASSERT_TRUE(heap_->Validate().ok());
+  for (const auto& [offset, bytes] : snapshot) {
+    ASSERT_EQ(std::memcmp(base_ + offset, bytes.data(), bytes.size()), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RdsPropertyTest, ::testing::Values(1, 7, 42));
+
+TEST(RdsCrashTest, HeapConsistentAtEveryCrashPoint) {
+  // Run an alloc/free workload under a persist-budget sweep; after each
+  // crash the recovered heap must pass full structural validation.
+  uint64_t full_bytes = 0;
+  auto run = [&](CrashSimEnv& env) -> bool {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    if (!rvm.ok()) {
+      return false;
+    }
+    RegionDescriptor region;
+    region.segment_path = "/heapseg";
+    region.length = kHeapLen;
+    if (!(*rvm)->Map(region).ok()) {
+      return false;
+    }
+    auto* base = static_cast<uint8_t*>(region.address);
+    StatusOr<RdsHeap> heap = InvalidArgument("unset");
+    {
+      const auto* header = reinterpret_cast<const uint64_t*>(base);
+      if (*header == 0) {  // fresh segment: format
+        Transaction txn(**rvm);
+        heap = RdsHeap::Format(**rvm, base, kHeapLen, txn.id());
+        if (!heap.ok() || !txn.Commit().ok()) {
+          return false;
+        }
+      } else {
+        heap = RdsHeap::Attach(**rvm, base, kHeapLen);
+        if (!heap.ok()) {
+          return false;
+        }
+      }
+    }
+    Xoshiro256 rng(11);
+    std::vector<void*> live;
+    for (int step = 0; step < 60; ++step) {
+      Transaction txn(**rvm);
+      if (live.empty() || rng.Chance(0.7)) {
+        auto ptr = heap->Allocate(txn.id(), 32 + rng.Below(900));
+        if (!ptr.ok()) {
+          return false;
+        }
+        live.push_back(*ptr);
+      } else {
+        size_t victim = rng.Below(live.size());
+        if (!heap->Free(txn.id(), live[victim]).ok()) {
+          return false;
+        }
+        live.erase(live.begin() + victim);
+      }
+      if (!txn.Commit(step % 3 == 0 ? CommitMode::kFlush : CommitMode::kNoFlush)
+               .ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    ASSERT_TRUE(run(env));
+    full_bytes = env.bytes_persisted();
+  }
+
+  Xoshiro256 rng(23);
+  for (int point = 1; point <= 20; ++point) {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    uint64_t setup = env.bytes_persisted();
+    uint64_t budget = full_bytes * point / 21 + rng.Below(131);
+    env.SetPersistBudget(budget > setup ? budget - setup : 0);
+    bool completed = run(env);
+    if (!env.crashed() && completed) {
+      continue;
+    }
+    if (!env.crashed()) {
+      env.Crash();
+    }
+    env.Recover();
+
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok()) << rvm.status().ToString();
+    RegionDescriptor region;
+    region.segment_path = "/heapseg";
+    region.length = kHeapLen;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    const auto* header = reinterpret_cast<const uint64_t*>(region.address);
+    if (*header == 0) {
+      continue;  // crashed before the format transaction became durable
+    }
+    auto heap = RdsHeap::Attach(**rvm, region.address, kHeapLen);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    Status valid = heap->Validate();
+    EXPECT_TRUE(valid.ok()) << "crash point " << budget
+                            << " left heap corrupt: " << valid.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,428 @@
+// Tests for RecoverableMap: B-tree semantics, transactional atomicity,
+// restart persistence, differential testing against std::map, and crash
+// sweeps with structural validation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/os/crash_sim.h"
+#include "src/os/mem_env.h"
+#include "src/rds/rds.h"
+#include "src/rmap/rmap.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kHeapLen = 256 * kPage;
+constexpr uint64_t kLogSize = kLogDataStart + 4ull * 1024 * 1024;
+constexpr uint64_t kValueSize = 24;
+
+std::vector<uint8_t> ValueFor(uint64_t key, uint8_t generation = 0) {
+  std::vector<uint8_t> value(kValueSize);
+  for (size_t i = 0; i < kValueSize; ++i) {
+    value[i] = static_cast<uint8_t>(key * 31 + i + generation * 131);
+  }
+  return value;
+}
+
+class RmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log", kLogSize).ok());
+    Reopen(/*create=*/true);
+  }
+
+  void Reopen(bool create) {
+    map_.reset();
+    heap_.reset();
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+    RegionDescriptor region;
+    region.segment_path = "/heap";
+    region.length = kHeapLen;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    base_ = static_cast<uint8_t*>(region.address);
+    if (create) {
+      Transaction txn(*rvm_);
+      auto heap = RdsHeap::Format(*rvm_, base_, kHeapLen, txn.id());
+      ASSERT_TRUE(heap.ok());
+      heap_ = std::make_unique<RdsHeap>(*heap);
+      auto map = RecoverableMap::Create(*rvm_, *heap_, txn.id(), kValueSize);
+      ASSERT_TRUE(map.ok()) << map.status().ToString();
+      ASSERT_TRUE(heap_->SetRoot(txn.id(), map->header()).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+      map_ = std::make_unique<RecoverableMap>(*map);
+    } else {
+      auto heap = RdsHeap::Attach(*rvm_, base_, kHeapLen);
+      ASSERT_TRUE(heap.ok());
+      heap_ = std::make_unique<RdsHeap>(*heap);
+      auto map = RecoverableMap::Attach(*rvm_, *heap_, heap_->GetRoot());
+      ASSERT_TRUE(map.ok()) << map.status().ToString();
+      map_ = std::make_unique<RecoverableMap>(*map);
+    }
+  }
+
+  Status Put(uint64_t key, uint8_t generation = 0,
+             CommitMode mode = CommitMode::kNoFlush) {
+    Transaction txn(*rvm_);
+    RVM_RETURN_IF_ERROR(map_->Put(txn.id(), key, ValueFor(key, generation)));
+    return txn.Commit(mode);
+  }
+
+  Status Erase(uint64_t key, CommitMode mode = CommitMode::kNoFlush) {
+    Transaction txn(*rvm_);
+    RVM_RETURN_IF_ERROR(map_->Erase(txn.id(), key));
+    return txn.Commit(mode);
+  }
+
+  void ExpectValue(uint64_t key, uint8_t generation = 0) {
+    auto value = map_->Get(key);
+    ASSERT_TRUE(value.ok()) << "key " << key;
+    std::vector<uint8_t> expected = ValueFor(key, generation);
+    ASSERT_EQ(std::memcmp(value->data(), expected.data(), kValueSize), 0)
+        << "key " << key;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+  std::unique_ptr<RdsHeap> heap_;
+  std::unique_ptr<RecoverableMap> map_;
+  uint8_t* base_ = nullptr;
+};
+
+TEST_F(RmapTest, EmptyMapBasics) {
+  EXPECT_EQ(map_->size(), 0u);
+  EXPECT_EQ(map_->value_size(), kValueSize);
+  EXPECT_EQ(map_->Get(1).status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(map_->LowerBound(0).has_value());
+  ASSERT_TRUE(map_->Validate().ok());
+  Transaction txn(*rvm_);
+  EXPECT_EQ(map_->Erase(txn.id(), 1).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RmapTest, PutGetSingle) {
+  ASSERT_TRUE(Put(42).ok());
+  EXPECT_EQ(map_->size(), 1u);
+  ExpectValue(42);
+  ASSERT_TRUE(map_->Validate().ok());
+}
+
+TEST_F(RmapTest, WrongValueSizeRejected) {
+  Transaction txn(*rvm_);
+  std::vector<uint8_t> small(3);
+  EXPECT_EQ(map_->Put(txn.id(), 1, small).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RmapTest, UpdateInPlace) {
+  ASSERT_TRUE(Put(7, 1).ok());
+  ASSERT_TRUE(Put(7, 2).ok());
+  EXPECT_EQ(map_->size(), 1u);
+  ExpectValue(7, 2);
+}
+
+TEST_F(RmapTest, ManyInsertsSplitNodes) {
+  for (uint64_t key = 1; key <= 200; ++key) {
+    ASSERT_TRUE(Put(key).ok()) << key;
+    if (key % 25 == 0) {
+      ASSERT_TRUE(map_->Validate().ok()) << "after " << key;
+    }
+  }
+  EXPECT_EQ(map_->size(), 200u);
+  for (uint64_t key = 1; key <= 200; ++key) {
+    ExpectValue(key);
+  }
+}
+
+TEST_F(RmapTest, ReverseAndShuffledInsertOrders) {
+  Xoshiro256 rng(9);
+  std::vector<uint64_t> keys;
+  for (uint64_t key = 1000; key > 800; --key) {
+    keys.push_back(key);
+  }
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(Put(key).ok());
+  }
+  ASSERT_TRUE(map_->Validate().ok());
+  EXPECT_EQ(map_->size(), 200u);
+}
+
+TEST_F(RmapTest, EraseEverythingInVariousOrders) {
+  for (uint64_t key = 0; key < 150; ++key) {
+    ASSERT_TRUE(Put(key).ok());
+  }
+  // Erase evens ascending, odds descending: exercises borrows and merges in
+  // both directions plus root collapses.
+  for (uint64_t key = 0; key < 150; key += 2) {
+    ASSERT_TRUE(Erase(key).ok()) << key;
+  }
+  ASSERT_TRUE(map_->Validate().ok());
+  for (uint64_t key = 149;; key -= 2) {
+    ASSERT_TRUE(Erase(key).ok()) << key;
+    if (key == 1) {
+      break;
+    }
+  }
+  EXPECT_EQ(map_->size(), 0u);
+  ASSERT_TRUE(map_->Validate().ok());
+  // Reusable after emptying.
+  ASSERT_TRUE(Put(5).ok());
+  ExpectValue(5);
+}
+
+TEST_F(RmapTest, LowerBoundScan) {
+  for (uint64_t key : {10ull, 20ull, 30ull, 40ull, 50ull}) {
+    ASSERT_TRUE(Put(key).ok());
+  }
+  EXPECT_EQ(map_->LowerBound(0).value(), 10u);
+  EXPECT_EQ(map_->LowerBound(10).value(), 10u);
+  EXPECT_EQ(map_->LowerBound(11).value(), 20u);
+  EXPECT_EQ(map_->LowerBound(50).value(), 50u);
+  EXPECT_FALSE(map_->LowerBound(51).has_value());
+
+  // Full ordered scan via LowerBound.
+  std::vector<uint64_t> seen;
+  for (auto key = map_->LowerBound(0); key; key = map_->LowerBound(*key + 1)) {
+    seen.push_back(*key);
+  }
+  EXPECT_EQ(seen, (std::vector<uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST_F(RmapTest, ForEachInOrder) {
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 80; ++i) {
+    uint64_t key = rng.Below(100000);
+    if (Put(key).ok()) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<uint64_t> visited;
+  ASSERT_TRUE(map_->ForEach([&](uint64_t key, std::span<const uint8_t> value) {
+    visited.push_back(key);
+    EXPECT_EQ(value.size(), kValueSize);
+    return OkStatus();
+  }).ok());
+  EXPECT_EQ(visited, keys);
+}
+
+TEST_F(RmapTest, AbortRollsBackStructuralChanges) {
+  for (uint64_t key = 0; key < 50; ++key) {
+    ASSERT_TRUE(Put(key).ok());
+  }
+  uint64_t size_before = map_->size();
+  {
+    Transaction txn(*rvm_);
+    // A batch that forces splits, then abort.
+    for (uint64_t key = 1000; key < 1040; ++key) {
+      ASSERT_TRUE(map_->Put(txn.id(), key, ValueFor(key)).ok());
+    }
+    ASSERT_TRUE(map_->Erase(txn.id(), 10).ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(map_->size(), size_before);
+  ExpectValue(10);
+  EXPECT_FALSE(map_->Contains(1000));
+  ASSERT_TRUE(map_->Validate().ok());
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RmapTest, PersistsAcrossRestart) {
+  for (uint64_t key = 0; key < 120; key += 3) {
+    ASSERT_TRUE(Put(key, 4).ok());
+  }
+  ASSERT_TRUE(rvm_->Flush().ok());
+  Reopen(/*create=*/false);
+  EXPECT_EQ(map_->size(), 40u);
+  for (uint64_t key = 0; key < 120; key += 3) {
+    ExpectValue(key, 4);
+  }
+  ASSERT_TRUE(map_->Validate().ok());
+  ASSERT_TRUE(heap_->Validate().ok());
+}
+
+TEST_F(RmapTest, AttachRejectsGarbage) {
+  EXPECT_FALSE(RecoverableMap::Attach(*rvm_, *heap_, base_ + 64).ok());
+  EXPECT_FALSE(RecoverableMap::Attach(*rvm_, *heap_, nullptr).ok());
+}
+
+// Differential test against std::map with interleaved aborts and restarts.
+class RmapPropertyTest : public RmapTest,
+                         public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(RmapPropertyTest, MatchesStdMap) {
+  Xoshiro256 rng(GetParam());
+  std::map<uint64_t, uint8_t> model;  // key -> generation
+  for (int step = 0; step < 700; ++step) {
+    uint64_t key = rng.Below(300);
+    auto generation = static_cast<uint8_t>(step & 0x7F);
+    double draw = rng.NextDouble();
+    if (draw < 0.55) {
+      ASSERT_TRUE(Put(key, generation).ok());
+      model[key] = generation;
+    } else if (draw < 0.85) {
+      Status status = Erase(key);
+      if (model.contains(key)) {
+        ASSERT_TRUE(status.ok()) << "key " << key;
+        model.erase(key);
+      } else {
+        ASSERT_EQ(status.code(), ErrorCode::kNotFound);
+      }
+    } else if (draw < 0.95) {
+      // Aborted batch: model unchanged.
+      Transaction txn(*rvm_);
+      for (int j = 0; j < 5; ++j) {
+        (void)map_->Put(txn.id(), rng.Below(300), ValueFor(0, 99));
+      }
+      ASSERT_TRUE(txn.Abort().ok());
+    } else {
+      ASSERT_TRUE(rvm_->Flush().ok());
+      Reopen(/*create=*/false);
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(map_->Validate().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(map_->Validate().ok());
+  ASSERT_TRUE(heap_->Validate().ok());
+  ASSERT_EQ(map_->size(), model.size());
+  for (const auto& [key, generation] : model) {
+    ExpectValue(key, generation);
+  }
+  // And nothing extra.
+  uint64_t visited = 0;
+  ASSERT_TRUE(map_->ForEach([&](uint64_t key, std::span<const uint8_t>) {
+    EXPECT_TRUE(model.contains(key));
+    ++visited;
+    return OkStatus();
+  }).ok());
+  EXPECT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmapPropertyTest, ::testing::Values(1, 2, 7, 19));
+
+TEST(RmapCrashTest, MapAndHeapConsistentAtEveryCrashPoint) {
+  auto run = [&](CrashSimEnv& env) -> bool {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    if (!rvm.ok()) {
+      return false;
+    }
+    RegionDescriptor region;
+    region.segment_path = "/heap";
+    region.length = kHeapLen;
+    if (!(*rvm)->Map(region).ok()) {
+      return false;
+    }
+    auto* base = static_cast<uint8_t*>(region.address);
+    StatusOr<RdsHeap> heap = InvalidArgument("unset");
+    StatusOr<RecoverableMap> map = InvalidArgument("unset");
+    if (*reinterpret_cast<uint64_t*>(base) == 0) {
+      Transaction txn(**rvm);
+      heap = RdsHeap::Format(**rvm, base, kHeapLen, txn.id());
+      if (!heap.ok()) {
+        return false;
+      }
+      map = RecoverableMap::Create(**rvm, *heap, txn.id(), kValueSize);
+      if (!map.ok() || !heap->SetRoot(txn.id(), map->header()).ok() ||
+          !txn.Commit().ok()) {
+        return false;
+      }
+    } else {
+      heap = RdsHeap::Attach(**rvm, base, kHeapLen);
+      if (!heap.ok()) {
+        return false;
+      }
+      map = RecoverableMap::Attach(**rvm, *heap, heap->GetRoot());
+      if (!map.ok()) {
+        return false;
+      }
+    }
+    Xoshiro256 rng(31);
+    for (int i = 0; i < 120; ++i) {
+      Transaction txn(**rvm);
+      uint64_t key = rng.Below(60);
+      Status status;
+      if (rng.Chance(0.7) || !map->Contains(key)) {
+        status = map->Put(txn.id(), key, ValueFor(key));
+      } else {
+        status = map->Erase(txn.id(), key);
+      }
+      if (!status.ok() ||
+          !txn.Commit(i % 4 == 0 ? CommitMode::kFlush : CommitMode::kNoFlush)
+               .ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  uint64_t full_bytes = 0;
+  {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    ASSERT_TRUE(run(env));
+    full_bytes = env.bytes_persisted();
+  }
+  Xoshiro256 rng(47);
+  int validated = 0;
+  for (int point = 1; point <= 18; ++point) {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    uint64_t setup = env.bytes_persisted();
+    uint64_t budget = full_bytes * point / 19 + rng.Below(173);
+    env.SetPersistBudget(budget > setup ? budget - setup : 0);
+    bool completed = run(env);
+    if (completed && !env.crashed()) {
+      continue;
+    }
+    if (!env.crashed()) {
+      env.Crash();
+    }
+    env.Recover();
+
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok());
+    RegionDescriptor region;
+    region.segment_path = "/heap";
+    region.length = kHeapLen;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* base = static_cast<uint8_t*>(region.address);
+    if (*reinterpret_cast<uint64_t*>(base) == 0) {
+      continue;  // crashed before the heap format became durable
+    }
+    auto heap = RdsHeap::Attach(**rvm, base, kHeapLen);
+    ASSERT_TRUE(heap.ok());
+    ASSERT_TRUE(heap->Validate().ok()) << "budget " << budget;
+    if (heap->GetRoot() == nullptr) {
+      continue;
+    }
+    auto map = RecoverableMap::Attach(**rvm, *heap, heap->GetRoot());
+    ASSERT_TRUE(map.ok());
+    Status valid = map->Validate();
+    EXPECT_TRUE(valid.ok()) << "budget " << budget << ": " << valid.ToString();
+    ++validated;
+  }
+  EXPECT_GE(validated, 8) << "sweep barely exercised crash recovery";
+}
+
+}  // namespace
+}  // namespace rvm

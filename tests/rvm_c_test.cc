@@ -1,0 +1,163 @@
+// Tests for the C binding (rvm_c.h): the Figure-4-style interface over the
+// real filesystem.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/rvm/rvm_c.h"
+
+namespace {
+
+class RvmCApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rvm_c_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    log_path_ = (dir_ / "log").string();
+    segment_path_ = (dir_ / "seg").string();
+    ASSERT_EQ(rvm_create_log(log_path_.c_str(), 1 << 20, 0), RVM_SUCCESS);
+  }
+
+  void TearDown() override {
+    if (state_ != nullptr) {
+      rvm_terminate(state_);
+    }
+    std::filesystem::remove_all(dir_);
+  }
+
+  void Open() {
+    if (state_ != nullptr) {
+      ASSERT_EQ(rvm_terminate(state_), RVM_SUCCESS);
+      state_ = nullptr;
+    }
+    ASSERT_EQ(rvm_initialize(log_path_.c_str(), &state_), RVM_SUCCESS);
+  }
+
+  void* MapPage() {
+    region_ = {};
+    region_.segment_path = segment_path_.c_str();
+    region_.length = 4096;
+    EXPECT_EQ(rvm_map(state_, &region_), RVM_SUCCESS);
+    return region_.address;
+  }
+
+  std::filesystem::path dir_;
+  std::string log_path_;
+  std::string segment_path_;
+  rvm_state_t* state_ = nullptr;
+  rvm_region_t region_ = {};
+};
+
+TEST_F(RvmCApiTest, CreateLogTwiceFails) {
+  EXPECT_EQ(rvm_create_log(log_path_.c_str(), 1 << 20, 0), RVM_EEXISTS);
+  EXPECT_EQ(rvm_create_log(log_path_.c_str(), 1 << 20, 1), RVM_SUCCESS);
+}
+
+TEST_F(RvmCApiTest, NullArgumentsRejected) {
+  EXPECT_EQ(rvm_create_log(nullptr, 1 << 20, 0), RVM_EINVAL);
+  EXPECT_EQ(rvm_initialize(nullptr, &state_), RVM_EINVAL);
+  EXPECT_EQ(rvm_initialize(log_path_.c_str(), nullptr), RVM_EINVAL);
+  EXPECT_EQ(rvm_map(nullptr, &region_), RVM_EINVAL);
+  EXPECT_EQ(rvm_flush(nullptr), RVM_EINVAL);
+}
+
+TEST_F(RvmCApiTest, FullTransactionCycle) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  ASSERT_NE(data, nullptr);
+
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 16), RVM_SUCCESS);
+  std::strcpy(data, "via the C API");
+  ASSERT_EQ(rvm_end_transaction(state_, tid, RVM_FLUSH), RVM_SUCCESS);
+
+  Open();  // terminate + re-initialize (recovery)
+  data = static_cast<char*>(MapPage());
+  EXPECT_STREQ(data, "via the C API");
+}
+
+TEST_F(RvmCApiTest, AbortRestores) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 8), RVM_SUCCESS);
+  std::memset(data, 'X', 8);
+  ASSERT_EQ(rvm_abort_transaction(state_, tid), RVM_SUCCESS);
+  EXPECT_EQ(data[0], 0);
+}
+
+TEST_F(RvmCApiTest, NoRestoreCannotAbort) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_NO_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 8), RVM_SUCCESS);
+  EXPECT_EQ(rvm_abort_transaction(state_, tid), RVM_EPRECONDITION);
+}
+
+TEST_F(RvmCApiTest, NoFlushThenExplicitFlush) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_NO_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 4), RVM_SUCCESS);
+  std::memcpy(data, "lazy", 4);
+  ASSERT_EQ(rvm_end_transaction(state_, tid, RVM_NO_FLUSH), RVM_SUCCESS);
+  uint64_t unflushed = 0;
+  ASSERT_EQ(rvm_query(state_, data, nullptr, &unflushed, nullptr), RVM_SUCCESS);
+  EXPECT_EQ(unflushed, 1u);
+  ASSERT_EQ(rvm_flush(state_), RVM_SUCCESS);
+  ASSERT_EQ(rvm_query(state_, data, nullptr, &unflushed, nullptr), RVM_SUCCESS);
+  EXPECT_EQ(unflushed, 0u);
+}
+
+TEST_F(RvmCApiTest, QueryCounts) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 8), RVM_SUCCESS);
+  uint64_t uncommitted = 0;
+  ASSERT_EQ(rvm_query(state_, data, &uncommitted, nullptr, nullptr), RVM_SUCCESS);
+  EXPECT_EQ(uncommitted, 1u);
+  ASSERT_EQ(rvm_abort_transaction(state_, tid), RVM_SUCCESS);
+}
+
+TEST_F(RvmCApiTest, UnmapAndTruncate) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  rvm_tid_t tid = 0;
+  ASSERT_EQ(rvm_begin_transaction(state_, RVM_RESTORE, &tid), RVM_SUCCESS);
+  ASSERT_EQ(rvm_set_range(state_, tid, data, 4), RVM_SUCCESS);
+  std::memcpy(data, "done", 4);
+  ASSERT_EQ(rvm_end_transaction(state_, tid, RVM_FLUSH), RVM_SUCCESS);
+  ASSERT_EQ(rvm_truncate(state_), RVM_SUCCESS);
+  ASSERT_EQ(rvm_unmap(state_, &region_), RVM_SUCCESS);
+}
+
+TEST_F(RvmCApiTest, SetOptionsValidation) {
+  Open();
+  EXPECT_EQ(rvm_set_options(state_, 0.7, 1 << 20), RVM_SUCCESS);
+  EXPECT_EQ(rvm_set_options(state_, 0.0, 0), RVM_EINVAL);
+  EXPECT_EQ(rvm_set_options(state_, 1.5, 0), RVM_EINVAL);
+}
+
+TEST_F(RvmCApiTest, StrerrorCoversAllCodes) {
+  for (int code = RVM_SUCCESS; code <= RVM_EINTERNAL; ++code) {
+    EXPECT_STRNE(rvm_strerror(static_cast<rvm_return_t>(code)), "unknown");
+  }
+}
+
+TEST_F(RvmCApiTest, BadTransactionIdsFail) {
+  Open();
+  auto* data = static_cast<char*>(MapPage());
+  EXPECT_EQ(rvm_set_range(state_, 424242, data, 4), RVM_ENOT_FOUND);
+  EXPECT_EQ(rvm_end_transaction(state_, 424242, RVM_FLUSH), RVM_ENOT_FOUND);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Concurrency tests: "Internally, RVM is implemented to be multi-threaded
+// and to function correctly in the presence of true parallelism" (§3.1).
+// RVM offers no serializability, so threads operate on disjoint ranges; the
+// library must keep its own structures (log, spool, page queue, region
+// table) consistent, including with a background truncation thread running.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void Open(TruncationMode mode, uint64_t log_size = kLogDataStart + 512 * 1024) {
+    rvm_.reset();
+    if (!env_.Exists("/log")) {
+      ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log", log_size).ok());
+    }
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    options.truncation_mode = mode;
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+};
+
+TEST_F(ConcurrencyTest, ParallelTransactionsOnDisjointRegions) {
+  Open(TruncationMode::kInline);
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 100;
+
+  std::vector<uint8_t*> bases;
+  for (int worker = 0; worker < kThreads; ++worker) {
+    RegionDescriptor region;
+    region.segment_path = "/seg" + std::to_string(worker);
+    region.length = 4 * kPage;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int worker = 0; worker < kThreads; ++worker) {
+    threads.emplace_back([&, worker] {
+      uint8_t* base = bases[worker];
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+        if (!tid.ok()) {
+          ++failures;
+          return;
+        }
+        uint64_t offset = (static_cast<uint64_t>(i) * 64) % (4 * kPage - 8);
+        uint64_t value = static_cast<uint64_t>(worker) << 32 | i;
+        if (!rvm_->Modify(*tid, base + offset, &value, 8).ok() ||
+            !rvm_->EndTransaction(*tid, i % 4 == 0 ? CommitMode::kFlush
+                                                   : CommitMode::kNoFlush)
+                 .ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(rvm_->Flush().ok());
+
+  // Restart and verify every thread's final writes survived.
+  Open(TruncationMode::kInline);
+  for (int worker = 0; worker < kThreads; ++worker) {
+    RegionDescriptor region;
+    region.segment_path = "/seg" + std::to_string(worker);
+    region.length = 4 * kPage;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    const auto* base = static_cast<const uint8_t*>(region.address);
+    uint64_t last_offset = (static_cast<uint64_t>(kTxnsPerThread - 1) * 64) %
+                           (4 * kPage - 8);
+    uint64_t value = 0;
+    std::memcpy(&value, base + last_offset, 8);
+    EXPECT_EQ(value, (static_cast<uint64_t>(worker) << 32) |
+                         (kTxnsPerThread - 1))
+        << "worker " << worker;
+  }
+}
+
+TEST_F(ConcurrencyTest, BackgroundTruncationKeepsLogBounded) {
+  // Small log + heavy traffic: the background thread must truncate while
+  // commits continue, and the log must never stay above capacity.
+  Open(TruncationMode::kBackground, kLogDataStart + 128 * 1024);
+  RegionDescriptor region;
+  region.segment_path = "/bgseg";
+  region.length = 16 * kPage;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  auto* base = static_cast<uint8_t*>(region.address);
+
+  for (int i = 0; i < 400; ++i) {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.ok());
+    uint64_t offset = (static_cast<uint64_t>(i) % 16) * kPage;
+    ASSERT_TRUE(txn.SetRange(base + offset, 2048).ok());
+    std::memset(base + offset, i & 0xFF, 2048);
+    ASSERT_TRUE(txn.Commit().ok());
+    ASSERT_LE(rvm_->log_bytes_in_use(), rvm_->log_capacity());
+  }
+  uint64_t truncation_work = rvm_->statistics().incremental_steps +
+                             rvm_->statistics().epoch_truncations;
+  EXPECT_GT(truncation_work, 0u) << "background thread never truncated";
+
+  // Clean shutdown with the thread running; then verify state.
+  ASSERT_TRUE(rvm_->Terminate().ok());
+  Open(TruncationMode::kInline);
+  RegionDescriptor reopened;
+  reopened.segment_path = "/bgseg";
+  reopened.length = 16 * kPage;
+  ASSERT_TRUE(rvm_->Map(reopened).ok());
+  const auto* data = static_cast<const uint8_t*>(reopened.address);
+  EXPECT_EQ(data[15 * kPage], 399 & 0xFF);
+}
+
+TEST_F(ConcurrencyTest, BackgroundEpochTruncationAlsoWorks) {
+  Open(TruncationMode::kBackground, kLogDataStart + 128 * 1024);
+  RuntimeOptions runtime = rvm_->GetOptions();
+  runtime.use_incremental_truncation = false;  // thread runs epoch passes
+  rvm_->SetOptions(runtime);
+  RegionDescriptor region;
+  region.segment_path = "/epochseg";
+  region.length = 8 * kPage;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  auto* base = static_cast<uint8_t*>(region.address);
+  for (int i = 0; i < 300; ++i) {
+    Transaction txn(*rvm_);
+    uint64_t offset = (static_cast<uint64_t>(i) % 8) * kPage;
+    ASSERT_TRUE(txn.SetRange(base + offset, 1024).ok());
+    std::memset(base + offset, i & 0xFF, 1024);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_GT(rvm_->statistics().epoch_truncations, 0u)
+      << "background thread never ran an epoch pass";
+  ASSERT_TRUE(rvm_->Terminate().ok());
+}
+
+TEST_F(ConcurrencyTest, ParallelWritersWithBackgroundTruncation) {
+  Open(TruncationMode::kBackground, kLogDataStart + 128 * 1024);
+  constexpr int kThreads = 3;
+  std::vector<uint8_t*> bases;
+  for (int worker = 0; worker < kThreads; ++worker) {
+    RegionDescriptor region;
+    region.segment_path = "/pseg" + std::to_string(worker);
+    region.length = 8 * kPage;
+    ASSERT_TRUE(rvm_->Map(region).ok());
+    bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int worker = 0; worker < kThreads; ++worker) {
+    threads.emplace_back([&, worker] {
+      for (int i = 0; i < 120; ++i) {
+        Transaction txn(*rvm_);
+        uint64_t offset = (static_cast<uint64_t>(i) % 8) * kPage;
+        if (!txn.SetRange(bases[worker] + offset, 1024).ok()) {
+          ++failures;
+          return;
+        }
+        std::memset(bases[worker] + offset, worker * 100 + (i & 63), 1024);
+        if (!txn.Commit().ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentFlushesAndCommitsAreSafe) {
+  Open(TruncationMode::kInline);
+  RegionDescriptor region;
+  region.segment_path = "/fseg";
+  region.length = 8 * kPage;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  auto* base = static_cast<uint8_t*>(region.address);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread flusher([&] {
+    while (!stop.load()) {
+      if (!rvm_->Flush().ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    Transaction txn(*rvm_);
+    uint64_t offset = (static_cast<uint64_t>(i) * 32) % (8 * kPage - 8);
+    if (!txn.SetRange(base + offset, 8).ok() ||
+        !txn.Commit(CommitMode::kNoFlush).ok()) {
+      ++failures;
+      break;
+    }
+  }
+  stop.store(true);
+  flusher.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace rvm

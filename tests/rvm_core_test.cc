@@ -1,0 +1,512 @@
+// Behavioural tests of the RVM public interface: mapping rules (§4.1),
+// transaction semantics (§4.2), persistence across restart, and the
+// no-restore / no-flush modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kLogSize = kLogDataStart + 256 * 1024;
+constexpr uint64_t kPage = 4096;
+
+class RvmCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log", kLogSize).ok());
+    Reopen();
+  }
+
+  // Simulates a clean process restart (destroys the instance, re-runs
+  // Initialize/recovery).
+  void Reopen() {
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    rvm_ = std::move(*opened);
+  }
+
+  uint8_t* MapRegion(const std::string& segment, uint64_t length = kPage,
+                     uint64_t offset = 0) {
+    RegionDescriptor region;
+    region.segment_path = segment;
+    region.segment_offset = offset;
+    region.length = length;
+    Status status = rvm_->Map(region);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return static_cast<uint8_t*>(region.address);
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+};
+
+// --- Initialization -----------------------------------------------------
+
+TEST_F(RvmCoreTest, InitializeWithoutLogFails) {
+  RvmOptions options;
+  options.env = &env_;
+  options.log_path = "/no-such-log";
+  EXPECT_EQ(RvmInstance::Initialize(options).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, InitializeRejectsBadPageSize) {
+  RvmOptions options;
+  options.env = &env_;
+  options.log_path = "/log";
+  options.page_size = 3000;  // not a power of two
+  EXPECT_EQ(RvmInstance::Initialize(options).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// --- Mapping (§4.1) -------------------------------------------------------
+
+TEST_F(RvmCoreTest, MapAllocatesZeroedMemory) {
+  uint8_t* base = MapRegion("/seg");
+  ASSERT_NE(base, nullptr);
+  for (uint64_t i = 0; i < kPage; ++i) {
+    ASSERT_EQ(base[i], 0);
+  }
+}
+
+TEST_F(RvmCoreTest, MapRejectsUnalignedLength) {
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = 100;
+  EXPECT_EQ(rvm_->Map(region).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RvmCoreTest, MapRejectsUnalignedOffset) {
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.segment_offset = 123;
+  region.length = kPage;
+  EXPECT_EQ(rvm_->Map(region).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RvmCoreTest, MapRejectsZeroLength) {
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = 0;
+  EXPECT_EQ(rvm_->Map(region).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RvmCoreTest, SameSegmentRangeCannotBeMappedTwice) {
+  MapRegion("/seg", 2 * kPage, 0);
+  RegionDescriptor overlap;
+  overlap.segment_path = "/seg";
+  overlap.segment_offset = kPage;  // overlaps [0, 2 pages)
+  overlap.length = 2 * kPage;
+  EXPECT_EQ(rvm_->Map(overlap).code(), ErrorCode::kOverlap);
+}
+
+TEST_F(RvmCoreTest, DisjointRangesOfSameSegmentAllowed) {
+  MapRegion("/seg", kPage, 0);
+  uint8_t* second = MapRegion("/seg", kPage, kPage);
+  EXPECT_NE(second, nullptr);
+}
+
+TEST_F(RvmCoreTest, CallerProvidedAddressMustBeAligned) {
+  alignas(4096) static uint8_t buffer[2 * kPage];
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kPage;
+  region.address = buffer + 1;
+  EXPECT_EQ(rvm_->Map(region).code(), ErrorCode::kInvalidArgument);
+  region.address = buffer;
+  EXPECT_TRUE(rvm_->Map(region).ok());
+  EXPECT_EQ(region.address, buffer);
+}
+
+TEST_F(RvmCoreTest, UnmapUnknownAddressFails) {
+  RegionDescriptor region;
+  region.address = &region;  // arbitrary unmapped pointer
+  EXPECT_EQ(rvm_->Unmap(region).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, UnmapWithUncommittedTransactionFails) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 8).ok());
+  RegionDescriptor region;
+  region.address = base;
+  EXPECT_EQ(rvm_->Unmap(region).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(rvm_->AbortTransaction(*tid).ok());
+  EXPECT_TRUE(rvm_->Unmap(region).ok());
+}
+
+TEST_F(RvmCoreTest, RemapAfterUnmapSeesCommittedData) {
+  uint8_t* base = MapRegion("/seg");
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(base, 5).ok());
+    std::memcpy(base, "coda!", 5);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  RegionDescriptor region;
+  region.address = base;
+  ASSERT_TRUE(rvm_->Unmap(region).ok());
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "coda!", 5), 0);
+}
+
+// --- Transactions (§4.2) ---------------------------------------------------
+
+TEST_F(RvmCoreTest, CommitPersistsAcrossRestart) {
+  uint8_t* base = MapRegion("/seg");
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(base, 16).ok());
+  std::memcpy(base, "hello recovery!", 16);
+  ASSERT_TRUE(txn.Commit().ok());
+
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "hello recovery!", 16), 0);
+}
+
+TEST_F(RvmCoreTest, AbortRestoresOldValues) {
+  uint8_t* base = MapRegion("/seg");
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(base, 8).ok());
+    std::memcpy(base, "initial.", 8);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 8).ok());
+  std::memcpy(base, "SCRIBBLE", 8);
+  ASSERT_TRUE(rvm_->AbortTransaction(*tid).ok());
+  EXPECT_EQ(std::memcmp(base, "initial.", 8), 0);
+}
+
+TEST_F(RvmCoreTest, DestructorAbortsUncommittedRaii) {
+  uint8_t* base = MapRegion("/seg");
+  base[0] = 0;
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(base, 1).ok());
+    base[0] = 99;
+    // no commit: destructor aborts
+  }
+  EXPECT_EQ(base[0], 0);
+}
+
+TEST_F(RvmCoreTest, AbortOnlyRestoresSetRangedBytes) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 4).ok());
+  std::memset(base, 7, 8);  // bytes 4..8 modified without set_range (a bug
+                            // in the app, §6 — RVM must not restore them)
+  ASSERT_TRUE(rvm_->AbortTransaction(*tid).ok());
+  EXPECT_EQ(base[0], 0);
+  EXPECT_EQ(base[3], 0);
+  EXPECT_EQ(base[4], 7);
+}
+
+TEST_F(RvmCoreTest, NoRestoreTransactionCannotAbort) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kNoRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 8).ok());
+  EXPECT_EQ(rvm_->AbortTransaction(*tid).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(RvmCoreTest, NoRestoreCommitStillPersists) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kNoRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 4).ok());
+  std::memcpy(base, "fast", 4);
+  ASSERT_TRUE(rvm_->EndTransaction(*tid, CommitMode::kFlush).ok());
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "fast", 4), 0);
+}
+
+TEST_F(RvmCoreTest, SetRangeOutsideMappedRegionFails) {
+  uint8_t buffer[64];
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  EXPECT_EQ(rvm_->SetRange(*tid, buffer, 64).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, SetRangeSpanningRegionEndFails) {
+  uint8_t* base = MapRegion("/seg", kPage);
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  EXPECT_EQ(rvm_->SetRange(*tid, base + kPage - 4, 8).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, UnknownTransactionIdFails) {
+  uint8_t* base = MapRegion("/seg");
+  EXPECT_EQ(rvm_->SetRange(9999, base, 4).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(rvm_->EndTransaction(9999, CommitMode::kFlush).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(rvm_->AbortTransaction(9999).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, CommitTwiceFails) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 4).ok());
+  ASSERT_TRUE(rvm_->EndTransaction(*tid, CommitMode::kFlush).ok());
+  EXPECT_EQ(rvm_->EndTransaction(*tid, CommitMode::kFlush).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RvmCoreTest, EmptyTransactionCommitIsCheap) {
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  uint64_t forces_before = rvm_->statistics().log_forces;
+  ASSERT_TRUE(rvm_->EndTransaction(*tid, CommitMode::kFlush).ok());
+  EXPECT_EQ(rvm_->statistics().log_forces, forces_before)
+      << "empty transaction should not force the log";
+}
+
+TEST_F(RvmCoreTest, ModifyHelperCopiesAndLogs) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  uint32_t value = 0xDEADBEEF;
+  ASSERT_TRUE(rvm_->Modify(*tid, base, &value, sizeof(value)).ok());
+  ASSERT_TRUE(rvm_->EndTransaction(*tid, CommitMode::kFlush).ok());
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, &value, sizeof(value)), 0);
+}
+
+TEST_F(RvmCoreTest, MultipleRegionsOneTransaction) {
+  uint8_t* a = MapRegion("/seg_a");
+  uint8_t* b = MapRegion("/seg_b");
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(a, 4).ok());
+  ASSERT_TRUE(txn.SetRange(b, 4).ok());
+  std::memcpy(a, "aaaa", 4);
+  std::memcpy(b, "bbbb", 4);
+  ASSERT_TRUE(txn.Commit().ok());
+  Reopen();
+  uint8_t* a2 = MapRegion("/seg_a");
+  uint8_t* b2 = MapRegion("/seg_b");
+  EXPECT_EQ(std::memcmp(a2, "aaaa", 4), 0);
+  EXPECT_EQ(std::memcmp(b2, "bbbb", 4), 0);
+}
+
+TEST_F(RvmCoreTest, InterleavedTransactionsOnDisjointRanges) {
+  uint8_t* base = MapRegion("/seg");
+  auto t1 = rvm_->BeginTransaction(RestoreMode::kRestore);
+  auto t2 = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*t1, base, 4).ok());
+  ASSERT_TRUE(rvm_->SetRange(*t2, base + 8, 4).ok());
+  std::memcpy(base, "1111", 4);
+  std::memcpy(base + 8, "2222", 4);
+  ASSERT_TRUE(rvm_->EndTransaction(*t1, CommitMode::kFlush).ok());
+  ASSERT_TRUE(rvm_->AbortTransaction(*t2).ok());
+  EXPECT_EQ(std::memcmp(base, "1111", 4), 0);
+  EXPECT_EQ(base[8], 0);  // aborted
+}
+
+TEST_F(RvmCoreTest, LastCommitWinsAcrossRestart) {
+  uint8_t* base = MapRegion("/seg");
+  for (uint8_t value = 1; value <= 5; ++value) {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(base, 1).ok());
+    base[0] = value;
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(remapped[0], 5);
+}
+
+// --- No-flush transactions & flush (§4.2) ---------------------------------
+
+TEST_F(RvmCoreTest, NoFlushCommitAvoidsLogForce) {
+  uint8_t* base = MapRegion("/seg");
+  uint64_t forces_before = rvm_->statistics().log_forces;
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(base, 4).ok());
+  std::memcpy(base, "lazy", 4);
+  ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+  EXPECT_EQ(rvm_->statistics().log_forces, forces_before);
+  EXPECT_GT(rvm_->spooled_bytes(), 0u);
+}
+
+TEST_F(RvmCoreTest, FlushForcesSpooledTransactions) {
+  uint8_t* base = MapRegion("/seg");
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(base, 4).ok());
+  std::memcpy(base, "lazy", 4);
+  ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+  ASSERT_TRUE(rvm_->Flush().ok());
+  EXPECT_EQ(rvm_->spooled_bytes(), 0u);
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "lazy", 4), 0);
+}
+
+TEST_F(RvmCoreTest, FlushCommitForcesEarlierNoFlushCommits) {
+  // Log order must equal commit order: a flush-mode commit carries earlier
+  // spooled transactions with it.
+  uint8_t* base = MapRegion("/seg");
+  {
+    Transaction lazy(*rvm_);
+    ASSERT_TRUE(lazy.SetRange(base, 4).ok());
+    std::memcpy(base, "one.", 4);
+    ASSERT_TRUE(lazy.Commit(CommitMode::kNoFlush).ok());
+  }
+  {
+    Transaction eager(*rvm_);
+    ASSERT_TRUE(eager.SetRange(base + 8, 4).ok());
+    std::memcpy(base + 8, "two.", 4);
+    ASSERT_TRUE(eager.Commit(CommitMode::kFlush).ok());
+  }
+  EXPECT_EQ(rvm_->spooled_bytes(), 0u);
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "one.", 4), 0);
+  EXPECT_EQ(std::memcmp(remapped + 8, "two.", 4), 0);
+}
+
+TEST_F(RvmCoreTest, FlushModeCommitAfterNoFlushPreservesNewestValue) {
+  // Regression shape for the ordering bug class: no-flush writes X, then a
+  // flush commit overwrites X. Recovery must keep the newer value.
+  uint8_t* base = MapRegion("/seg");
+  {
+    Transaction lazy(*rvm_);
+    ASSERT_TRUE(lazy.SetRange(base, 4).ok());
+    std::memcpy(base, "old!", 4);
+    ASSERT_TRUE(lazy.Commit(CommitMode::kNoFlush).ok());
+  }
+  {
+    Transaction eager(*rvm_);
+    ASSERT_TRUE(eager.SetRange(base, 4).ok());
+    std::memcpy(base, "new!", 4);
+    ASSERT_TRUE(eager.Commit(CommitMode::kFlush).ok());
+  }
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "new!", 4), 0);
+}
+
+TEST_F(RvmCoreTest, SpoolAutoFlushesAtThreshold) {
+  RuntimeOptions runtime = rvm_->GetOptions();
+  runtime.max_spool_bytes = 1024;
+  rvm_->SetOptions(runtime);
+  uint8_t* base = MapRegion("/seg");
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(base + (i % 8) * 256, 200).ok());
+    std::memset(base + (i % 8) * 256, i, 200);
+    ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+  }
+  EXPECT_GT(rvm_->statistics().log_forces, 0u)
+      << "spool threshold should have auto-flushed";
+  EXPECT_LE(rvm_->spooled_bytes(), 1024u);
+}
+
+// --- Query / Terminate ------------------------------------------------------
+
+TEST_F(RvmCoreTest, QueryReportsUncommittedAndDirty) {
+  uint8_t* base = MapRegion("/seg", 4 * kPage);
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 8).ok());
+  auto query = rvm_->Query(base);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->uncommitted_transactions, 1u);
+  EXPECT_EQ(query->mapped_length, 4 * kPage);
+  ASSERT_TRUE(rvm_->EndTransaction(*tid, CommitMode::kFlush).ok());
+  query = rvm_->Query(base);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->uncommitted_transactions, 0u);
+  EXPECT_GE(query->dirty_pages, 1u);
+}
+
+TEST_F(RvmCoreTest, QueryReportsUncommittedIdentities) {
+  // §4.2: query returns "the number and identity of uncommitted
+  // transactions in a region".
+  uint8_t* base = MapRegion("/seg");
+  auto t1 = rvm_->BeginTransaction(RestoreMode::kRestore);
+  auto t2 = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*t1, base, 8).ok());
+  ASSERT_TRUE(rvm_->SetRange(*t2, base + 64, 8).ok());
+  auto query = rvm_->Query(base);
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->uncommitted_tids.size(), 2u);
+  EXPECT_EQ(query->uncommitted_tids[0], *t1);
+  EXPECT_EQ(query->uncommitted_tids[1], *t2);
+  ASSERT_TRUE(rvm_->AbortTransaction(*t1).ok());
+  ASSERT_TRUE(rvm_->AbortTransaction(*t2).ok());
+}
+
+TEST_F(RvmCoreTest, QueryCountsUnflushedCommits) {
+  uint8_t* base = MapRegion("/seg");
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(base, 4).ok());
+  ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+  auto query = rvm_->Query(base);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->committed_unflushed_transactions, 1u);
+}
+
+TEST_F(RvmCoreTest, TerminateWithUncommittedTransactionFails) {
+  uint8_t* base = MapRegion("/seg");
+  auto tid = rvm_->BeginTransaction(RestoreMode::kRestore);
+  ASSERT_TRUE(rvm_->SetRange(*tid, base, 4).ok());
+  EXPECT_EQ(rvm_->Terminate().code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(rvm_->AbortTransaction(*tid).ok());
+  EXPECT_TRUE(rvm_->Terminate().ok());
+}
+
+TEST_F(RvmCoreTest, TerminateFlushesSpool) {
+  uint8_t* base = MapRegion("/seg");
+  Transaction txn(*rvm_);
+  ASSERT_TRUE(txn.SetRange(base, 4).ok());
+  std::memcpy(base, "bye!", 4);
+  ASSERT_TRUE(txn.Commit(CommitMode::kNoFlush).ok());
+  ASSERT_TRUE(rvm_->Terminate().ok());
+  Reopen();
+  uint8_t* remapped = MapRegion("/seg");
+  EXPECT_EQ(std::memcmp(remapped, "bye!", 4), 0);
+}
+
+// --- Larger structured workload ------------------------------------------
+
+TEST_F(RvmCoreTest, StructuredRecordsSurviveManyRestarts) {
+  struct Account {
+    uint64_t id;
+    int64_t balance;
+    char owner[48];
+  };
+  constexpr int kAccounts = 50;
+  const uint64_t region_len = 16 * kPage;
+  uint8_t* base = MapRegion("/bank", region_len);
+  auto* accounts = reinterpret_cast<Account*>(base);
+
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < kAccounts; ++i) {
+      Transaction txn(*rvm_);
+      ASSERT_TRUE(txn.SetRange(&accounts[i], sizeof(Account)).ok());
+      accounts[i].id = static_cast<uint64_t>(i);
+      accounts[i].balance = round * 1000 + i;
+      std::snprintf(accounts[i].owner, sizeof(accounts[i].owner),
+                    "owner-%d-%d", round, i);
+      ASSERT_TRUE(txn.Commit(i % 2 == 0 ? CommitMode::kFlush
+                                        : CommitMode::kNoFlush).ok());
+    }
+    ASSERT_TRUE(rvm_->Flush().ok());
+    Reopen();
+    base = MapRegion("/bank", region_len);
+    accounts = reinterpret_cast<Account*>(base);
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_EQ(accounts[i].balance, round * 1000 + i) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,370 @@
+// Crash-recovery property tests.
+//
+// Strategy: run a deterministic scripted workload on a CrashSimEnv whose
+// persist budget forces a power failure after B durable bytes; sweep B so
+// recovery is exercised against (essentially) every durable prefix the
+// workload can produce, including torn record writes. After each crash,
+// recovery runs (RvmInstance::Initialize) and two properties are checked
+// against a replayed model:
+//
+//   ATOMICITY   — the recovered region equals the model state after exactly
+//                 k whole transactions, for some k (never a partial
+//                 transaction).
+//   PERMANENCE  — k covers every kFlush commit whose EndTransaction returned
+//                 OK before the crash.
+//
+// A separate test crashes *during recovery itself* to verify idempotency
+// (§5.1.2: the status-block update is deferred to the end).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "src/os/crash_sim.h"
+#include "src/rvm/rvm.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kRegionLen = 4 * kPage;
+constexpr uint64_t kSlots = kRegionLen / sizeof(uint64_t);
+constexpr uint64_t kLogSize = kLogDataStart + 96 * 1024;  // small: truncations happen
+
+// The scripted workload: transaction i deterministically writes a handful of
+// slots. Slot 0 always records the transaction index, so a recovered state
+// can be located in the model's history.
+struct SlotWrite {
+  uint64_t slot;
+  uint64_t value;
+};
+
+std::vector<SlotWrite> TxnScript(uint64_t i) {
+  Xoshiro256 rng(i * 7919 + 13);
+  std::vector<SlotWrite> writes;
+  writes.push_back({0, i + 1});  // txn sequence marker, 1-based
+  uint64_t count = 2 + rng.Below(4);
+  for (uint64_t w = 0; w < count; ++w) {
+    uint64_t slot = 1 + rng.Below(kSlots - 1);
+    writes.push_back({slot, i * 1000003 + slot});
+  }
+  return writes;
+}
+
+// Model state after the first k transactions.
+std::vector<uint64_t> ModelAfter(uint64_t k) {
+  std::vector<uint64_t> slots(kSlots, 0);
+  for (uint64_t i = 0; i < k; ++i) {
+    for (const SlotWrite& write : TxnScript(i)) {
+      slots[write.slot] = write.value;
+    }
+  }
+  return slots;
+}
+
+// Returns k if `slots` equals the model after exactly k transactions.
+std::optional<uint64_t> MatchModel(const uint64_t* slots) {
+  uint64_t k = slots[0];  // txn marker: state should be model after k txns
+  std::vector<uint64_t> model = ModelAfter(k);
+  if (std::memcmp(slots, model.data(), kSlots * sizeof(uint64_t)) == 0) {
+    return k;
+  }
+  return std::nullopt;
+}
+
+struct WorkloadConfig {
+  uint64_t total_txns = 40;
+  uint64_t flush_every = 4;     // every Nth commit uses kFlush
+  bool use_incremental = true;  // truncation policy under test
+};
+
+struct WorkloadOutcome {
+  // Highest 1-based txn index whose kFlush commit returned OK.
+  uint64_t last_ok_flush = 0;
+  // Highest 1-based txn index that committed (any mode) with OK status.
+  uint64_t last_ok_commit = 0;
+  bool crashed = false;
+};
+
+// Runs the workload until completion or simulated crash.
+WorkloadOutcome RunWorkload(CrashSimEnv& env, const WorkloadConfig& config) {
+  WorkloadOutcome outcome;
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  options.runtime.use_incremental_truncation = config.use_incremental;
+  options.runtime.truncation_threshold = 0.5;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    outcome.crashed = true;
+    return outcome;
+  }
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  if (!(*rvm)->Map(region).ok()) {
+    outcome.crashed = true;
+    return outcome;
+  }
+  auto* slots = static_cast<uint64_t*>(region.address);
+
+  for (uint64_t i = 0; i < config.total_txns; ++i) {
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+    if (!tid.ok()) {
+      outcome.crashed = true;
+      return outcome;
+    }
+    bool txn_ok = true;
+    for (const SlotWrite& write : TxnScript(i)) {
+      if (!(*rvm)->Modify(*tid, &slots[write.slot], &write.value,
+                          sizeof(uint64_t)).ok()) {
+        txn_ok = false;
+        break;
+      }
+    }
+    if (!txn_ok) {
+      outcome.crashed = true;
+      return outcome;
+    }
+    bool flush = (i + 1) % config.flush_every == 0;
+    Status commit = (*rvm)->EndTransaction(
+        *tid, flush ? CommitMode::kFlush : CommitMode::kNoFlush);
+    if (!commit.ok()) {
+      outcome.crashed = true;
+      return outcome;
+    }
+    outcome.last_ok_commit = i + 1;
+    if (flush) {
+      outcome.last_ok_flush = i + 1;
+    }
+  }
+  // Clean completion: leave spooled txns unflushed on purpose (they may be
+  // lost; atomicity must still hold).
+  return outcome;
+}
+
+// Recovers after a crash and validates the two properties.
+void ValidateAfterCrash(CrashSimEnv& env, const WorkloadOutcome& outcome,
+                        const WorkloadConfig& config, uint64_t budget) {
+  env.Recover();
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  options.runtime.use_incremental_truncation = config.use_incremental;
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok()) << "recovery failed (budget=" << budget
+                        << "): " << rvm.status().ToString();
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  const auto* slots = static_cast<const uint64_t*>(region.address);
+
+  std::optional<uint64_t> k = MatchModel(slots);
+  ASSERT_TRUE(k.has_value())
+      << "ATOMICITY violated at budget " << budget
+      << ": recovered state matches no transaction prefix (marker="
+      << slots[0] << ")";
+  EXPECT_GE(*k, outcome.last_ok_flush)
+      << "PERMANENCE violated at budget " << budget << ": flush-committed txn "
+      << outcome.last_ok_flush << " lost (recovered to " << *k << ")";
+  EXPECT_LE(*k, outcome.last_ok_commit == 0 ? config.total_txns
+                                            : outcome.last_ok_commit)
+      << "recovered MORE transactions than were ever committed";
+}
+
+class CrashSweepTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint64_t>> {};
+
+TEST_P(CrashSweepTest, EveryDurablePrefixRecoversConsistently) {
+  const auto [use_incremental, budget_seed] = GetParam();
+  WorkloadConfig config;
+  config.use_incremental = use_incremental;
+
+  // First, measure the total bytes a full run persists, to scale the sweep.
+  uint64_t full_bytes = 0;
+  {
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    WorkloadOutcome outcome = RunWorkload(env, config);
+    ASSERT_FALSE(outcome.crashed);
+    full_bytes = env.bytes_persisted();
+  }
+  ASSERT_GT(full_bytes, 0u);
+
+  // Sweep ~24 crash points spread over the run, jittered by the seed so the
+  // parameterized instances together cover many distinct torn positions.
+  Xoshiro256 rng(budget_seed);
+  int crashes_exercised = 0;
+  for (int point = 0; point < 24; ++point) {
+    uint64_t budget = full_bytes * (point + 1) / 25 + rng.Below(97);
+    CrashSimEnv::Options env_options;
+    env_options.persist_budget = UINT64_MAX;  // creation must succeed
+    CrashSimEnv env(env_options);
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    uint64_t setup_bytes = env.bytes_persisted();
+    env.SetPersistBudget(budget > setup_bytes ? budget - setup_bytes : 0);
+
+    WorkloadOutcome outcome = RunWorkload(env, config);
+    if (!outcome.crashed) {
+      continue;  // budget outlasted the workload
+    }
+    if (!env.crashed()) {
+      env.Crash();  // process died with budget remaining: drop volatile state
+    }
+    ++crashes_exercised;
+    ValidateAfterCrash(env, outcome, config, budget);
+  }
+  EXPECT_GE(crashes_exercised, 16)
+      << "sweep barely crashed anything; budgets mis-scaled, test is vacuous";
+}
+
+TEST(CrashModelSelfTest, MatcherRejectsTornStates) {
+  // Meta-test: the model matcher must actually discriminate. A state that
+  // applies only *part* of transaction k's writes must match no prefix.
+  std::vector<uint64_t> state = ModelAfter(10);
+  std::vector<SlotWrite> partial = TxnScript(10);
+  ASSERT_GE(partial.size(), 3u);
+  // Apply the marker and one write, but not the rest: a torn transaction.
+  state[partial[0].slot] = partial[0].value;
+  state[partial[1].slot] = partial[1].value;
+  EXPECT_FALSE(MatchModel(state.data()).has_value());
+  // Completing the transaction makes it match again.
+  for (const SlotWrite& write : partial) {
+    state[write.slot] = write.value;
+  }
+  auto k = MatchModel(state.data());
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CrashSweepTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "Incremental" : "Epoch") +
+             "Seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CrashRecoveryTest, CrashWithBudgetLeftLosesOnlyUnflushed) {
+  // A plain process kill (no budget exhaustion): everything fsynced must
+  // survive, spooled no-flush txns may vanish, atomicity holds.
+  WorkloadConfig config;
+  CrashSimEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  WorkloadOutcome outcome = RunWorkload(env, config);
+  ASSERT_FALSE(outcome.crashed);
+  env.Crash();
+  ValidateAfterCrash(env, outcome, config, UINT64_MAX);
+}
+
+TEST(CrashRecoveryTest, RecoveryItselfIsIdempotentUnderCrashes) {
+  // Crash the recovery pass repeatedly at increasing budgets until it
+  // finally completes; the final state must satisfy the same properties.
+  WorkloadConfig config;
+  config.total_txns = 30;
+  config.flush_every = 3;
+
+  CrashSimEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  WorkloadOutcome outcome = RunWorkload(env, config);
+  ASSERT_FALSE(outcome.crashed);
+  env.Crash();
+
+  int crashes_during_recovery = 0;
+  for (uint64_t budget = 512;; budget += 1024) {
+    env.Recover();
+    env.SetPersistBudget(budget);
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    if (rvm.ok()) {
+      // Give the instance unlimited budget for the remainder (destructor
+      // writes a clean status block).
+      env.SetPersistBudget(UINT64_MAX);
+      break;
+    }
+    ++crashes_during_recovery;
+    ASSERT_LT(crashes_during_recovery, 1000) << "recovery never completed";
+    if (!env.crashed()) {
+      env.Crash();
+    }
+  }
+  EXPECT_GT(crashes_during_recovery, 0)
+      << "test expected at least one mid-recovery crash; budgets too large";
+  ValidateAfterCrash(env, outcome, config, 0);
+}
+
+TEST(CrashRecoveryTest, TornFinalRecordIsDiscarded) {
+  // Force a crash budget that lands inside the final flush's log write: the
+  // torn record must be dropped, the previous state preserved.
+  CrashSimEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  {
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    auto rvm = RvmInstance::Initialize(options);
+    ASSERT_TRUE(rvm.ok());
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = kRegionLen;
+    ASSERT_TRUE((*rvm)->Map(region).ok());
+    auto* slots = static_cast<uint64_t*>(region.address);
+
+    Transaction first(**rvm);
+    uint64_t value = 11;
+    ASSERT_TRUE((*rvm)->Modify(first.id(), &slots[1], &value, 8).ok());
+    ASSERT_TRUE(first.Commit(CommitMode::kFlush).ok());
+
+    // Allow only 100 more durable bytes: the next commit's record (~2 KB)
+    // tears.
+    env.SetPersistBudget(100);
+    Transaction second(**rvm);
+    std::vector<uint64_t> big(256, 22);
+    ASSERT_TRUE((*rvm)->SetRange(second.id(), &slots[2], big.size() * 8).ok());
+    std::memcpy(&slots[2], big.data(), big.size() * 8);
+    EXPECT_FALSE(second.Commit(CommitMode::kFlush).ok());
+  }
+  if (!env.crashed()) {
+    env.Crash();
+  }
+  env.Recover();
+
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok()) << rvm.status().ToString();
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  const auto* slots = static_cast<const uint64_t*>(region.address);
+  EXPECT_EQ(slots[1], 11u) << "first (durable) transaction lost";
+  EXPECT_EQ(slots[2], 0u) << "torn second transaction partially applied";
+}
+
+TEST(CrashRecoveryTest, RandomWritebackAtCrashStillAtomic) {
+  // flush_on_crash persists a random subset prefix of pending writes at the
+  // moment of failure (page cache racing power loss).
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    CrashSimEnv::Options env_options;
+    env_options.flush_on_crash = true;
+    env_options.torn_writes = true;
+    env_options.seed = seed;
+    CrashSimEnv env(env_options);
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    WorkloadConfig config;
+    config.total_txns = 20;
+    WorkloadOutcome outcome = RunWorkload(env, config);
+    ASSERT_FALSE(outcome.crashed);
+    env.Crash();  // triggers randomized writeback
+    ValidateAfterCrash(env, outcome, config, seed);
+  }
+}
+
+}  // namespace
+}  // namespace rvm

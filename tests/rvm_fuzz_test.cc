@@ -1,0 +1,227 @@
+// Model-based randomized testing of the full RVM API surface.
+//
+// A reference model tracks what each segment must contain after every
+// committed transaction. The fuzzer interleaves multiple open transactions
+// (on disjoint stripes — RVM provides no serializability, so concurrent
+// overlapping writers are an application bug by §3.1), mixes flush/no-flush
+// commits, aborts, explicit flush/truncate calls, unmap/remap cycles, and
+// restarts, on a deliberately small log so the record area wraps many times.
+// After a clean shutdown the remapped bytes must equal the model exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kRegionLen = 8 * kPage;
+constexpr int kSegments = 2;
+constexpr int kStripes = 4;  // concurrent transactions use disjoint stripes
+constexpr uint64_t kStripeLen = kRegionLen / kStripes;
+// Small log: forces wraparound and frequent truncation during the run.
+constexpr uint64_t kLogSize = kLogDataStart + 48 * 1024;
+
+struct OpenTxn {
+  TransactionId tid = kInvalidTransactionId;
+  RestoreMode mode = RestoreMode::kRestore;
+  int segment = 0;
+  int stripe = 0;
+  // Writes staged by this transaction (applied to the model on commit).
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> writes;
+};
+
+class RvmFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RvmFuzzTest, RandomApiSequenceMatchesModel) {
+  Xoshiro256 rng(GetParam());
+  MemEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+
+  // The model: committed contents of each segment.
+  std::vector<std::vector<uint8_t>> model(kSegments,
+                                          std::vector<uint8_t>(kRegionLen, 0));
+
+  std::unique_ptr<RvmInstance> rvm;
+  std::vector<uint8_t*> bases(kSegments, nullptr);
+  std::vector<bool> mapped(kSegments, false);
+
+  auto open_instance = [&] {
+    rvm.reset();
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    options.runtime.use_incremental_truncation = rng.Chance(0.5);
+    options.runtime.truncation_threshold = 0.4;
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    rvm = std::move(*opened);
+    for (int segment = 0; segment < kSegments; ++segment) {
+      mapped[segment] = false;
+    }
+  };
+  auto map_segment = [&](int segment) {
+    if (mapped[segment]) {
+      return;
+    }
+    RegionDescriptor region;
+    region.segment_path = "/seg" + std::to_string(segment);
+    region.length = kRegionLen;
+    ASSERT_TRUE(rvm->Map(region).ok());
+    bases[segment] = static_cast<uint8_t*>(region.address);
+    mapped[segment] = true;
+    // Mapped image must equal the committed model right now.
+    ASSERT_EQ(std::memcmp(region.address, model[segment].data(), kRegionLen), 0)
+        << "map did not present the committed image (segment " << segment << ")";
+  };
+
+  open_instance();
+  map_segment(0);
+  map_segment(1);
+
+  std::vector<OpenTxn> open_txns;
+  auto stripe_busy = [&](int segment, int stripe) {
+    for (const OpenTxn& txn : open_txns) {
+      if (txn.segment == segment && txn.stripe == stripe) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto finish_all = [&](bool commit) {
+    while (!open_txns.empty()) {
+      OpenTxn txn = std::move(open_txns.back());
+      open_txns.pop_back();
+      if (commit || txn.mode == RestoreMode::kNoRestore) {
+        ASSERT_TRUE(rvm->EndTransaction(txn.tid, CommitMode::kNoFlush).ok());
+        for (auto& [offset, bytes] : txn.writes) {
+          std::memcpy(model[txn.segment].data() + offset, bytes.data(),
+                      bytes.size());
+        }
+      } else {
+        ASSERT_TRUE(rvm->AbortTransaction(txn.tid).ok());
+      }
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    uint64_t action = rng.Below(100);
+    if (action < 30) {
+      // Begin a transaction on a free stripe.
+      if (open_txns.size() >= 3) {
+        continue;
+      }
+      int segment = static_cast<int>(rng.Below(kSegments));
+      int stripe = static_cast<int>(rng.Below(kStripes));
+      if (!mapped[segment] || stripe_busy(segment, stripe)) {
+        continue;
+      }
+      OpenTxn txn;
+      txn.mode = rng.Chance(0.3) ? RestoreMode::kNoRestore : RestoreMode::kRestore;
+      auto tid = rvm->BeginTransaction(txn.mode);
+      ASSERT_TRUE(tid.ok());
+      txn.tid = *tid;
+      txn.segment = segment;
+      txn.stripe = stripe;
+      open_txns.push_back(std::move(txn));
+    } else if (action < 60) {
+      // Write within an open transaction's stripe.
+      if (open_txns.empty()) {
+        continue;
+      }
+      OpenTxn& txn = open_txns[rng.Below(open_txns.size())];
+      uint64_t stripe_base = static_cast<uint64_t>(txn.stripe) * kStripeLen;
+      uint64_t length = 1 + rng.Below(512);
+      uint64_t offset = stripe_base + rng.Below(kStripeLen - length);
+      uint8_t* dest = bases[txn.segment] + offset;
+      ASSERT_TRUE(rvm->SetRange(txn.tid, dest, length).ok());
+      std::vector<uint8_t> bytes(length);
+      for (auto& byte : bytes) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      std::memcpy(dest, bytes.data(), length);
+      txn.writes.emplace_back(offset, std::move(bytes));
+      if (rng.Chance(0.3)) {  // defensive duplicate declaration
+        ASSERT_TRUE(rvm->SetRange(txn.tid, dest, length).ok());
+      }
+    } else if (action < 80) {
+      // Commit or abort a random open transaction.
+      if (open_txns.empty()) {
+        continue;
+      }
+      size_t index = rng.Below(open_txns.size());
+      OpenTxn txn = std::move(open_txns[index]);
+      open_txns.erase(open_txns.begin() + static_cast<ptrdiff_t>(index));
+      bool abort = txn.mode == RestoreMode::kRestore && rng.Chance(0.25);
+      if (abort) {
+        ASSERT_TRUE(rvm->AbortTransaction(txn.tid).ok());
+        // Model unchanged; in-memory bytes must be restored.
+        for (auto& [offset, bytes] : txn.writes) {
+          ASSERT_EQ(std::memcmp(bases[txn.segment] + offset,
+                                model[txn.segment].data() + offset, bytes.size()),
+                    0)
+              << "abort failed to restore (seed " << GetParam() << " step "
+              << step << ")";
+        }
+      } else {
+        CommitMode mode = rng.Chance(0.5) ? CommitMode::kFlush
+                                          : CommitMode::kNoFlush;
+        ASSERT_TRUE(rvm->EndTransaction(txn.tid, mode).ok());
+        for (auto& [offset, bytes] : txn.writes) {
+          std::memcpy(model[txn.segment].data() + offset, bytes.data(),
+                      bytes.size());
+        }
+      }
+    } else if (action < 85) {
+      ASSERT_TRUE(rvm->Flush().ok());
+    } else if (action < 90) {
+      ASSERT_TRUE(rvm->Truncate().ok());
+    } else if (action < 95) {
+      // Unmap + remap a quiescent segment.
+      int segment = static_cast<int>(rng.Below(kSegments));
+      bool busy = false;
+      for (const OpenTxn& txn : open_txns) {
+        busy = busy || txn.segment == segment;
+      }
+      if (!mapped[segment] || busy) {
+        continue;
+      }
+      RegionDescriptor region;
+      region.address = bases[segment];
+      ASSERT_TRUE(rvm->Unmap(region).ok());
+      mapped[segment] = false;
+      map_segment(segment);
+    } else {
+      // Clean restart mid-stream: close transactions, terminate, reopen.
+      finish_all(/*commit=*/rng.Chance(0.5));
+      ASSERT_TRUE(rvm->Terminate().ok());
+      open_instance();
+      map_segment(0);
+      map_segment(1);
+    }
+  }
+
+  // Wind down, restart, and verify the final committed state byte-for-byte.
+  finish_all(/*commit=*/true);
+  ASSERT_TRUE(rvm->Terminate().ok());
+  open_instance();
+  for (int segment = 0; segment < kSegments; ++segment) {
+    map_segment(segment);
+    ASSERT_EQ(std::memcmp(bases[segment], model[segment].data(), kRegionLen), 0)
+        << "final state diverged from model (segment " << segment << ", seed "
+        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RvmFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,136 @@
+// End-to-end test of the rvmutl log-inspection tool (§6): runs the real
+// binary as a subprocess against logs produced by the library.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/rvm/rvm.h"
+
+#ifndef RVMUTL_PATH
+#error "RVMUTL_PATH must be defined by the build"
+#endif
+
+namespace rvm {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunTool(const std::string& arguments) {
+  std::string command = std::string(RVMUTL_PATH) + " " + arguments + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class RvmutlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rvmutl_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    log_path_ = (dir_ / "log").string();
+    segment_path_ = (dir_ / "seg").string();
+
+    ASSERT_TRUE(RvmInstance::CreateLog(GetRealEnv(), log_path_, 1 << 20).ok());
+    RvmOptions options;
+    options.log_path = log_path_;
+    auto instance = RvmInstance::Initialize(options);
+    ASSERT_TRUE(instance.ok());
+    RegionDescriptor region;
+    region.segment_path = segment_path_;
+    region.length = 4096;
+    ASSERT_TRUE((*instance)->Map(region).ok());
+    auto* base = static_cast<uint8_t*>(region.address);
+    for (int i = 0; i < 3; ++i) {
+      Transaction txn(**instance);
+      ASSERT_TRUE(txn.SetRange(base + i * 64, 16).ok());
+      std::memcpy(base + i * 64, "HISTORYDATA!", 12);
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    ASSERT_TRUE((*instance)->Terminate().ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string log_path_;
+  std::string segment_path_;
+};
+
+TEST_F(RvmutlTest, StatusShowsLogGeometry) {
+  CommandResult result = RunTool(log_path_ + " status");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("log size:"), std::string::npos);
+  EXPECT_NE(result.output.find("1048576"), std::string::npos);
+  EXPECT_NE(result.output.find("segments:          1"), std::string::npos);
+}
+
+TEST_F(RvmutlTest, SegmentsListsDictionary) {
+  CommandResult result = RunTool(log_path_ + " segments");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find(segment_path_), std::string::npos);
+}
+
+TEST_F(RvmutlTest, RecordsListsTransactions) {
+  CommandResult result = RunTool(log_path_ + " records");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("seqno"), std::string::npos);
+  EXPECT_NE(result.output.find(segment_path_ + "[0..16)"), std::string::npos);
+  EXPECT_NE(result.output.find("[128..144)"), std::string::npos);
+}
+
+TEST_F(RvmutlTest, HistoryShowsModificationData) {
+  CommandResult result = RunTool(log_path_ + " history " + segment_path_ + " 0 16");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("HISTORYDATA!"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(RvmutlTest, HistoryOfUntouchedRangeSaysSo) {
+  CommandResult result = RunTool(log_path_ + " history " + segment_path_ +
+                                 " 2048 64");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("no live log records"), std::string::npos);
+}
+
+TEST_F(RvmutlTest, VerifyPassesOnHealthyLog) {
+  CommandResult result = RunTool(log_path_ + " verify");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("OK: 3 transaction records"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(RvmutlTest, MissingLogFails) {
+  CommandResult result = RunTool((dir_ / "nonexistent").string() + " status");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST_F(RvmutlTest, BadUsageShowsHelp) {
+  CommandResult result = RunTool(log_path_);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(RvmutlTest, UnknownSegmentInHistoryFails) {
+  CommandResult result = RunTool(log_path_ + " history /no/such/segment 0 16");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown segment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,135 @@
+// Tests for the segment loader: stable base addresses across restarts,
+// which is what makes absolute pointers inside segments safe (§4.1).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/os/mem_env.h"
+#include "src/rvm/rvm.h"
+#include "src/segloader/segment_loader.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+class SegLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log",
+                                       kLogDataStart + 512 * 1024).ok());
+    Reopen();
+  }
+
+  void Reopen() {
+    loader_.reset();  // unmaps everything (simulates clean shutdown)
+    rvm_.reset();
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+    auto loader = SegmentLoader::Open(*rvm_, "/loadmap");
+    ASSERT_TRUE(loader.ok()) << loader.status().ToString();
+    loader_ = std::move(*loader);
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+  std::unique_ptr<SegmentLoader> loader_;
+};
+
+TEST_F(SegLoaderTest, LoadAssignsBaseAndMaps) {
+  auto address = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(address.ok()) << address.status().ToString();
+  EXPECT_NE(*address, nullptr);
+  auto entries = loader_->Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, "/segA");
+  EXPECT_TRUE(entries[0].loaded);
+  EXPECT_EQ(reinterpret_cast<uint64_t>(*address), entries[0].base);
+}
+
+TEST_F(SegLoaderTest, SameBaseAcrossRestart) {
+  auto first = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(first.ok());
+  void* original_base = *first;
+
+  // Store an absolute self-pointer in the segment, the pattern the loader
+  // exists to support.
+  struct Node {
+    Node* self;
+    char payload[24];
+  };
+  auto* node = static_cast<Node*>(original_base);
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(node, sizeof(Node)).ok());
+    node->self = node;
+    std::memcpy(node->payload, "absolute pointer!", 18);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  Reopen();
+  auto second = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*second, original_base) << "base address must be stable";
+  auto* reloaded = static_cast<Node*>(*second);
+  EXPECT_EQ(reloaded->self, reloaded) << "absolute pointer must still be valid";
+  EXPECT_EQ(std::memcmp(reloaded->payload, "absolute pointer!", 18), 0);
+}
+
+TEST_F(SegLoaderTest, DistinctSegmentsGetDistinctBases) {
+  auto a = loader_->Load("/segA", 4 * kPage);
+  auto b = loader_->Load("/segB", 4 * kPage);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(SegLoaderTest, DoubleLoadFails) {
+  ASSERT_TRUE(loader_->Load("/segA", 4 * kPage).ok());
+  EXPECT_EQ(loader_->Load("/segA", 4 * kPage).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SegLoaderTest, UnloadThenReloadSameBase) {
+  auto first = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(first.ok());
+  void* base = *first;
+  ASSERT_TRUE(loader_->Unload("/segA").ok());
+  auto again = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, base);
+}
+
+TEST_F(SegLoaderTest, UnloadUnknownFails) {
+  EXPECT_EQ(loader_->Unload("/nope").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SegLoaderTest, GrowingLengthKeepsBase) {
+  auto small = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(small.ok());
+  void* base = *small;
+  ASSERT_TRUE(loader_->Unload("/segA").ok());
+  auto grown = loader_->Load("/segA", 16 * kPage);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  EXPECT_EQ(*grown, base);
+}
+
+TEST_F(SegLoaderTest, RejectsBadLengths) {
+  EXPECT_EQ(loader_->Load("/segA", 100).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(loader_->Load("/segA", 0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SegLoaderTest, RejectsOverlongPath) {
+  std::string long_path(300, 'p');
+  EXPECT_EQ(loader_->Load(long_path, 4 * kPage).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rvm

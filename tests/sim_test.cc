@@ -1,0 +1,321 @@
+// Tests for the simulation substrate: clock overlap accounting, disk timing
+// model, SimEnv buffering, SimVm paging/LRU/pinning, and IPC costs.
+#include <gtest/gtest.h>
+
+#include "src/sim/sim_clock.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_env.h"
+#include "src/sim/sim_ipc.h"
+#include "src/sim/sim_vm.h"
+
+namespace rvm {
+namespace {
+
+// --- SimClock ----------------------------------------------------------------
+
+TEST(SimClockTest, CpuAdvancesBothCounters) {
+  SimClock clock;
+  clock.ChargeCpu(100);
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 100);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 100);
+}
+
+TEST(SimClockTest, IoWaitIsNotCpu) {
+  SimClock clock;
+  clock.WaitIo(500);
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 500);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 0);
+  EXPECT_DOUBLE_EQ(clock.io_wait_micros(), 500);
+}
+
+TEST(SimClockTest, BackgroundCpuHidesUnderIoWait) {
+  SimClock clock;
+  clock.WaitIo(1000);
+  clock.ChargeOverlappableCpu(600);  // fully hidden
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 1000);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 600);
+  clock.ChargeOverlappableCpu(600);  // 400 still hidden, 200 visible
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 1200);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 1200);
+}
+
+TEST(SimClockTest, BackgroundIoHidesButIsNotCpu) {
+  SimClock clock;
+  clock.WaitIo(1000);
+  clock.WaitIoBackground(400);
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 1000);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 0);
+  clock.WaitIoBackground(1000);  // 600 hidden, 400 visible
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 1400);
+}
+
+// --- SimDisk -----------------------------------------------------------------
+
+TEST(SimDiskTest, SmallSyncAppendCostsAboutTheLogForceLatency) {
+  // §7.1.2: "The average time to perform a log force on the disks used in
+  // our experiments is about 17.4 milliseconds."
+  SimClock clock;
+  SimDisk disk(&clock, "log");
+  // Steady-state: repeated small appends with app "think time" between.
+  double previous = 0;
+  double total = 0;
+  int forces = 0;
+  uint64_t offset = 0;
+  for (int i = 0; i < 50; ++i) {
+    clock.ChargeCpu(3000);  // app work between forces
+    double start = clock.now_micros();
+    disk.Write(offset, 512);
+    disk.Sync();
+    total += clock.now_micros() - start;
+    ++forces;
+    offset += 512;
+    previous = clock.now_micros();
+  }
+  (void)previous;
+  double average_ms = total / forces / 1000.0;
+  EXPECT_GT(average_ms, 15.0);
+  EXPECT_LT(average_ms, 20.0) << "log force should be ~17.4 ms, got " << average_ms;
+}
+
+TEST(SimDiskTest, StreamingIsCheaperThanScattered) {
+  SimClock clock;
+  SimDisk disk(&clock, "data");
+  double start = clock.now_micros();
+  for (int i = 0; i < 64; ++i) {
+    disk.Write(static_cast<uint64_t>(i) * 4096, 4096);  // back-to-back stream
+  }
+  double sequential = clock.now_micros() - start;
+
+  start = clock.now_micros();
+  for (int i = 0; i < 64; ++i) {
+    disk.Write((static_cast<uint64_t>(i * 7919) % 4096) * 1048576, 4096);
+  }
+  double scattered = clock.now_micros() - start;
+  EXPECT_GT(scattered, 4 * sequential);
+}
+
+TEST(SimDiskTest, CountersTrack) {
+  SimClock clock;
+  SimDisk disk(&clock, "d");
+  disk.Read(0, 100);
+  disk.Write(4096, 200);
+  disk.Sync();
+  EXPECT_EQ(disk.reads(), 1u);
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.syncs(), 1u);
+  EXPECT_EQ(disk.bytes_read(), 100u);
+  EXPECT_EQ(disk.bytes_written(), 200u);
+  EXPECT_GT(disk.busy_micros(), 0);
+}
+
+// --- SimEnv ------------------------------------------------------------------
+
+TEST(SimEnvTest, WritesAreBufferedUntilSync) {
+  SimClock clock;
+  SimDisk disk(&clock, "log");
+  SimEnv env(&clock);
+  env.Mount("/log", &disk);
+  auto file = env.Open("/log/wal", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(file.ok());
+  uint8_t data[256] = {};
+  double before = clock.now_micros();
+  ASSERT_TRUE((*file)->WriteAt(0, data).ok());
+  EXPECT_DOUBLE_EQ(clock.now_micros(), before) << "buffered write must be free";
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_GT(clock.now_micros(), before);
+  EXPECT_EQ(disk.writes(), 1u);
+}
+
+TEST(SimEnvTest, UnmountedPathsAreFree) {
+  SimClock clock;
+  SimEnv env(&clock);
+  auto file = env.Open("/nodisk/x", OpenMode::kCreateIfMissing);
+  uint8_t data[64] = {};
+  ASSERT_TRUE((*file)->WriteAt(0, data).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 0);
+}
+
+TEST(SimEnvTest, LongestPrefixWins) {
+  SimClock clock;
+  SimDisk coarse(&clock, "coarse");
+  SimDisk fine(&clock, "fine");
+  SimEnv env(&clock);
+  env.Mount("/a", &coarse);
+  env.Mount("/a/b", &fine);
+  auto file = env.Open("/a/b/f", OpenMode::kCreateIfMissing);
+  uint8_t data[16] = {};
+  ASSERT_TRUE((*file)->WriteAt(0, data).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(fine.writes(), 1u);
+  EXPECT_EQ(coarse.writes(), 0u);
+}
+
+TEST(SimEnvTest, SequentialWritesCoalesceIntoOneTransfer) {
+  SimClock clock;
+  SimDisk disk(&clock, "log");
+  SimEnv env(&clock);
+  env.Mount("/log", &disk);
+  auto file = env.Open("/log/wal", OpenMode::kCreateIfMissing);
+  uint8_t data[100] = {};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*file)->WriteAt(i * 100, data).ok());
+  }
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(disk.writes(), 1u) << "adjacent buffered writes should coalesce";
+  EXPECT_EQ(disk.bytes_written(), 1000u);
+}
+
+TEST(SimEnvTest, DataRoundTrips) {
+  SimClock clock;
+  SimEnv env(&clock);
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  uint8_t data[4] = {1, 2, 3, 4};
+  ASSERT_TRUE((*file)->WriteAt(0, data).ok());
+  uint8_t out[4] = {};
+  ASSERT_EQ((*file)->ReadAt(0, out).value(), 4u);
+  EXPECT_EQ(out[2], 3);
+}
+
+// --- SimVm -------------------------------------------------------------------
+
+class SimVmTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kPage = 4096;
+  SimClock clock_;
+  SimDisk swap_{&clock_, "paging"};
+  SimVm vm_{&clock_, 16 * kPage, kPage};  // 16 frames
+  SwapPager pager_{&clock_, &swap_, kPage, 0};
+};
+
+TEST_F(SimVmTest, FirstTouchFaults) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  EXPECT_FALSE(vm_.IsResident(space, 0));
+  vm_.Touch(space, 0, false);
+  EXPECT_TRUE(vm_.IsResident(space, 0));
+  EXPECT_EQ(vm_.stats().faults, 1u);
+  vm_.Touch(space, 0, false);
+  EXPECT_EQ(vm_.stats().faults, 1u) << "resident page must not fault";
+}
+
+TEST_F(SimVmTest, LruEvictionUnderPressure) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  for (uint64_t page = 0; page < 16; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  EXPECT_EQ(vm_.resident_frames(), 16u);
+  vm_.Touch(space, 16, false);  // evicts page 0 (LRU)
+  EXPECT_FALSE(vm_.IsResident(space, 0));
+  EXPECT_TRUE(vm_.IsResident(space, 16));
+  EXPECT_EQ(vm_.stats().clean_drops, 1u);
+}
+
+TEST_F(SimVmTest, TouchRefreshesLruPosition) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  for (uint64_t page = 0; page < 16; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  vm_.Touch(space, 0, false);   // page 0 becomes MRU
+  vm_.Touch(space, 16, false);  // evicts page 1, not 0
+  EXPECT_TRUE(vm_.IsResident(space, 0));
+  EXPECT_FALSE(vm_.IsResident(space, 1));
+}
+
+TEST_F(SimVmTest, DirtyEvictionWritesToSwap) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  vm_.Touch(space, 0, true);  // dirty
+  for (uint64_t page = 1; page <= 16; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  EXPECT_FALSE(vm_.IsResident(space, 0));
+  EXPECT_EQ(vm_.stats().page_outs, 1u);
+  EXPECT_EQ(swap_.writes(), 1u);
+}
+
+TEST_F(SimVmTest, PinnedPagesSurviveEviction) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  vm_.Pin(space, 0);
+  for (uint64_t page = 1; page <= 20; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  EXPECT_TRUE(vm_.IsResident(space, 0));
+  vm_.Unpin(space, 0);
+  for (uint64_t page = 21; page <= 40; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  EXPECT_FALSE(vm_.IsResident(space, 0));
+}
+
+TEST_F(SimVmTest, FaultChargesCpuAndDisk) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  double before_cpu = clock_.cpu_micros();
+  double before_now = clock_.now_micros();
+  vm_.Touch(space, 3, false);
+  EXPECT_GT(clock_.cpu_micros(), before_cpu);
+  EXPECT_GT(clock_.now_micros() - before_now, 5000) << "disk read dominates";
+}
+
+TEST_F(SimVmTest, CleanPageWritesBackAndClearsDirty) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  vm_.Touch(space, 2, true);
+  EXPECT_TRUE(vm_.IsDirty(space, 2));
+  vm_.CleanPage(space, 2);
+  EXPECT_FALSE(vm_.IsDirty(space, 2));
+  EXPECT_TRUE(vm_.IsResident(space, 2));
+  EXPECT_EQ(vm_.stats().writebacks, 1u);
+}
+
+TEST_F(SimVmTest, ReservedFramesShrinkCapacity) {
+  vm_.ReserveFrames(8);
+  int space = vm_.CreateSpace(&pager_, 64);
+  for (uint64_t page = 0; page < 8; ++page) {
+    vm_.Touch(space, page, false);
+  }
+  vm_.Touch(space, 8, false);  // only 8 frames available: must evict
+  EXPECT_EQ(vm_.stats().clean_drops + vm_.stats().page_outs, 1u);
+}
+
+TEST_F(SimVmTest, LoadResidentSkipsFaultCost) {
+  int space = vm_.CreateSpace(&pager_, 64);
+  double before = clock_.now_micros();
+  vm_.LoadResident(space, 5, true);
+  EXPECT_DOUBLE_EQ(clock_.now_micros(), before);
+  EXPECT_TRUE(vm_.IsResident(space, 5));
+  EXPECT_TRUE(vm_.IsDirty(space, 5));
+  EXPECT_EQ(vm_.stats().faults, 0u);
+}
+
+// --- SimIpc ------------------------------------------------------------------
+
+TEST(SimIpcTest, RpcCosts430Micros) {
+  SimClock clock;
+  SimIpc ipc(&clock);
+  ipc.Rpc(0);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 430.0);
+  EXPECT_EQ(ipc.rpc_count(), 1u);
+}
+
+TEST(SimIpcTest, PayloadAddsCost) {
+  SimClock clock;
+  SimIpc ipc(&clock);
+  ipc.Rpc(4096);
+  EXPECT_GT(clock.cpu_micros(), 430.0 + 100.0);
+}
+
+TEST(SimIpcTest, BackgroundRpcOverlapsIoWait) {
+  SimClock clock;
+  SimIpc ipc(&clock);
+  clock.WaitIo(10000);
+  ipc.BackgroundRpc(0);
+  EXPECT_DOUBLE_EQ(clock.now_micros(), 10000.0);
+  EXPECT_DOUBLE_EQ(clock.cpu_micros(), 430.0);
+}
+
+TEST(SimIpcTest, Ipc600TimesLocalCall) {
+  // §3.3: "IPC is about 600 times more expensive than local procedure call"
+  SimIpcParams params;
+  EXPECT_NEAR(params.null_rpc_micros / params.local_call_micros, 614, 20);
+}
+
+}  // namespace
+}  // namespace rvm

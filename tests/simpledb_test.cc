@@ -1,0 +1,161 @@
+// Tests for the SimpleDB (Birrell et al.) baseline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/os/crash_sim.h"
+#include "src/os/mem_env.h"
+#include "src/simpledb/simpledb.h"
+#include "src/util/serialize.h"
+
+namespace rvm {
+namespace {
+
+std::span<const uint8_t> Val(const char* s) { return AsBytes(s); }
+
+TEST(SimpleDbTest, PutGetRoundTrip) {
+  MemEnv env;
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put(1, Val("one")).ok());
+  ASSERT_TRUE((*db)->Put(2, Val("two")).ok());
+  auto got = (*db)->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "one");
+  EXPECT_EQ((*db)->size(), 2u);
+}
+
+TEST(SimpleDbTest, GetMissingFails) {
+  MemEnv env;
+  auto db = SimpleDb::Open(&env, "/db");
+  EXPECT_EQ((*db)->Get(9).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SimpleDbTest, EraseRemoves) {
+  MemEnv env;
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE((*db)->Put(1, Val("x")).ok());
+  ASSERT_TRUE((*db)->Erase(1).ok());
+  EXPECT_FALSE((*db)->Contains(1));
+}
+
+TEST(SimpleDbTest, RecoversFromLogWithoutCheckpoint) {
+  MemEnv env;
+  {
+    auto db = SimpleDb::Open(&env, "/db");
+    ASSERT_TRUE((*db)->Put(1, Val("logged")).ok());
+    ASSERT_TRUE((*db)->Put(1, Val("updated")).ok());
+  }
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->size(), 1u);
+  auto got = (*db)->Get(1);
+  EXPECT_EQ(std::string(got->begin(), got->end()), "updated");
+}
+
+TEST(SimpleDbTest, RecoversFromCheckpointPlusLog) {
+  MemEnv env;
+  {
+    auto db = SimpleDb::Open(&env, "/db");
+    ASSERT_TRUE((*db)->Put(1, Val("a")).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Put(2, Val("b")).ok());  // post-checkpoint, in log
+    ASSERT_TRUE((*db)->Erase(1).ok());
+  }
+  auto db = SimpleDb::Open(&env, "/db");
+  EXPECT_FALSE((*db)->Contains(1));
+  auto got = (*db)->Get(2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "b");
+}
+
+TEST(SimpleDbTest, CheckpointEmptiesLog) {
+  MemEnv env;
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE((*db)->Put(1, std::vector<uint8_t>(500, 7)).ok());
+  uint64_t log_before = (*db)->log_size_bytes();
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_LT((*db)->log_size_bytes(), log_before);
+  EXPECT_EQ((*db)->stats().checkpoints, 1u);
+}
+
+TEST(SimpleDbTest, StaleLogFromOldGenerationIgnored) {
+  MemEnv env;
+  {
+    auto db = SimpleDb::Open(&env, "/db");
+    ASSERT_TRUE((*db)->Put(1, Val("old")).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  // Corrupt the scenario: manually restamp the log with a stale generation.
+  {
+    auto file = env.Open("/db.log", OpenMode::kReadWrite);
+    ByteWriter header;
+    header.U32(0x53444C52);
+    header.U64(999);  // generation mismatch
+    ASSERT_TRUE((*file)->WriteAt(0, header.buffer()).ok());
+  }
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Contains(1)) << "checkpoint content intact";
+}
+
+TEST(SimpleDbTest, CrashDuringCheckpointKeepsOldGeneration) {
+  CrashSimEnv env;
+  {
+    auto db = SimpleDb::Open(&env, "/db");
+    ASSERT_TRUE((*db)->Put(1, Val("stable")).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Put(2, Val("in-log")).ok());
+    // Allow only a few more bytes: the next checkpoint tears.
+    env.SetPersistBudget(10);
+    EXPECT_FALSE((*db)->Checkpoint().ok());
+  }
+  if (!env.crashed()) {
+    env.Crash();
+  }
+  env.Recover();
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Contains(1));
+  EXPECT_TRUE((*db)->Contains(2)) << "log replay must still apply";
+}
+
+TEST(SimpleDbTest, TornLogTailDiscarded) {
+  CrashSimEnv env;
+  {
+    auto db = SimpleDb::Open(&env, "/db");
+    ASSERT_TRUE((*db)->Put(1, Val("good")).ok());
+    env.SetPersistBudget(6);  // next record tears mid-write
+    EXPECT_FALSE((*db)->Put(2, std::vector<uint8_t>(100, 9)).ok());
+  }
+  if (!env.crashed()) {
+    env.Crash();
+  }
+  env.Recover();
+  auto db = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Contains(1));
+  EXPECT_FALSE((*db)->Contains(2));
+}
+
+TEST(SimpleDbTest, ManyUpdatesAcrossGenerations) {
+  MemEnv env;
+  auto db = SimpleDb::Open(&env, "/db");
+  for (uint64_t i = 0; i < 200; ++i) {
+    std::vector<uint8_t> value(32, static_cast<uint8_t>(i));
+    ASSERT_TRUE((*db)->Put(i % 50, value).ok());
+    if (i % 40 == 39) {
+      ASSERT_TRUE((*db)->Checkpoint().ok());
+    }
+  }
+  db->reset();
+  auto reopened = SimpleDb::Open(&env, "/db");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 50u);
+  auto got = (*reopened)->Get(49);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], 199);
+}
+
+}  // namespace
+}  // namespace rvm

@@ -1,0 +1,226 @@
+// Tests for the workload generators: TPC-A variant statistics (§7.1.1) and
+// the Coda metadata driver's savings behaviour (Table 2 mechanisms).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/os/mem_env.h"
+#include "src/workload/coda.h"
+#include "src/workload/tpca.h"
+
+namespace rvm {
+namespace {
+
+TEST(TpcaTest, SizesMatchPaper) {
+  TpcaConfig config;
+  config.num_accounts = 32768;
+  // 32768 accounts * 128 B = 4 MB accounts; audit sized to match ("each
+  // occupies close to half the total recoverable memory").
+  EXPECT_EQ(config.accounts_bytes(), 4u << 20);
+  EXPECT_EQ(config.audit_bytes(), 4u << 20);
+  double rmem = static_cast<double>(config.rmem_bytes());
+  EXPECT_NEAR(static_cast<double>(config.accounts_bytes()) / rmem, 0.5, 0.01);
+  // The paper's Table 1: 32768 accounts <-> Rmem/Pmem = 12.5% of 64 MB.
+  EXPECT_NEAR(rmem / (64.0 * 1048576.0), 0.125, 0.001);
+}
+
+TEST(TpcaTest, Table1RatiosReproduce) {
+  // Every row of Table 1: accounts = 32768 * k, ratio = 12.5% * k.
+  for (uint64_t k = 1; k <= 14; ++k) {
+    TpcaConfig config;
+    config.num_accounts = 32768 * k;
+    double ratio = static_cast<double>(config.rmem_bytes()) / (64.0 * 1048576.0);
+    EXPECT_NEAR(ratio, 0.125 * static_cast<double>(k), 0.002) << "row " << k;
+  }
+}
+
+TEST(TpcaTest, SequentialCyclesThroughAccounts) {
+  TpcaConfig config;
+  config.num_accounts = 100;
+  config.pattern = TpcaPattern::kSequential;
+  TpcaWorkload workload(config);
+  for (uint64_t i = 0; i < 250; ++i) {
+    EXPECT_EQ(workload.Next().account, i % 100);
+  }
+}
+
+TEST(TpcaTest, AuditTrailSequentialWithWraparound) {
+  TpcaConfig config;
+  config.num_accounts = 64;
+  TpcaWorkload workload(config);
+  uint64_t records = config.audit_records();
+  for (uint64_t i = 0; i < records + 10; ++i) {
+    EXPECT_EQ(workload.Next().audit_slot, i % records);
+  }
+}
+
+TEST(TpcaTest, RandomCoversAllAccountsUniformly) {
+  TpcaConfig config;
+  config.num_accounts = 64;
+  config.pattern = TpcaPattern::kRandom;
+  TpcaWorkload workload(config);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 6400; ++i) {
+    ++histogram[workload.Next().account];
+  }
+  EXPECT_EQ(histogram.size(), 64u);
+  for (const auto& [account, count] : histogram) {
+    EXPECT_GT(count, 100 / 3) << account;
+    EXPECT_LT(count, 100 * 3) << account;
+  }
+}
+
+TEST(TpcaTest, LocalizedFollows70_25_5Split) {
+  TpcaConfig config;
+  config.num_accounts = 32768;  // 1024 account pages
+  config.pattern = TpcaPattern::kLocalized;
+  TpcaWorkload workload(config);
+  uint64_t pages = config.accounts_bytes() / config.page_size;
+  uint64_t hot_pages = pages * 5 / 100;
+  uint64_t warm_pages = pages * 15 / 100;
+  uint64_t accounts_per_page = config.page_size / TpcaConfig::kAccountBytes;
+
+  int hot = 0;
+  int warm = 0;
+  int cold = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t page = workload.Next().account / accounts_per_page;
+    if (page < hot_pages) {
+      ++hot;
+    } else if (page < hot_pages + warm_pages) {
+      ++warm;
+    } else {
+      ++cold;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kSamples, 0.70, 0.02);
+  EXPECT_NEAR(static_cast<double>(warm) / kSamples, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(cold) / kSamples, 0.05, 0.01);
+}
+
+TEST(TpcaTest, DeterministicForSameSeed) {
+  TpcaConfig config;
+  config.pattern = TpcaPattern::kRandom;
+  TpcaWorkload a(config);
+  TpcaWorkload b(config);
+  for (int i = 0; i < 100; ++i) {
+    TpcaTxn ta = a.Next();
+    TpcaTxn tb = b.Next();
+    EXPECT_EQ(ta.account, tb.account);
+    EXPECT_EQ(ta.teller, tb.teller);
+  }
+}
+
+// --- Coda driver (Table 2 mechanisms) -------------------------------------
+
+class CodaDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RvmInstance::CreateLog(&env_, "/log",
+                                       kLogDataStart + 4 * 1024 * 1024).ok());
+    RvmOptions options;
+    options.env = &env_;
+    options.log_path = "/log";
+    auto opened = RvmInstance::Initialize(options);
+    ASSERT_TRUE(opened.ok());
+    rvm_ = std::move(*opened);
+  }
+
+  CodaResult Run(CodaProfile profile, const std::string& seg) {
+    CodaMetadataDriver driver(*rvm_, seg, profile);
+    auto result = driver.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : CodaResult{};
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RvmInstance> rvm_;
+};
+
+TEST_F(CodaDriverTest, ServersGetIntraButNoInterSavings) {
+  CodaProfile profile;
+  profile.machine = "server";
+  profile.client = false;
+  profile.operations = 500;
+  profile.duplicate_set_range_rate = 0.5;
+  CodaResult result = Run(profile, "/srv");
+  EXPECT_GT(result.intra_savings_pct, 10.0);
+  EXPECT_LT(result.intra_savings_pct, 45.0);
+  EXPECT_DOUBLE_EQ(result.inter_savings_pct, 0.0)
+      << "inter-transaction optimization applies only to no-flush txns";
+  EXPECT_EQ(result.transactions, 500u);
+}
+
+TEST_F(CodaDriverTest, ClientsGetBothSavings) {
+  CodaProfile profile;
+  profile.machine = "client";
+  profile.client = true;
+  profile.operations = 500;
+  profile.burst_min = 4;
+  profile.burst_max = 20;
+  CodaResult result = Run(profile, "/cli");
+  EXPECT_GT(result.intra_savings_pct, 5.0);
+  EXPECT_GT(result.inter_savings_pct, 15.0);
+  EXPECT_GT(result.total_savings_pct, 40.0);
+}
+
+TEST_F(CodaDriverTest, LongerBurstsMeanMoreInterSavings) {
+  CodaProfile short_bursts;
+  short_bursts.client = true;
+  short_bursts.operations = 400;
+  short_bursts.burst_min = 1;
+  short_bursts.burst_max = 2;
+  CodaProfile long_bursts = short_bursts;
+  long_bursts.burst_min = 16;
+  long_bursts.burst_max = 32;
+  CodaResult short_result = Run(short_bursts, "/cli_s");
+  CodaResult long_result = Run(long_bursts, "/cli_l");
+  EXPECT_GT(long_result.inter_savings_pct, short_result.inter_savings_pct + 10);
+}
+
+TEST_F(CodaDriverTest, OptimizationsIneffectiveForTpcaStyleTransactions) {
+  // Table 1's caption: "Inter- and intra-transaction optimizations were
+  // enabled in the case of RVM, but not effective for this benchmark." A
+  // TPC-A transaction declares four distinct, non-repeating ranges and every
+  // commit is flushed, so neither optimization can fire.
+  RegionDescriptor region;
+  region.segment_path = "/tpca";
+  region.length = 64 * 4096;
+  ASSERT_TRUE(rvm_->Map(region).ok());
+  auto* base = static_cast<uint8_t*>(region.address);
+  TpcaConfig config;
+  config.num_accounts = 512;
+  config.pattern = TpcaPattern::kRandom;
+  TpcaWorkload workload(config);
+  for (int i = 0; i < 200; ++i) {
+    TpcaTxn txn_spec = workload.Next();
+    Transaction txn(*rvm_);
+    uint64_t offsets[4] = {
+        txn_spec.account * TpcaConfig::kAccountBytes % (48 * 4096),
+        48 * 4096 + txn_spec.audit_slot * TpcaConfig::kAuditBytes % (8 * 4096),
+        56 * 4096 + txn_spec.teller * TpcaConfig::kAccountBytes,
+        60 * 4096};
+    for (uint64_t offset : offsets) {
+      ASSERT_TRUE(txn.SetRange(base + offset, 64).ok());
+      base[offset] = static_cast<uint8_t>(i);
+    }
+    ASSERT_TRUE(txn.Commit(CommitMode::kFlush).ok());
+  }
+  EXPECT_EQ(rvm_->statistics().intra_saved_bytes, 0u);
+  EXPECT_EQ(rvm_->statistics().inter_saved_bytes, 0u);
+}
+
+TEST_F(CodaDriverTest, SavingsAccountingIsConsistent) {
+  CodaProfile profile;
+  profile.client = true;
+  profile.operations = 300;
+  CodaResult result = Run(profile, "/cli_acct");
+  EXPECT_GT(result.bytes_written_to_log, 0u);
+  EXPECT_NEAR(result.total_savings_pct,
+              result.intra_savings_pct + result.inter_savings_pct, 0.001);
+  EXPECT_LT(result.total_savings_pct, 100.0);
+}
+
+}  // namespace
+}  // namespace rvm
