@@ -122,15 +122,24 @@ StatusOr<uint64_t> LogDevice::AppendTransaction(
   status_.tail = offset + record.size();
   ++status_.tail_seqno;
   ++records_appended_;
+  appended_lsn_.fetch_add(1, std::memory_order_release);
   return offset;
 }
 
 Status LogDevice::Sync() {
+  // The caller's log lock excludes appends, so every record counted in
+  // appended_lsn_ is in the file before the barrier below.
+  uint64_t target = appended_lsn_.load(std::memory_order_acquire);
   ++syncs_;
-  return file_->Sync();
+  RVM_RETURN_IF_ERROR(file_->Sync());
+  durable_lsn_.store(target, std::memory_order_release);
+  return OkStatus();
 }
 
 Status LogDevice::WriteStatus() {
+  if (durable_lsn() < appended_lsn()) {
+    RVM_RETURN_IF_ERROR(Sync());
+  }
   ++status_.generation;
   RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(status_));
   uint64_t slot_offset = (status_.generation % 2 == 0) ? 0 : kStatusBlockSize;

@@ -9,10 +9,20 @@
 //
 // LogDevice knows nothing about transactions or segments-in-memory; it deals
 // purely in encoded records. Synchronization is the caller's job (RvmInstance
-// holds its lock around every call).
+// holds its log lock around every call); the only exceptions are the two LSN
+// accessors, which are atomic so group-commit followers can poll durability
+// without the lock.
+//
+// Append and sync are deliberately separate phases with an explicit durable
+// point: every successful AppendTransaction advances appended_lsn(), and a
+// Sync() raises durable_lsn() to the appended LSN it observed on entry. A
+// commit is durable exactly when durable_lsn() has reached the LSN its
+// append produced — the handshake the group-commit stage in RvmInstance is
+// built on.
 #ifndef RVM_RVM_LOG_DEVICE_H_
 #define RVM_RVM_LOG_DEVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,11 +69,24 @@ class LogDevice {
   StatusOr<uint64_t> AppendTransaction(TransactionId tid,
                                        std::span<const RangeView> ranges);
 
-  // Forces all appended records to disk.
+  // Forces all appended records to disk and advances durable_lsn() to the
+  // appended LSN observed on entry.
   Status Sync();
 
-  // Writes the in-memory status block to the alternate slot and syncs.
-  // Callers must ensure record data up to status().tail is already durable.
+  // The sequence point assigned to the most recent successful append, and
+  // the highest sequence point known durable. Monotonic; readable without
+  // the caller's log lock.
+  uint64_t appended_lsn() const {
+    return appended_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  // Writes the in-memory status block to the alternate slot and syncs. No
+  // status block may name a tail whose records are not durable (recovery
+  // walks the chain from status().last_record_offset), so if appends are
+  // outstanding this forces them first.
   Status WriteStatus();
 
   // Reads and validates the record at `offset`.
@@ -101,6 +124,8 @@ class LogDevice {
   Env* env_;
   std::unique_ptr<File> file_;
   LogStatusBlock status_;
+  std::atomic<uint64_t> appended_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
   uint64_t syncs_ = 0;

@@ -46,6 +46,17 @@ struct RuntimeOptions {
   // inspect. This is §6's post-mortem debugging workflow ("save a copy of
   // the log before truncation") as a first-class option.
   std::string log_archive_prefix;
+  // Group commit: flush committers whose records are appended while another
+  // committer's log force is in flight share that force instead of issuing
+  // their own (the paper's dominant commit cost, §5 Table 1, amortized
+  // across concurrently arriving transactions). A group leader may
+  // additionally dwell up to this long waiting for more committers to
+  // arrive before forcing; 0 forces immediately, so batching is purely
+  // opportunistic and single-threaded commit latency is unchanged.
+  uint64_t group_commit_max_wait_us = 0;
+  // A dwelling leader stops waiting early once this many committers are
+  // pending in the group-commit stage.
+  uint64_t group_commit_max_batch = 16;
 };
 
 // Whether truncation runs on a dedicated thread ("log truncation is usually

@@ -29,7 +29,7 @@ StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
   std::unique_ptr<RvmInstance> instance(
       new RvmInstance(resolved, std::move(log)));
   {
-    std::lock_guard<std::mutex> lock(instance->mu_);
+    std::lock_guard<std::mutex> lock(instance->state_mu_);
     RVM_RETURN_IF_ERROR(instance->RecoverLocked());
   }
   if (instance->truncation_mode_ == TruncationMode::kBackground) {
@@ -40,13 +40,20 @@ StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
 }
 
 bool RvmInstance::NeedsTruncationLocked() const {
+  uint64_t used;
+  uint64_t capacity;
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    used = log_->used();
+    capacity = log_->capacity();
+  }
   uint64_t threshold = static_cast<uint64_t>(
-      runtime_.truncation_threshold * static_cast<double>(log_->capacity()));
-  return log_->used() > threshold;
+      runtime_.truncation_threshold * static_cast<double>(capacity));
+  return used > threshold;
 }
 
 void RvmInstance::TruncationThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(state_mu_);
   while (!stop_truncation_) {
     truncation_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
       return stop_truncation_ || NeedsTruncationLocked();
@@ -73,7 +80,7 @@ void RvmInstance::TruncationThreadMain() {
 
 void RvmInstance::StopTruncationThread() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(state_mu_);
     stop_truncation_ = true;
   }
   truncation_cv_.notify_all();
@@ -87,8 +94,8 @@ RvmInstance::RvmInstance(const RvmOptions& options,
     : env_(options.env),
       cpu_(options.env, options.cpu_model),
       page_size_(options.page_size),
-      runtime_(options.runtime),
       log_(std::move(log)),
+      runtime_(options.runtime),
       truncation_mode_(options.truncation_mode) {}
 
 RvmInstance::~RvmInstance() {
@@ -109,17 +116,20 @@ RvmInstance::~RvmInstance() {
 
 Status RvmInstance::Terminate() {
   StopTruncationThread();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (terminated_) {
     return OkStatus();
   }
   if (!transactions_.empty()) {
     return FailedPrecondition("uncommitted transactions outstanding");
   }
-  RVM_RETURN_IF_ERROR(FlushLocked());
+  RVM_RETURN_IF_ERROR(FlushDirectLocked());
   // Persist the exact tail so the next Initialize has no forward scanning to
   // do; not required for correctness, recovery would find the tail itself.
-  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  }
   terminated_ = true;
   return OkStatus();
 }
@@ -129,6 +139,7 @@ Status RvmInstance::Terminate() {
 // ---------------------------------------------------------------------------
 
 StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
+  std::lock_guard<std::mutex> log_lock(log_mu_);
   for (const SegmentDictEntry& entry : log_->status().segments) {
     if (entry.path == path) {
       return entry.id;
@@ -136,12 +147,20 @@ StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
   }
   SegmentId id = log_->status().next_segment_id++;
   log_->status().segments.push_back({id, path});
-  // The dictionary must be durable before any log record names this id.
-  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  // The dictionary must be durable before any log record names this id. On
+  // failure (e.g. the path overflows the status block) roll the entry back so
+  // later status writes — every group-commit batch issues one — still encode.
+  Status status = log_->WriteStatus();
+  if (!status.ok()) {
+    log_->status().segments.pop_back();
+    --log_->status().next_segment_id;
+    return status;
+  }
   return id;
 }
 
-StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentLocked(SegmentId id) {
+StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentBothLocked(
+    SegmentId id) {
   // Not used for the cached map; see segment_files_ handling in callers.
   for (const SegmentDictEntry& entry : log_->status().segments) {
     if (entry.id == id) {
@@ -152,7 +171,7 @@ StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentLocked(SegmentId id) {
 }
 
 Status RvmInstance::Map(RegionDescriptor& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (region.length == 0 || region.length % page_size_ != 0) {
     return InvalidArgument("region length must be a nonzero page multiple");
   }
@@ -233,7 +252,7 @@ Status RvmInstance::Map(RegionDescriptor& region) {
 }
 
 Status RvmInstance::Unmap(const RegionDescriptor& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   auto it = regions_.find(reinterpret_cast<uintptr_t>(region.address));
   if (it == regions_.end()) {
     return NotFound("no mapping at this address");
@@ -244,7 +263,7 @@ Status RvmInstance::Unmap(const RegionDescriptor& region) {
   }
   // Make the external data segment current before the in-memory image goes
   // away: flush spooled commits, then apply the whole log.
-  RVM_RETURN_IF_ERROR(FlushLocked());
+  RVM_RETURN_IF_ERROR(FlushDirectLocked());
   RVM_RETURN_IF_ERROR(TruncateEpochLocked());
   if (state->owns_memory) {
     std::free(state->base);
@@ -273,7 +292,7 @@ StatusOr<RvmInstance::RegionState*> RvmInstance::FindRegionLocked(
 // ---------------------------------------------------------------------------
 
 StatusOr<TransactionId> RvmInstance::BeginTransaction(RestoreMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   cpu_.Fixed(cpu_.model().begin_txn_us);
   TransactionId tid = next_tid_++;
   TxnState& txn = transactions_[tid];
@@ -283,7 +302,7 @@ StatusOr<TransactionId> RvmInstance::BeginTransaction(RestoreMode mode) {
 }
 
 Status RvmInstance::SetRange(TransactionId tid, void* base, uint64_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   auto it = transactions_.find(tid);
   if (it == transactions_.end()) {
     return NotFound("no such transaction");
@@ -377,7 +396,7 @@ void RvmInstance::ReleaseUncommittedLocked(TxnState& txn) {
 }
 
 Status RvmInstance::AbortTransaction(TransactionId tid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   auto it = transactions_.find(tid);
   if (it == transactions_.end()) {
     return NotFound("no such transaction");
@@ -502,11 +521,15 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     views.push_back(view);
   }
 
-  StatusOr<uint64_t> offset = log_->AppendTransaction(entry.tid, views);
+  StatusOr<uint64_t> offset = [&]() -> StatusOr<uint64_t> {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    return log_->AppendTransaction(entry.tid, views);
+  }();
   if (!offset.ok() && offset.status().code() == ErrorCode::kLogFull) {
-    // Make room: force what we have and apply the whole log to segments.
-    RVM_RETURN_IF_ERROR(log_->Sync());
+    // Make room: apply the whole log to segments (the epoch pass forces the
+    // log first) and retry.
     RVM_RETURN_IF_ERROR(TruncateEpochLocked());
+    std::lock_guard<std::mutex> log_lock(log_mu_);
     offset = log_->AppendTransaction(entry.tid, views);
   }
   if (!offset.ok()) {
@@ -531,7 +554,9 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
   return OkStatus();
 }
 
-Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode) {
+Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
+                                         uint64_t* flush_target_lsn) {
+  *flush_target_lsn = 0;
   cpu_.Fixed(cpu_.model().commit_fixed_us);
 
   if (runtime_.enable_inter_optimization && !spool_.empty()) {
@@ -564,13 +589,18 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode) {
     spool_bytes_ += entry.encoded_size;
     spool_.push_back(std::move(entry));
     if (spool_bytes_ > runtime_.max_spool_bytes) {
-      RVM_RETURN_IF_ERROR(FlushLocked());
+      // Spool overflow: append everything now; the committer takes the
+      // resulting LSN through the group-commit stage like a flush commit.
+      ++stats_.log_flush_calls;
+      RVM_RETURN_IF_ERROR(DrainSpoolLocked(flush_target_lsn));
     }
     return OkStatus();
   }
 
   // Flush-mode commit: earlier no-flush records must reach the log first so
   // that log order equals commit order (recovery applies newest-record-wins).
+  // The append assigns this commit its durable sequence point; the force
+  // itself happens in the group-commit stage, after the state lock drops.
   ++stats_.flush_commits;
   while (!spool_.empty()) {
     SpoolEntry spooled = std::move(spool_.front());
@@ -579,50 +609,181 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode) {
     RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(spooled));
   }
   RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
-  RVM_RETURN_IF_ERROR(log_->Sync());
-  ++stats_.log_forces;
-  return MaybeTruncateLocked();
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    *flush_target_lsn = log_->appended_lsn();
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
+                                           std::vector<OldValueRecord>* undo) {
+  const uint64_t start_us = env_->NowMicros();
+  uint64_t target_lsn = 0;
+  uint64_t max_batch = 0;
+  uint64_t max_wait_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = transactions_.find(tid);
+    if (it == transactions_.end()) {
+      return NotFound("no such transaction");
+    }
+    if (undo != nullptr && it->second.mode != RestoreMode::kRestore) {
+      return FailedPrecondition(
+          "old-value records require a restore-mode transaction");
+    }
+    TxnState txn = std::move(it->second);
+    transactions_.erase(it);
+    if (undo != nullptr) {
+      undo->clear();
+      undo->reserve(txn.old_values.size());
+      for (const OldValue& old_value : txn.old_values) {
+        OldValueRecord record;
+        record.segment_path = old_value.region->segment_path;
+        record.segment_offset =
+            old_value.region->segment_offset + old_value.offset;
+        record.bytes = old_value.bytes;
+        undo->push_back(std::move(record));
+      }
+    }
+    RVM_RETURN_IF_ERROR(EndTransactionLocked(txn, mode, &target_lsn));
+    max_batch = runtime_.group_commit_max_batch;
+    max_wait_us = runtime_.group_commit_max_wait_us;
+  }
+  if (target_lsn == 0) {
+    return OkStatus();
+  }
+  // Group-commit stage: no locks held, so concurrent SetRange/Map/Query and
+  // other committers' appends proceed while the force is in flight.
+  RVM_RETURN_IF_ERROR(CommitDurable(target_lsn, max_batch, max_wait_us));
+  uint64_t elapsed_us = env_->NowMicros() - start_us;
+  ++stats_.commit_latency_samples;
+  stats_.commit_latency_total_us += elapsed_us;
+  stats_.commit_latency_min_us.StoreMin(elapsed_us);
+  stats_.commit_latency_max_us.StoreMax(elapsed_us);
+  // The transaction is durable; a truncation failure now is a maintenance
+  // problem (it will resurface on the next operation), not a commit failure.
+  Status truncate_status = MaybeTruncate();
+  if (!truncate_status.ok()) {
+    RVM_LOG_WARN("post-commit truncation failed: %s",
+                 truncate_status.ToString().c_str());
+  }
+  return OkStatus();
 }
 
 Status RvmInstance::EndTransaction(TransactionId tid, CommitMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = transactions_.find(tid);
-  if (it == transactions_.end()) {
-    return NotFound("no such transaction");
-  }
-  TxnState txn = std::move(it->second);
-  transactions_.erase(it);
-  return EndTransactionLocked(txn, mode);
+  return EndTransactionInternal(tid, mode, nullptr);
 }
 
 Status RvmInstance::EndTransactionWithUndo(TransactionId tid, CommitMode mode,
                                            std::vector<OldValueRecord>* undo) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = transactions_.find(tid);
-  if (it == transactions_.end()) {
-    return NotFound("no such transaction");
-  }
-  if (it->second.mode != RestoreMode::kRestore) {
-    return FailedPrecondition(
-        "old-value records require a restore-mode transaction");
-  }
-  TxnState txn = std::move(it->second);
-  transactions_.erase(it);
-  undo->clear();
-  undo->reserve(txn.old_values.size());
-  for (const OldValue& old_value : txn.old_values) {
-    OldValueRecord record;
-    record.segment_path = old_value.region->segment_path;
-    record.segment_offset = old_value.region->segment_offset + old_value.offset;
-    record.bytes = old_value.bytes;
-    undo->push_back(std::move(record));
-  }
-  return EndTransactionLocked(txn, mode);
+  return EndTransactionInternal(tid, mode, undo);
 }
+
+// ---------------------------------------------------------------------------
+// Group-commit stage
+// ---------------------------------------------------------------------------
+
+Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
+                                  uint64_t max_wait_us) {
+  if (target_lsn == 0) {
+    return OkStatus();
+  }
+  if (log_->durable_lsn() >= target_lsn) {
+    // A batch (or truncation force) that covered this commit already
+    // completed: the force was free for us.
+    ++stats_.group_commit_batched_txns;
+    return OkStatus();
+  }
+  std::unique_lock<std::mutex> group_lock(group_mu_);
+  ++group_waiters_;
+  group_cv_.notify_all();  // a dwelling leader may now have a full batch
+  Status result;
+  for (;;) {
+    if (log_->durable_lsn() >= target_lsn) {
+      break;
+    }
+    if (!group_leader_active_) {
+      // Become the leader for everyone whose record is already appended.
+      group_leader_active_ = true;
+      // Dwell until a full batch of appended-but-undurable records exists.
+      // The LSN distance, not group_waiters_, measures batchable work:
+      // the waiter count still includes followers served by the previous
+      // batch that have not yet woken to decrement it, and counting them
+      // would end the dwell with a near-empty batch. Stop early if another
+      // force (truncation, Flush) covers our own target meanwhile.
+      if (max_wait_us > 0 &&
+          log_->appended_lsn() - log_->durable_lsn() < max_batch) {
+        group_cv_.wait_for(
+            group_lock, std::chrono::microseconds(max_wait_us), [&] {
+              return log_->durable_lsn() >= target_lsn ||
+                     log_->appended_lsn() - log_->durable_lsn() >= max_batch;
+            });
+      }
+      group_lock.unlock();
+      Status sync_status;
+      bool forced = false;
+      {
+        std::lock_guard<std::mutex> log_lock(log_mu_);
+        if (log_->durable_lsn() < log_->appended_lsn()) {
+          sync_status = log_->Sync();
+          forced = sync_status.ok();
+          if (sync_status.ok()) {
+            // Persist the batch's tail so recovery after a clean crash needs
+            // no forward scan past it. The batch is already durable at this
+            // point, so a failure here cannot fail the commits — recovery
+            // rediscovers the tail by forward scanning from the older status
+            // block.
+            Status status_write = log_->WriteStatus();
+            if (!status_write.ok()) {
+              RVM_LOG_WARN("batch status write failed (commits durable): %s",
+                           status_write.ToString().c_str());
+            }
+          }
+        }
+      }
+      group_lock.lock();
+      group_leader_active_ = false;
+      if (!sync_status.ok()) {
+        result = sync_status;
+      } else if (forced) {
+        ++stats_.log_forces;
+        ++stats_.group_commit_batches;
+      }
+      group_cv_.notify_all();
+      if (!result.ok()) {
+        break;
+      }
+      continue;  // re-check durability (the sync covered our own append)
+    }
+    group_cv_.wait(group_lock);
+  }
+  --group_waiters_;
+  if (result.ok()) {
+    ++stats_.group_commit_batched_txns;
+  }
+  return result;
+}
+
+void RvmInstance::NotifyDurableWaiters() {
+  // Acquire-release of group_mu_ pairs with the waiters' predicate check so
+  // a waiter observes either the new durable LSN or this notification.
+  { std::lock_guard<std::mutex> group_lock(group_mu_); }
+  group_cv_.notify_all();
+}
+
+Status RvmInstance::MaybeTruncate() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return MaybeTruncateLocked();
+}
+
+// ---------------------------------------------------------------------------
+// Flush / truncate / introspection
+// ---------------------------------------------------------------------------
 
 StatusOr<void*> RvmInstance::ResolveSegmentAddress(
     const std::string& segment_path, uint64_t segment_offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   for (const auto& [base, region] : regions_) {
     if (region->segment_path == segment_path &&
         segment_offset >= region->segment_offset &&
@@ -636,44 +797,88 @@ StatusOr<void*> RvmInstance::ResolveSegmentAddress(
 
 StatusOr<std::pair<std::string, uint64_t>> RvmInstance::TranslateAddress(
     const void* address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(address, 1));
   uint64_t offset = reinterpret_cast<uintptr_t>(address) -
                     reinterpret_cast<uintptr_t>(region->base);
   return std::make_pair(region->segment_path, region->segment_offset + offset);
 }
 
-Status RvmInstance::FlushLocked() {
-  ++stats_.log_flush_calls;
-  if (spool_.empty()) {
-    return OkStatus();
-  }
+Status RvmInstance::DrainSpoolLocked(uint64_t* target_lsn) {
   while (!spool_.empty()) {
     SpoolEntry entry = std::move(spool_.front());
     spool_.pop_front();
     spool_bytes_ -= entry.encoded_size;
     RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
   }
-  RVM_RETURN_IF_ERROR(log_->Sync());
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  *target_lsn = log_->appended_lsn();
+  return OkStatus();
+}
+
+Status RvmInstance::FlushDirectLocked() {
+  ++stats_.log_flush_calls;
+  if (spool_.empty()) {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    if (log_->durable_lsn() >= log_->appended_lsn()) {
+      return OkStatus();
+    }
+  } else {
+    uint64_t unused = 0;
+    RVM_RETURN_IF_ERROR(DrainSpoolLocked(&unused));
+  }
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    RVM_RETURN_IF_ERROR(log_->Sync());
+  }
   ++stats_.log_forces;
+  NotifyDurableWaiters();
   return MaybeTruncateLocked();
 }
 
 Status RvmInstance::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  uint64_t target_lsn = 0;
+  uint64_t max_batch = 0;
+  uint64_t max_wait_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.log_flush_calls;
+    if (spool_.empty()) {
+      // Nothing to append, but commits already appended may still be in the
+      // group stage; wait those out so Flush keeps its "all committed
+      // no-flush transactions are forced" contract.
+      std::lock_guard<std::mutex> log_lock(log_mu_);
+      if (log_->durable_lsn() >= log_->appended_lsn()) {
+        return OkStatus();
+      }
+      target_lsn = log_->appended_lsn();
+    } else {
+      RVM_RETURN_IF_ERROR(DrainSpoolLocked(&target_lsn));
+    }
+    max_batch = runtime_.group_commit_max_batch;
+    max_wait_us = runtime_.group_commit_max_wait_us;
+  }
+  RVM_RETURN_IF_ERROR(CommitDurable(target_lsn, max_batch, max_wait_us));
+  // Flush's contract (everything committed is forced) is met; truncation
+  // failure is reported by the operation that next depends on it.
+  Status truncate_status = MaybeTruncate();
+  if (!truncate_status.ok()) {
+    RVM_LOG_WARN("post-flush truncation failed: %s",
+                 truncate_status.ToString().c_str());
+  }
+  return OkStatus();
 }
 
 Status RvmInstance::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   // truncate() promises all *committed* changes reach the segments; spooled
   // no-flush commits must therefore be forced first.
-  RVM_RETURN_IF_ERROR(FlushLocked());
+  RVM_RETURN_IF_ERROR(FlushDirectLocked());
   return TruncateEpochLocked();
 }
 
 StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(address, 1));
   RegionQuery query;
   query.uncommitted_transactions = region->active_transactions;
@@ -696,27 +901,27 @@ StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
 }
 
 void RvmInstance::SetOptions(const RuntimeOptions& runtime) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   runtime_ = runtime;
 }
 
 RuntimeOptions RvmInstance::GetOptions() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   return runtime_;
 }
 
 uint64_t RvmInstance::log_bytes_in_use() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> log_lock(log_mu_);
   return log_->used();
 }
 
 uint64_t RvmInstance::log_capacity() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> log_lock(log_mu_);
   return log_->capacity();
 }
 
 uint64_t RvmInstance::spooled_bytes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   return spool_bytes_;
 }
 

@@ -16,6 +16,14 @@
 //     above (the library is internally thread-safe, but transactions see
 //     each other's in-memory writes immediately).
 //
+// Internally the instance runs a staged commit pipeline (see DESIGN.md,
+// "Locking & group commit"): a state lock guards the in-memory bookkeeping,
+// a log lock serializes appends and assigns each commit a durable sequence
+// point, and flush committers then share log forces in a group-commit stage
+// — one leader syncs once for every transaction appended before the force,
+// so N concurrent flush commits cost far fewer than N forces and no thread
+// holds the state lock across disk I/O.
+//
 // Typical use:
 //
 //   RvmInstance::CreateLog(env, "app.log", 8 << 20, /*overwrite=*/false);
@@ -211,43 +219,91 @@ class RvmInstance {
 
   RvmInstance(const RvmOptions& options, std::unique_ptr<LogDevice> log);
 
+  // Locking discipline (see DESIGN.md, "Locking & group commit"):
+  //   state_mu_  — transactions, regions, spool, page vector, segment files,
+  //                runtime options.
+  //   log_mu_    — every LogDevice call; serializes appends (the durable
+  //                sequence point) and excludes truncation from in-flight
+  //                group forces.
+  //   group_mu_  — leader/follower coordination only; a leaf lock, never
+  //                held while acquiring the other two.
+  // Fixed order: state_mu_ before log_mu_. Methods suffixed `Locked` require
+  // state_mu_; those suffixed `BothLocked` require state_mu_ and log_mu_.
+
   // --- recovery & truncation (rvm_truncation.cc) ---
   Status RecoverLocked();
   Status TruncateEpochLocked();
+  Status TruncateEpochBothLocked();
   Status MaybeTruncateLocked();
   Status IncrementalTruncateLocked();
+  Status IncrementalTruncateBothLocked(bool* epoch_fallback);
   bool NeedsTruncationLocked() const;
   void TruncationThreadMain();
   void StopTruncationThread();
   // Applies the live log [head, tail) to external data segments using
   // newest-record-wins, the shared core of recovery and epoch truncation.
   // Counters distinguish the two callers.
-  Status ApplyLogToSegmentsLocked(uint64_t* records_applied,
-                                  uint64_t* bytes_applied);
+  Status ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
+                                      StatCounter* bytes_applied);
   // Copies the live records into a fresh, rvmutl-readable log file (§6).
-  Status ArchiveLiveLogLocked();
+  Status ArchiveLiveLogBothLocked();
 
   // --- commit path (rvm.cc) ---
-  Status EndTransactionLocked(TxnState& txn, CommitMode mode);
+  // Shared body of EndTransaction and EndTransactionWithUndo: bookkeeping
+  // and appends under state_mu_, then the group-commit stage with no locks.
+  Status EndTransactionInternal(TransactionId tid, CommitMode mode,
+                                std::vector<OldValueRecord>* undo);
+  // On return *flush_target_lsn is nonzero iff records were appended that
+  // the caller must take through the group-commit stage.
+  Status EndTransactionLocked(TxnState& txn, CommitMode mode,
+                              uint64_t* flush_target_lsn);
   SpoolEntry BuildSpoolEntryLocked(TxnState& txn);
+  void ReleaseUncommittedLocked(TxnState& txn);
   Status InterTransactionOptimizeLocked(const TxnState& txn);
   Status AppendSpoolEntryLocked(SpoolEntry& entry);
-  Status FlushLocked();
-  void ReleaseUncommittedLocked(TxnState& txn);
+  // Appends every spooled no-flush record and reports the LSN the caller
+  // must make durable (the appended LSN even when the spool was empty, so
+  // Flush also waits out commits still in the group stage).
+  Status DrainSpoolLocked(uint64_t* target_lsn);
+  // Drain + synchronous force under the locks, for paths that must leave
+  // everything durable before continuing (Terminate, Unmap, Truncate).
+  Status FlushDirectLocked();
+
+  // --- group-commit stage (no locks held on entry) ---
+  // Blocks until durable_lsn >= target_lsn. Whoever finds no force in
+  // flight becomes leader, optionally dwells for more arrivals (max_batch /
+  // max_wait_us), and issues one Sync + WriteStatus for the whole batch;
+  // everyone else waits on group_cv_.
+  Status CommitDurable(uint64_t target_lsn, uint64_t max_batch,
+                       uint64_t max_wait_us);
+  // Wakes group-stage waiters after a log force outside the leader protocol
+  // (truncation, direct flush) advanced the durable LSN.
+  void NotifyDurableWaiters();
+  Status MaybeTruncate();
 
   // --- mapping helpers ---
   StatusOr<RegionState*> FindRegionLocked(const void* address,
                                           uint64_t length);
   StatusOr<SegmentId> SegmentIdForLocked(const std::string& path);
-  StatusOr<std::unique_ptr<File>> OpenSegmentLocked(SegmentId id);
+  StatusOr<std::unique_ptr<File>> OpenSegmentBothLocked(SegmentId id);
 
   Env* env_;
   CpuMeter cpu_;
   uint64_t page_size_;
-  RuntimeOptions runtime_;
   std::unique_ptr<LogDevice> log_;
 
-  std::mutex mu_;
+  // State lock: in-memory bookkeeping (fields below it, plus runtime_).
+  std::mutex state_mu_;
+  // Log lock: every log_ call. Acquired after state_mu_ when both are held.
+  mutable std::mutex log_mu_;
+  // Group-commit stage (leaf lock; durable progress lives in the LogDevice's
+  // atomic durable_lsn).
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  bool group_leader_active_ = false;
+  uint64_t group_waiters_ = 0;
+
+  RuntimeOptions runtime_;
   bool terminated_ = false;
   // Background truncation thread state (TruncationMode::kBackground).
   TruncationMode truncation_mode_;

@@ -1,13 +1,21 @@
 // Crash recovery, epoch truncation (Fig. 6), and incremental truncation
 // (Fig. 7).
 //
-// Recovery and epoch truncation share one core, ApplyLogToSegmentsLocked:
+// Recovery and epoch truncation share one core, ApplyLogToSegmentsBothLocked:
 // walk the live log newest-record-first via the reverse-displacement chain,
 // and for each modification range apply only the bytes not already covered
 // by a newer record ("an in-memory tree of the latest committed changes",
 // §5.1.2). Idempotency comes from deferring the status-block update that
 // declares the log empty until after every segment write is durable: a crash
 // anywhere in between simply reruns the whole procedure.
+//
+// Lock structure: the `BothLocked` bodies here require both state_mu_ and
+// log_mu_ — truncation reads log records, rewrites the status block, and
+// mutates the page vector, so it must exclude both appenders (log_mu_) and
+// forward processing (state_mu_). The `Locked` wrappers take log_mu_ around
+// the body, which also fences truncation against an in-flight group-commit
+// force: a leader holds log_mu_ for its Sync, so truncation either sees the
+// whole batch durable or runs before the force (and its own Sync covers it).
 #include <algorithm>
 #include <set>
 
@@ -16,8 +24,8 @@
 
 namespace rvm {
 
-Status RvmInstance::ApplyLogToSegmentsLocked(uint64_t* records_applied,
-                                             uint64_t* bytes_applied) {
+Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
+                                                 StatCounter* bytes_applied) {
   // One backward pass over the reverse-displacement chain, newest record
   // first ("reading the log from tail to head", §5.1.2). Latest committed
   // value wins: track covered bytes per segment, applying only uncovered
@@ -47,7 +55,7 @@ Status RvmInstance::ApplyLogToSegmentsLocked(uint64_t* records_applied,
       for (const Interval& piece : seg_covered.Uncovered(range.offset, range_end)) {
         if (!segment_files_.contains(range.segment)) {
           RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                               OpenSegmentLocked(range.segment));
+                               OpenSegmentBothLocked(range.segment));
           segment_files_[range.segment] = std::move(file);
         }
         File* file = segment_files_[range.segment].get();
@@ -68,6 +76,7 @@ Status RvmInstance::ApplyLogToSegmentsLocked(uint64_t* records_applied,
 }
 
 Status RvmInstance::RecoverLocked() {
+  std::lock_guard<std::mutex> log_lock(log_mu_);
   // Find the true end of the log: records forced after the last status-block
   // write are discovered by forward validity scanning (§5.1.2's "reading the
   // log from tail to head" starts from this recovered tail).
@@ -75,15 +84,15 @@ Status RvmInstance::RecoverLocked() {
   if (log_->used() == 0) {
     return OkStatus();
   }
-  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsLocked(&stats_.recovery_records_applied,
-                                               &stats_.recovery_bytes_applied));
+  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
+      &stats_.recovery_records_applied, &stats_.recovery_bytes_applied));
   // Only now, with every change durably in the segments, declare the log
   // empty. A crash before this point reruns recovery from scratch.
   log_->MarkEmpty();
   return log_->WriteStatus();
 }
 
-Status RvmInstance::ArchiveLiveLogLocked() {
+Status RvmInstance::ArchiveLiveLogBothLocked() {
   // The archive is itself a formatted log whose records are the live
   // records, oldest first — rvmutl reads it like any other log.
   RVM_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets,
@@ -114,6 +123,17 @@ Status RvmInstance::ArchiveLiveLogLocked() {
 }
 
 Status RvmInstance::TruncateEpochLocked() {
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    RVM_RETURN_IF_ERROR(TruncateEpochBothLocked());
+  }
+  // The epoch's Sync/WriteStatus advanced the durable LSN; wake any
+  // group-stage waiters whose leader has not run yet.
+  NotifyDurableWaiters();
+  return OkStatus();
+}
+
+Status RvmInstance::TruncateEpochBothLocked() {
   // Everything the epoch applies must be durable in the log first, so a
   // crash mid-truncation can re-derive the same segment contents.
   RVM_RETURN_IF_ERROR(log_->Sync());
@@ -121,9 +141,9 @@ Status RvmInstance::TruncateEpochLocked() {
     return OkStatus();
   }
   if (!runtime_.log_archive_prefix.empty()) {
-    RVM_RETURN_IF_ERROR(ArchiveLiveLogLocked());
+    RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked());
   }
-  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsLocked(
+  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
       &stats_.truncation_records_applied, &stats_.truncation_bytes_applied));
   log_->MarkEmpty();
   RVM_RETURN_IF_ERROR(log_->WriteStatus());
@@ -156,6 +176,23 @@ Status RvmInstance::MaybeTruncateLocked() {
 }
 
 Status RvmInstance::IncrementalTruncateLocked() {
+  bool epoch_fallback = false;
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    RVM_RETURN_IF_ERROR(IncrementalTruncateBothLocked(&epoch_fallback));
+  }
+  if (epoch_fallback) {
+    // The head page is write-blocked and space is critical: revert to epoch
+    // truncation (§5.1.2), re-entering through the wrapper so the lock is
+    // not held recursively.
+    return TruncateEpochLocked();
+  }
+  NotifyDurableWaiters();
+  return OkStatus();
+}
+
+Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
+  *epoch_fallback = false;
   const uint64_t target = static_cast<uint64_t>(
       runtime_.truncation_target * static_cast<double>(log_->capacity()));
   const uint64_t critical = static_cast<uint64_t>(
@@ -174,10 +211,10 @@ Status RvmInstance::IncrementalTruncateLocked() {
     }
     if (entry.write_blocked()) {
       // The head page still has uncommitted or unflushed changes. If log
-      // space is critical, revert to epoch truncation (§5.1.2); otherwise
-      // retry on a later trigger.
+      // space is critical, the caller reverts to epoch truncation (§5.1.2);
+      // otherwise retry on a later trigger.
       if (log_->used() > critical) {
-        return TruncateEpochLocked();
+        *epoch_fallback = true;
       }
       break;
     }
@@ -187,7 +224,7 @@ Status RvmInstance::IncrementalTruncateLocked() {
     uint64_t page_len = std::min(page_size_, region->length - page_start);
     if (!segment_files_.contains(region->segment_id)) {
       RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                           OpenSegmentLocked(region->segment_id));
+                           OpenSegmentBothLocked(region->segment_id));
       segment_files_[region->segment_id] = std::move(file);
     }
     File* file = segment_files_[region->segment_id].get();

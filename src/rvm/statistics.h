@@ -1,44 +1,157 @@
 // Operation counters, including the log-traffic optimization accounting that
 // reproduces Table 2.
+//
+// Counters are individually atomic so they can be bumped from any thread
+// (commit path under the state lock, group-commit leaders under no lock at
+// all, truncation thread) and read without synchronization. Reading the
+// whole struct is not a consistent cross-counter snapshot; copy it if an
+// approximate point-in-time view is enough (each field is loaded once).
 #ifndef RVM_RVM_STATISTICS_H_
 #define RVM_RVM_STATISTICS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace rvm {
 
+// A copyable atomic counter. All operations use relaxed ordering: these are
+// monitoring counters, never used to publish data between threads.
+class StatCounter {
+ public:
+  StatCounter() = default;
+  explicit StatCounter(uint64_t value) : value_(value) {}
+  StatCounter(const StatCounter& other) : value_(other.load()) {}
+  StatCounter& operator=(const StatCounter& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  StatCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  // Lowers (raises) the counter to `value` if smaller (larger) than the
+  // current value; used for latency min/max tracking.
+  void StoreMin(uint64_t value) {
+    uint64_t current = load();
+    while (value < current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void StoreMax(uint64_t value) {
+    uint64_t current = load();
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 struct RvmStatistics {
-  uint64_t transactions_committed = 0;
-  uint64_t transactions_aborted = 0;
-  uint64_t flush_commits = 0;
-  uint64_t no_flush_commits = 0;
-  uint64_t set_range_calls = 0;
+  StatCounter transactions_committed;
+  StatCounter transactions_aborted;
+  StatCounter flush_commits;
+  StatCounter no_flush_commits;
+  StatCounter set_range_calls;
 
   // Log-traffic accounting (Table 2). "requested" counts every byte named by
   // a set_range call; "logged" counts record bytes actually written to the
   // log file; the two savings counters attribute the suppressed volume.
-  uint64_t bytes_requested = 0;
-  uint64_t bytes_logged = 0;
-  uint64_t intra_saved_bytes = 0;  // duplicate/overlap coalescing (§5.2)
-  uint64_t inter_saved_bytes = 0;  // subsumed unflushed records (§5.2)
+  StatCounter bytes_requested;
+  StatCounter bytes_logged;
+  StatCounter intra_saved_bytes;  // duplicate/overlap coalescing (§5.2)
+  StatCounter inter_saved_bytes;  // subsumed unflushed records (§5.2)
 
-  uint64_t log_forces = 0;
-  uint64_t log_flush_calls = 0;
+  StatCounter log_forces;
+  StatCounter log_flush_calls;
 
-  uint64_t epoch_truncations = 0;
-  uint64_t incremental_steps = 0;
-  uint64_t incremental_pages_written = 0;
-  uint64_t truncation_records_applied = 0;
-  uint64_t truncation_bytes_applied = 0;
+  // Group commit: one leader forces the log for every committer whose record
+  // is already appended. batched_txns counts commits whose durability was
+  // satisfied by some batch; batches counts the forces that served them, so
+  // batched_txns - batches is the number of fsyncs the batching saved.
+  StatCounter group_commit_batches;
+  StatCounter group_commit_batched_txns;
 
-  uint64_t recovery_records_applied = 0;
-  uint64_t recovery_bytes_applied = 0;
+  // Flush-commit latency (begin of EndTransaction to durability), in
+  // microseconds of the owning Env's clock. min is UINT64_MAX until the
+  // first sample lands.
+  StatCounter commit_latency_samples;
+  StatCounter commit_latency_total_us;
+  StatCounter commit_latency_min_us{UINT64_MAX};
+  StatCounter commit_latency_max_us;
+
+  StatCounter epoch_truncations;
+  StatCounter incremental_steps;
+  StatCounter incremental_pages_written;
+  StatCounter truncation_records_applied;
+  StatCounter truncation_bytes_applied;
+
+  StatCounter recovery_records_applied;
+  StatCounter recovery_bytes_applied;
 
   // Total volume the log would have carried with no optimizations.
   uint64_t unoptimized_log_bytes() const {
     return bytes_logged + intra_saved_bytes + inter_saved_bytes;
   }
 };
+
+// Human-readable rendering, shared by `rvmutl ... stats` and benchmarks.
+inline std::string FormatStatistics(const RvmStatistics& stats) {
+  char line[160];
+  std::string out;
+  auto row = [&](const char* name, uint64_t value) {
+    std::snprintf(line, sizeof(line), "%-28s %12llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  };
+  row("transactions committed:", stats.transactions_committed);
+  row("transactions aborted:", stats.transactions_aborted);
+  row("flush commits:", stats.flush_commits);
+  row("no-flush commits:", stats.no_flush_commits);
+  row("set_range calls:", stats.set_range_calls);
+  row("bytes requested:", stats.bytes_requested);
+  row("bytes logged:", stats.bytes_logged);
+  row("intra-txn bytes saved:", stats.intra_saved_bytes);
+  row("inter-txn bytes saved:", stats.inter_saved_bytes);
+  row("log forces:", stats.log_forces);
+  row("log flush calls:", stats.log_flush_calls);
+  row("group commit batches:", stats.group_commit_batches);
+  row("group commit batched txns:", stats.group_commit_batched_txns);
+  uint64_t batches = stats.group_commit_batches;
+  uint64_t batched = stats.group_commit_batched_txns;
+  row("group commit saved forces:", batched > batches ? batched - batches : 0);
+  uint64_t samples = stats.commit_latency_samples;
+  row("commit latency samples:", samples);
+  row("commit latency total us:", stats.commit_latency_total_us);
+  row("commit latency min us:",
+      samples > 0 ? stats.commit_latency_min_us.load() : 0);
+  row("commit latency max us:", stats.commit_latency_max_us);
+  row("epoch truncations:", stats.epoch_truncations);
+  row("incremental steps:", stats.incremental_steps);
+  row("incremental pages written:", stats.incremental_pages_written);
+  row("truncation records applied:", stats.truncation_records_applied);
+  row("truncation bytes applied:", stats.truncation_bytes_applied);
+  row("recovery records applied:", stats.recovery_records_applied);
+  row("recovery bytes applied:", stats.recovery_bytes_applied);
+  return out;
+}
 
 }  // namespace rvm
 

@@ -15,9 +15,25 @@ constexpr uint64_t kMaxEntries = 62;
 constexpr uint64_t kMaxPath = 192;
 constexpr uint64_t kPageSize = 4096;
 // Fresh bases are carved out of a quiet corner of the address space, spaced
-// 16 GB apart so segments can grow across runs without colliding.
+// 16 GB apart so segments can grow across runs without colliding. Under
+// ThreadSanitizer most of that space is reserved for shadow memory and
+// fixed-address mappings there are refused, so the arena moves to the high
+// application range TSan does allow, with tighter spacing to stay inside it.
+#if defined(__SANITIZE_THREAD__)
+#define RVM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RVM_TSAN_BUILD 1
+#endif
+#endif
+
+#ifdef RVM_TSAN_BUILD
+constexpr uint64_t kArenaBase = 0x7E80'0000'0000ull;
+constexpr uint64_t kArenaStride = 4ull << 30;
+#else
 constexpr uint64_t kArenaBase = 0x5A00'0000'0000ull;
 constexpr uint64_t kArenaStride = 16ull << 30;
+#endif
 
 #ifndef MAP_FIXED_NOREPLACE
 #define MAP_FIXED_NOREPLACE 0x100000

@@ -115,6 +115,18 @@ TEST_F(RvmutlTest, VerifyPassesOnHealthyLog) {
       << result.output;
 }
 
+TEST_F(RvmutlTest, StatsRunsRecoveryAndPrintsCounters) {
+  CommandResult result = RunTool(log_path_ + " stats");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // The workload terminated cleanly (Terminate truncates nothing here; the
+  // three committed records are still live), so recovery applies them.
+  EXPECT_NE(result.output.find("recovery records applied:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("group commit batches:"), std::string::npos);
+  EXPECT_NE(result.output.find("commit latency max us:"), std::string::npos);
+  EXPECT_NE(result.output.find("log in use:"), std::string::npos);
+}
+
 TEST_F(RvmutlTest, MissingLogFails) {
   CommandResult result = RunTool((dir_ / "nonexistent").string() + " status");
   EXPECT_NE(result.exit_code, 0);

@@ -19,6 +19,7 @@
 
 #include "src/os/file.h"
 #include "src/rvm/log_device.h"
+#include "src/rvm/rvm.h"
 #include "src/util/interval_set.h"
 
 namespace rvm {
@@ -202,6 +203,24 @@ int CmdVerify(LogDevice& log) {
   return 0;
 }
 
+int CmdStats(const std::string& log_path) {
+  // Opens the log through the full library (running crash recovery), so the
+  // recovery counters and — after recovery truncates — the group-commit and
+  // latency counters reflect a real Initialize.
+  RvmOptions options;
+  options.log_path = log_path;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "cannot initialize on log %s: %s\n", log_path.c_str(),
+                 rvm.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", FormatStatistics((*rvm)->statistics()).c_str());
+  std::printf("log in use:               %" PRIu64 " / %" PRIu64 " bytes\n",
+              (*rvm)->log_bytes_in_use(), (*rvm)->log_capacity());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: rvmutl LOG COMMAND\n"
@@ -209,13 +228,20 @@ int Usage() {
                "  segments                 list the segment dictionary\n"
                "  records [N]              list newest N live records (default 20)\n"
                "  history SEG OFFSET LEN   modification history of a byte range\n"
-               "  verify                   validate the live log structure\n");
+               "  verify                   validate the live log structure\n"
+               "  stats                    run recovery, print RVM statistics\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 3) {
     return Usage();
+  }
+  std::string command_name = argv[2];
+  if (command_name == "stats") {
+    // Dispatched before LogDevice::Open below: Initialize opens (and
+    // recovers) the log itself, and must not race a second descriptor.
+    return CmdStats(argv[1]);
   }
   auto log = LogDevice::Open(GetRealEnv(), argv[1]);
   if (!log.ok()) {
