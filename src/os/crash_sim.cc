@@ -250,6 +250,14 @@ void CrashSimEnv::Recover() {
   state_->options.persist_budget = UINT64_MAX;
 }
 
+void CrashSimEnv::DropPendingWrites(const std::string& path) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->files.find(path);
+  if (it != state_->files.end()) {
+    it->second->pending.clear();
+  }
+}
+
 void CrashSimEnv::SetPersistBudget(uint64_t remaining) {
   std::lock_guard<std::mutex> lock(state_->mu);
   state_->options.persist_budget =

@@ -75,6 +75,13 @@ class CrashSimEnv : public Env {
   // recovery* (the budget is otherwise cleared by Recover()).
   void SetPersistBudget(uint64_t remaining);
 
+  // Discards all pending (not-yet-synced) writes on `path` without marking
+  // the environment crashed. The volatile image is unchanged — the process
+  // still observes its own writes — but they will never reach the durable
+  // image. Models a kernel that drops dirty pages after a failed fsync
+  // (fsyncgate); FaultInjectionEnv wires its fsync_gate hook here.
+  void DropPendingWrites(const std::string& path);
+
   // Total bytes persisted so far (counts against persist_budget).
   uint64_t bytes_persisted() const;
 

@@ -1,0 +1,236 @@
+#include "src/os/fault_env.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rvm {
+namespace internal {
+
+// An armed FaultSpec plus its match bookkeeping.
+struct ArmedFault {
+  FaultSpec spec;
+  uint64_t seen = 0;   // matching operations since arming
+  bool spent = false;  // one-shot fault already fired
+};
+
+struct FaultEnvState {
+  explicit FaultEnvState(Env* base_env) : base(base_env) {}
+
+  Env* base;
+  mutable std::mutex mu;
+  std::vector<ArmedFault> faults;
+  uint64_t op_counts[kNumFaultOps] = {};
+  std::map<std::string, std::array<uint64_t, kNumFaultOps>> per_path_counts;
+  uint64_t fired = 0;
+  std::function<void(const std::string&)> fsync_gate_hook;
+
+  // The fault (if any) that fires for this operation. Also counts the
+  // operation. The hook for fsync_gate faults is returned rather than run so
+  // the caller can invoke it outside `mu`.
+  struct Fired {
+    FaultSpec spec;
+    std::function<void(const std::string&)> gate_hook;
+  };
+  std::optional<Fired> Check(FaultOp op, const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++op_counts[static_cast<int>(op)];
+    ++per_path_counts[path][static_cast<size_t>(op)];
+    for (ArmedFault& fault : faults) {
+      if (fault.spec.op != op || fault.spent) {
+        continue;
+      }
+      if (!fault.spec.path_substring.empty() &&
+          path.find(fault.spec.path_substring) == std::string::npos) {
+        continue;
+      }
+      ++fault.seen;
+      if (fault.seen <= fault.spec.after) {
+        continue;
+      }
+      if (!fault.spec.sticky) {
+        fault.spent = true;
+      }
+      ++fired;
+      Fired result;
+      result.spec = fault.spec;
+      if (fault.spec.fsync_gate) {
+        result.gate_hook = fsync_gate_hook;
+      }
+      return result;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::FaultEnvState;
+
+Status FaultStatus(const FaultSpec& spec) {
+  return Status(spec.code, spec.message);
+}
+
+class FaultFile final : public File {
+ public:
+  FaultFile(std::shared_ptr<FaultEnvState> state, std::string path,
+            std::unique_ptr<File> base)
+      : state_(std::move(state)),
+        path_(std::move(path)),
+        base_(std::move(base)) {}
+
+  StatusOr<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    auto fired = state_->Check(FaultOp::kReadAt, path_);
+    if (fired.has_value()) {
+      if (fired->spec.short_read_bytes.has_value()) {
+        // Short read: succeed, but hand back fewer bytes than asked for.
+        size_t n = std::min<uint64_t>(*fired->spec.short_read_bytes,
+                                      out.size());
+        return base_->ReadAt(offset, out.subspan(0, n));
+      }
+      return FaultStatus(fired->spec);
+    }
+    return base_->ReadAt(offset, out);
+  }
+
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override {
+    auto fired = state_->Check(FaultOp::kWriteAt, path_);
+    if (fired.has_value()) {
+      return FaultStatus(fired->spec);
+    }
+    return base_->WriteAt(offset, data);
+  }
+
+  Status Sync() override {
+    auto fired = state_->Check(FaultOp::kSync, path_);
+    if (fired.has_value()) {
+      if (fired->gate_hook) {
+        // fsyncgate: the kernel reports the failure once and discards the
+        // dirty pages. The base Sync is NOT called — its pending writes
+        // silently vanish from the durable image via the hook.
+        fired->gate_hook(path_);
+      }
+      return FaultStatus(fired->spec);
+    }
+    return base_->Sync();
+  }
+
+  StatusOr<uint64_t> Size() override { return base_->Size(); }
+
+  Status Resize(uint64_t size) override {
+    auto fired = state_->Check(FaultOp::kResize, path_);
+    if (fired.has_value()) {
+      return FaultStatus(fired->spec);
+    }
+    return base_->Resize(size);
+  }
+
+ private:
+  std::shared_ptr<FaultEnvState> state_;
+  std::string path_;
+  std::unique_ptr<File> base_;
+};
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "Open";
+    case FaultOp::kReadAt:
+      return "ReadAt";
+    case FaultOp::kWriteAt:
+      return "WriteAt";
+    case FaultOp::kSync:
+      return "Sync";
+    case FaultOp::kResize:
+      return "Resize";
+    case FaultOp::kDelete:
+      return "Delete";
+  }
+  return "?";
+}
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : state_(std::make_shared<FaultEnvState>(base)) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+StatusOr<std::unique_ptr<File>> FaultInjectionEnv::Open(
+    const std::string& path, OpenMode mode) {
+  auto fired = state_->Check(FaultOp::kOpen, path);
+  if (fired.has_value()) {
+    return FaultStatus(fired->spec);
+  }
+  auto base = state_->base->Open(path, mode);
+  if (!base.ok()) {
+    return base.status();
+  }
+  return std::unique_ptr<File>(
+      new FaultFile(state_, path, std::move(*base)));
+}
+
+Status FaultInjectionEnv::Delete(const std::string& path) {
+  auto fired = state_->Check(FaultOp::kDelete, path);
+  if (fired.has_value()) {
+    return FaultStatus(fired->spec);
+  }
+  return state_->base->Delete(path);
+}
+
+bool FaultInjectionEnv::Exists(const std::string& path) {
+  return state_->base->Exists(path);
+}
+
+uint64_t FaultInjectionEnv::NowMicros() { return state_->base->NowMicros(); }
+
+void FaultInjectionEnv::ChargeCpu(double micros) {
+  state_->base->ChargeCpu(micros);
+}
+
+void FaultInjectionEnv::InjectFault(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  internal::ArmedFault fault;
+  fault.spec = spec;
+  state_->faults.push_back(std::move(fault));
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->faults.clear();
+}
+
+uint64_t FaultInjectionEnv::operations(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->op_counts[static_cast<int>(op)];
+}
+
+uint64_t FaultInjectionEnv::operations(
+    FaultOp op, const std::string& path_substring) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  uint64_t total = 0;
+  for (const auto& [path, counts] : state_->per_path_counts) {
+    if (path.find(path_substring) != std::string::npos) {
+      total += counts[static_cast<size_t>(op)];
+    }
+  }
+  return total;
+}
+
+uint64_t FaultInjectionEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->fired;
+}
+
+void FaultInjectionEnv::set_fsync_gate_hook(
+    std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->fsync_gate_hook = std::move(hook);
+}
+
+}  // namespace rvm

@@ -1,0 +1,133 @@
+// FaultInjectionEnv: a decorator over any Env/File that injects scripted
+// faults per operation class.
+//
+// RVM's permanence guarantee rests entirely on File::Sync (§3.3), so a
+// storage stack is only trustworthy once every failure path of every I/O
+// primitive has been exercised and the post-failure state specified. This
+// env lets a test fail the Nth WriteAt/Sync/ReadAt/Open/Resize/Delete with a
+// chosen status (kIoError for EIO, kLogFull for ENOSPC-like semantics),
+// either once (one-shot) or forever after (sticky), return short reads, and
+// model fsyncgate: a failed Sync that silently drops the pending writes from
+// the durable image while the volatile image still shows them — the
+// infamous pre-4.13 Linux page-cache behavior that makes retrying a failed
+// fsync on the same fd unsound.
+//
+// Typical composition for crash+fault tests:
+//
+//   CrashSimEnv crash_env;
+//   FaultInjectionEnv env(&crash_env);
+//   env.set_fsync_gate_hook(
+//       [&](const std::string& p) { crash_env.DropPendingWrites(p); });
+//   FaultSpec spec;
+//   spec.op = FaultOp::kSync;
+//   spec.after = 3;          // fail the 4th sync ...
+//   spec.fsync_gate = true;  // ... and drop its pending writes
+//   env.InjectFault(spec);
+#ifndef RVM_OS_FAULT_ENV_H_
+#define RVM_OS_FAULT_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/os/file.h"
+
+namespace rvm {
+
+namespace internal {
+struct FaultEnvState;
+}  // namespace internal
+
+// Operation classes a fault can target.
+enum class FaultOp : int {
+  kOpen = 0,
+  kReadAt,
+  kWriteAt,
+  kSync,
+  kResize,
+  kDelete,
+};
+inline constexpr int kNumFaultOps = 6;
+
+const char* FaultOpName(FaultOp op);
+
+// One scripted fault. Armed via FaultInjectionEnv::InjectFault; matched
+// against every operation of class `op` on paths containing
+// `path_substring`.
+struct FaultSpec {
+  FaultOp op = FaultOp::kWriteAt;
+
+  // Fire on the (after + 1)-th matching operation, counted from the moment
+  // the spec was armed. after = 0 fails the very next match.
+  uint64_t after = 0;
+
+  // Sticky faults keep failing every subsequent matching operation (a dead
+  // device); one-shot faults fire once and disarm (a transient error).
+  bool sticky = false;
+
+  // Status returned by the faulted operation. kIoError models EIO;
+  // kLogFull models ENOSPC-like exhaustion.
+  ErrorCode code = ErrorCode::kIoError;
+  std::string message = "injected fault";
+
+  // kReadAt only: instead of failing, succeed but return at most this many
+  // bytes (a short read).
+  std::optional<uint64_t> short_read_bytes;
+
+  // kSync only: fsyncgate mode. The failed Sync also invokes the env's
+  // fsync_gate hook with the file's path, so the test can drop the file's
+  // pending writes from the durable image (see
+  // CrashSimEnv::DropPendingWrites). A subsequent Sync on the same file is
+  // passed through and will succeed vacuously — exactly why the library
+  // must never retry a failed fsync on the same fd.
+  bool fsync_gate = false;
+
+  // Only operations on paths containing this substring match (empty
+  // matches everything).
+  std::string path_substring;
+};
+
+class FaultInjectionEnv : public Env {
+ public:
+  // `base` must outlive this env and every File opened through it.
+  explicit FaultInjectionEnv(Env* base);
+  ~FaultInjectionEnv() override;
+
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  uint64_t NowMicros() override;
+  void ChargeCpu(double micros) override;
+
+  // Arms a fault. Multiple faults may be armed at once; each operation is
+  // matched against every armed spec in arming order and the first match
+  // fires.
+  void InjectFault(const FaultSpec& spec);
+
+  // Disarms all faults (operation counters are preserved).
+  void ClearFaults();
+
+  // Operations of this class attempted so far (including faulted ones),
+  // optionally restricted to paths containing `path_substring`. Used both
+  // to size fault sweeps ("how many syncs does a clean run issue?") and to
+  // assert absence of retries ("no further sync ever reached the log").
+  uint64_t operations(FaultOp op) const;
+  uint64_t operations(FaultOp op, const std::string& path_substring) const;
+
+  // Number of times any armed fault fired.
+  uint64_t faults_fired() const;
+
+  // Hook invoked (outside the env's lock) when a fsync_gate fault fires,
+  // with the path of the file whose Sync failed.
+  void set_fsync_gate_hook(std::function<void(const std::string&)> hook);
+
+ private:
+  std::shared_ptr<internal::FaultEnvState> state_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_OS_FAULT_ENV_H_

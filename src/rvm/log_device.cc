@@ -72,6 +72,15 @@ StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(Env* env,
       new LogDevice(env, std::move(file), std::move(*best)));
 }
 
+void LogDevice::Poison(const Status& cause) {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return;  // first failure wins; keep the original cause
+  }
+  poison_cause_ = cause;
+  poisoned_.store(true, std::memory_order_release);
+  RVM_LOG_WARN("log device poisoned: %s", cause.ToString().c_str());
+}
+
 uint64_t LogDevice::used() const {
   if (status_.tail >= status_.head) {
     return status_.tail - status_.head;
@@ -81,11 +90,21 @@ uint64_t LogDevice::used() const {
 
 Status LogDevice::WriteRaw(uint64_t offset, std::span<const uint8_t> bytes) {
   bytes_appended_ += bytes.size();
-  return file_->WriteAt(offset, bytes);
+  Status status = file_->WriteAt(offset, bytes);
+  if (!status.ok()) {
+    // A failed append write leaves the device in an unknown state (the
+    // kernel may have written any prefix); the in-memory tail no longer
+    // describes the file reliably. Fail stop.
+    Poison(status);
+  }
+  return status;
 }
 
 StatusOr<uint64_t> LogDevice::AppendTransaction(
     TransactionId tid, std::span<const RangeView> ranges) {
+  if (poisoned()) {
+    return poison_status();
+  }
   std::vector<uint8_t> record = EncodeTransactionRecord(
       status_.tail_seqno, tid, status_.last_record_offset, ranges);
 
@@ -127,24 +146,53 @@ StatusOr<uint64_t> LogDevice::AppendTransaction(
 }
 
 Status LogDevice::Sync() {
+  if (poisoned()) {
+    // Never retry a failed fsync on the same fd: the kernel may have
+    // already discarded the dirty pages, so a "successful" retry would
+    // report durability for data that never reached the device.
+    return poison_status();
+  }
   // The caller's log lock excludes appends, so every record counted in
   // appended_lsn_ is in the file before the barrier below.
   uint64_t target = appended_lsn_.load(std::memory_order_acquire);
   ++syncs_;
-  RVM_RETURN_IF_ERROR(file_->Sync());
+  Status status = file_->Sync();
+  if (!status.ok()) {
+    Poison(status);
+    return status;
+  }
   durable_lsn_.store(target, std::memory_order_release);
   return OkStatus();
 }
 
 Status LogDevice::WriteStatus() {
+  if (poisoned()) {
+    return poison_status();
+  }
   if (durable_lsn() < appended_lsn()) {
     RVM_RETURN_IF_ERROR(Sync());
   }
-  ++status_.generation;
-  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(status_));
-  uint64_t slot_offset = (status_.generation % 2 == 0) ? 0 : kStatusBlockSize;
-  RVM_RETURN_IF_ERROR(file_->WriteAt(slot_offset, encoded));
-  return file_->Sync();
+  // Encode with the bumped generation but commit the bump only after the
+  // write sticks. Bumping first would make an encode or write failure skip
+  // a slot: the next successful update would then land on the same slot as
+  // the last valid block, and a torn write there could roll the log status
+  // back by two generations.
+  LogStatusBlock next = status_;
+  ++next.generation;
+  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(next));
+  uint64_t slot_offset = (next.generation % 2 == 0) ? 0 : kStatusBlockSize;
+  Status write = file_->WriteAt(slot_offset, encoded);
+  if (!write.ok()) {
+    Poison(write);
+    return write;
+  }
+  Status synced = file_->Sync();
+  if (!synced.ok()) {
+    Poison(synced);
+    return synced;
+  }
+  status_.generation = next.generation;
+  return OkStatus();
 }
 
 StatusOr<OwnedRecord> LogDevice::ReadRecordAt(uint64_t offset) {
@@ -156,6 +204,12 @@ StatusOr<OwnedRecord> LogDevice::ReadRecordAt(uint64_t offset) {
     return Corruption("short read of record header");
   }
   RVM_ASSIGN_OR_RETURN(RecordHeader header, PeekRecordHeader(record.bytes));
+  if (offset + kRecordHeaderSize + header.payload_length > status_.log_size) {
+    // A garbage header can claim any payload length (up to 4 GiB); bound it
+    // by the log area before trusting it, so salvage scans over random
+    // bytes never attempt absurd reads.
+    return Corruption("record payload extends past the end of the log");
+  }
   if (header.payload_length > 0) {
     record.bytes.resize(kRecordHeaderSize + header.payload_length);
     RVM_ASSIGN_OR_RETURN(
@@ -183,9 +237,32 @@ StatusOr<uint64_t> LogDevice::ExtendTailForward() {
     }
     StatusOr<OwnedRecord> record = ReadRecordAt(status_.tail);
     if (!record.ok()) {
-      break;  // torn, stale, or unwritten: this is the true end of the log
+      // Unreadable bytes at the expected position: either a torn final
+      // append (expected after a crash — stop here and truncate) or media
+      // corruption of a committed record. Writes persist in order, so if
+      // any valid record elsewhere in the area carries this or a later
+      // sequence number, the unreadable record must once have been durable:
+      // that is corruption of committed data, and silently truncating would
+      // discard committed transactions.
+      RVM_ASSIGN_OR_RETURN(std::vector<uint64_t> successors,
+                           ScanForRecords(status_.tail_seqno, 1));
+      if (!successors.empty()) {
+        return Corruption(
+            "committed log record unreadable at offset " +
+            std::to_string(status_.tail) + " (seqno " +
+            std::to_string(status_.tail_seqno) +
+            "): a later record survives, so this is media corruption, not a "
+            "torn tail; run `rvmutl <log> verify` for a salvage report");
+      }
+      break;  // torn or unwritten tail: the true end of the log
     }
     if (record->parsed.header.seqno != status_.tail_seqno) {
+      if (record->parsed.header.seqno > status_.tail_seqno) {
+        return Corruption(
+            "log sequence gap at offset " + std::to_string(status_.tail) +
+            ": expected seqno " + std::to_string(status_.tail_seqno) +
+            ", found " + std::to_string(record->parsed.header.seqno));
+      }
       break;  // stale record from a previous trip around the area
     }
     status_.last_record_offset = status_.tail;
@@ -200,6 +277,51 @@ StatusOr<uint64_t> LogDevice::ExtendTailForward() {
     }
   }
   return found;
+}
+
+StatusOr<std::vector<uint64_t>> LogDevice::ScanForRecords(uint64_t min_seqno,
+                                                          size_t max_results) {
+  // Stale records from earlier trips around the circular area always carry
+  // sequence numbers below the current tail_seqno, so filtering on
+  // min_seqno makes this scan safe to run over the whole area.
+  const uint8_t magic_bytes[4] = {
+      static_cast<uint8_t>(kRecordMagic & 0xff),
+      static_cast<uint8_t>((kRecordMagic >> 8) & 0xff),
+      static_cast<uint8_t>((kRecordMagic >> 16) & 0xff),
+      static_cast<uint8_t>((kRecordMagic >> 24) & 0xff),
+  };
+  constexpr uint64_t kChunk = 64 * 1024;
+  std::vector<uint8_t> buffer(kChunk + sizeof(magic_bytes) - 1);
+  std::vector<uint64_t> offsets;
+  for (uint64_t chunk_start = kLogDataStart;
+       chunk_start < status_.log_size && offsets.size() < max_results;
+       chunk_start += kChunk) {
+    // Overlap reads by 3 bytes so a magic straddling a chunk boundary is
+    // still seen (match starts are restricted to the first kChunk bytes, so
+    // the overlap never yields a duplicate).
+    uint64_t want = std::min<uint64_t>(buffer.size(),
+                                       status_.log_size - chunk_start);
+    RVM_ASSIGN_OR_RETURN(
+        size_t n,
+        file_->ReadAt(chunk_start, std::span<uint8_t>(buffer).subspan(0, want)));
+    if (n < sizeof(magic_bytes)) {
+      break;
+    }
+    for (size_t i = 0; i + sizeof(magic_bytes) <= n && i < kChunk &&
+                       offsets.size() < max_results;
+         ++i) {
+      if (buffer[i] != magic_bytes[0] || buffer[i + 1] != magic_bytes[1] ||
+          buffer[i + 2] != magic_bytes[2] || buffer[i + 3] != magic_bytes[3]) {
+        continue;
+      }
+      uint64_t candidate = chunk_start + i;
+      StatusOr<OwnedRecord> record = ReadRecordAt(candidate);
+      if (record.ok() && record->parsed.header.seqno >= min_seqno) {
+        offsets.push_back(candidate);
+      }
+    }
+  }
+  return offsets;
 }
 
 bool LogDevice::InLiveRange(uint64_t offset) const {

@@ -71,6 +71,13 @@ class LogDevice {
 
   // Forces all appended records to disk and advances durable_lsn() to the
   // appended LSN observed on entry.
+  //
+  // A Sync failure poisons the device: after a failed fsync the page-cache
+  // state of the fd is unknown (on Linux before 4.13 the dirty pages are
+  // simply dropped and a retried fsync reports success without having
+  // written anything — "fsyncgate"), so a retry can never be trusted.
+  // Subsequent Sync calls fail fast with the original status and never
+  // reach the file again.
   Status Sync();
 
   // The sequence point assigned to the most recent successful append, and
@@ -96,7 +103,24 @@ class LogDevice {
   // and last_record_offset past any records that were forced after the
   // status block was last written. Used once, at recovery. Returns the
   // number of records discovered.
+  //
+  // Distinguishes a torn tail from mid-log corruption: when the record at
+  // the expected position is unreadable, the whole record area is scanned
+  // for a valid record carrying the expected (or a later) sequence number.
+  // Because writes persist in order, such a successor proves the unreadable
+  // record was once durable — that is media corruption of committed data,
+  // surfaced as kCorruption instead of silently truncating committed
+  // transactions. With no successor the unreadable bytes are a torn final
+  // append (expected after a crash) and the scan stops cleanly.
   StatusOr<uint64_t> ExtendTailForward();
+
+  // Scans the entire record area for valid records whose seqno is at least
+  // `min_seqno`, regardless of the status block's head/tail. Returns their
+  // absolute offsets (at most `max_results`), in ascending offset order.
+  // Used by ExtendTailForward's corruption probe and by `rvmutl LOG verify`
+  // to build a salvage report.
+  StatusOr<std::vector<uint64_t>> ScanForRecords(uint64_t min_seqno,
+                                                 size_t max_results);
 
   // Walks the reverse-displacement chain from the newest record down to the
   // head. Returns record offsets newest-first (wrap fillers included).
@@ -115,6 +139,17 @@ class LogDevice {
   uint64_t records_appended() const { return records_appended_; }
   uint64_t syncs() const { return syncs_; }
 
+  // Fail-stop containment. A device is poisoned by the first non-transient
+  // failure of an append write, a force, or a status write (kLogFull is
+  // transient and never poisons). Once poisoned, every mutating entry point
+  // fails fast with the original cause and no further I/O — in particular
+  // no further fsync — reaches the file. `poisoned()` is readable without
+  // the caller's log lock; `poison_status()` is valid once poisoned() is
+  // true (release/acquire pairing on poisoned_).
+  void Poison(const Status& cause);
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+  const Status& poison_status() const { return poison_cause_; }
+
  private:
   LogDevice(Env* env, std::unique_ptr<File> file, LogStatusBlock status)
       : env_(env), file_(std::move(file)), status_(std::move(status)) {}
@@ -129,6 +164,8 @@ class LogDevice {
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
   uint64_t syncs_ = 0;
+  std::atomic<bool> poisoned_{false};
+  Status poison_cause_;  // written once, before the release store above
 };
 
 }  // namespace rvm

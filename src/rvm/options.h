@@ -57,6 +57,14 @@ struct RuntimeOptions {
   // A dwelling leader stops waiting early once this many committers are
   // pending in the group-commit stage.
   uint64_t group_commit_max_batch = 16;
+  // kLogFull on append is transient: the committer reclaims space
+  // (incremental truncation first, an epoch pass as the last attempt) and
+  // retries, at most this many times before surfacing kLogFull to the
+  // caller. Retrying is coordinated with truncation rather than timed
+  // backoff: sleeping would stall the append path while holding the state
+  // lock, which is exactly what the background truncation thread needs to
+  // make progress.
+  uint64_t log_full_retry_limit = 3;
 };
 
 // Whether truncation runs on a dedicated thread ("log truncation is usually

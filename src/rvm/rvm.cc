@@ -39,6 +39,53 @@ StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
   return instance;
 }
 
+// ---------------------------------------------------------------------------
+// Failure containment
+// ---------------------------------------------------------------------------
+
+void RvmInstance::NoteIoError(const Status& status) {
+  if (status.code() == ErrorCode::kIoError ||
+      status.code() == ErrorCode::kCorruption) {
+    ++stats_.io_errors;
+  }
+}
+
+void RvmInstance::Poison(const Status& cause) {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  if (poisoned_.load(std::memory_order_relaxed)) {
+    return;  // first failure wins; keep the original cause
+  }
+  NoteIoError(cause);
+  ++stats_.poisoned;
+  poison_cause_ = cause;
+  poisoned_.store(true, std::memory_order_release);
+  RVM_LOG_WARN("rvm instance poisoned (fail-stop): %s",
+               cause.ToString().c_str());
+}
+
+Status RvmInstance::FailIfPoisoned() {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return poison_cause_;
+  }
+  if (log_->poisoned()) {
+    // The log device poisoned itself (e.g. a status write from the group
+    // leader); adopt its cause so stats_.poisoned records the transition.
+    Poison(log_->poison_status());
+    return log_->poison_status();
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::poison_status() const {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return poison_cause_;
+  }
+  if (log_->poisoned()) {
+    return log_->poison_status();
+  }
+  return OkStatus();
+}
+
 bool RvmInstance::NeedsTruncationLocked() const {
   uint64_t used;
   uint64_t capacity;
@@ -64,6 +111,9 @@ void RvmInstance::TruncationThreadMain() {
     if (!NeedsTruncationLocked()) {
       continue;
     }
+    if (poisoned()) {
+      continue;  // fail-stop: no further maintenance I/O
+    }
     // Incremental steps are bounded, so the lock is released between bursts
     // and forward processing interleaves — the paper's "concurrent forward
     // processing" discipline. Epoch truncation (when configured or as the
@@ -72,6 +122,8 @@ void RvmInstance::TruncationThreadMain() {
                         ? IncrementalTruncateLocked()
                         : TruncateEpochLocked();
     if (!status.ok()) {
+      NoteIoError(status);
+      ++stats_.swallowed_truncation_failures;
       RVM_LOG_ERROR("background truncation failed: %s",
                     status.ToString().c_str());
     }
@@ -123,6 +175,7 @@ Status RvmInstance::Terminate() {
   if (!transactions_.empty()) {
     return FailedPrecondition("uncommitted transactions outstanding");
   }
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   RVM_RETURN_IF_ERROR(FlushDirectLocked());
   // Persist the exact tail so the next Initialize has no forward scanning to
   // do; not required for correctness, recovery would find the tail itself.
@@ -172,6 +225,7 @@ StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentBothLocked(
 
 Status RvmInstance::Map(RegionDescriptor& region) {
   std::lock_guard<std::mutex> lock(state_mu_);
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   if (region.length == 0 || region.length % page_size_ != 0) {
     return InvalidArgument("region length must be a nonzero page multiple");
   }
@@ -261,6 +315,7 @@ Status RvmInstance::Unmap(const RegionDescriptor& region) {
   if (state->active_transactions > 0) {
     return FailedPrecondition("region has uncommitted transactions (§4.1)");
   }
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   // Make the external data segment current before the in-memory image goes
   // away: flush spooled commits, then apply the whole log.
   RVM_RETURN_IF_ERROR(FlushDirectLocked());
@@ -293,6 +348,7 @@ StatusOr<RvmInstance::RegionState*> RvmInstance::FindRegionLocked(
 
 StatusOr<TransactionId> RvmInstance::BeginTransaction(RestoreMode mode) {
   std::lock_guard<std::mutex> lock(state_mu_);
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   cpu_.Fixed(cpu_.model().begin_txn_us);
   TransactionId tid = next_tid_++;
   TxnState& txn = transactions_[tid];
@@ -521,18 +577,35 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     views.push_back(view);
   }
 
-  StatusOr<uint64_t> offset = [&]() -> StatusOr<uint64_t> {
+  auto append = [&]() -> StatusOr<uint64_t> {
     std::lock_guard<std::mutex> log_lock(log_mu_);
     return log_->AppendTransaction(entry.tid, views);
-  }();
-  if (!offset.ok() && offset.status().code() == ErrorCode::kLogFull) {
-    // Make room: apply the whole log to segments (the epoch pass forces the
-    // log first) and retry.
-    RVM_RETURN_IF_ERROR(TruncateEpochLocked());
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    offset = log_->AppendTransaction(entry.tid, views);
+  };
+  StatusOr<uint64_t> offset = append();
+  for (uint64_t attempt = 0;
+       !offset.ok() && offset.status().code() == ErrorCode::kLogFull &&
+       attempt < runtime_.log_full_retry_limit;
+       ++attempt) {
+    // kLogFull is transient: reclaim space and retry, bounded by
+    // log_full_retry_limit. Incremental truncation first (bounded bursts,
+    // so it may not free enough on one pass); a full epoch pass on the
+    // final attempt so a blocked head page or lagging background truncator
+    // cannot starve the append. Escalating reclamation takes the place of
+    // timed backoff: sleeping here would hold the state lock, which is
+    // exactly what the background truncation thread needs to make progress.
+    bool last_attempt = attempt + 1 == runtime_.log_full_retry_limit;
+    RVM_RETURN_IF_ERROR(runtime_.use_incremental_truncation && !last_attempt
+                            ? IncrementalTruncateLocked()
+                            : TruncateEpochLocked());
+    ++stats_.log_full_retries;
+    offset = append();
   }
   if (!offset.ok()) {
+    if (offset.status().code() != ErrorCode::kLogFull) {
+      // The log device has already poisoned itself; record the fail-stop
+      // transition on the instance too.
+      Poison(offset.status());
+    }
     return offset.status();
   }
   stats_.bytes_logged += entry.encoded_size;
@@ -578,10 +651,10 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
   }
 
   SpoolEntry entry = BuildSpoolEntryLocked(txn);
-  ReleaseUncommittedLocked(txn);
-  ++stats_.transactions_committed;
 
   if (mode == CommitMode::kNoFlush) {
+    ReleaseUncommittedLocked(txn);
+    ++stats_.transactions_committed;
     ++stats_.no_flush_commits;
     for (auto& [region, page] : entry.pages) {
       ++region->pages.entry(page).unflushed_refs;
@@ -601,14 +674,48 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
   // that log order equals commit order (recovery applies newest-record-wins).
   // The append assigns this commit its durable sequence point; the force
   // itself happens in the group-commit stage, after the state lock drops.
+  // Spooled entries leave the spool only once their append succeeds, so a
+  // failure cannot silently drop a committed no-flush transaction: on
+  // kLogFull the spool is intact for a later retry, on anything else the
+  // instance is already poisoned.
   ++stats_.flush_commits;
+  Status append = OkStatus();
   while (!spool_.empty()) {
-    SpoolEntry spooled = std::move(spool_.front());
+    append = AppendSpoolEntryLocked(spool_.front());
+    if (!append.ok()) {
+      break;
+    }
+    spool_bytes_ -= spool_.front().encoded_size;
     spool_.pop_front();
-    spool_bytes_ -= spooled.encoded_size;
-    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(spooled));
   }
-  RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
+  if (append.ok()) {
+    append = AppendSpoolEntryLocked(entry);
+  }
+  if (!append.ok()) {
+    // This transaction's changes are already in VM; leaving them there with
+    // no log record would let later commits capture values that recovery
+    // can never reproduce. Either undo them — the commit degrades to an
+    // abort, leaving VM consistent — or, when no old values exist, stop.
+    if (append.code() == ErrorCode::kLogFull &&
+        txn.mode == RestoreMode::kRestore) {
+      for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend();
+           ++ov) {
+        std::memcpy(ov->region->base + ov->offset, ov->bytes.data(),
+                    ov->bytes.size());
+        cpu_.Copy(ov->bytes.size());
+      }
+      ReleaseUncommittedLocked(txn);
+      ++stats_.transactions_aborted;
+      return append;
+    }
+    if (append.code() == ErrorCode::kLogFull) {
+      Poison(append);  // no-restore txn: VM has diverged irreversibly
+    }
+    ReleaseUncommittedLocked(txn);
+    return append;
+  }
+  ReleaseUncommittedLocked(txn);
+  ++stats_.transactions_committed;
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
     *flush_target_lsn = log_->appended_lsn();
@@ -618,6 +725,7 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
 
 Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
                                            std::vector<OldValueRecord>* undo) {
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   const uint64_t start_us = env_->NowMicros();
   uint64_t target_lsn = 0;
   uint64_t max_batch = 0;
@@ -665,6 +773,8 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
   // problem (it will resurface on the next operation), not a commit failure.
   Status truncate_status = MaybeTruncate();
   if (!truncate_status.ok()) {
+    NoteIoError(truncate_status);
+    ++stats_.swallowed_truncation_failures;
     RVM_LOG_WARN("post-commit truncation failed: %s",
                  truncate_status.ToString().c_str());
   }
@@ -703,6 +813,16 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
     if (log_->durable_lsn() >= target_lsn) {
       break;
     }
+    if (log_->poisoned()) {
+      // The force that would have covered this commit failed. The failure
+      // is sticky for every waiter: electing a new leader to Sync again
+      // would re-issue an fsync on an fd whose page-cache state is unknown
+      // (the kernel may have dropped the dirty pages at the first failure,
+      // so a retry could "succeed" without the data being durable).
+      result = log_->poison_status();
+      Poison(result);
+      break;
+    }
     if (!group_leader_active_) {
       // Become the leader for everyone whose record is already appended.
       group_leader_active_ = true;
@@ -733,9 +853,10 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
             // no forward scan past it. The batch is already durable at this
             // point, so a failure here cannot fail the commits — recovery
             // rediscovers the tail by forward scanning from the older status
-            // block.
+            // block — but it does poison the device for future operations.
             Status status_write = log_->WriteStatus();
             if (!status_write.ok()) {
+              Poison(status_write);
               RVM_LOG_WARN("batch status write failed (commits durable): %s",
                            status_write.ToString().c_str());
             }
@@ -745,6 +866,10 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
       group_lock.lock();
       group_leader_active_ = false;
       if (!sync_status.ok()) {
+        // Sticky: the LogDevice poisoned itself on the failed fsync; record
+        // the fail-stop transition here and hand every waiter (current and
+        // future) the same failure via the poisoned check above.
+        Poison(sync_status);
         result = sync_status;
       } else if (forced) {
         ++stats_.log_forces;
@@ -805,11 +930,14 @@ StatusOr<std::pair<std::string, uint64_t>> RvmInstance::TranslateAddress(
 }
 
 Status RvmInstance::DrainSpoolLocked(uint64_t* target_lsn) {
+  // Entries leave the spool only once appended: a committed no-flush
+  // transaction must never be dropped on the floor by a failed drain. On
+  // kLogFull the remaining entries stay spooled for a later retry; on any
+  // other failure the instance is already poisoned.
   while (!spool_.empty()) {
-    SpoolEntry entry = std::move(spool_.front());
+    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(spool_.front()));
+    spool_bytes_ -= spool_.front().encoded_size;
     spool_.pop_front();
-    spool_bytes_ -= entry.encoded_size;
-    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(entry));
   }
   std::lock_guard<std::mutex> log_lock(log_mu_);
   *target_lsn = log_->appended_lsn();
@@ -829,7 +957,12 @@ Status RvmInstance::FlushDirectLocked() {
   }
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
-    RVM_RETURN_IF_ERROR(log_->Sync());
+    Status synced = log_->Sync();
+    if (!synced.ok()) {
+      Poison(synced);
+      NotifyDurableWaiters();  // group-stage waiters observe the poison
+      return synced;
+    }
   }
   ++stats_.log_forces;
   NotifyDurableWaiters();
@@ -842,6 +975,7 @@ Status RvmInstance::Flush() {
   uint64_t max_wait_us = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    RVM_RETURN_IF_ERROR(FailIfPoisoned());
     ++stats_.log_flush_calls;
     if (spool_.empty()) {
       // Nothing to append, but commits already appended may still be in the
@@ -863,6 +997,8 @@ Status RvmInstance::Flush() {
   // failure is reported by the operation that next depends on it.
   Status truncate_status = MaybeTruncate();
   if (!truncate_status.ok()) {
+    NoteIoError(truncate_status);
+    ++stats_.swallowed_truncation_failures;
     RVM_LOG_WARN("post-flush truncation failed: %s",
                  truncate_status.ToString().c_str());
   }
@@ -871,6 +1007,7 @@ Status RvmInstance::Flush() {
 
 Status RvmInstance::Truncate() {
   std::lock_guard<std::mutex> lock(state_mu_);
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
   // truncate() promises all *committed* changes reach the segments; spooled
   // no-flush commits must therefore be forced first.
   RVM_RETURN_IF_ERROR(FlushDirectLocked());

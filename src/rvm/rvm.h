@@ -41,6 +41,7 @@
 #ifndef RVM_RVM_RVM_H_
 #define RVM_RVM_RVM_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -160,6 +161,19 @@ class RvmInstance {
   uint64_t log_bytes_in_use();
   uint64_t log_capacity();
   uint64_t spooled_bytes();
+
+  // Fail-stop containment (DESIGN.md, "Failure model and error
+  // containment"). The instance is poisoned by the first non-transient
+  // failure of a log append, force, or status write: subsequent
+  // Begin/End/Flush/Truncate/Map/Unmap fail fast with the original status
+  // and issue no further I/O. Mapped regions stay readable and
+  // Abort/Query keep working — graceful degradation to read-only.
+  // kLogFull is transient and never poisons.
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire) || log_->poisoned();
+  }
+  // The original failure, or OK if not poisoned.
+  Status poison_status() const;
 
  private:
   struct RegionState {
@@ -281,6 +295,18 @@ class RvmInstance {
   void NotifyDurableWaiters();
   Status MaybeTruncate();
 
+  // --- failure containment ---
+  // Enters fail-stop mode with `cause` (first call wins; later calls are
+  // no-ops). Callable from any thread with any lock state: it synchronizes
+  // on its own leaf mutex and publishes the cause with a release store.
+  void Poison(const Status& cause);
+  // Counts an observed kIoError/kCorruption in stats_.io_errors.
+  void NoteIoError(const Status& status);
+  // Entry gate: returns the poison cause if this instance or its log device
+  // is poisoned (adopting the log device's cause on first observation),
+  // OK otherwise. Lock-free.
+  Status FailIfPoisoned();
+
   // --- mapping helpers ---
   StatusOr<RegionState*> FindRegionLocked(const void* address,
                                           uint64_t length);
@@ -319,6 +345,13 @@ class RvmInstance {
   std::deque<QueuedPage> page_queue_;
   // Segment files kept open for truncation/recovery writes.
   std::map<SegmentId, std::unique_ptr<File>> segment_files_;
+
+  // Fail-stop state. The cause is written once under poison_mu_ and then
+  // published by the release store of poisoned_; readers pair with an
+  // acquire load, so no lock is needed to read it afterwards.
+  std::mutex poison_mu_;
+  std::atomic<bool> poisoned_{false};
+  Status poison_cause_;
 
   RvmStatistics stats_;
 };

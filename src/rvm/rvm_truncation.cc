@@ -39,7 +39,15 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
     if (++walked > max_records) {
       return Corruption("record reverse displacement chain loops");
     }
-    RVM_ASSIGN_OR_RETURN(OwnedRecord record, log_->ReadRecordAt(offset));
+    StatusOr<OwnedRecord> record_or = log_->ReadRecordAt(offset);
+    if (!record_or.ok()) {
+      // An unreadable record inside the live (committed, durable) range is
+      // media corruption, never a torn tail: fail stop, do not advance the
+      // head past data that was never applied.
+      Poison(record_or.status());
+      return record_or.status();
+    }
+    OwnedRecord record = std::move(*record_or);
     uint64_t record_offset = offset;
     offset = (record_offset == log_->status().head)
                  ? 0  // oldest live record processed: stop after this one
@@ -70,7 +78,14 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
     }
   }
   for (File* file : touched) {
-    RVM_RETURN_IF_ERROR(file->Sync());
+    Status synced = file->Sync();
+    if (!synced.ok()) {
+      // A segment WriteAt failure above is transient (the head has not
+      // moved, so log replay regenerates the segment), but a failed segment
+      // fsync must not be retried on the same fd (fsyncgate): fail stop.
+      Poison(synced);
+      return synced;
+    }
   }
   return OkStatus();
 }
@@ -136,7 +151,11 @@ Status RvmInstance::TruncateEpochLocked() {
 Status RvmInstance::TruncateEpochBothLocked() {
   // Everything the epoch applies must be durable in the log first, so a
   // crash mid-truncation can re-derive the same segment contents.
-  RVM_RETURN_IF_ERROR(log_->Sync());
+  Status synced = log_->Sync();
+  if (!synced.ok()) {
+    Poison(synced);  // the device poisoned itself; adopt on the instance
+    return synced;
+  }
   if (log_->used() == 0) {
     return OkStatus();
   }
@@ -146,7 +165,11 @@ Status RvmInstance::TruncateEpochBothLocked() {
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
       &stats_.truncation_records_applied, &stats_.truncation_bytes_applied));
   log_->MarkEmpty();
-  RVM_RETURN_IF_ERROR(log_->WriteStatus());
+  Status status_write = log_->WriteStatus();
+  if (!status_write.ok()) {
+    Poison(status_write);
+    return status_write;
+  }
   // All committed changes are in the segments: no page is dirty with respect
   // to the log anymore. Unflushed/uncommitted reference counts are
   // unaffected (those changes are not in the log).
@@ -250,14 +273,25 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
   // reuse the reclaimed space (appends happen only after we return, under
   // the same lock discipline).
   for (File* file : touched) {
-    RVM_RETURN_IF_ERROR(file->Sync());
+    Status synced = file->Sync();
+    if (!synced.ok()) {
+      // Same policy as the epoch pass: a failed segment fsync is never
+      // retried on the same fd, and the head has not moved, so fail stop
+      // without losing anything the log cannot regenerate.
+      Poison(synced);
+      return synced;
+    }
   }
   if (page_queue_.empty()) {
     log_->MarkEmpty();
   } else {
     log_->status().head = page_queue_.front().log_offset;
   }
-  return log_->WriteStatus();
+  Status status_write = log_->WriteStatus();
+  if (!status_write.ok()) {
+    Poison(status_write);
+  }
+  return status_write;
 }
 
 }  // namespace rvm

@@ -106,6 +106,18 @@ struct RvmStatistics {
   StatCounter recovery_records_applied;
   StatCounter recovery_bytes_applied;
 
+  // Failure containment (DESIGN.md "Failure model and error containment").
+  // io_errors counts every kIoError/kCorruption the instance observed;
+  // swallowed_truncation_failures counts post-commit/post-flush truncation
+  // errors that were reported only via the log (the commit itself was
+  // already durable); log_full_retries counts append attempts repeated
+  // after reclaiming space; poisoned is 1 once the instance has entered
+  // fail-stop mode.
+  StatCounter io_errors;
+  StatCounter swallowed_truncation_failures;
+  StatCounter log_full_retries;
+  StatCounter poisoned;
+
   // Total volume the log would have carried with no optimizations.
   uint64_t unoptimized_log_bytes() const {
     return bytes_logged + intra_saved_bytes + inter_saved_bytes;
@@ -150,6 +162,10 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("truncation bytes applied:", stats.truncation_bytes_applied);
   row("recovery records applied:", stats.recovery_records_applied);
   row("recovery bytes applied:", stats.recovery_bytes_applied);
+  row("io errors:", stats.io_errors);
+  row("swallowed truncation fails:", stats.swallowed_truncation_failures);
+  row("log-full retries:", stats.log_full_retries);
+  row("poisoned:", stats.poisoned);
   return out;
 }
 

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "src/os/crash_sim.h"
+#include "src/os/fault_env.h"
 #include "src/os/file.h"
 #include "src/os/mem_env.h"
 
@@ -269,6 +271,122 @@ TEST(CrashSimTest, SyncCountTracksFsyncs) {
   ASSERT_TRUE((*file)->Sync().ok());
   ASSERT_TRUE((*file)->Sync().ok());
   EXPECT_EQ(env.sync_count(), 2u);
+}
+
+// --- FaultInjectionEnv -----------------------------------------------------
+
+TEST(FaultEnvTest, FailsTheNthWriteOnceThenRecovers) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kWriteAt;
+  spec.after = 1;  // fail the 2nd write only
+  env.InjectFault(spec);
+
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->WriteAt(0, Bytes("aa")).ok());
+  Status failed = (*file)->WriteAt(2, Bytes("bb"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kIoError);
+  // One-shot: disarmed after firing.
+  EXPECT_TRUE((*file)->WriteAt(2, Bytes("bb")).ok());
+  EXPECT_EQ(env.faults_fired(), 1u);
+  EXPECT_EQ(env.operations(FaultOp::kWriteAt), 3u);
+  EXPECT_EQ(ReadAll(**file), "aabb");
+}
+
+TEST(FaultEnvTest, StickyFaultKeepsFailing) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.sticky = true;
+  spec.code = ErrorCode::kLogFull;  // ENOSPC-like semantics
+  env.InjectFault(spec);
+
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  for (int i = 0; i < 3; ++i) {
+    Status failed = (*file)->Sync();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), ErrorCode::kLogFull);
+  }
+  EXPECT_EQ(env.faults_fired(), 3u);
+  env.ClearFaults();
+  EXPECT_TRUE((*file)->Sync().ok());
+  // Counters survive ClearFaults.
+  EXPECT_EQ(env.operations(FaultOp::kSync), 4u);
+}
+
+TEST(FaultEnvTest, PathSubstringRestrictsTheBlastRadius) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kWriteAt;
+  spec.sticky = true;
+  spec.path_substring = "/log";
+  env.InjectFault(spec);
+
+  auto log = env.Open("/log", OpenMode::kCreateIfMissing);
+  auto seg = env.Open("/seg", OpenMode::kCreateIfMissing);
+  EXPECT_FALSE((*log)->WriteAt(0, Bytes("x")).ok());
+  EXPECT_TRUE((*seg)->WriteAt(0, Bytes("x")).ok());
+  EXPECT_EQ(env.operations(FaultOp::kWriteAt, "/log"), 1u);
+  EXPECT_EQ(env.operations(FaultOp::kWriteAt, "/seg"), 1u);
+  EXPECT_EQ(env.operations(FaultOp::kWriteAt), 2u);
+}
+
+TEST(FaultEnvTest, ShortReadsReturnTruncatedData) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  {
+    auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+    ASSERT_TRUE((*file)->WriteAt(0, Bytes("abcdefgh")).ok());
+  }
+  FaultSpec spec;
+  spec.op = FaultOp::kReadAt;
+  spec.short_read_bytes = 3;
+  env.InjectFault(spec);
+
+  auto file = env.Open("/f", OpenMode::kReadWrite);
+  uint8_t buffer[8] = {0};
+  auto n = (*file)->ReadAt(0, buffer);
+  ASSERT_TRUE(n.ok());  // a short read succeeds — with fewer bytes
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(std::memcmp(buffer, "abc", 3), 0);
+  // One-shot: the next read is whole again.
+  auto full = (*file)->ReadAt(0, buffer);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, 8u);
+}
+
+TEST(FaultEnvTest, FsyncGateDropsPendingWritesFromTheDurableImage) {
+  // The fsyncgate model: a failed fsync silently discards the dirty pages.
+  // The volatile image still shows the data (page cache), a crash reveals
+  // the loss, and a retried fsync reports success without writing anything.
+  CrashSimEnv crash_env;
+  FaultInjectionEnv env(&crash_env);
+  env.set_fsync_gate_hook(
+      [&](const std::string& path) { crash_env.DropPendingWrites(path); });
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.after = 1;  // first sync succeeds, second fails and gates
+  spec.fsync_gate = true;
+  env.InjectFault(spec);
+
+  auto file = env.Open("/f", OpenMode::kCreateIfMissing);
+  ASSERT_TRUE((*file)->WriteAt(0, Bytes("durable ")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->WriteAt(8, Bytes("dropped")).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  // The volatile image still shows the write...
+  EXPECT_EQ(ReadAll(**file), "durable dropped");
+  // ...and a retried fsync succeeds vacuously (why retrying is unsound).
+  EXPECT_TRUE((*file)->Sync().ok());
+  crash_env.Crash();
+  crash_env.Recover();
+  auto reopened = env.Open("/f", OpenMode::kReadWrite);
+  EXPECT_EQ(ReadAll(**reopened), "durable ");
 }
 
 }  // namespace

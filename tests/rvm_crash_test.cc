@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "src/os/crash_sim.h"
+#include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
 #include "src/util/random.h"
 
@@ -345,6 +346,159 @@ TEST(CrashRecoveryTest, TornFinalRecordIsDiscarded) {
   const auto* slots = static_cast<const uint64_t*>(region.address);
   EXPECT_EQ(slots[1], 11u) << "first (durable) transaction lost";
   EXPECT_EQ(slots[2], 0u) << "torn second transaction partially applied";
+}
+
+// ---------------------------------------------------------------------------
+// Torn tail vs mid-log corruption (fail-stop on damaged committed data)
+// ---------------------------------------------------------------------------
+
+// XORs one byte of `path` in place through the env.
+void FlipByte(Env& env, const std::string& path, uint64_t offset) {
+  auto file = env.Open(path, OpenMode::kReadWrite);
+  ASSERT_TRUE(file.ok());
+  uint8_t byte = 0;
+  auto n = (*file)->ReadAt(offset, std::span<uint8_t>(&byte, 1));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  byte ^= 0xFF;
+  ASSERT_TRUE((*file)->WriteAt(offset, std::span<const uint8_t>(&byte, 1)).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+// Commits `txns` flush transactions (slot i+1 := 100+i) and terminates
+// cleanly, leaving the records live in the log for the next Initialize.
+void WriteCommittedLog(CrashSimEnv& env, uint64_t txns) {
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok());
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  auto* slots = static_cast<uint64_t*>(region.address);
+  for (uint64_t i = 0; i < txns; ++i) {
+    Transaction txn(**rvm);
+    uint64_t value = 100 + i;
+    ASSERT_TRUE((*rvm)->Modify(txn.id(), &slots[i + 1], &value, 8).ok());
+    ASSERT_TRUE(txn.Commit(CommitMode::kFlush).ok());
+  }
+}
+
+// Offsets of the live transaction records, oldest first.
+std::vector<uint64_t> LiveTransactionOffsets(CrashSimEnv& env) {
+  std::vector<uint64_t> result;
+  auto log = LogDevice::Open(&env, "/log");
+  EXPECT_TRUE(log.ok());
+  if (!log.ok()) return result;
+  auto offsets = (*log)->CollectRecordOffsets();  // newest first
+  EXPECT_TRUE(offsets.ok());
+  if (!offsets.ok()) return result;
+  for (auto it = offsets->rbegin(); it != offsets->rend(); ++it) {
+    auto record = (*log)->ReadRecordAt(*it);
+    EXPECT_TRUE(record.ok());
+    if (record.ok() && record->parsed.header.type == RecordType::kTransaction) {
+      result.push_back(*it);
+    }
+  }
+  return result;
+}
+
+TEST(LogCorruptionTest, FlippedByteInCommittedRecordFailsRecovery) {
+  // One flipped byte inside a committed, pre-tail record: recovery must
+  // refuse to run (kCorruption), never silently truncate committed data.
+  CrashSimEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  WriteCommittedLog(env, 5);
+  std::vector<uint64_t> records = LiveTransactionOffsets(env);
+  ASSERT_EQ(records.size(), 5u);
+  // Flip a payload byte of the middle record; its CRC no longer matches.
+  FlipByte(env, "/log", records[2] + kRecordHeaderSize + 4);
+
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_FALSE(rvm.ok()) << "recovery accepted a corrupted committed record";
+  EXPECT_EQ(rvm.status().code(), ErrorCode::kCorruption)
+      << rvm.status().ToString();
+}
+
+TEST(LogCorruptionTest, GarbagePastTheTailRecoversCleanly) {
+  // Control: the same byte-flipping applied beyond the tail is indistin-
+  // guishable from a torn final append and must not block recovery.
+  CrashSimEnv env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  WriteCommittedLog(env, 5);
+  uint64_t tail;
+  {
+    auto log = LogDevice::Open(&env, "/log");
+    ASSERT_TRUE(log.ok());
+    tail = (*log)->status().tail;
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    FlipByte(env, "/log", tail + i * 7);
+  }
+
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok()) << rvm.status().ToString();
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  const auto* slots = static_cast<const uint64_t*>(region.address);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(slots[i + 1], 100 + i) << "committed txn " << i << " lost";
+  }
+}
+
+TEST(LogCorruptionTest, TailScanDistinguishesTornTailFromCorruption) {
+  // Records forced after the last status write are discovered by forward
+  // scanning. An unreadable record there is a torn tail (truncate) only if
+  // no valid successor exists; a durable successor proves it was committed.
+  CrashSimEnv env;
+  ASSERT_TRUE(LogDevice::Create(&env, "/log", kLogSize, false).ok());
+  std::vector<uint8_t> payload(64, 0xAB);
+  RangeView range;
+  range.segment = 1;
+  range.offset = 0;
+  range.data = payload;
+
+  for (bool corrupt_last : {false, true}) {
+    uint64_t first, second;
+    {
+      auto log = LogDevice::Open(&env, "/log");
+      ASSERT_TRUE(log.ok());
+      (*log)->MarkEmpty();
+      ASSERT_TRUE((*log)->WriteStatus().ok());  // durable tail: before both
+      auto a = (*log)->AppendTransaction(1, std::span<const RangeView>(&range, 1));
+      auto b = (*log)->AppendTransaction(2, std::span<const RangeView>(&range, 1));
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_TRUE((*log)->Sync().ok());  // forced, but status not rewritten
+      first = *a;
+      second = *b;
+    }
+    FlipByte(env, "/log", (corrupt_last ? second : first) + kRecordHeaderSize + 4);
+
+    auto log = LogDevice::Open(&env, "/log");
+    ASSERT_TRUE(log.ok());
+    auto discovered = (*log)->ExtendTailForward();
+    if (corrupt_last) {
+      // No valid record past the damage: a torn final append, dropped.
+      ASSERT_TRUE(discovered.ok()) << discovered.status().ToString();
+      EXPECT_EQ(*discovered, 1u);
+    } else {
+      // Record 2 is durable past the damage, so record 1 was durable too:
+      // committed data is unreadable. Fail stop.
+      ASSERT_FALSE(discovered.ok());
+      EXPECT_EQ(discovered.status().code(), ErrorCode::kCorruption)
+          << discovered.status().ToString();
+    }
+  }
 }
 
 TEST(CrashRecoveryTest, RandomWritebackAtCrashStillAtomic) {

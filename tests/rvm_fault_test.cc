@@ -1,0 +1,326 @@
+// Fault-schedule sweep: fail-stop containment under injected I/O errors.
+//
+// Strategy: run a deterministic scripted workload with FaultInjectionEnv
+// layered over CrashSimEnv, and sweep the first-failure point N over every
+// operation class that matters (WriteAt, Sync) × failure mode (one-shot
+// kIoError, sticky kIoError, fsyncgate). After each faulted run the
+// environment crashes and a fault-free reopen recovers; the recovered state
+// must equal the model after exactly k whole transactions with
+//
+//     last OK kFlush commit  <=  k  <=  last OK commit
+//
+// i.e. every injected first failure leaves the instance either durably
+// committed or failed fast — zero lost committed transactions, zero partial
+// transactions, and (checked separately) a failed fsync is never retried on
+// the same fd.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/os/crash_sim.h"
+#include "src/os/fault_env.h"
+#include "src/rvm/rvm.h"
+#include "src/util/random.h"
+
+namespace rvm {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+constexpr uint64_t kRegionLen = 4 * kPage;
+constexpr uint64_t kSlots = kRegionLen / sizeof(uint64_t);
+// Small log: truncations happen mid-workload, so segment I/O is in the
+// fault schedule too, not just log appends and forces.
+constexpr uint64_t kLogSize = kLogDataStart + 24 * 1024;
+constexpr uint64_t kTotalTxns = 20;
+constexpr uint64_t kFlushEvery = 2;
+
+struct SlotWrite {
+  uint64_t slot;
+  uint64_t value;
+};
+
+// Transaction i writes the sequence marker, a few scattered slots, and one
+// 32-slot contiguous block (so records are big enough to force truncation).
+std::vector<SlotWrite> TxnScript(uint64_t i) {
+  Xoshiro256 rng(i * 9176 + 7);
+  std::vector<SlotWrite> writes;
+  writes.push_back({0, i + 1});  // txn sequence marker, 1-based
+  uint64_t scattered = 2 + rng.Below(3);
+  for (uint64_t w = 0; w < scattered; ++w) {
+    uint64_t slot = 1 + rng.Below(kSlots - 1);
+    writes.push_back({slot, i * 1000003 + slot});
+  }
+  uint64_t block = 1 + rng.Below(kSlots - 33);
+  for (uint64_t j = 0; j < 32; ++j) {
+    writes.push_back({block + j, i * 777787 + block + j});
+  }
+  return writes;
+}
+
+std::vector<uint64_t> ModelAfter(uint64_t k) {
+  std::vector<uint64_t> slots(kSlots, 0);
+  for (uint64_t i = 0; i < k; ++i) {
+    for (const SlotWrite& write : TxnScript(i)) {
+      slots[write.slot] = write.value;
+    }
+  }
+  return slots;
+}
+
+std::optional<uint64_t> MatchModel(const uint64_t* slots) {
+  uint64_t k = slots[0];
+  if (k > kTotalTxns) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> model = ModelAfter(k);
+  if (std::memcmp(slots, model.data(), kSlots * sizeof(uint64_t)) == 0) {
+    return k;
+  }
+  return std::nullopt;
+}
+
+struct RunResult {
+  uint64_t last_ok_flush = 0;   // highest 1-based txn with OK kFlush commit
+  uint64_t last_ok_commit = 0;  // highest 1-based txn with OK commit
+  bool hit_error = false;
+  Status first_error;
+};
+
+// Runs the workload until completion or the first failed call. On a commit
+// failure of a poisoned instance, also asserts the fail-stop contract:
+// Begin/Flush fail fast with the original cause, mapped memory stays
+// readable.
+RunResult RunWorkload(Env& env) {
+  RunResult result;
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  options.runtime.truncation_threshold = 0.5;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    result.hit_error = true;
+    result.first_error = rvm.status();
+    return result;
+  }
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  Status mapped = (*rvm)->Map(region);
+  if (!mapped.ok()) {
+    result.hit_error = true;
+    result.first_error = mapped;
+    return result;
+  }
+  auto* slots = static_cast<uint64_t*>(region.address);
+
+  for (uint64_t i = 0; i < kTotalTxns; ++i) {
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+    if (!tid.ok()) {
+      result.hit_error = true;
+      result.first_error = tid.status();
+      return result;
+    }
+    for (const SlotWrite& write : TxnScript(i)) {
+      EXPECT_TRUE((*rvm)->Modify(*tid, &slots[write.slot], &write.value,
+                                 sizeof(uint64_t)).ok())
+          << "Modify is in-memory and must not fail";
+    }
+    bool flush = (i + 1) % kFlushEvery == 0;
+    Status commit = (*rvm)->EndTransaction(
+        *tid, flush ? CommitMode::kFlush : CommitMode::kNoFlush);
+    if (!commit.ok()) {
+      result.hit_error = true;
+      result.first_error = commit;
+      if ((*rvm)->poisoned()) {
+        // Fail-stop: subsequent operations fail fast with the sticky cause
+        // and reach no further I/O; reads of mapped memory still work.
+        auto again = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+        EXPECT_FALSE(again.ok()) << "poisoned instance accepted a Begin";
+        EXPECT_FALSE((*rvm)->Flush().ok()) << "poisoned instance flushed";
+        EXPECT_FALSE((*rvm)->poison_status().ok());
+        volatile uint64_t sink = slots[0];  // graceful degradation: readable
+        (void)sink;
+      }
+      return result;
+    }
+    result.last_ok_commit = i + 1;
+    if (flush) {
+      result.last_ok_flush = i + 1;
+    }
+  }
+  return result;  // instance destroyed here; Terminate may itself fault
+}
+
+// Crashes, recovers fault-free, and checks the recovered state is a model
+// prefix bounded by [last_ok_flush, last_ok_commit-or-total].
+void ValidateRecovery(CrashSimEnv& crash_env, const RunResult& run,
+                      const std::string& context) {
+  if (!crash_env.crashed()) {
+    crash_env.Crash();
+  }
+  crash_env.Recover();
+  RvmOptions options;
+  options.env = &crash_env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  ASSERT_TRUE(rvm.ok()) << context << ": fault-free recovery failed: "
+                        << rvm.status().ToString();
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok()) << context;
+  const auto* slots = static_cast<const uint64_t*>(region.address);
+
+  std::optional<uint64_t> k = MatchModel(slots);
+  ASSERT_TRUE(k.has_value())
+      << context << ": ATOMICITY violated — recovered state matches no "
+      << "transaction prefix (marker=" << slots[0]
+      << ", first error: " << run.first_error.ToString() << ")";
+  EXPECT_GE(*k, run.last_ok_flush)
+      << context << ": PERMANENCE violated — flush-committed txn "
+      << run.last_ok_flush << " lost (recovered to " << *k
+      << ", first error: " << run.first_error.ToString() << ")";
+  uint64_t upper = run.hit_error ? run.last_ok_commit : kTotalTxns;
+  EXPECT_LE(*k, upper)
+      << context << ": recovered a transaction whose commit reported failure";
+}
+
+struct SweepMode {
+  FaultOp op;
+  bool sticky;
+  bool fsync_gate;
+  const char* name;
+};
+
+TEST(FaultSweepTest, EveryFirstFailurePointFailsStopOrCommitsDurably) {
+  // Measure a clean run to size the sweep.
+  uint64_t clean_writes = 0;
+  uint64_t clean_syncs = 0;
+  {
+    CrashSimEnv crash_env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&crash_env, "/log", kLogSize).ok());
+    FaultInjectionEnv env(&crash_env);
+    RunResult clean = RunWorkload(env);
+    ASSERT_FALSE(clean.hit_error) << clean.first_error.ToString();
+    ASSERT_EQ(clean.last_ok_commit, kTotalTxns);
+    clean_writes = env.operations(FaultOp::kWriteAt);
+    clean_syncs = env.operations(FaultOp::kSync);
+  }
+  ASSERT_GT(clean_writes, 0u);
+  ASSERT_GT(clean_syncs, 0u);
+
+  const SweepMode kModes[] = {
+      {FaultOp::kWriteAt, /*sticky=*/false, /*gate=*/false, "writeat-oneshot"},
+      {FaultOp::kWriteAt, /*sticky=*/true, /*gate=*/false, "writeat-sticky"},
+      {FaultOp::kSync, /*sticky=*/false, /*gate=*/false, "sync-oneshot"},
+      {FaultOp::kSync, /*sticky=*/true, /*gate=*/false, "sync-sticky"},
+      {FaultOp::kSync, /*sticky=*/false, /*gate=*/true, "sync-fsyncgate"},
+  };
+  for (const SweepMode& mode : kModes) {
+    uint64_t total =
+        mode.op == FaultOp::kWriteAt ? clean_writes : clean_syncs;
+    // Cover every point for syncs; stride the (much larger) write count.
+    uint64_t step = std::max<uint64_t>(1, total / 40);
+    int fired = 0;
+    for (uint64_t n = 0; n < total; n += step) {
+      CrashSimEnv crash_env;
+      // Log creation is fault-free: the sweep targets Initialize onward.
+      ASSERT_TRUE(RvmInstance::CreateLog(&crash_env, "/log", kLogSize).ok());
+      FaultInjectionEnv env(&crash_env);
+      env.set_fsync_gate_hook(
+          [&](const std::string& path) { crash_env.DropPendingWrites(path); });
+      FaultSpec spec;
+      spec.op = mode.op;
+      spec.after = n;
+      spec.sticky = mode.sticky;
+      spec.fsync_gate = mode.fsync_gate;
+      env.InjectFault(spec);
+
+      RunResult run = RunWorkload(env);
+      if (env.faults_fired() > 0) {
+        ++fired;
+      }
+      std::string context = std::string(mode.name) + "@" + std::to_string(n);
+      ValidateRecovery(crash_env, run, context);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+    EXPECT_GT(fired, 0) << mode.name << ": no sweep point ever fired";
+  }
+}
+
+TEST(FaultSweepTest, FailedLogFsyncIsNeverRetriedOnTheSameFd) {
+  for (bool gate : {false, true}) {
+    CrashSimEnv crash_env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&crash_env, "/log", kLogSize).ok());
+    FaultInjectionEnv env(&crash_env);
+    env.set_fsync_gate_hook(
+        [&](const std::string& path) { crash_env.DropPendingWrites(path); });
+    FaultSpec spec;
+    spec.op = FaultOp::kSync;
+    spec.path_substring = "/log";
+    spec.after = 2;  // fail the 3rd log force
+    spec.fsync_gate = gate;
+    env.InjectFault(spec);
+
+    RunResult run = RunWorkload(env);
+    ASSERT_TRUE(run.hit_error) << "gate=" << gate
+                               << ": the sync fault never fired";
+    // The failed fsync is the LAST sync that ever reaches the log file: the
+    // device is poisoned, so Flush, commit, Terminate (via the instance
+    // destructor above) and everything else fail fast before the fd.
+    EXPECT_EQ(env.operations(FaultOp::kSync, "/log"), spec.after + 1)
+        << "gate=" << gate << ": a failed fsync was retried on the same fd";
+    ValidateRecovery(crash_env, run, gate ? "fsyncgate" : "sync-fail");
+  }
+}
+
+TEST(FaultSweepTest, PoisonedInstanceReportsCauseAndCounters) {
+  CrashSimEnv crash_env;
+  ASSERT_TRUE(RvmInstance::CreateLog(&crash_env, "/log", kLogSize).ok());
+  FaultInjectionEnv env(&crash_env);
+  FaultSpec spec;
+  spec.op = FaultOp::kWriteAt;
+  spec.path_substring = "/log";
+  spec.after = 1;
+  spec.sticky = true;
+  spec.message = "disk on fire";
+  env.InjectFault(spec);
+
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    return;  // the fault landed inside Initialize; covered by the sweep
+  }
+  RegionDescriptor region;
+  region.segment_path = "/seg";
+  region.length = kRegionLen;
+  ASSERT_TRUE((*rvm)->Map(region).ok());
+  auto* slots = static_cast<uint64_t*>(region.address);
+
+  Status failed = OkStatus();
+  for (uint64_t i = 0; i < 4 && failed.ok(); ++i) {
+    Transaction txn(**rvm);
+    uint64_t value = i;
+    ASSERT_TRUE((*rvm)->Modify(txn.id(), &slots[1], &value, 8).ok());
+    failed = txn.Commit(CommitMode::kFlush);
+  }
+  ASSERT_FALSE(failed.ok()) << "sticky log write fault never surfaced";
+  ASSERT_TRUE((*rvm)->poisoned());
+  // The sticky cause is the original error, verbatim, on every entry point.
+  EXPECT_NE((*rvm)->poison_status().ToString().find("disk on fire"),
+            std::string::npos);
+  Status begin = (*rvm)->BeginTransaction(RestoreMode::kRestore).status();
+  EXPECT_NE(begin.ToString().find("disk on fire"), std::string::npos);
+  EXPECT_GT((*rvm)->statistics().poisoned.load(), 0u);
+  EXPECT_GT((*rvm)->statistics().io_errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rvm
