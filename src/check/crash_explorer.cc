@@ -1,0 +1,344 @@
+#include "src/check/crash_explorer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/rvm/rvm.h"
+
+namespace rvm {
+namespace {
+
+constexpr char kLogPath[] = "/log";
+constexpr char kSegPath[] = "/seg";
+
+// A crash that interrupted a truncation shows an unbalanced window counter.
+bool InTruncationWindow(const RvmStatistics& stats) {
+  return stats.truncations_started > stats.truncations_completed;
+}
+
+RvmOptions MakeOptions(CrashSimEnv& env, const CheckerWorkload& workload) {
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = kLogPath;
+  options.runtime.use_incremental_truncation =
+      workload.use_incremental_truncation;
+  options.runtime.truncation_threshold = workload.truncation_threshold;
+  return options;
+}
+
+}  // namespace
+
+CrashExplorer::CrashExplorer(const CheckerWorkload& workload)
+    : workload_(workload), oracle_(workload) {}
+
+CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
+  ForwardOutcome outcome;
+  auto rvm = RvmInstance::Initialize(MakeOptions(env, workload_));
+  if (!rvm.ok()) {
+    outcome.crashed = true;
+    return outcome;
+  }
+  RegionDescriptor region;
+  region.segment_path = kSegPath;
+  region.length = workload_.region_len;
+  auto crash_exit = [&]() {
+    outcome.crashed = true;
+    outcome.truncation_window = InTruncationWindow((*rvm)->statistics());
+    return outcome;
+  };
+  if (!(*rvm)->Map(region).ok()) {
+    return crash_exit();
+  }
+  auto* slots = static_cast<uint64_t*>(region.address);
+
+  for (uint64_t i = 0; i < workload_.total_txns; ++i) {
+    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+    if (!tid.ok()) {
+      return crash_exit();
+    }
+    for (const WorkloadOracle::SlotWrite& write : oracle_.Script(i)) {
+      if (!(*rvm)
+               ->Modify(*tid, &slots[write.slot], &write.value,
+                        sizeof(uint64_t))
+               .ok()) {
+        return crash_exit();
+      }
+    }
+    bool flush =
+        workload_.flush_every != 0 && (i + 1) % workload_.flush_every == 0;
+    // The commit record exists (pending or durable) from this point on, so
+    // a crash may legally recover txn i+1 even though no ack was returned.
+    outcome.last_attempted_commit = i + 1;
+    Status commit = (*rvm)->EndTransaction(
+        *tid, flush ? CommitMode::kFlush : CommitMode::kNoFlush);
+    if (!commit.ok()) {
+      return crash_exit();
+    }
+    outcome.last_ok_commit = i + 1;
+    if (flush) {
+      outcome.last_ok_flush = i + 1;
+    }
+  }
+  // Clean completion, including teardown (Terminate flushes the spool and
+  // writes a clean status block) — the armed crash may still fire here.
+  rvm->reset();
+  if (env.crashed()) {
+    outcome.crashed = true;
+  }
+  return outcome;
+}
+
+StatusOr<uint64_t> CrashExplorer::BaselineOps() {
+  CrashSimEnv env;
+  RVM_RETURN_IF_ERROR(
+      RvmInstance::CreateLog(&env, kLogPath, workload_.log_size));
+  uint64_t base = env.ops_persisted();
+  ForwardOutcome outcome = RunForward(env);
+  if (outcome.crashed) {
+    return Internal("baseline workload crashed with no fault armed");
+  }
+  return env.ops_persisted() - base;
+}
+
+ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
+  ScheduleOutcome out;
+  out.schedule = schedule;
+  CrashSimEnv env;
+  if (!RvmInstance::CreateLog(&env, kLogPath, workload_.log_size).ok()) {
+    out.detail = "log creation failed";
+    return out;
+  }
+
+  // --- forward phase ---
+  if (schedule.forward.op != kCrashAtEnd) {
+    env.SetCrashAtOp(schedule.forward.op);
+  }
+  ForwardOutcome fwd = RunForward(env);
+  out.last_ok_flush = fwd.last_ok_flush;
+  out.last_ok_commit = fwd.last_ok_commit;
+  out.last_attempted_commit = fwd.last_attempted_commit;
+  out.truncation_window = fwd.truncation_window;
+  if (!fwd.crashed && schedule.forward.op != kCrashAtEnd) {
+    out.forward_underflow = true;
+  }
+  bool subset_used = schedule.forward.subset_seed != 0;
+  if (subset_used) {
+    env.Crash(CrashSimEnv::Writeback::kSubset, schedule.forward.subset_seed);
+  } else if (!env.crashed()) {
+    env.Crash();
+  }
+
+  // --- recovery phases (crashes during recovery) ---
+  std::unique_ptr<RvmInstance> recovered;
+  for (size_t i = 0; i < schedule.recovery.size(); ++i) {
+    const CrashPoint& rec = schedule.recovery[i];
+    env.Recover();
+    env.SetCrashAtOp(rec.op);
+    auto attempt = RvmInstance::Initialize(MakeOptions(env, workload_));
+    if (attempt.ok()) {
+      // Recovery finished before the armed op: underflow. Disarm and
+      // validate with this instance; deeper points cannot fire either.
+      env.SetCrashAtOp(kCrashAtEnd);
+      out.underflow_rec = static_cast<int>(i);
+      recovered = std::move(*attempt);
+      break;
+    }
+    if (!env.crashed()) {
+      // Recovery refused without a simulated power failure.
+      if (attempt.status().code() == ErrorCode::kCorruption && subset_used) {
+        out.fail_stop = true;
+        out.pass = true;
+        return out;
+      }
+      out.detail = "recovery attempt " + std::to_string(i) +
+                   " failed without crashing: " + attempt.status().ToString();
+      return out;
+    }
+    if (rec.subset_seed != 0) {
+      env.Crash(CrashSimEnv::Writeback::kSubset, rec.subset_seed);
+      subset_used = true;
+    }
+  }
+
+  // --- final, unharmed recovery ---
+  if (recovered == nullptr) {
+    env.Recover();
+    auto final_rvm = RvmInstance::Initialize(MakeOptions(env, workload_));
+    if (!final_rvm.ok()) {
+      if (final_rvm.status().code() == ErrorCode::kCorruption && subset_used) {
+        out.fail_stop = true;
+        out.pass = true;
+        return out;
+      }
+      out.detail = "final recovery failed: " + final_rvm.status().ToString();
+      return out;
+    }
+    recovered = std::move(*final_rvm);
+  }
+
+  // --- oracle validation ---
+  RegionDescriptor region;
+  region.segment_path = kSegPath;
+  region.length = workload_.region_len;
+  Status mapped = recovered->Map(region);
+  if (!mapped.ok()) {
+    out.detail = "map after recovery failed: " + mapped.ToString();
+    return out;
+  }
+  const auto* slots = static_cast<const uint64_t*>(region.address);
+  std::vector<uint64_t> image(slots, slots + oracle_.slots());
+  std::optional<uint64_t> k = oracle_.MatchPrefix(image.data());
+  if (!k.has_value()) {
+    out.detail = "ATOMICITY: recovered state matches no transaction prefix "
+                 "(marker=" +
+                 std::to_string(image[0]) + ")";
+    return out;
+  }
+  out.recovered_prefix = *k;
+  if (*k < fwd.last_ok_flush) {
+    out.detail = "PERMANENCE: flush-committed txn " +
+                 std::to_string(fwd.last_ok_flush) +
+                 " lost (recovered to " + std::to_string(*k) + ")";
+    return out;
+  }
+  // An attempted-but-unacknowledged commit may land either way, so the
+  // upper bound is the last EndTransaction *invoked*, not the last acked.
+  // In-order writeback can never recover past last_ok_commit (the records
+  // persist in append order), but subset writeback legitimately can.
+  uint64_t upper = std::max(fwd.last_ok_commit, fwd.last_attempted_commit);
+  if (*k > upper) {
+    out.detail = "recovered txn " + std::to_string(*k) +
+                 " whose commit was never attempted (last attempted " +
+                 std::to_string(upper) + ")";
+    return out;
+  }
+
+  // --- idempotence: kill again without a clean shutdown, recover, compare
+  // (§5.1.2: repeating recovery must be harmless) ---
+  env.Crash();
+  recovered.reset();
+  env.Recover();
+  auto again = RvmInstance::Initialize(MakeOptions(env, workload_));
+  if (!again.ok()) {
+    out.detail =
+        "IDEMPOTENCE: re-recovery failed: " + again.status().ToString();
+    return out;
+  }
+  RegionDescriptor region2;
+  region2.segment_path = kSegPath;
+  region2.length = workload_.region_len;
+  Status mapped2 = (*again)->Map(region2);
+  if (!mapped2.ok()) {
+    out.detail = "IDEMPOTENCE: re-map failed: " + mapped2.ToString();
+    return out;
+  }
+  if (std::memcmp(region2.address, image.data(),
+                  oracle_.slots() * sizeof(uint64_t)) != 0) {
+    out.detail = "IDEMPOTENCE: repeating recovery changed the image";
+    return out;
+  }
+  out.pass = true;
+  return out;
+}
+
+StatusOr<ExploreStats> CrashExplorer::ExploreAll(
+    const ExploreLimits& limits,
+    const std::function<void(const ScheduleOutcome&)>& on_result) {
+  ExploreStats stats;
+  RVM_ASSIGN_OR_RETURN(stats.baseline_ops, BaselineOps());
+  const uint64_t fwd_stride = std::max<uint64_t>(1, limits.forward_stride);
+  const uint64_t rec_stride = std::max<uint64_t>(1, limits.recovery_stride);
+
+  auto out_of_budget = [&]() {
+    if (limits.max_schedules != 0 &&
+        stats.schedules_run >= limits.max_schedules) {
+      stats.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  };
+  auto run_one = [&](const CrashSchedule& schedule) {
+    ScheduleOutcome outcome = RunSchedule(schedule);
+    ++stats.schedules_run;
+    if (outcome.pass) {
+      ++stats.passed;
+    } else {
+      ++stats.failed;
+    }
+    if (outcome.fail_stop) {
+      ++stats.fail_stops;
+    }
+    if (outcome.truncation_window) {
+      ++stats.truncation_window_schedules;
+    }
+    stats.max_depth_reached = std::max<uint64_t>(
+        stats.max_depth_reached, 1 + schedule.recovery.size());
+    if (on_result) {
+      on_result(outcome);
+    }
+    return outcome;
+  };
+
+  // Sweeps recovery crash points at one depth, recursing while crashes_left
+  // allows. Underflow (recovery completing before the armed op) bounds each
+  // sweep exactly — no op count for recovery needs to be known in advance.
+  std::function<void(const CrashSchedule&, size_t)> extend =
+      [&](const CrashSchedule& base, size_t crashes_left) {
+        if (crashes_left == 0) {
+          return;
+        }
+        for (uint64_t r = 0;; r += rec_stride) {
+          if (out_of_budget()) {
+            return;
+          }
+          CrashSchedule schedule = base;
+          schedule.recovery.push_back({r, 0});
+          ScheduleOutcome outcome = run_one(schedule);
+          if (outcome.underflow_rec ==
+              static_cast<int>(schedule.recovery.size()) - 1) {
+            return;  // every larger op index underflows too
+          }
+          for (uint64_t seed : limits.recovery_subset_seeds) {
+            if (out_of_budget()) {
+              return;
+            }
+            CrashSchedule variant = base;
+            variant.recovery.push_back({r, seed});
+            run_one(variant);
+          }
+          extend(schedule, crashes_left - 1);
+        }
+      };
+
+  for (uint64_t f = 0;; f += fwd_stride) {
+    if (out_of_budget()) {
+      break;
+    }
+    const bool is_end = f >= stats.baseline_ops;
+    CrashSchedule schedule;
+    schedule.forward = {is_end ? kCrashAtEnd : f, 0};
+    ScheduleOutcome outcome = run_one(schedule);
+    if (!is_end) {
+      for (uint64_t seed : limits.forward_subset_seeds) {
+        if (out_of_budget()) {
+          break;
+        }
+        CrashSchedule variant;
+        variant.forward = {f, seed};
+        run_one(variant);
+      }
+      if (limits.max_depth > 1 && !outcome.forward_underflow) {
+        extend(schedule, limits.max_depth - 1);
+      }
+    }
+    if (is_end) {
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rvm

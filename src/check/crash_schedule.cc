@@ -1,0 +1,92 @@
+#include "src/check/crash_schedule.h"
+
+#include <charconv>
+
+namespace rvm {
+namespace {
+
+constexpr char kVersionTag[] = "v1";
+
+std::string PointToString(const CrashPoint& point) {
+  std::string out = point.op == kCrashAtEnd ? "end" : std::to_string(point.op);
+  if (point.subset_seed != 0) {
+    out += "+s" + std::to_string(point.subset_seed);
+  }
+  return out;
+}
+
+Status ParsePoint(const std::string& text, CrashPoint* point) {
+  std::string op_part = text;
+  point->subset_seed = 0;
+  size_t plus = text.find("+s");
+  if (plus != std::string::npos) {
+    op_part = text.substr(0, plus);
+    std::string seed_part = text.substr(plus + 2);
+    auto [end, ec] = std::from_chars(
+        seed_part.data(), seed_part.data() + seed_part.size(),
+        point->subset_seed);
+    if (ec != std::errc{} || end != seed_part.data() + seed_part.size() ||
+        point->subset_seed == 0) {
+      return InvalidArgument("bad subset seed in crash point: " + text);
+    }
+  }
+  if (op_part == "end") {
+    point->op = kCrashAtEnd;
+    return OkStatus();
+  }
+  auto [end, ec] =
+      std::from_chars(op_part.data(), op_part.data() + op_part.size(),
+                      point->op);
+  if (ec != std::errc{} || end != op_part.data() + op_part.size()) {
+    return InvalidArgument("bad op index in crash point: " + text);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string CrashSchedule::ToString() const {
+  std::string out = std::string(kVersionTag) + ":fwd=" + PointToString(forward);
+  for (const CrashPoint& point : recovery) {
+    out += ":rec=" + PointToString(point);
+  }
+  return out;
+}
+
+StatusOr<CrashSchedule> CrashSchedule::Parse(const std::string& text) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(text.substr(start));
+      break;
+    }
+    fields.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (fields.size() < 2 || fields[0] != kVersionTag) {
+    return InvalidArgument("crash schedule must start with 'v1:fwd=...': " +
+                           text);
+  }
+  CrashSchedule schedule;
+  if (fields[1].rfind("fwd=", 0) != 0) {
+    return InvalidArgument("crash schedule missing fwd= point: " + text);
+  }
+  RVM_RETURN_IF_ERROR(ParsePoint(fields[1].substr(4), &schedule.forward));
+  for (size_t i = 2; i < fields.size(); ++i) {
+    if (fields[i].rfind("rec=", 0) != 0) {
+      return InvalidArgument("unknown crash schedule field: " + fields[i]);
+    }
+    CrashPoint point;
+    RVM_RETURN_IF_ERROR(ParsePoint(fields[i].substr(4), &point));
+    if (point.op == kCrashAtEnd) {
+      return InvalidArgument("rec= points must name a finite op index: " +
+                             text);
+    }
+    schedule.recovery.push_back(point);
+  }
+  return schedule;
+}
+
+}  // namespace rvm

@@ -1,0 +1,76 @@
+// CrashSchedule: a deterministic, serializable description of where a
+// simulated execution crashes.
+//
+// A schedule names one crash point in forward processing plus zero or more
+// crash points in the successive recovery attempts that follow (a crash
+// during recovery is itself recovered from — §5.1.2 claims that procedure is
+// idempotent, and these nested points are how the claim is tested rather
+// than assumed). Crash points are op-indexed: "op N" is the Nth whole
+// pending operation (write or resize, across all files) that persists after
+// the phase starts, as counted by CrashSimEnv::ops_persisted(). Because the
+// checker workload is deterministic, an op index identifies one exact
+// durable-prefix boundary, so any schedule replays bit-identically.
+//
+// Every schedule serializes to a one-line repro string:
+//
+//   v1:fwd=57            crash forward processing after 57 persisted ops
+//   v1:fwd=57+s9         ... additionally persist a seed-9 subset of the
+//                        still-pending writes (reordering holes)
+//   v1:fwd=end           run the workload to completion, then cut the power
+//   v1:fwd=57:rec=12:rec=3+s2
+//                        crash forward at op 57, crash the first recovery
+//                        attempt at op 12, crash the second at op 3 with a
+//                        seed-2 writeback subset; the next recovery runs to
+//                        completion and is checked against the oracle
+//
+// `rvmutl explore --replay STRING` re-runs exactly one schedule; the
+// explorer prints this string for every failing schedule it finds.
+#ifndef RVM_CHECK_CRASH_SCHEDULE_H_
+#define RVM_CHECK_CRASH_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rvm {
+
+// Sentinel op index: do not crash mid-phase; for the forward phase, run the
+// workload (and instance teardown) to completion and then cut the power.
+inline constexpr uint64_t kCrashAtEnd = UINT64_MAX;
+
+struct CrashPoint {
+  // Persist-op index, relative to the start of the phase, at which the
+  // power fails (that op and everything after stay volatile).
+  uint64_t op = kCrashAtEnd;
+  // Nonzero: at the crash instant, additionally persist a pseudo-random
+  // subset of the still-pending writes drawn from this seed
+  // (CrashSimEnv::Writeback::kSubset) — unsynced writes reaching the
+  // platter out of order.
+  uint64_t subset_seed = 0;
+
+  bool operator==(const CrashPoint&) const = default;
+};
+
+struct CrashSchedule {
+  // Where forward processing crashes.
+  CrashPoint forward;
+  // Crash points for successive recovery attempts: recovery[0] crashes the
+  // first post-crash RvmInstance::Initialize, recovery[1] the next, and so
+  // on. After the list is exhausted, one final recovery runs unharmed and
+  // its result is checked. Size 0 = single crash, 1 = double crash, ...
+  std::vector<CrashPoint> recovery;
+
+  bool operator==(const CrashSchedule&) const = default;
+
+  // The one-line repro string (format above).
+  std::string ToString() const;
+
+  // Inverse of ToString. Rejects malformed strings with kInvalidArgument.
+  static StatusOr<CrashSchedule> Parse(const std::string& text);
+};
+
+}  // namespace rvm
+
+#endif  // RVM_CHECK_CRASH_SCHEDULE_H_

@@ -1,0 +1,51 @@
+#include "src/check/oracle.h"
+
+#include "src/util/random.h"
+
+namespace rvm {
+
+WorkloadOracle::WorkloadOracle(const CheckerWorkload& workload)
+    : workload_(workload), slots_(workload.region_len / sizeof(uint64_t)) {}
+
+std::vector<WorkloadOracle::SlotWrite> WorkloadOracle::Script(
+    uint64_t txn) const {
+  std::vector<SlotWrite> writes;
+  // Slot 0 is the transaction marker: a recovered image announces its own
+  // prefix length. The remaining writes scatter distinctive values so a
+  // torn transaction cannot masquerade as a whole one.
+  writes.push_back({0, txn + 1});
+  Xoshiro256 rng(txn * 7919 + workload_.script_seed);
+  uint64_t count = 2 + rng.Below(4);
+  for (uint64_t j = 0; j < count; ++j) {
+    uint64_t slot = 1 + rng.Below(slots_ - 1);
+    writes.push_back({slot, txn * 1000003 + slot});
+  }
+  return writes;
+}
+
+std::vector<uint64_t> WorkloadOracle::StateAfter(uint64_t k) const {
+  std::vector<uint64_t> state(slots_, 0);
+  for (uint64_t i = 0; i < k; ++i) {
+    for (const SlotWrite& w : Script(i)) {
+      state[w.slot] = w.value;
+    }
+  }
+  return state;
+}
+
+std::optional<uint64_t> WorkloadOracle::MatchPrefix(
+    const uint64_t* image) const {
+  uint64_t k = image[0];
+  if (k > workload_.total_txns) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> expected = StateAfter(k);
+  for (uint64_t s = 0; s < slots_; ++s) {
+    if (image[s] != expected[s]) {
+      return std::nullopt;
+    }
+  }
+  return k;
+}
+
+}  // namespace rvm

@@ -1,0 +1,74 @@
+// The crash-consistency oracle: a scripted RVM workload plus the
+// whole-transaction model it must always recover to.
+//
+// Transaction i of the script deterministically writes a handful of 8-byte
+// slots in one mapped region; slot 0 always records i+1, so any recovered
+// image proposes its own prefix length k, and the oracle accepts iff the
+// image equals the model state after exactly the first k transactions. The
+// three properties checked after every crash schedule:
+//
+//   ATOMICITY   — the image matches the model after exactly k whole
+//                 transactions for some k (never a torn transaction).
+//   PERMANENCE  — k covers every kFlush commit acknowledged before the
+//                 (first) crash.
+//   IDEMPOTENCE — running recovery again on the recovered state reproduces
+//                 the identical image (§5.1.2: "a crash during recovery is
+//                 handled by simply repeating it").
+#ifndef RVM_CHECK_ORACLE_H_
+#define RVM_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/rvm/log_format.h"
+
+namespace rvm {
+
+// Parameters of the reference workload. Everything that affects the op
+// sequence is here, so (workload, schedule) fully determines a run.
+struct CheckerWorkload {
+  uint64_t total_txns = 40;
+  // Every Nth commit uses CommitMode::kFlush; the rest are kNoFlush.
+  uint64_t flush_every = 4;
+  // Truncation policy under test (auto-truncation is inline either way).
+  bool use_incremental_truncation = true;
+  // Low trigger threshold and the smallest allowed log, so the reference
+  // workload truncates mid-run and the forward sweep crosses truncation
+  // windows (crash between segment writes and the status-block advance).
+  double truncation_threshold = 0.25;
+  uint64_t log_size = kLogDataStart + 16 * 1024;
+  uint64_t region_len = 4 * 4096;
+  // Mixed into the per-transaction slot script.
+  uint64_t script_seed = 13;
+};
+
+class WorkloadOracle {
+ public:
+  explicit WorkloadOracle(const CheckerWorkload& workload);
+
+  struct SlotWrite {
+    uint64_t slot;
+    uint64_t value;
+  };
+
+  uint64_t slots() const { return slots_; }
+
+  // The writes transaction i performs (slot 0 := i+1 always comes first).
+  std::vector<SlotWrite> Script(uint64_t txn) const;
+
+  // Model state after the first k transactions.
+  std::vector<uint64_t> StateAfter(uint64_t k) const;
+
+  // Returns k if `image` (slots() uint64 values) equals the model after
+  // exactly k transactions, nullopt otherwise (atomicity violation).
+  std::optional<uint64_t> MatchPrefix(const uint64_t* image) const;
+
+ private:
+  CheckerWorkload workload_;
+  uint64_t slots_;
+};
+
+}  // namespace rvm
+
+#endif  // RVM_CHECK_ORACLE_H_

@@ -31,37 +31,52 @@ struct CrashSimState {
   std::map<std::string, std::shared_ptr<CrashFileData>> files;
   bool crashed = false;
   uint64_t persisted = 0;
+  uint64_t ops_persisted = 0;
   uint64_t syncs = 0;
   uint64_t fake_time = 0;
 
-  // Applies one pending op to the durable image, honoring the persist budget.
-  // Returns false if the budget ran out (crash!), possibly after a torn
-  // partial application.
-  bool PersistOp(CrashFileData& file, const PendingOp& op) {
-    if (op.is_resize) {
-      file.durable.resize(op.new_size);
-      return true;
-    }
-    uint64_t budget_left = options.persist_budget - persisted;
-    uint64_t n = op.data.size();
-    if (n > budget_left) {
-      if (options.torn_writes && budget_left > 0) {
-        // Torn write: a prefix of this write reaches the platter.
-        if (file.durable.size() < op.offset + budget_left) {
-          file.durable.resize(op.offset + budget_left);
-        }
-        std::memcpy(file.durable.data() + op.offset, op.data.data(),
-                    budget_left);
-        persisted += budget_left;
-      }
+  // Applies one pending op to the durable image, honoring the persist budget
+  // and the op-indexed crash point (unless `enforce_limits` is false: crash-
+  // time subset writeback bypasses both, the crash instant is already fixed).
+  // Returns false if a limit was hit (crash!), possibly after a torn partial
+  // application.
+  bool PersistOp(CrashFileData& file, const PendingOp& op,
+                 bool enforce_limits = true) {
+    if (enforce_limits && ops_persisted >= options.crash_at_op) {
+      // Op-indexed power failure: this op (and everything after) stays
+      // volatile. No torn application — op indices are exact durable-prefix
+      // boundaries; byte-granular tearing is the budget's job.
       crashed = true;
       return false;
+    }
+    if (op.is_resize) {
+      file.durable.resize(op.new_size);
+      ++ops_persisted;
+      return true;
+    }
+    uint64_t n = op.data.size();
+    if (enforce_limits) {
+      uint64_t budget_left = options.persist_budget - persisted;
+      if (n > budget_left) {
+        if (options.torn_writes && budget_left > 0) {
+          // Torn write: a prefix of this write reaches the platter.
+          if (file.durable.size() < op.offset + budget_left) {
+            file.durable.resize(op.offset + budget_left);
+          }
+          std::memcpy(file.durable.data() + op.offset, op.data.data(),
+                      budget_left);
+          persisted += budget_left;
+        }
+        crashed = true;
+        return false;
+      }
     }
     if (file.durable.size() < op.offset + n) {
       file.durable.resize(op.offset + n);
     }
     std::memcpy(file.durable.data() + op.offset, op.data.data(), n);
     persisted += n;
+    ++ops_persisted;
     return true;
   }
 
@@ -232,6 +247,24 @@ void CrashSimEnv::Crash() {
   state_->crashed = true;
 }
 
+void CrashSimEnv::Crash(Writeback writeback, uint64_t writeback_seed) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (writeback == Writeback::kSubset) {
+    // A fresh generator (not the shared rng, whose state depends on the
+    // whole history) so the persisted subset is a pure function of the seed:
+    // schedules that name the seed replay identically.
+    Xoshiro256 subset_rng(writeback_seed);
+    for (auto& [path, file] : state_->files) {
+      for (const PendingOp& op : file->pending) {
+        if (subset_rng.Chance(0.5)) {
+          state_->PersistOp(*file, op, /*enforce_limits=*/false);
+        }
+      }
+    }
+  }
+  state_->crashed = true;
+}
+
 void CrashSimEnv::Recover() {
   std::lock_guard<std::mutex> lock(state_->mu);
   for (auto it = state_->files.begin(); it != state_->files.end();) {
@@ -246,8 +279,10 @@ void CrashSimEnv::Recover() {
     ++it;
   }
   state_->crashed = false;
-  // Allow the recovered process a fresh persistence budget.
+  // Allow the recovered process a fresh persistence budget and disarm the
+  // op-indexed crash point; callers re-arm to crash during recovery.
   state_->options.persist_budget = UINT64_MAX;
+  state_->options.crash_at_op = UINT64_MAX;
 }
 
 void CrashSimEnv::DropPendingWrites(const std::string& path) {
@@ -264,6 +299,12 @@ void CrashSimEnv::SetPersistBudget(uint64_t remaining) {
       remaining == UINT64_MAX ? UINT64_MAX : state_->persisted + remaining;
 }
 
+void CrashSimEnv::SetCrashAtOp(uint64_t remaining) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->options.crash_at_op =
+      remaining == UINT64_MAX ? UINT64_MAX : state_->ops_persisted + remaining;
+}
+
 bool CrashSimEnv::crashed() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->crashed;
@@ -272,6 +313,11 @@ bool CrashSimEnv::crashed() const {
 uint64_t CrashSimEnv::bytes_persisted() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->persisted;
+}
+
+uint64_t CrashSimEnv::ops_persisted() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ops_persisted;
 }
 
 uint64_t CrashSimEnv::sync_count() const {

@@ -10,6 +10,17 @@
 //   - A persist budget (in bytes) can force a crash in the middle of a Sync,
 //     so sweeping the budget from 0 upward exercises recovery against every
 //     possible durable prefix of a workload.
+//   - An op-indexed crash point (SetCrashAtOp) forces a crash at an exact
+//     durable-prefix boundary: after N whole pending operations have
+//     persisted, the next one fails and the power is gone. Unlike the byte
+//     budget, op indices are stable identifiers of sync-ordering boundaries,
+//     so a crash-schedule explorer can enumerate and replay them
+//     deterministically (src/check/).
+//   - A crash may additionally persist an arbitrary *subset* of the
+//     still-pending writes (Crash(Writeback::kSubset, seed)), modeling a
+//     page cache that wrote back dirty pages in any order before the power
+//     failed. This creates holes: a later unsynced write can reach the
+//     platter while an earlier one does not.
 //
 // After a crash, every file operation fails with kIoError until Recover() is
 // called, which resets each volatile image to its durable image — i.e. the
@@ -39,6 +50,10 @@ class CrashSimEnv : public Env {
     // Bytes allowed to become durable (across all files) before a simulated
     // power failure. Defaults to unlimited.
     uint64_t persist_budget = UINT64_MAX;
+    // Whole pending operations (writes or resizes, across all files) allowed
+    // to persist before a simulated power failure; the next op fails cleanly
+    // at its boundary. Defaults to unlimited. See SetCrashAtOp.
+    uint64_t crash_at_op = UINT64_MAX;
     // If true, a crash may persist a partial prefix of an individual pending
     // write (torn write). If false, writes persist all-or-nothing.
     bool torn_writes = true;
@@ -47,6 +62,21 @@ class CrashSimEnv : public Env {
     // racing the failure).
     bool flush_on_crash = false;
     uint64_t seed = 1;
+  };
+
+  // What happens to still-pending (unsynced) writes at the moment of a
+  // crash.
+  enum class Writeback {
+    // They are simply lost (plus the legacy flush_on_crash option, which
+    // persists a random per-file prefix).
+    kNone,
+    // Each pending op independently persists with probability 1/2, drawn
+    // from a generator seeded with the given seed: deterministic, and it
+    // produces reordering holes (a later write persists, an earlier one
+    // does not), the schedule family where torn-tail-vs-corruption
+    // misjudgements hide. Ignores the persist budget and op limit — the
+    // crash instant is already fixed; these are writebacks that raced it.
+    kSubset,
   };
 
   CrashSimEnv() : CrashSimEnv(Options{}) {}
@@ -63,9 +93,17 @@ class CrashSimEnv : public Env {
   // (after optional random writeback, per Options::flush_on_crash).
   void Crash();
 
+  // Power failure with explicit crash-time writeback. Callable when already
+  // crashed (e.g. after an op-limit crash) to model dirty pages that reached
+  // the platter before the failure; pending writes are still known then, as
+  // Recover() is what discards them.
+  void Crash(Writeback writeback, uint64_t writeback_seed);
+
   // Restores service after a crash: volatile images := durable images.
   // Also usable without a crash to model a clean process restart that lost
-  // its page cache.
+  // its page cache. Clears the persist budget AND the op-indexed crash
+  // point; re-arm with SetPersistBudget/SetCrashAtOp to crash *during
+  // recovery* (nested crash schedules).
   void Recover();
 
   bool crashed() const;
@@ -74,6 +112,11 @@ class CrashSimEnv : public Env {
   // before the next simulated power failure. Useful for crashing *during
   // recovery* (the budget is otherwise cleared by Recover()).
   void SetPersistBudget(uint64_t remaining);
+
+  // Re-arms the op-indexed fault injector: `remaining` more whole pending
+  // ops may persist; the next one fails at its boundary and the environment
+  // crashes. remaining == UINT64_MAX disarms.
+  void SetCrashAtOp(uint64_t remaining);
 
   // Discards all pending (not-yet-synced) writes on `path` without marking
   // the environment crashed. The volatile image is unchanged — the process
@@ -84,6 +127,11 @@ class CrashSimEnv : public Env {
 
   // Total bytes persisted so far (counts against persist_budget).
   uint64_t bytes_persisted() const;
+
+  // Whole pending ops persisted so far (counts against crash_at_op). A
+  // deterministic workload persists a fixed op sequence, so op indices from
+  // a baseline run identify every durable-prefix boundary of that workload.
+  uint64_t ops_persisted() const;
 
   // Number of fsync calls observed (for write-amplification assertions).
   uint64_t sync_count() const;

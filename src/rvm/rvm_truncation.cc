@@ -162,6 +162,7 @@ Status RvmInstance::TruncateEpochBothLocked() {
   if (!runtime_.log_archive_prefix.empty()) {
     RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked());
   }
+  ++stats_.truncations_started;
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
       &stats_.truncation_records_applied, &stats_.truncation_bytes_applied));
   log_->MarkEmpty();
@@ -177,6 +178,7 @@ Status RvmInstance::TruncateEpochBothLocked() {
   for (auto& [base, region] : regions_) {
     region->pages.ClearDirtyAndQueued();
   }
+  ++stats_.truncations_completed;
   ++stats_.epoch_truncations;
   return OkStatus();
 }
@@ -251,6 +253,9 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
       segment_files_[region->segment_id] = std::move(file);
     }
     File* file = segment_files_[region->segment_id].get();
+    if (!advanced) {
+      ++stats_.truncations_started;
+    }
     RVM_RETURN_IF_ERROR(
         file->WriteAt(region->segment_offset + page_start,
                       std::span<const uint8_t>(region->base + page_start, page_len)));
@@ -290,7 +295,9 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
   Status status_write = log_->WriteStatus();
   if (!status_write.ok()) {
     Poison(status_write);
+    return status_write;
   }
+  ++stats_.truncations_completed;
   return status_write;
 }
 

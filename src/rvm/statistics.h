@@ -97,6 +97,15 @@ struct RvmStatistics {
   StatCounter commit_latency_min_us{UINT64_MAX};
   StatCounter commit_latency_max_us;
 
+  // In-flight truncation window, for the crash-schedule explorer
+  // (src/check/): started is bumped when a truncation begins writing
+  // segment data, completed once its status-block write lands. A crash that
+  // observes started > completed fell between a truncation segment write
+  // and the head advance that acknowledges it — the window recovery must
+  // make harmless.
+  StatCounter truncations_started;
+  StatCounter truncations_completed;
+
   StatCounter epoch_truncations;
   StatCounter incremental_steps;
   StatCounter incremental_pages_written;
@@ -155,6 +164,8 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("commit latency min us:",
       samples > 0 ? stats.commit_latency_min_us.load() : 0);
   row("commit latency max us:", stats.commit_latency_max_us);
+  row("truncations started:", stats.truncations_started);
+  row("truncations completed:", stats.truncations_completed);
   row("epoch truncations:", stats.epoch_truncations);
   row("incremental steps:", stats.incremental_steps);
   row("incremental pages written:", stats.incremental_pages_written);

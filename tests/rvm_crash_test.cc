@@ -1,25 +1,28 @@
 // Crash-recovery property tests.
 //
-// Strategy: run a deterministic scripted workload on a CrashSimEnv whose
-// persist budget forces a power failure after B durable bytes; sweep B so
-// recovery is exercised against (essentially) every durable prefix the
-// workload can produce, including torn record writes. After each crash,
-// recovery runs (RvmInstance::Initialize) and two properties are checked
-// against a replayed model:
+// Strategy: run the deterministic scripted workload from src/check/ on a
+// CrashSimEnv and crash it at *op-indexed* durable-prefix boundaries — the
+// Nth whole pending operation that persists — via the CrashExplorer, which
+// validates every recovered state against the whole-transaction oracle:
 //
 //   ATOMICITY   — the recovered region equals the model state after exactly
 //                 k whole transactions, for some k (never a partial
 //                 transaction).
 //   PERMANENCE  — k covers every kFlush commit whose EndTransaction returned
 //                 OK before the crash.
+//   IDEMPOTENCE — repeating recovery reproduces the identical image.
 //
-// A separate test crashes *during recovery itself* to verify idempotency
-// (§5.1.2: the status-block update is deferred to the end).
+// Op indices are exact, replayable boundaries; the byte-budget sweep below
+// is kept for what op boundaries cannot express — a crash *inside* a single
+// write during Sync, tearing the record mid-byte. A separate test crashes
+// during recovery itself (§5.1.2: the status-block update is deferred to
+// the end, so recovery reruns from scratch).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <optional>
 
+#include "src/check/crash_explorer.h"
 #include "src/os/crash_sim.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
@@ -31,54 +34,13 @@ namespace {
 constexpr uint64_t kPage = 4096;
 constexpr uint64_t kRegionLen = 4 * kPage;
 constexpr uint64_t kSlots = kRegionLen / sizeof(uint64_t);
-constexpr uint64_t kLogSize = kLogDataStart + 96 * 1024;  // small: truncations happen
+constexpr uint64_t kLogSize = kLogDataStart + 16 * 1024;
 
-// The scripted workload: transaction i deterministically writes a handful of
-// slots. Slot 0 always records the transaction index, so a recovered state
-// can be located in the model's history.
-struct SlotWrite {
-  uint64_t slot;
-  uint64_t value;
-};
-
-std::vector<SlotWrite> TxnScript(uint64_t i) {
-  Xoshiro256 rng(i * 7919 + 13);
-  std::vector<SlotWrite> writes;
-  writes.push_back({0, i + 1});  // txn sequence marker, 1-based
-  uint64_t count = 2 + rng.Below(4);
-  for (uint64_t w = 0; w < count; ++w) {
-    uint64_t slot = 1 + rng.Below(kSlots - 1);
-    writes.push_back({slot, i * 1000003 + slot});
-  }
-  return writes;
+CheckerWorkload MakeWorkload(bool use_incremental) {
+  CheckerWorkload workload;  // defaults: small log, truncations happen
+  workload.use_incremental_truncation = use_incremental;
+  return workload;
 }
-
-// Model state after the first k transactions.
-std::vector<uint64_t> ModelAfter(uint64_t k) {
-  std::vector<uint64_t> slots(kSlots, 0);
-  for (uint64_t i = 0; i < k; ++i) {
-    for (const SlotWrite& write : TxnScript(i)) {
-      slots[write.slot] = write.value;
-    }
-  }
-  return slots;
-}
-
-// Returns k if `slots` equals the model after exactly k transactions.
-std::optional<uint64_t> MatchModel(const uint64_t* slots) {
-  uint64_t k = slots[0];  // txn marker: state should be model after k txns
-  std::vector<uint64_t> model = ModelAfter(k);
-  if (std::memcmp(slots, model.data(), kSlots * sizeof(uint64_t)) == 0) {
-    return k;
-  }
-  return std::nullopt;
-}
-
-struct WorkloadConfig {
-  uint64_t total_txns = 40;
-  uint64_t flush_every = 4;     // every Nth commit uses kFlush
-  bool use_incremental = true;  // truncation policy under test
-};
 
 struct WorkloadOutcome {
   // Highest 1-based txn index whose kFlush commit returned OK.
@@ -88,14 +50,17 @@ struct WorkloadOutcome {
   bool crashed = false;
 };
 
-// Runs the workload until completion or simulated crash.
-WorkloadOutcome RunWorkload(CrashSimEnv& env, const WorkloadConfig& config) {
+// Runs the scripted workload until completion or simulated crash. Used by
+// the byte-budget tests; the op-indexed sweeps go through CrashExplorer.
+WorkloadOutcome RunWorkload(CrashSimEnv& env, const CheckerWorkload& config) {
+  WorkloadOracle oracle(config);
   WorkloadOutcome outcome;
   RvmOptions options;
   options.env = &env;
   options.log_path = "/log";
-  options.runtime.use_incremental_truncation = config.use_incremental;
-  options.runtime.truncation_threshold = 0.5;
+  options.runtime.use_incremental_truncation =
+      config.use_incremental_truncation;
+  options.runtime.truncation_threshold = config.truncation_threshold;
   auto rvm = RvmInstance::Initialize(options);
   if (!rvm.ok()) {
     outcome.crashed = true;
@@ -103,7 +68,7 @@ WorkloadOutcome RunWorkload(CrashSimEnv& env, const WorkloadConfig& config) {
   }
   RegionDescriptor region;
   region.segment_path = "/seg";
-  region.length = kRegionLen;
+  region.length = config.region_len;
   if (!(*rvm)->Map(region).ok()) {
     outcome.crashed = true;
     return outcome;
@@ -117,7 +82,7 @@ WorkloadOutcome RunWorkload(CrashSimEnv& env, const WorkloadConfig& config) {
       return outcome;
     }
     bool txn_ok = true;
-    for (const SlotWrite& write : TxnScript(i)) {
+    for (const WorkloadOracle::SlotWrite& write : oracle.Script(i)) {
       if (!(*rvm)->Modify(*tid, &slots[write.slot], &write.value,
                           sizeof(uint64_t)).ok()) {
         txn_ok = false;
@@ -145,24 +110,26 @@ WorkloadOutcome RunWorkload(CrashSimEnv& env, const WorkloadConfig& config) {
   return outcome;
 }
 
-// Recovers after a crash and validates the two properties.
+// Recovers after a crash and validates atomicity + permanence.
 void ValidateAfterCrash(CrashSimEnv& env, const WorkloadOutcome& outcome,
-                        const WorkloadConfig& config, uint64_t budget) {
+                        const CheckerWorkload& config, uint64_t budget) {
+  WorkloadOracle oracle(config);
   env.Recover();
   RvmOptions options;
   options.env = &env;
   options.log_path = "/log";
-  options.runtime.use_incremental_truncation = config.use_incremental;
+  options.runtime.use_incremental_truncation =
+      config.use_incremental_truncation;
   auto rvm = RvmInstance::Initialize(options);
   ASSERT_TRUE(rvm.ok()) << "recovery failed (budget=" << budget
                         << "): " << rvm.status().ToString();
   RegionDescriptor region;
   region.segment_path = "/seg";
-  region.length = kRegionLen;
+  region.length = config.region_len;
   ASSERT_TRUE((*rvm)->Map(region).ok());
   const auto* slots = static_cast<const uint64_t*>(region.address);
 
-  std::optional<uint64_t> k = MatchModel(slots);
+  std::optional<uint64_t> k = oracle.MatchPrefix(slots);
   ASSERT_TRUE(k.has_value())
       << "ATOMICITY violated at budget " << budget
       << ": recovered state matches no transaction prefix (marker="
@@ -175,35 +142,84 @@ void ValidateAfterCrash(CrashSimEnv& env, const WorkloadOutcome& outcome,
       << "recovered MORE transactions than were ever committed";
 }
 
-class CrashSweepTest
-    : public ::testing::TestWithParam<std::tuple<bool, uint64_t>> {};
+// --------------------------------------------------------------------------
+// Op-indexed crash sweep: every durable-prefix boundary of the workload,
+// for both truncation policies, via the crash-schedule explorer.
+// --------------------------------------------------------------------------
+
+class CrashSweepTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(CrashSweepTest, EveryDurablePrefixRecoversConsistently) {
-  const auto [use_incremental, budget_seed] = GetParam();
-  WorkloadConfig config;
-  config.use_incremental = use_incremental;
+  CrashExplorer explorer(MakeWorkload(/*use_incremental=*/GetParam()));
+  ExploreLimits limits;
+  limits.max_depth = 1;  // forward crashes only; depth 2+ in explorer tests
+  auto stats = explorer.ExploreAll(limits, [](const ScheduleOutcome& outcome) {
+    EXPECT_TRUE(outcome.pass)
+        << outcome.schedule.ToString() << ": " << outcome.detail;
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->failed, 0u);
+  // One schedule per op boundary plus fwd=end; a vacuous sweep means the
+  // workload persisted almost nothing.
+  EXPECT_GE(stats->schedules_run, 40u);
+  EXPECT_GT(stats->truncation_window_schedules, 0u)
+      << "no crash landed inside a truncation; workload mis-scaled";
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CrashSweepTest, ::testing::Bool(),
+                         [](const auto& suite_info) {
+                           return std::string(suite_info.param ? "Incremental"
+                                                               : "Epoch");
+                         });
+
+TEST(CrashModelSelfTest, MatcherRejectsTornStates) {
+  // Meta-test: the oracle matcher must actually discriminate. A state that
+  // applies only *part* of transaction k's writes must match no prefix.
+  WorkloadOracle oracle(MakeWorkload(true));
+  ASSERT_EQ(oracle.slots(), kSlots);
+  std::vector<uint64_t> state = oracle.StateAfter(10);
+  std::vector<WorkloadOracle::SlotWrite> partial = oracle.Script(10);
+  ASSERT_GE(partial.size(), 3u);
+  // Apply the marker and one write, but not the rest: a torn transaction.
+  state[partial[0].slot] = partial[0].value;
+  state[partial[1].slot] = partial[1].value;
+  EXPECT_FALSE(oracle.MatchPrefix(state.data()).has_value());
+  // Completing the transaction makes it match again.
+  for (const WorkloadOracle::SlotWrite& write : partial) {
+    state[write.slot] = write.value;
+  }
+  auto k = oracle.MatchPrefix(state.data());
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 11u);
+}
+
+// --------------------------------------------------------------------------
+// Byte-budget sweep: the one crash family op indices cannot express — power
+// failing *inside* a single write during Sync, tearing the record mid-byte.
+// --------------------------------------------------------------------------
+
+TEST(CrashByteBudgetTest, MidSyncTornWritesRecoverConsistently) {
+  CheckerWorkload config = MakeWorkload(true);
 
   // First, measure the total bytes a full run persists, to scale the sweep.
   uint64_t full_bytes = 0;
   {
     CrashSimEnv env;
-    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", config.log_size).ok());
     WorkloadOutcome outcome = RunWorkload(env, config);
     ASSERT_FALSE(outcome.crashed);
     full_bytes = env.bytes_persisted();
   }
   ASSERT_GT(full_bytes, 0u);
 
-  // Sweep ~24 crash points spread over the run, jittered by the seed so the
-  // parameterized instances together cover many distinct torn positions.
-  Xoshiro256 rng(budget_seed);
+  // Sweep ~24 crash points spread over the run, jittered so the budgets land
+  // at odd offsets inside individual writes (torn records).
+  Xoshiro256 rng(7);
   int crashes_exercised = 0;
   for (int point = 0; point < 24; ++point) {
     uint64_t budget = full_bytes * (point + 1) / 25 + rng.Below(97);
-    CrashSimEnv::Options env_options;
-    env_options.persist_budget = UINT64_MAX;  // creation must succeed
-    CrashSimEnv env(env_options);
-    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+    CrashSimEnv env;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", config.log_size).ok());
     uint64_t setup_bytes = env.bytes_persisted();
     env.SetPersistBudget(budget > setup_bytes ? budget - setup_bytes : 0);
 
@@ -221,39 +237,12 @@ TEST_P(CrashSweepTest, EveryDurablePrefixRecoversConsistently) {
       << "sweep barely crashed anything; budgets mis-scaled, test is vacuous";
 }
 
-TEST(CrashModelSelfTest, MatcherRejectsTornStates) {
-  // Meta-test: the model matcher must actually discriminate. A state that
-  // applies only *part* of transaction k's writes must match no prefix.
-  std::vector<uint64_t> state = ModelAfter(10);
-  std::vector<SlotWrite> partial = TxnScript(10);
-  ASSERT_GE(partial.size(), 3u);
-  // Apply the marker and one write, but not the rest: a torn transaction.
-  state[partial[0].slot] = partial[0].value;
-  state[partial[1].slot] = partial[1].value;
-  EXPECT_FALSE(MatchModel(state.data()).has_value());
-  // Completing the transaction makes it match again.
-  for (const SlotWrite& write : partial) {
-    state[write.slot] = write.value;
-  }
-  auto k = MatchModel(state.data());
-  ASSERT_TRUE(k.has_value());
-  EXPECT_EQ(*k, 11u);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Policies, CrashSweepTest,
-    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 2, 3)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param) ? "Incremental" : "Epoch") +
-             "Seed" + std::to_string(std::get<1>(info.param));
-    });
-
 TEST(CrashRecoveryTest, CrashWithBudgetLeftLosesOnlyUnflushed) {
-  // A plain process kill (no budget exhaustion): everything fsynced must
-  // survive, spooled no-flush txns may vanish, atomicity holds.
-  WorkloadConfig config;
+  // A plain process kill (no fault armed): everything fsynced must survive,
+  // spooled no-flush txns may vanish, atomicity holds.
+  CheckerWorkload config = MakeWorkload(true);
   CrashSimEnv env;
-  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", config.log_size).ok());
   WorkloadOutcome outcome = RunWorkload(env, config);
   ASSERT_FALSE(outcome.crashed);
   env.Crash();
@@ -261,40 +250,42 @@ TEST(CrashRecoveryTest, CrashWithBudgetLeftLosesOnlyUnflushed) {
 }
 
 TEST(CrashRecoveryTest, RecoveryItselfIsIdempotentUnderCrashes) {
-  // Crash the recovery pass repeatedly at increasing budgets until it
+  // Crash the recovery pass at every op boundary (0, 1, 2, ...) until it
   // finally completes; the final state must satisfy the same properties.
-  WorkloadConfig config;
+  // This is the op-indexed rendering of §5.1.2's claim that a crash during
+  // recovery is handled by simply repeating recovery.
+  CheckerWorkload config = MakeWorkload(true);
   config.total_txns = 30;
   config.flush_every = 3;
 
   CrashSimEnv env;
-  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
+  ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", config.log_size).ok());
   WorkloadOutcome outcome = RunWorkload(env, config);
   ASSERT_FALSE(outcome.crashed);
   env.Crash();
 
   int crashes_during_recovery = 0;
-  for (uint64_t budget = 512;; budget += 1024) {
+  for (uint64_t rec_op = 0;; ++rec_op) {
     env.Recover();
-    env.SetPersistBudget(budget);
+    env.SetCrashAtOp(rec_op);
     RvmOptions options;
     options.env = &env;
     options.log_path = "/log";
     auto rvm = RvmInstance::Initialize(options);
     if (rvm.ok()) {
-      // Give the instance unlimited budget for the remainder (destructor
-      // writes a clean status block).
-      env.SetPersistBudget(UINT64_MAX);
+      // Recovery persisted fewer than rec_op ops: the sweep is exhausted.
+      env.SetCrashAtOp(UINT64_MAX);
       break;
     }
+    ASSERT_TRUE(env.crashed())
+        << "recovery failed without a crash at rec op " << rec_op << ": "
+        << rvm.status().ToString();
     ++crashes_during_recovery;
-    ASSERT_LT(crashes_during_recovery, 1000) << "recovery never completed";
-    if (!env.crashed()) {
-      env.Crash();
-    }
+    ASSERT_LT(crashes_during_recovery, 10000) << "recovery never completed";
   }
   EXPECT_GT(crashes_during_recovery, 0)
-      << "test expected at least one mid-recovery crash; budgets too large";
+      << "recovery persisted nothing; op sweep is vacuous";
+  env.Crash();
   ValidateAfterCrash(env, outcome, config, 0);
 }
 
@@ -510,9 +501,9 @@ TEST(CrashRecoveryTest, RandomWritebackAtCrashStillAtomic) {
     env_options.torn_writes = true;
     env_options.seed = seed;
     CrashSimEnv env(env_options);
-    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", kLogSize).ok());
-    WorkloadConfig config;
+    CheckerWorkload config = MakeWorkload(true);
     config.total_txns = 20;
+    ASSERT_TRUE(RvmInstance::CreateLog(&env, "/log", config.log_size).ok());
     WorkloadOutcome outcome = RunWorkload(env, config);
     ASSERT_FALSE(outcome.crashed);
     env.Crash();  // triggers randomized writeback

@@ -11,14 +11,21 @@
 //   rvmutl LOG records [N]                 list the newest N live records
 //   rvmutl LOG history SEG OFFSET LEN      modification history of a range
 //   rvmutl LOG verify                      structural check of the live log
-//                                          (+ salvage report when corrupt)
+//                                          (+ salvage report when corrupt;
+//                                          exit 3 if committed data is lost)
+//   rvmutl explore [options]               crash-schedule exploration of the
+//                                          reference workload (src/check/);
+//                                          --replay=STRING re-runs one
+//                                          schedule deterministically
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/check/crash_explorer.h"
 #include "src/os/file.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
@@ -176,12 +183,15 @@ int CmdHistory(LogDevice& log, const std::string& segment, uint64_t offset,
 // be read anywhere in the area (magic-byte scan, CRC validated) and where
 // the readable sequence breaks, so the operator can see exactly which
 // committed transactions survive the corruption and which are lost.
-void SalvageReport(LogDevice& log) {
+// Returns true if the report found a gap — committed data that can no
+// longer be read (scripts key exit code 3 off this).
+bool SalvageReport(LogDevice& log) {
+  bool lost_committed_data = false;
   auto scan = log.ScanForRecords(/*min_seqno=*/0, /*max_results=*/1 << 20);
   if (!scan.ok()) {
     std::fprintf(stderr, "salvage: scan failed: %s\n",
                  scan.status().ToString().c_str());
-    return;
+    return lost_committed_data;
   }
   struct Item {
     uint64_t seqno;
@@ -220,17 +230,21 @@ void SalvageReport(LogDevice& log) {
                    "salvage:   GAP: seqno %" PRIu64 "..%" PRIu64
                    " unreadable — committed data lost\n",
                    items[j].seqno + 1, items[j + 1].seqno - 1);
+      lost_committed_data = true;
     }
     i = j + 1;
   }
+  return lost_committed_data;
 }
 
 int CmdVerify(LogDevice& log) {
   auto records = LiveRecords(log);
   if (!records.ok()) {
     std::fprintf(stderr, "INVALID: %s\n", records.status().ToString().c_str());
-    SalvageReport(log);
-    return 1;
+    // Exit 3 when the salvage scan proves committed transactions are gone
+    // (a seqno gap), so monitoring can distinguish "log damaged but data
+    // recoverable elsewhere in the area" from actual data loss.
+    return SalvageReport(log) ? 3 : 1;
   }
   uint64_t transactions = 0;
   uint64_t fillers = 0;
@@ -277,19 +291,153 @@ int CmdStats(const std::string& log_path) {
   return 0;
 }
 
+// Prints one schedule outcome. Failing schedules lead with their repro
+// string so an operator (or CI log scraper) can replay them directly.
+void PrintOutcome(const ScheduleOutcome& outcome) {
+  if (outcome.pass) {
+    std::printf("PASS %s%s%s (recovered to txn %" PRIu64 ")\n",
+                outcome.schedule.ToString().c_str(),
+                outcome.fail_stop ? " [fail-stop]" : "",
+                outcome.truncation_window ? " [truncation window]" : "",
+                outcome.recovered_prefix);
+  } else {
+    std::printf("FAIL %s  %s\n", outcome.schedule.ToString().c_str(),
+                outcome.detail.c_str());
+  }
+}
+
+int CmdExplore(int argc, char** argv) {
+  CheckerWorkload workload;
+  ExploreLimits limits;
+  std::string replay;
+  std::string out_path;
+  bool verbose = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = value("--replay="))) {
+      replay = v;
+    } else if ((v = value("--out="))) {
+      out_path = v;
+    } else if ((v = value("--txns="))) {
+      workload.total_txns = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--flush-every="))) {
+      workload.flush_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--epoch") {
+      workload.use_incremental_truncation = false;
+    } else if ((v = value("--depth="))) {
+      limits.max_depth = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--forward-stride="))) {
+      limits.forward_stride = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--recovery-stride="))) {
+      limits.recovery_stride = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--max-schedules="))) {
+      limits.max_schedules = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--subset-seeds="))) {
+      // Comma-separated seeds, applied at both forward and recovery points.
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        uint64_t seed = std::strtoull(p, &end, 10);
+        if (end == p || seed == 0) {
+          std::fprintf(stderr, "bad --subset-seeds value (nonzero comma-"
+                       "separated integers): %s\n", v);
+          return 2;
+        }
+        limits.forward_subset_seeds.push_back(seed);
+        limits.recovery_subset_seeds.push_back(seed);
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown explore option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  CrashExplorer explorer(workload);
+  if (!replay.empty()) {
+    auto schedule = CrashSchedule::Parse(replay);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "bad --replay string: %s\n",
+                   schedule.status().ToString().c_str());
+      return 2;
+    }
+    ScheduleOutcome outcome = explorer.RunSchedule(*schedule);
+    PrintOutcome(outcome);
+    return outcome.pass ? 0 : 1;
+  }
+
+  std::FILE* out = nullptr;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 2;
+    }
+  }
+  uint64_t failures = 0;
+  auto on_result = [&](const ScheduleOutcome& outcome) {
+    if (!outcome.pass) {
+      ++failures;
+      PrintOutcome(outcome);
+      if (out != nullptr) {
+        std::fprintf(out, "%s\n", outcome.schedule.ToString().c_str());
+        std::fflush(out);
+      }
+    } else if (verbose) {
+      PrintOutcome(outcome);
+    }
+  };
+  auto stats = explorer.ExploreAll(limits, on_result);
+  if (out != nullptr) {
+    std::fclose(out);
+  }
+  if (!stats.ok()) {
+    std::fprintf(stderr, "explore failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("explored %" PRIu64 " crash schedule(s): %" PRIu64 " passed, %"
+              PRIu64 " failed\n",
+              stats->schedules_run, stats->passed, stats->failed);
+  std::printf("  forward op boundaries: %" PRIu64 "  max depth: %" PRIu64
+              "  fail-stops: %" PRIu64 "  truncation-window crashes: %" PRIu64
+              "%s\n",
+              stats->baseline_ops, stats->max_depth_reached, stats->fail_stops,
+              stats->truncation_window_schedules,
+              stats->budget_exhausted ? "  (schedule budget exhausted)" : "");
+  return failures == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: rvmutl LOG COMMAND\n"
+               "usage: rvmutl LOG COMMAND   |   rvmutl explore [options]\n"
                "  status                   show the status block\n"
                "  segments                 list the segment dictionary\n"
                "  records [N]              list newest N live records (default 20)\n"
                "  history SEG OFFSET LEN   modification history of a byte range\n"
                "  verify                   validate the live log structure\n"
-               "  stats                    run recovery, print RVM statistics\n");
+               "                           (exit 3 if committed data is lost)\n"
+               "  stats                    run recovery, print RVM statistics\n"
+               "  explore                  enumerate crash schedules against the\n"
+               "                           oracle; options: --txns=N --flush-every=N\n"
+               "                           --epoch --depth=N --forward-stride=N\n"
+               "                           --recovery-stride=N --subset-seeds=a,b\n"
+               "                           --max-schedules=N --out=FILE -v\n"
+               "                           --replay=STRING (re-run one schedule)\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "explore") == 0) {
+    // Runs entirely on an in-memory simulated environment; takes no LOG.
+    return CmdExplore(argc, argv);
+  }
   if (argc < 3) {
     return Usage();
   }
