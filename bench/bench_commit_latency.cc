@@ -7,6 +7,9 @@
 // entirely and their latency is pure CPU. No-restore transactions skip the
 // old-value copy at set_range time.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/rvm/rvm.h"
 #include "src/sim/sim_clock.h"
@@ -20,6 +23,7 @@ struct ModeResult {
   double commit_ms = 0;     // average end_transaction latency
   double total_ms = 0;      // average whole-transaction latency
   double cpu_ms = 0;
+  RvmStatistics stats;      // full counter/histogram snapshot for --json
 };
 
 ModeResult RunMode(RestoreMode restore, CommitMode commit, uint64_t txns,
@@ -61,17 +65,33 @@ ModeResult RunMode(RestoreMode restore, CommitMode commit, uint64_t txns,
   (void)(*rvm)->Flush();
 
   ModeResult result;
+  result.stats = (*rvm)->statistics().Snapshot();
   result.commit_ms = commit_time / static_cast<double>(txns) / 1000.0;
   result.total_ms = clock.now_micros() / static_cast<double>(txns) / 1000.0;
   result.cpu_ms = clock.cpu_micros() / static_cast<double>(txns) / 1000.0;
   return result;
 }
 
-int Main() {
-  constexpr uint64_t kTxns = 500;
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "-";
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json[=FILE]]\n", argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t kTxns = quick ? 50 : 500;
   constexpr uint64_t kBytes = 512;
   std::printf("Commit latency by transaction mode (§4.2 / §5.1.1), 512-byte "
-              "ranges\n\n");
+              "ranges%s\n\n", quick ? " [quick]" : "");
   std::printf("%-28s %12s %12s %10s\n", "Mode", "commit ms", "total ms",
               "cpu ms");
 
@@ -103,6 +123,44 @@ int Main() {
               "flush-mode measured %.1f tps (%.0f%% of bound)\n\n",
               bound_tps, measured_tps, 100.0 * measured_tps / bound_tps);
 
+  if (!json_path.empty()) {
+    auto run = [&](const char* name, const ModeResult& result) {
+      return StatisticsJsonRun(
+          name, result.stats,
+          {{"txns", kTxns},
+           {"range_bytes", kBytes},
+           {"commit_avg_us", static_cast<uint64_t>(result.commit_ms * 1000.0)},
+           {"total_avg_us", static_cast<uint64_t>(result.total_ms * 1000.0)},
+           {"cpu_avg_us", static_cast<uint64_t>(result.cpu_ms * 1000.0)}});
+    };
+    std::string doc = TelemetryJsonDocument(
+        "bench-commit-latency",
+        {run("restore+flush", flush_restore),
+         run("no-restore+flush", flush_norestore),
+         run("restore+no-flush", noflush_restore),
+         run("no-restore+no-flush", noflush_norestore)});
+    if (json_path == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::fputs(doc.c_str(), out);
+      std::fclose(out);
+      std::printf("telemetry JSON written to %s\n\n", json_path.c_str());
+    }
+  }
+
+  if (quick) {
+    // Quick mode exists to exercise the telemetry pipeline in CI; the latency
+    // shape checks are calibrated for the full run.
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
+
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
     std::printf("shape: %-64s %s\n", what, condition ? "OK" : "VIOLATED");
@@ -122,4 +180,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

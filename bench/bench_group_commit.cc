@@ -102,7 +102,7 @@ RunResult RunThreads(const std::string& dir, unsigned threads) {
     std::exit(1);
   }
 
-  const RvmStatistics& stats = (*rvm)->statistics();
+  const RvmStatistics stats = (*rvm)->statistics().Snapshot();
   RunResult result;
   result.txns = stats.transactions_committed;
   result.forces = stats.log_forces;

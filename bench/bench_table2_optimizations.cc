@@ -9,6 +9,8 @@
 // statistics counters, so the percentages are genuine library behaviour, not
 // a model.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/os/mem_env.h"
@@ -24,7 +26,7 @@ struct MachineProfile {
   double paper_inter;
 };
 
-std::vector<MachineProfile> Profiles() {
+std::vector<MachineProfile> Profiles(uint64_t operations) {
   std::vector<MachineProfile> machines;
   auto add = [&](const char* name, bool client, double dup_rate,
                  double status_fraction, uint64_t burst_min,
@@ -33,7 +35,7 @@ std::vector<MachineProfile> Profiles() {
     CodaProfile profile;
     profile.machine = name;
     profile.client = client;
-    profile.operations = 4000;
+    profile.operations = operations;
     profile.duplicate_set_range_rate = dup_rate;
     profile.status_update_fraction = status_fraction;
     profile.burst_min = burst_min;
@@ -57,15 +59,33 @@ std::vector<MachineProfile> Profiles() {
   return machines;
 }
 
-int Main() {
-  std::printf("Table 2: Savings Due to RVM Optimizations (§7.3)\n");
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "-";
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json[=FILE]]\n", argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t operations = quick ? 800 : 4000;
+  std::printf("Table 2: Savings Due to RVM Optimizations (§7.3)%s\n",
+              quick ? " [quick]" : "");
   std::printf("Measured on Coda-like metadata workloads; paper values in "
               "parentheses.\n\n");
   std::printf("%-18s %12s %14s | %18s %18s %18s\n", "Machine", "Txns",
               "Log Bytes", "Intra Savings", "Inter Savings", "Total Savings");
 
   bool ok = true;
-  for (const MachineProfile& machine : Profiles()) {
+  std::vector<std::string> json_runs;
+  for (const MachineProfile& machine : Profiles(operations)) {
     MemEnv env;
     Status created =
         RvmInstance::CreateLog(&env, "/log", kLogDataStart + 48ull * 1024 * 1024);
@@ -97,6 +117,22 @@ int Main() {
                 result->total_savings_pct,
                 machine.paper_intra + machine.paper_inter);
 
+    if (!json_path.empty()) {
+      json_runs.push_back(StatisticsJsonRun(
+          machine.profile.machine, (*rvm)->statistics().Snapshot(),
+          {{"workload_txns", result->transactions},
+           {"workload_log_bytes", result->bytes_written_to_log},
+           {"intra_savings_pct_x10",
+            static_cast<uint64_t>(result->intra_savings_pct * 10.0)},
+           {"inter_savings_pct_x10",
+            static_cast<uint64_t>(result->inter_savings_pct * 10.0)}}));
+    }
+
+    if (quick) {
+      // Quick mode exercises the telemetry pipeline; the savings bands are
+      // calibrated for the full 4000-operation run.
+      continue;
+    }
     // Shape checks per the paper's findings.
     if (!machine.profile.client) {
       // "Servers do not benefit from this type of optimization."
@@ -110,6 +146,28 @@ int Main() {
       ok = ok && result->total_savings_pct > 35 && result->total_savings_pct < 90;
     }
   }
+  if (!json_path.empty()) {
+    std::string doc =
+        TelemetryJsonDocument("bench-table2-optimizations", json_runs);
+    if (json_path == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::fputs(doc.c_str(), out);
+      std::fclose(out);
+      std::printf("\ntelemetry JSON written to %s\n", json_path.c_str());
+    }
+  }
+
+  if (quick) {
+    std::printf("\nshape checks skipped in --quick mode\n");
+    return 0;
+  }
   std::printf("\nshape: servers intra-only (~20-30%%), clients both, totals "
               "35-90%%: %s\n", ok ? "OK" : "VIOLATED");
   return ok ? 0 : 1;
@@ -118,4 +176,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -186,6 +186,7 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   Status mapped = recovered->Map(region);
   if (!mapped.ok()) {
     out.detail = "map after recovery failed: " + mapped.ToString();
+    out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
   const auto* slots = static_cast<const uint64_t*>(region.address);
@@ -195,6 +196,7 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
     out.detail = "ATOMICITY: recovered state matches no transaction prefix "
                  "(marker=" +
                  std::to_string(image[0]) + ")";
+    out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
   out.recovered_prefix = *k;
@@ -202,6 +204,7 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
     out.detail = "PERMANENCE: flush-committed txn " +
                  std::to_string(fwd.last_ok_flush) +
                  " lost (recovered to " + std::to_string(*k) + ")";
+    out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
   // An attempted-but-unacknowledged commit may land either way, so the
@@ -213,6 +216,7 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
     out.detail = "recovered txn " + std::to_string(*k) +
                  " whose commit was never attempted (last attempted " +
                  std::to_string(upper) + ")";
+    out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
 
@@ -233,11 +237,13 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   Status mapped2 = (*again)->Map(region2);
   if (!mapped2.ok()) {
     out.detail = "IDEMPOTENCE: re-map failed: " + mapped2.ToString();
+    out.trace_jsonl = (*again)->DumpTraceJsonl();
     return out;
   }
   if (std::memcmp(region2.address, image.data(),
                   oracle_.slots() * sizeof(uint64_t)) != 0) {
     out.detail = "IDEMPOTENCE: repeating recovery changed the image";
+    out.trace_jsonl = (*again)->DumpTraceJsonl();
     return out;
   }
   out.pass = true;

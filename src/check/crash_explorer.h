@@ -80,6 +80,10 @@ struct ScheduleOutcome {
   uint64_t last_attempted_commit = 0;
   // Human-readable explanation when pass is false.
   std::string detail;
+  // Flight recorder: the failing instance's trace ring as JSONL (one event
+  // per line), captured when validation fails with a live instance to dump.
+  // Empty on pass and on failures where no instance survived to ask.
+  std::string trace_jsonl;
 };
 
 // Enumeration bounds for ExploreAll.

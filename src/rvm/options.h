@@ -93,6 +93,16 @@ struct RvmOptions {
   // is single-threaded); benchmarks use kInline.
   TruncationMode truncation_mode = TruncationMode::kInline;
 
+  // Telemetry (DESIGN.md §10). The trace ring buffer keeps the newest
+  // `trace_capacity` events (txn begin/set_range/append/force/commit-ack,
+  // truncation, recovery, io-error/poison); 0 disables tracing entirely.
+  // Sized so a poison dump captures a few dozen transactions of context
+  // while the ring costs ~8 KiB per instance.
+  uint64_t trace_capacity = 256;
+  // When the instance poisons, dump the flight recorder (last trace events
+  // plus a full statistics snapshot) to "<log_path>.poison.json".
+  bool enable_poison_dump = true;
+
   RuntimeOptions runtime;
 };
 

@@ -8,6 +8,12 @@
 
 namespace rvm {
 
+namespace {
+// Newest trace events embedded in a poison sidecar; the full ring would
+// bloat the dump without adding postmortem value past a few dozen txns.
+constexpr size_t kPoisonDumpTraceEvents = 64;
+}  // namespace
+
 Status RvmInstance::CreateLog(Env* env, const std::string& path,
                               uint64_t log_size, bool overwrite) {
   if (env == nullptr) {
@@ -47,6 +53,7 @@ void RvmInstance::NoteIoError(const Status& status) {
   if (status.code() == ErrorCode::kIoError ||
       status.code() == ErrorCode::kCorruption) {
     ++stats_.io_errors;
+    Trace(TraceEventType::kIoError, static_cast<uint64_t>(status.code()));
   }
 }
 
@@ -61,6 +68,40 @@ void RvmInstance::Poison(const Status& cause) {
   poisoned_.store(true, std::memory_order_release);
   RVM_LOG_WARN("rvm instance poisoned (fail-stop): %s",
                cause.ToString().c_str());
+  Trace(TraceEventType::kPoison, static_cast<uint64_t>(cause.code()));
+  if (poison_dump_enabled_) {
+    DumpPoisonSidecar(cause);
+  }
+}
+
+void RvmInstance::DumpPoisonSidecar(const Status& cause) {
+  // Flight-recorder dump (DESIGN.md §10). Everything here is best-effort:
+  // the instance is entering fail-stop and the sidecar must never mask or
+  // compound the original failure, so every error is swallowed. Only trace_
+  // (own leaf mutex), stats_ (lock-free), and immutable members are touched,
+  // which keeps this callable from any lock state.
+  std::string trace_json = "\"reason\":\"" + JsonEscape(cause.ToString()) +
+                           "\",\"trace\":[";
+  const std::vector<TraceEvent> tail = trace_.Tail(kPoisonDumpTraceEvents);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (i > 0) {
+      trace_json += ',';
+    }
+    trace_json += TraceEventJson(tail[i]);
+  }
+  trace_json += ']';
+  const std::string document = TelemetryJsonDocument(
+      "poison-dump", {StatisticsJsonRun("at-poison", stats_.Snapshot())},
+      trace_json);
+  StatusOr<std::unique_ptr<File>> file =
+      env_->Open(log_path_ + ".poison.json", OpenMode::kTruncate);
+  if (!file.ok()) {
+    return;
+  }
+  (void)(*file)->WriteAt(
+      0, std::span<const uint8_t>(
+             reinterpret_cast<const uint8_t*>(document.data()),
+             document.size()));
 }
 
 Status RvmInstance::FailIfPoisoned() {
@@ -147,8 +188,11 @@ RvmInstance::RvmInstance(const RvmOptions& options,
       cpu_(options.env, options.cpu_model),
       page_size_(options.page_size),
       log_(std::move(log)),
+      log_path_(options.log_path),
+      poison_dump_enabled_(options.enable_poison_dump),
       runtime_(options.runtime),
-      truncation_mode_(options.truncation_mode) {}
+      truncation_mode_(options.truncation_mode),
+      trace_(options.trace_capacity) {}
 
 RvmInstance::~RvmInstance() {
   StopTruncationThread();
@@ -354,10 +398,12 @@ StatusOr<TransactionId> RvmInstance::BeginTransaction(RestoreMode mode) {
   TxnState& txn = transactions_[tid];
   txn.tid = tid;
   txn.mode = mode;
+  Trace(TraceEventType::kTxnBegin, tid);
   return tid;
 }
 
 Status RvmInstance::SetRange(TransactionId tid, void* base, uint64_t length) {
+  const uint64_t start_us = env_->NowMicros();
   std::lock_guard<std::mutex> lock(state_mu_);
   auto it = transactions_.find(tid);
   if (it == transactions_.end()) {
@@ -424,6 +470,8 @@ Status RvmInstance::SetRange(TransactionId tid, void* base, uint64_t length) {
     }
     covered.Add(start, end);  // still tracked for inter-txn subsumption
   }
+  stats_.set_range_us.Record(env_->NowMicros() - start_us);
+  Trace(TraceEventType::kSetRange, tid, length);
   return OkStatus();
 }
 
@@ -609,6 +657,7 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     return offset.status();
   }
   stats_.bytes_logged += entry.encoded_size;
+  Trace(TraceEventType::kAppend, entry.tid, *offset);
 
   // Incremental-truncation bookkeeping (Fig. 7): the pages carrying this
   // record's changes become dirty; first-reference pages join the queue at
@@ -732,6 +781,10 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
   uint64_t max_wait_us = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    // Queue-wait: entry to state-lock acquisition. Under contention this is
+    // the time spent behind other committers' bookkeeping.
+    const uint64_t locked_us = env_->NowMicros();
+    stats_.commit_queue_wait_us.Record(locked_us - start_us);
     auto it = transactions_.find(tid);
     if (it == transactions_.end()) {
       return NotFound("no such transaction");
@@ -755,20 +808,22 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
       }
     }
     RVM_RETURN_IF_ERROR(EndTransactionLocked(txn, mode, &target_lsn));
+    // Append phase: the state-locked section (bookkeeping, optimization
+    // passes, and the log appends that fix this commit's sequence point).
+    stats_.commit_append_us.Record(env_->NowMicros() - locked_us);
     max_batch = runtime_.group_commit_max_batch;
     max_wait_us = runtime_.group_commit_max_wait_us;
   }
   if (target_lsn == 0) {
+    Trace(TraceEventType::kCommitAck, tid, env_->NowMicros() - start_us);
     return OkStatus();
   }
   // Group-commit stage: no locks held, so concurrent SetRange/Map/Query and
   // other committers' appends proceed while the force is in flight.
   RVM_RETURN_IF_ERROR(CommitDurable(target_lsn, max_batch, max_wait_us));
   uint64_t elapsed_us = env_->NowMicros() - start_us;
-  ++stats_.commit_latency_samples;
-  stats_.commit_latency_total_us += elapsed_us;
-  stats_.commit_latency_min_us.StoreMin(elapsed_us);
-  stats_.commit_latency_max_us.StoreMax(elapsed_us);
+  stats_.commit_latency_us.Record(elapsed_us);
+  Trace(TraceEventType::kCommitAck, tid, elapsed_us);
   // The transaction is durable; a truncation failure now is a maintenance
   // problem (it will resurface on the next operation), not a commit failure.
   Status truncate_status = MaybeTruncate();
@@ -834,19 +889,25 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
       // force (truncation, Flush) covers our own target meanwhile.
       if (max_wait_us > 0 &&
           log_->appended_lsn() - log_->durable_lsn() < max_batch) {
+        const uint64_t dwell_start_us = env_->NowMicros();
         group_cv_.wait_for(
             group_lock, std::chrono::microseconds(max_wait_us), [&] {
               return log_->durable_lsn() >= target_lsn ||
                      log_->appended_lsn() - log_->durable_lsn() >= max_batch;
             });
+        stats_.commit_group_dwell_us.Record(env_->NowMicros() -
+                                            dwell_start_us);
       }
       group_lock.unlock();
       Status sync_status;
       bool forced = false;
+      uint64_t sync_us = 0;
       {
         std::lock_guard<std::mutex> log_lock(log_mu_);
         if (log_->durable_lsn() < log_->appended_lsn()) {
+          const uint64_t sync_start_us = env_->NowMicros();
           sync_status = log_->Sync();
+          sync_us = env_->NowMicros() - sync_start_us;
           forced = sync_status.ok();
           if (sync_status.ok()) {
             // Persist the batch's tail so recovery after a clean crash needs
@@ -874,6 +935,9 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
       } else if (forced) {
         ++stats_.log_forces;
         ++stats_.group_commit_batches;
+        stats_.commit_fsync_us.Record(sync_us);
+        stats_.log_force_us.Record(sync_us);
+        Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
       }
       group_cv_.notify_all();
       if (!result.ok()) {
@@ -957,12 +1021,16 @@ Status RvmInstance::FlushDirectLocked() {
   }
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
+    const uint64_t sync_start_us = env_->NowMicros();
     Status synced = log_->Sync();
     if (!synced.ok()) {
       Poison(synced);
       NotifyDurableWaiters();  // group-stage waiters observe the poison
       return synced;
     }
+    const uint64_t sync_us = env_->NowMicros() - sync_start_us;
+    stats_.log_force_us.Record(sync_us);
+    Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
   }
   ++stats_.log_forces;
   NotifyDurableWaiters();

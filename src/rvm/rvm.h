@@ -60,6 +60,7 @@
 #include "src/rvm/page_vector.h"
 #include "src/rvm/statistics.h"
 #include "src/rvm/types.h"
+#include "src/telemetry/trace.h"
 #include "src/util/interval_set.h"
 #include "src/util/status.h"
 
@@ -158,6 +159,14 @@ class RvmInstance {
   RuntimeOptions GetOptions();
 
   const RvmStatistics& statistics() const { return stats_; }
+
+  // Flight recorder (DESIGN.md §10): the newest trace events, oldest first
+  // (up to RvmOptions::trace_capacity). Dumping does not clear the ring.
+  std::vector<TraceEvent> DumpTrace() const { return trace_.Events(); }
+  // The same events rendered as JSONL, one event per line (the format
+  // `rvmutl LOG trace` prints and the poison sidecar embeds).
+  std::string DumpTraceJsonl() const { return TraceJsonl(trace_.Events()); }
+
   uint64_t log_bytes_in_use();
   uint64_t log_capacity();
   uint64_t spooled_bytes();
@@ -256,9 +265,10 @@ class RvmInstance {
   void StopTruncationThread();
   // Applies the live log [head, tail) to external data segments using
   // newest-record-wins, the shared core of recovery and epoch truncation.
-  // Counters distinguish the two callers.
+  // Counters and the per-record apply histogram distinguish the two callers.
   Status ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
-                                      StatCounter* bytes_applied);
+                                      StatCounter* bytes_applied,
+                                      LatencyHistogram* apply_us);
   // Copies the live records into a fresh, rvmutl-readable log file (§6).
   Status ArchiveLiveLogBothLocked();
 
@@ -302,6 +312,11 @@ class RvmInstance {
   void Poison(const Status& cause);
   // Counts an observed kIoError/kCorruption in stats_.io_errors.
   void NoteIoError(const Status& status);
+  // Best-effort flight-recorder dump to "<log_path>.poison.json" (trace tail
+  // plus a statistics snapshot in the telemetry schema). Called once from
+  // Poison; write failures are swallowed — the instance is already dying and
+  // the sidecar must never mask the original cause.
+  void DumpPoisonSidecar(const Status& cause);
   // Entry gate: returns the poison cause if this instance or its log device
   // is poisoned (adopting the log device's cause on first observation),
   // OK otherwise. Lock-free.
@@ -313,10 +328,23 @@ class RvmInstance {
   StatusOr<SegmentId> SegmentIdForLocked(const std::string& path);
   StatusOr<std::unique_ptr<File>> OpenSegmentBothLocked(SegmentId id);
 
+  // Records a trace event stamped with env_->NowMicros(). Callable with any
+  // lock state (the recorder has its own leaf mutex); a no-op when tracing
+  // is disabled.
+  void Trace(TraceEventType type, uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    if (trace_.capacity() != 0) {
+      trace_.Record(env_->NowMicros(), type, arg0, arg1);
+    }
+  }
+
   Env* env_;
   CpuMeter cpu_;
   uint64_t page_size_;
   std::unique_ptr<LogDevice> log_;
+  // Immutable after construction, so Poison (which may run under any lock
+  // combination) can read them without state_mu_.
+  const std::string log_path_;
+  const bool poison_dump_enabled_;
 
   // State lock: in-memory bookkeeping (fields below it, plus runtime_).
   std::mutex state_mu_;
@@ -354,6 +382,8 @@ class RvmInstance {
   Status poison_cause_;
 
   RvmStatistics stats_;
+  // Trace ring (leaf mutex of its own; safe from any thread / lock state).
+  TraceRecorder trace_;
 };
 
 // RAII transaction helper. Aborts on destruction unless committed.

@@ -25,7 +25,8 @@
 namespace rvm {
 
 Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
-                                                 StatCounter* bytes_applied) {
+                                                 StatCounter* bytes_applied,
+                                                 LatencyHistogram* apply_us) {
   // One backward pass over the reverse-displacement chain, newest record
   // first ("reading the log from tail to head", §5.1.2). Latest committed
   // value wins: track covered bytes per segment, applying only uncovered
@@ -57,6 +58,7 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
     }
     cpu_.Fixed(cpu_.model().truncation_record_us);
     ++*records_applied;
+    const uint64_t record_start_us = env_->NowMicros();
     for (const RangeView& range : record.parsed.ranges) {
       IntervalSet& seg_covered = covered[range.segment];
       uint64_t range_end = range.offset + range.data.size();
@@ -76,6 +78,7 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
       }
       seg_covered.Add(range.offset, range_end);
     }
+    apply_us->Record(env_->NowMicros() - record_start_us);
   }
   for (File* file : touched) {
     Status synced = file->Sync();
@@ -95,12 +98,23 @@ Status RvmInstance::RecoverLocked() {
   // Find the true end of the log: records forced after the last status-block
   // write are discovered by forward validity scanning (§5.1.2's "reading the
   // log from tail to head" starts from this recovered tail).
-  RVM_RETURN_IF_ERROR(log_->ExtendTailForward().status());
+  RVM_ASSIGN_OR_RETURN(uint64_t discovered, log_->ExtendTailForward());
+  Trace(TraceEventType::kRecoveryScan, discovered, log_->used());
   if (log_->used() == 0) {
     return OkStatus();
   }
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
-      &stats_.recovery_records_applied, &stats_.recovery_bytes_applied));
+      &stats_.recovery_records_applied, &stats_.recovery_bytes_applied,
+      &stats_.recovery_apply_us));
+  const uint64_t records = stats_.recovery_records_applied;
+  const uint64_t bytes = stats_.recovery_bytes_applied;
+  Trace(TraceEventType::kRecoveryApply, records, bytes);
+  RVM_LOG_INFO(
+      "recovery replayed %llu records (%llu bytes) to segments; "
+      "%llu records found past the last durable tail",
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(discovered));
   // Only now, with every change durably in the segments, declare the log
   // empty. A crash before this point reruns recovery from scratch.
   log_->MarkEmpty();
@@ -151,11 +165,15 @@ Status RvmInstance::TruncateEpochLocked() {
 Status RvmInstance::TruncateEpochBothLocked() {
   // Everything the epoch applies must be durable in the log first, so a
   // crash mid-truncation can re-derive the same segment contents.
+  const uint64_t sync_start_us = env_->NowMicros();
   Status synced = log_->Sync();
   if (!synced.ok()) {
     Poison(synced);  // the device poisoned itself; adopt on the instance
     return synced;
   }
+  const uint64_t sync_us = env_->NowMicros() - sync_start_us;
+  stats_.log_force_us.Record(sync_us);
+  Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
   if (log_->used() == 0) {
     return OkStatus();
   }
@@ -163,8 +181,10 @@ Status RvmInstance::TruncateEpochBothLocked() {
     RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked());
   }
   ++stats_.truncations_started;
+  Trace(TraceEventType::kTruncationStart, 0);
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
-      &stats_.truncation_records_applied, &stats_.truncation_bytes_applied));
+      &stats_.truncation_records_applied, &stats_.truncation_bytes_applied,
+      &stats_.truncation_step_us));
   log_->MarkEmpty();
   Status status_write = log_->WriteStatus();
   if (!status_write.ok()) {
@@ -180,6 +200,7 @@ Status RvmInstance::TruncateEpochBothLocked() {
   }
   ++stats_.truncations_completed;
   ++stats_.epoch_truncations;
+  Trace(TraceEventType::kTruncationComplete, 0);
   return OkStatus();
 }
 
@@ -255,7 +276,9 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
     File* file = segment_files_[region->segment_id].get();
     if (!advanced) {
       ++stats_.truncations_started;
+      Trace(TraceEventType::kTruncationStart, 1);
     }
+    const uint64_t step_start_us = env_->NowMicros();
     RVM_RETURN_IF_ERROR(
         file->WriteAt(region->segment_offset + page_start,
                       std::span<const uint8_t>(region->base + page_start, page_len)));
@@ -263,6 +286,8 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
     cpu_.Copy(page_len);
     entry.dirty = false;
     entry.in_queue = false;
+    stats_.truncation_step_us.Record(env_->NowMicros() - step_start_us);
+    Trace(TraceEventType::kTruncationStep, front.page);
     page_queue_.pop_front();
     ++stats_.incremental_steps;
     ++stats_.incremental_pages_written;
@@ -298,6 +323,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
     return status_write;
   }
   ++stats_.truncations_completed;
+  Trace(TraceEventType::kTruncationComplete, 1);
   return status_write;
 }
 

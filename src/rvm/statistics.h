@@ -1,11 +1,12 @@
-// Operation counters, including the log-traffic optimization accounting that
-// reproduces Table 2.
+// Operation counters and latency histograms, including the log-traffic
+// optimization accounting that reproduces Table 2.
 //
 // Counters are individually atomic so they can be bumped from any thread
 // (commit path under the state lock, group-commit leaders under no lock at
 // all, truncation thread) and read without synchronization. Reading the
-// whole struct is not a consistent cross-counter snapshot; copy it if an
-// approximate point-in-time view is enough (each field is loaded once).
+// whole struct is not a consistent cross-counter snapshot; use Snapshot()
+// when an approximate point-in-time view is enough (each field is loaded
+// once) — that method is the one place the caveat is documented.
 #ifndef RVM_RVM_STATISTICS_H_
 #define RVM_RVM_STATISTICS_H_
 
@@ -13,8 +14,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "src/telemetry/histogram.h"
+#include "src/telemetry/json.h"
 
 namespace rvm {
+
+// a - b, clamped at zero. Derived statistics subtract counters that are
+// bumped at different instants (e.g. batched txns vs. batches), so a racing
+// read can observe the subtrahend ahead of the minuend; every such derivation
+// must go through this helper rather than repeating the underflow check.
+inline uint64_t SaturatingSub(uint64_t a, uint64_t b) {
+  return a > b ? a - b : 0;
+}
 
 // A copyable atomic counter. All operations use relaxed ordering: these are
 // monitoring counters, never used to publish data between threads.
@@ -41,7 +55,7 @@ class StatCounter {
     return *this;
   }
   // Lowers (raises) the counter to `value` if smaller (larger) than the
-  // current value; used for latency min/max tracking.
+  // current value; used for watermark tracking.
   void StoreMin(uint64_t value) {
     uint64_t current = load();
     while (value < current &&
@@ -85,17 +99,9 @@ struct RvmStatistics {
   // Group commit: one leader forces the log for every committer whose record
   // is already appended. batched_txns counts commits whose durability was
   // satisfied by some batch; batches counts the forces that served them, so
-  // batched_txns - batches is the number of fsyncs the batching saved.
+  // group_commit_saved_forces() is the number of fsyncs batching saved.
   StatCounter group_commit_batches;
   StatCounter group_commit_batched_txns;
-
-  // Flush-commit latency (begin of EndTransaction to durability), in
-  // microseconds of the owning Env's clock. min is UINT64_MAX until the
-  // first sample lands.
-  StatCounter commit_latency_samples;
-  StatCounter commit_latency_total_us;
-  StatCounter commit_latency_min_us{UINT64_MAX};
-  StatCounter commit_latency_max_us;
 
   // In-flight truncation window, for the crash-schedule explorer
   // (src/check/): started is bumped when a truncation begins writing
@@ -127,11 +133,180 @@ struct RvmStatistics {
   StatCounter log_full_retries;
   StatCounter poisoned;
 
+  // Latency distributions, in microseconds of the owning Env's clock
+  // (DESIGN.md §10). commit_latency_us is end-to-end flush-commit latency
+  // (EndTransaction entry to durability ack); the commit_* sub-phase
+  // histograms decompose it into lock queueing, record append, the group
+  // leader's dwell window, and the fsync itself. log_force_us times every
+  // log force regardless of caller; set_range_us, truncation_step_us, and
+  // recovery_apply_us cover the remaining hot paths.
+  LatencyHistogram commit_latency_us;
+  LatencyHistogram commit_queue_wait_us;
+  LatencyHistogram commit_append_us;
+  LatencyHistogram commit_fsync_us;
+  LatencyHistogram commit_group_dwell_us;
+  LatencyHistogram log_force_us;
+  LatencyHistogram set_range_us;
+  LatencyHistogram truncation_step_us;
+  LatencyHistogram recovery_apply_us;
+
+  // An approximate point-in-time copy: each field is loaded exactly once
+  // (relaxed), but fields mutated concurrently may land from different
+  // instants, so derived cross-field values (rates, differences) can be
+  // transiently inconsistent. This is the documented consistency caveat for
+  // all statistics readers — callers that display or serialize statistics
+  // should read one Snapshot() rather than the live struct repeatedly.
+  RvmStatistics Snapshot() const { return *this; }
+
+  // fsyncs avoided by group commit (see the member comment above).
+  uint64_t group_commit_saved_forces() const {
+    return SaturatingSub(group_commit_batched_txns, group_commit_batches);
+  }
+
   // Total volume the log would have carried with no optimizations.
   uint64_t unoptimized_log_bytes() const {
     return bytes_logged + intra_saved_bytes + inter_saved_bytes;
   }
+
+  // Visits every counter as (name, value). The names double as the JSON
+  // counter keys, so adding a counter here automatically lands it in every
+  // telemetry document.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    fn("transactions_committed", transactions_committed.load());
+    fn("transactions_aborted", transactions_aborted.load());
+    fn("flush_commits", flush_commits.load());
+    fn("no_flush_commits", no_flush_commits.load());
+    fn("set_range_calls", set_range_calls.load());
+    fn("bytes_requested", bytes_requested.load());
+    fn("bytes_logged", bytes_logged.load());
+    fn("intra_saved_bytes", intra_saved_bytes.load());
+    fn("inter_saved_bytes", inter_saved_bytes.load());
+    fn("log_forces", log_forces.load());
+    fn("log_flush_calls", log_flush_calls.load());
+    fn("group_commit_batches", group_commit_batches.load());
+    fn("group_commit_batched_txns", group_commit_batched_txns.load());
+    fn("group_commit_saved_forces", group_commit_saved_forces());
+    fn("truncations_started", truncations_started.load());
+    fn("truncations_completed", truncations_completed.load());
+    fn("epoch_truncations", epoch_truncations.load());
+    fn("incremental_steps", incremental_steps.load());
+    fn("incremental_pages_written", incremental_pages_written.load());
+    fn("truncation_records_applied", truncation_records_applied.load());
+    fn("truncation_bytes_applied", truncation_bytes_applied.load());
+    fn("recovery_records_applied", recovery_records_applied.load());
+    fn("recovery_bytes_applied", recovery_bytes_applied.load());
+    fn("io_errors", io_errors.load());
+    fn("swallowed_truncation_failures", swallowed_truncation_failures.load());
+    fn("log_full_retries", log_full_retries.load());
+    fn("poisoned", poisoned.load());
+  }
+
+  // Visits every histogram as (name, histogram). The names double as the
+  // JSON histogram keys.
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    fn("commit_latency_us", commit_latency_us);
+    fn("commit_queue_wait_us", commit_queue_wait_us);
+    fn("commit_append_us", commit_append_us);
+    fn("commit_fsync_us", commit_fsync_us);
+    fn("commit_group_dwell_us", commit_group_dwell_us);
+    fn("log_force_us", log_force_us);
+    fn("set_range_us", set_range_us);
+    fn("truncation_step_us", truncation_step_us);
+    fn("recovery_apply_us", recovery_apply_us);
+  }
 };
+
+// One histogram object for the telemetry schema. Only non-empty buckets are
+// emitted; `le` is the bucket's inclusive upper bound.
+inline std::string HistogramJson(const LatencyHistogram::Snapshot& s) {
+  char buf[192];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,"
+                "\"buckets\":[",
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.sum),
+                static_cast<unsigned long long>(s.min),
+                static_cast<unsigned long long>(s.max), s.Mean(),
+                s.Percentile(50), s.Percentile(90), s.Percentile(99));
+  out += buf;
+  bool first = true;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    if (s.buckets[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s{\"le\":%llu,\"count\":%llu}",
+                  first ? "" : ",",
+                  static_cast<unsigned long long>(
+                      LatencyHistogram::BucketUpperBound(i)),
+                  static_cast<unsigned long long>(s.buckets[i]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+// One run object ({"name": ..., "counters": {...}, "histograms": {...}}) for
+// the telemetry schema. `extra_counters` lets a caller append run-specific
+// measurements (e.g. a benchmark's wall-clock) next to the RVM counters.
+inline std::string StatisticsJsonRun(
+    const std::string& name, const RvmStatistics& stats,
+    const std::vector<std::pair<std::string, uint64_t>>& extra_counters = {}) {
+  std::string out = "{\"name\":\"" + JsonEscape(name) + "\",\"counters\":{";
+  bool first = true;
+  stats.ForEachCounter([&](const char* counter_name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  counter_name, static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  });
+  for (const auto& [extra_name, value] : extra_counters) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += (first ? "\"" : ",\"") + JsonEscape(extra_name) + "\":" + buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  stats.ForEachHistogram([&](const char* hist_name,
+                             const LatencyHistogram& histogram) {
+    out += (first ? "\"" : ",\"") + std::string(hist_name) +
+           "\":" + HistogramJson(histogram.TakeSnapshot());
+    first = false;
+  });
+  out += "}}";
+  return out;
+}
+
+// The complete telemetry document shared by `rvmutl stats --json`, the bench
+// binaries, and the poison flight-recorder dump. `runs` are pre-rendered run
+// objects (StatisticsJsonRun); `extra_fields`, when nonempty, is spliced in
+// as additional top-level members (e.g. "\"reason\":\"...\"").
+inline std::string TelemetryJsonDocument(const std::string& source,
+                                         const std::vector<std::string>& runs,
+                                         const std::string& extra_fields = "") {
+  std::string out = std::string("{\"schema\":\"") + kTelemetrySchemaVersion +
+                    "\",\"source\":\"" + JsonEscape(source) + "\",";
+  if (!extra_fields.empty()) {
+    out += extra_fields;
+    out += ',';
+  }
+  out += "\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += runs[i];
+  }
+  out += "]}\n";
+  return out;
+}
 
 // Human-readable rendering, shared by `rvmutl ... stats` and benchmarks.
 inline std::string FormatStatistics(const RvmStatistics& stats) {
@@ -140,6 +315,10 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   auto row = [&](const char* name, uint64_t value) {
     std::snprintf(line, sizeof(line), "%-28s %12llu\n", name,
                   static_cast<unsigned long long>(value));
+    out += line;
+  };
+  auto frow = [&](const char* name, double value) {
+    std::snprintf(line, sizeof(line), "%-28s %12.1f\n", name, value);
     out += line;
   };
   row("transactions committed:", stats.transactions_committed);
@@ -155,15 +334,16 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("log flush calls:", stats.log_flush_calls);
   row("group commit batches:", stats.group_commit_batches);
   row("group commit batched txns:", stats.group_commit_batched_txns);
-  uint64_t batches = stats.group_commit_batches;
-  uint64_t batched = stats.group_commit_batched_txns;
-  row("group commit saved forces:", batched > batches ? batched - batches : 0);
-  uint64_t samples = stats.commit_latency_samples;
-  row("commit latency samples:", samples);
-  row("commit latency total us:", stats.commit_latency_total_us);
-  row("commit latency min us:",
-      samples > 0 ? stats.commit_latency_min_us.load() : 0);
-  row("commit latency max us:", stats.commit_latency_max_us);
+  row("group commit saved forces:", stats.group_commit_saved_forces());
+  const LatencyHistogram::Snapshot commit =
+      stats.commit_latency_us.TakeSnapshot();
+  row("commit latency samples:", commit.count);
+  frow("commit latency mean us:", commit.Mean());
+  row("commit latency min us:", commit.min);
+  frow("commit latency p50 us:", commit.Percentile(50));
+  frow("commit latency p90 us:", commit.Percentile(90));
+  frow("commit latency p99 us:", commit.Percentile(99));
+  row("commit latency max us:", commit.max);
   row("truncations started:", stats.truncations_started);
   row("truncations completed:", stats.truncations_completed);
   row("epoch truncations:", stats.epoch_truncations);
@@ -177,6 +357,20 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("swallowed truncation fails:", stats.swallowed_truncation_failures);
   row("log-full retries:", stats.log_full_retries);
   row("poisoned:", stats.poisoned);
+  out += "phase histograms (count mean p50 p99 max, us):\n";
+  stats.ForEachHistogram([&](const char* name,
+                             const LatencyHistogram& histogram) {
+    const LatencyHistogram::Snapshot s = histogram.TakeSnapshot();
+    if (s.count == 0) {
+      return;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %8llu %10.1f %10.1f %10.1f %10llu\n", name,
+                  static_cast<unsigned long long>(s.count), s.Mean(),
+                  s.Percentile(50), s.Percentile(99),
+                  static_cast<unsigned long long>(s.max));
+    out += line;
+  });
   return out;
 }
 

@@ -1,0 +1,162 @@
+// LatencyHistogram: a lock-free, power-of-two-bucketed latency histogram.
+//
+// The evaluation methodology of the paper (§6, Tables 1-2) and of later
+// persistent-memory work is built on latency *distributions*, not aggregates:
+// group-commit dwell, fsync outliers, and truncation interference are all
+// invisible in a mean but obvious at p99. This histogram replaces the
+// min/max StatCounter pairs with full distributions cheap enough to sample
+// on every commit.
+//
+// Concurrency model matches StatCounter: every field is individually atomic
+// with relaxed ordering (monitoring data, never used to publish between
+// threads), so Record can be called from any thread — commit path, group
+// leaders outside any lock, the truncation thread — and readers take an
+// approximate point-in-time Snapshot without synchronization.
+#ifndef RVM_TELEMETRY_HISTOGRAM_H_
+#define RVM_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace rvm {
+
+class LatencyHistogram {
+ public:
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+  // 64 buckets cover the whole uint64_t range (the last bucket absorbs the
+  // tail), so no sample is ever dropped or clamped.
+  static constexpr size_t kNumBuckets = 64;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram& other) { *this = other; }
+  LatencyHistogram& operator=(const LatencyHistogram& other) {
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  static size_t BucketIndex(uint64_t value) {
+    return value == 0
+               ? 0
+               : std::min<size_t>(kNumBuckets - 1, std::bit_width(value));
+  }
+  // Smallest value bucket `index` can hold.
+  static uint64_t BucketLowerBound(size_t index) {
+    return index == 0 ? 0 : uint64_t{1} << (index - 1);
+  }
+  // Largest value bucket `index` can hold (inclusive).
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index == 0) {
+      return 0;
+    }
+    if (index >= kNumBuckets - 1) {
+      return UINT64_MAX;
+    }
+    return (uint64_t{1} << index) - 1;
+  }
+
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t current = min_.load(std::memory_order_relaxed);
+    while (value < current &&
+           !min_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+    current = max_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !max_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0 when empty (the sentinel never leaks to callers).
+  uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  // A plain (non-atomic) copy of the histogram state. Loading the fields is
+  // not a cross-field consistent snapshot (same caveat as RvmStatistics);
+  // for monitoring this is fine.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    // Percentile with linear interpolation inside the covering bucket,
+    // clamped to the observed [min, max] so a single sample reports itself
+    // exactly and p0/p100 never escape the recorded range.
+    double Percentile(double p) const {
+      if (count == 0) {
+        return 0.0;
+      }
+      double rank = p / 100.0 * static_cast<double>(count);
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        if (buckets[i] == 0) {
+          continue;
+        }
+        if (static_cast<double>(seen + buckets[i]) >= rank) {
+          double lo = static_cast<double>(std::max(BucketLowerBound(i), min));
+          double hi = static_cast<double>(std::min(BucketUpperBound(i), max));
+          double fraction =
+              (rank - static_cast<double>(seen)) /
+              static_cast<double>(buckets[i]);
+          if (fraction < 0.0) {
+            fraction = 0.0;
+          }
+          return lo + (hi - lo) * fraction;
+        }
+        seen += buckets[i];
+      }
+      return static_cast<double>(max);
+    }
+  };
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snapshot;
+    snapshot.count = count();
+    snapshot.sum = sum();
+    snapshot.min = min();
+    snapshot.max = max();
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return snapshot;
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+}  // namespace rvm
+
+#endif  // RVM_TELEMETRY_HISTOGRAM_H_

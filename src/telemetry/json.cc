@@ -1,0 +1,396 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rvm {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [member_key, value] : object) {
+    if (member_key == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with an explicit cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    RVM_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) {
+    return InvalidArgument("JSON parse error at offset " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    char c = text_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      return ParseObject(depth);
+    }
+    if (c == '[') {
+      return ParseArray(depth);
+    }
+    if (c == '"') {
+      RVM_ASSIGN_OR_RETURN(value.string, ParseString());
+      value.kind = JsonValue::Kind::kString;
+      return value;
+    }
+    if (ConsumeLiteral("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (ConsumeLiteral("null")) {
+      return value;
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) {
+      return value;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      RVM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      RVM_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      value.object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) {
+      return value;
+    }
+    for (;;) {
+      RVM_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out += escape;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // Telemetry emits ASCII only; render BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    std::string number(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(number.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status RequireNumber(const JsonValue& histogram, const char* hist_name,
+                     const char* field) {
+  const JsonValue* value = histogram.Find(field);
+  if (value == nullptr || !value->IsNumber()) {
+    return InvalidArgument("histogram '" + std::string(hist_name) +
+                           "' missing numeric field '" + field + "'");
+  }
+  return OkStatus();
+}
+
+Status ValidateHistogram(const std::string& name, const JsonValue& histogram) {
+  if (!histogram.IsObject()) {
+    return InvalidArgument("histogram '" + name + "' is not an object");
+  }
+  for (const char* field :
+       {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+    RVM_RETURN_IF_ERROR(RequireNumber(histogram, name.c_str(), field));
+  }
+  const JsonValue* buckets = histogram.Find("buckets");
+  if (buckets == nullptr || !buckets->IsArray()) {
+    return InvalidArgument("histogram '" + name + "' missing buckets array");
+  }
+  for (const JsonValue& bucket : buckets->array) {
+    if (!bucket.IsObject() || bucket.Find("le") == nullptr ||
+        !bucket.Find("le")->IsNumber() || bucket.Find("count") == nullptr ||
+        !bucket.Find("count")->IsNumber()) {
+      return InvalidArgument("histogram '" + name +
+                             "' has a malformed bucket entry");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+Status ValidateTelemetryJson(std::string_view text) {
+  RVM_ASSIGN_OR_RETURN(JsonValue document, ParseJson(text));
+  if (!document.IsObject()) {
+    return InvalidArgument("telemetry document is not a JSON object");
+  }
+  const JsonValue* schema = document.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->string != kTelemetrySchemaVersion) {
+    return InvalidArgument(std::string("missing or wrong schema (expected \"") +
+                           kTelemetrySchemaVersion + "\")");
+  }
+  const JsonValue* source = document.Find("source");
+  if (source == nullptr || !source->IsString() || source->string.empty()) {
+    return InvalidArgument("missing nonempty string field 'source'");
+  }
+  const JsonValue* runs = document.Find("runs");
+  if (runs == nullptr || !runs->IsArray() || runs->array.empty()) {
+    return InvalidArgument("missing nonempty array field 'runs'");
+  }
+  bool has_commit_latency = false;
+  for (size_t i = 0; i < runs->array.size(); ++i) {
+    const JsonValue& run = runs->array[i];
+    const std::string where = "runs[" + std::to_string(i) + "]";
+    if (!run.IsObject()) {
+      return InvalidArgument(where + " is not an object");
+    }
+    const JsonValue* name = run.Find("name");
+    if (name == nullptr || !name->IsString() || name->string.empty()) {
+      return InvalidArgument(where + " missing nonempty string field 'name'");
+    }
+    const JsonValue* counters = run.Find("counters");
+    if (counters == nullptr || !counters->IsObject()) {
+      return InvalidArgument(where + " missing object field 'counters'");
+    }
+    for (const auto& [counter_name, counter] : counters->object) {
+      if (!counter.IsNumber()) {
+        return InvalidArgument(where + " counter '" + counter_name +
+                               "' is not a number");
+      }
+    }
+    const JsonValue* histograms = run.Find("histograms");
+    if (histograms == nullptr || !histograms->IsObject()) {
+      return InvalidArgument(where + " missing object field 'histograms'");
+    }
+    for (const auto& [hist_name, histogram] : histograms->object) {
+      RVM_RETURN_IF_ERROR(ValidateHistogram(hist_name, histogram));
+      if (hist_name == "commit_latency_us") {
+        has_commit_latency = true;
+      }
+    }
+  }
+  if (!has_commit_latency) {
+    return InvalidArgument(
+        "no run carries a 'commit_latency_us' histogram (required for "
+        "benchmark trajectories)");
+  }
+  return OkStatus();
+}
+
+}  // namespace rvm

@@ -1,0 +1,75 @@
+// Minimal JSON support for the telemetry subsystem: string escaping for the
+// emitters, a small recursive-descent parser, and the validator for the
+// common telemetry schema ("rvm-telemetry-v1") that `rvmutl stats --json`,
+// the bench binaries, and the poison flight-recorder dump all share.
+//
+// The schema (DESIGN.md §10):
+//
+//   {
+//     "schema": "rvm-telemetry-v1",
+//     "source": "<emitting binary / subcommand>",
+//     "runs": [
+//       {
+//         "name": "<workload or phase name>",
+//         "counters": { "<counter>": <integer>, ... },
+//         "histograms": {
+//           "<histogram>": {
+//             "count": N, "sum": N, "min": N, "max": N,
+//             "mean": X, "p50": X, "p90": X, "p99": X,
+//             "buckets": [ {"le": N, "count": N}, ... ]
+//           }, ...
+//         }
+//       }, ...
+//     ]
+//   }
+//
+// Extra top-level keys (e.g. the poison dump's "reason" and "trace") are
+// allowed; at least one run must carry a "commit_latency_us" histogram so a
+// benchmark trajectory always has the headline distribution to diff.
+#ifndef RVM_TELEMETRY_JSON_H_
+#define RVM_TELEMETRY_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rvm {
+
+inline constexpr char kTelemetrySchemaVersion[] = "rvm-telemetry-v1";
+
+// Escapes `text` for embedding inside a JSON string literal (quotes not
+// included).
+std::string JsonEscape(std::string_view text);
+
+// A parsed JSON value. Objects preserve key order (the emitters are
+// deterministic, so trajectories diff cleanly).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, nothing
+// else). kInvalidArgument with a position on malformed input.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// Structural validation of the common telemetry schema described above.
+Status ValidateTelemetryJson(std::string_view text);
+
+}  // namespace rvm
+
+#endif  // RVM_TELEMETRY_JSON_H_

@@ -1,0 +1,103 @@
+#include "src/telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rvm {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxnBegin:
+      return "txn-begin";
+    case TraceEventType::kSetRange:
+      return "set-range";
+    case TraceEventType::kAppend:
+      return "append";
+    case TraceEventType::kForce:
+      return "force";
+    case TraceEventType::kCommitAck:
+      return "commit-ack";
+    case TraceEventType::kTruncationStart:
+      return "truncation-start";
+    case TraceEventType::kTruncationStep:
+      return "truncation-step";
+    case TraceEventType::kTruncationComplete:
+      return "truncation-complete";
+    case TraceEventType::kRecoveryScan:
+      return "recovery-scan";
+    case TraceEventType::kRecoveryApply:
+      return "recovery-apply";
+    case TraceEventType::kIoError:
+      return "io-error";
+    case TraceEventType::kPoison:
+      return "poison";
+  }
+  return "unknown";
+}
+
+std::string TraceEventJson(const TraceEvent& event) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "{\"ts_us\":%" PRIu64 ",\"event\":\"%s\",\"arg0\":%" PRIu64
+                ",\"arg1\":%" PRIu64 "}",
+                event.timestamp_us, TraceEventTypeName(event.type), event.arg0,
+                event.arg1);
+  return line;
+}
+
+std::string TraceJsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += TraceEventJson(event);
+    out += '\n';
+  }
+  return out;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::Record(uint64_t timestamp_us, TraceEventType type,
+                           uint64_t arg0, uint64_t arg1) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_seq_ % capacity_] = {timestamp_us, type, arg0, arg1};
+  ++next_seq_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  if (capacity_ == 0) {
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t live = next_seq_ < capacity_ ? next_seq_ : capacity_;
+  out.reserve(live);
+  for (uint64_t i = next_seq_ - live; i < next_seq_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::Tail(size_t n) const {
+  std::vector<TraceEvent> all = Events();
+  if (all.size() > n) {
+    all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+  }
+  return all;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+}  // namespace rvm

@@ -1,0 +1,83 @@
+// TraceRecorder: a per-instance fixed-size ring buffer of binary trace
+// events, the event-timeline half of the telemetry subsystem (DESIGN.md §10).
+//
+// Events are stamped with the owning Env's clock (simulated clocks are
+// deterministic counters, so CrashSim tests can assert on exact event
+// sequences) and carry two type-specific integer arguments. The ring is the
+// flight recorder: on poison or a failing crash schedule, the newest events
+// are dumped as JSONL for postmortem analysis; `rvmutl LOG trace` and
+// RvmInstance::DumpTrace drain it on demand.
+#ifndef RVM_TELEMETRY_TRACE_H_
+#define RVM_TELEMETRY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rvm {
+
+enum class TraceEventType : uint8_t {
+  kTxnBegin = 0,        // arg0 = tid
+  kSetRange,            // arg0 = tid, arg1 = length
+  kAppend,              // arg0 = tid, arg1 = log offset of the record
+  kForce,               // arg0 = durable LSN after the force, arg1 = µs spent
+  kCommitAck,           // arg0 = tid, arg1 = end-to-end commit latency µs
+  kTruncationStart,     // arg0 = 0 epoch, 1 incremental
+  kTruncationStep,      // arg0 = page index written back
+  kTruncationComplete,  // arg0 = 0 epoch, 1 incremental
+  kRecoveryScan,        // arg0 = records found past the tail, arg1 = log bytes
+  kRecoveryApply,       // arg0 = records applied, arg1 = bytes applied
+  kIoError,             // arg0 = ErrorCode of the observed failure
+  kPoison,              // arg0 = ErrorCode of the poisoning failure
+};
+
+// Stable lowercase-dash name, used in the JSONL rendering.
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  uint64_t timestamp_us = 0;
+  TraceEventType type = TraceEventType::kTxnBegin;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+// One JSONL line (no trailing newline) for a single event.
+std::string TraceEventJson(const TraceEvent& event);
+
+// Renders `events` as JSONL, one event per line.
+std::string TraceJsonl(const std::vector<TraceEvent>& events);
+
+class TraceRecorder {
+ public:
+  // `capacity` is the fixed number of ring slots; 0 disables recording
+  // entirely (Record becomes a no-op).
+  explicit TraceRecorder(size_t capacity);
+
+  void Record(uint64_t timestamp_us, TraceEventType type, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  // Copies the live events, oldest first. The ring is not cleared: dumping
+  // the flight recorder must not erase evidence a later dump still needs.
+  std::vector<TraceEvent> Events() const;
+
+  // The newest `n` events, oldest first.
+  std::vector<TraceEvent> Tail(size_t n) const;
+
+  size_t capacity() const { return capacity_; }
+  // Events recorded over the recorder's lifetime, including overwritten ones.
+  uint64_t recorded() const;
+  // Events lost to ring wraparound.
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_seq_ = 0;  // total events ever recorded
+};
+
+}  // namespace rvm
+
+#endif  // RVM_TELEMETRY_TRACE_H_

@@ -48,7 +48,7 @@ StatusOr<CodaResult> CodaMetadataDriver::Run() {
   RVM_RETURN_IF_ERROR(rvm_->Map(region));
   base_ = static_cast<uint8_t*>(region.address);
 
-  const RvmStatistics before = rvm_->statistics();
+  const RvmStatistics before = rvm_->statistics().Snapshot();
 
   uint64_t done = 0;
   while (done < profile_.operations) {
@@ -78,7 +78,7 @@ StatusOr<CodaResult> CodaMetadataDriver::Run() {
   }
   RVM_RETURN_IF_ERROR(rvm_->Flush());
 
-  const RvmStatistics after = rvm_->statistics();
+  const RvmStatistics after = rvm_->statistics().Snapshot();
   CodaResult result;
   result.transactions = after.transactions_committed - before.transactions_committed;
   result.bytes_written_to_log = after.bytes_logged - before.bytes_logged;

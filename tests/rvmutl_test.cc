@@ -127,6 +127,56 @@ TEST_F(RvmutlTest, StatsRunsRecoveryAndPrintsCounters) {
   EXPECT_NE(result.output.find("log in use:"), std::string::npos);
 }
 
+TEST_F(RvmutlTest, StatsJsonEmitsValidTelemetryDocument) {
+  CommandResult result = RunTool(log_path_ + " stats --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"schema\":\"rvm-telemetry-v1\""),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"commit_latency_us\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"recovery_apply_us\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"log_bytes_in_use\""), std::string::npos);
+}
+
+TEST_F(RvmutlTest, StatsJsonFileRoundTripsThroughCheckJson) {
+  std::string json_path = (dir_ / "stats.json").string();
+  CommandResult result = RunTool(log_path_ + " stats --json=" + json_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+
+  CommandResult check = RunTool("check-json " + json_path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("valid rvm-telemetry-v1 document"),
+            std::string::npos)
+      << check.output;
+}
+
+TEST_F(RvmutlTest, CheckJsonRejectsInvalidDocument) {
+  std::string bad_path = (dir_ / "bad.json").string();
+  FILE* f = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"not-telemetry\"}", f);
+  std::fclose(f);
+  CommandResult result = RunTool("check-json " + bad_path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("INVALID"), std::string::npos) << result.output;
+
+  CommandResult missing = RunTool("check-json " + (dir_ / "nope.json").string());
+  EXPECT_EQ(missing.exit_code, 2);
+}
+
+TEST_F(RvmutlTest, TracePrintsRecoveryEvents) {
+  CommandResult result = RunTool(log_path_ + " trace");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // Opening the log replays the three committed transactions; the trace of
+  // that recovery is the tool's entire output, as JSONL.
+  EXPECT_NE(result.output.find("\"event\":\"recovery-scan\""),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"event\":\"recovery-apply\""),
+            std::string::npos)
+      << result.output;
+}
+
 TEST_F(RvmutlTest, MissingLogFails) {
   CommandResult result = RunTool((dir_ / "nonexistent").string() + " status");
   EXPECT_NE(result.exit_code, 0);

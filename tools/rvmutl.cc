@@ -29,6 +29,7 @@
 #include "src/os/file.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
+#include "src/telemetry/json.h"
 #include "src/util/interval_set.h"
 
 namespace rvm {
@@ -273,10 +274,24 @@ int CmdVerify(LogDevice& log) {
   return 0;
 }
 
-int CmdStats(const std::string& log_path) {
+int CmdStats(const std::string& log_path, int argc, char** argv) {
   // Opens the log through the full library (running crash recovery), so the
   // recovery counters and — after recovery truncates — the group-commit and
-  // latency counters reflect a real Initialize.
+  // latency histograms reflect a real Initialize.
+  bool json = false;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr, "unknown stats option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
   RvmOptions options;
   options.log_path = log_path;
   auto rvm = RvmInstance::Initialize(options);
@@ -285,9 +300,70 @@ int CmdStats(const std::string& log_path) {
                  rvm.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", FormatStatistics((*rvm)->statistics()).c_str());
+  const uint64_t in_use = (*rvm)->log_bytes_in_use();
+  const uint64_t capacity = (*rvm)->log_capacity();
+  const RvmStatistics stats = (*rvm)->statistics().Snapshot();
+  if (json) {
+    const std::string document = TelemetryJsonDocument(
+        "rvmutl-stats",
+        {StatisticsJsonRun("recovery", stats,
+                           {{"log_bytes_in_use", in_use},
+                            {"log_capacity", capacity}})});
+    if (json_path.empty()) {
+      std::printf("%s", document.c_str());
+      return 0;
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(document.c_str(), out);
+    std::fclose(out);
+    return 0;
+  }
+  std::printf("%s", FormatStatistics(stats).c_str());
   std::printf("log in use:               %" PRIu64 " / %" PRIu64 " bytes\n",
-              (*rvm)->log_bytes_in_use(), (*rvm)->log_capacity());
+              in_use, capacity);
+  return 0;
+}
+
+int CmdTrace(const std::string& log_path) {
+  // Initialize runs recovery, so the trace shows exactly what recovery did
+  // to this log (recovery-scan, recovery-apply, forces) as JSONL.
+  RvmOptions options;
+  options.log_path = log_path;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "cannot initialize on log %s: %s\n", log_path.c_str(),
+                 rvm.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", (*rvm)->DumpTraceJsonl().c_str());
+  return 0;
+}
+
+int CmdCheckJson(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(in);
+  Status valid = ValidateTelemetryJson(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK %s: valid %s document\n", path.c_str(),
+              kTelemetrySchemaVersion);
   return 0;
 }
 
@@ -303,6 +379,20 @@ void PrintOutcome(const ScheduleOutcome& outcome) {
   } else {
     std::printf("FAIL %s  %s\n", outcome.schedule.ToString().c_str(),
                 outcome.detail.c_str());
+    if (!outcome.trace_jsonl.empty()) {
+      // Flight recorder of the failing instance, one JSONL event per line —
+      // what recovery actually did before the oracle rejected the image.
+      std::printf("  trace of failing instance:\n");
+      for (size_t start = 0; start < outcome.trace_jsonl.size();) {
+        size_t end = outcome.trace_jsonl.find('\n', start);
+        if (end == std::string::npos) {
+          end = outcome.trace_jsonl.size();
+        }
+        std::printf("    %s\n",
+                    outcome.trace_jsonl.substr(start, end - start).c_str());
+        start = end + 1;
+      }
+    }
   }
 }
 
@@ -423,7 +513,14 @@ int Usage() {
                "  history SEG OFFSET LEN   modification history of a byte range\n"
                "  verify                   validate the live log structure\n"
                "                           (exit 3 if committed data is lost)\n"
-               "  stats                    run recovery, print RVM statistics\n"
+               "  stats [--json[=FILE]]    run recovery, print RVM statistics\n"
+               "                           (--json emits the rvm-telemetry-v1\n"
+               "                           schema)\n"
+               "  trace                    run recovery, dump the trace ring as\n"
+               "                           JSONL (one event per line)\n"
+               "  check-json FILE          validate FILE against the\n"
+               "                           rvm-telemetry-v1 schema (top-level\n"
+               "                           command: rvmutl check-json FILE)\n"
                "  explore                  enumerate crash schedules against the\n"
                "                           oracle; options: --txns=N --flush-every=N\n"
                "                           --epoch --depth=N --forward-stride=N\n"
@@ -438,6 +535,10 @@ int Main(int argc, char** argv) {
     // Runs entirely on an in-memory simulated environment; takes no LOG.
     return CmdExplore(argc, argv);
   }
+  if (argc >= 3 && std::strcmp(argv[1], "check-json") == 0) {
+    // Validates a telemetry document; takes no LOG.
+    return CmdCheckJson(argv[2]);
+  }
   if (argc < 3) {
     return Usage();
   }
@@ -445,7 +546,11 @@ int Main(int argc, char** argv) {
   if (command_name == "stats") {
     // Dispatched before LogDevice::Open below: Initialize opens (and
     // recovers) the log itself, and must not race a second descriptor.
-    return CmdStats(argv[1]);
+    return CmdStats(argv[1], argc, argv);
+  }
+  if (command_name == "trace") {
+    // Same single-descriptor constraint as stats.
+    return CmdTrace(argv[1]);
   }
   auto log = LogDevice::Open(GetRealEnv(), argv[1]);
   if (!log.ok()) {
