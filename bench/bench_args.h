@@ -1,0 +1,110 @@
+// Shared command-line handling and telemetry-JSON emission for the bench
+// binaries, so every `bench_*` target speaks the same dialect:
+//
+//   bench_foo [--quick] [--json[=FILE]]
+//
+// --quick shrinks the workload to a CI-friendly size and skips the
+// full-run-calibrated shape checks; --json emits an rvm-telemetry-v1
+// document (stdout with bare --json, FILE otherwise). The documents are what
+// `tools/bench_compare` diffs against the committed baselines in
+// bench/baselines/, so runs follow two naming conventions the comparator
+// keys on:
+//
+//   - extra counters named "throughput_*" are higher-is-better rates
+//     (gated: a drop of more than the throughput tolerance fails);
+//   - the "commit_latency_us" histogram, when its count is nonzero, is the
+//     headline latency distribution (gated on p99).
+//
+// Everything else in a run is informational context for humans reading the
+// diff. bench_setrange is the one exception to this header: it is a
+// google-benchmark binary and emits that framework's native JSON via
+// --benchmark_format=json instead.
+#ifndef RVM_BENCH_BENCH_ARGS_H_
+#define RVM_BENCH_BENCH_ARGS_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/telemetry/json.h"
+
+namespace rvm {
+
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;  // empty = no JSON; "-" = stdout
+
+  bool json_requested() const { return !json_path.empty(); }
+};
+
+// Parses [--quick] [--json[=FILE]]; on an unknown argument prints usage to
+// stderr and returns false (callers exit 2, matching the other tools).
+inline bool ParseBenchArgs(int argc, char** argv, BenchArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args->quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args->json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args->json_path = "-";
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json[=FILE]]\n", argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// A run object for measurements that have no RvmStatistics behind them
+// (e.g. the Camelot and SimpleDB baselines): counters only, empty
+// histograms. Schema-valid as long as some other run in the document
+// carries the commit_latency_us histogram.
+inline std::string PlainJsonRun(
+    const std::string& name,
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  std::string out = "{\"name\":\"" + JsonEscape(name) + "\",\"counters\":{";
+  bool first = true;
+  for (const auto& [counter_name, value] : counters) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += (first ? "\"" : ",\"") + JsonEscape(counter_name) + "\":" + buf;
+    first = false;
+  }
+  out += "},\"histograms\":{}}";
+  return out;
+}
+
+// Writes `doc` to args.json_path ("-" = stdout). Returns 0 on success, 1 on
+// I/O failure. No-op (0) when --json was not requested.
+inline int EmitTelemetryJson(const BenchArgs& args, const std::string& doc) {
+  if (!args.json_requested()) {
+    return 0;
+  }
+  if (args.json_path == "-") {
+    std::fputs(doc.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(args.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 args.json_path.c_str());
+    return 1;
+  }
+  std::fputs(doc.c_str(), out);
+  std::fclose(out);
+  std::printf("telemetry JSON written to %s\n\n", args.json_path.c_str());
+  return 0;
+}
+
+// Scales a rate into a milli-units integer counter, the convention for
+// "throughput_*" counters (integers diff cleanly; milli keeps 3 decimals).
+inline uint64_t MilliRate(double per_second) {
+  return per_second <= 0 ? 0 : static_cast<uint64_t>(per_second * 1000.0);
+}
+
+}  // namespace rvm
+
+#endif  // RVM_BENCH_BENCH_ARGS_H_

@@ -12,20 +12,33 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_args.h"
 #include "bench/tpca_machine.h"
 
 namespace rvm {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
   MachineConfig machine;
-  std::printf("Figure 9: Amortized CPU Cost per Transaction (ms), §7.2\n\n");
+  std::vector<int> row_ids = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  if (args.quick) {
+    row_ids = {0, 6, 13};
+    machine.warmup_txns = 500;
+    machine.measured_txns = 1500;
+  }
+  std::printf("Figure 9: Amortized CPU Cost per Transaction (ms), §7.2%s\n\n",
+              args.quick ? " [quick]" : "");
   std::printf("%9s %10s | %9s %9s %9s | %11s %11s %11s | %9s\n", "Accounts",
               "Rmem/Pmem", "RVM Seq", "RVM Rand", "RVM Local", "Camelot Seq",
               "Camelot Rand", "Camelot Loc", "Cam/RVM seq");
 
   std::vector<std::array<double, 7>> series;
-  for (int row = 0; row < 14; ++row) {
+  std::vector<std::string> json_runs;
+  for (int row : row_ids) {
     uint64_t accounts = 32768ull * (row + 1);
     double cpu[6];
     double ratio = 0;
@@ -38,6 +51,23 @@ int Main() {
         config.pattern = pattern;
         TpcaRunResult result = camelot ? RunCamelotTpca(config, machine)
                                        : RunRvmTpca(config, machine);
+        if (args.json_requested()) {
+          // CPU cost is lower-is-better, so the gated rate is its inverse:
+          // transactions per CPU-second.
+          std::string run_name = std::string(camelot ? "camelot" : "rvm") +
+                                 "_" + PatternName(pattern) + "_accounts_" +
+                                 std::to_string(accounts);
+          std::vector<std::pair<std::string, uint64_t>> extras = {
+              {"accounts", accounts},
+              {"cpu_us_per_txn", static_cast<uint64_t>(
+                                     result.cpu_ms_per_txn * 1000.0)},
+              {"throughput_txns_per_cpu_s_milli",
+               MilliRate(1000.0 / result.cpu_ms_per_txn)}};
+          json_runs.push_back(camelot
+                                  ? PlainJsonRun(run_name, extras)
+                                  : StatisticsJsonRun(run_name, result.stats,
+                                                      extras));
+        }
         cpu[column++] = result.cpu_ms_per_txn;
         ratio = result.rmem_pmem_pct;
       }
@@ -53,6 +83,16 @@ int Main() {
   for (const auto& row : series) {
     std::printf("fig9,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n", row[0], row[1],
                 row[2], row[3], row[4], row[5], row[6]);
+  }
+
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-fig9-cpu", json_runs));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
   }
 
   bool ok = true;
@@ -81,4 +121,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

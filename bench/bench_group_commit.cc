@@ -15,13 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_args.h"
 #include "src/rvm/rvm.h"
 
 namespace rvm {
 namespace {
 
 constexpr uint64_t kPage = 4096;
-constexpr uint64_t kTxnsPerThread = 400;
 constexpr uint64_t kRangeBytes = 256;
 
 struct RunResult {
@@ -31,9 +31,11 @@ struct RunResult {
   uint64_t txns = 0;
   uint64_t forces = 0;
   uint64_t batches = 0;
+  RvmStatistics stats;
 };
 
-RunResult RunThreads(const std::string& dir, unsigned threads) {
+RunResult RunThreads(const std::string& dir, unsigned threads,
+                     uint64_t txns_per_thread) {
   Env* env = GetRealEnv();
   std::string log_path = dir + "/log" + std::to_string(threads);
   Status created = RvmInstance::CreateLog(env, log_path, 64ull << 20,
@@ -73,7 +75,7 @@ RunResult RunThreads(const std::string& dir, unsigned threads) {
   for (unsigned worker = 0; worker < threads; ++worker) {
     workers.emplace_back([&, worker] {
       uint8_t* base = bases[worker];
-      for (uint64_t i = 0; i < kTxnsPerThread; ++i) {
+      for (uint64_t i = 0; i < txns_per_thread; ++i) {
         auto tid = (*rvm)->BeginTransaction(RestoreMode::kNoRestore);
         if (!tid.ok()) {
           ++failures;
@@ -104,6 +106,7 @@ RunResult RunThreads(const std::string& dir, unsigned threads) {
 
   const RvmStatistics stats = (*rvm)->statistics().Snapshot();
   RunResult result;
+  result.stats = stats;
   result.txns = stats.transactions_committed;
   result.forces = stats.log_forces;
   result.batches = stats.group_commit_batches;
@@ -120,7 +123,12 @@ RunResult RunThreads(const std::string& dir, unsigned threads) {
   return result;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
+  const uint64_t txns_per_thread = args.quick ? 100 : 400;
   char dir_template[] = "/tmp/rvm_group_commit_XXXXXX";
   char* dir = mkdtemp(dir_template);
   if (dir == nullptr) {
@@ -129,17 +137,32 @@ int Main() {
   }
 
   std::printf("Group-commit throughput, flush-mode commits, %llu-byte ranges, "
-              "%llu txns/thread\n\n",
+              "%llu txns/thread%s\n\n",
               static_cast<unsigned long long>(kRangeBytes),
-              static_cast<unsigned long long>(kTxnsPerThread));
+              static_cast<unsigned long long>(txns_per_thread),
+              args.quick ? " [quick]" : "");
   std::printf("%8s %12s %12s %14s %10s %10s\n", "threads", "txns/sec",
               "forces/txn", "saved forces", "batches", "avg batch");
 
   double single = 0;
   double best_multi = 0;
   double multi_forces_per_txn = 1.0;
+  std::vector<std::string> json_runs;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    RunResult result = RunThreads(dir, threads);
+    RunResult result = RunThreads(dir, threads, txns_per_thread);
+    if (args.json_requested()) {
+      // Wall-clock rates here come from the real environment, so this
+      // bench's document is informational only: it is deliberately NOT in
+      // bench/baselines/ (the compare gate covers the deterministic
+      // simulated benches).
+      json_runs.push_back(StatisticsJsonRun(
+          "threads_" + std::to_string(threads), result.stats,
+          {{"threads", threads},
+           {"txns_per_thread", txns_per_thread},
+           {"throughput_tps_milli", MilliRate(result.txns_per_sec)},
+           {"forces_per_txn_milli",
+            static_cast<uint64_t>(result.forces_per_txn * 1000.0)}}));
+    }
     std::printf("%8u %12.0f %12.3f %14llu %10llu %10.2f\n", threads,
                 result.txns_per_sec, result.forces_per_txn,
                 static_cast<unsigned long long>(result.txns - result.forces),
@@ -159,6 +182,16 @@ int Main() {
   std::string cleanup = "rm -rf " + std::string(dir);
   (void)std::system(cleanup.c_str());
 
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-group-commit", json_runs));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
+
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
     std::printf("shape: %-64s %s\n", what, condition ? "OK" : "VIOLATED");
@@ -174,4 +207,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

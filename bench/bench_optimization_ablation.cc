@@ -7,6 +7,7 @@
 // and the throughput effect of the saved log forces and bytes.
 #include <cstdio>
 
+#include "bench/bench_args.h"
 #include "src/sim/sim_clock.h"
 #include "src/sim/sim_disk.h"
 #include "src/sim/sim_env.h"
@@ -18,9 +19,10 @@ namespace {
 struct AblationResult {
   double log_mb = 0;
   double ops_per_sec = 0;
+  RvmStatistics stats;
 };
 
-AblationResult Run(bool intra, bool inter) {
+AblationResult Run(bool intra, bool inter, uint64_t operations) {
   SimClock clock;
   SimDisk log_disk(&clock, "log");
   SimDisk data_disk(&clock, "data");
@@ -38,7 +40,7 @@ AblationResult Run(bool intra, bool inter) {
   CodaProfile profile;
   profile.machine = "ablation-client";
   profile.client = true;
-  profile.operations = 2000;
+  profile.operations = operations;
   profile.duplicate_set_range_rate = 0.6;
   profile.status_update_fraction = 0.5;
   profile.burst_min = 4;
@@ -54,17 +56,24 @@ AblationResult Run(bool intra, bool inter) {
     out.ops_per_sec =
         static_cast<double>(profile.operations) / (clock.now_micros() / 1e6);
   }
+  out.stats = (*rvm)->statistics().Snapshot();
   return out;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
+  const uint64_t operations = args.quick ? 500 : 2000;
   std::printf("Optimization ablation (§5.2) on a Coda client workload "
-              "(no-flush bursts, periodic flush)\n\n");
+              "(no-flush bursts, periodic flush)%s\n\n",
+              args.quick ? " [quick]" : "");
   std::printf("%-22s %12s %12s\n", "configuration", "log MB", "ops/sec");
-  AblationResult both = Run(true, true);
-  AblationResult intra_only = Run(true, false);
-  AblationResult inter_only = Run(false, true);
-  AblationResult neither = Run(false, false);
+  AblationResult both = Run(true, true, operations);
+  AblationResult intra_only = Run(true, false, operations);
+  AblationResult inter_only = Run(false, true, operations);
+  AblationResult neither = Run(false, false, operations);
   std::printf("%-22s %12.2f %12.1f\n", "intra + inter", both.log_mb,
               both.ops_per_sec);
   std::printf("%-22s %12.2f %12.1f\n", "intra only", intra_only.log_mb,
@@ -74,6 +83,28 @@ int Main() {
   std::printf("%-22s %12.2f %12.1f\n", "neither", neither.log_mb,
               neither.ops_per_sec);
   std::printf("\n");
+
+  auto json_run = [&](const char* name, const AblationResult& result) {
+    return StatisticsJsonRun(
+        name, result.stats,
+        {{"operations", operations},
+         {"log_bytes", static_cast<uint64_t>(result.log_mb * 1048576.0)},
+         {"throughput_ops_milli", MilliRate(result.ops_per_sec)}});
+  };
+  if (int rc = EmitTelemetryJson(
+          args,
+          TelemetryJsonDocument("bench-optimization-ablation",
+                                {json_run("intra+inter", both),
+                                 json_run("intra_only", intra_only),
+                                 json_run("inter_only", inter_only),
+                                 json_run("neither", neither)}));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
 
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
@@ -94,4 +125,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench/bench_args.h"
 #include "src/rvm/rvm.h"
 #include "src/sim/sim_clock.h"
 #include "src/sim/sim_disk.h"
@@ -23,9 +24,8 @@ namespace rvm {
 namespace {
 
 constexpr uint64_t kItemBytes = 256;
-constexpr uint64_t kUpdates = 600;
 
-double RunSimpleDb(uint64_t items) {
+double RunSimpleDb(uint64_t items, uint64_t updates) {
   SimClock clock;
   SimDisk disk(&clock, "db");
   SimEnv env(&clock);
@@ -39,7 +39,7 @@ double RunSimpleDb(uint64_t items) {
 
   Xoshiro256 rng(5);
   clock.Reset();
-  for (uint64_t i = 0; i < kUpdates; ++i) {
+  for (uint64_t i = 0; i < updates; ++i) {
     value[0] = static_cast<uint8_t>(i);
     (void)(*db)->Put(rng.Below(items), value);
     // "Periodically, the entire memory image is checkpointed to disk": a
@@ -49,10 +49,10 @@ double RunSimpleDb(uint64_t items) {
       (void)(*db)->Checkpoint();
     }
   }
-  return static_cast<double>(kUpdates) / (clock.now_micros() / 1e6);
+  return static_cast<double>(updates) / (clock.now_micros() / 1e6);
 }
 
-double RunRvm(uint64_t items) {
+double RunRvm(uint64_t items, uint64_t updates, RvmStatistics* stats) {
   SimClock clock;
   SimDisk log_disk(&clock, "log");
   SimDisk data_disk(&clock, "data");
@@ -73,25 +73,53 @@ double RunRvm(uint64_t items) {
 
   Xoshiro256 rng(5);
   clock.Reset();
-  for (uint64_t i = 0; i < kUpdates; ++i) {
+  for (uint64_t i = 0; i < updates; ++i) {
     auto tid = (*rvm)->BeginTransaction(RestoreMode::kNoRestore);
     uint64_t offset = rng.Below(items) * kItemBytes;
     (void)(*rvm)->SetRange(*tid, base + offset, kItemBytes);
     base[offset] = static_cast<uint8_t>(i);
     (void)(*rvm)->EndTransaction(*tid, CommitMode::kFlush);
   }
-  return static_cast<double>(kUpdates) / (clock.now_micros() / 1e6);
+  double tps = static_cast<double>(updates) / (clock.now_micros() / 1e6);
+  if (stats != nullptr) {
+    *stats = (*rvm)->statistics().Snapshot();
+  }
+  return tps;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
+  const uint64_t updates = args.quick ? 200 : 600;
   std::printf("RVM vs SimpleDB (Birrell et al. §9): single-item update "
-              "throughput vs database size\n\n");
+              "throughput vs database size%s\n\n",
+              args.quick ? " [quick]" : "");
   std::printf("%10s %12s | %14s %14s %10s\n", "items", "db size KB",
               "SimpleDB tps", "RVM tps", "winner");
+  std::vector<uint64_t> sizes = {64, 256, 1024, 4096, 16384};
+  if (args.quick) {
+    sizes = {64, 256, 1024};
+  }
   std::vector<std::array<double, 3>> rows;
-  for (uint64_t items : {64ull, 256ull, 1024ull, 4096ull, 16384ull}) {
-    double simpledb_tps = RunSimpleDb(items);
-    double rvm_tps = RunRvm(items);
+  std::vector<std::string> json_runs;
+  for (uint64_t items : sizes) {
+    double simpledb_tps = RunSimpleDb(items, updates);
+    RvmStatistics rvm_stats;
+    double rvm_tps = RunRvm(items, updates, &rvm_stats);
+    if (args.json_requested()) {
+      json_runs.push_back(StatisticsJsonRun(
+          "rvm_items_" + std::to_string(items), rvm_stats,
+          {{"items", items},
+           {"updates", updates},
+           {"throughput_tps_milli", MilliRate(rvm_tps)}}));
+      json_runs.push_back(
+          PlainJsonRun("simpledb_items_" + std::to_string(items),
+                       {{"items", items},
+                        {"updates", updates},
+                        {"throughput_tps_milli", MilliRate(simpledb_tps)}}));
+    }
     rows.push_back({static_cast<double>(items), simpledb_tps, rvm_tps});
     std::printf("%10llu %12llu | %14.1f %14.1f %10s\n",
                 static_cast<unsigned long long>(items),
@@ -99,6 +127,16 @@ int Main() {
                 simpledb_tps, rvm_tps, rvm_tps > simpledb_tps ? "RVM" : "SimpleDB");
   }
   std::printf("\n");
+
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-simpledb", json_runs));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
 
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
@@ -119,4 +157,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_args.h"
 #include "src/camelot/camelot.h"
 #include "src/rvm/rvm.h"
 #include "src/sim/sim_clock.h"
@@ -22,7 +23,7 @@ namespace {
 constexpr uint64_t kPage = 4096;
 
 // Time from cold start to first committed transaction.
-double RvmStartupSeconds(uint64_t region_bytes) {
+double RvmStartupSeconds(uint64_t region_bytes, RvmStatistics* stats) {
   SimClock clock;
   SimDisk log_disk(&clock, "log");
   SimDisk data_disk(&clock, "data");
@@ -51,6 +52,9 @@ double RvmStartupSeconds(uint64_t region_bytes) {
   (void)(*rvm)->SetRange(*tid, base, 128);
   base[0] = 1;
   (void)(*rvm)->EndTransaction(*tid, CommitMode::kFlush);
+  if (stats != nullptr) {
+    *stats = (*rvm)->statistics().Snapshot();
+  }
   return clock.now_micros() / 1e6;
 }
 
@@ -75,20 +79,55 @@ double CamelotStartupSeconds(uint64_t region_bytes) {
   return clock.now_micros() / 1e6;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
   std::printf("Startup latency to first transaction (§3.2): en-masse copy-in "
-              "vs demand paging\n\n");
+              "vs demand paging%s\n\n",
+              args.quick ? " [quick]" : "");
   std::printf("%12s %16s %20s\n", "region MB", "RVM startup s",
               "Camelot startup s");
+  std::vector<uint64_t> sizes = {8, 16, 32, 64, 96};
+  if (args.quick) {
+    sizes = {8, 16, 32};
+  }
   std::vector<std::array<double, 3>> rows;
-  for (uint64_t mb : {8ull, 16ull, 32ull, 64ull, 96ull}) {
-    double rvm_s = RvmStartupSeconds(mb << 20);
+  std::vector<std::string> json_runs;
+  for (uint64_t mb : sizes) {
+    RvmStatistics rvm_stats;
+    double rvm_s = RvmStartupSeconds(mb << 20, &rvm_stats);
     double camelot_s = CamelotStartupSeconds(mb << 20);
+    if (args.json_requested()) {
+      // The gated rate is copy-in bandwidth: region MB over time-to-first-
+      // transaction. A slower map path shows up here directly.
+      json_runs.push_back(StatisticsJsonRun(
+          "rvm_" + std::to_string(mb) + "_mb", rvm_stats,
+          {{"region_mb", mb},
+           {"startup_us", static_cast<uint64_t>(rvm_s * 1e6)},
+           {"throughput_mapin_mb_per_s_milli",
+            MilliRate(static_cast<double>(mb) / rvm_s)}}));
+      json_runs.push_back(PlainJsonRun(
+          "camelot_" + std::to_string(mb) + "_mb",
+          {{"region_mb", mb},
+           {"startup_us", static_cast<uint64_t>(camelot_s * 1e6)}}));
+    }
     rows.push_back({static_cast<double>(mb), rvm_s, camelot_s});
     std::printf("%12llu %16.2f %20.3f\n", static_cast<unsigned long long>(mb),
                 rvm_s, camelot_s);
   }
   std::printf("\n");
+
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-startup", json_runs));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
 
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
@@ -107,4 +146,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_args.h"
 #include "bench/tpca_machine.h"
 
 namespace rvm {
@@ -33,9 +34,21 @@ constexpr PaperRow kPaper[14] = {
     {46.5, 30.9, 38.7, 48.0, 18.2, 32.3}, {46.4, 27.4, 35.4, 47.7, 17.9, 31.6},
 };
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
   MachineConfig machine;
-  std::printf("Table 1: Transactional Throughput (TPC-A variant, §7.1)\n");
+  std::vector<int> row_ids = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  if (args.quick) {
+    // Three sizes spanning the Rmem/Pmem range, short measurement windows.
+    row_ids = {0, 6, 13};
+    machine.warmup_txns = 500;
+    machine.measured_txns = 1500;
+  }
+  std::printf("Table 1: Transactional Throughput (TPC-A variant, §7.1)%s\n",
+              args.quick ? " [quick]" : "");
   std::printf("DECstation 5000/200 model: 64 MB memory, separate log/data/"
               "paging disks, ~17.4 ms log force\n");
   std::printf("Values: transactions/sec, measured (paper) — paper values from "
@@ -45,7 +58,8 @@ int Main() {
               "Camelot Rand", "Camelot Local");
 
   std::vector<std::array<double, 7>> series;
-  for (int row = 0; row < 14; ++row) {
+  std::vector<std::string> json_runs;
+  for (int row : row_ids) {
     uint64_t accounts = 32768ull * (row + 1);
     double measured[6];
     int column = 0;
@@ -58,6 +72,19 @@ int Main() {
         config.pattern = pattern;
         TpcaRunResult result = camelot ? RunCamelotTpca(config, machine)
                                        : RunRvmTpca(config, machine);
+        if (args.json_requested()) {
+          std::string run_name = std::string(camelot ? "camelot" : "rvm") +
+                                 "_" + PatternName(pattern) + "_accounts_" +
+                                 std::to_string(accounts);
+          std::vector<std::pair<std::string, uint64_t>> extras = {
+              {"accounts", accounts},
+              {"rmem_pmem_pct_milli", MilliRate(result.rmem_pmem_pct)},
+              {"throughput_tps_milli", MilliRate(result.tps)}};
+          json_runs.push_back(camelot
+                                  ? PlainJsonRun(run_name, extras)
+                                  : StatisticsJsonRun(run_name, result.stats,
+                                                      extras));
+        }
         measured[column++] = result.tps;
         ratio = result.rmem_pmem_pct;
       }
@@ -79,6 +106,16 @@ int Main() {
   for (const auto& row : series) {
     std::printf("fig8,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", row[0], row[1],
                 row[2], row[3], row[4], row[5], row[6]);
+  }
+
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-table1-throughput", json_runs));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
   }
 
   // Shape assertions: who wins, where the knees are.
@@ -115,4 +152,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_args.h"
 #include "src/rvm/rvm.h"
 #include "src/sim/sim_clock.h"
 #include "src/sim/sim_disk.h"
@@ -24,6 +25,7 @@ struct TruncResult {
   double worst_commit_ms = 0;
   uint64_t epochs = 0;
   uint64_t incremental_pages = 0;
+  RvmStatistics stats;
 };
 
 TruncResult Run(bool incremental, uint64_t txns) {
@@ -68,15 +70,21 @@ TruncResult Run(bool incremental, uint64_t txns) {
   TruncResult result;
   result.tps = static_cast<double>(txns) / (clock.now_micros() / 1e6);
   result.worst_commit_ms = worst_commit / 1000.0;
-  result.epochs = (*rvm)->statistics().epoch_truncations;
-  result.incremental_pages = (*rvm)->statistics().incremental_pages_written;
+  result.stats = (*rvm)->statistics().Snapshot();
+  result.epochs = result.stats.epoch_truncations;
+  result.incremental_pages = result.stats.incremental_pages_written;
   return result;
 }
 
-int Main() {
-  constexpr uint64_t kTxns = 3000;
+int Main(int argc, char** argv) {
+  BenchArgs args;
+  if (!ParseBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
+  const uint64_t kTxns = args.quick ? 600 : 3000;
   std::printf("Truncation ablation (§5.1.2): epoch vs incremental, 2 MB log, "
-              "localized 2 KB transactions\n\n");
+              "localized 2 KB transactions%s\n\n",
+              args.quick ? " [quick]" : "");
   TruncResult epoch = Run(false, kTxns);
   TruncResult incremental = Run(true, kTxns);
   std::printf("%-14s %10s %18s %10s %14s\n", "Policy", "tps",
@@ -89,6 +97,26 @@ int Main() {
               static_cast<unsigned long long>(incremental.epochs),
               static_cast<unsigned long long>(incremental.incremental_pages));
   std::printf("\n");
+
+  auto json_run = [&](const char* name, const TruncResult& result) {
+    return StatisticsJsonRun(
+        name, result.stats,
+        {{"txns", kTxns},
+         {"throughput_tps_milli", MilliRate(result.tps)},
+         {"worst_commit_us",
+          static_cast<uint64_t>(result.worst_commit_ms * 1000.0)}});
+  };
+  if (int rc = EmitTelemetryJson(
+          args, TelemetryJsonDocument("bench-truncation",
+                                      {json_run("epoch", epoch),
+                                       json_run("incremental", incremental)}));
+      rc != 0) {
+    return rc;
+  }
+  if (args.quick) {
+    std::printf("shape checks skipped in --quick mode\n");
+    return 0;
+  }
 
   bool ok = true;
   auto check = [&](bool condition, const char* what) {
@@ -109,4 +137,4 @@ int Main() {
 }  // namespace
 }  // namespace rvm
 
-int main() { return rvm::Main(); }
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -165,6 +165,7 @@ TpcaRunResult RunRvmTpca(const TpcaConfig& workload_config,
       (*rvm)->statistics().epoch_truncations - truncations_before;
   result.rmem_pmem_pct = 100.0 * static_cast<double>(layout.total) /
                          static_cast<double>(machine_config.physical_bytes);
+  result.stats = (*rvm)->statistics().Snapshot();
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/rvm/statistics.h"
 #include "src/workload/tpca.h"
 
 namespace rvm {
@@ -38,6 +39,10 @@ struct TpcaRunResult {
   double faults_per_txn = 0;
   uint64_t truncations = 0;
   double rmem_pmem_pct = 0;
+  // RVM runs only (Camelot has no RvmStatistics): full counter/histogram
+  // snapshot including the whole-run commit_latency_us distribution, for
+  // --json telemetry documents.
+  RvmStatistics stats;
 };
 
 // Runs the workload on RVM (epoch truncation, the paper's measured version).

@@ -1,0 +1,206 @@
+// RvmGauges: a structured point-in-time view of the instance's log-space and
+// pipeline state — the quantities §5.1–§5.3 and Fig. 6–7 reason about but
+// RvmStatistics' monotonic counters cannot express. Where counters answer
+// "how much work has happened", gauges answer "what does the instance look
+// like right now": log head/tail geometry, utilization, how many bytes a
+// truncation could reclaim, queue depths, and per-region page-vector state.
+//
+// Produced by RvmInstance::Introspect() under the staged locks, consumed by
+// the StatsSampler time series, `rvmutl top`, and tests. The flat numeric
+// JSON rendering (GaugesJson) is the "gauges" member of every
+// rvm-timeseries-v1 sample line.
+#ifndef RVM_RVM_GAUGES_H_
+#define RVM_RVM_GAUGES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/json.h"
+
+namespace rvm {
+
+// Page-vector state of one mapped region (Fig. 7). "reserved" pages are
+// those an incremental truncation must skip: they carry uncommitted or
+// committed-but-unflushed changes (PageEntry::write_blocked).
+struct RegionGauges {
+  std::string segment_path;
+  uint64_t segment_offset = 0;
+  uint64_t length = 0;
+  uint64_t num_pages = 0;
+  uint64_t dirty_pages = 0;        // committed changes not yet in the segment
+  uint64_t queued_pages = 0;       // present in the page queue
+  uint64_t uncommitted_pages = 0;  // pages with uncommitted_refs > 0
+  uint64_t reserved_pages = 0;     // write-blocked (uncommitted or unflushed)
+  uint64_t active_transactions = 0;
+};
+
+struct RvmGauges {
+  uint64_t timestamp_us = 0;
+
+  // Log geometry (absolute file offsets; the record area starts after the
+  // two status blocks). wrapped is 1 when the live range crosses the end of
+  // the area, i.e. tail < head in file order.
+  uint64_t log_capacity = 0;
+  uint64_t log_head = 0;
+  uint64_t log_tail = 0;
+  uint64_t log_wrapped = 0;
+  uint64_t log_bytes_in_use = 0;
+  double log_utilization = 0;  // bytes in use / capacity, 0..1
+  // Live bytes between the head and the first record whose page is
+  // write-blocked — what an incremental truncation could reclaim right now
+  // without falling back to an epoch (§5.1.2). Equals bytes in use when
+  // nothing blocks.
+  uint64_t log_reclaimable_bytes = 0;
+  uint64_t appended_lsn = 0;
+  uint64_t durable_lsn = 0;
+
+  // Pipeline depths.
+  uint64_t page_queue_depth = 0;
+  uint64_t spool_entries = 0;
+  uint64_t spool_bytes = 0;
+  uint64_t open_transactions = 0;
+  uint64_t group_waiters = 0;
+  uint64_t group_leader_active = 0;
+  // truncations_started - truncations_completed at the snapshot instant.
+  uint64_t truncations_in_flight = 0;
+  uint64_t poisoned = 0;
+
+  std::vector<RegionGauges> regions;
+
+  // Totals across regions, so consumers that only want one number per
+  // dimension need not walk the region list.
+  uint64_t total_dirty_pages() const {
+    uint64_t n = 0;
+    for (const RegionGauges& r : regions) {
+      n += r.dirty_pages;
+    }
+    return n;
+  }
+  uint64_t total_reserved_pages() const {
+    uint64_t n = 0;
+    for (const RegionGauges& r : regions) {
+      n += r.reserved_pages;
+    }
+    return n;
+  }
+
+  // Visits every scalar gauge as (name, value): the keys of the flat
+  // "gauges" object in a time-series sample. Per-region detail is emitted
+  // separately (see GaugesJson).
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    fn("log_capacity", static_cast<double>(log_capacity));
+    fn("log_head", static_cast<double>(log_head));
+    fn("log_tail", static_cast<double>(log_tail));
+    fn("log_wrapped", static_cast<double>(log_wrapped));
+    fn("log_bytes_in_use", static_cast<double>(log_bytes_in_use));
+    fn("log_utilization", log_utilization);
+    fn("log_reclaimable_bytes", static_cast<double>(log_reclaimable_bytes));
+    fn("appended_lsn", static_cast<double>(appended_lsn));
+    fn("durable_lsn", static_cast<double>(durable_lsn));
+    fn("page_queue_depth", static_cast<double>(page_queue_depth));
+    fn("spool_entries", static_cast<double>(spool_entries));
+    fn("spool_bytes", static_cast<double>(spool_bytes));
+    fn("open_transactions", static_cast<double>(open_transactions));
+    fn("group_waiters", static_cast<double>(group_waiters));
+    fn("group_leader_active", static_cast<double>(group_leader_active));
+    fn("truncations_in_flight", static_cast<double>(truncations_in_flight));
+    fn("dirty_pages", static_cast<double>(total_dirty_pages()));
+    fn("reserved_pages", static_cast<double>(total_reserved_pages()));
+    fn("poisoned", static_cast<double>(poisoned));
+  }
+};
+
+// The gauges as one flat JSON object of numbers plus a "regions" array —
+// the "gauges" member of an rvm-timeseries-v1 sample line.
+inline std::string GaugesJson(const RvmGauges& gauges) {
+  char buf[192];
+  std::string out = "{";
+  bool first = true;
+  gauges.ForEachGauge([&](const char* name, double value) {
+    // Integral gauges render without a fraction so documents diff cleanly.
+    if (value == static_cast<double>(static_cast<uint64_t>(value))) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6f", value);
+    }
+    out += (first ? "\"" : ",\"") + std::string(name) + "\":" + buf;
+    first = false;
+  });
+  out += ",\"regions\":[";
+  for (size_t i = 0; i < gauges.regions.size(); ++i) {
+    const RegionGauges& r = gauges.regions[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"segment\":\"" + JsonEscape(r.segment_path) + "\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"pages\":%llu,\"dirty\":%llu,\"queued\":%llu,"
+                  "\"uncommitted\":%llu,\"reserved\":%llu,\"txns\":%llu}",
+                  static_cast<unsigned long long>(r.num_pages),
+                  static_cast<unsigned long long>(r.dirty_pages),
+                  static_cast<unsigned long long>(r.queued_pages),
+                  static_cast<unsigned long long>(r.uncommitted_pages),
+                  static_cast<unsigned long long>(r.reserved_pages),
+                  static_cast<unsigned long long>(r.active_transactions));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+// Human-readable rendering for `rvmutl top`.
+inline std::string FormatGauges(const RvmGauges& gauges) {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "log   %10llu / %llu bytes (%5.1f%% used)  head=%llu "
+                "tail=%llu%s\n",
+                static_cast<unsigned long long>(gauges.log_bytes_in_use),
+                static_cast<unsigned long long>(gauges.log_capacity),
+                gauges.log_utilization * 100.0,
+                static_cast<unsigned long long>(gauges.log_head),
+                static_cast<unsigned long long>(gauges.log_tail),
+                gauges.log_wrapped != 0 ? " (wrapped)" : "");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "      reclaimable=%llu  lsn appended=%llu durable=%llu\n",
+                static_cast<unsigned long long>(gauges.log_reclaimable_bytes),
+                static_cast<unsigned long long>(gauges.appended_lsn),
+                static_cast<unsigned long long>(gauges.durable_lsn));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "queues page=%llu spool=%llu (%llu bytes) group=%llu%s txns=%llu "
+      "trunc-in-flight=%llu%s\n",
+      static_cast<unsigned long long>(gauges.page_queue_depth),
+      static_cast<unsigned long long>(gauges.spool_entries),
+      static_cast<unsigned long long>(gauges.spool_bytes),
+      static_cast<unsigned long long>(gauges.group_waiters),
+      gauges.group_leader_active != 0 ? "+leader" : "",
+      static_cast<unsigned long long>(gauges.open_transactions),
+      static_cast<unsigned long long>(gauges.truncations_in_flight),
+      gauges.poisoned != 0 ? "  POISONED" : "");
+  out += line;
+  for (const RegionGauges& r : gauges.regions) {
+    std::snprintf(line, sizeof(line),
+                  "region %-32s pages=%llu dirty=%llu queued=%llu "
+                  "uncommitted=%llu reserved=%llu txns=%llu\n",
+                  r.segment_path.c_str(),
+                  static_cast<unsigned long long>(r.num_pages),
+                  static_cast<unsigned long long>(r.dirty_pages),
+                  static_cast<unsigned long long>(r.queued_pages),
+                  static_cast<unsigned long long>(r.uncommitted_pages),
+                  static_cast<unsigned long long>(r.reserved_pages),
+                  static_cast<unsigned long long>(r.active_transactions));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rvm
+
+#endif  // RVM_RVM_GAUGES_H_

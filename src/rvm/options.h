@@ -103,6 +103,18 @@ struct RvmOptions {
   // plus a full statistics snapshot) to "<log_path>.poison.json".
   bool enable_poison_dump = true;
 
+  // Continuous observability (DESIGN.md §11). sample_capacity bounds the
+  // StatsSampler's ring of gauge+counter samples; 0 disables sampling
+  // entirely (no ring, no dumps). sample_interval_us is the background
+  // sampling thread's period; 0 means no thread — samples are taken only by
+  // explicit SampleNow() calls (the mode for simulated environments, whose
+  // clock does not advance with wall time). When sampling is enabled, the
+  // ring is flushed as an "rvm-timeseries-v1" JSONL document to
+  // "<log_path>.timeseries.jsonl" on Terminate and (best-effort) on poison,
+  // and on demand via DumpTimeseries(path).
+  uint64_t sample_interval_us = 0;
+  uint64_t sample_capacity = 0;
+
   RuntimeOptions runtime;
 };
 

@@ -42,6 +42,11 @@ StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
     instance->truncation_thread_ =
         std::thread([raw = instance.get()] { raw->TruncationThreadMain(); });
   }
+  // The sampler thread (if any) starts only after recovery: a sample taken
+  // mid-recovery would show half-applied state under locks recovery holds.
+  if (instance->sampler_ != nullptr) {
+    instance->sampler_->Start();
+  }
   return instance;
 }
 
@@ -71,6 +76,13 @@ void RvmInstance::Poison(const Status& cause) {
   Trace(TraceEventType::kPoison, static_cast<uint64_t>(cause.code()));
   if (poison_dump_enabled_) {
     DumpPoisonSidecar(cause);
+  }
+  if (sampler_ != nullptr && sampler_->recorded() > 0) {
+    // Best-effort like the sidecar: flush whatever the ring already holds.
+    // No new sample is taken — Poison may run under any lock combination
+    // and Introspect needs the staged locks, whereas the ring dump touches
+    // only the sampler's own leaf mutex.
+    (void)WriteTimeseriesFile(log_path_ + ".timeseries.jsonl");
   }
 }
 
@@ -192,7 +204,16 @@ RvmInstance::RvmInstance(const RvmOptions& options,
       poison_dump_enabled_(options.enable_poison_dump),
       runtime_(options.runtime),
       truncation_mode_(options.truncation_mode),
-      trace_(options.trace_capacity) {}
+      trace_(options.trace_capacity) {
+  if (options.sample_capacity > 0) {
+    StatsSampler::Options sampler_options;
+    sampler_options.sample_interval_us = options.sample_interval_us;
+    sampler_options.sample_capacity = options.sample_capacity;
+    sampler_options.source = "rvm-sampler";
+    sampler_ = std::make_unique<StatsSampler>(
+        sampler_options, [this] { return TakeTimeseriesSample(); });
+  }
+}
 
 RvmInstance::~RvmInstance() {
   StopTruncationThread();
@@ -212,23 +233,43 @@ RvmInstance::~RvmInstance() {
 
 Status RvmInstance::Terminate() {
   StopTruncationThread();
-  std::lock_guard<std::mutex> lock(state_mu_);
-  if (terminated_) {
+  // The sampler thread pulls samples through the staged locks; stop it
+  // before taking state_mu_ so shutdown cannot race a sample. The final
+  // explicit sample captures the instance's terminal state in the series.
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+    sampler_->SampleNow();
+  }
+  Status result = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (terminated_) {
+      return OkStatus();
+    }
+    if (!transactions_.empty()) {
+      return FailedPrecondition("uncommitted transactions outstanding");
+    }
+    RVM_RETURN_IF_ERROR(FailIfPoisoned());
+    RVM_RETURN_IF_ERROR(FlushDirectLocked());
+    // Persist the exact tail so the next Initialize has no forward scanning
+    // to do; not required for correctness, recovery would find the tail
+    // itself.
+    {
+      std::lock_guard<std::mutex> log_lock(log_mu_);
+      RVM_RETURN_IF_ERROR(log_->WriteStatus());
+    }
+    terminated_ = true;
     return OkStatus();
+  }();
+  if (result.ok() && sampler_ != nullptr && sampler_->recorded() > 0) {
+    // The time series outlives the instance next to its log. A dump failure
+    // must not fail a Terminate whose durability work already succeeded.
+    Status dumped = WriteTimeseriesFile(log_path_ + ".timeseries.jsonl");
+    if (!dumped.ok()) {
+      RVM_LOG_WARN("timeseries dump on terminate failed: %s",
+                   dumped.ToString().c_str());
+    }
   }
-  if (!transactions_.empty()) {
-    return FailedPrecondition("uncommitted transactions outstanding");
-  }
-  RVM_RETURN_IF_ERROR(FailIfPoisoned());
-  RVM_RETURN_IF_ERROR(FlushDirectLocked());
-  // Persist the exact tail so the next Initialize has no forward scanning to
-  // do; not required for correctness, recovery would find the tail itself.
-  {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    RVM_RETURN_IF_ERROR(log_->WriteStatus());
-  }
-  terminated_ = true;
-  return OkStatus();
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -703,8 +744,13 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
 
   if (mode == CommitMode::kNoFlush) {
     ReleaseUncommittedLocked(txn);
-    ++stats_.transactions_committed;
-    ++stats_.no_flush_commits;
+    {
+      // Commit-count cluster: readers derive flush/no-flush splits from
+      // these; the scope keeps the pair from tearing in a Snapshot().
+      MultiFieldUpdate seqlock(stats_);
+      ++stats_.transactions_committed;
+      ++stats_.no_flush_commits;
+    }
     for (auto& [region, page] : entry.pages) {
       ++region->pages.entry(page).unflushed_refs;
     }
@@ -933,6 +979,11 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
         Poison(sync_status);
         result = sync_status;
       } else if (forced) {
+        // Force cluster: forces and batches move together, and readers
+        // derive saved forces from batches vs. batched_txns — bracket the
+        // cluster so a Snapshot() cannot observe the force without its
+        // batch (or vice versa).
+        MultiFieldUpdate seqlock(stats_);
         ++stats_.log_forces;
         ++stats_.group_commit_batches;
         stats_.commit_fsync_us.Record(sync_us);
@@ -1128,6 +1179,125 @@ uint64_t RvmInstance::log_capacity() {
 uint64_t RvmInstance::spooled_bytes() {
   std::lock_guard<std::mutex> lock(state_mu_);
   return spool_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// Continuous observability (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+RvmGauges RvmInstance::Introspect() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  return IntrospectBothLocked();
+}
+
+RvmGauges RvmInstance::IntrospectBothLocked() {
+  RvmGauges gauges;
+  gauges.timestamp_us = env_->NowMicros();
+
+  const LogStatusBlock& status = log_->status();
+  gauges.log_capacity = log_->capacity();
+  gauges.log_head = status.head;
+  gauges.log_tail = status.tail;
+  gauges.log_wrapped = status.tail < status.head ? 1 : 0;
+  gauges.log_bytes_in_use = log_->used();
+  gauges.log_utilization =
+      gauges.log_capacity == 0
+          ? 0
+          : static_cast<double>(gauges.log_bytes_in_use) /
+                static_cast<double>(gauges.log_capacity);
+  gauges.appended_lsn = log_->appended_lsn();
+  gauges.durable_lsn = log_->durable_lsn();
+
+  // Reclaimable bytes: live bytes between the head and the first queued page
+  // that is write-blocked — the head advance an incremental truncation could
+  // achieve right now (Fig. 7). Stale descriptors (cleared by an epoch pass)
+  // do not block; with no blocked page everything in use is reclaimable.
+  gauges.log_reclaimable_bytes = gauges.log_bytes_in_use;
+  for (const QueuedPage& queued : page_queue_) {
+    const PageEntry& entry = queued.region->pages.entry(queued.page);
+    if (!entry.dirty || !entry.in_queue) {
+      continue;
+    }
+    if (entry.write_blocked()) {
+      const uint64_t blocked_at = queued.log_offset;
+      gauges.log_reclaimable_bytes =
+          blocked_at >= status.head
+              ? blocked_at - status.head
+              : (status.log_size - status.head) +
+                    (blocked_at - kLogDataStart);
+      break;
+    }
+  }
+
+  gauges.page_queue_depth = page_queue_.size();
+  gauges.spool_entries = spool_.size();
+  gauges.spool_bytes = spool_bytes_;
+  gauges.open_transactions = transactions_.size();
+  {
+    // group_mu_ is a leaf: taking it while holding the other two respects
+    // the lock order (it is never held while acquiring them).
+    std::lock_guard<std::mutex> group_lock(group_mu_);
+    gauges.group_waiters = group_waiters_;
+    gauges.group_leader_active = group_leader_active_ ? 1 : 0;
+  }
+  gauges.truncations_in_flight = SaturatingSub(
+      stats_.truncations_started.load(), stats_.truncations_completed.load());
+  gauges.poisoned = poisoned() ? 1 : 0;
+
+  for (const auto& [base, region] : regions_) {
+    RegionGauges rg;
+    rg.segment_path = region->segment_path;
+    rg.segment_offset = region->segment_offset;
+    rg.length = region->length;
+    rg.num_pages = region->pages.num_pages();
+    rg.active_transactions = region->active_transactions;
+    for (uint64_t page = 0; page < rg.num_pages; ++page) {
+      const PageEntry& entry = region->pages.entry(page);
+      rg.dirty_pages += entry.dirty ? 1 : 0;
+      rg.queued_pages += entry.in_queue ? 1 : 0;
+      rg.uncommitted_pages += entry.uncommitted_refs > 0 ? 1 : 0;
+      rg.reserved_pages += entry.write_blocked() ? 1 : 0;
+    }
+    gauges.regions.push_back(std::move(rg));
+  }
+  return gauges;
+}
+
+TimeseriesSample RvmInstance::TakeTimeseriesSample() {
+  const RvmGauges gauges = Introspect();
+  TimeseriesSample sample;
+  sample.timestamp_us = gauges.timestamp_us;
+  sample.body = "\"gauges\":" + GaugesJson(gauges) +
+                ",\"counters\":" + StatisticsCountersJson(stats_.Snapshot());
+  return sample;
+}
+
+void RvmInstance::SampleNow() {
+  if (sampler_ != nullptr) {
+    sampler_->SampleNow();
+  }
+}
+
+Status RvmInstance::WriteTimeseriesFile(const std::string& path) {
+  const std::string document = sampler_->DumpJsonl();
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env_->Open(path, OpenMode::kTruncate));
+  RVM_RETURN_IF_ERROR(file->WriteAt(
+      0, std::span<const uint8_t>(
+             reinterpret_cast<const uint8_t*>(document.data()),
+             document.size())));
+  return file->Sync();
+}
+
+Status RvmInstance::DumpTimeseries(const std::string& path) {
+  if (sampler_ == nullptr) {
+    return FailedPrecondition("sampling disabled (sample_capacity is 0)");
+  }
+  if (sampler_->recorded() == 0) {
+    return FailedPrecondition("no samples recorded");
+  }
+  return WriteTimeseriesFile(path);
 }
 
 }  // namespace rvm

@@ -55,11 +55,13 @@
 
 #include "src/os/file.h"
 #include "src/rvm/cpu_model.h"
+#include "src/rvm/gauges.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/options.h"
 #include "src/rvm/page_vector.h"
 #include "src/rvm/statistics.h"
 #include "src/rvm/types.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/trace.h"
 #include "src/util/interval_set.h"
 #include "src/util/status.h"
@@ -159,6 +161,27 @@ class RvmInstance {
   RuntimeOptions GetOptions();
 
   const RvmStatistics& statistics() const { return stats_; }
+
+  // Continuous observability (DESIGN.md §11): a structured snapshot of the
+  // instance's current log-space and pipeline state — log geometry and
+  // utilization, reclaimable bytes, page-queue/spool/group-stage depths,
+  // per-region page-vector counts, poison state — taken under the staged
+  // locks (state, then log, then the group leaf), so the gauges within one
+  // snapshot are mutually consistent. Works on a poisoned instance: gauges
+  // are reads, not I/O.
+  RvmGauges Introspect();
+
+  // Records one gauges+counters sample into the StatsSampler ring (no-op
+  // when RvmOptions::sample_capacity is 0). The background thread calls the
+  // same path every sample_interval_us; explicit calls are how simulated
+  // and deterministic-test runs build a time series.
+  void SampleNow();
+
+  // Writes the sampler ring as an rvm-timeseries-v1 JSONL document to
+  // `path`. kFailedPrecondition when sampling is disabled or no samples have
+  // been recorded. Terminate writes the same document to
+  // "<log_path>.timeseries.jsonl" automatically; poison does so best-effort.
+  Status DumpTimeseries(const std::string& path);
 
   // Flight recorder (DESIGN.md §10): the newest trace events, oldest first
   // (up to RvmOptions::trace_capacity). Dumping does not clear the ring.
@@ -305,6 +328,17 @@ class RvmInstance {
   void NotifyDurableWaiters();
   Status MaybeTruncate();
 
+  // --- observability (rvm.cc) ---
+  // The body of Introspect once state_mu_ and log_mu_ are held.
+  RvmGauges IntrospectBothLocked();
+  // Renders one sampler entry: gauges (via Introspect) plus a statistics
+  // snapshot. Acquires the staged locks; never call it while holding them.
+  TimeseriesSample TakeTimeseriesSample();
+  // Writes the sampler ring to `path`; shared by DumpTimeseries, Terminate,
+  // and the poison path. Touches only the sampler ring and env_, so callable
+  // from any lock state.
+  Status WriteTimeseriesFile(const std::string& path);
+
   // --- failure containment ---
   // Enters fail-stop mode with `cause` (first call wins; later calls are
   // no-ops). Callable from any thread with any lock state: it synchronizes
@@ -384,6 +418,11 @@ class RvmInstance {
   RvmStatistics stats_;
   // Trace ring (leaf mutex of its own; safe from any thread / lock state).
   TraceRecorder trace_;
+  // Time-series sampler (DESIGN.md §11); null when sample_capacity is 0.
+  // Owns its ring behind a leaf mutex; its background thread (when
+  // sample_interval_us > 0) pulls samples through TakeTimeseriesSample and
+  // is stopped before Terminate takes the state lock.
+  std::unique_ptr<StatsSampler> sampler_;
 };
 
 // RAII transaction helper. Aborts on destruction unless committed.

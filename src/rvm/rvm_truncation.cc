@@ -198,8 +198,15 @@ Status RvmInstance::TruncateEpochBothLocked() {
   for (auto& [base, region] : regions_) {
     region->pages.ClearDirtyAndQueued();
   }
-  ++stats_.truncations_completed;
-  ++stats_.epoch_truncations;
+  {
+    // Completion cluster: the in-flight window derivation (started minus
+    // completed) and the epoch count move together under the seqlock so a
+    // Snapshot() cannot see a completed truncation that is not yet epoch-
+    // attributed.
+    MultiFieldUpdate seqlock(stats_);
+    ++stats_.truncations_completed;
+    ++stats_.epoch_truncations;
+  }
   Trace(TraceEventType::kTruncationComplete, 0);
   return OkStatus();
 }

@@ -3,10 +3,10 @@
 //
 // Counters are individually atomic so they can be bumped from any thread
 // (commit path under the state lock, group-commit leaders under no lock at
-// all, truncation thread) and read without synchronization. Reading the
-// whole struct is not a consistent cross-counter snapshot; use Snapshot()
-// when an approximate point-in-time view is enough (each field is loaded
-// once) — that method is the one place the caveat is documented.
+// all, truncation thread) and read without synchronization. Writers bracket
+// related multi-field updates with MultiFieldUpdate so Snapshot() can detect
+// a copy that raced with one and retry it (see the seqlock comment on
+// Snapshot below).
 #ifndef RVM_RVM_STATISTICS_H_
 #define RVM_RVM_STATISTICS_H_
 
@@ -73,6 +73,25 @@ class StatCounter {
 
   uint64_t load() const { return value_.load(std::memory_order_relaxed); }
   operator uint64_t() const { return load(); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// One half of the statistics seqlock: a copyable atomic whose increments are
+// release operations and whose loads are acquire operations, so a reader
+// that sees `updates_done_` advance is guaranteed to also see every counter
+// store the writer made before bumping it.
+class UpdateSeq {
+ public:
+  UpdateSeq() = default;
+  UpdateSeq(const UpdateSeq& other) : value_(other.Load()) {}
+  UpdateSeq& operator=(const UpdateSeq& other) {
+    value_.store(other.Load(), std::memory_order_relaxed);
+    return *this;
+  }
+  void Bump() { value_.fetch_add(1, std::memory_order_acq_rel); }
+  uint64_t Load() const { return value_.load(std::memory_order_acquire); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -150,13 +169,47 @@ struct RvmStatistics {
   LatencyHistogram truncation_step_us;
   LatencyHistogram recovery_apply_us;
 
-  // An approximate point-in-time copy: each field is loaded exactly once
-  // (relaxed), but fields mutated concurrently may land from different
-  // instants, so derived cross-field values (rates, differences) can be
-  // transiently inconsistent. This is the documented consistency caveat for
-  // all statistics readers — callers that display or serialize statistics
-  // should read one Snapshot() rather than the live struct repeatedly.
-  RvmStatistics Snapshot() const { return *this; }
+  // A point-in-time copy with torn-read detection (the seqlock that closes
+  // the historical "fields may land from different instants" caveat).
+  // Writers bracket every related multi-field update with MultiFieldUpdate,
+  // which bumps updates_begun_ before the first store and updates_done_
+  // after the last. A reader copies the struct only while the two counters
+  // agree and re-checks them afterwards: if either moved, the copy may mix
+  // fields from before and after an update cluster and is retried.
+  //
+  // Works with any number of concurrent writers (unlike a parity seqlock:
+  // begun/done stay equal only when no writer is mid-cluster). The retry
+  // loop is bounded — under sustained write pressure (e.g. a commit storm)
+  // the last copy is returned anyway, degrading to the old per-field-atomic
+  // behavior rather than livelocking a monitoring reader. Counters not
+  // inside any cluster still land at whatever instant the copy read them;
+  // the clusters cover the derivations display code actually performs
+  // (group-commit saved forces, truncation in-flight window, Table 2 byte
+  // accounting).
+  RvmStatistics Snapshot() const {
+    static constexpr int kMaxRetries = 16;
+    RvmStatistics copy;
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t done = updates_done_.Load();
+      const uint64_t begun = updates_begun_.Load();
+      copy = *this;
+      const bool clean = begun == done && updates_begun_.Load() == begun &&
+                         updates_done_.Load() == done;
+      if (clean || attempt + 1 >= kMaxRetries) {
+        return copy;  // clean, or the bounded-degradation fallback
+      }
+    }
+  }
+
+  // Seqlock halves. Writers never touch these directly — MultiFieldUpdate
+  // (below) bumps them; Snapshot() reads them. Kept public so the struct
+  // stays an aggregate and the helper needs no friendship.
+  UpdateSeq updates_begun_;
+  UpdateSeq updates_done_;
+  // Writer-side updates in flight right now, for tests and debugging.
+  uint64_t updates_in_flight() const {
+    return SaturatingSub(updates_begun_.Load(), updates_done_.Load());
+  }
 
   // fsyncs avoided by group commit (see the member comment above).
   uint64_t group_commit_saved_forces() const {
@@ -218,6 +271,25 @@ struct RvmStatistics {
   }
 };
 
+// RAII writer side of the statistics seqlock: brackets a cluster of related
+// counter updates so Snapshot() can detect (and retry past) a copy that
+// landed mid-cluster. Keep the guarded section short and free of blocking
+// I/O — a reader that keeps catching writers mid-cluster degrades to an
+// unvalidated copy after a bounded number of retries, so a long-lived scope
+// only erodes the guarantee it exists to provide.
+class MultiFieldUpdate {
+ public:
+  explicit MultiFieldUpdate(RvmStatistics& stats) : stats_(stats) {
+    stats_.updates_begun_.Bump();
+  }
+  ~MultiFieldUpdate() { stats_.updates_done_.Bump(); }
+  MultiFieldUpdate(const MultiFieldUpdate&) = delete;
+  MultiFieldUpdate& operator=(const MultiFieldUpdate&) = delete;
+
+ private:
+  RvmStatistics& stats_;
+};
+
 // One histogram object for the telemetry schema. Only non-empty buckets are
 // emitted; `le` is the bucket's inclusive upper bound.
 inline std::string HistogramJson(const LatencyHistogram::Snapshot& s) {
@@ -247,6 +319,24 @@ inline std::string HistogramJson(const LatencyHistogram::Snapshot& s) {
     first = false;
   }
   out += "]}";
+  return out;
+}
+
+// The counters alone as one flat JSON object — the "counters" member of an
+// rvm-timeseries-v1 sample line, where per-sample histograms would bloat
+// the document without adding signal (the histograms are cumulative; the
+// final telemetry document carries them once).
+inline std::string StatisticsCountersJson(const RvmStatistics& stats) {
+  std::string out = "{";
+  bool first = true;
+  stats.ForEachCounter([&](const char* name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",", name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  });
+  out += "}";
   return out;
 }
 

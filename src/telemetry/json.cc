@@ -393,4 +393,109 @@ Status ValidateTelemetryJson(std::string_view text) {
   return OkStatus();
 }
 
+namespace {
+
+// Validates one sample line's "gauges" object: flat numbers, plus an
+// optional "regions" array of objects.
+Status ValidateGauges(const std::string& where, const JsonValue& gauges) {
+  if (!gauges.IsObject()) {
+    return InvalidArgument(where + " 'gauges' is not an object");
+  }
+  for (const auto& [name, value] : gauges.object) {
+    if (name == "regions") {
+      if (!value.IsArray()) {
+        return InvalidArgument(where + " 'gauges.regions' is not an array");
+      }
+      for (const JsonValue& region : value.array) {
+        if (!region.IsObject()) {
+          return InvalidArgument(where +
+                                 " 'gauges.regions' entry is not an object");
+        }
+      }
+      continue;
+    }
+    if (!value.IsNumber()) {
+      return InvalidArgument(where + " gauge '" + name + "' is not a number");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateTimeseriesJsonl(std::string_view text) {
+  size_t line_number = 0;
+  size_t sample_count = 0;
+  double last_timestamp = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    ++line_number;
+    const std::string where = "line " + std::to_string(line_number);
+    RVM_ASSIGN_OR_RETURN(JsonValue value, ParseJson(line));
+    if (!value.IsObject()) {
+      return InvalidArgument(where + " is not a JSON object");
+    }
+    if (line_number == 1) {
+      const JsonValue* schema = value.Find("schema");
+      if (schema == nullptr || !schema->IsString() ||
+          schema->string != kTimeseriesSchemaVersion) {
+        return InvalidArgument(
+            std::string("header missing or wrong schema (expected \"") +
+            kTimeseriesSchemaVersion + "\")");
+      }
+      const JsonValue* source = value.Find("source");
+      if (source == nullptr || !source->IsString() || source->string.empty()) {
+        return InvalidArgument("header missing nonempty string 'source'");
+      }
+      const JsonValue* interval = value.Find("sample_interval_us");
+      if (interval == nullptr || !interval->IsNumber()) {
+        return InvalidArgument("header missing numeric 'sample_interval_us'");
+      }
+      continue;
+    }
+    const JsonValue* timestamp = value.Find("t");
+    if (timestamp == nullptr || !timestamp->IsNumber()) {
+      return InvalidArgument(where + " missing numeric timestamp 't'");
+    }
+    if (sample_count > 0 && timestamp->number < last_timestamp) {
+      return InvalidArgument(where + " timestamp decreases");
+    }
+    last_timestamp = timestamp->number;
+    const JsonValue* gauges = value.Find("gauges");
+    if (gauges == nullptr) {
+      return InvalidArgument(where + " missing object 'gauges'");
+    }
+    RVM_RETURN_IF_ERROR(ValidateGauges(where, *gauges));
+    const JsonValue* counters = value.Find("counters");
+    if (counters != nullptr) {
+      if (!counters->IsObject()) {
+        return InvalidArgument(where + " 'counters' is not an object");
+      }
+      for (const auto& [name, counter] : counters->object) {
+        if (!counter.IsNumber()) {
+          return InvalidArgument(where + " counter '" + name +
+                                 "' is not a number");
+        }
+      }
+    }
+    ++sample_count;
+  }
+  if (line_number == 0) {
+    return InvalidArgument("empty time-series document");
+  }
+  if (sample_count == 0) {
+    return InvalidArgument("time-series document has a header but no samples");
+  }
+  return OkStatus();
+}
+
 }  // namespace rvm

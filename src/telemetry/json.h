@@ -26,6 +26,18 @@
 // Extra top-level keys (e.g. the poison dump's "reason" and "trace") are
 // allowed; at least one run must carry a "commit_latency_us" histogram so a
 // benchmark trajectory always has the headline distribution to diff.
+//
+// The time-series companion schema ("rvm-timeseries-v1", DESIGN.md §11) is
+// JSONL rather than one document — a header line followed by one sample
+// object per line, so a sampler flush is a pure append:
+//
+//   {"schema": "rvm-timeseries-v1", "source": "...", "sample_interval_us": N}
+//   {"t": <us>, "gauges": {"<gauge>": <number>, ..., "regions": [...]},
+//    "counters": {"<counter>": <number>, ...}}
+//   ...
+//
+// Sample timestamps must be non-decreasing; "gauges" is required (flat
+// numbers plus the optional per-region array), "counters" is optional.
 #ifndef RVM_TELEMETRY_JSON_H_
 #define RVM_TELEMETRY_JSON_H_
 
@@ -39,6 +51,7 @@
 namespace rvm {
 
 inline constexpr char kTelemetrySchemaVersion[] = "rvm-telemetry-v1";
+inline constexpr char kTimeseriesSchemaVersion[] = "rvm-timeseries-v1";
 
 // Escapes `text` for embedding inside a JSON string literal (quotes not
 // included).
@@ -69,6 +82,10 @@ StatusOr<JsonValue> ParseJson(std::string_view text);
 
 // Structural validation of the common telemetry schema described above.
 Status ValidateTelemetryJson(std::string_view text);
+
+// Structural validation of an rvm-timeseries-v1 JSONL document (header line
+// plus at least one sample line, per the layout described above).
+Status ValidateTimeseriesJsonl(std::string_view text);
 
 }  // namespace rvm
 

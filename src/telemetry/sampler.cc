@@ -1,0 +1,106 @@
+#include "src/telemetry/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/telemetry/json.h"
+
+namespace rvm {
+
+StatsSampler::StatsSampler(Options options, SampleFn sample_fn)
+    : options_(std::move(options)), sample_fn_(std::move(sample_fn)) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  if (!enabled() || options_.sample_interval_us == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) {
+    return;
+  }
+  stop_requested_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void StatsSampler::ThreadMain() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_requested_) {
+    // Waiting on the stop condition (rather than sleeping) keeps Stop()
+    // prompt even with a long interval.
+    stop_cv_.wait_for(lock,
+                      std::chrono::microseconds(options_.sample_interval_us),
+                      [this] { return stop_requested_; });
+    if (stop_requested_) {
+      return;
+    }
+    // The callback acquires instance locks; drop ours so Stop() (called with
+    // instance locks *not* held, per the lifecycle contract) never inverts.
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void StatsSampler::SampleNow() {
+  if (!enabled()) {
+    return;
+  }
+  Record(sample_fn_());
+}
+
+void StatsSampler::Record(TimeseriesSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(sample));
+  ++recorded_;
+  while (ring_.size() > options_.sample_capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<TimeseriesSample> StatsSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t StatsSampler::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t StatsSampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string StatsSampler::DumpJsonl() const {
+  std::string out = std::string("{\"schema\":\"") + kTimeseriesSchemaVersion +
+                    "\",\"source\":\"" + JsonEscape(options_.source) +
+                    "\",\"sample_interval_us\":" +
+                    std::to_string(options_.sample_interval_us) + "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TimeseriesSample& sample : ring_) {
+    out += "{\"t\":" + std::to_string(sample.timestamp_us);
+    if (!sample.body.empty()) {
+      out += ',';
+      out += sample.body;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace rvm

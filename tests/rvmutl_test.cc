@@ -177,6 +177,54 @@ TEST_F(RvmutlTest, TracePrintsRecoveryEvents) {
       << result.output;
 }
 
+TEST_F(RvmutlTest, TopThenTimelineRoundTrip) {
+  // `top` drives its own scratch workload, samples on an interval, and dumps
+  // the ring on Terminate; `timeline` must validate and render that dump.
+  CommandResult top =
+      RunTool("top --duration-ms=600 --interval-ms=100 --threads=2");
+  EXPECT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("committed, refresh"), std::string::npos)
+      << top.output;
+  const std::string marker = "time series dumped to ";
+  size_t at = top.output.find(marker);
+  ASSERT_NE(at, std::string::npos) << top.output;
+  at += marker.size();
+  const std::string dump_path =
+      top.output.substr(at, top.output.find('\n', at) - at);
+
+  CommandResult timeline = RunTool("timeline " + dump_path);
+  EXPECT_EQ(timeline.exit_code, 0) << timeline.output;
+  EXPECT_NE(timeline.output.find("valid rvm-timeseries-v1 document"),
+            std::string::npos)
+      << timeline.output;
+  // The rendered table: a header row plus one row per sample.
+  EXPECT_NE(timeline.output.find("t(ms)"), std::string::npos)
+      << timeline.output;
+  EXPECT_NE(timeline.output.find("committed"), std::string::npos);
+
+  // `top` leaves its scratch directory for exactly this kind of post-mortem;
+  // the test cleans it up.
+  std::filesystem::remove_all(std::filesystem::path(dump_path).parent_path());
+}
+
+TEST_F(RvmutlTest, TimelineRejectsInvalidDump) {
+  std::string bad_path = (dir_ / "bad.jsonl").string();
+  FILE* f = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"rvm-timeseries-v1\"}\n", f);  // header missing keys
+  std::fclose(f);
+  CommandResult result = RunTool("timeline " + bad_path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("INVALID"), std::string::npos) << result.output;
+}
+
+TEST_F(RvmutlTest, TimelineMissingFileFails) {
+  CommandResult result = RunTool("timeline " + (dir_ / "nope.jsonl").string());
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("cannot open"), std::string::npos)
+      << result.output;
+}
+
 TEST_F(RvmutlTest, MissingLogFails) {
   CommandResult result = RunTool((dir_ / "nonexistent").string() + " status");
   EXPECT_NE(result.exit_code, 0);

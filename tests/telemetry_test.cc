@@ -301,6 +301,71 @@ TEST(JsonTest, ValidatorRejectsSchemaViolations) {
   EXPECT_FALSE(ValidateTelemetryJson(bad_histogram).ok());
 }
 
+TEST(JsonTest, ValidatesTimeseriesDocument) {
+  const std::string header =
+      "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\","
+      "\"sample_interval_us\":0}\n";
+  std::string doc = header +
+                    "{\"t\":10,\"gauges\":{\"log_bytes_in_use\":5},"
+                    "\"counters\":{\"transactions_committed\":1}}\n"
+                    "{\"t\":20,\"gauges\":{\"log_bytes_in_use\":9}}\n";
+  Status valid = ValidateTimeseriesJsonl(doc);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // Equal timestamps are non-decreasing, so also fine.
+  EXPECT_TRUE(
+      ValidateTimeseriesJsonl(header + "{\"t\":5,\"gauges\":{}}\n"
+                                       "{\"t\":5,\"gauges\":{}}\n")
+          .ok());
+}
+
+TEST(JsonTest, TimeseriesValidatorRejectsSchemaViolations) {
+  const std::string header =
+      "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\","
+      "\"sample_interval_us\":0}\n";
+  const std::string sample = "{\"t\":10,\"gauges\":{}}\n";
+
+  EXPECT_FALSE(ValidateTimeseriesJsonl("").ok());  // empty document
+  // Header with no samples.
+  Status headless = ValidateTimeseriesJsonl(header);
+  ASSERT_FALSE(headless.ok());
+  EXPECT_NE(headless.message().find("no samples"), std::string::npos);
+  // Wrong or missing header schema.
+  EXPECT_FALSE(ValidateTimeseriesJsonl(
+                   "{\"schema\":\"v0\",\"source\":\"t\","
+                   "\"sample_interval_us\":0}\n" +
+                   sample)
+                   .ok());
+  EXPECT_FALSE(ValidateTimeseriesJsonl(sample + sample).ok());
+  // Header missing source / interval.
+  EXPECT_FALSE(ValidateTimeseriesJsonl(
+                   "{\"schema\":\"rvm-timeseries-v1\","
+                   "\"sample_interval_us\":0}\n" +
+                   sample)
+                   .ok());
+  EXPECT_FALSE(ValidateTimeseriesJsonl(
+                   "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\"}\n" +
+                   sample)
+                   .ok());
+  // Sample missing its timestamp or gauges.
+  EXPECT_FALSE(ValidateTimeseriesJsonl(header + "{\"gauges\":{}}\n").ok());
+  EXPECT_FALSE(ValidateTimeseriesJsonl(header + "{\"t\":10}\n").ok());
+  // Decreasing timestamps.
+  Status decreasing = ValidateTimeseriesJsonl(
+      header + "{\"t\":20,\"gauges\":{}}\n{\"t\":10,\"gauges\":{}}\n");
+  ASSERT_FALSE(decreasing.ok());
+  EXPECT_NE(decreasing.message().find("decreases"), std::string::npos);
+  // Non-object gauges; non-numeric gauge; non-numeric counter.
+  EXPECT_FALSE(
+      ValidateTimeseriesJsonl(header + "{\"t\":10,\"gauges\":3}\n").ok());
+  EXPECT_FALSE(ValidateTimeseriesJsonl(
+                   header + "{\"t\":10,\"gauges\":{\"x\":\"y\"}}\n")
+                   .ok());
+  EXPECT_FALSE(ValidateTimeseriesJsonl(
+                   header +
+                   "{\"t\":10,\"gauges\":{},\"counters\":{\"c\":\"y\"}}\n")
+                   .ok());
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: deterministic trace of one committed transaction
 

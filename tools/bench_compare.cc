@@ -1,0 +1,194 @@
+// bench_compare: the benchmark regression gate.
+//
+//   bench_compare BASELINE.json CURRENT.json
+//                 [--p99-tolerance=PCT] [--throughput-tolerance=PCT]
+//
+// Both inputs are rvm-telemetry-v1 documents (a bench binary's --json=FILE
+// output). Runs are matched by name, and two families of metrics are gated,
+// per the conventions in bench/bench_args.h:
+//
+//   - the p99 of each run's "commit_latency_us" histogram, when its count
+//     is nonzero in both documents: worse by more than --p99-tolerance
+//     (default 25%) fails;
+//   - every counter named "throughput_*": lower by more than
+//     --throughput-tolerance (default 15%) fails.
+//
+// A baseline run missing from the current document fails too (a silently
+// vanished configuration must not pass the gate); new runs in the current
+// document are fine. Everything compared is printed, regressions are marked,
+// and the exit code is the contract: 0 = within tolerance, 1 = regression,
+// 2 = usage / I/O / schema error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/json.h"
+
+namespace rvm {
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+const JsonValue* FindRun(const JsonValue& document, const std::string& name) {
+  const JsonValue* runs = document.Find("runs");
+  for (const JsonValue& run : runs->array) {
+    const JsonValue* run_name = run.Find("name");
+    if (run_name != nullptr && run_name->string == name) {
+      return &run;
+    }
+  }
+  return nullptr;
+}
+
+// p99 of the run's commit_latency_us histogram; -1 when absent or empty.
+double CommitP99(const JsonValue& run) {
+  const JsonValue* histograms = run.Find("histograms");
+  if (histograms == nullptr) {
+    return -1;
+  }
+  const JsonValue* histogram = histograms->Find("commit_latency_us");
+  if (histogram == nullptr) {
+    return -1;
+  }
+  const JsonValue* count = histogram->Find("count");
+  const JsonValue* p99 = histogram->Find("p99");
+  if (count == nullptr || p99 == nullptr || count->number <= 0) {
+    return -1;
+  }
+  return p99->number;
+}
+
+struct Comparison {
+  int compared = 0;
+  int regressions = 0;
+
+  // Prints one metric row; `worse` is the relative change in the "bad"
+  // direction (positive = regressed), compared against `tolerance`.
+  void Row(const std::string& run, const char* metric, double baseline,
+           double current, double worse, double tolerance) {
+    ++compared;
+    bool failed = worse > tolerance;
+    if (failed) {
+      ++regressions;
+    }
+    double delta = baseline == 0 ? 0 : current / baseline - 1.0;
+    std::printf("%-44s %-24s %14.1f %14.1f %+8.1f%%  %s\n", run.c_str(),
+                metric, baseline, current, 100.0 * delta,
+                failed ? "FAIL" : "ok");
+  }
+};
+
+int Main(int argc, char** argv) {
+  double p99_tolerance = 0.25;
+  double throughput_tolerance = 0.15;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--p99-tolerance=", 16) == 0) {
+      p99_tolerance = std::atof(argv[i] + 16) / 100.0;
+    } else if (std::strncmp(argv[i], "--throughput-tolerance=", 23) == 0) {
+      throughput_tolerance = std::atof(argv[i] + 23) / 100.0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s BASELINE.json CURRENT.json "
+                   "[--p99-tolerance=PCT] [--throughput-tolerance=PCT]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CURRENT.json "
+                 "[--p99-tolerance=PCT] [--throughput-tolerance=PCT]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  JsonValue documents[2];
+  for (int i = 0; i < 2; ++i) {
+    auto text = ReadFile(paths[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    if (Status valid = ValidateTelemetryJson(*text); !valid.ok()) {
+      std::fprintf(stderr, "%s: not a valid telemetry document: %s\n",
+                   paths[i].c_str(), valid.ToString().c_str());
+      return 2;
+    }
+    documents[i] = *ParseJson(*text);
+  }
+  const JsonValue& baseline = documents[0];
+  const JsonValue& current = documents[1];
+
+  std::printf("baseline %s vs current %s\n", paths[0].c_str(),
+              paths[1].c_str());
+  std::printf("tolerances: commit p99 +%.0f%%, throughput -%.0f%%\n\n",
+              100.0 * p99_tolerance, 100.0 * throughput_tolerance);
+  std::printf("%-44s %-24s %14s %14s %9s\n", "run", "metric", "baseline",
+              "current", "delta");
+
+  Comparison comparison;
+  bool missing_run = false;
+  for (const JsonValue& base_run : baseline.Find("runs")->array) {
+    const std::string& name = base_run.Find("name")->string;
+    const JsonValue* cur_run = FindRun(current, name);
+    if (cur_run == nullptr) {
+      std::printf("%-44s %-24s %44s\n", name.c_str(), "(run)",
+                  "MISSING from current");
+      missing_run = true;
+      continue;
+    }
+
+    double base_p99 = CommitP99(base_run);
+    double cur_p99 = CommitP99(*cur_run);
+    if (base_p99 > 0 && cur_p99 >= 0) {
+      // Higher latency is worse.
+      comparison.Row(name, "commit_latency_us p99", base_p99, cur_p99,
+                     cur_p99 / base_p99 - 1.0, p99_tolerance);
+    }
+
+    const JsonValue* base_counters = base_run.Find("counters");
+    const JsonValue* cur_counters = cur_run->Find("counters");
+    for (const auto& [counter_name, value] : base_counters->object) {
+      if (counter_name.rfind("throughput_", 0) != 0 || value.number <= 0) {
+        continue;
+      }
+      const JsonValue* cur_value = cur_counters->Find(counter_name);
+      if (cur_value == nullptr || !cur_value->IsNumber()) {
+        continue;
+      }
+      // Lower throughput is worse.
+      comparison.Row(name, counter_name.c_str(), value.number,
+                     cur_value->number, 1.0 - cur_value->number / value.number,
+                     throughput_tolerance);
+    }
+  }
+
+  std::printf("\n%d metrics compared, %d regression%s%s\n",
+              comparison.compared, comparison.regressions,
+              comparison.regressions == 1 ? "" : "s",
+              missing_run ? ", baseline run(s) missing from current" : "");
+  return (comparison.regressions > 0 || missing_run) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace rvm
+
+int main(int argc, char** argv) { return rvm::Main(argc, argv); }

@@ -17,12 +17,19 @@
 //                                          reference workload (src/check/);
 //                                          --replay=STRING re-runs one
 //                                          schedule deterministically
+//   rvmutl top [options]                   live gauge monitor (DESIGN.md §11)
+//   rvmutl timeline FILE                   validate/render a time-series dump
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/check/crash_explorer.h"
@@ -367,6 +374,210 @@ int CmdCheckJson(const std::string& path) {
   return 0;
 }
 
+// `rvmutl timeline FILE`: validate an rvm-timeseries-v1 dump and render it
+// as a table, one row per sample. Exit codes match check-json: 0 valid,
+// 1 invalid, 2 file error.
+int CmdTimeline(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(in);
+  Status valid = ValidateTimeseriesJsonl(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK %s: valid %s document\n", path.c_str(),
+              kTimeseriesSchemaVersion);
+  // Validation passed, so every line parses and carries the required
+  // members; rendering can use the values without re-checking shapes.
+  auto gauge = [](const JsonValue& sample, const char* name) -> double {
+    const JsonValue* gauges = sample.Find("gauges");
+    const JsonValue* value = gauges != nullptr ? gauges->Find(name) : nullptr;
+    return value != nullptr && value->IsNumber() ? value->number : 0;
+  };
+  auto counter = [](const JsonValue& sample, const char* name) -> double {
+    const JsonValue* counters = sample.Find("counters");
+    const JsonValue* value =
+        counters != nullptr ? counters->Find(name) : nullptr;
+    return value != nullptr && value->IsNumber() ? value->number : 0;
+  };
+  std::printf("%10s %7s %12s %12s %7s %7s %7s %10s %8s\n", "t(ms)", "util%",
+              "in-use", "reclaimable", "pqueue", "spool", "txns", "committed",
+              "poisoned");
+  bool first = true;
+  double t0 = 0;
+  size_t line_number = 0;
+  for (size_t start = 0; start < text.size();) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty() || line_number++ == 0) {
+      continue;  // skip blanks and the header line
+    }
+    auto sample = ParseJson(line);
+    if (!sample.ok()) {
+      continue;  // unreachable after validation; keep rendering robust
+    }
+    const double t = sample->Find("t")->number;
+    if (first) {
+      t0 = t;
+      first = false;
+    }
+    std::printf("%10.1f %7.1f %12.0f %12.0f %7.0f %7.0f %7.0f %10.0f %8.0f\n",
+                (t - t0) / 1000.0, gauge(*sample, "log_utilization") * 100.0,
+                gauge(*sample, "log_bytes_in_use"),
+                gauge(*sample, "log_reclaimable_bytes"),
+                gauge(*sample, "page_queue_depth"),
+                gauge(*sample, "spool_entries"),
+                gauge(*sample, "open_transactions"),
+                counter(*sample, "transactions_committed"),
+                gauge(*sample, "poisoned"));
+  }
+  return 0;
+}
+
+// `rvmutl top`: drive a live workload against a scratch instance and
+// periodically render its gauges — the operator's view of §5's log-space
+// quantities moving. Runs self-contained (two processes cannot share one
+// RvmInstance, so attaching to another process's log is not meaningful);
+// the workload is deliberately truncation-heavy so the page queue, head
+// advance, and utilization all visibly change between refreshes.
+int CmdTop(int argc, char** argv) {
+  uint64_t duration_ms = 3000;
+  uint64_t interval_ms = 250;
+  unsigned threads = 2;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--duration-ms=", 0) == 0) {
+      duration_ms = std::stoull(arg.substr(std::strlen("--duration-ms=")));
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      interval_ms = std::stoull(arg.substr(std::strlen("--interval-ms=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::stoul(arg.substr(std::strlen("--threads="))));
+    } else {
+      std::fprintf(stderr, "unknown top option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (interval_ms == 0 || threads == 0) {
+    std::fprintf(stderr, "top: interval and threads must be nonzero\n");
+    return 2;
+  }
+
+  char dir_template[] = "/tmp/rvmutl_top_XXXXXX";
+  char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string log_path = std::string(dir) + "/log";
+  // A small log keeps truncation busy, so the head/queue gauges move.
+  Status created = RvmInstance::CreateLog(GetRealEnv(), log_path, 1 << 20);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.ToString().c_str());
+    return 1;
+  }
+  RvmOptions options;
+  options.log_path = log_path;
+  options.sample_capacity = 4096;
+  options.sample_interval_us = interval_ms * 1000;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "init: %s\n", rvm.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr uint64_t kPage = 4096;
+  constexpr uint64_t kRegionPages = 64;
+  std::vector<uint8_t*> bases;
+  for (unsigned worker = 0; worker < threads; ++worker) {
+    RegionDescriptor region;
+    region.segment_path = std::string(dir) + "/seg" + std::to_string(worker);
+    region.length = kRegionPages * kPage;
+    Status mapped = (*rvm)->Map(region);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "map: %s\n", mapped.ToString().c_str());
+      return 1;
+    }
+    bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> workers;
+  for (unsigned worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      uint8_t* base = bases[worker];
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Transaction txn(**rvm, RestoreMode::kNoRestore);
+        if (!txn.ok()) {
+          return;  // poisoned or shutting down
+        }
+        const uint64_t offset = (i * 257) % (kRegionPages * kPage - 256);
+        if (!txn.SetRange(base + offset, 256).ok()) {
+          return;
+        }
+        std::memset(base + offset, static_cast<int>(i & 0xFF), 256);
+        // Mostly no-flush commits keep the spool gauge nonzero; every 8th
+        // commit flushes so the log (and truncation) stays busy too.
+        const CommitMode mode =
+            i % 8 == 7 ? CommitMode::kFlush : CommitMode::kNoFlush;
+        if (!txn.Commit(mode).ok()) {
+          return;
+        }
+        committed.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  Env* env = GetRealEnv();
+  const uint64_t start_us = env->NowMicros();
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  uint64_t refreshes = 0;
+  while (env->NowMicros() - start_us < duration_ms * 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const RvmGauges gauges = (*rvm)->Introspect();
+    if (tty) {
+      std::printf("\033[2J\033[H");  // clear screen, home cursor
+    }
+    std::printf("rvmutl top — %llu committed, refresh %llu (every %llu ms)\n",
+                static_cast<unsigned long long>(committed.load()),
+                static_cast<unsigned long long>(++refreshes),
+                static_cast<unsigned long long>(interval_ms));
+    std::printf("%s", FormatGauges(gauges).c_str());
+    std::fflush(stdout);
+  }
+
+  stop.store(true);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  Status terminated = (*rvm)->Terminate();
+  if (!terminated.ok()) {
+    std::fprintf(stderr, "terminate: %s\n", terminated.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntime series dumped to %s.timeseries.jsonl\n",
+              log_path.c_str());
+  return 0;
+}
+
 // Prints one schedule outcome. Failing schedules lead with their repro
 // string so an operator (or CI log scraper) can replay them directly.
 void PrintOutcome(const ScheduleOutcome& outcome) {
@@ -521,6 +732,13 @@ int Usage() {
                "  check-json FILE          validate FILE against the\n"
                "                           rvm-telemetry-v1 schema (top-level\n"
                "                           command: rvmutl check-json FILE)\n"
+               "  timeline FILE            validate and render an\n"
+               "                           rvm-timeseries-v1 dump (top-level\n"
+               "                           command; exit codes like check-json)\n"
+               "  top                      live gauge monitor over a scratch\n"
+               "                           workload (top-level command);\n"
+               "                           options: --duration-ms=N\n"
+               "                           --interval-ms=N --threads=N\n"
                "  explore                  enumerate crash schedules against the\n"
                "                           oracle; options: --txns=N --flush-every=N\n"
                "                           --epoch --depth=N --forward-stride=N\n"
@@ -538,6 +756,14 @@ int Main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "check-json") == 0) {
     // Validates a telemetry document; takes no LOG.
     return CmdCheckJson(argv[2]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "timeline") == 0) {
+    // Validates/renders a time-series dump; takes no LOG.
+    return CmdTimeline(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "top") == 0) {
+    // Self-contained live monitor; takes no LOG.
+    return CmdTop(argc, argv);
   }
   if (argc < 3) {
     return Usage();

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines in bench/baselines/ from
+# --quick runs of the deterministic simulated benches. Run after an
+# intentional performance change, review the diff (it IS the perf delta),
+# and commit the result alongside the change.
+#
+# bench_group_commit (real environment, wall-clock) and bench_setrange
+# (google-benchmark harness) are deliberately not gated.
+#
+# usage: tools/update_baselines.sh [BUILD_DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baseline_dir="$repo_root/bench/baselines"
+
+benches=(
+  bench_commit_latency
+  bench_table2_optimizations
+  bench_truncation
+  bench_recovery
+  bench_simpledb
+  bench_startup
+  bench_optimization_ablation
+  bench_table1_throughput
+  bench_fig9_cpu
+)
+
+cmake --build "$build_dir" -j --target "${benches[@]}" bench_compare rvmutl
+
+mkdir -p "$baseline_dir"
+for bench in "${benches[@]}"; do
+  out="$baseline_dir/BENCH_${bench#bench_}.json"
+  echo "== $bench -> $out"
+  "$build_dir/bench/$bench" --quick --json="$out" > /dev/null
+  "$build_dir/tools/rvmutl" check-json "$out"
+done
+
+echo "baselines updated; diff bench/baselines/ to see the perf delta"
