@@ -75,11 +75,14 @@ TpcaRunResult RunRvmTpca(const TpcaConfig& workload_config,
 
   // RVM setup: log + one recoverable region holding everything.
   Status created = RvmInstance::CreateLog(&machine.env, "/log/rvm",
-                                          machine_config.log_size);
+                                          machine_config.log_size,
+                                          /*overwrite=*/false,
+                                          machine_config.log_shards);
   assert(created.ok());
   RvmOptions options;
   options.env = &machine.env;
   options.log_path = "/log/rvm";
+  options.log_shards = machine_config.log_shards;
   options.page_size = machine_config.page_size;
   // The paper's measured version: epoch truncation only (Table 1 caption).
   options.runtime.use_incremental_truncation = false;

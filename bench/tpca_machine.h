@@ -26,6 +26,12 @@ struct MachineConfig {
   // threshold) well inside the measurement window, so its bursty cost is
   // properly amortized into the steady-state numbers.
   uint64_t log_size = 4ull << 20;
+  // Log shards for the RVM runs (DESIGN.md §12). The TPC-A working set is
+  // one region, so striping keeps every commit on the single-shard fast
+  // path: exactly one log force per transaction, same 57.4 tps force
+  // bound. The sharded leg exists to demonstrate exactly that on the
+  // paper's workload.
+  uint32_t log_shards = 1;
   // Extra frames consumed by Camelot's manager tasks and the Disk Manager's
   // buffer pool (§2.3: Camelot's processes add memory pressure of their own).
   uint64_t camelot_extra_reserved_bytes = 14ull << 20;

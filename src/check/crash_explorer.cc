@@ -19,14 +19,44 @@ bool InTruncationWindow(const RvmStatistics& stats) {
   return stats.truncations_started > stats.truncations_completed;
 }
 
+// A crash that interrupted a cross-shard 2PC (prepares appended, no verdict).
+bool InTwoPcWindow(const RvmStatistics& stats) {
+  return stats.cross_shard_commits_started > stats.cross_shard_commits_decided;
+}
+
 RvmOptions MakeOptions(CrashSimEnv& env, const CheckerWorkload& workload) {
   RvmOptions options;
   options.env = &env;
   options.log_path = kLogPath;
+  options.log_shards = workload.log_shards;
   options.runtime.use_incremental_truncation =
       workload.use_incremental_truncation;
   options.runtime.truncation_threshold = workload.truncation_threshold;
   return options;
+}
+
+// Region r's segment path: the single-region workload keeps the exact
+// historic path so its schedules replay bit-identically.
+std::string SegPath(const CheckerWorkload& workload, uint64_t r) {
+  return workload.regions == 1 ? kSegPath : kSegPath + std::to_string(r);
+}
+
+// Maps every workload region and returns the bases, or nullopt on the first
+// failure (a crash during Map).
+std::optional<std::vector<uint64_t*>> MapAllRegions(
+    RvmInstance& rvm, const CheckerWorkload& workload) {
+  std::vector<uint64_t*> bases;
+  bases.reserve(workload.regions);
+  for (uint64_t r = 0; r < workload.regions; ++r) {
+    RegionDescriptor region;
+    region.segment_path = SegPath(workload, r);
+    region.length = workload.region_len;
+    if (!rvm.Map(region).ok()) {
+      return std::nullopt;
+    }
+    bases.push_back(static_cast<uint64_t*>(region.address));
+  }
+  return bases;
 }
 
 }  // namespace
@@ -41,18 +71,18 @@ CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
     outcome.crashed = true;
     return outcome;
   }
-  RegionDescriptor region;
-  region.segment_path = kSegPath;
-  region.length = workload_.region_len;
   auto crash_exit = [&]() {
     outcome.crashed = true;
     outcome.truncation_window = InTruncationWindow((*rvm)->statistics());
+    outcome.two_pc_window = InTwoPcWindow((*rvm)->statistics());
     return outcome;
   };
-  if (!(*rvm)->Map(region).ok()) {
+  std::optional<std::vector<uint64_t*>> bases =
+      MapAllRegions(**rvm, workload_);
+  if (!bases.has_value()) {
     return crash_exit();
   }
-  auto* slots = static_cast<uint64_t*>(region.address);
+  const uint64_t region_slots = workload_.region_len / sizeof(uint64_t);
 
   for (uint64_t i = 0; i < workload_.total_txns; ++i) {
     auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
@@ -60,10 +90,9 @@ CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
       return crash_exit();
     }
     for (const WorkloadOracle::SlotWrite& write : oracle_.Script(i)) {
-      if (!(*rvm)
-               ->Modify(*tid, &slots[write.slot], &write.value,
-                        sizeof(uint64_t))
-               .ok()) {
+      uint64_t* slot =
+          (*bases)[write.slot / region_slots] + write.slot % region_slots;
+      if (!(*rvm)->Modify(*tid, slot, &write.value, sizeof(uint64_t)).ok()) {
         return crash_exit();
       }
     }
@@ -93,8 +122,10 @@ CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
 
 StatusOr<uint64_t> CrashExplorer::BaselineOps() {
   CrashSimEnv env;
-  RVM_RETURN_IF_ERROR(
-      RvmInstance::CreateLog(&env, kLogPath, workload_.log_size));
+  RVM_RETURN_IF_ERROR(RvmInstance::CreateLog(&env, kLogPath,
+                                             workload_.log_size,
+                                             /*overwrite=*/false,
+                                             workload_.log_shards));
   uint64_t base = env.ops_persisted();
   ForwardOutcome outcome = RunForward(env);
   if (outcome.crashed) {
@@ -107,7 +138,9 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   ScheduleOutcome out;
   out.schedule = schedule;
   CrashSimEnv env;
-  if (!RvmInstance::CreateLog(&env, kLogPath, workload_.log_size).ok()) {
+  if (!RvmInstance::CreateLog(&env, kLogPath, workload_.log_size,
+                              /*overwrite=*/false, workload_.log_shards)
+           .ok()) {
     out.detail = "log creation failed";
     return out;
   }
@@ -121,6 +154,7 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   out.last_ok_commit = fwd.last_ok_commit;
   out.last_attempted_commit = fwd.last_attempted_commit;
   out.truncation_window = fwd.truncation_window;
+  out.two_pc_window = fwd.two_pc_window;
   if (!fwd.crashed && schedule.forward.op != kCrashAtEnd) {
     out.forward_underflow = true;
   }
@@ -180,17 +214,19 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   }
 
   // --- oracle validation ---
-  RegionDescriptor region;
-  region.segment_path = kSegPath;
-  region.length = workload_.region_len;
-  Status mapped = recovered->Map(region);
-  if (!mapped.ok()) {
-    out.detail = "map after recovery failed: " + mapped.ToString();
+  std::optional<std::vector<uint64_t*>> bases =
+      MapAllRegions(*recovered, workload_);
+  if (!bases.has_value()) {
+    out.detail = "map after recovery failed";
     out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
-  const auto* slots = static_cast<const uint64_t*>(region.address);
-  std::vector<uint64_t> image(slots, slots + oracle_.slots());
+  const uint64_t region_slots = workload_.region_len / sizeof(uint64_t);
+  std::vector<uint64_t> image;
+  image.reserve(oracle_.slots());
+  for (uint64_t* base : *bases) {
+    image.insert(image.end(), base, base + region_slots);
+  }
   std::optional<uint64_t> k = oracle_.MatchPrefix(image.data());
   if (!k.has_value()) {
     out.detail = "ATOMICITY: recovered state matches no transaction prefix "
@@ -231,20 +267,20 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
         "IDEMPOTENCE: re-recovery failed: " + again.status().ToString();
     return out;
   }
-  RegionDescriptor region2;
-  region2.segment_path = kSegPath;
-  region2.length = workload_.region_len;
-  Status mapped2 = (*again)->Map(region2);
-  if (!mapped2.ok()) {
-    out.detail = "IDEMPOTENCE: re-map failed: " + mapped2.ToString();
+  std::optional<std::vector<uint64_t*>> bases2 =
+      MapAllRegions(**again, workload_);
+  if (!bases2.has_value()) {
+    out.detail = "IDEMPOTENCE: re-map failed";
     out.trace_jsonl = (*again)->DumpTraceJsonl();
     return out;
   }
-  if (std::memcmp(region2.address, image.data(),
-                  oracle_.slots() * sizeof(uint64_t)) != 0) {
-    out.detail = "IDEMPOTENCE: repeating recovery changed the image";
-    out.trace_jsonl = (*again)->DumpTraceJsonl();
-    return out;
+  for (uint64_t r = 0; r < workload_.regions; ++r) {
+    if (std::memcmp((*bases2)[r], image.data() + r * region_slots,
+                    region_slots * sizeof(uint64_t)) != 0) {
+      out.detail = "IDEMPOTENCE: repeating recovery changed the image";
+      out.trace_jsonl = (*again)->DumpTraceJsonl();
+      return out;
+    }
   }
   out.pass = true;
   return out;
@@ -279,6 +315,9 @@ StatusOr<ExploreStats> CrashExplorer::ExploreAll(
     }
     if (outcome.truncation_window) {
       ++stats.truncation_window_schedules;
+    }
+    if (outcome.two_pc_window) {
+      ++stats.two_pc_window_schedules;
     }
     stats.max_depth_reached = std::max<uint64_t>(
         stats.max_depth_reached, 1 + schedule.recovery.size());

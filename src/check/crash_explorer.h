@@ -69,6 +69,10 @@ struct ScheduleOutcome {
   // The forward crash landed between a truncation segment write and its
   // status-block advance (stats.truncations_started > completed).
   bool truncation_window = false;
+  // The forward crash landed inside a cross-shard 2PC — after the first
+  // prepare append, before the decision force (stats.cross_shard_commits_
+  // started > decided). Recovery must presume abort on every shard.
+  bool two_pc_window = false;
   // Highest txn index the recovered image reflects (valid when pass &&
   // !fail_stop).
   uint64_t recovered_prefix = 0;
@@ -111,6 +115,8 @@ struct ExploreStats {
   uint64_t fail_stops = 0;
   // Schedules whose forward crash landed inside a truncation window.
   uint64_t truncation_window_schedules = 0;
+  // Schedules whose forward crash landed inside a cross-shard 2PC.
+  uint64_t two_pc_window_schedules = 0;
   // Deepest schedule run (crashes per schedule).
   uint64_t max_depth_reached = 0;
   // True if max_schedules cut the enumeration short.
@@ -147,6 +153,7 @@ class CrashExplorer {
     uint64_t last_ok_commit = 0;
     uint64_t last_attempted_commit = 0;
     bool truncation_window = false;
+    bool two_pc_window = false;
   };
 
   ForwardOutcome RunForward(CrashSimEnv& env);

@@ -5,7 +5,8 @@
 namespace rvm {
 
 WorkloadOracle::WorkloadOracle(const CheckerWorkload& workload)
-    : workload_(workload), slots_(workload.region_len / sizeof(uint64_t)) {}
+    : workload_(workload),
+      slots_(workload.regions * (workload.region_len / sizeof(uint64_t))) {}
 
 std::vector<WorkloadOracle::SlotWrite> WorkloadOracle::Script(
     uint64_t txn) const {

@@ -39,6 +39,17 @@ struct CheckerWorkload {
   double truncation_threshold = 0.25;
   uint64_t log_size = kLogDataStart + 16 * 1024;
   uint64_t region_len = 4 * 4096;
+  // Sharding sweep (DESIGN.md §12): the log is created with `log_shards`
+  // shards and the workload maps `regions` regions on distinct segments, so
+  // consecutive regions stripe onto consecutive shards. The oracle models
+  // the regions as one concatenated slot array (slot 0 of region 0 is the
+  // prefix marker); with regions > 1 the random slot scatter makes most
+  // transactions span shards, exercising the internal 2PC and its crash
+  // windows (a crash between the prepare forces and the decision force must
+  // recover to presumed abort, atomically across shards). Defaults keep the
+  // original single-log, single-region workload bit-identical.
+  uint32_t log_shards = 1;
+  uint64_t regions = 1;
   // Mixed into the per-transaction slot script.
   uint64_t script_seed = 13;
 };

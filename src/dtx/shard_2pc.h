@@ -1,0 +1,90 @@
+// Internal two-phase commit across log shards (DESIGN.md §12).
+//
+// This is the §8 layering argument applied inward: RvmInstance stripes
+// regions across N independent log shards, and the rare transaction touching
+// more than one shard is committed with the same presumed-abort protocol the
+// distributed layer in src/dtx/ uses between processes — except that here
+// every participant is a log owned by one instance, so the "messages" are
+// direct appends and forces and the protocol runs as a straight-line
+// sequence under the instance's commit locks.
+//
+// Record roles (flags in the shard's log, see log_format.h):
+//   kShardPrepare   one per participant, carries that shard's new-value
+//                   ranges; forced before any decision is written
+//   kShardDecision  one zero-range record on the coordinator shard (the
+//                   lowest participating shard index); its force is the
+//                   commit point of the whole transaction
+//   kShardCommit    zero-range markers on the remaining participants,
+//                   appended after the decision; deliberately NOT forced —
+//                   they only localize the outcome, recovery never depends
+//                   on them alone
+//
+// Recovery rule (presumed abort): each shard's replay collects the set of
+// transaction ids carrying a decision or commit-marker record across ALL
+// shards, then applies a prepare record only if its id is in that set. A
+// crash before the decision force loses nothing (no shard applied anything);
+// a crash after it finds the decision and applies every prepare.
+//
+// Header-only and callback-driven so rvm_core can use it without linking the
+// distributed dtx layer (which itself links rvm_core).
+#ifndef RVM_DTX_SHARD_2PC_H_
+#define RVM_DTX_SHARD_2PC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rvm {
+
+// Callbacks the protocol drives. Each receives a participant shard index.
+// AppendPrepare writes the shard's prepare record (with its data ranges);
+// Force makes everything appended to the shard durable; AppendDecision and
+// AppendMarker write the zero-range outcome records. All callbacks run on
+// the calling thread, in protocol order.
+struct ShardCommitOps {
+  std::function<Status(uint32_t shard)> append_prepare;
+  std::function<Status(uint32_t shard)> force;
+  std::function<Status(uint32_t shard)> append_decision;
+  std::function<Status(uint32_t shard)> append_marker;
+};
+
+// Runs the prepare / decide / mark sequence over `participants` (ascending
+// shard indices; the first is the coordinator). On success the transaction
+// is durably committed on every participant. On failure the caller owns
+// presumed-abort cleanup (undoing VM, recording the id as aborted so live
+// truncation skips the orphan prepares); `*decided` reports whether the
+// decision force completed — past that point the transaction IS committed
+// and a later failure (marker append) must not be treated as an abort.
+inline Status RunShardedCommit(const std::vector<uint32_t>& participants,
+                               const ShardCommitOps& ops, bool* decided) {
+  *decided = false;
+  // Phase 1: prepare records on every participant. An append failure here
+  // aborts cleanly — no shard has been told to commit.
+  for (uint32_t shard : participants) {
+    RVM_RETURN_IF_ERROR(ops.append_prepare(shard));
+  }
+  // Every prepare must be durable before the decision exists anywhere:
+  // otherwise a crash could surface a decision whose data records are torn,
+  // and replay would commit a partial transaction.
+  for (uint32_t shard : participants) {
+    RVM_RETURN_IF_ERROR(ops.force(shard));
+  }
+  // Phase 2: the decision force on the coordinator is the commit point.
+  const uint32_t coordinator = participants.front();
+  RVM_RETURN_IF_ERROR(ops.append_decision(coordinator));
+  RVM_RETURN_IF_ERROR(ops.force(coordinator));
+  *decided = true;
+  // Markers localize the outcome on the other shards so their logs are
+  // self-describing in the common case; unforced, because recovery unions
+  // decisions across all shards anyway.
+  for (size_t i = 1; i < participants.size(); ++i) {
+    RVM_RETURN_IF_ERROR(ops.append_marker(participants[i]));
+  }
+  return OkStatus();
+}
+
+}  // namespace rvm
+
+#endif  // RVM_DTX_SHARD_2PC_H_

@@ -44,6 +44,18 @@ class File {
 
   // Grows or shrinks the file to exactly `size` bytes.
   virtual Status Resize(uint64_t size) = 0;
+
+  // Materializes backing storage for [0, length) so later interior writes
+  // never allocate. On a POSIX filesystem a resized-but-sparse log pays an
+  // extent allocation — and with it a journal commit — inside every
+  // post-append fsync; zero-filling once at creation moves that cost out of
+  // the commit path entirely (the same reason Postgres zero-fills WAL
+  // segments). In-memory environments model dense backing stores already,
+  // so the default is a no-op.
+  virtual Status Preallocate(uint64_t length) {
+    (void)length;
+    return OkStatus();
+  }
 };
 
 enum class OpenMode {

@@ -36,12 +36,38 @@ struct RegionGauges {
   uint64_t active_transactions = 0;
 };
 
+// One log shard's slice of the snapshot (DESIGN.md §12). On a multi-shard
+// instance the top-level log gauges are aggregates (capacities and depths
+// summed, geometry from shard 0); the per-shard rows carry the detail.
+struct ShardGauges {
+  uint64_t index = 0;
+  uint64_t log_capacity = 0;
+  uint64_t log_head = 0;
+  uint64_t log_tail = 0;
+  uint64_t log_wrapped = 0;
+  uint64_t log_bytes_in_use = 0;
+  uint64_t appended_lsn = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t page_queue_depth = 0;
+  uint64_t spool_entries = 0;
+  uint64_t spool_bytes = 0;
+  uint64_t group_waiters = 0;
+  uint64_t group_leader_active = 0;
+  uint64_t records_appended = 0;
+  uint64_t forces = 0;
+  uint64_t prepares = 0;  // cross-shard 2PC prepare records
+  uint64_t truncations = 0;
+  uint64_t poisoned = 0;
+};
+
 struct RvmGauges {
   uint64_t timestamp_us = 0;
 
   // Log geometry (absolute file offsets; the record area starts after the
   // two status blocks). wrapped is 1 when the live range crosses the end of
-  // the area, i.e. tail < head in file order.
+  // the area, i.e. tail < head in file order. With log_shards > 1 capacity,
+  // bytes-in-use, LSNs and depths are sums across shards and the geometry
+  // fields describe shard 0; see `shards` for the full picture.
   uint64_t log_capacity = 0;
   uint64_t log_head = 0;
   uint64_t log_tail = 0;
@@ -66,8 +92,12 @@ struct RvmGauges {
   // truncations_started - truncations_completed at the snapshot instant.
   uint64_t truncations_in_flight = 0;
   uint64_t poisoned = 0;
+  uint64_t log_shards = 1;
 
   std::vector<RegionGauges> regions;
+  // Per-shard rows; empty on a single-shard instance (whose snapshot is
+  // fully described by the top-level gauges, keeping its JSON unchanged).
+  std::vector<ShardGauges> shards;
 
   // Totals across regions, so consumers that only want one number per
   // dimension need not walk the region list.
@@ -110,6 +140,7 @@ struct RvmGauges {
     fn("dirty_pages", static_cast<double>(total_dirty_pages()));
     fn("reserved_pages", static_cast<double>(total_reserved_pages()));
     fn("poisoned", static_cast<double>(poisoned));
+    fn("log_shards", static_cast<double>(log_shards));
   }
 };
 
@@ -148,7 +179,50 @@ inline std::string GaugesJson(const RvmGauges& gauges) {
                   static_cast<unsigned long long>(r.active_transactions));
     out += buf;
   }
-  out += "]}";
+  out += ']';
+  if (!gauges.shards.empty()) {
+    out += ",\"shards\":[";
+    for (size_t i = 0; i < gauges.shards.size(); ++i) {
+      const ShardGauges& s = gauges.shards[i];
+      if (i > 0) {
+        out += ',';
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"shard\":%llu,\"capacity\":%llu,\"bytes_in_use\":%llu,"
+                    "\"head\":%llu,\"tail\":%llu,\"wrapped\":%llu,",
+                    static_cast<unsigned long long>(s.index),
+                    static_cast<unsigned long long>(s.log_capacity),
+                    static_cast<unsigned long long>(s.log_bytes_in_use),
+                    static_cast<unsigned long long>(s.log_head),
+                    static_cast<unsigned long long>(s.log_tail),
+                    static_cast<unsigned long long>(s.log_wrapped));
+      out += buf;
+      std::snprintf(buf, sizeof(buf),
+                    "\"appended_lsn\":%llu,\"durable_lsn\":%llu,"
+                    "\"page_queue\":%llu,\"spool_entries\":%llu,"
+                    "\"spool_bytes\":%llu,\"group_waiters\":%llu,"
+                    "\"leader\":%llu,",
+                    static_cast<unsigned long long>(s.appended_lsn),
+                    static_cast<unsigned long long>(s.durable_lsn),
+                    static_cast<unsigned long long>(s.page_queue_depth),
+                    static_cast<unsigned long long>(s.spool_entries),
+                    static_cast<unsigned long long>(s.spool_bytes),
+                    static_cast<unsigned long long>(s.group_waiters),
+                    static_cast<unsigned long long>(s.group_leader_active));
+      out += buf;
+      std::snprintf(buf, sizeof(buf),
+                    "\"records\":%llu,\"forces\":%llu,\"prepares\":%llu,"
+                    "\"truncations\":%llu,\"poisoned\":%llu}",
+                    static_cast<unsigned long long>(s.records_appended),
+                    static_cast<unsigned long long>(s.forces),
+                    static_cast<unsigned long long>(s.prepares),
+                    static_cast<unsigned long long>(s.truncations),
+                    static_cast<unsigned long long>(s.poisoned));
+      out += buf;
+    }
+    out += ']';
+  }
+  out += '}';
   return out;
 }
 
@@ -185,6 +259,24 @@ inline std::string FormatGauges(const RvmGauges& gauges) {
       static_cast<unsigned long long>(gauges.truncations_in_flight),
       gauges.poisoned != 0 ? "  POISONED" : "");
   out += line;
+  for (const ShardGauges& s : gauges.shards) {
+    std::snprintf(
+        line, sizeof(line),
+        "shard %2llu  %10llu / %llu bytes  head=%llu tail=%llu%s  "
+        "records=%llu forces=%llu prepares=%llu trunc=%llu%s\n",
+        static_cast<unsigned long long>(s.index),
+        static_cast<unsigned long long>(s.log_bytes_in_use),
+        static_cast<unsigned long long>(s.log_capacity),
+        static_cast<unsigned long long>(s.log_head),
+        static_cast<unsigned long long>(s.log_tail),
+        s.log_wrapped != 0 ? " (wrapped)" : "",
+        static_cast<unsigned long long>(s.records_appended),
+        static_cast<unsigned long long>(s.forces),
+        static_cast<unsigned long long>(s.prepares),
+        static_cast<unsigned long long>(s.truncations),
+        s.poisoned != 0 ? "  POISONED" : "");
+    out += line;
+  }
   for (const RegionGauges& r : gauges.regions) {
     std::snprintf(line, sizeof(line),
                   "region %-32s pages=%llu dirty=%llu queued=%llu "

@@ -27,6 +27,9 @@ Status LogDevice::Create(Env* env, const std::string& path,
   RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
                        env->Open(path, OpenMode::kTruncate));
   RVM_RETURN_IF_ERROR(file->Resize(total_size));
+  // Materialize the whole log area now (no-op off the real environment) so
+  // commit-path fsyncs never pay for extent allocation; see File::Preallocate.
+  RVM_RETURN_IF_ERROR(file->Preallocate(total_size));
 
   LogStatusBlock status;
   status.generation = 1;
@@ -72,6 +75,55 @@ StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(Env* env,
       new LogDevice(env, std::move(file), std::move(*best)));
 }
 
+Status LogDevice::WriteManifest(Env* env, const std::string& path,
+                                const LogManifest& manifest, bool overwrite) {
+  if (!overwrite && env->Exists(path)) {
+    return AlreadyExists("log already exists: " + path);
+  }
+  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded,
+                       EncodeLogManifest(manifest));
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path, OpenMode::kTruncate));
+  RVM_RETURN_IF_ERROR(file->WriteAt(0, encoded));
+  return file->Sync();
+}
+
+StatusOr<LogManifest> LogDevice::ReadManifest(Env* env,
+                                              const std::string& path) {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path, OpenMode::kReadWrite));
+  std::vector<uint8_t> block(kManifestBlockSize);
+  RVM_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, block));
+  if (n != kManifestBlockSize) {
+    return Corruption("manifest block truncated: " + path);
+  }
+  return DecodeLogManifest(block);
+}
+
+StatusOr<uint32_t> LogDevice::DetectShardCount(Env* env,
+                                               const std::string& path) {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path, OpenMode::kReadWrite));
+  std::vector<uint8_t> head(4);
+  RVM_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, head));
+  if (n < 4) {
+    return Corruption("log too short to classify: " + path);
+  }
+  uint32_t magic = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    magic |= static_cast<uint32_t>(head[i]) << (8 * i);
+  }
+  if (magic == kStatusMagic) {
+    return 1;
+  }
+  if (magic == kManifestMagic) {
+    RVM_ASSIGN_OR_RETURN(LogManifest manifest, ReadManifest(env, path));
+    return manifest.shard_count;
+  }
+  return Corruption("neither a log status block nor a shard manifest: " +
+                    path);
+}
+
 void LogDevice::Poison(const Status& cause) {
   if (poisoned_.load(std::memory_order_acquire)) {
     return;  // first failure wins; keep the original cause
@@ -101,12 +153,12 @@ Status LogDevice::WriteRaw(uint64_t offset, std::span<const uint8_t> bytes) {
 }
 
 StatusOr<uint64_t> LogDevice::AppendTransaction(
-    TransactionId tid, std::span<const RangeView> ranges) {
+    TransactionId tid, std::span<const RangeView> ranges, uint8_t flags) {
   if (poisoned()) {
     return poison_status();
   }
   std::vector<uint8_t> record = EncodeTransactionRecord(
-      status_.tail_seqno, tid, status_.last_record_offset, ranges);
+      status_.tail_seqno, tid, status_.last_record_offset, ranges, flags);
 
   uint64_t need = record.size();
   if (need + kAppendSlack > capacity()) {
@@ -126,8 +178,8 @@ StatusOr<uint64_t> LogDevice::AppendTransaction(
       status_.last_record_offset = status_.tail;
       ++status_.tail_seqno;
       // Re-encode with the updated seqno / displacement.
-      record = EncodeTransactionRecord(status_.tail_seqno, tid,
-                                       status_.last_record_offset, ranges);
+      record = EncodeTransactionRecord(
+          status_.tail_seqno, tid, status_.last_record_offset, ranges, flags);
     }
     status_.tail = kLogDataStart;
     if (free_space() < need + kAppendSlack) {

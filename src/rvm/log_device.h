@@ -52,6 +52,17 @@ class LogDevice {
   static StatusOr<std::unique_ptr<LogDevice>> Open(Env* env,
                                                    const std::string& path);
 
+  // Multi-shard manifest helpers (DESIGN.md §12). WriteManifest formats the
+  // manifest block at `path` (the shard logs themselves are created
+  // separately at ShardLogPath(path, k)); ReadManifest validates and decodes
+  // it. DetectShardCount classifies the first block at `path`: 1 for an
+  // ordinary single log (status magic), the manifest's shard count for a
+  // shard set, kCorruption for anything else.
+  static Status WriteManifest(Env* env, const std::string& path,
+                              const LogManifest& manifest, bool overwrite);
+  static StatusOr<LogManifest> ReadManifest(Env* env, const std::string& path);
+  static StatusOr<uint32_t> DetectShardCount(Env* env, const std::string& path);
+
   // In-memory status. Mutations (segment dictionary, head moves) take effect
   // on disk only at the next WriteStatus().
   LogStatusBlock& status() { return status_; }
@@ -65,9 +76,11 @@ class LogDevice {
   // does not fit before the end of the area. Assigns the sequence number and
   // reverse displacement. Buffered: call Sync() to force. Returns the
   // record's log offset, or kLogFull if there is not enough free space (the
-  // caller should truncate and retry).
+  // caller should truncate and retry). `flags` is stored verbatim in the
+  // record header (the kRecordFlagShard* bits for cross-shard 2PC records).
   StatusOr<uint64_t> AppendTransaction(TransactionId tid,
-                                       std::span<const RangeView> ranges);
+                                       std::span<const RangeView> ranges,
+                                       uint8_t flags = 0);
 
   // Forces all appended records to disk and advances durable_lsn() to the
   // appended LSN observed on entry.

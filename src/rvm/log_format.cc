@@ -122,13 +122,15 @@ uint64_t TransactionRecordSize(std::span<const uint64_t> range_lengths) {
 
 std::vector<uint8_t> EncodeTransactionRecord(uint64_t seqno, TransactionId tid,
                                              uint64_t prev_offset,
-                                             std::span<const RangeView> ranges) {
+                                             std::span<const RangeView> ranges,
+                                             uint8_t flags) {
   uint64_t payload = 0;
   for (const RangeView& range : ranges) {
     payload += kRangeHeaderSize + range.data.size();
   }
   RecordHeader header;
   header.type = RecordType::kTransaction;
+  header.flags = flags;
   header.seqno = seqno;
   header.tid = tid;
   header.num_ranges = static_cast<uint32_t>(ranges.size());
@@ -225,6 +227,62 @@ StatusOr<ParsedRecord> ParseRecord(std::span<const uint8_t> bytes) {
     return Corruption("record has trailing bytes");
   }
   return parsed;
+}
+
+StatusOr<std::vector<uint8_t>> EncodeLogManifest(const LogManifest& manifest) {
+  if (manifest.shard_count < 2) {
+    // A single-shard log is an ordinary log file; writing a manifest for it
+    // would change the on-disk format for the default configuration.
+    return InvalidArgument("manifest requires at least 2 shards");
+  }
+  ByteWriter writer;
+  writer.U32(kManifestMagic);
+  writer.U32(kFormatVersion);
+  writer.U32(manifest.shard_count);
+  writer.U32(0);  // pad
+  writer.U64(manifest.shard_log_size);
+  std::vector<uint8_t> bytes = std::move(writer).Take();
+  bytes.resize(kManifestBlockSize - 4, 0);
+  uint32_t crc = Crc32(bytes);
+  ByteWriter tail_writer(&bytes);
+  tail_writer.U32(crc);
+  return bytes;
+}
+
+StatusOr<LogManifest> DecodeLogManifest(std::span<const uint8_t> bytes) {
+  if (bytes.size() != kManifestBlockSize) {
+    return Corruption("manifest block has wrong size");
+  }
+  uint32_t stored_crc = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    stored_crc |=
+        static_cast<uint32_t>(bytes[kManifestBlockSize - 4 + i]) << (8 * i);
+  }
+  if (Crc32(bytes.subspan(0, kManifestBlockSize - 4)) != stored_crc) {
+    return Corruption("manifest block CRC mismatch");
+  }
+  ByteReader reader(bytes);
+  if (reader.U32() != kManifestMagic) {
+    return Corruption("manifest magic mismatch");
+  }
+  if (reader.U32() != kFormatVersion) {
+    return Corruption("unsupported manifest version");
+  }
+  LogManifest manifest;
+  manifest.shard_count = reader.U32();
+  reader.U32();  // pad
+  manifest.shard_log_size = reader.U64();
+  if (reader.failed()) {
+    return Corruption("manifest block truncated");
+  }
+  if (manifest.shard_count < 2) {
+    return Corruption("manifest shard count below 2");
+  }
+  return manifest;
+}
+
+std::string ShardLogPath(const std::string& base_path, uint32_t shard) {
+  return base_path + ".shard" + std::to_string(shard);
 }
 
 }  // namespace rvm

@@ -54,6 +54,19 @@ enum class RecordType : uint8_t {
   kWrapFiller = 2,
 };
 
+// RecordHeader::flags bits for cross-shard transactions (DESIGN.md §12).
+// Plain single-shard transactions carry flags == 0, which is also what every
+// record written before sharding existed carries — the bits are purely
+// additive. A cross-shard commit writes one kShardPrepare record per
+// participant shard (carrying that shard's new-value ranges), then a
+// kShardDecision record on the coordinator shard (the commit point), then
+// kShardCommit markers on the remaining participants. Recovery unions the
+// decided transaction ids across all shards and skips prepare records whose
+// transaction was never decided (presumed abort).
+inline constexpr uint8_t kRecordFlagShardPrepare = 0x1;
+inline constexpr uint8_t kRecordFlagShardDecision = 0x2;
+inline constexpr uint8_t kRecordFlagShardCommit = 0x4;
+
 struct SegmentDictEntry {
   SegmentId id = kInvalidSegmentId;
   std::string path;
@@ -107,7 +120,8 @@ struct ParsedRecord {
 // Serializes a complete transaction record (header + ranges + CRC).
 std::vector<uint8_t> EncodeTransactionRecord(uint64_t seqno, TransactionId tid,
                                              uint64_t prev_offset,
-                                             std::span<const RangeView> ranges);
+                                             std::span<const RangeView> ranges,
+                                             uint8_t flags = 0);
 
 // Serializes a wrap filler (header-only record directing readers back to
 // kLogDataStart).
@@ -124,6 +138,36 @@ StatusOr<ParsedRecord> ParseRecord(std::span<const uint8_t> bytes);
 // caller reads the payload afterwards and calls ParseRecord for full
 // validation). Returns kCorruption on bad magic or nonsensical fields.
 StatusOr<RecordHeader> PeekRecordHeader(std::span<const uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Multi-shard log manifest (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+//
+// A log created with more than one shard stores a manifest block at the base
+// log path; the shard logs themselves (ordinary single-log files) live at
+// "<path>.shard<K>" for K in [0, shard_count). The manifest's magic differs
+// from the status-block magic, so the first 4 KB of a log path always
+// identifies the layout: status magic = single log, manifest magic = shard
+// set. The shard layout is fixed at CreateLog time and the manifest is never
+// rewritten, so a single copy (plus CRC) suffices — there is no update to
+// tear.
+
+inline constexpr uint32_t kManifestMagic = 0x52564D46;  // "RVMF"
+inline constexpr uint64_t kManifestBlockSize = 4096;
+
+struct LogManifest {
+  uint32_t shard_count = 0;
+  uint64_t shard_log_size = 0;  // size of each shard log file
+};
+
+// Serializes to exactly kManifestBlockSize bytes (CRC included).
+StatusOr<std::vector<uint8_t>> EncodeLogManifest(const LogManifest& manifest);
+
+// Returns kCorruption for an invalid block (bad magic/CRC/version).
+StatusOr<LogManifest> DecodeLogManifest(std::span<const uint8_t> bytes);
+
+// Shard log path naming scheme.
+std::string ShardLogPath(const std::string& base_path, uint32_t shard);
 
 }  // namespace rvm
 

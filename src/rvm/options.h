@@ -8,8 +8,16 @@
 
 #include "src/os/file.h"
 #include "src/rvm/cpu_model.h"
+#include "src/util/status.h"
 
 namespace rvm {
+
+// Upper bound on RvmOptions::log_shards. Sharding exists to spread the
+// group-commit fsync streams across devices/journal slots; beyond a few
+// dozen shards the per-shard logs are too small to batch and the manifest
+// fan-out is pure overhead, so larger values are treated as configuration
+// errors rather than honored.
+inline constexpr uint32_t kMaxLogShards = 64;
 
 // Knobs adjustable after initialization via RvmInstance::SetOptions.
 struct RuntimeOptions {
@@ -83,6 +91,12 @@ struct RvmOptions {
   // Must have been created with RvmInstance::CreateLog.
   std::string log_path;
 
+  // Number of independent log shards (DESIGN.md §12). 1 (the default) keeps
+  // the original single-log on-disk format. N > 1 stripes regions across N
+  // logs named "<log_path>.shard<K>" described by a manifest block at
+  // log_path; must match the shard count the log was created with.
+  uint32_t log_shards = 1;
+
   // Region granularity. Mappings and set_range bookkeeping use this.
   uint64_t page_size = 4096;
 
@@ -117,6 +131,16 @@ struct RvmOptions {
 
   RuntimeOptions runtime;
 };
+
+// Checks an options struct for configuration errors before any file is
+// touched: shard counts outside [1, kMaxLogShards], non-power-of-two page
+// sizes, fractions outside (0, 1], zeroed iteration bounds, and group-commit
+// dwell/batch values that could stall commits forever. Returns
+// kInvalidArgument naming the offending field. RvmInstance::Initialize and
+// SetOptions call this; callers constructing options programmatically can
+// call it directly for early feedback.
+Status ValidateOptions(const RvmOptions& options);
+Status ValidateRuntimeOptions(const RuntimeOptions& runtime);
 
 }  // namespace rvm
 

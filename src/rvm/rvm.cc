@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/dtx/shard_2pc.h"
 #include "src/util/logging.h"
 
 namespace rvm {
@@ -15,25 +16,71 @@ constexpr size_t kPoisonDumpTraceEvents = 64;
 }  // namespace
 
 Status RvmInstance::CreateLog(Env* env, const std::string& path,
-                              uint64_t log_size, bool overwrite) {
+                              uint64_t log_size, bool overwrite,
+                              uint32_t log_shards) {
   if (env == nullptr) {
     env = GetRealEnv();
   }
-  return LogDevice::Create(env, path, log_size, overwrite);
+  if (log_shards == 1) {
+    // Unchanged single-log format: `path` is the log itself.
+    return LogDevice::Create(env, path, log_size, overwrite);
+  }
+  if (log_shards < 1 || log_shards > kMaxLogShards) {
+    return InvalidArgument("log_shards out of range [1, " +
+                           std::to_string(kMaxLogShards) + "]");
+  }
+  // Multi-shard (DESIGN.md §12): a manifest block at `path` names the shard
+  // count; the shards themselves are ordinary logs at "<path>.shard<K>".
+  // The manifest goes first so a crash mid-create leaves either no manifest
+  // (nothing to open) or a manifest whose shard opens fail cleanly.
+  LogManifest manifest;
+  manifest.shard_count = log_shards;
+  manifest.shard_log_size = log_size;
+  RVM_RETURN_IF_ERROR(LogDevice::WriteManifest(env, path, manifest, overwrite));
+  for (uint32_t shard = 0; shard < log_shards; ++shard) {
+    RVM_RETURN_IF_ERROR(
+        LogDevice::Create(env, ShardLogPath(path, shard), log_size, overwrite));
+  }
+  return OkStatus();
+}
+
+StatusOr<uint32_t> RvmInstance::DetectLogShards(Env* env,
+                                                const std::string& path) {
+  if (env == nullptr) {
+    env = GetRealEnv();
+  }
+  return LogDevice::DetectShardCount(env, path);
 }
 
 StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
     const RvmOptions& options) {
+  RVM_RETURN_IF_ERROR(ValidateOptions(options));
   Env* env = options.env != nullptr ? options.env : GetRealEnv();
-  if (options.page_size == 0 || (options.page_size & (options.page_size - 1)) != 0) {
-    return InvalidArgument("page_size must be a power of two");
+  // The shard count is a property of the on-disk log, not a tunable: the
+  // requested count must match what CreateLog wrote or striping (segment_id
+  // mod shard count) would scatter records into the wrong logs.
+  RVM_ASSIGN_OR_RETURN(uint32_t on_disk_shards,
+                       LogDevice::DetectShardCount(env, options.log_path));
+  if (on_disk_shards != options.log_shards) {
+    return InvalidArgument(
+        "log at " + options.log_path + " was created with " +
+        std::to_string(on_disk_shards) + " shard(s) but options.log_shards is " +
+        std::to_string(options.log_shards));
   }
-  RVM_ASSIGN_OR_RETURN(std::unique_ptr<LogDevice> log,
-                       LogDevice::Open(env, options.log_path));
+  std::vector<std::unique_ptr<LogShard>> shards;
+  shards.reserve(options.log_shards);
+  for (uint32_t index = 0; index < options.log_shards; ++index) {
+    auto shard = std::make_unique<LogShard>();
+    shard->index = index;
+    shard->path = options.log_shards == 1 ? options.log_path
+                                          : ShardLogPath(options.log_path, index);
+    RVM_ASSIGN_OR_RETURN(shard->log, LogDevice::Open(env, shard->path));
+    shards.push_back(std::move(shard));
+  }
   RvmOptions resolved = options;
   resolved.env = env;
   std::unique_ptr<RvmInstance> instance(
-      new RvmInstance(resolved, std::move(log)));
+      new RvmInstance(resolved, std::move(shards)));
   {
     std::lock_guard<std::mutex> lock(instance->state_mu_);
     RVM_RETURN_IF_ERROR(instance->RecoverLocked());
@@ -120,11 +167,13 @@ Status RvmInstance::FailIfPoisoned() {
   if (poisoned_.load(std::memory_order_acquire)) {
     return poison_cause_;
   }
-  if (log_->poisoned()) {
-    // The log device poisoned itself (e.g. a status write from the group
-    // leader); adopt its cause so stats_.poisoned records the transition.
-    Poison(log_->poison_status());
-    return log_->poison_status();
+  for (const auto& shard : shards_) {
+    if (shard->log->poisoned()) {
+      // The log device poisoned itself (e.g. a status write from the group
+      // leader); adopt its cause so stats_.poisoned records the transition.
+      Poison(shard->log->poison_status());
+      return shard->log->poison_status();
+    }
   }
   return OkStatus();
 }
@@ -133,36 +182,44 @@ Status RvmInstance::poison_status() const {
   if (poisoned_.load(std::memory_order_acquire)) {
     return poison_cause_;
   }
-  if (log_->poisoned()) {
-    return log_->poison_status();
+  for (const auto& shard : shards_) {
+    if (shard->log->poisoned()) {
+      return shard->log->poison_status();
+    }
   }
   return OkStatus();
 }
 
-bool RvmInstance::NeedsTruncationLocked() const {
+bool RvmInstance::NeedsTruncationLocked(const LogShard& shard) const {
   uint64_t used;
   uint64_t capacity;
   {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    used = log_->used();
-    capacity = log_->capacity();
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    used = shard.log->used();
+    capacity = shard.log->capacity();
   }
   uint64_t threshold = static_cast<uint64_t>(
       runtime_.truncation_threshold * static_cast<double>(capacity));
   return used > threshold;
 }
 
+bool RvmInstance::AnyNeedsTruncationLocked() const {
+  for (const auto& shard : shards_) {
+    if (NeedsTruncationLocked(*shard)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void RvmInstance::TruncationThreadMain() {
   std::unique_lock<std::mutex> lock(state_mu_);
   while (!stop_truncation_) {
     truncation_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
-      return stop_truncation_ || NeedsTruncationLocked();
+      return stop_truncation_ || AnyNeedsTruncationLocked();
     });
     if (stop_truncation_) {
       return;
-    }
-    if (!NeedsTruncationLocked()) {
-      continue;
     }
     if (poisoned()) {
       continue;  // fail-stop: no further maintenance I/O
@@ -170,15 +227,21 @@ void RvmInstance::TruncationThreadMain() {
     // Incremental steps are bounded, so the lock is released between bursts
     // and forward processing interleaves — the paper's "concurrent forward
     // processing" discipline. Epoch truncation (when configured or as the
-    // §5.1.2 fallback) holds the lock for the full pass.
-    Status status = runtime_.use_incremental_truncation
-                        ? IncrementalTruncateLocked()
-                        : TruncateEpochLocked();
-    if (!status.ok()) {
-      NoteIoError(status);
-      ++stats_.swallowed_truncation_failures;
-      RVM_LOG_ERROR("background truncation failed: %s",
-                    status.ToString().c_str());
+    // §5.1.2 fallback) holds the lock for the full pass. Shards truncate
+    // independently: only the ones past threshold pay anything.
+    for (const auto& shard : shards_) {
+      if (stop_truncation_ || !NeedsTruncationLocked(*shard)) {
+        continue;
+      }
+      Status status = runtime_.use_incremental_truncation
+                          ? IncrementalTruncateLocked(*shard)
+                          : TruncateEpochLocked(*shard);
+      if (!status.ok()) {
+        NoteIoError(status);
+        ++stats_.swallowed_truncation_failures;
+        RVM_LOG_ERROR("background truncation failed (shard %u): %s",
+                      shard->index, status.ToString().c_str());
+      }
     }
   }
 }
@@ -195,11 +258,11 @@ void RvmInstance::StopTruncationThread() {
 }
 
 RvmInstance::RvmInstance(const RvmOptions& options,
-                         std::unique_ptr<LogDevice> log)
+                         std::vector<std::unique_ptr<LogShard>> shards)
     : env_(options.env),
       cpu_(options.env, options.cpu_model),
       page_size_(options.page_size),
-      log_(std::move(log)),
+      shards_(std::move(shards)),
       log_path_(options.log_path),
       poison_dump_enabled_(options.enable_poison_dump),
       runtime_(options.runtime),
@@ -210,6 +273,7 @@ RvmInstance::RvmInstance(const RvmOptions& options,
     sampler_options.sample_interval_us = options.sample_interval_us;
     sampler_options.sample_capacity = options.sample_capacity;
     sampler_options.source = "rvm-sampler";
+    sampler_options.shard_count = shards_.size();
     sampler_ = std::make_unique<StatsSampler>(
         sampler_options, [this] { return TakeTimeseriesSample(); });
   }
@@ -250,12 +314,12 @@ Status RvmInstance::Terminate() {
     }
     RVM_RETURN_IF_ERROR(FailIfPoisoned());
     RVM_RETURN_IF_ERROR(FlushDirectLocked());
-    // Persist the exact tail so the next Initialize has no forward scanning
-    // to do; not required for correctness, recovery would find the tail
-    // itself.
-    {
-      std::lock_guard<std::mutex> log_lock(log_mu_);
-      RVM_RETURN_IF_ERROR(log_->WriteStatus());
+    // Persist the exact tail of every shard so the next Initialize has no
+    // forward scanning to do; not required for correctness, recovery would
+    // find the tails itself.
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> log_lock(shard->log_mu);
+      RVM_RETURN_IF_ERROR(shard->log->WriteStatus());
     }
     terminated_ = true;
     return OkStatus();
@@ -277,32 +341,102 @@ Status RvmInstance::Terminate() {
 // ---------------------------------------------------------------------------
 
 StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  for (const SegmentDictEntry& entry : log_->status().segments) {
-    if (entry.path == path) {
-      return entry.id;
+  // The dictionary is mirrored into every shard's status block so each
+  // shard's log is self-describing for recovery and rvmutl; shard 0's
+  // next_segment_id is the allocation source of truth (the mirrors advance
+  // in lockstep below).
+  SegmentId id = 0;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> log_lock(shards_[0]->log_mu);
+    for (const SegmentDictEntry& entry : shards_[0]->log->status().segments) {
+      if (entry.path == path) {
+        id = entry.id;
+        found = true;
+        break;
+      }
     }
   }
-  SegmentId id = log_->status().next_segment_id++;
-  log_->status().segments.push_back({id, path});
-  // The dictionary must be durable before any log record names this id. On
-  // failure (e.g. the path overflows the status block) roll the entry back so
-  // later status writes — every group-commit batch issues one — still encode.
-  Status status = log_->WriteStatus();
-  if (!status.ok()) {
-    log_->status().segments.pop_back();
-    --log_->status().next_segment_id;
-    return status;
+  if (found) {
+    // Heal lagging mirrors before handing the id out: a crash between two
+    // shards' status writes in the allocation loop below leaves later
+    // shards' dictionaries behind shard 0's, and the entry must be durable
+    // in a shard's own status block before any of that shard's log records
+    // can name the id (each shard's log is replayed self-describingly).
+    for (size_t k = 1; k < shards_.size(); ++k) {
+      LogDevice& log = *shards_[k]->log;
+      std::lock_guard<std::mutex> log_lock(shards_[k]->log_mu);
+      bool present = false;
+      for (const SegmentDictEntry& entry : log.status().segments) {
+        if (entry.id == id) {
+          present = true;
+          break;
+        }
+      }
+      if (present) {
+        continue;
+      }
+      log.status().segments.push_back({id, path});
+      if (log.status().next_segment_id <= id) {
+        log.status().next_segment_id = id + 1;
+      }
+      Status status = log.WriteStatus();
+      if (!status.ok()) {
+        log.status().segments.pop_back();
+        return status;
+      }
+    }
+    return id;
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    LogDevice& log = *shards_[k]->log;
+    std::lock_guard<std::mutex> log_lock(shards_[k]->log_mu);
+    if (k == 0) {
+      id = log.status().next_segment_id;
+    }
+    log.status().next_segment_id = id + 1;
+    log.status().segments.push_back({id, path});
+    // The dictionary must be durable before any log record names this id. On
+    // failure (e.g. the path overflows the status block) roll the entry back
+    // so later status writes — every single-shard group batch issues one —
+    // still encode. Mirrors carry identical dictionaries, so an encoding
+    // failure strikes shard 0 first and the rollback is all-or-none; an I/O
+    // failure has already poisoned the device.
+    Status status = log.WriteStatus();
+    if (!status.ok()) {
+      log.status().segments.pop_back();
+      --log.status().next_segment_id;
+      return status;
+    }
   }
   return id;
 }
 
 StatusOr<std::unique_ptr<File>> RvmInstance::OpenSegmentBothLocked(
-    SegmentId id) {
+    LogShard& shard, SegmentId id) {
   // Not used for the cached map; see segment_files_ handling in callers.
-  for (const SegmentDictEntry& entry : log_->status().segments) {
+  for (const SegmentDictEntry& entry : shard.log->status().segments) {
     if (entry.id == id) {
       return env_->Open(entry.path, OpenMode::kCreateIfMissing);
+    }
+  }
+  // Fall back to shard 0's dictionary, the allocation source of truth: it
+  // is written and synced before any other shard's mirror, so its durable
+  // copy covers every id a shard's durable log can name. A miss on a
+  // non-zero shard means an earlier incarnation crashed between Map's
+  // per-shard status writes; heal this shard's in-memory mirror so its
+  // next status write persists the repair. Reading shard 0's dictionary
+  // without its log_mu is safe here: the dictionary is only mutated under
+  // state_mu_ (SegmentIdForLocked), which every caller holds.
+  if (&shard != shards_[0].get()) {
+    for (const SegmentDictEntry& entry : shards_[0]->log->status().segments) {
+      if (entry.id == id) {
+        shard.log->status().segments.push_back(entry);
+        if (shard.log->status().next_segment_id <= id) {
+          shard.log->status().next_segment_id = id + 1;
+        }
+        return env_->Open(entry.path, OpenMode::kCreateIfMissing);
+      }
     }
   }
   return NotFound("segment id not in dictionary");
@@ -385,6 +519,10 @@ Status RvmInstance::Map(RegionDescriptor& region) {
   state->length = region.length;
   state->base = base;
   state->owns_memory = owns;
+  // Static striping (DESIGN.md §12): every commit touching this region
+  // appends to this shard, for the life of the mapping and across restarts
+  // (segment ids are persistent, so the stripe is stable).
+  state->shard = static_cast<uint32_t>(seg_id % shards_.size());
   regions_.emplace(base_addr, std::move(state));
   region.address = base;
   return OkStatus();
@@ -404,7 +542,7 @@ Status RvmInstance::Unmap(const RegionDescriptor& region) {
   // Make the external data segment current before the in-memory image goes
   // away: flush spooled commits, then apply the whole log.
   RVM_RETURN_IF_ERROR(FlushDirectLocked());
-  RVM_RETURN_IF_ERROR(TruncateEpochLocked());
+  RVM_RETURN_IF_ERROR(TruncateAllEpochLocked());
   if (state->owns_memory) {
     std::free(state->base);
   }
@@ -564,12 +702,17 @@ Status RvmInstance::AbortTransaction(TransactionId tid) {
   return OkStatus();
 }
 
-RvmInstance::SpoolEntry RvmInstance::BuildSpoolEntryLocked(TxnState& txn) {
-  SpoolEntry entry;
-  entry.tid = txn.tid;
-  std::vector<uint64_t> lengths;
+std::vector<std::pair<uint32_t, RvmInstance::SpoolEntry>>
+RvmInstance::BuildSpoolEntriesLocked(TxnState& txn) {
+  // One entry per participating shard (ascending index): each region's
+  // ranges go to its stripe. On a single-shard instance this degenerates to
+  // the original one-entry build.
+  std::map<uint32_t, SpoolEntry> per_shard;
+  std::map<uint32_t, std::vector<uint64_t>> lengths;
 
   auto add_range = [&](RegionState* region, uint64_t start, uint64_t end) {
+    SpoolEntry& entry = per_shard[region->shard];
+    entry.tid = txn.tid;
     SpoolEntry::SegRange range;
     range.segment = region->segment_id;
     range.offset = region->segment_offset + start;
@@ -577,7 +720,7 @@ RvmInstance::SpoolEntry RvmInstance::BuildSpoolEntryLocked(TxnState& txn) {
     range.data_offset = entry.data.size();
     entry.data.insert(entry.data.end(), region->base + start, region->base + end);
     entry.ranges.push_back(range);
-    lengths.push_back(range.length);
+    lengths[region->shard].push_back(range.length);
   };
 
   if (runtime_.enable_intra_optimization) {
@@ -596,17 +739,24 @@ RvmInstance::SpoolEntry RvmInstance::BuildSpoolEntryLocked(TxnState& txn) {
 
   for (auto& [region, pages] : txn.pages_touched) {
     for (uint64_t page : pages) {
-      entry.pages.emplace_back(region, page);
+      per_shard[region->shard].pages.emplace_back(region, page);
+      per_shard[region->shard].tid = txn.tid;
     }
   }
-  entry.encoded_size = TransactionRecordSize(lengths);
-  cpu_.Copy(entry.data.size());
-  cpu_.LogAssembly(entry.data.size());
-  cpu_.Fixed(cpu_.model().per_range_us * static_cast<double>(entry.ranges.size()));
-  return entry;
+  std::vector<std::pair<uint32_t, SpoolEntry>> entries;
+  entries.reserve(per_shard.size());
+  for (auto& [shard, entry] : per_shard) {
+    entry.encoded_size = TransactionRecordSize(lengths[shard]);
+    cpu_.Copy(entry.data.size());
+    cpu_.LogAssembly(entry.data.size());
+    cpu_.Fixed(cpu_.model().per_range_us * static_cast<double>(entry.ranges.size()));
+    entries.emplace_back(shard, std::move(entry));
+  }
+  return entries;
 }
 
-Status RvmInstance::InterTransactionOptimizeLocked(const TxnState& txn) {
+Status RvmInstance::InterTransactionOptimizeLocked(LogShard& shard,
+                                                   const TxnState& txn) {
   // Build this transaction's coverage in segment coordinates.
   std::map<SegmentId, IntervalSet> coverage;
   for (const auto& [region, covered] : txn.covered) {
@@ -623,11 +773,11 @@ Status RvmInstance::InterTransactionOptimizeLocked(const TxnState& txn) {
   // (§5.2). The scan is bounded to the newest entries; see
   // RuntimeOptions::inter_optimization_window.
   size_t window_start =
-      spool_.size() > runtime_.inter_optimization_window
-          ? spool_.size() - runtime_.inter_optimization_window
+      shard.spool.size() > runtime_.inter_optimization_window
+          ? shard.spool.size() - runtime_.inter_optimization_window
           : 0;
-  for (auto it = spool_.begin() + static_cast<ptrdiff_t>(window_start);
-       it != spool_.end();) {
+  for (auto it = shard.spool.begin() + static_cast<ptrdiff_t>(window_start);
+       it != shard.spool.end();) {
     bool subsumed = true;
     for (const SpoolEntry::SegRange& range : it->ranges) {
       auto cover_it = coverage.find(range.segment);
@@ -648,13 +798,14 @@ Status RvmInstance::InterTransactionOptimizeLocked(const TxnState& txn) {
       }
     }
     stats_.inter_saved_bytes += it->encoded_size;
-    spool_bytes_ -= it->encoded_size;
-    it = spool_.erase(it);
+    shard.spool_bytes -= it->encoded_size;
+    it = shard.spool.erase(it);
   }
   return OkStatus();
 }
 
-Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
+Status RvmInstance::AppendSpoolEntryLocked(LogShard& shard, SpoolEntry& entry,
+                                           uint8_t flags) {
   std::vector<RangeView> views;
   views.reserve(entry.ranges.size());
   for (const SpoolEntry::SegRange& range : entry.ranges) {
@@ -667,8 +818,8 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
   }
 
   auto append = [&]() -> StatusOr<uint64_t> {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    return log_->AppendTransaction(entry.tid, views);
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    return shard.log->AppendTransaction(entry.tid, views, flags);
   };
   StatusOr<uint64_t> offset = append();
   for (uint64_t attempt = 0;
@@ -684,8 +835,8 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     // exactly what the background truncation thread needs to make progress.
     bool last_attempt = attempt + 1 == runtime_.log_full_retry_limit;
     RVM_RETURN_IF_ERROR(runtime_.use_incremental_truncation && !last_attempt
-                            ? IncrementalTruncateLocked()
-                            : TruncateEpochLocked());
+                            ? IncrementalTruncateLocked(shard)
+                            : TruncateEpochLocked(shard));
     ++stats_.log_full_retries;
     offset = append();
   }
@@ -698,6 +849,7 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     return offset.status();
   }
   stats_.bytes_logged += entry.encoded_size;
+  shard.records_appended.fetch_add(1, std::memory_order_relaxed);
   Trace(TraceEventType::kAppend, entry.tid, *offset);
 
   // Incremental-truncation bookkeeping (Fig. 7): the pages carrying this
@@ -711,19 +863,189 @@ Status RvmInstance::AppendSpoolEntryLocked(SpoolEntry& entry) {
     page_entry.dirty = true;
     if (!page_entry.in_queue) {
       page_entry.in_queue = true;
-      page_queue_.push_back({region, page, *offset});
+      shard.page_queue.push_back({region, page, *offset});
     }
   }
   return OkStatus();
 }
 
-Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
-                                         uint64_t* flush_target_lsn) {
-  *flush_target_lsn = 0;
+Status RvmInstance::AppendControlRecordLocked(LogShard& shard,
+                                              TransactionId tid,
+                                              uint8_t flags) {
+  auto append = [&]() -> StatusOr<uint64_t> {
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    return shard.log->AppendTransaction(tid, {}, flags);
+  };
+  StatusOr<uint64_t> offset = append();
+  for (uint64_t attempt = 0;
+       !offset.ok() && offset.status().code() == ErrorCode::kLogFull &&
+       attempt < runtime_.log_full_retry_limit;
+       ++attempt) {
+    // Reclaim-and-retry like data appends, but incremental only: a control
+    // record lands on a shard that already carries this transaction's
+    // prepare record, and an epoch pass would apply that prepare to the
+    // segments before the decision is durable (the in-flight transaction is
+    // neither decided nor in aborted_gtids_ yet). Incremental truncation is
+    // safe — the transaction's uncommitted page references write-block the
+    // queue at or before the prepare's offset, so the head never passes it.
+    RVM_RETURN_IF_ERROR(IncrementalTruncateLocked(shard));
+    ++stats_.log_full_retries;
+    offset = append();
+  }
+  if (!offset.ok()) {
+    if (offset.status().code() != ErrorCode::kLogFull) {
+      Poison(offset.status());
+    }
+    return offset.status();
+  }
+  stats_.bytes_logged += kRecordHeaderSize;
+  shard.records_appended.fetch_add(1, std::memory_order_relaxed);
+  Trace(TraceEventType::kAppend, tid, *offset);
+  return OkStatus();
+}
+
+Status RvmInstance::ForceShardBothLocked(LogShard& shard) {
+  const uint64_t sync_start_us = env_->NowMicros();
+  Status synced = shard.log->Sync();
+  if (!synced.ok()) {
+    Poison(synced);
+    NotifyDurableWaiters(shard);  // group-stage waiters observe the poison
+    return synced;
+  }
+  const uint64_t sync_us = env_->NowMicros() - sync_start_us;
+  stats_.log_force_us.Record(sync_us);
+  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
+  ++stats_.log_forces;
+  shard.forces.fetch_add(1, std::memory_order_relaxed);
+  NotifyDurableWaiters(shard);
+  return OkStatus();
+}
+
+Status RvmInstance::CommitCrossShardLocked(
+    TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries) {
+  // Internal two-phase commit (DESIGN.md §12, src/dtx/shard_2pc.h). The
+  // whole protocol runs under state_mu_ with direct per-shard forces rather
+  // than the group stage: prepare/marker adjacency per shard and the
+  // page-queue ordering invariant (a record's queue entries carry its own
+  // offset) both depend on no other append interleaving.
+  std::vector<uint32_t> participants;
+  participants.reserve(entries.size());
+  for (const auto& [index, entry] : entries) {
+    participants.push_back(index);
+  }
+  auto entry_for = [&](uint32_t index) -> SpoolEntry& {
+    for (auto& [k, entry] : entries) {
+      if (k == index) {
+        return entry;
+      }
+    }
+    return entries.front().second;  // unreachable: participants come from entries
+  };
+
+  ShardCommitOps ops;
+  ops.append_prepare = [&](uint32_t index) -> Status {
+    LogShard& shard = *shards_[index];
+    // Earlier no-flush commits must reach this shard's log first so log
+    // order equals commit order (recovery applies newest-record-wins).
+    while (!shard.spool.empty()) {
+      RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(shard, shard.spool.front()));
+      shard.spool_bytes -= shard.spool.front().encoded_size;
+      shard.spool.pop_front();
+    }
+    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(shard, entry_for(index),
+                                               kRecordFlagShardPrepare));
+    shard.prepares.fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  };
+  ops.force = [&](uint32_t index) -> Status {
+    LogShard& shard = *shards_[index];
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    return ForceShardBothLocked(shard);
+  };
+  ops.append_decision = [&](uint32_t index) -> Status {
+    RVM_RETURN_IF_ERROR(AppendControlRecordLocked(*shards_[index], txn.tid,
+                                                  kRecordFlagShardDecision));
+    // This shard now carries what may be the only durable commit evidence;
+    // its truncation must force the participants' markers first.
+    shards_[index]->holds_decisions = true;
+    return OkStatus();
+  };
+  ops.append_marker = [&](uint32_t index) -> Status {
+    return AppendControlRecordLocked(*shards_[index], txn.tid,
+                                     kRecordFlagShardCommit);
+  };
+
+  // Window open: a crash from here until the decision is durable must
+  // recover to presumed abort on every participant (the explorer checks
+  // started > decided to know it crashed inside the protocol).
+  ++stats_.cross_shard_commits_started;
+  bool decided = false;
+  Status status = RunShardedCommit(participants, ops, &decided);
+  if (decided) {
+    ++stats_.cross_shard_commits_decided;
+  }
+  if (!status.ok() && decided) {
+    // The decision force completed: the transaction IS durably committed and
+    // a failed (unforced, advisory) marker append cannot undo that. Recovery
+    // unions decisions across shards, so the markers are not load-bearing.
+    NoteIoError(status);
+    RVM_LOG_WARN("cross-shard commit marker append failed (commit durable): %s",
+                 status.ToString().c_str());
+    status = OkStatus();
+  }
+  if (status.ok()) {
+    ReleaseUncommittedLocked(txn);
+    {
+      MultiFieldUpdate seqlock(stats_);
+      ++stats_.transactions_committed;
+      ++stats_.flush_commits;
+    }
+    return OkStatus();
+  }
+  // Presumed abort: prepares may already sit in some shards' logs with no
+  // decision anywhere. Recovery ignores undecided prepares; live truncation
+  // needs the id recorded to do the same. Only a genuine abort verdict
+  // (log full) closes the explorer's crash window — an I/O failure means
+  // the outcome was never resolved, which is exactly what the window
+  // counter exists to expose.
+  if (status.code() == ErrorCode::kLogFull) {
+    ++stats_.cross_shard_commits_decided;
+  }
+  aborted_gtids_.insert(txn.tid);
+  if (status.code() == ErrorCode::kLogFull &&
+      txn.mode == RestoreMode::kRestore) {
+    // Degrade to an abort, leaving VM consistent (same policy as the
+    // single-shard flush path).
+    for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend(); ++ov) {
+      std::memcpy(ov->region->base + ov->offset, ov->bytes.data(),
+                  ov->bytes.size());
+      cpu_.Copy(ov->bytes.size());
+    }
+    ReleaseUncommittedLocked(txn);
+    ++stats_.transactions_aborted;
+    return status;
+  }
+  if (status.code() == ErrorCode::kLogFull) {
+    Poison(status);  // no-restore txn: VM has diverged irreversibly
+  }
+  ReleaseUncommittedLocked(txn);
+  return status;
+}
+
+Status RvmInstance::EndTransactionLocked(
+    TxnState& txn, CommitMode mode,
+    std::vector<std::pair<LogShard*, uint64_t>>* flush_targets,
+    bool* durable_inline) {
+  flush_targets->clear();
+  *durable_inline = false;
   cpu_.Fixed(cpu_.model().commit_fixed_us);
 
-  if (runtime_.enable_inter_optimization && !spool_.empty()) {
-    RVM_RETURN_IF_ERROR(InterTransactionOptimizeLocked(txn));
+  if (runtime_.enable_inter_optimization) {
+    for (const auto& shard : shards_) {
+      if (!shard->spool.empty()) {
+        RVM_RETURN_IF_ERROR(InterTransactionOptimizeLocked(*shard, txn));
+      }
+    }
   }
 
   bool has_changes = false;
@@ -740,7 +1062,20 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
     return OkStatus();
   }
 
-  SpoolEntry entry = BuildSpoolEntryLocked(txn);
+  std::vector<std::pair<uint32_t, SpoolEntry>> entries =
+      BuildSpoolEntriesLocked(txn);
+
+  if (entries.size() > 1) {
+    // The rare cross-shard transaction: committed eagerly (and durably)
+    // through the internal 2PC, whatever the commit mode — bounded
+    // persistence cannot span logs with independent force schedules.
+    RVM_RETURN_IF_ERROR(CommitCrossShardLocked(txn, entries));
+    *durable_inline = true;
+    return OkStatus();
+  }
+
+  LogShard& shard = *shards_[entries.front().first];
+  SpoolEntry& entry = entries.front().second;
 
   if (mode == CommitMode::kNoFlush) {
     ReleaseUncommittedLocked(txn);
@@ -754,13 +1089,15 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
     for (auto& [region, page] : entry.pages) {
       ++region->pages.entry(page).unflushed_refs;
     }
-    spool_bytes_ += entry.encoded_size;
-    spool_.push_back(std::move(entry));
-    if (spool_bytes_ > runtime_.max_spool_bytes) {
+    shard.spool_bytes += entry.encoded_size;
+    shard.spool.push_back(std::move(entry));
+    if (shard.spool_bytes > runtime_.max_spool_bytes) {
       // Spool overflow: append everything now; the committer takes the
       // resulting LSN through the group-commit stage like a flush commit.
       ++stats_.log_flush_calls;
-      RVM_RETURN_IF_ERROR(DrainSpoolLocked(flush_target_lsn));
+      uint64_t target_lsn = 0;
+      RVM_RETURN_IF_ERROR(DrainSpoolLocked(shard, &target_lsn));
+      flush_targets->emplace_back(&shard, target_lsn);
     }
     return OkStatus();
   }
@@ -775,16 +1112,16 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
   // instance is already poisoned.
   ++stats_.flush_commits;
   Status append = OkStatus();
-  while (!spool_.empty()) {
-    append = AppendSpoolEntryLocked(spool_.front());
+  while (!shard.spool.empty()) {
+    append = AppendSpoolEntryLocked(shard, shard.spool.front());
     if (!append.ok()) {
       break;
     }
-    spool_bytes_ -= spool_.front().encoded_size;
-    spool_.pop_front();
+    shard.spool_bytes -= shard.spool.front().encoded_size;
+    shard.spool.pop_front();
   }
   if (append.ok()) {
-    append = AppendSpoolEntryLocked(entry);
+    append = AppendSpoolEntryLocked(shard, entry);
   }
   if (!append.ok()) {
     // This transaction's changes are already in VM; leaving them there with
@@ -812,8 +1149,8 @@ Status RvmInstance::EndTransactionLocked(TxnState& txn, CommitMode mode,
   ReleaseUncommittedLocked(txn);
   ++stats_.transactions_committed;
   {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    *flush_target_lsn = log_->appended_lsn();
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    flush_targets->emplace_back(&shard, shard.log->appended_lsn());
   }
   return OkStatus();
 }
@@ -822,7 +1159,8 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
                                            std::vector<OldValueRecord>* undo) {
   RVM_RETURN_IF_ERROR(FailIfPoisoned());
   const uint64_t start_us = env_->NowMicros();
-  uint64_t target_lsn = 0;
+  std::vector<std::pair<LogShard*, uint64_t>> flush_targets;
+  bool durable_inline = false;
   uint64_t max_batch = 0;
   uint64_t max_wait_us = 0;
   {
@@ -853,20 +1191,25 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
         undo->push_back(std::move(record));
       }
     }
-    RVM_RETURN_IF_ERROR(EndTransactionLocked(txn, mode, &target_lsn));
+    RVM_RETURN_IF_ERROR(
+        EndTransactionLocked(txn, mode, &flush_targets, &durable_inline));
     // Append phase: the state-locked section (bookkeeping, optimization
     // passes, and the log appends that fix this commit's sequence point).
     stats_.commit_append_us.Record(env_->NowMicros() - locked_us);
     max_batch = runtime_.group_commit_max_batch;
     max_wait_us = runtime_.group_commit_max_wait_us;
   }
-  if (target_lsn == 0) {
+  if (flush_targets.empty() && !durable_inline) {
     Trace(TraceEventType::kCommitAck, tid, env_->NowMicros() - start_us);
     return OkStatus();
   }
   // Group-commit stage: no locks held, so concurrent SetRange/Map/Query and
-  // other committers' appends proceed while the force is in flight.
-  RVM_RETURN_IF_ERROR(CommitDurable(target_lsn, max_batch, max_wait_us));
+  // other committers' appends proceed while the force is in flight. (A
+  // cross-shard commit already forced inline and has no targets here.)
+  for (const auto& [shard, target_lsn] : flush_targets) {
+    RVM_RETURN_IF_ERROR(
+        CommitDurable(*shard, target_lsn, max_batch, max_wait_us));
+  }
   uint64_t elapsed_us = env_->NowMicros() - start_us;
   stats_.commit_latency_us.Record(elapsed_us);
   Trace(TraceEventType::kCommitAck, tid, elapsed_us);
@@ -895,51 +1238,52 @@ Status RvmInstance::EndTransactionWithUndo(TransactionId tid, CommitMode mode,
 // Group-commit stage
 // ---------------------------------------------------------------------------
 
-Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
-                                  uint64_t max_wait_us) {
+Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
+                                  uint64_t max_batch, uint64_t max_wait_us) {
   if (target_lsn == 0) {
     return OkStatus();
   }
-  if (log_->durable_lsn() >= target_lsn) {
+  if (shard.log->durable_lsn() >= target_lsn) {
     // A batch (or truncation force) that covered this commit already
     // completed: the force was free for us.
     ++stats_.group_commit_batched_txns;
     return OkStatus();
   }
-  std::unique_lock<std::mutex> group_lock(group_mu_);
-  ++group_waiters_;
-  group_cv_.notify_all();  // a dwelling leader may now have a full batch
+  std::unique_lock<std::mutex> group_lock(shard.group_mu);
+  ++shard.group_waiters;
+  shard.group_cv.notify_all();  // a dwelling leader may now have a full batch
   Status result;
   for (;;) {
-    if (log_->durable_lsn() >= target_lsn) {
+    if (shard.log->durable_lsn() >= target_lsn) {
       break;
     }
-    if (log_->poisoned()) {
+    if (shard.log->poisoned()) {
       // The force that would have covered this commit failed. The failure
       // is sticky for every waiter: electing a new leader to Sync again
       // would re-issue an fsync on an fd whose page-cache state is unknown
       // (the kernel may have dropped the dirty pages at the first failure,
       // so a retry could "succeed" without the data being durable).
-      result = log_->poison_status();
+      result = shard.log->poison_status();
       Poison(result);
       break;
     }
-    if (!group_leader_active_) {
+    if (!shard.group_leader_active) {
       // Become the leader for everyone whose record is already appended.
-      group_leader_active_ = true;
+      shard.group_leader_active = true;
       // Dwell until a full batch of appended-but-undurable records exists.
-      // The LSN distance, not group_waiters_, measures batchable work:
+      // The LSN distance, not the waiter count, measures batchable work:
       // the waiter count still includes followers served by the previous
       // batch that have not yet woken to decrement it, and counting them
       // would end the dwell with a near-empty batch. Stop early if another
       // force (truncation, Flush) covers our own target meanwhile.
       if (max_wait_us > 0 &&
-          log_->appended_lsn() - log_->durable_lsn() < max_batch) {
+          shard.log->appended_lsn() - shard.log->durable_lsn() < max_batch) {
         const uint64_t dwell_start_us = env_->NowMicros();
-        group_cv_.wait_for(
+        shard.group_cv.wait_for(
             group_lock, std::chrono::microseconds(max_wait_us), [&] {
-              return log_->durable_lsn() >= target_lsn ||
-                     log_->appended_lsn() - log_->durable_lsn() >= max_batch;
+              return shard.log->durable_lsn() >= target_lsn ||
+                     shard.log->appended_lsn() - shard.log->durable_lsn() >=
+                         max_batch;
             });
         stats_.commit_group_dwell_us.Record(env_->NowMicros() -
                                             dwell_start_us);
@@ -949,19 +1293,26 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
       bool forced = false;
       uint64_t sync_us = 0;
       {
-        std::lock_guard<std::mutex> log_lock(log_mu_);
-        if (log_->durable_lsn() < log_->appended_lsn()) {
+        std::lock_guard<std::mutex> log_lock(shard.log_mu);
+        if (shard.log->durable_lsn() < shard.log->appended_lsn()) {
           const uint64_t sync_start_us = env_->NowMicros();
-          sync_status = log_->Sync();
+          sync_status = shard.log->Sync();
           sync_us = env_->NowMicros() - sync_start_us;
           forced = sync_status.ok();
-          if (sync_status.ok()) {
+          if (sync_status.ok() && shards_.size() == 1) {
             // Persist the batch's tail so recovery after a clean crash needs
             // no forward scan past it. The batch is already durable at this
             // point, so a failure here cannot fail the commits — recovery
             // rediscovers the tail by forward scanning from the older status
             // block — but it does poison the device for future operations.
-            Status status_write = log_->WriteStatus();
+            //
+            // Multi-shard instances skip this (DESIGN.md §12): the status
+            // write costs a second fsync per batch, and recovery forward-
+            // scans each shard from its last written status anyway. Status
+            // blocks still reach disk at every dictionary change, head move,
+            // and Terminate. The single-shard path keeps the original
+            // per-batch write so its on-disk cadence is unchanged.
+            Status status_write = shard.log->WriteStatus();
             if (!status_write.ok()) {
               Poison(status_write);
               RVM_LOG_WARN("batch status write failed (commits durable): %s",
@@ -971,7 +1322,7 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
         }
       }
       group_lock.lock();
-      group_leader_active_ = false;
+      shard.group_leader_active = false;
       if (!sync_status.ok()) {
         // Sticky: the LogDevice poisoned itself on the failed fsync; record
         // the fail-stop transition here and hand every waiter (current and
@@ -979,6 +1330,7 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
         Poison(sync_status);
         result = sync_status;
       } else if (forced) {
+        shard.forces.fetch_add(1, std::memory_order_relaxed);
         // Force cluster: forces and batches move together, and readers
         // derive saved forces from batches vs. batched_txns — bracket the
         // cluster so a Snapshot() cannot observe the force without its
@@ -988,28 +1340,29 @@ Status RvmInstance::CommitDurable(uint64_t target_lsn, uint64_t max_batch,
         ++stats_.group_commit_batches;
         stats_.commit_fsync_us.Record(sync_us);
         stats_.log_force_us.Record(sync_us);
-        Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
+        Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
       }
-      group_cv_.notify_all();
+      shard.group_cv.notify_all();
       if (!result.ok()) {
         break;
       }
       continue;  // re-check durability (the sync covered our own append)
     }
-    group_cv_.wait(group_lock);
+    shard.group_cv.wait(group_lock);
   }
-  --group_waiters_;
+  --shard.group_waiters;
   if (result.ok()) {
     ++stats_.group_commit_batched_txns;
   }
   return result;
 }
 
-void RvmInstance::NotifyDurableWaiters() {
-  // Acquire-release of group_mu_ pairs with the waiters' predicate check so
-  // a waiter observes either the new durable LSN or this notification.
-  { std::lock_guard<std::mutex> group_lock(group_mu_); }
-  group_cv_.notify_all();
+void RvmInstance::NotifyDurableWaiters(LogShard& shard) {
+  // Acquire-release of the shard's group_mu pairs with the waiters'
+  // predicate check so a waiter observes either the new durable LSN or this
+  // notification.
+  { std::lock_guard<std::mutex> group_lock(shard.group_mu); }
+  shard.group_cv.notify_all();
 }
 
 Status RvmInstance::MaybeTruncate() {
@@ -1044,74 +1397,81 @@ StatusOr<std::pair<std::string, uint64_t>> RvmInstance::TranslateAddress(
   return std::make_pair(region->segment_path, region->segment_offset + offset);
 }
 
-Status RvmInstance::DrainSpoolLocked(uint64_t* target_lsn) {
+Status RvmInstance::DrainSpoolLocked(LogShard& shard, uint64_t* target_lsn) {
   // Entries leave the spool only once appended: a committed no-flush
   // transaction must never be dropped on the floor by a failed drain. On
   // kLogFull the remaining entries stay spooled for a later retry; on any
   // other failure the instance is already poisoned.
-  while (!spool_.empty()) {
-    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(spool_.front()));
-    spool_bytes_ -= spool_.front().encoded_size;
-    spool_.pop_front();
+  while (!shard.spool.empty()) {
+    RVM_RETURN_IF_ERROR(AppendSpoolEntryLocked(shard, shard.spool.front()));
+    shard.spool_bytes -= shard.spool.front().encoded_size;
+    shard.spool.pop_front();
   }
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  *target_lsn = log_->appended_lsn();
+  std::lock_guard<std::mutex> log_lock(shard.log_mu);
+  *target_lsn = shard.log->appended_lsn();
   return OkStatus();
 }
 
 Status RvmInstance::FlushDirectLocked() {
   ++stats_.log_flush_calls;
-  if (spool_.empty()) {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    if (log_->durable_lsn() >= log_->appended_lsn()) {
-      return OkStatus();
+  bool forced_any = false;
+  for (const auto& shard_ptr : shards_) {
+    LogShard& shard = *shard_ptr;
+    if (shard.spool.empty()) {
+      std::lock_guard<std::mutex> log_lock(shard.log_mu);
+      if (shard.log->durable_lsn() >= shard.log->appended_lsn()) {
+        continue;  // this shard is already fully durable
+      }
+    } else {
+      uint64_t unused = 0;
+      RVM_RETURN_IF_ERROR(DrainSpoolLocked(shard, &unused));
     }
-  } else {
-    uint64_t unused = 0;
-    RVM_RETURN_IF_ERROR(DrainSpoolLocked(&unused));
-  }
-  {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    const uint64_t sync_start_us = env_->NowMicros();
-    Status synced = log_->Sync();
-    if (!synced.ok()) {
-      Poison(synced);
-      NotifyDurableWaiters();  // group-stage waiters observe the poison
-      return synced;
+    {
+      std::lock_guard<std::mutex> log_lock(shard.log_mu);
+      RVM_RETURN_IF_ERROR(ForceShardBothLocked(shard));
     }
-    const uint64_t sync_us = env_->NowMicros() - sync_start_us;
-    stats_.log_force_us.Record(sync_us);
-    Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
+    forced_any = true;
   }
-  ++stats_.log_forces;
-  NotifyDurableWaiters();
+  if (!forced_any) {
+    return OkStatus();
+  }
   return MaybeTruncateLocked();
 }
 
 Status RvmInstance::Flush() {
-  uint64_t target_lsn = 0;
+  std::vector<std::pair<LogShard*, uint64_t>> targets;
   uint64_t max_batch = 0;
   uint64_t max_wait_us = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     RVM_RETURN_IF_ERROR(FailIfPoisoned());
     ++stats_.log_flush_calls;
-    if (spool_.empty()) {
-      // Nothing to append, but commits already appended may still be in the
-      // group stage; wait those out so Flush keeps its "all committed
-      // no-flush transactions are forced" contract.
-      std::lock_guard<std::mutex> log_lock(log_mu_);
-      if (log_->durable_lsn() >= log_->appended_lsn()) {
-        return OkStatus();
+    for (const auto& shard_ptr : shards_) {
+      LogShard& shard = *shard_ptr;
+      if (shard.spool.empty()) {
+        // Nothing to append, but commits already appended may still be in
+        // the group stage; wait those out so Flush keeps its "all committed
+        // no-flush transactions are forced" contract.
+        std::lock_guard<std::mutex> log_lock(shard.log_mu);
+        if (shard.log->durable_lsn() >= shard.log->appended_lsn()) {
+          continue;
+        }
+        targets.emplace_back(&shard, shard.log->appended_lsn());
+      } else {
+        uint64_t target_lsn = 0;
+        RVM_RETURN_IF_ERROR(DrainSpoolLocked(shard, &target_lsn));
+        targets.emplace_back(&shard, target_lsn);
       }
-      target_lsn = log_->appended_lsn();
-    } else {
-      RVM_RETURN_IF_ERROR(DrainSpoolLocked(&target_lsn));
     }
     max_batch = runtime_.group_commit_max_batch;
     max_wait_us = runtime_.group_commit_max_wait_us;
   }
-  RVM_RETURN_IF_ERROR(CommitDurable(target_lsn, max_batch, max_wait_us));
+  if (targets.empty()) {
+    return OkStatus();
+  }
+  for (const auto& [shard, target_lsn] : targets) {
+    RVM_RETURN_IF_ERROR(CommitDurable(*shard, target_lsn, max_batch, max_wait_us));
+  }
   // Flush's contract (everything committed is forced) is met; truncation
   // failure is reported by the operation that next depends on it.
   Status truncate_status = MaybeTruncate();
@@ -1130,7 +1490,7 @@ Status RvmInstance::Truncate() {
   // truncate() promises all *committed* changes reach the segments; spooled
   // no-flush commits must therefore be forced first.
   RVM_RETURN_IF_ERROR(FlushDirectLocked());
-  return TruncateEpochLocked();
+  return TruncateAllEpochLocked();
 }
 
 StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
@@ -1145,7 +1505,7 @@ StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
   }
   query.mapped_length = region->length;
   query.dirty_pages = region->pages.dirty_count();
-  for (const SpoolEntry& entry : spool_) {
+  for (const SpoolEntry& entry : ShardFor(*region).spool) {
     for (const auto& [entry_region, page] : entry.pages) {
       if (entry_region == region) {
         ++query.committed_unflushed_transactions;
@@ -1167,18 +1527,30 @@ RuntimeOptions RvmInstance::GetOptions() {
 }
 
 uint64_t RvmInstance::log_bytes_in_use() {
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  return log_->used();
+  uint64_t used = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    used += shard->log->used();
+  }
+  return used;
 }
 
 uint64_t RvmInstance::log_capacity() {
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  return log_->capacity();
+  uint64_t capacity = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    capacity += shard->log->capacity();
+  }
+  return capacity;
 }
 
 uint64_t RvmInstance::spooled_bytes() {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return spool_bytes_;
+  uint64_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += shard->spool_bytes;
+  }
+  return bytes;
 }
 
 // ---------------------------------------------------------------------------
@@ -1187,60 +1559,106 @@ uint64_t RvmInstance::spooled_bytes() {
 
 RvmGauges RvmInstance::Introspect() {
   std::lock_guard<std::mutex> lock(state_mu_);
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  return IntrospectBothLocked();
+  return IntrospectLocked();
 }
 
-RvmGauges RvmInstance::IntrospectBothLocked() {
+RvmGauges RvmInstance::IntrospectLocked() {
+  // Every shard's log lock, ascending, so the gauges within one snapshot are
+  // mutually consistent across shards.
+  std::vector<std::unique_lock<std::mutex>> log_locks;
+  log_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    log_locks.emplace_back(shard->log_mu);
+  }
+
   RvmGauges gauges;
   gauges.timestamp_us = env_->NowMicros();
+  gauges.log_shards = shards_.size();
 
-  const LogStatusBlock& status = log_->status();
-  gauges.log_capacity = log_->capacity();
-  gauges.log_head = status.head;
-  gauges.log_tail = status.tail;
-  gauges.log_wrapped = status.tail < status.head ? 1 : 0;
-  gauges.log_bytes_in_use = log_->used();
+  for (const auto& shard_ptr : shards_) {
+    LogShard& shard = *shard_ptr;
+    const LogStatusBlock& status = shard.log->status();
+    const uint64_t used = shard.log->used();
+
+    // Reclaimable bytes: live bytes between the head and the first queued
+    // page that is write-blocked — the head advance an incremental
+    // truncation could achieve right now (Fig. 7). Stale descriptors
+    // (cleared by an epoch pass) do not block; with no blocked page
+    // everything in use is reclaimable.
+    uint64_t reclaimable = used;
+    for (const QueuedPage& queued : shard.page_queue) {
+      const PageEntry& entry = queued.region->pages.entry(queued.page);
+      if (!entry.dirty || !entry.in_queue) {
+        continue;
+      }
+      if (entry.write_blocked()) {
+        const uint64_t blocked_at = queued.log_offset;
+        reclaimable = blocked_at >= status.head
+                          ? blocked_at - status.head
+                          : (status.log_size - status.head) +
+                                (blocked_at - kLogDataStart);
+        break;
+      }
+    }
+
+    uint64_t waiters = 0;
+    uint64_t leader = 0;
+    {
+      // The group stage is a leaf: taking it while holding the others
+      // respects the lock order (it is never held while acquiring them).
+      std::lock_guard<std::mutex> group_lock(shard.group_mu);
+      waiters = shard.group_waiters;
+      leader = shard.group_leader_active ? 1 : 0;
+    }
+
+    if (shard.index == 0) {
+      // Geometry from shard 0 (the only shard on a single-log instance).
+      gauges.log_head = status.head;
+      gauges.log_tail = status.tail;
+      gauges.log_wrapped = status.tail < status.head ? 1 : 0;
+    }
+    gauges.log_capacity += shard.log->capacity();
+    gauges.log_bytes_in_use += used;
+    gauges.log_reclaimable_bytes += reclaimable;
+    gauges.appended_lsn += shard.log->appended_lsn();
+    gauges.durable_lsn += shard.log->durable_lsn();
+    gauges.page_queue_depth += shard.page_queue.size();
+    gauges.spool_entries += shard.spool.size();
+    gauges.spool_bytes += shard.spool_bytes;
+    gauges.group_waiters += waiters;
+    gauges.group_leader_active |= leader;
+
+    if (shards_.size() > 1) {
+      ShardGauges sg;
+      sg.index = shard.index;
+      sg.log_capacity = shard.log->capacity();
+      sg.log_head = status.head;
+      sg.log_tail = status.tail;
+      sg.log_wrapped = status.tail < status.head ? 1 : 0;
+      sg.log_bytes_in_use = used;
+      sg.appended_lsn = shard.log->appended_lsn();
+      sg.durable_lsn = shard.log->durable_lsn();
+      sg.page_queue_depth = shard.page_queue.size();
+      sg.spool_entries = shard.spool.size();
+      sg.spool_bytes = shard.spool_bytes;
+      sg.group_waiters = waiters;
+      sg.group_leader_active = leader;
+      sg.records_appended =
+          shard.records_appended.load(std::memory_order_relaxed);
+      sg.forces = shard.forces.load(std::memory_order_relaxed);
+      sg.prepares = shard.prepares.load(std::memory_order_relaxed);
+      sg.truncations = shard.truncations.load(std::memory_order_relaxed);
+      sg.poisoned = shard.log->poisoned() ? 1 : 0;
+      gauges.shards.push_back(sg);
+    }
+  }
   gauges.log_utilization =
       gauges.log_capacity == 0
           ? 0
           : static_cast<double>(gauges.log_bytes_in_use) /
                 static_cast<double>(gauges.log_capacity);
-  gauges.appended_lsn = log_->appended_lsn();
-  gauges.durable_lsn = log_->durable_lsn();
 
-  // Reclaimable bytes: live bytes between the head and the first queued page
-  // that is write-blocked — the head advance an incremental truncation could
-  // achieve right now (Fig. 7). Stale descriptors (cleared by an epoch pass)
-  // do not block; with no blocked page everything in use is reclaimable.
-  gauges.log_reclaimable_bytes = gauges.log_bytes_in_use;
-  for (const QueuedPage& queued : page_queue_) {
-    const PageEntry& entry = queued.region->pages.entry(queued.page);
-    if (!entry.dirty || !entry.in_queue) {
-      continue;
-    }
-    if (entry.write_blocked()) {
-      const uint64_t blocked_at = queued.log_offset;
-      gauges.log_reclaimable_bytes =
-          blocked_at >= status.head
-              ? blocked_at - status.head
-              : (status.log_size - status.head) +
-                    (blocked_at - kLogDataStart);
-      break;
-    }
-  }
-
-  gauges.page_queue_depth = page_queue_.size();
-  gauges.spool_entries = spool_.size();
-  gauges.spool_bytes = spool_bytes_;
   gauges.open_transactions = transactions_.size();
-  {
-    // group_mu_ is a leaf: taking it while holding the other two respects
-    // the lock order (it is never held while acquiring them).
-    std::lock_guard<std::mutex> group_lock(group_mu_);
-    gauges.group_waiters = group_waiters_;
-    gauges.group_leader_active = group_leader_active_ ? 1 : 0;
-  }
   gauges.truncations_in_flight = SaturatingSub(
       stats_.truncations_started.load(), stats_.truncations_completed.load());
   gauges.poisoned = poisoned() ? 1 : 0;

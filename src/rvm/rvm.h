@@ -3,8 +3,9 @@
 // This is the library's public interface, a C++ rendering of the primitives
 // in Figure 4 of "Lightweight Recoverable Virtual Memory" (Satyanarayanan et
 // al., SOSP '93). One RvmInstance corresponds to one process using RVM: it
-// owns one write-ahead log and any number of mapped regions of external data
-// segments.
+// owns a write-ahead log — optionally striped across several independent log
+// shards (RvmOptions::log_shards, DESIGN.md §12) — and any number of mapped
+// regions of external data segments.
 //
 // Guarantees (§1, §3.1):
 //   - Atomicity: a transaction's changes apply all-or-nothing across
@@ -71,8 +72,17 @@ namespace rvm {
 class RvmInstance {
  public:
   // create_log (§4.2): formats a fresh write-ahead log of `log_size` bytes.
+  // With log_shards > 1 (DESIGN.md §12) it instead writes a shard manifest at
+  // `path` and formats `log_shards` independent logs of `log_size` bytes each
+  // at "<path>.shard<K>"; Initialize must then be called with a matching
+  // RvmOptions::log_shards.
   static Status CreateLog(Env* env, const std::string& path,
-                          uint64_t log_size, bool overwrite = false);
+                          uint64_t log_size, bool overwrite = false,
+                          uint32_t log_shards = 1);
+
+  // Shard count a log at `path` was created with: 1 for an ordinary log,
+  // the manifest's count for a shard set. Tools use this to auto-configure.
+  static StatusOr<uint32_t> DetectLogShards(Env* env, const std::string& path);
 
   // initialize (§4.2): opens the log named in `options` and performs crash
   // recovery (§5.1.2), bringing every external data segment named in the log
@@ -196,16 +206,28 @@ class RvmInstance {
 
   // Fail-stop containment (DESIGN.md, "Failure model and error
   // containment"). The instance is poisoned by the first non-transient
-  // failure of a log append, force, or status write: subsequent
-  // Begin/End/Flush/Truncate/Map/Unmap fail fast with the original status
-  // and issue no further I/O. Mapped regions stay readable and
-  // Abort/Query keep working — graceful degradation to read-only.
+  // failure of a log append, force, or status write on any shard:
+  // subsequent Begin/End/Flush/Truncate/Map/Unmap fail fast with the
+  // original status and issue no further I/O. Mapped regions stay readable
+  // and Abort/Query keep working — graceful degradation to read-only.
   // kLogFull is transient and never poisons.
   bool poisoned() const {
-    return poisoned_.load(std::memory_order_acquire) || log_->poisoned();
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return true;
+    }
+    for (const auto& shard : shards_) {
+      if (shard->log->poisoned()) {
+        return true;
+      }
+    }
+    return false;
   }
   // The original failure, or OK if not poisoned.
   Status poison_status() const;
+
+  uint32_t log_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
 
  private:
   struct RegionState {
@@ -217,6 +239,9 @@ class RvmInstance {
     bool owns_memory = false;
     PageVector pages;
     uint64_t active_transactions = 0;
+    // The log shard this region's commits append to (DESIGN.md §12):
+    // segment_id % log_shards, fixed for the life of the mapping.
+    uint32_t shard = 0;
 
     RegionState(uint64_t num_pages) : pages(num_pages) {}
   };
@@ -263,74 +288,172 @@ class RvmInstance {
     uint64_t log_offset;  // first record referencing the page
   };
 
-  RvmInstance(const RvmOptions& options, std::unique_ptr<LogDevice> log);
+  // One log shard (DESIGN.md §12): an independent LogDevice with its own
+  // append lock, group-commit stage, no-flush spool, and incremental-
+  // truncation page queue. Regions stripe across shards by segment id, so
+  // every structure keyed by a region's pages or records lives here. The
+  // spool and page queue are guarded by state_mu_ (forward processing is
+  // instance-wide); log_mu and the group fields follow the same discipline
+  // their instance-wide predecessors did.
+  struct LogShard {
+    uint32_t index = 0;
+    std::string path;
+    std::unique_ptr<LogDevice> log;
+    // Log lock: every LogDevice call on this shard; serializes appends (the
+    // durable sequence point) and excludes truncation from in-flight group
+    // forces. Acquired after state_mu_, in ascending shard order when more
+    // than one is held.
+    mutable std::mutex log_mu;
+    // Group-commit stage (leaf lock; durable progress lives in the
+    // LogDevice's atomic durable_lsn).
+    std::mutex group_mu;
+    std::condition_variable group_cv;
+    bool group_leader_active = false;
+    uint64_t group_waiters = 0;
+    // Committed no-flush transactions not yet appended (state_mu_).
+    std::deque<SpoolEntry> spool;
+    uint64_t spool_bytes = 0;
+    // Incremental-truncation queue, ordered by log offset (state_mu_).
+    std::deque<QueuedPage> page_queue;
+    // True when the live log holds 2PC decision records (state_mu_). A
+    // decision may be the only durable evidence that a cross-shard
+    // transaction committed — participants' markers are appended unforced —
+    // so truncation must force the sibling logs before discarding it.
+    bool holds_decisions = false;
+    // Per-shard activity counters surfaced through ShardGauges; the
+    // instance-wide RvmStatistics aggregates across shards.
+    std::atomic<uint64_t> records_appended{0};
+    std::atomic<uint64_t> forces{0};
+    std::atomic<uint64_t> prepares{0};
+    std::atomic<uint64_t> truncations{0};
+  };
 
-  // Locking discipline (see DESIGN.md, "Locking & group commit"):
-  //   state_mu_  — transactions, regions, spool, page vector, segment files,
-  //                runtime options.
-  //   log_mu_    — every LogDevice call; serializes appends (the durable
-  //                sequence point) and excludes truncation from in-flight
-  //                group forces.
-  //   group_mu_  — leader/follower coordination only; a leaf lock, never
-  //                held while acquiring the other two.
-  // Fixed order: state_mu_ before log_mu_. Methods suffixed `Locked` require
-  // state_mu_; those suffixed `BothLocked` require state_mu_ and log_mu_.
+  RvmInstance(const RvmOptions& options,
+              std::vector<std::unique_ptr<LogShard>> shards);
+
+  // Locking discipline (see DESIGN.md, "Locking & group commit" and §12):
+  //   state_mu_      — transactions, regions, every shard's spool and page
+  //                    queue, segment files, runtime options.
+  //   shard.log_mu   — every LogDevice call on that shard. Acquired after
+  //                    state_mu_; multiple shard log locks are acquired in
+  //                    ascending shard order.
+  //   shard.group_mu — leader/follower coordination only; a leaf lock,
+  //                    never held while acquiring the others.
+  // Methods suffixed `Locked` require state_mu_; those suffixed
+  // `BothLocked` require state_mu_ plus the named shard's log_mu.
+
+  LogShard& ShardFor(SegmentId id) {
+    return *shards_[id % shards_.size()];
+  }
+  LogShard& ShardFor(const RegionState& region) {
+    return *shards_[region.shard];
+  }
 
   // --- recovery & truncation (rvm_truncation.cc) ---
   Status RecoverLocked();
-  Status TruncateEpochLocked();
-  Status TruncateEpochBothLocked();
+  // Applies one shard's live log to its segments (no status change; the
+  // caller empties the log only after every shard's apply is durable).
+  Status RecoverShardBothLocked(LogShard& shard,
+                                const std::set<TransactionId>* decided,
+                                std::map<SegmentId, std::unique_ptr<File>>& files);
+  // One walk over the shard's live log: transaction ids carrying a 2PC
+  // prepare record, and ids carrying a decision or commit marker. Recovery
+  // unions the decided sets across shards (presumed abort) and uses the
+  // prepared sets to patch shards whose local decision evidence is missing.
+  Status CollectShardTidSetsBothLocked(LogShard& shard,
+                                       std::set<TransactionId>* prepared,
+                                       std::set<TransactionId>* decided);
+  Status TruncateEpochLocked(LogShard& shard);
+  Status TruncateEpochBothLocked(LogShard& shard);
+  // Forces every sibling shard's log if this shard's live log holds 2PC
+  // decision records. A coordinator must not durably forget an outcome
+  // while a participant's only evidence (its unforced commit marker) is
+  // still volatile; truncation calls this before MarkEmpty/head moves.
+  // Takes each sibling's log_mu one at a time; safe because every
+  // multi-log-lock path runs under state_mu_ (held here).
+  Status ForceSiblingEvidenceBothLocked(LogShard& shard);
+  // Epoch-truncates every shard (Truncate(), Unmap()).
+  Status TruncateAllEpochLocked();
   Status MaybeTruncateLocked();
-  Status IncrementalTruncateLocked();
-  Status IncrementalTruncateBothLocked(bool* epoch_fallback);
-  bool NeedsTruncationLocked() const;
+  Status IncrementalTruncateLocked(LogShard& shard);
+  Status IncrementalTruncateBothLocked(LogShard& shard, bool* epoch_fallback);
+  bool NeedsTruncationLocked(const LogShard& shard) const;
+  bool AnyNeedsTruncationLocked() const;
   void TruncationThreadMain();
   void StopTruncationThread();
-  // Applies the live log [head, tail) to external data segments using
-  // newest-record-wins, the shared core of recovery and epoch truncation.
-  // Counters and the per-record apply histogram distinguish the two callers.
-  Status ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
-                                      StatCounter* bytes_applied,
-                                      LatencyHistogram* apply_us);
-  // Copies the live records into a fresh, rvmutl-readable log file (§6).
-  Status ArchiveLiveLogBothLocked();
+  // Applies one shard's live log [head, tail) to external data segments
+  // using newest-record-wins, the shared core of recovery and epoch
+  // truncation. Counters and the per-record apply histogram distinguish the
+  // two callers. `decided` (recovery) filters 2PC prepare records down to
+  // decided transactions; nullptr (live truncation) filters against
+  // aborted_gtids_ instead. `files` is the segment-file cache to use —
+  // segment_files_ normally, a thread-private cache during parallel
+  // recovery.
+  Status ApplyLogToSegmentsBothLocked(
+      LogShard& shard, StatCounter* records_applied,
+      StatCounter* bytes_applied, LatencyHistogram* apply_us,
+      const std::set<TransactionId>* decided,
+      std::map<SegmentId, std::unique_ptr<File>>& files);
+  // Copies one shard's live records into a fresh, rvmutl-readable log (§6).
+  Status ArchiveLiveLogBothLocked(LogShard& shard);
 
   // --- commit path (rvm.cc) ---
   // Shared body of EndTransaction and EndTransactionWithUndo: bookkeeping
   // and appends under state_mu_, then the group-commit stage with no locks.
   Status EndTransactionInternal(TransactionId tid, CommitMode mode,
                                 std::vector<OldValueRecord>* undo);
-  // On return *flush_target_lsn is nonzero iff records were appended that
-  // the caller must take through the group-commit stage.
-  Status EndTransactionLocked(TxnState& txn, CommitMode mode,
-                              uint64_t* flush_target_lsn);
-  SpoolEntry BuildSpoolEntryLocked(TxnState& txn);
+  // On return *flush_targets holds the (shard, LSN) pairs the caller must
+  // take through the group-commit stage. *durable_inline reports a
+  // cross-shard commit, which is already durable on return (the 2PC forces
+  // run under the locks) and leaves flush_targets empty.
+  Status EndTransactionLocked(
+      TxnState& txn, CommitMode mode,
+      std::vector<std::pair<LogShard*, uint64_t>>* flush_targets,
+      bool* durable_inline);
+  // Builds one spool entry per participating shard, ascending shard order.
+  std::vector<std::pair<uint32_t, SpoolEntry>> BuildSpoolEntriesLocked(
+      TxnState& txn);
   void ReleaseUncommittedLocked(TxnState& txn);
-  Status InterTransactionOptimizeLocked(const TxnState& txn);
-  Status AppendSpoolEntryLocked(SpoolEntry& entry);
-  // Appends every spooled no-flush record and reports the LSN the caller
-  // must make durable (the appended LSN even when the spool was empty, so
-  // Flush also waits out commits still in the group stage).
-  Status DrainSpoolLocked(uint64_t* target_lsn);
-  // Drain + synchronous force under the locks, for paths that must leave
-  // everything durable before continuing (Terminate, Unmap, Truncate).
+  Status InterTransactionOptimizeLocked(LogShard& shard, const TxnState& txn);
+  Status AppendSpoolEntryLocked(LogShard& shard, SpoolEntry& entry,
+                                uint8_t flags = 0);
+  // Appends a zero-range 2PC control record (decision / commit marker),
+  // with the same log-full reclaim-and-retry policy as data appends.
+  Status AppendControlRecordLocked(LogShard& shard, TransactionId tid,
+                                   uint8_t flags);
+  // Commits a transaction spanning several shards through the internal
+  // two-phase protocol (src/dtx/shard_2pc.h). Durable on success.
+  Status CommitCrossShardLocked(
+      TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries);
+  // Forces one shard synchronously under its log lock (2PC, direct flush).
+  Status ForceShardBothLocked(LogShard& shard);
+  // Appends every spooled no-flush record on `shard` and reports the LSN
+  // the caller must make durable (the appended LSN even when the spool was
+  // empty, so Flush also waits out commits still in the group stage).
+  Status DrainSpoolLocked(LogShard& shard, uint64_t* target_lsn);
+  // Drain + synchronous force of every shard under the locks, for paths
+  // that must leave everything durable before continuing (Terminate, Unmap,
+  // Truncate).
   Status FlushDirectLocked();
 
   // --- group-commit stage (no locks held on entry) ---
-  // Blocks until durable_lsn >= target_lsn. Whoever finds no force in
-  // flight becomes leader, optionally dwells for more arrivals (max_batch /
-  // max_wait_us), and issues one Sync + WriteStatus for the whole batch;
-  // everyone else waits on group_cv_.
-  Status CommitDurable(uint64_t target_lsn, uint64_t max_batch,
-                       uint64_t max_wait_us);
+  // Blocks until the shard's durable_lsn >= target_lsn. Whoever finds no
+  // force in flight becomes leader, optionally dwells for more arrivals
+  // (max_batch / max_wait_us), and issues one Sync for the whole batch
+  // (plus, on a single-shard instance, the status write that keeps the
+  // original one-log format's recovery fast path); everyone else waits on
+  // the shard's group_cv.
+  Status CommitDurable(LogShard& shard, uint64_t target_lsn,
+                       uint64_t max_batch, uint64_t max_wait_us);
   // Wakes group-stage waiters after a log force outside the leader protocol
   // (truncation, direct flush) advanced the durable LSN.
-  void NotifyDurableWaiters();
+  void NotifyDurableWaiters(LogShard& shard);
   Status MaybeTruncate();
 
   // --- observability (rvm.cc) ---
-  // The body of Introspect once state_mu_ and log_mu_ are held.
-  RvmGauges IntrospectBothLocked();
+  // The body of Introspect once state_mu_ is held; acquires every shard's
+  // log lock (ascending) itself.
+  RvmGauges IntrospectLocked();
   // Renders one sampler entry: gauges (via Introspect) plus a statistics
   // snapshot. Acquires the staged locks; never call it while holding them.
   TimeseriesSample TakeTimeseriesSample();
@@ -359,8 +482,16 @@ class RvmInstance {
   // --- mapping helpers ---
   StatusOr<RegionState*> FindRegionLocked(const void* address,
                                           uint64_t length);
+  // Looks up or allocates the id for `path`. The segment dictionary is
+  // mirrored into every shard's status block (shard 0's next_segment_id is
+  // the allocation source of truth); acquires each shard's log_mu itself.
   StatusOr<SegmentId> SegmentIdForLocked(const std::string& path);
-  StatusOr<std::unique_ptr<File>> OpenSegmentBothLocked(SegmentId id);
+  // Opens the segment named `id` in the given shard's mirrored dictionary
+  // (the caller holds that shard's log_mu), falling back to shard 0's —
+  // the allocation source of truth — and healing this shard's mirror when
+  // a crash between Map's per-shard status writes left it behind.
+  StatusOr<std::unique_ptr<File>> OpenSegmentBothLocked(LogShard& shard,
+                                                        SegmentId id);
 
   // Records a trace event stamped with env_->NowMicros(). Callable with any
   // lock state (the recorder has its own leaf mutex); a no-op when tracing
@@ -374,22 +505,20 @@ class RvmInstance {
   Env* env_;
   CpuMeter cpu_;
   uint64_t page_size_;
-  std::unique_ptr<LogDevice> log_;
+  // The log shards (DESIGN.md §12). Size is fixed at Initialize; a size of 1
+  // is the original single-log instance (shard 0's path is log_path_ itself
+  // and its on-disk format is unchanged). The vector itself is immutable
+  // after construction; each element's mutable state follows the locking
+  // discipline above.
+  std::vector<std::unique_ptr<LogShard>> shards_;
   // Immutable after construction, so Poison (which may run under any lock
   // combination) can read them without state_mu_.
   const std::string log_path_;
   const bool poison_dump_enabled_;
 
-  // State lock: in-memory bookkeeping (fields below it, plus runtime_).
+  // State lock: in-memory bookkeeping (fields below it, plus runtime_ and
+  // every shard's spool / page queue).
   std::mutex state_mu_;
-  // Log lock: every log_ call. Acquired after state_mu_ when both are held.
-  mutable std::mutex log_mu_;
-  // Group-commit stage (leaf lock; durable progress lives in the LogDevice's
-  // atomic durable_lsn).
-  std::mutex group_mu_;
-  std::condition_variable group_cv_;
-  bool group_leader_active_ = false;
-  uint64_t group_waiters_ = 0;
 
   RuntimeOptions runtime_;
   bool terminated_ = false;
@@ -402,9 +531,12 @@ class RvmInstance {
   std::map<TransactionId, TxnState> transactions_;
   // Regions ordered by base address for containment lookup.
   std::map<uintptr_t, std::unique_ptr<RegionState>> regions_;
-  std::deque<SpoolEntry> spool_;
-  uint64_t spool_bytes_ = 0;
-  std::deque<QueuedPage> page_queue_;
+  // Cross-shard transactions aborted after their prepare records were
+  // appended (presumed abort, DESIGN.md §12). Live truncation skips prepare
+  // records whose tid is in this set; recovery empties every shard's log, so
+  // the set never needs to persist. Ids are per-lifetime (next_tid_ restarts
+  // at 1 after recovery has discarded all old records).
+  std::set<TransactionId> aborted_gtids_;
   // Segment files kept open for truncation/recovery writes.
   std::map<SegmentId, std::unique_ptr<File>> segment_files_;
 

@@ -1,46 +1,58 @@
 // Crash recovery, epoch truncation (Fig. 6), and incremental truncation
-// (Fig. 7).
+// (Fig. 7), per shard.
 //
 // Recovery and epoch truncation share one core, ApplyLogToSegmentsBothLocked:
-// walk the live log newest-record-first via the reverse-displacement chain,
-// and for each modification range apply only the bytes not already covered
-// by a newer record ("an in-memory tree of the latest committed changes",
-// §5.1.2). Idempotency comes from deferring the status-block update that
-// declares the log empty until after every segment write is durable: a crash
-// anywhere in between simply reruns the whole procedure.
+// walk one shard's live log newest-record-first via the reverse-displacement
+// chain, and for each modification range apply only the bytes not already
+// covered by a newer record ("an in-memory tree of the latest committed
+// changes", §5.1.2). Idempotency comes from deferring the status-block update
+// that declares the log empty until after every segment write is durable: a
+// crash anywhere in between simply reruns the whole procedure. Because a
+// segment is striped to exactly one shard, shards replay disjoint segment
+// sets and recovery can run them in parallel (DESIGN.md §12).
 //
-// Lock structure: the `BothLocked` bodies here require both state_mu_ and
-// log_mu_ — truncation reads log records, rewrites the status block, and
-// mutates the page vector, so it must exclude both appenders (log_mu_) and
-// forward processing (state_mu_). The `Locked` wrappers take log_mu_ around
-// the body, which also fences truncation against an in-flight group-commit
-// force: a leader holds log_mu_ for its Sync, so truncation either sees the
-// whole batch durable or runs before the force (and its own Sync covers it).
+// Cross-shard transactions add one filter: a record carrying the 2PC prepare
+// flag applies only if its transaction is decided — during recovery, decided
+// means a decision or commit-marker record for the same tid exists in some
+// shard's live log (collected in a first pass); during live truncation it
+// means the tid is not in aborted_gtids_. Presumed abort: no decision
+// anywhere, no effect anywhere.
+//
+// Lock structure: the `BothLocked` bodies here require state_mu_ and the
+// shard's log_mu — truncation reads log records, rewrites the status block,
+// and mutates the page vector, so it must exclude both appenders (log_mu)
+// and forward processing (state_mu_). The `Locked` wrappers take the shard's
+// log_mu around the body, which also fences truncation against an in-flight
+// group-commit force on that shard: a leader holds log_mu for its Sync, so
+// truncation either sees the whole batch durable or runs before the force
+// (and its own Sync covers it).
 #include <algorithm>
 #include <set>
+#include <thread>
 
 #include "src/rvm/rvm.h"
 #include "src/util/logging.h"
 
 namespace rvm {
 
-Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
-                                                 StatCounter* bytes_applied,
-                                                 LatencyHistogram* apply_us) {
+Status RvmInstance::ApplyLogToSegmentsBothLocked(
+    LogShard& shard, StatCounter* records_applied, StatCounter* bytes_applied,
+    LatencyHistogram* apply_us, const std::set<TransactionId>* decided,
+    std::map<SegmentId, std::unique_ptr<File>>& files) {
   // One backward pass over the reverse-displacement chain, newest record
   // first ("reading the log from tail to head", §5.1.2). Latest committed
   // value wins: track covered bytes per segment, applying only uncovered
   // pieces of older records.
   std::map<SegmentId, IntervalSet> covered;
   std::set<File*> touched;
-  const uint64_t max_records = log_->capacity() / kRecordHeaderSize + 1;
+  const uint64_t max_records = shard.log->capacity() / kRecordHeaderSize + 1;
   uint64_t walked = 0;
-  uint64_t offset = log_->status().last_record_offset;
-  while (offset != 0 && log_->InLiveRange(offset)) {
+  uint64_t offset = shard.log->status().last_record_offset;
+  while (offset != 0 && shard.log->InLiveRange(offset)) {
     if (++walked > max_records) {
       return Corruption("record reverse displacement chain loops");
     }
-    StatusOr<OwnedRecord> record_or = log_->ReadRecordAt(offset);
+    StatusOr<OwnedRecord> record_or = shard.log->ReadRecordAt(offset);
     if (!record_or.ok()) {
       // An unreadable record inside the live (committed, durable) range is
       // media corruption, never a torn tail: fail stop, do not advance the
@@ -50,11 +62,24 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
     }
     OwnedRecord record = std::move(*record_or);
     uint64_t record_offset = offset;
-    offset = (record_offset == log_->status().head)
+    offset = (record_offset == shard.log->status().head)
                  ? 0  // oldest live record processed: stop after this one
                  : record.parsed.header.prev_offset;
     if (record.parsed.header.type == RecordType::kWrapFiller) {
       continue;
+    }
+    if (record.parsed.header.flags & kRecordFlagShardPrepare) {
+      // 2PC prepare: apply only if the transaction is decided. With no
+      // decided set (live truncation) every in-log prepare is decided
+      // unless the instance aborted it — 2PC runs to a verdict before the
+      // commit call returns, and recovery discards undecided prepares
+      // before any live processing starts.
+      const bool committed = decided != nullptr
+                                 ? decided->contains(record.parsed.header.tid)
+                                 : !aborted_gtids_.contains(record.parsed.header.tid);
+      if (!committed) {
+        continue;
+      }
     }
     cpu_.Fixed(cpu_.model().truncation_record_us);
     ++*records_applied;
@@ -63,12 +88,12 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
       IntervalSet& seg_covered = covered[range.segment];
       uint64_t range_end = range.offset + range.data.size();
       for (const Interval& piece : seg_covered.Uncovered(range.offset, range_end)) {
-        if (!segment_files_.contains(range.segment)) {
+        if (!files.contains(range.segment)) {
           RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                               OpenSegmentBothLocked(range.segment));
-          segment_files_[range.segment] = std::move(file);
+                               OpenSegmentBothLocked(shard, range.segment));
+          files[range.segment] = std::move(file);
         }
-        File* file = segment_files_[range.segment].get();
+        File* file = files[range.segment].get();
         RVM_RETURN_IF_ERROR(file->WriteAt(
             piece.start,
             range.data.subspan(piece.start - range.offset, piece.length())));
@@ -93,111 +118,299 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(StatCounter* records_applied,
   return OkStatus();
 }
 
+Status RvmInstance::CollectShardTidSetsBothLocked(
+    LogShard& shard, std::set<TransactionId>* prepared,
+    std::set<TransactionId>* decided) {
+  const uint64_t max_records = shard.log->capacity() / kRecordHeaderSize + 1;
+  uint64_t walked = 0;
+  uint64_t offset = shard.log->status().last_record_offset;
+  while (offset != 0 && shard.log->InLiveRange(offset)) {
+    if (++walked > max_records) {
+      return Corruption("record reverse displacement chain loops");
+    }
+    StatusOr<OwnedRecord> record_or = shard.log->ReadRecordAt(offset);
+    if (!record_or.ok()) {
+      Poison(record_or.status());
+      return record_or.status();
+    }
+    const RecordHeader& header = record_or->parsed.header;
+    if (header.flags & kRecordFlagShardPrepare) {
+      prepared->insert(header.tid);
+    }
+    if (header.flags & (kRecordFlagShardDecision | kRecordFlagShardCommit)) {
+      decided->insert(header.tid);
+    }
+    offset = (offset == shard.log->status().head) ? 0 : header.prev_offset;
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::RecoverShardBothLocked(
+    LogShard& shard, const std::set<TransactionId>* decided,
+    std::map<SegmentId, std::unique_ptr<File>>& files) {
+  return ApplyLogToSegmentsBothLocked(
+      shard, &stats_.recovery_records_applied, &stats_.recovery_bytes_applied,
+      &stats_.recovery_apply_us, decided, files);
+}
+
 Status RvmInstance::RecoverLocked() {
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  // Find the true end of the log: records forced after the last status-block
-  // write are discovered by forward validity scanning (§5.1.2's "reading the
-  // log from tail to head" starts from this recovered tail).
-  RVM_ASSIGN_OR_RETURN(uint64_t discovered, log_->ExtendTailForward());
-  Trace(TraceEventType::kRecoveryScan, discovered, log_->used());
-  if (log_->used() == 0) {
+  // Phase 1, every shard: find the true end of the log. Records forced after
+  // the last status-block write are discovered by forward validity scanning
+  // (§5.1.2's "reading the log from tail to head" starts from this recovered
+  // tail). Multi-shard instances rely on this heavily — the group leader
+  // defers status writes, so a whole batch tail may sit past the block.
+  uint64_t discovered = 0;
+  std::vector<LogShard*> live;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    RVM_ASSIGN_OR_RETURN(uint64_t found, shard->log->ExtendTailForward());
+    discovered += found;
+    Trace(TraceEventType::kRecoveryScan, found, shard->log->used());
+    if (shard->log->used() > 0) {
+      live.push_back(shard.get());
+    }
+  }
+  if (live.empty()) {
     return OkStatus();
   }
-  RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
-      &stats_.recovery_records_applied, &stats_.recovery_bytes_applied,
-      &stats_.recovery_apply_us));
+
+  // Phase 2 (multi-shard only): union the decided transaction ids across all
+  // live shards, so phase 4 can apply prepares whose decision landed on a
+  // different shard and discard the undecided rest (presumed abort).
+  std::set<TransactionId> decided;
+  std::vector<std::set<TransactionId>> prepared(live.size());
+  std::vector<std::set<TransactionId>> local_decided(live.size());
+  if (shards_.size() > 1) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      std::lock_guard<std::mutex> log_lock(live[i]->log_mu);
+      RVM_RETURN_IF_ERROR(CollectShardTidSetsBothLocked(
+          *live[i], &prepared[i], &local_decided[i]));
+      decided.insert(local_decided[i].begin(), local_decided[i].end());
+    }
+  }
+  const std::set<TransactionId>* decided_ptr =
+      shards_.size() > 1 ? &decided : nullptr;
+
+  // Phase 3 (multi-shard only): make every live shard's decision evidence
+  // local before anything is emptied. A shard can carry a prepare whose
+  // decision record lives only on another shard (the live protocol's
+  // markers are unforced and may not have survived the crash); if recovery
+  // emptied that other shard and then crashed, a rerun would see the
+  // prepare as undecided and presume abort for a committed transaction.
+  // Appending the missing markers — durably — before phase 5 empties any
+  // log closes that window: whatever subset of shards a crash leaves live,
+  // each one's own log names every decided transaction it participates in.
+  if (shards_.size() > 1) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      std::lock_guard<std::mutex> log_lock(live[i]->log_mu);
+      bool patched = false;
+      for (TransactionId tid : prepared[i]) {
+        if (decided.contains(tid) && !local_decided[i].contains(tid)) {
+          RVM_RETURN_IF_ERROR(
+              live[i]->log->AppendTransaction(tid, {}, kRecordFlagShardCommit)
+                  .status());
+          patched = true;
+        }
+      }
+      if (patched) {
+        Status synced = live[i]->log->Sync();
+        if (!synced.ok()) {
+          Poison(synced);
+          return synced;
+        }
+      }
+    }
+  }
+
+  // Phase 4: replay each live shard (apply only — no log is emptied until
+  // every apply is durable, so a crash mid-phase reruns recovery with the
+  // full decided set still derivable). Shards own disjoint segment sets
+  // (static striping), so replays are independent and run in parallel, one
+  // thread per live shard, when there is real parallelism to gain. The
+  // simulated environments stay sequential: their clocks and crash hooks
+  // assume a single caller thread.
+  if (live.size() > 1 && env_ == GetRealEnv()) {
+    std::vector<std::map<SegmentId, std::unique_ptr<File>>> caches(live.size());
+    std::vector<Status> results(live.size(), OkStatus());
+    std::vector<std::thread> threads;
+    threads.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      threads.emplace_back([this, shard = live[i], decided_ptr, &caches,
+                            &results, i] {
+        std::lock_guard<std::mutex> log_lock(shard->log_mu);
+        results[i] = RecoverShardBothLocked(*shard, decided_ptr, caches[i]);
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (auto& cache : caches) {
+      // Keys never collide across caches: each segment belongs to exactly
+      // one shard.
+      for (auto& [id, file] : cache) {
+        segment_files_.try_emplace(id, std::move(file));
+      }
+    }
+    for (const Status& result : results) {
+      RVM_RETURN_IF_ERROR(result);
+    }
+  } else {
+    for (LogShard* shard : live) {
+      std::lock_guard<std::mutex> log_lock(shard->log_mu);
+      RVM_RETURN_IF_ERROR(
+          RecoverShardBothLocked(*shard, decided_ptr, segment_files_));
+    }
+  }
+
+  // Phase 5: only now, with every shard's changes durably in the segments,
+  // declare the logs empty. A crash that leaves some shards emptied and
+  // some live is safe: the live ones re-apply bytes the segments already
+  // hold (phase 3 made their decision evidence local, so the rerun applies
+  // the same record subset).
+  for (LogShard* shard : live) {
+    std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    shard->log->MarkEmpty();
+    Status status_write = shard->log->WriteStatus();
+    if (!status_write.ok()) {
+      Poison(status_write);
+      return status_write;
+    }
+  }
+
   const uint64_t records = stats_.recovery_records_applied;
   const uint64_t bytes = stats_.recovery_bytes_applied;
   Trace(TraceEventType::kRecoveryApply, records, bytes);
   RVM_LOG_INFO(
-      "recovery replayed %llu records (%llu bytes) to segments; "
-      "%llu records found past the last durable tail",
+      "recovery replayed %llu records (%llu bytes) to segments across %llu "
+      "shard(s); %llu records found past the last durable tails",
       static_cast<unsigned long long>(records),
       static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(live.size()),
       static_cast<unsigned long long>(discovered));
-  // Only now, with every change durably in the segments, declare the log
-  // empty. A crash before this point reruns recovery from scratch.
-  log_->MarkEmpty();
-  return log_->WriteStatus();
+  return OkStatus();
 }
 
-Status RvmInstance::ArchiveLiveLogBothLocked() {
+Status RvmInstance::ArchiveLiveLogBothLocked(LogShard& shard) {
   // The archive is itself a formatted log whose records are the live
   // records, oldest first — rvmutl reads it like any other log.
   RVM_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets,
-                       log_->CollectRecordOffsets());
+                       shard.log->CollectRecordOffsets());
   if (offsets.empty()) {
     return OkStatus();
   }
-  std::string path =
-      runtime_.log_archive_prefix + std::to_string(log_->status().generation);
-  uint64_t size = std::max<uint64_t>(log_->status().log_size,
+  std::string path = runtime_.log_archive_prefix;
+  if (shards_.size() > 1) {
+    // Per-shard archive streams: "<prefix>shard<K>.<generation>".
+    path += "shard" + std::to_string(shard.index) + ".";
+  }
+  path += std::to_string(shard.log->status().generation);
+  uint64_t size = std::max<uint64_t>(shard.log->status().log_size,
                                      kLogDataStart + 16 * 1024);
   RVM_RETURN_IF_ERROR(LogDevice::Create(env_, path, size, /*overwrite=*/true));
   RVM_ASSIGN_OR_RETURN(std::unique_ptr<LogDevice> archive,
                        LogDevice::Open(env_, path));
-  archive->status().segments = log_->status().segments;
-  archive->status().next_segment_id = log_->status().next_segment_id;
+  archive->status().segments = shard.log->status().segments;
+  archive->status().next_segment_id = shard.log->status().next_segment_id;
   for (auto offset = offsets.rbegin(); offset != offsets.rend(); ++offset) {
-    RVM_ASSIGN_OR_RETURN(OwnedRecord record, log_->ReadRecordAt(*offset));
+    RVM_ASSIGN_OR_RETURN(OwnedRecord record, shard.log->ReadRecordAt(*offset));
     if (record.parsed.header.type == RecordType::kWrapFiller) {
       continue;
     }
     std::vector<RangeView> ranges = record.parsed.ranges;
-    RVM_RETURN_IF_ERROR(
-        archive->AppendTransaction(record.parsed.header.tid, ranges).status());
+    RVM_RETURN_IF_ERROR(archive
+                            ->AppendTransaction(record.parsed.header.tid, ranges,
+                                                record.parsed.header.flags)
+                            .status());
   }
   RVM_RETURN_IF_ERROR(archive->Sync());
   return archive->WriteStatus();
 }
 
-Status RvmInstance::TruncateEpochLocked() {
-  {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    RVM_RETURN_IF_ERROR(TruncateEpochBothLocked());
+Status RvmInstance::ForceSiblingEvidenceBothLocked(LogShard& shard) {
+  if (shards_.size() == 1 || !shard.holds_decisions) {
+    return OkStatus();
   }
-  // The epoch's Sync/WriteStatus advanced the durable LSN; wake any
-  // group-stage waiters whose leader has not run yet.
-  NotifyDurableWaiters();
+  // This shard's log names committed cross-shard transactions whose
+  // participants may hold their prepare + commit marker only in volatile
+  // log tails (markers are appended unforced). Force them durable before
+  // this log — the decision evidence — is discarded, or a crash would make
+  // recovery presume abort for a transaction this truncation has already
+  // applied to segments.
+  for (const auto& other : shards_) {
+    if (other->index == shard.index) {
+      continue;
+    }
+    std::lock_guard<std::mutex> log_lock(other->log_mu);
+    Status synced = other->log->Sync();
+    if (!synced.ok()) {
+      Poison(synced);
+      return synced;
+    }
+  }
   return OkStatus();
 }
 
-Status RvmInstance::TruncateEpochBothLocked() {
+Status RvmInstance::TruncateEpochLocked(LogShard& shard) {
+  {
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    RVM_RETURN_IF_ERROR(TruncateEpochBothLocked(shard));
+  }
+  // The epoch's Sync/WriteStatus advanced the durable LSN; wake any
+  // group-stage waiters whose leader has not run yet.
+  NotifyDurableWaiters(shard);
+  return OkStatus();
+}
+
+Status RvmInstance::TruncateAllEpochLocked() {
+  for (const auto& shard : shards_) {
+    RVM_RETURN_IF_ERROR(TruncateEpochLocked(*shard));
+  }
+  return OkStatus();
+}
+
+Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
   // Everything the epoch applies must be durable in the log first, so a
   // crash mid-truncation can re-derive the same segment contents.
   const uint64_t sync_start_us = env_->NowMicros();
-  Status synced = log_->Sync();
+  Status synced = shard.log->Sync();
   if (!synced.ok()) {
     Poison(synced);  // the device poisoned itself; adopt on the instance
     return synced;
   }
   const uint64_t sync_us = env_->NowMicros() - sync_start_us;
   stats_.log_force_us.Record(sync_us);
-  Trace(TraceEventType::kForce, log_->durable_lsn(), sync_us);
-  if (log_->used() == 0) {
+  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
+  if (shard.log->used() == 0) {
     return OkStatus();
   }
   if (!runtime_.log_archive_prefix.empty()) {
-    RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked());
+    RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked(shard));
   }
   ++stats_.truncations_started;
   Trace(TraceEventType::kTruncationStart, 0);
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
-      &stats_.truncation_records_applied, &stats_.truncation_bytes_applied,
-      &stats_.truncation_step_us));
-  log_->MarkEmpty();
-  Status status_write = log_->WriteStatus();
+      shard, &stats_.truncation_records_applied,
+      &stats_.truncation_bytes_applied, &stats_.truncation_step_us,
+      /*decided=*/nullptr, segment_files_));
+  RVM_RETURN_IF_ERROR(ForceSiblingEvidenceBothLocked(shard));
+  shard.log->MarkEmpty();
+  shard.holds_decisions = false;
+  Status status_write = shard.log->WriteStatus();
   if (!status_write.ok()) {
     Poison(status_write);
     return status_write;
   }
-  // All committed changes are in the segments: no page is dirty with respect
-  // to the log anymore. Unflushed/uncommitted reference counts are
-  // unaffected (those changes are not in the log).
-  page_queue_.clear();
+  // All committed changes on this shard are in the segments: none of its
+  // regions' pages are dirty with respect to the log anymore.
+  // Unflushed/uncommitted reference counts are unaffected (those changes are
+  // not in the log). Other shards' queues and pages are untouched.
+  shard.page_queue.clear();
   for (auto& [base, region] : regions_) {
-    region->pages.ClearDirtyAndQueued();
+    if (region->shard == shard.index) {
+      region->pages.ClearDirtyAndQueued();
+    }
   }
+  shard.truncations.fetch_add(1, std::memory_order_relaxed);
   {
     // Completion cluster: the in-flight window derivation (started minus
     // completed) and the epoch count move together under the seqlock so a
@@ -212,61 +425,68 @@ Status RvmInstance::TruncateEpochBothLocked() {
 }
 
 Status RvmInstance::MaybeTruncateLocked() {
-  if (!NeedsTruncationLocked()) {
+  if (!AnyNeedsTruncationLocked()) {
     return OkStatus();
   }
   if (truncation_mode_ == TruncationMode::kBackground) {
-    // Hand the work to the truncation thread. If it falls behind and the
-    // log actually fills, the append path still epoch-truncates inline as a
-    // last resort.
+    // Hand the work to the truncation thread. If it falls behind and a log
+    // actually fills, the append path still truncates inline as a last
+    // resort.
     truncation_cv_.notify_one();
     return OkStatus();
   }
-  if (runtime_.use_incremental_truncation) {
-    return IncrementalTruncateLocked();
+  for (const auto& shard : shards_) {
+    if (!NeedsTruncationLocked(*shard)) {
+      continue;
+    }
+    RVM_RETURN_IF_ERROR(runtime_.use_incremental_truncation
+                            ? IncrementalTruncateLocked(*shard)
+                            : TruncateEpochLocked(*shard));
   }
-  return TruncateEpochLocked();
+  return OkStatus();
 }
 
-Status RvmInstance::IncrementalTruncateLocked() {
+Status RvmInstance::IncrementalTruncateLocked(LogShard& shard) {
   bool epoch_fallback = false;
   {
-    std::lock_guard<std::mutex> log_lock(log_mu_);
-    RVM_RETURN_IF_ERROR(IncrementalTruncateBothLocked(&epoch_fallback));
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    RVM_RETURN_IF_ERROR(IncrementalTruncateBothLocked(shard, &epoch_fallback));
   }
   if (epoch_fallback) {
     // The head page is write-blocked and space is critical: revert to epoch
     // truncation (§5.1.2), re-entering through the wrapper so the lock is
     // not held recursively.
-    return TruncateEpochLocked();
+    return TruncateEpochLocked(shard);
   }
-  NotifyDurableWaiters();
+  NotifyDurableWaiters(shard);
   return OkStatus();
 }
 
-Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
+Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
+                                                  bool* epoch_fallback) {
   *epoch_fallback = false;
   const uint64_t target = static_cast<uint64_t>(
-      runtime_.truncation_target * static_cast<double>(log_->capacity()));
+      runtime_.truncation_target * static_cast<double>(shard.log->capacity()));
   const uint64_t critical = static_cast<uint64_t>(
-      runtime_.epoch_critical_fraction * static_cast<double>(log_->capacity()));
+      runtime_.epoch_critical_fraction *
+      static_cast<double>(shard.log->capacity()));
 
   std::set<File*> touched;
   bool advanced = false;
   uint64_t steps = 0;
-  while (log_->used() > target && !page_queue_.empty() &&
+  while (shard.log->used() > target && !shard.page_queue.empty() &&
          steps < runtime_.incremental_max_steps) {
-    const QueuedPage& front = page_queue_.front();
+    const QueuedPage& front = shard.page_queue.front();
     PageEntry& entry = front.region->pages.entry(front.page);
     if (!entry.dirty || !entry.in_queue) {
-      page_queue_.pop_front();  // stale descriptor (cleared by an epoch)
+      shard.page_queue.pop_front();  // stale descriptor (cleared by an epoch)
       continue;
     }
     if (entry.write_blocked()) {
       // The head page still has uncommitted or unflushed changes. If log
       // space is critical, the caller reverts to epoch truncation (§5.1.2);
       // otherwise retry on a later trigger.
-      if (log_->used() > critical) {
+      if (shard.log->used() > critical) {
         *epoch_fallback = true;
       }
       break;
@@ -277,7 +497,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
     uint64_t page_len = std::min(page_size_, region->length - page_start);
     if (!segment_files_.contains(region->segment_id)) {
       RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                           OpenSegmentBothLocked(region->segment_id));
+                           OpenSegmentBothLocked(shard, region->segment_id));
       segment_files_[region->segment_id] = std::move(file);
     }
     File* file = segment_files_[region->segment_id].get();
@@ -295,7 +515,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
     entry.in_queue = false;
     stats_.truncation_step_us.Record(env_->NowMicros() - step_start_us);
     Trace(TraceEventType::kTruncationStep, front.page);
-    page_queue_.pop_front();
+    shard.page_queue.pop_front();
     ++stats_.incremental_steps;
     ++stats_.incremental_pages_written;
     ++steps;
@@ -319,16 +539,21 @@ Status RvmInstance::IncrementalTruncateBothLocked(bool* epoch_fallback) {
       return synced;
     }
   }
-  if (page_queue_.empty()) {
-    log_->MarkEmpty();
+  // The head move (or empty) durably discards records, possibly including
+  // cross-shard decision records; sibling evidence must be durable first.
+  RVM_RETURN_IF_ERROR(ForceSiblingEvidenceBothLocked(shard));
+  if (shard.page_queue.empty()) {
+    shard.log->MarkEmpty();
+    shard.holds_decisions = false;
   } else {
-    log_->status().head = page_queue_.front().log_offset;
+    shard.log->status().head = shard.page_queue.front().log_offset;
   }
-  Status status_write = log_->WriteStatus();
+  Status status_write = shard.log->WriteStatus();
   if (!status_write.ok()) {
     Poison(status_write);
     return status_write;
   }
+  shard.truncations.fetch_add(1, std::memory_order_relaxed);
   ++stats_.truncations_completed;
   Trace(TraceEventType::kTruncationComplete, 1);
   return status_write;

@@ -122,6 +122,15 @@ struct RvmStatistics {
   StatCounter group_commit_batches;
   StatCounter group_commit_batched_txns;
 
+  // In-flight cross-shard 2PC window, for the crash-schedule explorer
+  // (mirrors the truncation window below): started is bumped when a
+  // cross-shard commit begins appending prepares, decided once its decision
+  // record is durable. A crash that observes started > decided fell between
+  // the first prepare append and the decision force — recovery must presume
+  // abort, atomically across every participating shard.
+  StatCounter cross_shard_commits_started;
+  StatCounter cross_shard_commits_decided;
+
   // In-flight truncation window, for the crash-schedule explorer
   // (src/check/): started is bumped when a truncation begins writing
   // segment data, completed once its status-block write lands. A crash that
@@ -240,6 +249,8 @@ struct RvmStatistics {
     fn("group_commit_batches", group_commit_batches.load());
     fn("group_commit_batched_txns", group_commit_batched_txns.load());
     fn("group_commit_saved_forces", group_commit_saved_forces());
+    fn("cross_shard_commits_started", cross_shard_commits_started.load());
+    fn("cross_shard_commits_decided", cross_shard_commits_decided.load());
     fn("truncations_started", truncations_started.load());
     fn("truncations_completed", truncations_completed.load());
     fn("epoch_truncations", epoch_truncations.load());
@@ -425,6 +436,8 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("group commit batches:", stats.group_commit_batches);
   row("group commit batched txns:", stats.group_commit_batched_txns);
   row("group commit saved forces:", stats.group_commit_saved_forces());
+  row("cross-shard 2pc commits:", stats.cross_shard_commits_started);
+  row("cross-shard 2pc decided:", stats.cross_shard_commits_decided);
   const LatencyHistogram::Snapshot commit =
       stats.commit_latency_us.TakeSnapshot();
   row("commit latency samples:", commit.count);

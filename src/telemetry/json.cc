@@ -395,21 +395,23 @@ Status ValidateTelemetryJson(std::string_view text) {
 
 namespace {
 
-// Validates one sample line's "gauges" object: flat numbers, plus an
-// optional "regions" array of objects.
+// Validates one sample line's "gauges" object: flat numbers, plus optional
+// "regions" and "shards" arrays of objects (the latter emitted by
+// multi-shard instances, DESIGN.md §12).
 Status ValidateGauges(const std::string& where, const JsonValue& gauges) {
   if (!gauges.IsObject()) {
     return InvalidArgument(where + " 'gauges' is not an object");
   }
   for (const auto& [name, value] : gauges.object) {
-    if (name == "regions") {
+    if (name == "regions" || name == "shards") {
       if (!value.IsArray()) {
-        return InvalidArgument(where + " 'gauges.regions' is not an array");
+        return InvalidArgument(where + " 'gauges." + name +
+                               "' is not an array");
       }
-      for (const JsonValue& region : value.array) {
-        if (!region.IsObject()) {
-          return InvalidArgument(where +
-                                 " 'gauges.regions' entry is not an object");
+      for (const JsonValue& element : value.array) {
+        if (!element.IsObject()) {
+          return InvalidArgument(where + " 'gauges." + name +
+                                 "' entry is not an object");
         }
       }
       continue;

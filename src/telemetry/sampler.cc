@@ -90,7 +90,9 @@ std::string StatsSampler::DumpJsonl() const {
   std::string out = std::string("{\"schema\":\"") + kTimeseriesSchemaVersion +
                     "\",\"source\":\"" + JsonEscape(options_.source) +
                     "\",\"sample_interval_us\":" +
-                    std::to_string(options_.sample_interval_us) + "}\n";
+                    std::to_string(options_.sample_interval_us) +
+                    ",\"shards\":" + std::to_string(options_.shard_count) +
+                    "}\n";
   std::lock_guard<std::mutex> lock(mu_);
   for (const TimeseriesSample& sample : ring_) {
     out += "{\"t\":" + std::to_string(sample.timestamp_us);

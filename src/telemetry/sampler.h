@@ -44,6 +44,7 @@ class StatsSampler {
     uint64_t sample_interval_us = 0;  // background period; 0 = manual only
     uint64_t sample_capacity = 0;     // ring bound; 0 = disabled
     std::string source;               // header "source" field
+    uint64_t shard_count = 1;         // header "shards" field (DESIGN.md §12)
   };
   using SampleFn = std::function<TimeseriesSample()>;
 

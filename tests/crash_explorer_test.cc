@@ -124,6 +124,54 @@ INSTANTIATE_TEST_SUITE_P(Policies, ExplorerSweepTest, ::testing::Bool(),
                                                                : "Epoch");
                          });
 
+TEST(CrashExplorerTest, ShardedDepthTwoSweepPassesOracle) {
+  // The sharded acceptance sweep (DESIGN.md §12): four regions striped
+  // across four log shards, so most transactions cross shards and commit
+  // through the internal 2PC. Depth-2 schedules interleave crash points
+  // across the shards' logs — including a crash between the prepare forces
+  // and the decision force (the two_pc_window flag), and a crash between a
+  // coordinator truncation's sibling-evidence sync and its status write.
+  // Strided to keep the runtime proportionate; the full-resolution sweep is
+  // available through `rvmutl explore --shards=4`.
+  CheckerWorkload workload;
+  workload.log_shards = 4;
+  workload.regions = 4;
+  CrashExplorer explorer(workload);
+  ExploreLimits limits;
+  limits.max_depth = 2;
+  limits.forward_stride = 3;
+  limits.recovery_stride = 3;
+  auto stats = explorer.ExploreAll(limits, [](const ScheduleOutcome& outcome) {
+    EXPECT_TRUE(outcome.pass)
+        << outcome.schedule.ToString() << ": " << outcome.detail;
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->failed, 0u);
+  EXPECT_EQ(stats->max_depth_reached, 2u);
+  EXPECT_GT(stats->two_pc_window_schedules, 0u)
+      << "sweep never crashed inside the cross-shard 2PC window";
+  EXPECT_GT(stats->truncation_window_schedules, 0u)
+      << "sweep never crashed inside a sharded truncation";
+}
+
+TEST(CrashExplorerTest, ShardedPrepareToDecisionCrashRecoversAtomically) {
+  // Pin one representative schedule from the 2PC window rather than relying
+  // only on the strided sweep: crash the forward run mid-protocol, crash
+  // the first recovery early (while decision evidence is being patched),
+  // and require the oracle to accept the final image.
+  CheckerWorkload workload;
+  workload.log_shards = 4;
+  workload.regions = 4;
+  CrashExplorer explorer(workload);
+  for (const char* text : {"v1:fwd=19:rec=3", "v1:fwd=183:rec=3",
+                           "v1:fwd=184:rec=70"}) {
+    auto schedule = CrashSchedule::Parse(text);
+    ASSERT_TRUE(schedule.ok()) << text;
+    ScheduleOutcome outcome = explorer.RunSchedule(*schedule);
+    EXPECT_TRUE(outcome.pass) << text << ": " << outcome.detail;
+  }
+}
+
 TEST(CrashExplorerTest, TripleCrashSchedulesPass) {
   // Depth 3: crash forward, crash the first recovery, crash the second
   // recovery, then recover and validate. Strided to keep the cube small.

@@ -28,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -301,6 +303,10 @@ int CmdStats(const std::string& log_path, int argc, char** argv) {
   }
   RvmOptions options;
   options.log_path = log_path;
+  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), log_path);
+  if (shard_count.ok()) {
+    options.log_shards = *shard_count;
+  }
   auto rvm = RvmInstance::Initialize(options);
   if (!rvm.ok()) {
     std::fprintf(stderr, "cannot initialize on log %s: %s\n", log_path.c_str(),
@@ -309,6 +315,7 @@ int CmdStats(const std::string& log_path, int argc, char** argv) {
   }
   const uint64_t in_use = (*rvm)->log_bytes_in_use();
   const uint64_t capacity = (*rvm)->log_capacity();
+  const RvmGauges gauges = (*rvm)->Introspect();
   const RvmStatistics stats = (*rvm)->statistics().Snapshot();
   if (json) {
     const std::string document = TelemetryJsonDocument(
@@ -332,6 +339,16 @@ int CmdStats(const std::string& log_path, int argc, char** argv) {
   std::printf("%s", FormatStatistics(stats).c_str());
   std::printf("log in use:               %" PRIu64 " / %" PRIu64 " bytes\n",
               in_use, capacity);
+  // Per-shard rows (multi-shard logs only): the aggregate counters above sum
+  // across shards; these show how the load actually striped.
+  for (const ShardGauges& shard : gauges.shards) {
+    std::printf("shard %-2" PRIu64 "                  %" PRIu64 " / %" PRIu64
+                " bytes, %" PRIu64 " records, %" PRIu64 " forces, %" PRIu64
+                " prepares, %" PRIu64 " truncations\n",
+                shard.index, shard.log_bytes_in_use, shard.log_capacity,
+                shard.records_appended, shard.forces, shard.prepares,
+                shard.truncations);
+  }
   return 0;
 }
 
@@ -340,6 +357,10 @@ int CmdTrace(const std::string& log_path) {
   // to this log (recovery-scan, recovery-apply, forces) as JSONL.
   RvmOptions options;
   options.log_path = log_path;
+  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), log_path);
+  if (shard_count.ok()) {
+    options.log_shards = *shard_count;
+  }
   auto rvm = RvmInstance::Initialize(options);
   if (!rvm.ok()) {
     std::fprintf(stderr, "cannot initialize on log %s: %s\n", log_path.c_str(),
@@ -459,6 +480,7 @@ int CmdTop(int argc, char** argv) {
   uint64_t duration_ms = 3000;
   uint64_t interval_ms = 250;
   unsigned threads = 2;
+  uint32_t shards = 1;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--duration-ms=", 0) == 0) {
@@ -468,13 +490,16 @@ int CmdTop(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<unsigned>(
           std::stoul(arg.substr(std::strlen("--threads="))));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<uint32_t>(
+          std::stoul(arg.substr(std::strlen("--shards="))));
     } else {
       std::fprintf(stderr, "unknown top option: %s\n", arg.c_str());
       return 2;
     }
   }
-  if (interval_ms == 0 || threads == 0) {
-    std::fprintf(stderr, "top: interval and threads must be nonzero\n");
+  if (interval_ms == 0 || threads == 0 || shards == 0) {
+    std::fprintf(stderr, "top: interval, threads and shards must be nonzero\n");
     return 2;
   }
 
@@ -486,13 +511,18 @@ int CmdTop(int argc, char** argv) {
   }
   const std::string log_path = std::string(dir) + "/log";
   // A small log keeps truncation busy, so the head/queue gauges move.
-  Status created = RvmInstance::CreateLog(GetRealEnv(), log_path, 1 << 20);
+  // With --shards=N the scratch instance stripes its regions across N
+  // shards and the refresh shows one gauge row per shard.
+  Status created =
+      RvmInstance::CreateLog(GetRealEnv(), log_path, 1 << 20,
+                             /*overwrite=*/false, shards);
   if (!created.ok()) {
     std::fprintf(stderr, "create: %s\n", created.ToString().c_str());
     return 1;
   }
   RvmOptions options;
   options.log_path = log_path;
+  options.log_shards = shards;
   options.sample_capacity = 4096;
   options.sample_interval_us = interval_ms * 1000;
   auto rvm = RvmInstance::Initialize(options);
@@ -582,10 +612,11 @@ int CmdTop(int argc, char** argv) {
 // string so an operator (or CI log scraper) can replay them directly.
 void PrintOutcome(const ScheduleOutcome& outcome) {
   if (outcome.pass) {
-    std::printf("PASS %s%s%s (recovered to txn %" PRIu64 ")\n",
+    std::printf("PASS %s%s%s%s (recovered to txn %" PRIu64 ")\n",
                 outcome.schedule.ToString().c_str(),
                 outcome.fail_stop ? " [fail-stop]" : "",
                 outcome.truncation_window ? " [truncation window]" : "",
+                outcome.two_pc_window ? " [2pc window]" : "",
                 outcome.recovered_prefix);
   } else {
     std::printf("FAIL %s  %s\n", outcome.schedule.ToString().c_str(),
@@ -628,6 +659,11 @@ int CmdExplore(int argc, char** argv) {
       workload.total_txns = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--flush-every="))) {
       workload.flush_every = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--shards="))) {
+      workload.log_shards =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--regions="))) {
+      workload.regions = std::strtoull(v, nullptr, 10);
     } else if (arg == "--epoch") {
       workload.use_incremental_truncation = false;
     } else if ((v = value("--depth="))) {
@@ -708,9 +744,10 @@ int CmdExplore(int argc, char** argv) {
               stats->schedules_run, stats->passed, stats->failed);
   std::printf("  forward op boundaries: %" PRIu64 "  max depth: %" PRIu64
               "  fail-stops: %" PRIu64 "  truncation-window crashes: %" PRIu64
-              "%s\n",
+              "  2pc-window crashes: %" PRIu64 "%s\n",
               stats->baseline_ops, stats->max_depth_reached, stats->fail_stops,
               stats->truncation_window_schedules,
+              stats->two_pc_window_schedules,
               stats->budget_exhausted ? "  (schedule budget exhausted)" : "");
   return failures == 0 ? 0 : 1;
 }
@@ -739,12 +776,18 @@ int Usage() {
                "                           workload (top-level command);\n"
                "                           options: --duration-ms=N\n"
                "                           --interval-ms=N --threads=N\n"
+               "                           --shards=N (per-shard gauge rows)\n"
                "  explore                  enumerate crash schedules against the\n"
                "                           oracle; options: --txns=N --flush-every=N\n"
                "                           --epoch --depth=N --forward-stride=N\n"
                "                           --recovery-stride=N --subset-seeds=a,b\n"
-               "                           --max-schedules=N --out=FILE -v\n"
-               "                           --replay=STRING (re-run one schedule)\n");
+               "                           --shards=N --regions=N (sharded 2PC\n"
+               "                           sweep), --max-schedules=N --out=FILE\n"
+               "                           -v --replay=STRING (re-run one)\n"
+               "\n"
+               "Multi-shard logs (a manifest at LOG plus <LOG>.shard<K>): log\n"
+               "commands print one section per shard; verify exits the worst\n"
+               "code across shards.\n");
   return 2;
 }
 
@@ -778,27 +821,61 @@ int Main(int argc, char** argv) {
     // Same single-descriptor constraint as stats.
     return CmdTrace(argv[1]);
   }
-  auto log = LogDevice::Open(GetRealEnv(), argv[1]);
-  if (!log.ok()) {
-    std::fprintf(stderr, "cannot open log %s: %s\n", argv[1],
-                 log.status().ToString().c_str());
+  // A multi-shard log (DESIGN.md §12) is a manifest at LOG plus
+  // "<LOG>.shard<K>" devices; every log command runs per shard, and
+  // `verify` exits the worst code across shards, so committed-data loss on
+  // any one shard (exit 3) is never masked by healthy siblings.
+  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), argv[1]);
+  if (!shard_count.ok()) {
+    std::fprintf(stderr, "cannot read log %s: %s\n", argv[1],
+                 shard_count.status().ToString().c_str());
     return 1;
   }
+  std::vector<std::unique_ptr<LogDevice>> logs;
+  for (uint32_t s = 0; s < *shard_count; ++s) {
+    const std::string path =
+        *shard_count == 1 ? argv[1] : ShardLogPath(argv[1], s);
+    auto log = LogDevice::Open(GetRealEnv(), path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "cannot open log %s: %s\n", path.c_str(),
+                   log.status().ToString().c_str());
+      return 1;
+    }
+    logs.push_back(std::move(*log));
+  }
+  auto for_each_shard = [&](const std::function<int(LogDevice&)>& fn) {
+    int worst = 0;
+    for (uint32_t s = 0; s < logs.size(); ++s) {
+      if (logs.size() > 1) {
+        std::printf("=== shard %u of %zu ===\n", s, logs.size());
+      }
+      worst = std::max(worst, fn(*logs[s]));
+    }
+    return worst;
+  };
   std::string command = argv[2];
   if (command == "status") {
-    return CmdStatus(**log);
+    return for_each_shard(CmdStatus);
   }
   if (command == "segments") {
-    return CmdSegments(**log);
+    return for_each_shard(CmdSegments);
   }
   if (command == "records") {
-    return CmdRecords(**log, argc > 3 ? std::stoull(argv[3]) : 20);
+    const uint64_t limit = argc > 3 ? std::stoull(argv[3]) : 20;
+    return for_each_shard([&](LogDevice& log) { return CmdRecords(log, limit); });
   }
   if (command == "history" && argc == 6) {
-    return CmdHistory(**log, argv[3], std::stoull(argv[4]), std::stoull(argv[5]));
+    // A segment's records live on exactly one shard (static striping); the
+    // other shards simply contribute no history lines.
+    const std::string segment = argv[3];
+    const uint64_t offset = std::stoull(argv[4]);
+    const uint64_t length = std::stoull(argv[5]);
+    return for_each_shard([&](LogDevice& log) {
+      return CmdHistory(log, segment, offset, length);
+    });
   }
   if (command == "verify") {
-    return CmdVerify(**log);
+    return for_each_shard(CmdVerify);
   }
   return Usage();
 }
