@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "src/os/fault_env.h"
 #include "src/rvm/rvm.h"
 
 namespace rvm {
@@ -22,6 +23,15 @@ bool InTruncationWindow(const RvmStatistics& stats) {
 // A crash that interrupted a cross-shard 2PC (prepares appended, no verdict).
 bool InTwoPcWindow(const RvmStatistics& stats) {
   return stats.cross_shard_commits_started > stats.cross_shard_commits_decided;
+}
+
+// A crash after a shard quarantine / inside an online repair (DESIGN.md §13).
+bool InQuarantineWindow(const RvmStatistics& stats) {
+  return stats.shard_quarantines > 0;
+}
+
+bool InRepairWindow(const RvmStatistics& stats) {
+  return stats.shard_repairs_started > stats.shard_repairs_completed;
 }
 
 RvmOptions MakeOptions(CrashSimEnv& env, const CheckerWorkload& workload) {
@@ -66,15 +76,34 @@ CrashExplorer::CrashExplorer(const CheckerWorkload& workload)
 
 CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
   ForwardOutcome outcome;
-  auto rvm = RvmInstance::Initialize(MakeOptions(env, workload_));
+  // Fault-domain sweep: run the whole workload through a fault-injection
+  // decorator so one shard's log can die mid-run. The decorator passes every
+  // operation to the CrashSimEnv beneath, so op-indexed crash points keep
+  // their meaning (a faulted WriteAt never reaches the base env and is not a
+  // persist boundary — exactly like a write the device swallowed).
+  const bool faulting =
+      workload_.fault_shard != CheckerWorkload::kNoFaultShard &&
+      workload_.log_shards > 1;
+  FaultInjectionEnv fault_env(&env);
+  RvmOptions options = MakeOptions(env, workload_);
+  if (faulting) {
+    options.env = &fault_env;
+  }
+  auto rvm = RvmInstance::Initialize(options);
   if (!rvm.ok()) {
     outcome.crashed = true;
     return outcome;
   }
+  auto note_windows = [&]() {
+    const RvmStatistics& stats = (*rvm)->statistics();
+    outcome.truncation_window = InTruncationWindow(stats);
+    outcome.two_pc_window = InTwoPcWindow(stats);
+    outcome.quarantine_window = InQuarantineWindow(stats);
+    outcome.repair_window = InRepairWindow(stats);
+  };
   auto crash_exit = [&]() {
     outcome.crashed = true;
-    outcome.truncation_window = InTruncationWindow((*rvm)->statistics());
-    outcome.two_pc_window = InTwoPcWindow((*rvm)->statistics());
+    note_windows();
     return outcome;
   };
   std::optional<std::vector<uint64_t*>> bases =
@@ -84,31 +113,59 @@ CrashExplorer::ForwardOutcome CrashExplorer::RunForward(CrashSimEnv& env) {
   }
   const uint64_t region_slots = workload_.region_len / sizeof(uint64_t);
 
+  bool fault_armed = false;
   for (uint64_t i = 0; i < workload_.total_txns; ++i) {
-    auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
-    if (!tid.ok()) {
-      return crash_exit();
+    if (faulting && i == workload_.fault_at_txn) {
+      // The shard's device goes sticky-dead just before this transaction:
+      // the first commit that touches the stripe exhausts the retry budget
+      // and quarantines it.
+      FaultSpec spec;
+      spec.op = FaultOp::kWriteAt;
+      spec.sticky = true;
+      spec.path_substring = ShardLogPath(kLogPath, workload_.fault_shard);
+      fault_env.InjectFault(spec);
+      fault_armed = true;
     }
-    for (const WorkloadOracle::SlotWrite& write : oracle_.Script(i)) {
-      uint64_t* slot =
-          (*bases)[write.slot / region_slots] + write.slot % region_slots;
-      if (!(*rvm)->Modify(*tid, slot, &write.value, sizeof(uint64_t)).ok()) {
+    auto run_txn = [&]() -> Status {
+      auto tid = (*rvm)->BeginTransaction(RestoreMode::kRestore);
+      RVM_RETURN_IF_ERROR(tid.status());
+      for (const WorkloadOracle::SlotWrite& write : oracle_.Script(i)) {
+        uint64_t* slot =
+            (*bases)[write.slot / region_slots] + write.slot % region_slots;
+        RVM_RETURN_IF_ERROR(
+            (*rvm)->Modify(*tid, slot, &write.value, sizeof(uint64_t)));
+      }
+      bool flush =
+          workload_.flush_every != 0 && (i + 1) % workload_.flush_every == 0;
+      // The commit record exists (pending or durable) from this point on, so
+      // a crash may legally recover txn i+1 even though no ack was returned.
+      outcome.last_attempted_commit = i + 1;
+      RVM_RETURN_IF_ERROR((*rvm)->EndTransaction(
+          *tid, flush ? CommitMode::kFlush : CommitMode::kNoFlush));
+      outcome.last_ok_commit = i + 1;
+      if (flush) {
+        outcome.last_ok_flush = i + 1;
+      }
+      return OkStatus();
+    };
+    Status txn_status = run_txn();
+    if (!txn_status.ok() && fault_armed && !env.crashed() &&
+        (*rvm)->shard_health(workload_.fault_shard) ==
+            RvmInstance::ShardHealth::kQuarantined) {
+      // The sticky fault quarantined its shard (restore-mode commits roll
+      // their VM changes back, so the image is consistent). Heal the device,
+      // repair the shard online, and retry the failed transaction once —
+      // crash points inside RepairShard land in the repair window.
+      fault_env.ClearFaults();
+      fault_armed = false;
+      Status repaired = (*rvm)->RepairShard(workload_.fault_shard);
+      if (!repaired.ok()) {
         return crash_exit();
       }
+      txn_status = run_txn();
     }
-    bool flush =
-        workload_.flush_every != 0 && (i + 1) % workload_.flush_every == 0;
-    // The commit record exists (pending or durable) from this point on, so
-    // a crash may legally recover txn i+1 even though no ack was returned.
-    outcome.last_attempted_commit = i + 1;
-    Status commit = (*rvm)->EndTransaction(
-        *tid, flush ? CommitMode::kFlush : CommitMode::kNoFlush);
-    if (!commit.ok()) {
+    if (!txn_status.ok()) {
       return crash_exit();
-    }
-    outcome.last_ok_commit = i + 1;
-    if (flush) {
-      outcome.last_ok_flush = i + 1;
     }
   }
   // Clean completion, including teardown (Terminate flushes the spool and
@@ -155,6 +212,8 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
   out.last_attempted_commit = fwd.last_attempted_commit;
   out.truncation_window = fwd.truncation_window;
   out.two_pc_window = fwd.two_pc_window;
+  out.quarantine_window = fwd.quarantine_window;
+  out.repair_window = fwd.repair_window;
   if (!fwd.crashed && schedule.forward.op != kCrashAtEnd) {
     out.forward_underflow = true;
   }
@@ -318,6 +377,12 @@ StatusOr<ExploreStats> CrashExplorer::ExploreAll(
     }
     if (outcome.two_pc_window) {
       ++stats.two_pc_window_schedules;
+    }
+    if (outcome.quarantine_window) {
+      ++stats.quarantine_window_schedules;
+    }
+    if (outcome.repair_window) {
+      ++stats.repair_window_schedules;
     }
     stats.max_depth_reached = std::max<uint64_t>(
         stats.max_depth_reached, 1 + schedule.recovery.size());

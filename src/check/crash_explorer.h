@@ -73,6 +73,14 @@ struct ScheduleOutcome {
   // prepare append, before the decision force (stats.cross_shard_commits_
   // started > decided). Recovery must presume abort on every shard.
   bool two_pc_window = false;
+  // The forward crash landed after a shard quarantine (fault-domain sweep,
+  // stats.shard_quarantines > 0): part of the durable state was written in
+  // degraded mode.
+  bool quarantine_window = false;
+  // The forward crash landed inside an online shard repair
+  // (stats.shard_repairs_started > completed): the shard's log and segments
+  // were mid-rebuild.
+  bool repair_window = false;
   // Highest txn index the recovered image reflects (valid when pass &&
   // !fail_stop).
   uint64_t recovered_prefix = 0;
@@ -117,6 +125,10 @@ struct ExploreStats {
   uint64_t truncation_window_schedules = 0;
   // Schedules whose forward crash landed inside a cross-shard 2PC.
   uint64_t two_pc_window_schedules = 0;
+  // Schedules whose forward crash landed after a shard quarantine / inside
+  // an online shard repair (fault-domain sweep only).
+  uint64_t quarantine_window_schedules = 0;
+  uint64_t repair_window_schedules = 0;
   // Deepest schedule run (crashes per schedule).
   uint64_t max_depth_reached = 0;
   // True if max_schedules cut the enumeration short.
@@ -154,6 +166,8 @@ class CrashExplorer {
     uint64_t last_attempted_commit = 0;
     bool truncation_window = false;
     bool two_pc_window = false;
+    bool quarantine_window = false;
+    bool repair_window = false;
   };
 
   ForwardOutcome RunForward(CrashSimEnv& env);

@@ -52,6 +52,18 @@ struct CheckerWorkload {
   uint64_t regions = 1;
   // Mixed into the per-transaction slot script.
   uint64_t script_seed = 13;
+  // Fault-domain sweep (DESIGN.md §13): when fault_shard is set (and
+  // log_shards > 1), the forward phase arms a sticky WriteAt kIoError
+  // against that shard's log file just before transaction fault_at_txn
+  // commits. The first commit that strikes the dead shard quarantines it;
+  // the workload then clears the fault ("the device heals"), calls
+  // RepairShard, and retries the failed transaction once — so every crash
+  // schedule swept over such a workload crosses the quarantine and repair
+  // windows, and recovery from any point inside them must still satisfy the
+  // oracle. kNoFaultShard leaves the workload byte-identical to before.
+  static constexpr uint32_t kNoFaultShard = 0xffffffffu;
+  uint32_t fault_shard = kNoFaultShard;
+  uint64_t fault_at_txn = 5;
 };
 
 class WorkloadOracle {

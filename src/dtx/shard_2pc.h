@@ -48,6 +48,11 @@ struct ShardCommitOps {
   std::function<Status(uint32_t shard)> force;
   std::function<Status(uint32_t shard)> append_decision;
   std::function<Status(uint32_t shard)> append_marker;
+  // Optional health gate, run over every participant before any prepare is
+  // appended. A failure aborts the transaction before the protocol touches a
+  // single log — the clean presumed-abort path for a quarantined participant
+  // (DESIGN.md §13), with no orphan prepares left on healthy shards.
+  std::function<Status(uint32_t shard)> precheck;
 };
 
 // Runs the prepare / decide / mark sequence over `participants` (ascending
@@ -60,6 +65,12 @@ struct ShardCommitOps {
 inline Status RunShardedCommit(const std::vector<uint32_t>& participants,
                                const ShardCommitOps& ops, bool* decided) {
   *decided = false;
+  // Phase 0: reject unhealthy participants before writing anything anywhere.
+  if (ops.precheck) {
+    for (uint32_t shard : participants) {
+      RVM_RETURN_IF_ERROR(ops.precheck(shard));
+    }
+  }
   // Phase 1: prepare records on every participant. An append failure here
   // aborts cleanly — no shard has been told to commit.
   for (uint32_t shard : participants) {

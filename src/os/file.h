@@ -83,6 +83,11 @@ class Env {
   // time just elapses); the simulator advances its clock and CPU counters so
   // benchmarks can report amortized CPU cost per transaction (Fig. 9).
   virtual void ChargeCpu(double micros) { (void)micros; }
+
+  // Blocks the calling thread for `micros` (retry backoff). The default is a
+  // no-op so simulated environments — whose clocks advance with modeled I/O,
+  // not wall time — never stall a single-threaded test; RealEnv sleeps.
+  virtual void SleepMicros(uint64_t micros) { (void)micros; }
 };
 
 // The default production environment (POSIX files, wall clock). Singleton.

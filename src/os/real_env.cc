@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "src/os/file.h"
@@ -153,6 +154,10 @@ class RealEnv final : public Env {
     auto now = std::chrono::steady_clock::now().time_since_epoch();
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
 };
 

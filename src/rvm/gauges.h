@@ -58,6 +58,12 @@ struct ShardGauges {
   uint64_t prepares = 0;  // cross-shard 2PC prepare records
   uint64_t truncations = 0;
   uint64_t poisoned = 0;
+  // Transient-I/O retry attempts on this shard's device (DESIGN.md §13).
+  uint64_t retries = 0;
+  // Fault-domain state: 0 = ok, 1 = retrying (a transient-retry loop is in
+  // flight right now), 2 = quarantined, 3 = repairing. `rvmutl health`
+  // renders these and derives its exit code from the worst shard.
+  uint64_t health = 0;
 };
 
 struct RvmGauges {
@@ -212,12 +218,15 @@ inline std::string GaugesJson(const RvmGauges& gauges) {
       out += buf;
       std::snprintf(buf, sizeof(buf),
                     "\"records\":%llu,\"forces\":%llu,\"prepares\":%llu,"
-                    "\"truncations\":%llu,\"poisoned\":%llu}",
+                    "\"truncations\":%llu,\"poisoned\":%llu,"
+                    "\"retries\":%llu,\"health\":%llu}",
                     static_cast<unsigned long long>(s.records_appended),
                     static_cast<unsigned long long>(s.forces),
                     static_cast<unsigned long long>(s.prepares),
                     static_cast<unsigned long long>(s.truncations),
-                    static_cast<unsigned long long>(s.poisoned));
+                    static_cast<unsigned long long>(s.poisoned),
+                    static_cast<unsigned long long>(s.retries),
+                    static_cast<unsigned long long>(s.health));
       out += buf;
     }
     out += ']';
@@ -228,7 +237,7 @@ inline std::string GaugesJson(const RvmGauges& gauges) {
 
 // Human-readable rendering for `rvmutl top`.
 inline std::string FormatGauges(const RvmGauges& gauges) {
-  char line[192];
+  char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
                 "log   %10llu / %llu bytes (%5.1f%% used)  head=%llu "
@@ -260,10 +269,20 @@ inline std::string FormatGauges(const RvmGauges& gauges) {
       gauges.poisoned != 0 ? "  POISONED" : "");
   out += line;
   for (const ShardGauges& s : gauges.shards) {
+    const char* health_marker = "";
+    if (s.health == 1) {
+      health_marker = "  RETRYING";
+    } else if (s.health == 2) {
+      health_marker = "  QUARANTINED";
+    } else if (s.health == 3) {
+      health_marker = "  REPAIRING";
+    } else if (s.poisoned != 0) {
+      health_marker = "  POISONED";
+    }
     std::snprintf(
         line, sizeof(line),
         "shard %2llu  %10llu / %llu bytes  head=%llu tail=%llu%s  "
-        "records=%llu forces=%llu prepares=%llu trunc=%llu%s\n",
+        "records=%llu forces=%llu prepares=%llu trunc=%llu retries=%llu%s\n",
         static_cast<unsigned long long>(s.index),
         static_cast<unsigned long long>(s.log_bytes_in_use),
         static_cast<unsigned long long>(s.log_capacity),
@@ -274,7 +293,7 @@ inline std::string FormatGauges(const RvmGauges& gauges) {
         static_cast<unsigned long long>(s.forces),
         static_cast<unsigned long long>(s.prepares),
         static_cast<unsigned long long>(s.truncations),
-        s.poisoned != 0 ? "  POISONED" : "");
+        static_cast<unsigned long long>(s.retries), health_marker);
     out += line;
   }
   for (const RegionGauges& r : gauges.regions) {

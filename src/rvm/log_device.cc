@@ -72,7 +72,7 @@ StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(Env* env,
     return Corruption("log file shorter than its declared size: " + path);
   }
   return std::unique_ptr<LogDevice>(
-      new LogDevice(env, std::move(file), std::move(*best)));
+      new LogDevice(env, path, std::move(file), std::move(*best)));
 }
 
 Status LogDevice::WriteManifest(Env* env, const std::string& path,
@@ -140,9 +140,115 @@ uint64_t LogDevice::used() const {
   return (status_.log_size - status_.head) + (status_.tail - kLogDataStart);
 }
 
+void LogDevice::NoteRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (retry_.on_retry) {
+    retry_.on_retry();
+  }
+}
+
+uint64_t LogDevice::RetryDelayUs(uint64_t attempt) {
+  uint64_t delay = retry_.backoff_us;
+  for (uint64_t i = 0; i < attempt && delay < retry_.backoff_max_us; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, retry_.backoff_max_us);
+  // Deterministic xorshift jitter in [delay/2, delay], so shards retrying
+  // the same hiccup do not re-collide in lockstep yet tests stay replayable.
+  retry_jitter_state_ ^= retry_jitter_state_ << 13;
+  retry_jitter_state_ ^= retry_jitter_state_ >> 7;
+  retry_jitter_state_ ^= retry_jitter_state_ << 17;
+  uint64_t half = delay / 2;
+  return delay - half + (half > 0 ? retry_jitter_state_ % (half + 1) : 0);
+}
+
+Status LogDevice::WriteAtRetry(uint64_t offset, std::span<const uint8_t> bytes) {
+  Status status = file_->WriteAt(offset, bytes);
+  if (!status.ok() && IsTransientError(status.code()) && retry_.limit > 0) {
+    retrying_.store(true, std::memory_order_release);
+    for (uint64_t attempt = 0; attempt < retry_.limit && !status.ok() &&
+                               IsTransientError(status.code());
+         ++attempt) {
+      NoteRetry();
+      env_->SleepMicros(RetryDelayUs(attempt));
+      // The same fd is fine for a write retry: a failed pwrite makes no
+      // durability promise a retry could falsify, unlike a failed fsync.
+      status = file_->WriteAt(offset, bytes);
+    }
+    retrying_.store(false, std::memory_order_release);
+  }
+  if (status.ok()) {
+    unsynced_writes_.emplace_back(
+        offset, std::vector<uint8_t>(bytes.begin(), bytes.end()));
+  }
+  return status;
+}
+
+StatusOr<size_t> LogDevice::ReadFullyRetry(uint64_t offset,
+                                           std::span<uint8_t> out) {
+  auto transient = [&](const StatusOr<size_t>& r) {
+    if (!r.ok()) {
+      return IsTransientError(r.status().code());
+    }
+    // Callers read inside [0, log_size) of a file at least log_size long,
+    // so a short read cannot be end-of-file — treat it as transient.
+    return *r < out.size();
+  };
+  StatusOr<size_t> result = file_->ReadAt(offset, out);
+  if (transient(result) && retry_.limit > 0) {
+    retrying_.store(true, std::memory_order_release);
+    for (uint64_t attempt = 0; attempt < retry_.limit && transient(result);
+         ++attempt) {
+      NoteRetry();
+      env_->SleepMicros(RetryDelayUs(attempt));
+      result = file_->ReadAt(offset, out);
+    }
+    retrying_.store(false, std::memory_order_release);
+  }
+  return result;
+}
+
+Status LogDevice::ReopenForSyncRetry() {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> fresh,
+                       env_->Open(path_, OpenMode::kReadWrite));
+  // The failed fd's dirty pages may already have been dropped by the kernel,
+  // so everything since the last successful sync is rewritten through the
+  // fresh fd before it is trusted with a barrier.
+  for (const auto& [offset, bytes] : unsynced_writes_) {
+    RVM_RETURN_IF_ERROR(fresh->WriteAt(offset, bytes));
+  }
+  file_ = std::move(fresh);
+  return OkStatus();
+}
+
+Status LogDevice::SyncWithReopenRetry() {
+  Status status = file_->Sync();
+  if (!status.ok() && IsTransientError(status.code()) && retry_.limit > 0) {
+    retrying_.store(true, std::memory_order_release);
+    for (uint64_t attempt = 0; attempt < retry_.limit; ++attempt) {
+      NoteRetry();
+      env_->SleepMicros(RetryDelayUs(attempt));
+      // Never re-fsync the failed fd (see Sync()): reopen for a fresh fd,
+      // replay the unsynced tail, and only then issue the barrier.
+      status = ReopenForSyncRetry();
+      if (status.ok()) {
+        status = file_->Sync();
+      }
+      if (status.ok() || !IsTransientError(status.code())) {
+        break;
+      }
+    }
+    retrying_.store(false, std::memory_order_release);
+  }
+  if (status.ok()) {
+    unsynced_writes_.clear();
+  }
+  return status;
+}
+
 Status LogDevice::WriteRaw(uint64_t offset, std::span<const uint8_t> bytes) {
   bytes_appended_ += bytes.size();
-  Status status = file_->WriteAt(offset, bytes);
+  Status status = WriteAtRetry(offset, bytes);
   if (!status.ok()) {
     // A failed append write leaves the device in an unknown state (the
     // kernel may have written any prefix); the in-memory tail no longer
@@ -208,7 +314,7 @@ Status LogDevice::Sync() {
   // appended_lsn_ is in the file before the barrier below.
   uint64_t target = appended_lsn_.load(std::memory_order_acquire);
   ++syncs_;
-  Status status = file_->Sync();
+  Status status = SyncWithReopenRetry();
   if (!status.ok()) {
     Poison(status);
     return status;
@@ -233,12 +339,12 @@ Status LogDevice::WriteStatus() {
   ++next.generation;
   RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> encoded, EncodeStatusBlock(next));
   uint64_t slot_offset = (next.generation % 2 == 0) ? 0 : kStatusBlockSize;
-  Status write = file_->WriteAt(slot_offset, encoded);
+  Status write = WriteAtRetry(slot_offset, encoded);
   if (!write.ok()) {
     Poison(write);
     return write;
   }
-  Status synced = file_->Sync();
+  Status synced = SyncWithReopenRetry();
   if (!synced.ok()) {
     Poison(synced);
     return synced;
@@ -251,7 +357,7 @@ StatusOr<OwnedRecord> LogDevice::ReadRecordAt(uint64_t offset) {
   OwnedRecord record;
   record.offset = offset;
   record.bytes.resize(kRecordHeaderSize);
-  RVM_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(offset, record.bytes));
+  RVM_ASSIGN_OR_RETURN(size_t n, ReadFullyRetry(offset, record.bytes));
   if (n != kRecordHeaderSize) {
     return Corruption("short read of record header");
   }
@@ -266,9 +372,9 @@ StatusOr<OwnedRecord> LogDevice::ReadRecordAt(uint64_t offset) {
     record.bytes.resize(kRecordHeaderSize + header.payload_length);
     RVM_ASSIGN_OR_RETURN(
         size_t payload_read,
-        file_->ReadAt(offset + kRecordHeaderSize,
-                      std::span<uint8_t>(record.bytes)
-                          .subspan(kRecordHeaderSize)));
+        ReadFullyRetry(offset + kRecordHeaderSize,
+                       std::span<uint8_t>(record.bytes)
+                           .subspan(kRecordHeaderSize)));
     if (payload_read != header.payload_length) {
       return Corruption("short read of record payload");
     }

@@ -23,8 +23,10 @@
 #define RVM_RVM_LOG_DEVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/os/file.h"
@@ -152,6 +154,31 @@ class LogDevice {
   uint64_t records_appended() const { return records_appended_; }
   uint64_t syncs() const { return syncs_; }
 
+  // Transient-error retry (DESIGN.md §13). Failures carrying kUnavailable
+  // (the EINTR/EAGAIN class) and short reads inside the log area are
+  // retried up to `limit` times with exponential backoff and deterministic
+  // jitter, slept via Env::SleepMicros (a no-op off the real environment).
+  // A sync retry never reuses the failed fd: the file is reopened and every
+  // write since the last successful sync replayed first, because the failed
+  // fd's dirty pages may already have been dropped (fsyncgate). `on_retry`
+  // (if set) fires once per retry attempt, from the retrying thread.
+  struct RetryPolicy {
+    uint64_t limit = 3;
+    uint64_t backoff_us = 100;
+    uint64_t backoff_max_us = 10'000;
+    std::function<void()> on_retry;
+  };
+  void set_retry_policy(RetryPolicy policy) { retry_ = std::move(policy); }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  // Retry attempts over the device's lifetime; readable without the log lock.
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  // True while a retry loop is in flight (health reporting).
+  bool retrying() const { return retrying_.load(std::memory_order_acquire); }
+
+  const std::string& path() const { return path_; }
+
   // Fail-stop containment. A device is poisoned by the first non-transient
   // failure of an append write, a force, or a status write (kLogFull is
   // transient and never poisons). Once poisoned, every mutating entry point
@@ -164,12 +191,32 @@ class LogDevice {
   const Status& poison_status() const { return poison_cause_; }
 
  private:
-  LogDevice(Env* env, std::unique_ptr<File> file, LogStatusBlock status)
-      : env_(env), file_(std::move(file)), status_(std::move(status)) {}
+  LogDevice(Env* env, std::string path, std::unique_ptr<File> file,
+            LogStatusBlock status)
+      : env_(env),
+        path_(std::move(path)),
+        file_(std::move(file)),
+        status_(std::move(status)) {}
 
   Status WriteRaw(uint64_t offset, std::span<const uint8_t> bytes);
+  // file_->WriteAt with the transient-retry loop (same fd: a failed write
+  // leaves no kernel state a retry cannot observe). Successful writes are
+  // remembered in unsynced_writes_ for sync-retry replay.
+  Status WriteAtRetry(uint64_t offset, std::span<const uint8_t> bytes);
+  // file_->ReadAt that treats a short read inside the log area as transient
+  // (the file is never shorter than log_size, so EOF cannot explain it) and
+  // retries alongside kUnavailable errors.
+  StatusOr<size_t> ReadFullyRetry(uint64_t offset, std::span<uint8_t> out);
+  // file_->Sync with the reopen-and-replay retry described above. Does not
+  // bump syncs_ or poison; callers own both.
+  Status SyncWithReopenRetry();
+  // Opens a fresh fd at path_ and replays unsynced_writes_ onto it.
+  Status ReopenForSyncRetry();
+  uint64_t RetryDelayUs(uint64_t attempt);
+  void NoteRetry();
 
   Env* env_;
+  std::string path_;
   std::unique_ptr<File> file_;
   LogStatusBlock status_;
   std::atomic<uint64_t> appended_lsn_{0};
@@ -177,6 +224,14 @@ class LogDevice {
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
   uint64_t syncs_ = 0;
+  RetryPolicy retry_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<bool> retrying_{false};
+  uint64_t retry_jitter_state_ = 0x9e3779b97f4a7c15ull;
+  // Every successful write since the last successful Sync, in order, for
+  // sync-retry replay onto a fresh fd. Cleared when a Sync lands; bounded by
+  // the bytes one force covers (a group batch plus a status slot).
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> unsynced_writes_;
   std::atomic<bool> poisoned_{false};
   Status poison_cause_;  // written once, before the release store above
 };

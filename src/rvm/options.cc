@@ -49,6 +49,22 @@ Status ValidateRuntimeOptions(const RuntimeOptions& runtime) {
   if (runtime.log_full_retry_limit > 1000) {
     return InvalidArgument("log_full_retry_limit must be at most 1000");
   }
+  if (runtime.io_retry_limit > 1000) {
+    return InvalidArgument("io_retry_limit must be at most 1000");
+  }
+  // One second of initial backoff (or ten of cap) is far beyond any
+  // transient-error horizon; larger values are unit errors.
+  if (runtime.io_retry_backoff_us > 1000 * 1000) {
+    return InvalidArgument("io_retry_backoff_us must be at most 1 second");
+  }
+  if (runtime.io_retry_backoff_max_us > 10ull * 1000 * 1000) {
+    return InvalidArgument(
+        "io_retry_backoff_max_us must be at most 10 seconds");
+  }
+  if (runtime.io_retry_backoff_max_us < runtime.io_retry_backoff_us) {
+    return InvalidArgument(
+        "io_retry_backoff_max_us must be at least io_retry_backoff_us");
+  }
   return OkStatus();
 }
 

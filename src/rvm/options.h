@@ -73,6 +73,18 @@ struct RuntimeOptions {
   // lock, which is exactly what the background truncation thread needs to
   // make progress.
   uint64_t log_full_retry_limit = 3;
+  // Transient-I/O retry budget (DESIGN.md §13). A log read or write failing
+  // with kUnavailable (the EINTR/EAGAIN/short-read class) is retried at most
+  // this many times with exponential backoff before being treated as
+  // permanent; 0 disables retrying entirely. A sync retry never reuses the
+  // failed fd — the shard file is reopened and the unsynced tail replayed
+  // first, preserving the no-fsync-retry-on-the-same-fd invariant.
+  uint64_t io_retry_limit = 3;
+  // Backoff before the first retry; doubles per attempt (with deterministic
+  // jitter) up to io_retry_backoff_max_us. Slept via Env::SleepMicros, a
+  // no-op on simulated environments so tests never stall.
+  uint64_t io_retry_backoff_us = 100;
+  uint64_t io_retry_backoff_max_us = 10'000;
 };
 
 // Whether truncation runs on a dedicated thread ("log truncation is usually

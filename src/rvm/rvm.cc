@@ -1,6 +1,7 @@
 #include "src/rvm/rvm.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -133,14 +134,61 @@ void RvmInstance::Poison(const Status& cause) {
   }
 }
 
+// Lock-free per-shard counter rows for a poison or quarantine sidecar.
+// Touches only LogShard atomics and the device's own atomics, so it is
+// callable from any lock state like its callers.
+std::string RvmInstance::ShardRowsJson() const {
+  std::string rows = "\"shards\":[";
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const auto& shard = *shards_[k];
+    if (k > 0) {
+      rows += ',';
+    }
+    char row[224];
+    std::snprintf(
+        row, sizeof(row),
+        "{\"shard\":%u,\"records\":%llu,\"forces\":%llu,\"prepares\":%llu,"
+        "\"truncations\":%llu,\"retries\":%llu,\"poisoned\":%u,\"health\":%u}",
+        shard.index,
+        static_cast<unsigned long long>(
+            shard.records_appended.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            shard.forces.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            shard.prepares.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            shard.truncations.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(shard.log->retries()),
+        shard.log->poisoned() ? 1u : 0u,
+        shard.health.load(std::memory_order_acquire));
+    rows += row;
+  }
+  rows += ']';
+  return rows;
+}
+
 void RvmInstance::DumpPoisonSidecar(const Status& cause) {
   // Flight-recorder dump (DESIGN.md §10). Everything here is best-effort:
   // the instance is entering fail-stop and the sidecar must never mask or
   // compound the original failure, so every error is swallowed. Only trace_
   // (own leaf mutex), stats_ (lock-free), and immutable members are touched,
   // which keeps this callable from any lock state.
+  //
+  // failed_shard attributes the death to the lowest shard whose device is
+  // poisoned (the deterministic winner FailIfPoisoned would adopt), or -1
+  // when the poison came from the instance itself (e.g. VM divergence after
+  // a failed no-restore commit).
+  int failed_shard = -1;
+  for (const auto& shard : shards_) {
+    if (shard->log->poisoned()) {
+      failed_shard = static_cast<int>(shard->index);
+      break;
+    }
+  }
   std::string trace_json = "\"reason\":\"" + JsonEscape(cause.ToString()) +
-                           "\",\"trace\":[";
+                           "\",\"failed_shard\":" +
+                           std::to_string(failed_shard) + "," +
+                           ShardRowsJson() + ",\"trace\":[";
   const std::vector<TraceEvent> tail = trace_.Tail(kPoisonDumpTraceEvents);
   for (size_t i = 0; i < tail.size(); ++i) {
     if (i > 0) {
@@ -163,17 +211,136 @@ void RvmInstance::DumpPoisonSidecar(const Status& cause) {
              document.size()));
 }
 
+void RvmInstance::PoisonShard(LogShard& shard, const Status& cause) {
+  if (shard.index == 0 || shards_.size() == 1) {
+    // Shard 0 carries the segment dictionary's allocation source of truth
+    // and the single shard of a 1-log instance IS the instance; neither can
+    // be quarantined around. Escalate to instance death.
+    Poison(cause);
+    return;
+  }
+  // Make sure the device itself is poisoned so its own fast paths (and a
+  // concurrent group member waiting on the leader) fail-stop too; first
+  // failure wins inside the device as well.
+  shard.log->Poison(cause);
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    if (shard.health.load(std::memory_order_relaxed) !=
+        static_cast<uint32_t>(ShardHealth::kOk)) {
+      return;  // first failure wins; also preserves kRepairing
+    }
+    NoteIoError(cause);
+    ++stats_.shard_quarantines;
+    shard.quarantine_cause = cause;
+    shard.health.store(static_cast<uint32_t>(ShardHealth::kQuarantined),
+                       std::memory_order_release);
+  }
+  RVM_LOG_WARN("rvm shard %u quarantined (fault contained): %s", shard.index,
+               cause.ToString().c_str());
+  Trace(TraceEventType::kShardQuarantine, shard.index,
+        static_cast<uint64_t>(cause.code()));
+  if (poison_dump_enabled_) {
+    DumpQuarantineSidecar(shard, cause);
+  }
+}
+
+void RvmInstance::DumpQuarantineSidecar(const LogShard& shard,
+                                        const Status& cause) {
+  // Shard-scoped analogue of DumpPoisonSidecar: best-effort, swallows every
+  // error, callable from any lock state. Lands next to the failed shard's
+  // log as "<log_path>.shard<K>.quarantine.json" so operators (and `rvmutl
+  // health`) can tell a contained quarantine from instance death at a
+  // glance.
+  std::string trace_json =
+      "\"shard\":" + std::to_string(shard.index) + ",\"reason\":\"" +
+      JsonEscape(cause.ToString()) + "\"," + ShardRowsJson() +
+      ",\"trace\":[";
+  const std::vector<TraceEvent> tail = trace_.Tail(kPoisonDumpTraceEvents);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (i > 0) {
+      trace_json += ',';
+    }
+    trace_json += TraceEventJson(tail[i]);
+  }
+  trace_json += ']';
+  const std::string document = TelemetryJsonDocument(
+      "quarantine-dump",
+      {StatisticsJsonRun("at-quarantine", stats_.Snapshot())}, trace_json);
+  StatusOr<std::unique_ptr<File>> file =
+      env_->Open(shard.path + ".quarantine.json", OpenMode::kTruncate);
+  if (!file.ok()) {
+    return;
+  }
+  (void)(*file)->WriteAt(
+      0, std::span<const uint8_t>(
+             reinterpret_cast<const uint8_t*>(document.data()),
+             document.size()));
+}
+
+LogDevice::RetryPolicy RvmInstance::RetryPolicyFromRuntime() {
+  LogDevice::RetryPolicy policy;
+  policy.limit = runtime_.io_retry_limit;
+  policy.backoff_us = runtime_.io_retry_backoff_us;
+  policy.backoff_max_us = runtime_.io_retry_backoff_max_us;
+  policy.on_retry = [this] { ++stats_.io_retries; };
+  return policy;
+}
+
+Status RvmInstance::FailIfShardUnusable(const LogShard& shard) {
+  uint32_t health = shard.health.load(std::memory_order_acquire);
+  if (health == static_cast<uint32_t>(ShardHealth::kOk)) {
+    return OkStatus();
+  }
+  // quarantine_cause is written before the release store of health, so the
+  // acquire load above makes it visible here.
+  return shard.quarantine_cause;
+}
+
+RvmInstance::ShardHealth RvmInstance::shard_health(uint32_t shard) const {
+  if (shard >= shards_.size()) {
+    return ShardHealth::kOk;
+  }
+  uint32_t health = shards_[shard]->health.load(std::memory_order_acquire);
+  if (health != static_cast<uint32_t>(ShardHealth::kOk)) {
+    return static_cast<ShardHealth>(health);
+  }
+  // kRetrying is derived, never stored: it reflects a retry loop in flight
+  // on the device right now.
+  return shards_[shard]->log->retrying() ? ShardHealth::kRetrying
+                                         : ShardHealth::kOk;
+}
+
+Status RvmInstance::shard_status(uint32_t shard) const {
+  if (shard >= shards_.size()) {
+    return InvalidArgument("shard index out of range");
+  }
+  if (shards_[shard]->health.load(std::memory_order_acquire) !=
+      static_cast<uint32_t>(ShardHealth::kOk)) {
+    return shards_[shard]->quarantine_cause;
+  }
+  return OkStatus();
+}
+
 Status RvmInstance::FailIfPoisoned() {
   if (poisoned_.load(std::memory_order_acquire)) {
     return poison_cause_;
   }
+  // Ascending scan: when several shards fail concurrently the lowest failed
+  // shard's cause deterministically wins (shard 0 escalating to instance
+  // death, higher shards quarantining in index order).
   for (const auto& shard : shards_) {
-    if (shard->log->poisoned()) {
-      // The log device poisoned itself (e.g. a status write from the group
+    if (!shard->log->poisoned()) {
+      continue;
+    }
+    if (shard->index == 0 || shards_.size() == 1) {
+      // The device poisoned itself (e.g. a status write from the group
       // leader); adopt its cause so stats_.poisoned records the transition.
       Poison(shard->log->poison_status());
-      return shard->log->poison_status();
+      return poison_cause_;
     }
+    // A self-poisoned secondary shard is a quarantine, not instance death:
+    // adopt idempotently and keep serving the healthy shards.
+    PoisonShard(*shard, shard->log->poison_status());
   }
   return OkStatus();
 }
@@ -182,12 +349,16 @@ Status RvmInstance::poison_status() const {
   if (poisoned_.load(std::memory_order_acquire)) {
     return poison_cause_;
   }
-  for (const auto& shard : shards_) {
-    if (shard->log->poisoned()) {
-      return shard->log->poison_status();
-    }
+  if (shards_.front()->log->poisoned()) {
+    return shards_.front()->log->poison_status();
   }
   return OkStatus();
+}
+
+Status RvmInstance::RepairShard(uint32_t shard) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  RVM_RETURN_IF_ERROR(FailIfPoisoned());
+  return RepairShardLocked(shard);
 }
 
 bool RvmInstance::NeedsTruncationLocked(const LogShard& shard) const {
@@ -233,6 +404,10 @@ void RvmInstance::TruncationThreadMain() {
       if (stop_truncation_ || !NeedsTruncationLocked(*shard)) {
         continue;
       }
+      if (shard->health.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ShardHealth::kOk)) {
+        continue;  // quarantined: no maintenance I/O until repaired
+      }
       Status status = runtime_.use_incremental_truncation
                           ? IncrementalTruncateLocked(*shard)
                           : TruncateEpochLocked(*shard);
@@ -268,6 +443,11 @@ RvmInstance::RvmInstance(const RvmOptions& options,
       runtime_(options.runtime),
       truncation_mode_(options.truncation_mode),
       trace_(options.trace_capacity) {
+  // Single-threaded here (pre-recovery), so touching the devices without
+  // their log_mu is fine.
+  for (const auto& shard : shards_) {
+    shard->log->set_retry_policy(RetryPolicyFromRuntime());
+  }
   if (options.sample_capacity > 0) {
     StatsSampler::Options sampler_options;
     sampler_options.sample_interval_us = options.sample_interval_us;
@@ -316,8 +496,14 @@ Status RvmInstance::Terminate() {
     RVM_RETURN_IF_ERROR(FlushDirectLocked());
     // Persist the exact tail of every shard so the next Initialize has no
     // forward scanning to do; not required for correctness, recovery would
-    // find the tails itself.
+    // find the tails itself. Quarantined shards are skipped — their device
+    // is poisoned and the next Initialize (or RepairShard) recovers them by
+    // scanning anyway.
     for (const auto& shard : shards_) {
+      if (shard->health.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ShardHealth::kOk)) {
+        continue;
+      }
       std::lock_guard<std::mutex> log_lock(shard->log_mu);
       RVM_RETURN_IF_ERROR(shard->log->WriteStatus());
     }
@@ -364,6 +550,12 @@ StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
     // in a shard's own status block before any of that shard's log records
     // can name the id (each shard's log is replayed self-describingly).
     for (size_t k = 1; k < shards_.size(); ++k) {
+      if (shards_[k]->health.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ShardHealth::kOk)) {
+        // Quarantined mirrors can't be written; RepairShard copies the whole
+        // dictionary from shard 0 (the source of truth) when re-attaching.
+        continue;
+      }
       LogDevice& log = *shards_[k]->log;
       std::lock_guard<std::mutex> log_lock(shards_[k]->log_mu);
       bool present = false;
@@ -389,6 +581,10 @@ StatusOr<SegmentId> RvmInstance::SegmentIdForLocked(const std::string& path) {
     return id;
   }
   for (size_t k = 0; k < shards_.size(); ++k) {
+    if (k > 0 && shards_[k]->health.load(std::memory_order_acquire) !=
+                     static_cast<uint32_t>(ShardHealth::kOk)) {
+      continue;  // see the heal loop above; repair restores the mirror
+    }
     LogDevice& log = *shards_[k]->log;
     std::lock_guard<std::mutex> log_lock(shards_[k]->log_mu);
     if (k == 0) {
@@ -467,6 +663,9 @@ Status RvmInstance::Map(RegionDescriptor& region) {
   }
 
   RVM_ASSIGN_OR_RETURN(SegmentId seg_id, SegmentIdForLocked(region.segment_path));
+  // The stripe is a function of the persistent segment id; refuse to map a
+  // region whose commits would land on a quarantined shard.
+  RVM_RETURN_IF_ERROR(FailIfShardUnusable(*shards_[seg_id % shards_.size()]));
 
   if (!segment_files_.contains(seg_id)) {
     RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
@@ -539,6 +738,9 @@ Status RvmInstance::Unmap(const RegionDescriptor& region) {
     return FailedPrecondition("region has uncommitted transactions (§4.1)");
   }
   RVM_RETURN_IF_ERROR(FailIfPoisoned());
+  // Unmapping needs the shard's log (flush + epoch apply below); a
+  // quarantined stripe keeps its region mapped and readable until repair.
+  RVM_RETURN_IF_ERROR(FailIfShardUnusable(*shards_[state->shard]));
   // Make the external data segment current before the in-memory image goes
   // away: flush spooled commits, then apply the whole log.
   RVM_RETURN_IF_ERROR(FlushDirectLocked());
@@ -593,6 +795,10 @@ Status RvmInstance::SetRange(TransactionId tid, void* base, uint64_t length) {
   }
   TxnState& txn = it->second;
   RVM_ASSIGN_OR_RETURN(RegionState * region, FindRegionLocked(base, length));
+  // Fail fast with the quarantine cause before capturing old values: a
+  // commit on this stripe cannot succeed, and refusing here keeps the
+  // region's image untouched (readable degraded service, DESIGN.md §13).
+  RVM_RETURN_IF_ERROR(FailIfShardUnusable(*shards_[region->shard]));
   cpu_.Fixed(cpu_.model().set_range_us);
   ++stats_.set_range_calls;
   stats_.bytes_requested += length;
@@ -842,9 +1048,9 @@ Status RvmInstance::AppendSpoolEntryLocked(LogShard& shard, SpoolEntry& entry,
   }
   if (!offset.ok()) {
     if (offset.status().code() != ErrorCode::kLogFull) {
-      // The log device has already poisoned itself; record the fail-stop
-      // transition on the instance too.
-      Poison(offset.status());
+      // The log device has already poisoned itself; contain the failure to
+      // this shard's fault domain (instance-wide only for shard 0).
+      PoisonShard(shard, offset.status());
     }
     return offset.status();
   }
@@ -894,7 +1100,7 @@ Status RvmInstance::AppendControlRecordLocked(LogShard& shard,
   }
   if (!offset.ok()) {
     if (offset.status().code() != ErrorCode::kLogFull) {
-      Poison(offset.status());
+      PoisonShard(shard, offset.status());
     }
     return offset.status();
   }
@@ -908,7 +1114,7 @@ Status RvmInstance::ForceShardBothLocked(LogShard& shard) {
   const uint64_t sync_start_us = env_->NowMicros();
   Status synced = shard.log->Sync();
   if (!synced.ok()) {
-    Poison(synced);
+    PoisonShard(shard, synced);
     NotifyDurableWaiters(shard);  // group-stage waiters observe the poison
     return synced;
   }
@@ -943,6 +1149,13 @@ Status RvmInstance::CommitCrossShardLocked(
   };
 
   ShardCommitOps ops;
+  ops.precheck = [&](uint32_t index) -> Status {
+    // Phase 0 health gate: a quarantined participant aborts the transaction
+    // before a single prepare lands anywhere — the cleanest presumed-abort
+    // outcome (no orphan prepares on healthy shards, original cause
+    // surfaced).
+    return FailIfShardUnusable(*shards_[index]);
+  };
   ops.append_prepare = [&](uint32_t index) -> Status {
     LogShard& shard = *shards_[index];
     // Earlier no-flush commits must reach this shard's log first so log
@@ -1012,10 +1225,13 @@ Status RvmInstance::CommitCrossShardLocked(
     ++stats_.cross_shard_commits_decided;
   }
   aborted_gtids_.insert(txn.tid);
-  if (status.code() == ErrorCode::kLogFull &&
-      txn.mode == RestoreMode::kRestore) {
+  if (txn.mode == RestoreMode::kRestore) {
     // Degrade to an abort, leaving VM consistent (same policy as the
-    // single-shard flush path).
+    // single-shard flush path). This covers every undecided failure: log
+    // full, a quarantined participant rejected by the precheck, and a
+    // permanent I/O failure mid-protocol — in all three no decision is
+    // durable anywhere, so recovery aborts the transaction too and the
+    // restored image matches what a crash would recover.
     for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend(); ++ov) {
       std::memcpy(ov->region->base + ov->offset, ov->bytes.data(),
                   ov->bytes.size());
@@ -1025,9 +1241,10 @@ Status RvmInstance::CommitCrossShardLocked(
     ++stats_.transactions_aborted;
     return status;
   }
-  if (status.code() == ErrorCode::kLogFull) {
-    Poison(status);  // no-restore txn: VM has diverged irreversibly
-  }
+  // No-restore txn with no old values to roll back: VM has diverged
+  // irreversibly from anything recovery can reproduce. Instance-wide
+  // fail-stop, whichever shard tripped first.
+  Poison(status);
   ReleaseUncommittedLocked(txn);
   return status;
 }
@@ -1076,6 +1293,29 @@ Status RvmInstance::EndTransactionLocked(
 
   LogShard& shard = *shards_[entries.front().first];
   SpoolEntry& entry = entries.front().second;
+
+  Status usable = FailIfShardUnusable(shard);
+  if (!usable.ok()) {
+    // The stripe was quarantined while this transaction was open (SetRange
+    // gates new work, but quarantine can land mid-transaction). A no-flush
+    // commit must not spool onto a shard that can never drain; handle it
+    // like an append failure below: degrade to an abort when old values
+    // exist, fail-stop when they don't.
+    if (txn.mode == RestoreMode::kRestore) {
+      for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend();
+           ++ov) {
+        std::memcpy(ov->region->base + ov->offset, ov->bytes.data(),
+                    ov->bytes.size());
+        cpu_.Copy(ov->bytes.size());
+      }
+      ReleaseUncommittedLocked(txn);
+      ++stats_.transactions_aborted;
+      return usable;
+    }
+    Poison(usable);  // no-restore txn: VM has diverged irreversibly
+    ReleaseUncommittedLocked(txn);
+    return usable;
+  }
 
   if (mode == CommitMode::kNoFlush) {
     ReleaseUncommittedLocked(txn);
@@ -1127,9 +1367,11 @@ Status RvmInstance::EndTransactionLocked(
     // This transaction's changes are already in VM; leaving them there with
     // no log record would let later commits capture values that recovery
     // can never reproduce. Either undo them — the commit degrades to an
-    // abort, leaving VM consistent — or, when no old values exist, stop.
-    if (append.code() == ErrorCode::kLogFull &&
-        txn.mode == RestoreMode::kRestore) {
+    // abort, leaving VM consistent whether the failure was log-full or a
+    // permanent error that quarantined the shard (a torn trailing record
+    // fails its checksum, so recovery lands on the same pre-transaction
+    // image) — or, when no old values exist, stop the instance.
+    if (txn.mode == RestoreMode::kRestore) {
       for (auto ov = txn.old_values.rbegin(); ov != txn.old_values.rend();
            ++ov) {
         std::memcpy(ov->region->base + ov->offset, ov->bytes.data(),
@@ -1140,9 +1382,7 @@ Status RvmInstance::EndTransactionLocked(
       ++stats_.transactions_aborted;
       return append;
     }
-    if (append.code() == ErrorCode::kLogFull) {
-      Poison(append);  // no-restore txn: VM has diverged irreversibly
-    }
+    Poison(append);  // no-restore txn: VM has diverged irreversibly
     ReleaseUncommittedLocked(txn);
     return append;
   }
@@ -1264,7 +1504,7 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
       // (the kernel may have dropped the dirty pages at the first failure,
       // so a retry could "succeed" without the data being durable).
       result = shard.log->poison_status();
-      Poison(result);
+      PoisonShard(shard, result);
       break;
     }
     if (!shard.group_leader_active) {
@@ -1324,10 +1564,11 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
       group_lock.lock();
       shard.group_leader_active = false;
       if (!sync_status.ok()) {
-        // Sticky: the LogDevice poisoned itself on the failed fsync; record
-        // the fail-stop transition here and hand every waiter (current and
-        // future) the same failure via the poisoned check above.
-        Poison(sync_status);
+        // Sticky: the LogDevice poisoned itself on the failed fsync (after
+        // exhausting the reopen-and-replay retry budget); contain to this
+        // shard's fault domain and hand every waiter (current and future)
+        // the same failure via the poisoned check above.
+        PoisonShard(shard, sync_status);
         result = sync_status;
       } else if (forced) {
         shard.forces.fetch_add(1, std::memory_order_relaxed);
@@ -1417,6 +1658,20 @@ Status RvmInstance::FlushDirectLocked() {
   bool forced_any = false;
   for (const auto& shard_ptr : shards_) {
     LogShard& shard = *shard_ptr;
+    if (shard.health.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ShardHealth::kOk)) {
+      // A quarantined shard with nothing pending doesn't block the flush;
+      // pending work that can never drain surfaces the quarantine cause.
+      bool idle = shard.spool.empty();
+      if (idle) {
+        std::lock_guard<std::mutex> log_lock(shard.log_mu);
+        idle = shard.log->durable_lsn() >= shard.log->appended_lsn();
+      }
+      if (idle) {
+        continue;
+      }
+      return FailIfShardUnusable(shard);
+    }
     if (shard.spool.empty()) {
       std::lock_guard<std::mutex> log_lock(shard.log_mu);
       if (shard.log->durable_lsn() >= shard.log->appended_lsn()) {
@@ -1448,6 +1703,20 @@ Status RvmInstance::Flush() {
     ++stats_.log_flush_calls;
     for (const auto& shard_ptr : shards_) {
       LogShard& shard = *shard_ptr;
+      if (shard.health.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ShardHealth::kOk)) {
+        // Same policy as FlushDirectLocked: idle quarantined shards don't
+        // block the flush, undrainable pending work fails it.
+        bool idle = shard.spool.empty();
+        if (idle) {
+          std::lock_guard<std::mutex> log_lock(shard.log_mu);
+          idle = shard.log->durable_lsn() >= shard.log->appended_lsn();
+        }
+        if (idle) {
+          continue;
+        }
+        return FailIfShardUnusable(shard);
+      }
       if (shard.spool.empty()) {
         // Nothing to append, but commits already appended may still be in
         // the group stage; wait those out so Flush keeps its "all committed
@@ -1519,6 +1788,12 @@ StatusOr<RegionQuery> RvmInstance::Query(const void* address) {
 void RvmInstance::SetOptions(const RuntimeOptions& runtime) {
   std::lock_guard<std::mutex> lock(state_mu_);
   runtime_ = runtime;
+  // Propagate the io_retry_* knobs to the devices; each shard's log_mu
+  // serializes against in-flight appends reading the policy.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    shard->log->set_retry_policy(RetryPolicyFromRuntime());
+  }
 }
 
 RuntimeOptions RvmInstance::GetOptions() {
@@ -1649,6 +1924,13 @@ RvmGauges RvmInstance::IntrospectLocked() {
       sg.prepares = shard.prepares.load(std::memory_order_relaxed);
       sg.truncations = shard.truncations.load(std::memory_order_relaxed);
       sg.poisoned = shard.log->poisoned() ? 1 : 0;
+      sg.retries = shard.log->retries();
+      uint32_t health = shard.health.load(std::memory_order_acquire);
+      sg.health = health != static_cast<uint32_t>(ShardHealth::kOk)
+                      ? health
+                      : (shard.log->retrying()
+                             ? static_cast<uint32_t>(ShardHealth::kRetrying)
+                             : 0);
       gauges.shards.push_back(sg);
     }
   }

@@ -205,22 +205,19 @@ class RvmInstance {
   uint64_t spooled_bytes();
 
   // Fail-stop containment (DESIGN.md, "Failure model and error
-  // containment"). The instance is poisoned by the first non-transient
-  // failure of a log append, force, or status write on any shard:
-  // subsequent Begin/End/Flush/Truncate/Map/Unmap fail fast with the
-  // original status and issue no further I/O. Mapped regions stay readable
-  // and Abort/Query keep working — graceful degradation to read-only.
-  // kLogFull is transient and never poisons.
+  // containment" and §13). The instance is poisoned by the first
+  // non-transient failure of a log append, force, or status write on shard 0
+  // (the segment dictionary's allocation source of truth) or on the only
+  // shard of a single-log instance: subsequent Begin/End/Flush/Truncate/
+  // Map/Unmap fail fast with the original status and issue no further I/O.
+  // Mapped regions stay readable and Abort/Query keep working — graceful
+  // degradation to read-only. The same failure on shard k > 0 of a
+  // multi-shard instance is contained to that shard (see shard_health);
+  // the instance as a whole is NOT poisoned and healthy shards keep
+  // committing. kLogFull and kUnavailable are transient and never poison.
   bool poisoned() const {
-    if (poisoned_.load(std::memory_order_acquire)) {
-      return true;
-    }
-    for (const auto& shard : shards_) {
-      if (shard->log->poisoned()) {
-        return true;
-      }
-    }
-    return false;
+    return poisoned_.load(std::memory_order_acquire) ||
+           shards_.front()->log->poisoned();
   }
   // The original failure, or OK if not poisoned.
   Status poison_status() const;
@@ -228,6 +225,32 @@ class RvmInstance {
   uint32_t log_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+
+  // Shard fault domains (DESIGN.md §13). Each log shard is an independent
+  // fault domain: a permanent I/O failure on shard k > 0 quarantines that
+  // shard alone. Regions striped to a quarantined shard fail SetRange /
+  // commit fast with the original cause and stay readable; regions on the
+  // other shards commit normally; cross-shard 2PC touching a quarantined
+  // participant aborts cleanly before writing anything (presumed abort).
+  enum class ShardHealth : uint32_t {
+    kOk = 0,
+    kRetrying = 1,     // a transient-error retry loop is in flight right now
+    kQuarantined = 2,  // permanent failure contained to this shard
+    kRepairing = 3,    // RepairShard() is rebuilding it
+  };
+  ShardHealth shard_health(uint32_t shard) const;
+  // The failure that quarantined `shard`, or OK when it is healthy.
+  Status shard_status(uint32_t shard) const;
+  // Online repair of a quarantined shard (surfaced as `rvmutl repair`):
+  // re-runs single-shard recovery against the healed or replaced
+  // "<log_path>.shard<K>" file — forward tail scan, 2PC decision union with
+  // the live sibling logs, newest-record-wins apply to the segments — then
+  // reloads the shard's mapped regions from their now-current segments,
+  // re-applies its spooled no-flush commits to memory, and re-attaches the
+  // fresh device live. The instance stays open throughout; no transactions
+  // may be uncommitted on the shard's regions. kFailedPrecondition when the
+  // shard is not quarantined.
+  Status RepairShard(uint32_t shard);
 
  private:
   struct RegionState {
@@ -326,6 +349,15 @@ class RvmInstance {
     std::atomic<uint64_t> forces{0};
     std::atomic<uint64_t> prepares{0};
     std::atomic<uint64_t> truncations{0};
+    // Fault-domain state (DESIGN.md §13): a ShardHealth value. kRetrying is
+    // never stored here (it is derived from the device's retrying() flag);
+    // quarantine entry is first-wins under poison_mu_, repair transitions
+    // happen under state_mu_. The atomic lets commit gates and gauges read
+    // it lock-free. quarantine_cause is written once before the release
+    // store of kQuarantined (and rewritten only under poison_mu_ by a
+    // failed repair).
+    std::atomic<uint32_t> health{0};
+    Status quarantine_cause;
   };
 
   RvmInstance(const RvmOptions& options,
@@ -474,10 +506,34 @@ class RvmInstance {
   // Poison; write failures are swallowed — the instance is already dying and
   // the sidecar must never mask the original cause.
   void DumpPoisonSidecar(const Status& cause);
-  // Entry gate: returns the poison cause if this instance or its log device
-  // is poisoned (adopting the log device's cause on first observation),
-  // OK otherwise. Lock-free.
+  // Entry gate: returns the poison cause if the instance is poisoned,
+  // adopting a self-poisoned device's cause on first observation — shard 0's
+  // as instance death, any other shard's as a quarantine (which does NOT
+  // fail the call: healthy shards keep serving). Shards are scanned in
+  // ascending order, so when several fail concurrently the lowest failed
+  // shard's cause deterministically wins. Lock-free.
   Status FailIfPoisoned();
+
+  // --- shard fault domains (DESIGN.md §13) ---
+  // Contains a permanent failure to `shard`: shard 0 (home of the segment
+  // dictionary's source of truth) and the only shard of a single-log
+  // instance escalate to instance Poison; any other shard is quarantined —
+  // its device poisons, its regions fail fast, the siblings keep committing.
+  // First failure wins. Callable from any thread with any lock state.
+  void PoisonShard(LogShard& shard, const Status& cause);
+  // Best-effort "<shard path>.quarantine.json" sidecar in the telemetry
+  // schema (the shard-scoped analogue of DumpPoisonSidecar).
+  void DumpQuarantineSidecar(const LogShard& shard, const Status& cause);
+  // Lock-free per-shard counter rows embedded in both sidecars.
+  std::string ShardRowsJson() const;
+  // Commit-path gate: the quarantine cause when `shard` is quarantined or
+  // under repair, OK otherwise. Lock-free.
+  Status FailIfShardUnusable(const LogShard& shard);
+  // RepairShard body; requires state_mu_ (rvm_truncation.cc).
+  Status RepairShardLocked(uint32_t index);
+  // The device retry policy derived from runtime_ (io_retry_* knobs), with
+  // an on_retry hook that counts into stats_.io_retries.
+  LogDevice::RetryPolicy RetryPolicyFromRuntime();
 
   // --- mapping helpers ---
   StatusOr<RegionState*> FindRegionLocked(const void* address,

@@ -27,6 +27,7 @@
 // truncation either sees the whole batch durable or runs before the force
 // (and its own Sync covers it).
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <thread>
 
@@ -55,9 +56,9 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(
     StatusOr<OwnedRecord> record_or = shard.log->ReadRecordAt(offset);
     if (!record_or.ok()) {
       // An unreadable record inside the live (committed, durable) range is
-      // media corruption, never a torn tail: fail stop, do not advance the
-      // head past data that was never applied.
-      Poison(record_or.status());
+      // media corruption, never a torn tail: fail stop this shard's fault
+      // domain, do not advance the head past data that was never applied.
+      PoisonShard(shard, record_or.status());
       return record_or.status();
     }
     OwnedRecord record = std::move(*record_or);
@@ -111,7 +112,9 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(
       // A segment WriteAt failure above is transient (the head has not
       // moved, so log replay regenerates the segment), but a failed segment
       // fsync must not be retried on the same fd (fsyncgate): fail stop.
-      Poison(synced);
+      // Segments are striped to exactly this shard, so the quarantine is
+      // contained.
+      PoisonShard(shard, synced);
       return synced;
     }
   }
@@ -130,7 +133,7 @@ Status RvmInstance::CollectShardTidSetsBothLocked(
     }
     StatusOr<OwnedRecord> record_or = shard.log->ReadRecordAt(offset);
     if (!record_or.ok()) {
-      Poison(record_or.status());
+      PoisonShard(shard, record_or.status());
       return record_or.status();
     }
     const RecordHeader& header = record_or->parsed.header;
@@ -215,7 +218,7 @@ Status RvmInstance::RecoverLocked() {
       if (patched) {
         Status synced = live[i]->log->Sync();
         if (!synced.ok()) {
-          Poison(synced);
+          PoisonShard(*live[i], synced);
           return synced;
         }
       }
@@ -272,7 +275,7 @@ Status RvmInstance::RecoverLocked() {
     shard->log->MarkEmpty();
     Status status_write = shard->log->WriteStatus();
     if (!status_write.ok()) {
-      Poison(status_write);
+      PoisonShard(*shard, status_write);
       return status_write;
     }
   }
@@ -343,7 +346,7 @@ Status RvmInstance::ForceSiblingEvidenceBothLocked(LogShard& shard) {
     std::lock_guard<std::mutex> log_lock(other->log_mu);
     Status synced = other->log->Sync();
     if (!synced.ok()) {
-      Poison(synced);
+      PoisonShard(*other, synced);
       return synced;
     }
   }
@@ -363,6 +366,10 @@ Status RvmInstance::TruncateEpochLocked(LogShard& shard) {
 
 Status RvmInstance::TruncateAllEpochLocked() {
   for (const auto& shard : shards_) {
+    if (shard->health.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ShardHealth::kOk)) {
+      continue;  // quarantined: no maintenance I/O until repaired
+    }
     RVM_RETURN_IF_ERROR(TruncateEpochLocked(*shard));
   }
   return OkStatus();
@@ -374,7 +381,7 @@ Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
   const uint64_t sync_start_us = env_->NowMicros();
   Status synced = shard.log->Sync();
   if (!synced.ok()) {
-    Poison(synced);  // the device poisoned itself; adopt on the instance
+    PoisonShard(shard, synced);  // the device poisoned itself; contain it
     return synced;
   }
   const uint64_t sync_us = env_->NowMicros() - sync_start_us;
@@ -397,7 +404,7 @@ Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
   shard.holds_decisions = false;
   Status status_write = shard.log->WriteStatus();
   if (!status_write.ok()) {
-    Poison(status_write);
+    PoisonShard(shard, status_write);
     return status_write;
   }
   // All committed changes on this shard are in the segments: none of its
@@ -436,7 +443,9 @@ Status RvmInstance::MaybeTruncateLocked() {
     return OkStatus();
   }
   for (const auto& shard : shards_) {
-    if (!NeedsTruncationLocked(*shard)) {
+    if (!NeedsTruncationLocked(*shard) ||
+        shard->health.load(std::memory_order_acquire) !=
+            static_cast<uint32_t>(ShardHealth::kOk)) {
       continue;
     }
     RVM_RETURN_IF_ERROR(runtime_.use_incremental_truncation
@@ -534,8 +543,8 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
     if (!synced.ok()) {
       // Same policy as the epoch pass: a failed segment fsync is never
       // retried on the same fd, and the head has not moved, so fail stop
-      // without losing anything the log cannot regenerate.
-      Poison(synced);
+      // this shard without losing anything the log cannot regenerate.
+      PoisonShard(shard, synced);
       return synced;
     }
   }
@@ -550,13 +559,189 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
   }
   Status status_write = shard.log->WriteStatus();
   if (!status_write.ok()) {
-    Poison(status_write);
+    PoisonShard(shard, status_write);
     return status_write;
   }
   shard.truncations.fetch_add(1, std::memory_order_relaxed);
   ++stats_.truncations_completed;
   Trace(TraceEventType::kTruncationComplete, 1);
   return status_write;
+}
+
+// ---------------------------------------------------------------------------
+// Online shard repair (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+Status RvmInstance::RepairShardLocked(uint32_t index) {
+  // Re-runs the five-phase recovery procedure for ONE quarantined shard
+  // against a healed (fault cleared) or replaced "<log_path>.shard<K>" file
+  // while the instance stays live: fresh device open, forward tail scan,
+  // 2PC decision union with the live sibling logs, newest-record-wins apply
+  // to this shard's segments, then reload the shard's mapped regions from
+  // their now-current segments, re-apply its spooled no-flush commits to
+  // memory, and re-attach. Replacing the file with a freshly created empty
+  // log is supported but lossy: records since the shard's last truncation
+  // are gone and its regions come back at segment (last-truncated) state.
+  if (index >= shards_.size()) {
+    return InvalidArgument("shard index out of range");
+  }
+  LogShard& shard = *shards_[index];
+  if (shard.health.load(std::memory_order_acquire) !=
+      static_cast<uint32_t>(ShardHealth::kQuarantined)) {
+    return FailedPrecondition("shard is not quarantined");
+  }
+  // §4.1 discipline, like Unmap: the reload below rewrites the regions'
+  // images, which must not race an open transaction's old-value captures.
+  for (const auto& [base, region] : regions_) {
+    if (region->shard == index && region->active_transactions > 0) {
+      return FailedPrecondition(
+          "region on this shard has uncommitted transactions");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    shard.health.store(static_cast<uint32_t>(ShardHealth::kRepairing),
+                       std::memory_order_release);
+  }
+  ++stats_.shard_repairs_started;
+  Trace(TraceEventType::kShardRepair, index, 0);
+
+  Status result = [&]() -> Status {
+    // Phase 0: a fresh device on the healed file — never the poisoned fd
+    // (fsyncgate: its page-cache state is unknown). The old device is
+    // dropped on the swap; everything below runs on clean state.
+    RVM_ASSIGN_OR_RETURN(std::unique_ptr<LogDevice> healed,
+                         LogDevice::Open(env_, shard.path));
+    healed->set_retry_policy(RetryPolicyFromRuntime());
+    // The shard's own dictionary mirror may lag (quarantine skipped the
+    // lockstep status writes) or be empty (replaced file); shard 0's is the
+    // allocation source of truth and is only mutated under state_mu_, which
+    // we hold.
+    healed->status().segments = shards_[0]->log->status().segments;
+    healed->status().next_segment_id =
+        shards_[0]->log->status().next_segment_id;
+    std::lock_guard<std::mutex> log_lock(shard.log_mu);
+    shard.log = std::move(healed);
+
+    // Phase 1: find the true end of the healed log by forward validity
+    // scanning (records appended after the last durable status write, and
+    // everything a failed sync left behind, are rediscovered here; a torn
+    // trailing record fails its checksum and bounds the scan).
+    RVM_ASSIGN_OR_RETURN(uint64_t found, shard.log->ExtendTailForward());
+    Trace(TraceEventType::kRecoveryScan, found, shard.log->used());
+
+    if (shard.log->used() > 0) {
+      // Phase 2: decided = (this shard's decisions ∪ every live sibling's
+      // decisions) minus the transactions this process already presumed
+      // aborted. The subtraction is what keeps the repaired shard consistent
+      // with its live siblings: a cross-shard abort may have left a durable
+      // decision-less prepare here — or even a durable decision whose
+      // in-process outcome was an abort (the decision force failed after the
+      // record hit the file) — and the siblings have already rolled that
+      // transaction back.
+      std::set<TransactionId> prepared;
+      std::set<TransactionId> decided;
+      RVM_RETURN_IF_ERROR(
+          CollectShardTidSetsBothLocked(shard, &prepared, &decided));
+      for (const auto& other : shards_) {
+        if (other->index == index) {
+          continue;
+        }
+        std::set<TransactionId> sibling_prepared;
+        std::lock_guard<std::mutex> sibling_lock(other->log_mu);
+        RVM_RETURN_IF_ERROR(CollectShardTidSetsBothLocked(
+            *other, &sibling_prepared, &decided));
+      }
+      for (TransactionId tid : aborted_gtids_) {
+        decided.erase(tid);
+      }
+
+      // Phase 3+4: apply this shard's log newest-record-wins to its (
+      // disjoint) segment set, prepares filtered through the decided set.
+      RVM_RETURN_IF_ERROR(RecoverShardBothLocked(shard, &decided,
+                                                 segment_files_));
+    }
+
+    // Phase 5: declare the log empty — but if it carried cross-shard
+    // decision evidence, force the siblings first, exactly like a live
+    // truncation (their markers may still sit in volatile tails).
+    RVM_RETURN_IF_ERROR(ForceSiblingEvidenceBothLocked(shard));
+    shard.log->MarkEmpty();
+    shard.holds_decisions = false;
+    RVM_RETURN_IF_ERROR(shard.log->WriteStatus());
+
+    // Re-attach: the log is empty, so no page is dirty with respect to it.
+    shard.page_queue.clear();
+    for (auto& [base, region] : regions_) {
+      if (region->shard == index) {
+        region->pages.ClearDirtyAndQueued();
+      }
+    }
+    // Reload each of the shard's regions from its now-current segment (the
+    // committed durable image — this also discards any residue a failed
+    // commit left in VM), then lay the shard's spooled no-flush commits
+    // back over it in commit order: those are committed-but-unlogged and
+    // exist nowhere but the spool and VM.
+    for (auto& [base, region] : regions_) {
+      if (region->shard != index) {
+        continue;
+      }
+      if (!segment_files_.contains(region->segment_id)) {
+        RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                             OpenSegmentBothLocked(shard, region->segment_id));
+        segment_files_[region->segment_id] = std::move(file);
+      }
+      File& seg_file = *segment_files_[region->segment_id];
+      RVM_ASSIGN_OR_RETURN(
+          size_t read,
+          seg_file.ReadAt(region->segment_offset,
+                          std::span<uint8_t>(region->base, region->length)));
+      if (read < region->length) {
+        std::memset(region->base + read, 0, region->length - read);
+      }
+      cpu_.Copy(region->length);
+    }
+    for (const SpoolEntry& entry : shard.spool) {
+      for (const SpoolEntry::SegRange& range : entry.ranges) {
+        for (auto& [base, region] : regions_) {
+          if (region->segment_id == range.segment &&
+              range.offset >= region->segment_offset &&
+              range.offset + range.length <=
+                  region->segment_offset + region->length) {
+            std::memcpy(
+                region->base + (range.offset - region->segment_offset),
+                entry.data.data() + range.data_offset, range.length);
+            cpu_.Copy(range.length);
+            break;
+          }
+        }
+      }
+    }
+    return OkStatus();
+  }();
+
+  if (!result.ok()) {
+    // Back to quarantine with the repair failure as the new cause; the
+    // shard is still contained and a later repair attempt can run against
+    // a better file.
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    shard.quarantine_cause = result;
+    shard.health.store(static_cast<uint32_t>(ShardHealth::kQuarantined),
+                       std::memory_order_release);
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    shard.quarantine_cause = OkStatus();
+    shard.health.store(static_cast<uint32_t>(ShardHealth::kOk),
+                       std::memory_order_release);
+  }
+  ++stats_.shard_repairs_completed;
+  Trace(TraceEventType::kShardRepair, index, 1);
+  RVM_LOG_INFO("rvm shard %u repaired and re-attached", index);
+  // The quarantine sidecar is stale evidence now; best-effort cleanup.
+  (void)env_->Delete(shard.path + ".quarantine.json");
+  return OkStatus();
 }
 
 }  // namespace rvm

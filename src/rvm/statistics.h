@@ -161,6 +161,17 @@ struct RvmStatistics {
   StatCounter log_full_retries;
   StatCounter poisoned;
 
+  // Shard fault domains (DESIGN.md §13). io_retries counts every transient
+  // (kUnavailable/short-read) I/O attempt repeated under the backoff budget;
+  // shard_quarantines counts shards entering quarantine (a permanent failure
+  // contained to one shard of a multi-shard instance); shard_repairs_started
+  // / _completed bracket RepairShard runs, so started > completed means a
+  // repair is in flight (or died mid-way).
+  StatCounter io_retries;
+  StatCounter shard_quarantines;
+  StatCounter shard_repairs_started;
+  StatCounter shard_repairs_completed;
+
   // Latency distributions, in microseconds of the owning Env's clock
   // (DESIGN.md §10). commit_latency_us is end-to-end flush-commit latency
   // (EndTransaction entry to durability ack); the commit_* sub-phase
@@ -264,6 +275,10 @@ struct RvmStatistics {
     fn("swallowed_truncation_failures", swallowed_truncation_failures.load());
     fn("log_full_retries", log_full_retries.load());
     fn("poisoned", poisoned.load());
+    fn("io_retries", io_retries.load());
+    fn("shard_quarantines", shard_quarantines.load());
+    fn("shard_repairs_started", shard_repairs_started.load());
+    fn("shard_repairs_completed", shard_repairs_completed.load());
   }
 
   // Visits every histogram as (name, histogram). The names double as the
@@ -460,6 +475,10 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("swallowed truncation fails:", stats.swallowed_truncation_failures);
   row("log-full retries:", stats.log_full_retries);
   row("poisoned:", stats.poisoned);
+  row("io retries:", stats.io_retries);
+  row("shard quarantines:", stats.shard_quarantines);
+  row("shard repairs started:", stats.shard_repairs_started);
+  row("shard repairs completed:", stats.shard_repairs_completed);
   out += "phase histograms (count mean p50 p99 max, us):\n";
   stats.ForEachHistogram([&](const char* name,
                              const LatencyHistogram& histogram) {

@@ -31,6 +31,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "io-error";
     case TraceEventType::kPoison:
       return "poison";
+    case TraceEventType::kShardQuarantine:
+      return "shard-quarantine";
+    case TraceEventType::kShardRepair:
+      return "shard-repair";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@ enum class TraceEventType : uint8_t {
   kRecoveryApply,       // arg0 = records applied, arg1 = bytes applied
   kIoError,             // arg0 = ErrorCode of the observed failure
   kPoison,              // arg0 = ErrorCode of the poisoning failure
+  kShardQuarantine,     // arg0 = shard index, arg1 = ErrorCode of the cause
+  kShardRepair,         // arg0 = shard index, arg1 = 0 started, 1 completed
 };
 
 // Stable lowercase-dash name, used in the JSONL rendering.

@@ -30,6 +30,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "unimplemented";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -31,7 +31,18 @@ enum class ErrorCode : int {
   kAborted,            // transaction was aborted
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient I/O failure (EINTR/EAGAIN-class); safe to
+                       // retry with backoff, unlike kIoError which is final
 };
+
+// True for error codes a bounded retry may clear: today only kUnavailable
+// (the EINTR/EAGAIN/short-read class). kIoError and kCorruption are
+// permanent by definition — retrying a failed fsync in particular is never
+// sound on the same fd (fsyncgate), so the retry layer reopens the file
+// before any sync retry and everything else fails stop.
+inline bool IsTransientError(ErrorCode code) {
+  return code == ErrorCode::kUnavailable;
+}
 
 // Human-readable name of an error code ("kIoError" -> "io error").
 std::string_view ErrorCodeName(ErrorCode code);
@@ -95,6 +106,9 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
 }
 
 // StatusOr<T>: either a value or a non-OK Status.

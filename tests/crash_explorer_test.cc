@@ -154,6 +154,61 @@ TEST(CrashExplorerTest, ShardedDepthTwoSweepPassesOracle) {
       << "sweep never crashed inside a sharded truncation";
 }
 
+TEST(CrashExplorerTest, QuarantineAndRepairWindowSweepPassesOracle) {
+  // The fault-domain acceptance sweep (DESIGN.md §13): the workload arms a
+  // sticky write fault against shard 1 just before transaction 5, drives
+  // the shard into quarantine, heals the device, repairs the shard online,
+  // and retries the failed transaction — so depth-2 crash schedules land
+  // inside the quarantine window (part of the durable state written in
+  // degraded mode) and inside the online repair itself (the shard's log
+  // mid-rebuild). Recovery from every such point must still satisfy
+  // atomicity and permanence.
+  CheckerWorkload workload;
+  workload.log_shards = 4;
+  workload.regions = 4;
+  workload.fault_shard = 1;
+  workload.fault_at_txn = 5;
+  CrashExplorer explorer(workload);
+  ExploreLimits limits;
+  limits.max_depth = 2;
+  limits.forward_stride = 3;
+  limits.recovery_stride = 3;
+  auto stats = explorer.ExploreAll(limits, [](const ScheduleOutcome& outcome) {
+    EXPECT_TRUE(outcome.pass)
+        << outcome.schedule.ToString() << ": " << outcome.detail;
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->failed, 0u);
+  EXPECT_GE(stats->schedules_run, 1000u);
+  EXPECT_GT(stats->quarantine_window_schedules, 0u)
+      << "sweep never crashed after the shard quarantine";
+  EXPECT_GT(stats->repair_window_schedules, 0u)
+      << "sweep never crashed inside the online repair";
+}
+
+TEST(CrashExplorerTest, FaultedWorkloadReplayIsDeterministic) {
+  // Repro-string contract for the fault-domain sweep: the same schedule on
+  // the same faulted workload re-runs bit-identically, including the
+  // quarantine/repair window classification.
+  CheckerWorkload workload;
+  workload.log_shards = 4;
+  workload.regions = 4;
+  workload.fault_shard = 1;
+  workload.fault_at_txn = 5;
+  CrashExplorer explorer(workload);
+  for (const char* text : {"v1:fwd=40", "v1:fwd=120:rec=5", "v1:fwd=end"}) {
+    auto schedule = CrashSchedule::Parse(text);
+    ASSERT_TRUE(schedule.ok()) << text;
+    ScheduleOutcome first = explorer.RunSchedule(*schedule);
+    ScheduleOutcome second = explorer.RunSchedule(*schedule);
+    EXPECT_EQ(first.pass, second.pass) << text;
+    EXPECT_EQ(first.recovered_prefix, second.recovered_prefix) << text;
+    EXPECT_EQ(first.quarantine_window, second.quarantine_window) << text;
+    EXPECT_EQ(first.repair_window, second.repair_window) << text;
+    EXPECT_EQ(first.detail, second.detail) << text;
+  }
+}
+
 TEST(CrashExplorerTest, ShardedPrepareToDecisionCrashRecoversAtomically) {
   // Pin one representative schedule from the 2PC window rather than relying
   // only on the strided sweep: crash the forward run mid-protocol, crash

@@ -22,6 +22,7 @@
 
 #include "src/os/crash_sim.h"
 #include "src/os/fault_env.h"
+#include "src/os/mem_env.h"
 #include "src/rvm/rvm.h"
 #include "src/util/random.h"
 
@@ -320,6 +321,376 @@ TEST(FaultSweepTest, PoisonedInstanceReportsCauseAndCounters) {
   EXPECT_NE(begin.ToString().find("disk on fire"), std::string::npos);
   EXPECT_GT((*rvm)->statistics().poisoned.load(), 0u);
   EXPECT_GT((*rvm)->statistics().io_errors.load(), 0u);
+}
+
+// --- Shard fault domains (DESIGN.md §13) ----------------------------------
+//
+// On a multi-shard instance, a permanent I/O failure on shard k > 0 must
+// quarantine only that shard: regions striped to healthy shards keep
+// committing, regions on the quarantined shard fail fast with the original
+// cause but stay readable, and RepairShard() restores full service
+// in-process once the device heals. Shard 0 (the segment-dictionary source
+// of truth) and single-shard instances still fail the whole instance.
+// Transient faults (kUnavailable) never surface at all: the device-level
+// retry layer absorbs them and counts io_retries.
+
+constexpr uint32_t kFdShards = 4;
+constexpr uint64_t kFdLogSize = kLogDataStart + 64 * 1024;
+
+std::unique_ptr<RvmInstance> OpenSharded(Env& env) {
+  RvmOptions options;
+  options.env = &env;
+  options.log_path = "/log";
+  options.log_shards = kFdShards;
+  auto rvm = RvmInstance::Initialize(options);
+  EXPECT_TRUE(rvm.ok()) << rvm.status().ToString();
+  return rvm.ok() ? std::move(*rvm) : nullptr;
+}
+
+std::vector<uint8_t*> MapShardRegions(RvmInstance& rvm) {
+  std::vector<uint8_t*> bases;
+  for (uint32_t i = 0; i < kFdShards; ++i) {
+    RegionDescriptor region;
+    region.segment_path = "/seg" + std::to_string(i);
+    region.length = kPage;
+    Status mapped = rvm.Map(region);
+    EXPECT_TRUE(mapped.ok()) << mapped.ToString();
+    bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+  return bases;
+}
+
+Status CommitByteTo(RvmInstance& rvm, uint8_t* base, uint8_t value) {
+  Transaction txn(rvm, RestoreMode::kRestore);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+  Status set = txn.SetRange(base, 1);
+  if (!set.ok()) {
+    return set;  // RAII abort
+  }
+  *base = value;
+  return txn.Commit(CommitMode::kFlush);
+}
+
+// Region -> shard striping is segment_id % shards with ascending ids from
+// an implementation-defined base, so the mapping is a rotation; discover it
+// through the shard gauges rather than hard-coding the base.
+size_t RegionOnShard(RvmInstance& rvm, const std::vector<uint8_t*>& bases,
+                     uint64_t shard) {
+  for (size_t i = 0; i < bases.size(); ++i) {
+    const uint64_t before = rvm.Introspect().shards[shard].records_appended;
+    EXPECT_TRUE(CommitByteTo(rvm, bases[i], 0xA5).ok());
+    if (rvm.Introspect().shards[shard].records_appended > before) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "no region stripes onto shard " << shard;
+  return 0;
+}
+
+TEST(ShardFaultDomainTest, TransientFaultSweepRetriesInvisibly) {
+  // Nth-op sweep: one-shot kUnavailable on {WriteAt, Sync} x {shard 0,
+  // shard 2}. Every sweep point must be absorbed by the retry layer —
+  // commits keep succeeding, no shard quarantines, io_retries counts the
+  // absorbed attempts.
+  for (FaultOp op : {FaultOp::kWriteAt, FaultOp::kSync}) {
+    for (uint32_t target : {0u, 2u}) {
+      int fired = 0;
+      for (uint64_t n : {0ull, 1ull, 2ull, 5ull}) {
+        MemEnv mem;
+        ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                           /*overwrite=*/false, kFdShards)
+                        .ok());
+        FaultInjectionEnv env(&mem);
+        auto rvm = OpenSharded(env);
+        ASSERT_NE(rvm, nullptr);
+        std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+        FaultSpec spec;
+        spec.op = op;
+        spec.after = n;
+        spec.code = ErrorCode::kUnavailable;
+        spec.message = "transient blip";
+        spec.path_substring = ShardLogPath("/log", target);
+        env.InjectFault(spec);
+        const std::string context = std::string(FaultOpName(op)) + " shard " +
+                                    std::to_string(target) + " after " +
+                                    std::to_string(n);
+        for (int round = 0; round < 3; ++round) {
+          for (uint8_t* base : bases) {
+            Status committed =
+                CommitByteTo(*rvm, base, static_cast<uint8_t>(round));
+            EXPECT_TRUE(committed.ok())
+                << context << ": " << committed.ToString();
+          }
+        }
+        if (env.faults_fired() > 0) {
+          ++fired;
+          EXPECT_GT(rvm->statistics().io_retries.load(), 0u) << context;
+        }
+        EXPECT_FALSE(rvm->poisoned()) << context;
+        for (uint32_t s = 0; s < kFdShards; ++s) {
+          EXPECT_EQ(rvm->shard_health(s), RvmInstance::ShardHealth::kOk)
+              << context << ": shard " << s;
+        }
+      }
+      EXPECT_GT(fired, 0) << FaultOpName(op) << " shard " << target
+                          << ": no sweep point ever fired";
+    }
+  }
+}
+
+TEST(ShardFaultDomainTest, StickyWriteFaultOnSecondaryShardDegradesNotDies) {
+  MemEnv mem;
+  ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                     /*overwrite=*/false, kFdShards)
+                  .ok());
+  FaultInjectionEnv env(&mem);
+  auto rvm = OpenSharded(env);
+  ASSERT_NE(rvm, nullptr);
+  std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+  const uint32_t target = 2;
+  const size_t victim = RegionOnShard(*rvm, bases, target);
+  const size_t healthy = (victim + 1) % bases.size();
+
+  FaultSpec spec;
+  spec.op = FaultOp::kWriteAt;
+  spec.sticky = true;
+  spec.message = "platter shredded";
+  spec.path_substring = ShardLogPath("/log", target);
+  env.InjectFault(spec);
+
+  Status failed = CommitByteTo(*rvm, bases[victim], 0x11);
+  ASSERT_FALSE(failed.ok()) << "sticky write fault never surfaced";
+  EXPECT_NE(failed.ToString().find("platter shredded"), std::string::npos);
+  // The restore-mode commit rolled the region back to its pre-transaction
+  // value (no decision is durable, so recovery would abort it too).
+  EXPECT_EQ(bases[victim][0], 0xA5);
+
+  // Contained: the instance is alive and the other three shards commit.
+  EXPECT_FALSE(rvm->poisoned());
+  EXPECT_EQ(rvm->shard_health(target), RvmInstance::ShardHealth::kQuarantined);
+  EXPECT_GT(rvm->statistics().shard_quarantines.load(), 0u);
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < bases.size(); ++i) {
+      if (i == victim) {
+        continue;
+      }
+      Status committed =
+          CommitByteTo(*rvm, bases[i], static_cast<uint8_t>(0x40 + round));
+      EXPECT_TRUE(committed.ok()) << "healthy region " << i << " round "
+                                  << round << ": " << committed.ToString();
+    }
+  }
+
+  // The quarantined shard's regions fail fast with the original cause and
+  // stay readable.
+  Status again = CommitByteTo(*rvm, bases[victim], 0x22);
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.ToString().find("platter shredded"), std::string::npos);
+  EXPECT_NE(rvm->shard_status(target).ToString().find("platter shredded"),
+            std::string::npos);
+  volatile uint8_t sink = bases[victim][0];  // readable in degraded mode
+  (void)sink;
+
+  // A cross-shard transaction that touches the quarantined shard aborts
+  // cleanly: the healthy leg's old value is restored.
+  const uint8_t healthy_before = bases[healthy][0];
+  {
+    Transaction txn(*rvm, RestoreMode::kRestore);
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn.SetRange(bases[healthy], 1).ok());
+    bases[healthy][0] = 0x77;
+    EXPECT_FALSE(txn.SetRange(bases[victim], 1).ok());
+  }  // RAII abort
+  EXPECT_EQ(bases[healthy][0], healthy_before);
+
+  // The device heals; online repair restores full service in-process.
+  env.ClearFaults();
+  Status repaired = rvm->RepairShard(target);
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_EQ(rvm->shard_health(target), RvmInstance::ShardHealth::kOk);
+  EXPECT_TRUE(rvm->shard_status(target).ok());
+  EXPECT_GT(rvm->statistics().shard_repairs_completed.load(), 0u);
+  Status committed = CommitByteTo(*rvm, bases[victim], 0x33);
+  ASSERT_TRUE(committed.ok()) << committed.ToString();
+
+  // Everything — including commits made in degraded mode and after the
+  // repair — survives a restart.
+  rvm.reset();
+  rvm = OpenSharded(env);
+  ASSERT_NE(rvm, nullptr);
+  bases = MapShardRegions(*rvm);
+  EXPECT_EQ(bases[victim][0], 0x33);
+  EXPECT_EQ(bases[healthy][0], 0x42);  // last healthy-round commit
+}
+
+TEST(ShardFaultDomainTest, StickySyncFaultQuarantinesAndWritesSidecar) {
+  // Sync-class permanent failure: the shard quarantines after the
+  // reopen-and-replay path rejects the permanent error, and the quarantine
+  // sidecar lands next to the shard's log file (the write fault above
+  // would have swallowed it, a sync fault does not).
+  MemEnv mem;
+  ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                     /*overwrite=*/false, kFdShards)
+                  .ok());
+  FaultInjectionEnv env(&mem);
+  auto rvm = OpenSharded(env);
+  ASSERT_NE(rvm, nullptr);
+  std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+  const uint32_t target = 1;
+  const size_t victim = RegionOnShard(*rvm, bases, target);
+
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.sticky = true;
+  spec.message = "sync bricked";
+  spec.path_substring = ShardLogPath("/log", target);
+  env.InjectFault(spec);
+
+  Status failed = CommitByteTo(*rvm, bases[victim], 0x11);
+  ASSERT_FALSE(failed.ok()) << "sticky sync fault never surfaced";
+  EXPECT_EQ(rvm->shard_health(target), RvmInstance::ShardHealth::kQuarantined);
+  EXPECT_FALSE(rvm->poisoned());
+  const std::string sidecar =
+      ShardLogPath("/log", target) + ".quarantine.json";
+  EXPECT_TRUE(env.Exists(sidecar)) << sidecar << " was not written";
+
+  // Repair clears the sidecar along with the quarantine.
+  env.ClearFaults();
+  Status repaired = rvm->RepairShard(target);
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_FALSE(env.Exists(sidecar)) << sidecar << " not cleaned up by repair";
+  EXPECT_TRUE(CommitByteTo(*rvm, bases[victim], 0x55).ok());
+}
+
+TEST(ShardFaultDomainTest, StickyFaultOnShardZeroPoisonsWholeInstance) {
+  // Shard 0 holds the segment-dictionary source of truth: its loss cannot
+  // be contained, so the failure escalates to instance poison and every
+  // entry point fails fast with the original cause.
+  MemEnv mem;
+  ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                     /*overwrite=*/false, kFdShards)
+                  .ok());
+  FaultInjectionEnv env(&mem);
+  auto rvm = OpenSharded(env);
+  ASSERT_NE(rvm, nullptr);
+  std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+  const size_t victim = RegionOnShard(*rvm, bases, 0);
+
+  FaultSpec spec;
+  spec.op = FaultOp::kWriteAt;
+  spec.sticky = true;
+  spec.message = "dictionary shard dead";
+  spec.path_substring = ShardLogPath("/log", 0);
+  env.InjectFault(spec);
+
+  Status failed = CommitByteTo(*rvm, bases[victim], 0x11);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(rvm->poisoned());
+  EXPECT_NE(rvm->poison_status().ToString().find("dictionary shard dead"),
+            std::string::npos);
+  // Instance-wide: even regions on healthy shards fail fast now.
+  for (size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_FALSE(CommitByteTo(*rvm, bases[i], 0x22).ok()) << "region " << i;
+  }
+}
+
+TEST(ShardFaultDomainTest, TwoSecondaryShardsQuarantineIndependently) {
+  // Two shards fail concurrently: each quarantines with its own sticky
+  // cause, the instance stays up on the remaining shards, and repairing
+  // both restores full service.
+  MemEnv mem;
+  ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                     /*overwrite=*/false, kFdShards)
+                  .ok());
+  FaultInjectionEnv env(&mem);
+  auto rvm = OpenSharded(env);
+  ASSERT_NE(rvm, nullptr);
+  std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+  const size_t victim1 = RegionOnShard(*rvm, bases, 1);
+  const size_t victim3 = RegionOnShard(*rvm, bases, 3);
+
+  FaultSpec one;
+  one.op = FaultOp::kWriteAt;
+  one.sticky = true;
+  one.message = "shard-one-dead";
+  one.path_substring = ShardLogPath("/log", 1);
+  env.InjectFault(one);
+  FaultSpec three = one;
+  three.message = "shard-three-dead";
+  three.path_substring = ShardLogPath("/log", 3);
+  env.InjectFault(three);
+
+  EXPECT_FALSE(CommitByteTo(*rvm, bases[victim1], 0x11).ok());
+  EXPECT_FALSE(CommitByteTo(*rvm, bases[victim3], 0x11).ok());
+  EXPECT_FALSE(rvm->poisoned());
+  EXPECT_EQ(rvm->shard_health(1), RvmInstance::ShardHealth::kQuarantined);
+  EXPECT_EQ(rvm->shard_health(3), RvmInstance::ShardHealth::kQuarantined);
+  // Deterministic per-shard causes: each shard reports its own failure.
+  EXPECT_NE(rvm->shard_status(1).ToString().find("shard-one-dead"),
+            std::string::npos);
+  EXPECT_NE(rvm->shard_status(3).ToString().find("shard-three-dead"),
+            std::string::npos);
+  EXPECT_EQ(rvm->statistics().shard_quarantines.load(), 2u);
+  // The two healthy shards keep committing.
+  for (size_t i = 0; i < bases.size(); ++i) {
+    if (i == victim1 || i == victim3) {
+      continue;
+    }
+    EXPECT_TRUE(CommitByteTo(*rvm, bases[i], 0x22).ok()) << "region " << i;
+  }
+
+  env.ClearFaults();
+  ASSERT_TRUE(rvm->RepairShard(1).ok());
+  ASSERT_TRUE(rvm->RepairShard(3).ok());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_TRUE(CommitByteTo(*rvm, bases[i], 0x33).ok()) << "region " << i;
+  }
+  EXPECT_EQ(rvm->statistics().shard_repairs_completed.load(), 2u);
+}
+
+TEST(ShardFaultDomainTest, ShardZeroFailureWinsOverSecondaryQuarantine) {
+  // When shard 0 and a secondary shard fail together, the instance-level
+  // outcome is deterministic in either strike order: shard 0's cause
+  // poisons the instance (lowest failed shard wins; a secondary failure
+  // only ever quarantines).
+  for (bool zero_first : {true, false}) {
+    MemEnv mem;
+    ASSERT_TRUE(RvmInstance::CreateLog(&mem, "/log", kFdLogSize,
+                                       /*overwrite=*/false, kFdShards)
+                    .ok());
+    FaultInjectionEnv env(&mem);
+    auto rvm = OpenSharded(env);
+    ASSERT_NE(rvm, nullptr);
+    std::vector<uint8_t*> bases = MapShardRegions(*rvm);
+    const size_t victim0 = RegionOnShard(*rvm, bases, 0);
+    const size_t victim2 = RegionOnShard(*rvm, bases, 2);
+
+    FaultSpec zero;
+    zero.op = FaultOp::kWriteAt;
+    zero.sticky = true;
+    zero.message = "zero-dead";
+    zero.path_substring = ShardLogPath("/log", 0);
+    env.InjectFault(zero);
+    FaultSpec two = zero;
+    two.message = "two-dead";
+    two.path_substring = ShardLogPath("/log", 2);
+    env.InjectFault(two);
+
+    if (zero_first) {
+      EXPECT_FALSE(CommitByteTo(*rvm, bases[victim0], 0x11).ok());
+      EXPECT_FALSE(CommitByteTo(*rvm, bases[victim2], 0x11).ok());
+    } else {
+      EXPECT_FALSE(CommitByteTo(*rvm, bases[victim2], 0x11).ok());
+      EXPECT_FALSE(CommitByteTo(*rvm, bases[victim0], 0x11).ok());
+    }
+    EXPECT_TRUE(rvm->poisoned()) << "zero_first=" << zero_first;
+    EXPECT_NE(rvm->poison_status().ToString().find("zero-dead"),
+              std::string::npos)
+        << "zero_first=" << zero_first << ": instance cause must be shard "
+        << "0's failure, got " << rvm->poison_status().ToString();
+  }
 }
 
 }  // namespace

@@ -225,6 +225,73 @@ TEST_F(RvmutlTest, TimelineMissingFileFails) {
       << result.output;
 }
 
+TEST_F(RvmutlTest, HealthReportsHealthyLog) {
+  CommandResult result = RunTool(log_path_ + " health");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ok"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("healthy"), std::string::npos) << result.output;
+}
+
+TEST_F(RvmutlTest, HealthFlagsQuarantineSidecarAndRepairClearsIt) {
+  // A quarantine sidecar left by a prior in-process quarantine marks the
+  // shard quarantined with exit 1 (device readable — repair will fix it);
+  // `repair` re-runs recovery and removes the stale sidecar.
+  const std::string sidecar = log_path_ + ".quarantine.json";
+  std::FILE* f = std::fopen(sidecar.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"reason\":\"injected for test\","
+      "\"shards\":[{\"shard\":0,\"retries\":7}]}",
+      f);
+  std::fclose(f);
+
+  CommandResult health = RunTool(log_path_ + " health");
+  EXPECT_EQ(health.exit_code, 1) << health.output;
+  EXPECT_NE(health.output.find("quarantined"), std::string::npos)
+      << health.output;
+  EXPECT_NE(health.output.find("injected for test"), std::string::npos)
+      << health.output;
+  EXPECT_NE(health.output.find("7 retries"), std::string::npos)
+      << health.output;
+
+  CommandResult repair = RunTool(log_path_ + " repair");
+  EXPECT_EQ(repair.exit_code, 0) << repair.output;
+  EXPECT_NE(repair.output.find("healthy"), std::string::npos) << repair.output;
+  EXPECT_FALSE(std::filesystem::exists(sidecar)) << repair.output;
+
+  CommandResult again = RunTool(log_path_ + " health");
+  EXPECT_EQ(again.exit_code, 0) << again.output;
+}
+
+TEST_F(RvmutlTest, HealthExitTwoWhenShardUnreadable) {
+  // Multi-shard log with one shard file removed: the worst shard drives the
+  // exit code to 2 (device unreadable; restore/replace the file, then run
+  // repair).
+  const std::string log = (dir_ / "shardedlog").string();
+  ASSERT_TRUE(
+      RvmInstance::CreateLog(GetRealEnv(), log, 1 << 20, false, 4).ok());
+  CommandResult healthy = RunTool(log + " health");
+  EXPECT_EQ(healthy.exit_code, 0) << healthy.output;
+  std::filesystem::remove(ShardLogPath(log, 2));
+  CommandResult result = RunTool(log + " health");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("quarantined"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(RvmutlTest, HealthJsonRoundTripsThroughCheckJson) {
+  const std::string json_path = (dir_ / "health.json").string();
+  CommandResult result = RunTool(log_path_ + " health --json=" + json_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  CommandResult check = RunTool("check-json " + json_path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+}
+
+TEST_F(RvmutlTest, ExploreFaultShardNeedsMultipleShards) {
+  CommandResult result = RunTool("explore --fault-shard=1 --max-schedules=1");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
 TEST_F(RvmutlTest, MissingLogFails) {
   CommandResult result = RunTool((dir_ / "nonexistent").string() + " status");
   EXPECT_NE(result.exit_code, 0);

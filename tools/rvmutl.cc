@@ -13,6 +13,12 @@
 //   rvmutl LOG verify                      structural check of the live log
 //                                          (+ salvage report when corrupt;
 //                                          exit 3 if committed data is lost)
+//   rvmutl LOG health                      offline per-shard fault-domain
+//                                          probe (DESIGN.md §13); exit code
+//                                          tracks the worst shard
+//   rvmutl LOG repair                      offline shard repair: recovery
+//                                          over healed shard files + sidecar
+//                                          cleanup
 //   rvmutl explore [options]               crash-schedule exploration of the
 //                                          reference workload (src/check/);
 //                                          --replay=STRING re-runs one
@@ -608,15 +614,272 @@ int CmdTop(int argc, char** argv) {
   return 0;
 }
 
+// Reads a whole file into a string; empty optional-style return via the
+// bool. Small telemetry artifacts only (sidecars, dumps).
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return false;
+  }
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    out->append(buffer, read);
+  }
+  std::fclose(in);
+  return true;
+}
+
+// Pulls the recorded failure reason and retry count for `shard` out of a
+// quarantine sidecar (`<shard path>.quarantine.json`, written by the live
+// instance at the moment it quarantined the shard — DESIGN.md §13).
+// Best-effort: a missing or malformed sidecar just leaves the outputs alone.
+void ReadQuarantineSidecar(const std::string& sidecar_path, uint32_t shard,
+                           std::string* reason, uint64_t* retries) {
+  std::string text;
+  if (!ReadFileToString(sidecar_path, &text)) {
+    return;
+  }
+  auto document = ParseJson(text);
+  if (!document.ok()) {
+    return;
+  }
+  const JsonValue* recorded = document->Find("reason");
+  if (recorded != nullptr && recorded->IsString()) {
+    *reason = recorded->string;
+  }
+  const JsonValue* shards = document->Find("shards");
+  if (shards == nullptr || !shards->IsArray()) {
+    return;
+  }
+  for (const JsonValue& row : shards->array) {
+    const JsonValue* index = row.Find("shard");
+    const JsonValue* row_retries = row.Find("retries");
+    if (index != nullptr && index->IsNumber() &&
+        static_cast<uint32_t>(index->number) == shard &&
+        row_retries != nullptr && row_retries->IsNumber()) {
+      *retries = static_cast<uint64_t>(row_retries->number);
+    }
+  }
+}
+
+// `rvmutl LOG health`: offline per-shard fault-domain probe (DESIGN.md §13).
+// One row per shard; the exit code is the worst shard's severity:
+//   0  ok          — device opens cleanly, no quarantine sidecar
+//   1  quarantined — a sidecar from a prior in-process quarantine is present
+//                    but the device opens: `rvmutl LOG repair` (or a plain
+//                    restart) should restore it
+//   2  quarantined — the device itself cannot be opened; the fault persists
+// The in-process states `retrying` and `repairing` are transient and only
+// observable through a live instance's gauges (Introspect / `rvmutl top`);
+// an offline probe sees their end state. `--json[=FILE]` emits the
+// rvm-telemetry-v1 schema with a per-shard "shards" array.
+int CmdHealth(const std::string& log_path, int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr, "unknown health option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  Env* env = GetRealEnv();
+  auto shard_count = LogDevice::DetectShardCount(env, log_path);
+  if (!shard_count.ok()) {
+    std::fprintf(stderr, "cannot read log %s: %s\n", log_path.c_str(),
+                 shard_count.status().ToString().c_str());
+    return 2;
+  }
+  struct Row {
+    uint32_t shard = 0;
+    std::string path;
+    const char* state = "ok";
+    int severity = 0;
+    std::string cause;
+    bool sidecar = false;
+    uint64_t retries_at_quarantine = 0;
+    uint64_t in_use = 0;
+    uint64_t capacity = 0;
+  };
+  std::vector<Row> rows;
+  int worst = 0;
+  for (uint32_t s = 0; s < *shard_count; ++s) {
+    Row row;
+    row.shard = s;
+    row.path = *shard_count == 1 ? log_path : ShardLogPath(log_path, s);
+    const std::string sidecar_path = row.path + ".quarantine.json";
+    row.sidecar = env->Exists(sidecar_path);
+    if (row.sidecar) {
+      ReadQuarantineSidecar(sidecar_path, s, &row.cause,
+                            &row.retries_at_quarantine);
+    }
+    auto log = LogDevice::Open(env, row.path);
+    if (!log.ok()) {
+      row.state = "quarantined";
+      row.severity = 2;
+      if (row.cause.empty()) {
+        row.cause = log.status().ToString();
+      }
+    } else {
+      row.in_use = (*log)->used();
+      row.capacity = (*log)->capacity();
+      if (row.sidecar) {
+        row.state = "quarantined";
+        row.severity = 1;
+        if (row.cause.empty()) {
+          row.cause = "quarantine sidecar present";
+        }
+      }
+    }
+    worst = std::max(worst, row.severity);
+    rows.push_back(std::move(row));
+  }
+  if (json) {
+    std::string shards_json = "\"log\":\"" + JsonEscape(log_path) +
+                              "\",\"worst\":" + std::to_string(worst) +
+                              ",\"shards\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"shard\":%u,\"state\":\"%s\",\"severity\":%d,"
+                    "\"sidecar\":%d,\"retries_at_quarantine\":%llu,"
+                    "\"in_use\":%llu,\"capacity\":%llu,\"cause\":\"",
+                    i > 0 ? "," : "", row.shard, row.state, row.severity,
+                    row.sidecar ? 1 : 0,
+                    static_cast<unsigned long long>(row.retries_at_quarantine),
+                    static_cast<unsigned long long>(row.in_use),
+                    static_cast<unsigned long long>(row.capacity));
+      shards_json += buf;
+      shards_json += JsonEscape(row.cause) + "\"}";
+    }
+    shards_json += "]";
+    RvmStatistics probe_stats;
+    const std::string document = TelemetryJsonDocument(
+        "rvmutl-health",
+        {StatisticsJsonRun("health-probe", probe_stats,
+                           {{"shards", *shard_count},
+                            {"worst", static_cast<uint64_t>(worst)}})},
+        shards_json);
+    if (json_path.empty()) {
+      std::printf("%s", document.c_str());
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+        return 2;
+      }
+      std::fputs(document.c_str(), out);
+      std::fclose(out);
+    }
+    return worst;
+  }
+  std::printf("%5s  %-12s %22s  %s\n", "shard", "state", "in-use/capacity",
+              "cause");
+  for (const Row& row : rows) {
+    char usage[48] = "-";
+    if (row.capacity > 0) {
+      std::snprintf(usage, sizeof(usage), "%llu/%llu",
+                    static_cast<unsigned long long>(row.in_use),
+                    static_cast<unsigned long long>(row.capacity));
+    }
+    std::string cause = row.cause.empty() ? "-" : row.cause;
+    if (row.sidecar) {
+      cause += " (quarantine sidecar, " +
+               std::to_string(row.retries_at_quarantine) +
+               " retries at quarantine)";
+    }
+    std::printf("%5u  %-12s %22s  %s\n", row.shard, row.state, usage,
+                cause.c_str());
+  }
+  if (worst == 0) {
+    std::printf("all %u shard(s) healthy\n", *shard_count);
+  } else {
+    std::printf("worst shard severity %d — %s\n", worst,
+                worst == 1 ? "device readable; run 'repair' to clear the "
+                             "quarantine"
+                           : "device unreadable; restore or replace the shard "
+                             "file, then run 'repair'");
+  }
+  return worst;
+}
+
+// `rvmutl LOG repair`: offline shard repair. A process restart discards the
+// in-memory quarantine state, and Initialize re-runs five-phase recovery
+// across every shard — including a healed or replaced `.shard<K>` file — so
+// the offline analogue of RvmInstance::RepairShard(shard) is simply a clean
+// recovery over the repaired device. This command runs that recovery,
+// verifies every shard comes back healthy, clears stale quarantine sidecars,
+// and reports per-shard results. A live instance should instead call
+// RepairShard(shard) in-process (no restart, healthy shards keep
+// committing throughout).
+int CmdRepair(const std::string& log_path) {
+  Env* env = GetRealEnv();
+  RvmOptions options;
+  options.log_path = log_path;
+  auto shard_count = LogDevice::DetectShardCount(env, log_path);
+  if (shard_count.ok()) {
+    options.log_shards = *shard_count;
+  }
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr,
+                 "repair failed: recovery did not complete: %s\n"
+                 "  restore the failed .shard<K> file from a backup, or "
+                 "replace it with a\n  freshly created device of the same "
+                 "size, then re-run repair\n",
+                 rvm.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  const uint32_t shards = (*rvm)->log_shards();
+  for (uint32_t s = 0; s < shards; ++s) {
+    if ((*rvm)->shard_health(s) == RvmInstance::ShardHealth::kOk) {
+      std::printf("shard %u: healthy (recovery replayed its log)\n", s);
+    } else {
+      std::printf("shard %u: STILL UNHEALTHY: %s\n", s,
+                  (*rvm)->shard_status(s).ToString().c_str());
+      ++failures;
+    }
+  }
+  Status terminated = (*rvm)->Terminate();
+  if (!terminated.ok()) {
+    std::fprintf(stderr, "terminate: %s\n", terminated.ToString().c_str());
+    return 1;
+  }
+  // Recovery re-validated the shards; stale sidecars would make the next
+  // `health` probe cry wolf.
+  for (uint32_t s = 0; s < shards; ++s) {
+    const std::string path = shards == 1 ? log_path : ShardLogPath(log_path, s);
+    const std::string sidecar = path + ".quarantine.json";
+    if (env->Exists(sidecar)) {
+      (void)env->Delete(sidecar);
+      std::printf("shard %u: removed stale %s\n", s, sidecar.c_str());
+    }
+  }
+  if (failures == 0) {
+    std::printf("repair complete: all %u shard(s) healthy\n", shards);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // Prints one schedule outcome. Failing schedules lead with their repro
 // string so an operator (or CI log scraper) can replay them directly.
 void PrintOutcome(const ScheduleOutcome& outcome) {
   if (outcome.pass) {
-    std::printf("PASS %s%s%s%s (recovered to txn %" PRIu64 ")\n",
+    std::printf("PASS %s%s%s%s%s%s (recovered to txn %" PRIu64 ")\n",
                 outcome.schedule.ToString().c_str(),
                 outcome.fail_stop ? " [fail-stop]" : "",
                 outcome.truncation_window ? " [truncation window]" : "",
                 outcome.two_pc_window ? " [2pc window]" : "",
+                outcome.quarantine_window ? " [quarantine window]" : "",
+                outcome.repair_window ? " [repair window]" : "",
                 outcome.recovered_prefix);
   } else {
     std::printf("FAIL %s  %s\n", outcome.schedule.ToString().c_str(),
@@ -664,6 +927,11 @@ int CmdExplore(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if ((v = value("--regions="))) {
       workload.regions = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--fault-shard="))) {
+      workload.fault_shard =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--fault-at="))) {
+      workload.fault_at_txn = std::strtoull(v, nullptr, 10);
     } else if (arg == "--epoch") {
       workload.use_incremental_truncation = false;
     } else if ((v = value("--depth="))) {
@@ -694,6 +962,17 @@ int CmdExplore(int argc, char** argv) {
       std::fprintf(stderr, "unknown explore option: %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (workload.fault_shard != CheckerWorkload::kNoFaultShard &&
+      (workload.log_shards < 2 ||
+       workload.fault_shard >= workload.log_shards)) {
+    std::fprintf(stderr,
+                 "--fault-shard=%u needs --shards=N with N > 1 and the fault "
+                 "shard in range (quarantine is a multi-shard fault domain; "
+                 "a single-shard failure poisons the instance)\n",
+                 workload.fault_shard);
+    return 2;
   }
 
   CrashExplorer explorer(workload);
@@ -744,10 +1023,14 @@ int CmdExplore(int argc, char** argv) {
               stats->schedules_run, stats->passed, stats->failed);
   std::printf("  forward op boundaries: %" PRIu64 "  max depth: %" PRIu64
               "  fail-stops: %" PRIu64 "  truncation-window crashes: %" PRIu64
-              "  2pc-window crashes: %" PRIu64 "%s\n",
+              "  2pc-window crashes: %" PRIu64
+              "  quarantine-window crashes: %" PRIu64
+              "  repair-window crashes: %" PRIu64 "%s\n",
               stats->baseline_ops, stats->max_depth_reached, stats->fail_stops,
               stats->truncation_window_schedules,
               stats->two_pc_window_schedules,
+              stats->quarantine_window_schedules,
+              stats->repair_window_schedules,
               stats->budget_exhausted ? "  (schedule budget exhausted)" : "");
   return failures == 0 ? 0 : 1;
 }
@@ -777,12 +1060,23 @@ int Usage() {
                "                           options: --duration-ms=N\n"
                "                           --interval-ms=N --threads=N\n"
                "                           --shards=N (per-shard gauge rows)\n"
+               "  health [--json[=FILE]]   offline per-shard fault-domain probe;\n"
+               "                           exit code = worst shard (0 ok,\n"
+               "                           1 quarantined-but-readable,\n"
+               "                           2 device unreadable)\n"
+               "  repair                   offline shard repair: re-run recovery\n"
+               "                           over healed/replaced shard files and\n"
+               "                           clear stale quarantine sidecars (a\n"
+               "                           live instance calls RepairShard()\n"
+               "                           in-process instead)\n"
                "  explore                  enumerate crash schedules against the\n"
                "                           oracle; options: --txns=N --flush-every=N\n"
                "                           --epoch --depth=N --forward-stride=N\n"
                "                           --recovery-stride=N --subset-seeds=a,b\n"
                "                           --shards=N --regions=N (sharded 2PC\n"
-               "                           sweep), --max-schedules=N --out=FILE\n"
+               "                           sweep), --fault-shard=N --fault-at=M\n"
+               "                           (quarantine+repair sweep),\n"
+               "                           --max-schedules=N --out=FILE\n"
                "                           -v --replay=STRING (re-run one)\n"
                "\n"
                "Multi-shard logs (a manifest at LOG plus <LOG>.shard<K>): log\n"
@@ -820,6 +1114,14 @@ int Main(int argc, char** argv) {
   if (command_name == "trace") {
     // Same single-descriptor constraint as stats.
     return CmdTrace(argv[1]);
+  }
+  if (command_name == "health") {
+    // Offline probe: opens each shard read-only itself, no recovery.
+    return CmdHealth(argv[1], argc, argv);
+  }
+  if (command_name == "repair") {
+    // Initialize-family (runs recovery); same single-descriptor constraint.
+    return CmdRepair(argv[1]);
   }
   // A multi-shard log (DESIGN.md §12) is a manifest at LOG plus
   // "<LOG>.shard<K>" devices; every log command runs per shard, and
