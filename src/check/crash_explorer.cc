@@ -272,6 +272,32 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
     recovered = std::move(*final_rvm);
   }
 
+  // Every explored schedule ends with a full scrub (DESIGN.md §14): after a
+  // completed recovery, every page with a recorded checksum must match its
+  // segment file — the sidecar ordering argument says a crash can leave
+  // checksum entries stale only while live log records still cover those
+  // pages, and recovery just rewrote and re-checksummed them.
+  auto scrub_all = [&](RvmInstance& rvm, const char* when) -> bool {
+    RvmInstance::ScrubReport total;
+    for (uint32_t shard = 0; shard < workload_.log_shards; ++shard) {
+      auto report = rvm.ScrubShard(shard);
+      if (!report.ok()) {
+        out.detail = std::string("SCRUB: ") + when +
+                     " scrub failed: " + report.status().ToString();
+        return false;
+      }
+      total.Merge(*report);
+    }
+    if (total.mismatches != 0) {
+      out.detail = std::string("SCRUB: ") + when + " scrub found " +
+                   std::to_string(total.mismatches) +
+                   " checksum mismatch(es) across " +
+                   std::to_string(total.pages_scrubbed) + " pages";
+      return false;
+    }
+    return true;
+  };
+
   // --- oracle validation ---
   std::optional<std::vector<uint64_t*>> bases =
       MapAllRegions(*recovered, workload_);
@@ -314,6 +340,10 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
     out.trace_jsonl = recovered->DumpTraceJsonl();
     return out;
   }
+  if (!scrub_all(*recovered, "post-recovery")) {
+    out.trace_jsonl = recovered->DumpTraceJsonl();
+    return out;
+  }
 
   // --- idempotence: kill again without a clean shutdown, recover, compare
   // (§5.1.2: repeating recovery must be harmless) ---
@@ -340,6 +370,10 @@ ScheduleOutcome CrashExplorer::RunSchedule(const CrashSchedule& schedule) {
       out.trace_jsonl = (*again)->DumpTraceJsonl();
       return out;
     }
+  }
+  if (!scrub_all(**again, "post-idempotence")) {
+    out.trace_jsonl = (*again)->DumpTraceJsonl();
+    return out;
   }
   out.pass = true;
   return out;

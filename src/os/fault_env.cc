@@ -101,6 +101,29 @@ class FaultFile final : public File {
   Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override {
     auto fired = state_->Check(FaultOp::kWriteAt, path_);
     if (fired.has_value()) {
+      if (fired->spec.corrupt == CorruptKind::kNone) {
+        return FaultStatus(fired->spec);
+      }
+      // Silent corruption: the caller sees success, the bytes are wrong.
+      switch (fired->spec.corrupt) {
+        case CorruptKind::kBitFlip: {
+          std::vector<uint8_t> mangled(data.begin(), data.end());
+          if (!mangled.empty()) {
+            mangled[0] ^= 0x01;
+          }
+          return base_->WriteAt(offset, mangled);
+        }
+        case CorruptKind::kZeroPage: {
+          std::vector<uint8_t> zeros(data.size(), 0);
+          return base_->WriteAt(offset, zeros);
+        }
+        case CorruptKind::kMisdirect:
+          // The intended offset keeps its stale contents; the payload
+          // clobbers bytes misdirect_by further in.
+          return base_->WriteAt(offset + fired->spec.misdirect_by, data);
+        case CorruptKind::kNone:
+          break;
+      }
       return FaultStatus(fired->spec);
     }
     return base_->WriteAt(offset, data);

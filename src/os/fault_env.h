@@ -53,6 +53,18 @@ inline constexpr int kNumFaultOps = 6;
 
 const char* FaultOpName(FaultOp op);
 
+// Silent-corruption classes for kWriteAt faults (DESIGN.md §14). Unlike an
+// error-returning fault, a corrupting fault lets the operation SUCCEED —
+// the caller sees OK while the durable bytes are wrong, the failure mode
+// checksum scrubbing exists to catch.
+enum class CorruptKind : int {
+  kNone = 0,     // ordinary fault: return the scripted status
+  kBitFlip,      // flip one bit in the first byte actually written
+  kZeroPage,     // write zeros instead of the payload
+  kMisdirect,    // write the payload at offset + misdirect_by (lost write at
+                 // the intended location, overwrite elsewhere)
+};
+
 // One scripted fault. Armed via FaultInjectionEnv::InjectFault; matched
 // against every operation of class `op` on paths containing
 // `path_substring`.
@@ -87,6 +99,14 @@ struct FaultSpec {
   // Only operations on paths containing this substring match (empty
   // matches everything).
   std::string path_substring;
+
+  // kWriteAt only: silent corruption instead of a returned error. When not
+  // kNone the write reports success and `code`/`message` are ignored; the
+  // durable image is damaged per the kind. Combine with `after` and
+  // `path_substring` to target the Nth write to a specific file.
+  CorruptKind corrupt = CorruptKind::kNone;
+  // kMisdirect only: how far the payload lands from its intended offset.
+  uint64_t misdirect_by = 4096;
 };
 
 class FaultInjectionEnv : public Env {

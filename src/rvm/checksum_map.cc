@@ -1,0 +1,131 @@
+#include "src/rvm/checksum_map.h"
+
+#include <utility>
+
+#include "src/util/crc32.h"
+#include "src/util/serialize.h"
+
+namespace rvm {
+namespace {
+
+// "RVMCHK1\0" little-endian.
+constexpr uint64_t kChecksumMapMagic = 0x00314b48434d5652ull;
+constexpr uint32_t kChecksumMapVersion = 1;
+// magic u64 + version u32 + page_size u32 + num_pages u64 + header crc u32.
+constexpr size_t kHeaderSize = 28;
+
+}  // namespace
+
+std::string SegmentChecksumMap::PathFor(const std::string& segment_path) {
+  return segment_path + ".chk";
+}
+
+SegmentChecksumMap SegmentChecksumMap::Load(Env* env,
+                                            const std::string& segment_path,
+                                            uint64_t page_size) {
+  SegmentChecksumMap map(PathFor(segment_path), page_size);
+  if (!env->Exists(map.path_)) {
+    return map;
+  }
+  StatusOr<std::unique_ptr<File>> file = env->Open(map.path_, OpenMode::kReadOnly);
+  if (!file.ok()) {
+    return map;
+  }
+  StatusOr<std::vector<uint8_t>> bytes = ReadWholeFile(**file);
+  if (!bytes.ok() || bytes->size() < kHeaderSize) {
+    return map;
+  }
+  ByteReader header(std::span<const uint8_t>(bytes->data(), kHeaderSize));
+  uint64_t magic = header.U64();
+  uint32_t version = header.U32();
+  uint32_t file_page_size = header.U32();
+  uint64_t num_pages = header.U64();
+  uint32_t header_crc = header.U32();
+  // page_size 0 = adopt the sidecar's own recorded page size (offline tools
+  // that do not know the instance's configuration).
+  if (magic != kChecksumMapMagic || version != kChecksumMapVersion ||
+      (page_size != 0 && file_page_size != page_size) ||
+      file_page_size == 0 ||
+      header_crc !=
+          Crc32(std::span<const uint8_t>(bytes->data(), kHeaderSize - 4))) {
+    return map;
+  }
+  map.page_size_ = file_page_size;
+  size_t body_size = num_pages * (1 + sizeof(uint32_t));
+  if (bytes->size() < kHeaderSize + body_size + 4) {
+    return map;
+  }
+  std::span<const uint8_t> body(bytes->data() + kHeaderSize, body_size);
+  ByteReader footer(
+      std::span<const uint8_t>(bytes->data() + kHeaderSize + body_size, 4));
+  if (footer.U32() != Crc32(body)) {
+    return map;  // Torn rewrite: load as all-unknown, never as wrong.
+  }
+  ByteReader reader(body);
+  map.known_.resize(num_pages, 0);
+  map.crcs_.resize(num_pages, 0);
+  for (uint64_t page = 0; page < num_pages; ++page) {
+    map.known_[page] = reader.U8();
+  }
+  for (uint64_t page = 0; page < num_pages; ++page) {
+    map.crcs_[page] = reader.U32();
+  }
+  if (reader.failed()) {
+    map.known_.clear();
+    map.crcs_.clear();
+  }
+  return map;
+}
+
+void SegmentChecksumMap::Set(uint64_t page, uint32_t crc) {
+  if (page >= known_.size()) {
+    known_.resize(page + 1, 0);
+    crcs_.resize(page + 1, 0);
+  }
+  if (known_[page] != 0 && crcs_[page] == crc) {
+    return;
+  }
+  known_[page] = 1;
+  crcs_[page] = crc;
+  dirty_ = true;
+}
+
+void SegmentChecksumMap::Forget(uint64_t page) {
+  if (page < known_.size() && known_[page] != 0) {
+    known_[page] = 0;
+    crcs_[page] = 0;
+    dirty_ = true;
+  }
+}
+
+Status SegmentChecksumMap::Save(Env* env) {
+  if (!dirty_) {
+    return OkStatus();
+  }
+  ByteWriter writer;
+  writer.U64(kChecksumMapMagic);
+  writer.U32(kChecksumMapVersion);
+  writer.U32(static_cast<uint32_t>(page_size_));
+  writer.U64(known_.size());
+  writer.U32(Crc32(std::span<const uint8_t>(writer.buffer().data(),
+                                            writer.buffer().size())));
+  size_t body_start = writer.size();
+  for (uint8_t k : known_) {
+    writer.U8(k);
+  }
+  for (uint32_t crc : crcs_) {
+    writer.U32(crc);
+  }
+  writer.U32(Crc32(std::span<const uint8_t>(writer.buffer().data() + body_start,
+                                            writer.size() - body_start)));
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env->Open(path_, OpenMode::kCreateIfMissing));
+  RVM_RETURN_IF_ERROR(file->WriteAt(
+      0, std::span<const uint8_t>(writer.buffer().data(), writer.size())));
+  RVM_RETURN_IF_ERROR(file->Resize(writer.size()));
+  RVM_RETURN_IF_ERROR(file->Sync());
+  dirty_ = false;
+  return OkStatus();
+}
+
+}  // namespace rvm

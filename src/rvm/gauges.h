@@ -8,7 +8,7 @@
 // Produced by RvmInstance::Introspect() under the staged locks, consumed by
 // the StatsSampler time series, `rvmutl top`, and tests. The flat numeric
 // JSON rendering (GaugesJson) is the "gauges" member of every
-// rvm-timeseries-v1 sample line.
+// rvm-timeseries-v2 sample line.
 #ifndef RVM_RVM_GAUGES_H_
 #define RVM_RVM_GAUGES_H_
 
@@ -100,6 +100,15 @@ struct RvmGauges {
   uint64_t poisoned = 0;
   uint64_t log_shards = 1;
 
+  // Data-segment integrity (DESIGN.md §14): cumulative scrub/verify
+  // progress, mirrored from the statistics counters so one timeseries
+  // sample shows both the scan rate and whether mismatches are being
+  // repaired or escalating to quarantine.
+  uint64_t pages_scrubbed = 0;
+  uint64_t checksum_mismatches = 0;
+  uint64_t pages_repaired = 0;
+  uint64_t pages_quarantined = 0;
+
   std::vector<RegionGauges> regions;
   // Per-shard rows; empty on a single-shard instance (whose snapshot is
   // fully described by the top-level gauges, keeping its JSON unchanged).
@@ -147,11 +156,15 @@ struct RvmGauges {
     fn("reserved_pages", static_cast<double>(total_reserved_pages()));
     fn("poisoned", static_cast<double>(poisoned));
     fn("log_shards", static_cast<double>(log_shards));
+    fn("pages_scrubbed", static_cast<double>(pages_scrubbed));
+    fn("checksum_mismatches", static_cast<double>(checksum_mismatches));
+    fn("pages_repaired", static_cast<double>(pages_repaired));
+    fn("pages_quarantined", static_cast<double>(pages_quarantined));
   }
 };
 
 // The gauges as one flat JSON object of numbers plus a "regions" array —
-// the "gauges" member of an rvm-timeseries-v1 sample line.
+// the "gauges" member of an rvm-timeseries-v2 sample line.
 inline std::string GaugesJson(const RvmGauges& gauges) {
   char buf[192];
   std::string out = "{";
@@ -268,6 +281,17 @@ inline std::string FormatGauges(const RvmGauges& gauges) {
       static_cast<unsigned long long>(gauges.truncations_in_flight),
       gauges.poisoned != 0 ? "  POISONED" : "");
   out += line;
+  if (gauges.pages_scrubbed != 0 || gauges.checksum_mismatches != 0 ||
+      gauges.pages_repaired != 0 || gauges.pages_quarantined != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "scrub  pages=%llu mismatches=%llu repaired=%llu quarantined=%llu\n",
+        static_cast<unsigned long long>(gauges.pages_scrubbed),
+        static_cast<unsigned long long>(gauges.checksum_mismatches),
+        static_cast<unsigned long long>(gauges.pages_repaired),
+        static_cast<unsigned long long>(gauges.pages_quarantined));
+    out += line;
+  }
   for (const ShardGauges& s : gauges.shards) {
     const char* health_marker = "";
     if (s.health == 1) {

@@ -135,11 +135,28 @@ struct RvmOptions {
   // sampling thread's period; 0 means no thread — samples are taken only by
   // explicit SampleNow() calls (the mode for simulated environments, whose
   // clock does not advance with wall time). When sampling is enabled, the
-  // ring is flushed as an "rvm-timeseries-v1" JSONL document to
+  // ring is flushed as an "rvm-timeseries-v2" JSONL document to
   // "<log_path>.timeseries.jsonl" on Terminate and (best-effort) on poison,
   // and on demand via DumpTimeseries(path).
   uint64_t sample_interval_us = 0;
   uint64_t sample_capacity = 0;
+
+  // Data-segment integrity (DESIGN.md §14). When enabled, every segment file
+  // gains a "<path>.chk" sidecar holding one CRC32 per page, refreshed
+  // whenever truncation or recovery writes committed bytes into the segment.
+  // ScrubShard/ScrubRegion verify segment files against the sidecar online;
+  // a mismatching page is repaired from live log records when its newest
+  // committed image is still in the pre-truncation window, else the owning
+  // shard is quarantined (DESIGN.md §13). Disabling skips all sidecar
+  // maintenance and verification.
+  bool enable_page_checksums = true;
+  // Verify-on-map policy: kEager verifies every known page checksum while
+  // Map() copies the segment into memory (corruption is caught before the
+  // application ever sees the bytes, at a startup cost measured by
+  // bench_recovery's verify_on_map runs); kLazy defers verification to
+  // explicit scrubs.
+  enum class VerifyOnMap { kLazy, kEager };
+  VerifyOnMap verify_on_map = VerifyOnMap::kLazy;
 
   RuntimeOptions runtime;
 };

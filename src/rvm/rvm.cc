@@ -440,6 +440,8 @@ RvmInstance::RvmInstance(const RvmOptions& options,
       shards_(std::move(shards)),
       log_path_(options.log_path),
       poison_dump_enabled_(options.enable_poison_dump),
+      checksums_enabled_(options.enable_page_checksums),
+      verify_on_map_(options.verify_on_map),
       runtime_(options.runtime),
       truncation_mode_(options.truncation_mode),
       trace_(options.trace_capacity) {
@@ -710,6 +712,21 @@ Status RvmInstance::Map(RegionDescriptor& region) {
   }
   cpu_.Fixed(cpu_.model().map_fixed_us);
   cpu_.Copy(region.length);
+
+  // Eager verify-on-map (DESIGN.md §14): catch segment corruption before the
+  // application ever sees the bytes. Runs before the region is registered so
+  // a failed verification leaves no mapping behind.
+  if (checksums_enabled_ && verify_on_map_ == RvmOptions::VerifyOnMap::kEager) {
+    Status verified =
+        VerifyRegionOnMapLocked(seg_id, region.segment_path, seg_file,
+                                region.segment_offset, region.length, base);
+    if (!verified.ok()) {
+      if (owns) {
+        std::free(base);
+      }
+      return verified;
+    }
+  }
 
   auto state = std::make_unique<RegionState>(region.length / page_size_);
   state->segment_id = seg_id;
@@ -1944,6 +1961,10 @@ RvmGauges RvmInstance::IntrospectLocked() {
   gauges.truncations_in_flight = SaturatingSub(
       stats_.truncations_started.load(), stats_.truncations_completed.load());
   gauges.poisoned = poisoned() ? 1 : 0;
+  gauges.pages_scrubbed = stats_.pages_scrubbed.load();
+  gauges.checksum_mismatches = stats_.checksum_mismatches.load();
+  gauges.pages_repaired = stats_.pages_repaired.load();
+  gauges.pages_quarantined = stats_.pages_quarantined.load();
 
   for (const auto& [base, region] : regions_) {
     RegionGauges rg;

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "src/os/file.h"
+#include "src/rvm/checksum_map.h"
 #include "src/rvm/cpu_model.h"
 #include "src/rvm/gauges.h"
 #include "src/rvm/log_device.h"
@@ -187,7 +188,7 @@ class RvmInstance {
   // and deterministic-test runs build a time series.
   void SampleNow();
 
-  // Writes the sampler ring as an rvm-timeseries-v1 JSONL document to
+  // Writes the sampler ring as an rvm-timeseries-v2 JSONL document to
   // `path`. kFailedPrecondition when sampling is disabled or no samples have
   // been recorded. Terminate writes the same document to
   // "<log_path>.timeseries.jsonl" automatically; poison does so best-effort.
@@ -251,6 +252,38 @@ class RvmInstance {
   // may be uncommitted on the shard's regions. kFailedPrecondition when the
   // shard is not quarantined.
   Status RepairShard(uint32_t shard);
+
+  // Data-segment integrity (DESIGN.md §14). Outcome of one scrub pass:
+  // every page verified counts in pages_scrubbed; a page whose segment-file
+  // image disagrees with the checksum sidecar counts in mismatches and then
+  // in exactly one of repaired (its newest committed image was re-derived
+  // from live log records and written back) or quarantined (no live
+  // coverage — the owning shard was quarantined / the instance poisoned).
+  // Pages with no recorded checksum are adopted as the baseline
+  // (trust-on-first-read) and count only in pages_scrubbed.
+  struct ScrubReport {
+    uint64_t pages_scrubbed = 0;
+    uint64_t mismatches = 0;
+    uint64_t repaired = 0;
+    uint64_t quarantined = 0;
+
+    void Merge(const ScrubReport& other) {
+      pages_scrubbed += other.pages_scrubbed;
+      mismatches += other.mismatches;
+      repaired += other.repaired;
+      quarantined += other.quarantined;
+    }
+  };
+  // Online scrub of every segment striped to `shard`, walking the segment
+  // files (never the mapped memory, which may hold uncommitted changes) in
+  // small batches under the staged locks, releasing them between batches so
+  // commits are never stalled for more than one batch. A quarantined or
+  // repairing shard is skipped (empty report). No-op when
+  // RvmOptions::enable_page_checksums is false.
+  StatusOr<ScrubReport> ScrubShard(uint32_t shard);
+  // Scrubs just the segment-file range backing the mapped region containing
+  // `address`.
+  StatusOr<ScrubReport> ScrubRegion(const void* address);
 
  private:
   struct RegionState {
@@ -535,6 +568,49 @@ class RvmInstance {
   // an on_retry hook that counts into stats_.io_retries.
   LogDevice::RetryPolicy RetryPolicyFromRuntime();
 
+  // --- data-segment integrity (rvm_integrity.cc, DESIGN.md §14) ---
+  // Segment path for `id` from the shard's mirrored dictionary, falling
+  // back to shard 0's (the allocation source of truth).
+  StatusOr<std::string> SegmentPathBothLocked(LogShard& shard, SegmentId id);
+  // Recomputes and persists the checksum-map entries for every page of
+  // `file` overlapped by `written` (file-absolute byte intervals), reading
+  // the page images back from the file so the sidecar always describes the
+  // durable bytes. Callers invoke it after the segment writes are synced
+  // and before the log head advances — the ordering the §14 atomicity
+  // argument rests on. No-op when checksums are disabled or nothing was
+  // written.
+  Status RefreshPageChecksumsBothLocked(LogShard& shard, SegmentId id,
+                                        File& file,
+                                        const std::vector<Interval>& written);
+  // Re-derives the newest committed image of `page` of segment `id` from
+  // the shard's live log records (the same newest-record-wins walk
+  // ApplyLogToSegmentsBothLocked performs). When live records cover the
+  // whole page, the image is written back, synced, and recorded in `chk`;
+  // returns true. Returns false when coverage is partial or absent (the
+  // page's newest image predates the last truncation).
+  StatusOr<bool> TryRepairPageFromLogBothLocked(LogShard& shard, SegmentId id,
+                                                File& file, uint64_t page,
+                                                uint64_t page_len,
+                                                SegmentChecksumMap* chk);
+  // Scrub core shared by ScrubShard and ScrubRegion: verifies the page
+  // range [first_page, page_end) of segment `id` (page_end = 0 means to
+  // the end of the file) in bounded batches, taking state_mu_ + the
+  // owning shard's log_mu per batch and releasing them in between.
+  // Mismatched pages go through TryRepairPageFromLogBothLocked, then
+  // PoisonShard escalation; the scrub of this segment stops at the first
+  // escalation.
+  Status ScrubSegmentPages(uint32_t shard_index, SegmentId id,
+                           const std::string& segment_path,
+                           uint64_t first_page, uint64_t page_end,
+                           ScrubReport* report);
+  // Verify-on-map (RvmOptions::VerifyOnMap::kEager): verifies every known
+  // page of the just-copied region image in `base` against the sidecar,
+  // repairing from the log (file, memory, and sidecar all patched) or
+  // escalating. Runs under state_mu_ before the region is registered.
+  Status VerifyRegionOnMapLocked(SegmentId id, const std::string& seg_path,
+                                 File& file, uint64_t segment_offset,
+                                 uint64_t length, uint8_t* base);
+
   // --- mapping helpers ---
   StatusOr<RegionState*> FindRegionLocked(const void* address,
                                           uint64_t length);
@@ -571,6 +647,10 @@ class RvmInstance {
   // combination) can read them without state_mu_.
   const std::string log_path_;
   const bool poison_dump_enabled_;
+  // Data-segment integrity configuration (DESIGN.md §14), fixed at
+  // Initialize.
+  const bool checksums_enabled_;
+  const RvmOptions::VerifyOnMap verify_on_map_;
 
   // State lock: in-memory bookkeeping (fields below it, plus runtime_ and
   // every shard's spool / page queue).

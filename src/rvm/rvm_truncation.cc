@@ -32,6 +32,7 @@
 #include <thread>
 
 #include "src/rvm/rvm.h"
+#include "src/util/crc32.h"
 #include "src/util/logging.h"
 
 namespace rvm {
@@ -45,6 +46,9 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(
   // value wins: track covered bytes per segment, applying only uncovered
   // pieces of older records.
   std::map<SegmentId, IntervalSet> covered;
+  // File-absolute byte ranges actually written per segment, for the
+  // checksum-map refresh below (DESIGN.md §14).
+  std::map<SegmentId, IntervalSet> written;
   std::set<File*> touched;
   const uint64_t max_records = shard.log->capacity() / kRecordHeaderSize + 1;
   uint64_t walked = 0;
@@ -99,6 +103,7 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(
             piece.start,
             range.data.subspan(piece.start - range.offset, piece.length())));
         touched.insert(file);
+        written[range.segment].Add(piece.start, piece.start + piece.length());
         *bytes_applied += piece.length();
         cpu_.Copy(piece.length());
       }
@@ -116,6 +121,18 @@ Status RvmInstance::ApplyLogToSegmentsBothLocked(
       // contained.
       PoisonShard(shard, synced);
       return synced;
+    }
+  }
+  // Refresh the checksum sidecars AFTER the segment syncs and BEFORE the
+  // caller advances the log head: any page whose sidecar entry a crash
+  // leaves stale is still covered by live records and is re-written and
+  // re-checksummed when recovery reruns this procedure (DESIGN.md §14).
+  for (auto& [segment, intervals] : written) {
+    Status refreshed = RefreshPageChecksumsBothLocked(
+        shard, segment, *files[segment], intervals.ToVector());
+    if (!refreshed.ok()) {
+      PoisonShard(shard, refreshed);
+      return refreshed;
     }
   }
   return OkStatus();
@@ -481,6 +498,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
       static_cast<double>(shard.log->capacity()));
 
   std::set<File*> touched;
+  std::map<SegmentId, IntervalSet> written;
   bool advanced = false;
   uint64_t steps = 0;
   while (shard.log->used() > target && !shard.page_queue.empty() &&
@@ -519,6 +537,8 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
         file->WriteAt(region->segment_offset + page_start,
                       std::span<const uint8_t>(region->base + page_start, page_len)));
     touched.insert(file);
+    written[region->segment_id].Add(region->segment_offset + page_start,
+                                    region->segment_offset + page_start + page_len);
     cpu_.Copy(page_len);
     entry.dirty = false;
     entry.in_queue = false;
@@ -546,6 +566,16 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
       // this shard without losing anything the log cannot regenerate.
       PoisonShard(shard, synced);
       return synced;
+    }
+  }
+  // Checksum sidecars after the segment syncs, before the head move — the
+  // same ordering ApplyLogToSegmentsBothLocked uses (DESIGN.md §14).
+  for (auto& [segment, intervals] : written) {
+    Status refreshed = RefreshPageChecksumsBothLocked(
+        shard, segment, *segment_files_[segment], intervals.ToVector());
+    if (!refreshed.ok()) {
+      PoisonShard(shard, refreshed);
+      return refreshed;
     }
   }
   // The head move (or empty) durably discards records, possibly including
@@ -700,6 +730,32 @@ Status RvmInstance::RepairShardLocked(uint32_t index) {
         std::memset(region->base + read, 0, region->length - read);
       }
       cpu_.Copy(region->length);
+      // Segment leg (DESIGN.md §14): a repair must not re-attach a region
+      // whose backing file fails checksum verification — the log was just
+      // applied and emptied, so a mismatch here is unrepairable media
+      // corruption and the shard goes back to quarantine.
+      if (checksums_enabled_) {
+        SegmentChecksumMap chk = SegmentChecksumMap::Load(
+            env_, region->segment_path, page_size_);
+        for (uint64_t off = 0; off < region->length; off += page_size_) {
+          const uint64_t page = (region->segment_offset + off) / page_size_;
+          if (!chk.known(page)) {
+            continue;
+          }
+          const uint64_t len = std::min(page_size_, region->length - off);
+          ++stats_.pages_scrubbed;
+          if (Crc32(std::span<const uint8_t>(region->base + off, len)) !=
+              chk.crc(page)) {
+            ++stats_.checksum_mismatches;
+            ++stats_.pages_quarantined;
+            Trace(TraceEventType::kChecksumMismatch, region->segment_id, page);
+            return Corruption("segment page failed checksum verification "
+                              "during shard repair: " +
+                              region->segment_path + " page " +
+                              std::to_string(page));
+          }
+        }
+      }
     }
     for (const SpoolEntry& entry : shard.spool) {
       for (const SpoolEntry::SegRange& range : entry.ranges) {

@@ -172,6 +172,18 @@ struct RvmStatistics {
   StatCounter shard_repairs_started;
   StatCounter shard_repairs_completed;
 
+  // Data-segment integrity (DESIGN.md §14). pages_scrubbed counts pages
+  // verified against the per-segment checksum map (scrubs plus eager
+  // verify-on-map); checksum_mismatches counts pages whose file image
+  // disagreed with the map; pages_repaired counts mismatches healed by
+  // re-deriving the newest committed image from live log records;
+  // pages_quarantined counts mismatches that could not be repaired and
+  // escalated to shard quarantine (or instance poison).
+  StatCounter pages_scrubbed;
+  StatCounter checksum_mismatches;
+  StatCounter pages_repaired;
+  StatCounter pages_quarantined;
+
   // Latency distributions, in microseconds of the owning Env's clock
   // (DESIGN.md §10). commit_latency_us is end-to-end flush-commit latency
   // (EndTransaction entry to durability ack); the commit_* sub-phase
@@ -279,6 +291,10 @@ struct RvmStatistics {
     fn("shard_quarantines", shard_quarantines.load());
     fn("shard_repairs_started", shard_repairs_started.load());
     fn("shard_repairs_completed", shard_repairs_completed.load());
+    fn("pages_scrubbed", pages_scrubbed.load());
+    fn("checksum_mismatches", checksum_mismatches.load());
+    fn("pages_repaired", pages_repaired.load());
+    fn("pages_quarantined", pages_quarantined.load());
   }
 
   // Visits every histogram as (name, histogram). The names double as the
@@ -349,7 +365,7 @@ inline std::string HistogramJson(const LatencyHistogram::Snapshot& s) {
 }
 
 // The counters alone as one flat JSON object — the "counters" member of an
-// rvm-timeseries-v1 sample line, where per-sample histograms would bloat
+// rvm-timeseries-v2 sample line, where per-sample histograms would bloat
 // the document without adding signal (the histograms are cumulative; the
 // final telemetry document carries them once).
 inline std::string StatisticsCountersJson(const RvmStatistics& stats) {
@@ -479,6 +495,10 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("shard quarantines:", stats.shard_quarantines);
   row("shard repairs started:", stats.shard_repairs_started);
   row("shard repairs completed:", stats.shard_repairs_completed);
+  row("pages scrubbed:", stats.pages_scrubbed);
+  row("checksum mismatches:", stats.checksum_mismatches);
+  row("pages repaired:", stats.pages_repaired);
+  row("pages quarantined:", stats.pages_quarantined);
   out += "phase histograms (count mean p50 p99 max, us):\n";
   stats.ForEachHistogram([&](const char* name,
                              const LatencyHistogram& histogram) {

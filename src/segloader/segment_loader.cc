@@ -77,6 +77,16 @@ StatusOr<std::unique_ptr<SegmentLoader>> SegmentLoader::Open(
   region.length = kMapRegionLen;
   RVM_RETURN_IF_ERROR(rvm.Map(region));
   auto* map = static_cast<LoadMap*>(region.address);
+  if (map->magic != kMapMagic && map->magic != 0) {
+    // A truly fresh control segment is all zeros; any other magic means the
+    // map was corrupted or the path points at some unrelated segment.
+    // Reinitializing would silently discard every recorded base address, so
+    // refuse instead of papering over it.
+    Status corrupt = Corruption("segment load map has bad magic: " +
+                                map_segment_path);
+    (void)rvm.Unmap(region);
+    return corrupt;
+  }
   if (map->magic != kMapMagic) {
     // Fresh control segment: initialize it transactionally.
     Transaction txn(rvm);

@@ -27,11 +27,11 @@
 // allowed; at least one run must carry a "commit_latency_us" histogram so a
 // benchmark trajectory always has the headline distribution to diff.
 //
-// The time-series companion schema ("rvm-timeseries-v1", DESIGN.md §11) is
+// The time-series companion schema ("rvm-timeseries-v2", DESIGN.md §11) is
 // JSONL rather than one document — a header line followed by one sample
 // object per line, so a sampler flush is a pure append:
 //
-//   {"schema": "rvm-timeseries-v1", "source": "...", "sample_interval_us": N}
+//   {"schema": "rvm-timeseries-v2", "source": "...", "sample_interval_us": N}
 //   {"t": <us>, "gauges": {"<gauge>": <number>, ..., "regions": [...]},
 //    "counters": {"<counter>": <number>, ...}}
 //   ...
@@ -51,7 +51,7 @@
 namespace rvm {
 
 inline constexpr char kTelemetrySchemaVersion[] = "rvm-telemetry-v1";
-inline constexpr char kTimeseriesSchemaVersion[] = "rvm-timeseries-v1";
+inline constexpr char kTimeseriesSchemaVersion[] = "rvm-timeseries-v2";
 
 // Escapes `text` for embedding inside a JSON string literal (quotes not
 // included).
@@ -83,7 +83,7 @@ StatusOr<JsonValue> ParseJson(std::string_view text);
 // Structural validation of the common telemetry schema described above.
 Status ValidateTelemetryJson(std::string_view text);
 
-// Structural validation of an rvm-timeseries-v1 JSONL document (header line
+// Structural validation of an rvm-timeseries-v2 JSONL document (header line
 // plus at least one sample line, per the layout described above).
 Status ValidateTimeseriesJsonl(std::string_view text);
 

@@ -35,6 +35,12 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "shard-quarantine";
     case TraceEventType::kShardRepair:
       return "shard-repair";
+    case TraceEventType::kScrub:
+      return "scrub";
+    case TraceEventType::kChecksumMismatch:
+      return "checksum-mismatch";
+    case TraceEventType::kPageRepair:
+      return "page-repair";
   }
   return "unknown";
 }

@@ -33,6 +33,9 @@ enum class TraceEventType : uint8_t {
   kPoison,              // arg0 = ErrorCode of the poisoning failure
   kShardQuarantine,     // arg0 = shard index, arg1 = ErrorCode of the cause
   kShardRepair,         // arg0 = shard index, arg1 = 0 started, 1 completed
+  kScrub,               // arg0 = pages scrubbed, arg1 = mismatches found
+  kChecksumMismatch,    // arg0 = segment id, arg1 = page index in the file
+  kPageRepair,          // arg0 = segment id, arg1 = page index in the file
 };
 
 // Stable lowercase-dash name, used in the JSONL rendering.

@@ -194,7 +194,7 @@ TEST_F(RvmutlTest, TopThenTimelineRoundTrip) {
 
   CommandResult timeline = RunTool("timeline " + dump_path);
   EXPECT_EQ(timeline.exit_code, 0) << timeline.output;
-  EXPECT_NE(timeline.output.find("valid rvm-timeseries-v1 document"),
+  EXPECT_NE(timeline.output.find("valid rvm-timeseries-v2 document"),
             std::string::npos)
       << timeline.output;
   // The rendered table: a header row plus one row per sample.
@@ -211,7 +211,7 @@ TEST_F(RvmutlTest, TimelineRejectsInvalidDump) {
   std::string bad_path = (dir_ / "bad.jsonl").string();
   FILE* f = std::fopen(bad_path.c_str(), "w");
   ASSERT_NE(f, nullptr);
-  std::fputs("{\"schema\":\"rvm-timeseries-v1\"}\n", f);  // header missing keys
+  std::fputs("{\"schema\":\"rvm-timeseries-v2\"}\n", f);  // header missing keys
   std::fclose(f);
   CommandResult result = RunTool("timeline " + bad_path);
   EXPECT_EQ(result.exit_code, 1);
@@ -285,6 +285,52 @@ TEST_F(RvmutlTest, HealthJsonRoundTripsThroughCheckJson) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   CommandResult check = RunTool("check-json " + json_path);
   EXPECT_EQ(check.exit_code, 0) << check.output;
+}
+
+TEST_F(RvmutlTest, ScrubHealthyLogExitsZero) {
+  CommandResult result = RunTool(log_path_ + " scrub");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("scrub:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("0 mismatch(es)"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(RvmutlTest, VerifySegmentsPassesAfterScrub) {
+  // scrub records the baseline checksums; the offline --segments leg then
+  // verifies the segment file against the sidecar it left behind.
+  CommandResult scrub = RunTool(log_path_ + " scrub");
+  ASSERT_EQ(scrub.exit_code, 0) << scrub.output;
+  CommandResult result = RunTool(log_path_ + " verify --segments");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("match their recorded checksums"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(RvmutlTest, CorruptedSegmentFailsVerifySegmentsAndScrub) {
+  CommandResult scrub = RunTool(log_path_ + " scrub");
+  ASSERT_EQ(scrub.exit_code, 0) << scrub.output;
+  {
+    std::FILE* f = std::fopen(segment_path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(byte ^ 0xFF, f), EOF);
+    std::fclose(f);
+  }
+  // The data-segment leg fails with exit 1; exit 3 stays reserved for
+  // proven committed-log loss, which this is not.
+  CommandResult verify = RunTool(log_path_ + " verify --segments");
+  EXPECT_EQ(verify.exit_code, 1) << verify.output;
+  EXPECT_NE(verify.output.find("FAILED checksum"), std::string::npos)
+      << verify.output;
+  // The newest committed image was truncated out of the log, so scrub
+  // cannot repair: it quarantines and exits nonzero.
+  CommandResult rescrub = RunTool(log_path_ + " scrub");
+  EXPECT_EQ(rescrub.exit_code, 1) << rescrub.output;
+  EXPECT_NE(rescrub.output.find("1 quarantined"), std::string::npos)
+      << rescrub.output;
 }
 
 TEST_F(RvmutlTest, ExploreFaultShardNeedsMultipleShards) {

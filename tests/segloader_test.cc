@@ -2,6 +2,8 @@
 // which is what makes absolute pointers inside segments safe (§4.1).
 #include <gtest/gtest.h>
 
+#include <sys/mman.h>
+
 #include <cstring>
 
 #include "src/os/mem_env.h"
@@ -21,12 +23,13 @@ class SegLoaderTest : public ::testing::Test {
     Reopen();
   }
 
-  void Reopen() {
+  void Reopen(RvmOptions::VerifyOnMap verify = RvmOptions::VerifyOnMap::kLazy) {
     loader_.reset();  // unmaps everything (simulates clean shutdown)
     rvm_.reset();
     RvmOptions options;
     options.env = &env_;
     options.log_path = "/log";
+    options.verify_on_map = verify;
     auto opened = RvmInstance::Initialize(options);
     ASSERT_TRUE(opened.ok());
     rvm_ = std::move(*opened);
@@ -129,6 +132,78 @@ TEST_F(SegLoaderTest, RejectsOverlongPath) {
   std::string long_path(300, 'p');
   EXPECT_EQ(loader_->Load(long_path, 4 * kPage).status().code(),
             ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SegLoaderTest, CorruptedLoadMapDetectedAtOpen) {
+  // The map records every segment's base address; reinitializing over a
+  // corrupted map would silently discard them all, so Open must refuse.
+  ASSERT_TRUE(loader_->Load("/segA", 4 * kPage).ok());
+  loader_.reset();
+  rvm_.reset();  // truncates: the committed load map reaches /loadmap
+  {
+    auto file = env_.Open("/loadmap", OpenMode::kCreateIfMissing);
+    ASSERT_TRUE(file.ok());
+    uint8_t byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(0, std::span<uint8_t>(&byte, 1)).ok());
+    byte ^= 0xFF;  // nonzero wrong magic: corruption, not a fresh segment
+    ASSERT_TRUE(
+        (*file)->WriteAt(0, std::span<const uint8_t>(&byte, 1)).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  RvmOptions options;
+  options.env = &env_;
+  options.log_path = "/log";
+  auto opened = RvmInstance::Initialize(options);
+  ASSERT_TRUE(opened.ok());
+  rvm_ = std::move(*opened);
+  auto loader = SegmentLoader::Open(*rvm_, "/loadmap");
+  ASSERT_FALSE(loader.ok()) << "corrupted load map was silently reinitialized";
+  EXPECT_EQ(loader.status().code(), ErrorCode::kCorruption);
+  EXPECT_NE(loader.status().ToString().find("bad magic"), std::string::npos);
+}
+
+TEST_F(SegLoaderTest, UnloadReloadRoundTripVerifiesChecksums) {
+  auto first = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(first.ok());
+  auto* bytes = static_cast<uint8_t*>(*first);
+  {
+    Transaction txn(*rvm_);
+    ASSERT_TRUE(txn.SetRange(bytes, kPage).ok());
+    for (uint64_t i = 0; i < kPage; ++i) {
+      bytes[i] = static_cast<uint8_t>(i * 3 + 1);
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  ASSERT_TRUE(loader_->Unload("/segA").ok());
+  // Reload under eager verify-on-map: every page with a recorded checksum
+  // is re-verified before the application sees the bytes.
+  Reopen(RvmOptions::VerifyOnMap::kEager);
+  auto again = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  auto* reloaded = static_cast<uint8_t*>(*again);
+  for (uint64_t i = 0; i < kPage; ++i) {
+    ASSERT_EQ(reloaded[i], static_cast<uint8_t>(i * 3 + 1)) << "byte " << i;
+  }
+  EXPECT_TRUE(env_.Exists("/segA.chk"));
+  auto report = rvm_->ScrubShard(0);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->mismatches, 0u);
+}
+
+TEST_F(SegLoaderTest, RecordedBaseCollisionHasActionableError) {
+  auto first = loader_->Load("/segA", 4 * kPage);
+  ASSERT_TRUE(first.ok());
+  void* base = *first;
+  ASSERT_TRUE(loader_->Unload("/segA").ok());
+  // Squat on the recorded base: relocating would break absolute pointers,
+  // so the loader must fail with an error naming the base problem.
+  void* squatter = ::mmap(base, kPage, PROT_READ,
+                          MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  ASSERT_EQ(squatter, base);
+  auto again = loader_->Load("/segA", 4 * kPage);
+  ASSERT_FALSE(again.ok()) << "load succeeded over an occupied base";
+  EXPECT_NE(again.status().ToString().find("recorded base"), std::string::npos);
+  ::munmap(squatter, kPage);
 }
 
 }  // namespace

@@ -303,7 +303,7 @@ TEST(JsonTest, ValidatorRejectsSchemaViolations) {
 
 TEST(JsonTest, ValidatesTimeseriesDocument) {
   const std::string header =
-      "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\","
+      "{\"schema\":\"rvm-timeseries-v2\",\"source\":\"t\","
       "\"sample_interval_us\":0}\n";
   std::string doc = header +
                     "{\"t\":10,\"gauges\":{\"log_bytes_in_use\":5},"
@@ -320,7 +320,7 @@ TEST(JsonTest, ValidatesTimeseriesDocument) {
 
 TEST(JsonTest, TimeseriesValidatorRejectsSchemaViolations) {
   const std::string header =
-      "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\","
+      "{\"schema\":\"rvm-timeseries-v2\",\"source\":\"t\","
       "\"sample_interval_us\":0}\n";
   const std::string sample = "{\"t\":10,\"gauges\":{}}\n";
 
@@ -338,12 +338,12 @@ TEST(JsonTest, TimeseriesValidatorRejectsSchemaViolations) {
   EXPECT_FALSE(ValidateTimeseriesJsonl(sample + sample).ok());
   // Header missing source / interval.
   EXPECT_FALSE(ValidateTimeseriesJsonl(
-                   "{\"schema\":\"rvm-timeseries-v1\","
+                   "{\"schema\":\"rvm-timeseries-v2\","
                    "\"sample_interval_us\":0}\n" +
                    sample)
                    .ok());
   EXPECT_FALSE(ValidateTimeseriesJsonl(
-                   "{\"schema\":\"rvm-timeseries-v1\",\"source\":\"t\"}\n" +
+                   "{\"schema\":\"rvm-timeseries-v2\",\"source\":\"t\"}\n" +
                    sample)
                    .ok());
   // Sample missing its timestamp or gauges.

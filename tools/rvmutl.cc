@@ -10,9 +10,14 @@
 //   rvmutl LOG segments                    list the segment dictionary
 //   rvmutl LOG records [N]                 list the newest N live records
 //   rvmutl LOG history SEG OFFSET LEN      modification history of a range
-//   rvmutl LOG verify                      structural check of the live log
+//   rvmutl LOG verify [--segments]         structural check of the live log
 //                                          (+ salvage report when corrupt;
-//                                          exit 3 if committed data is lost)
+//                                          exit 3 if committed data is lost;
+//                                          --segments adds the data-segment
+//                                          checksum leg, DESIGN.md §14)
+//   rvmutl LOG scrub                       recovery + full data-segment
+//                                          scrub: verify, repair from the
+//                                          log, quarantine the rest
 //   rvmutl LOG health                      offline per-shard fault-domain
 //                                          probe (DESIGN.md §13); exit code
 //                                          tracks the worst shard
@@ -35,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,9 +48,11 @@
 
 #include "src/check/crash_explorer.h"
 #include "src/os/file.h"
+#include "src/rvm/checksum_map.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
 #include "src/telemetry/json.h"
+#include "src/util/crc32.h"
 #include "src/util/interval_set.h"
 
 namespace rvm {
@@ -289,6 +297,97 @@ int CmdVerify(LogDevice& log) {
   return 0;
 }
 
+// Offline data-segment leg of `verify --segments` (DESIGN.md §14): walks the
+// union of dictionary entries across shards and checks every page with a
+// recorded checksum against the segment file. A page's recorded CRC is
+// defined over its bytes zero-padded to the sidecar's page size, so a
+// segment file ending mid-page verifies identically before and after a later
+// Map() rounds it up. Failures fold into the worst exit code as 1 — exit 3
+// stays reserved for proven committed-log loss.
+int VerifySegments(const std::vector<std::unique_ptr<LogDevice>>& logs) {
+  Env* env = GetRealEnv();
+  // A segment's dictionary entry lives on its home shard; union across
+  // shards, deduplicating by id.
+  std::map<SegmentId, std::string> segments;
+  for (const std::unique_ptr<LogDevice>& log : logs) {
+    for (const SegmentDictEntry& entry : log->status().segments) {
+      segments.emplace(entry.id, entry.path);
+    }
+  }
+  uint64_t checked = 0;
+  uint64_t failures = 0;
+  for (const auto& [id, path] : segments) {
+    // page_size 0: adopt the sidecar's own recorded page size — the offline
+    // tool does not know the instance's configuration.
+    SegmentChecksumMap chk = SegmentChecksumMap::Load(env, path, 0);
+    if (chk.num_pages() == 0) {
+      std::printf("segment %4u %s: no recorded checksums (skipped)\n", id,
+                  path.c_str());
+      continue;
+    }
+    if (!env->Exists(path)) {
+      std::fprintf(stderr,
+                   "segment %4u %s: checksum sidecar present but segment "
+                   "file missing\n",
+                   id, path.c_str());
+      ++failures;
+      continue;
+    }
+    auto file = env->Open(path, OpenMode::kReadOnly);
+    if (!file.ok()) {
+      std::fprintf(stderr, "segment %4u %s: cannot open: %s\n", id,
+                   path.c_str(), file.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto size = (*file)->Size();
+    if (!size.ok()) {
+      std::fprintf(stderr, "segment %4u %s: cannot stat: %s\n", id,
+                   path.c_str(), size.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<uint8_t> buffer(chk.page_size());
+    for (uint64_t page = 0; page < chk.num_pages(); ++page) {
+      if (!chk.known(page)) {
+        continue;
+      }
+      const uint64_t start = page * chk.page_size();
+      std::memset(buffer.data(), 0, buffer.size());
+      if (start < *size) {
+        const uint64_t length =
+            std::min<uint64_t>(buffer.size(), *size - start);
+        auto read = (*file)->ReadAt(
+            start, std::span<uint8_t>(buffer.data(), length));
+        if (!read.ok()) {
+          std::fprintf(stderr,
+                       "segment %4u %s: page %" PRIu64 " unreadable: %s\n", id,
+                       path.c_str(), page, read.status().ToString().c_str());
+          ++failures;
+          continue;
+        }
+      }
+      ++checked;
+      if (Crc32(std::span<const uint8_t>(buffer.data(), buffer.size())) !=
+          chk.crc(page)) {
+        std::fprintf(stderr,
+                     "segment %4u %s: page %" PRIu64 " FAILED checksum\n", id,
+                     path.c_str(), page);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("OK: %" PRIu64
+                " segment page(s) match their recorded checksums\n",
+                checked);
+    return 0;
+  }
+  std::fprintf(stderr, "INVALID: %" PRIu64 " segment page failure(s)\n",
+               failures);
+  return 1;
+}
+
 int CmdStats(const std::string& log_path, int argc, char** argv) {
   // Opens the log through the full library (running crash recovery), so the
   // recovery counters and — after recovery truncates — the group-commit and
@@ -401,7 +500,7 @@ int CmdCheckJson(const std::string& path) {
   return 0;
 }
 
-// `rvmutl timeline FILE`: validate an rvm-timeseries-v1 dump and render it
+// `rvmutl timeline FILE`: validate an rvm-timeseries-v2 dump and render it
 // as a table, one row per sample. Exit codes match check-json: 0 valid,
 // 1 invalid, 2 file error.
 int CmdTimeline(const std::string& path) {
@@ -869,6 +968,60 @@ int CmdRepair(const std::string& log_path) {
   return failures == 0 ? 0 : 1;
 }
 
+// `rvmutl LOG scrub`: Initialize (running recovery), then walk every data
+// segment through the online scrubber. Mismatched pages are repaired from
+// live log records when the damage is still inside the pre-truncation
+// window; otherwise the owning shard is quarantined. Exit 0 only when every
+// detected mismatch was repaired and nothing was quarantined.
+int CmdScrub(const std::string& log_path) {
+  RvmOptions options;
+  options.log_path = log_path;
+  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), log_path);
+  if (shard_count.ok()) {
+    options.log_shards = *shard_count;
+  }
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "cannot initialize on log %s: %s\n", log_path.c_str(),
+                 rvm.status().ToString().c_str());
+    return 1;
+  }
+  RvmInstance::ScrubReport total;
+  const uint32_t shards = (*rvm)->log_shards();
+  for (uint32_t s = 0; s < shards; ++s) {
+    auto report = (*rvm)->ScrubShard(s);
+    if (!report.ok()) {
+      std::fprintf(stderr, "shard %u: scrub failed: %s\n", s,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (shards > 1) {
+      std::printf("shard %u: %" PRIu64 " page(s) scrubbed, %" PRIu64
+                  " mismatch(es), %" PRIu64 " repaired, %" PRIu64
+                  " quarantined\n",
+                  s, report->pages_scrubbed, report->mismatches,
+                  report->repaired, report->quarantined);
+    }
+    total.Merge(*report);
+  }
+  std::printf("scrub: %" PRIu64 " page(s) scrubbed, %" PRIu64
+              " mismatch(es), %" PRIu64 " repaired from the log, %" PRIu64
+              " quarantined\n",
+              total.pages_scrubbed, total.mismatches, total.repaired,
+              total.quarantined);
+  for (uint32_t s = 0; s < shards; ++s) {
+    if ((*rvm)->shard_health(s) != RvmInstance::ShardHealth::kOk) {
+      std::printf("shard %u: UNHEALTHY: %s\n", s,
+                  (*rvm)->shard_status(s).ToString().c_str());
+    }
+  }
+  // Quarantine poisons the shard (or, single-shard, the instance) and
+  // Terminate may refuse; the damage report above is the command's product
+  // either way.
+  (void)(*rvm)->Terminate();
+  return total.mismatches == total.repaired && total.quarantined == 0 ? 0 : 1;
+}
+
 // Prints one schedule outcome. Failing schedules lead with their repro
 // string so an operator (or CI log scraper) can replay them directly.
 void PrintOutcome(const ScheduleOutcome& outcome) {
@@ -1042,8 +1195,15 @@ int Usage() {
                "  segments                 list the segment dictionary\n"
                "  records [N]              list newest N live records (default 20)\n"
                "  history SEG OFFSET LEN   modification history of a byte range\n"
-               "  verify                   validate the live log structure\n"
-               "                           (exit 3 if committed data is lost)\n"
+               "  verify [--segments]      validate the live log structure\n"
+               "                           (exit 3 if committed data is lost);\n"
+               "                           --segments also checks data-segment\n"
+               "                           pages against their .chk sidecars\n"
+               "                           (failures exit 1, never 3)\n"
+               "  scrub                    run recovery, then scrub every data\n"
+               "                           segment page: verify checksums,\n"
+               "                           repair from live log records,\n"
+               "                           quarantine what cannot be repaired\n"
                "  stats [--json[=FILE]]    run recovery, print RVM statistics\n"
                "                           (--json emits the rvm-telemetry-v1\n"
                "                           schema)\n"
@@ -1053,7 +1213,7 @@ int Usage() {
                "                           rvm-telemetry-v1 schema (top-level\n"
                "                           command: rvmutl check-json FILE)\n"
                "  timeline FILE            validate and render an\n"
-               "                           rvm-timeseries-v1 dump (top-level\n"
+               "                           rvm-timeseries-v2 dump (top-level\n"
                "                           command; exit codes like check-json)\n"
                "  top                      live gauge monitor over a scratch\n"
                "                           workload (top-level command);\n"
@@ -1123,6 +1283,10 @@ int Main(int argc, char** argv) {
     // Initialize-family (runs recovery); same single-descriptor constraint.
     return CmdRepair(argv[1]);
   }
+  if (command_name == "scrub") {
+    // Initialize-family (runs recovery); same single-descriptor constraint.
+    return CmdScrub(argv[1]);
+  }
   // A multi-shard log (DESIGN.md §12) is a manifest at LOG plus
   // "<LOG>.shard<K>" devices; every log command runs per shard, and
   // `verify` exits the worst code across shards, so committed-data loss on
@@ -1177,7 +1341,22 @@ int Main(int argc, char** argv) {
     });
   }
   if (command == "verify") {
-    return for_each_shard(CmdVerify);
+    bool segments_leg = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--segments") == 0) {
+        segments_leg = true;
+      } else {
+        std::fprintf(stderr, "unknown verify option: %s\n", argv[i]);
+        return 2;
+      }
+    }
+    int worst = for_each_shard(CmdVerify);
+    if (segments_leg) {
+      // The data-segment leg contributes at most exit 1: exit 3 remains a
+      // proof of committed-log loss, which a bad segment page is not.
+      worst = std::max(worst, VerifySegments(logs));
+    }
+    return worst;
   }
   return Usage();
 }
