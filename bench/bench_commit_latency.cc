@@ -35,7 +35,8 @@ struct ModeResult {
 };
 
 ModeResult RunMode(RestoreMode restore, CommitMode commit, uint64_t txns,
-                   uint64_t range_bytes) {
+                   uint64_t range_bytes, uint32_t span_sample_rate = 0,
+                   uint64_t slow_commit_threshold_us = 0) {
   SimClock clock;
   SimDisk log_disk(&clock, "log");
   SimDisk data_disk(&clock, "data");
@@ -51,6 +52,8 @@ ModeResult RunMode(RestoreMode restore, CommitMode commit, uint64_t txns,
   RvmOptions options;
   options.env = &env;
   options.log_path = "/log/rvm";
+  options.span_sample_rate = span_sample_rate;
+  options.slow_commit_threshold_us = slow_commit_threshold_us;
   auto rvm = RvmInstance::Initialize(options);
   RegionDescriptor region;
   region.segment_path = "/data/seg";
@@ -105,6 +108,13 @@ int Main(int argc, char** argv) {
                                        CommitMode::kNoFlush, kTxns, kBytes);
   ModeResult noflush_norestore = RunMode(RestoreMode::kNoRestore,
                                          CommitMode::kNoFlush, kTxns, kBytes);
+  // Paired leg for the span-tracing overhead gate (DESIGN.md §15): the same
+  // restore+flush workload with the heaviest capture settings — every
+  // transaction sampled AND every commit over the 1 µs threshold retained
+  // as a slow-commit outlier tree.
+  ModeResult flush_spans =
+      RunMode(RestoreMode::kRestore, CommitMode::kFlush, kTxns, kBytes,
+              /*span_sample_rate=*/1, /*slow_commit_threshold_us=*/1);
 
   std::printf("%-28s %12.2f %12.2f %10.2f\n", "restore    + flush",
               flush_restore.commit_ms, flush_restore.total_ms,
@@ -118,6 +128,8 @@ int Main(int argc, char** argv) {
   std::printf("%-28s %12.2f %12.2f %10.2f\n", "no-restore + no-flush",
               noflush_norestore.commit_ms, noflush_norestore.total_ms,
               noflush_norestore.cpu_ms);
+  std::printf("%-28s %12.2f %12.2f %10.2f\n", "restore    + flush + spans",
+              flush_spans.commit_ms, flush_spans.total_ms, flush_spans.cpu_ms);
 
   double bound_tps = 1000.0 / 17.4;  // 57.4
   double measured_tps = 1000.0 / flush_restore.total_ms;
@@ -146,7 +158,8 @@ int Main(int argc, char** argv) {
               {run("restore+flush", flush_restore),
                run("no-restore+flush", flush_norestore),
                run("restore+no-flush", noflush_restore),
-               run("no-restore+no-flush", noflush_norestore)}));
+               run("no-restore+no-flush", noflush_norestore),
+               run("restore+flush+spans", flush_spans)}));
       rc != 0) {
     return rc;
   }
@@ -181,6 +194,18 @@ int Main(int argc, char** argv) {
         "no-restore skips the old-value copy (less CPU)");
   check(noflush_norestore.total_ms < noflush_restore.total_ms + 0.001,
         "no-restore + no-flush is the cheapest combination");
+  // Span-tracing overhead gate (DESIGN.md §15): with the heaviest capture
+  // settings, the commit p50 must stay within 5% of the spans-off leg. On
+  // the simulated clock the only difference the span layer can introduce is
+  // real work (extra clock reads, allocation, ring stores) attributed by
+  // the CPU model, so this bounds the true instrumentation cost.
+  const uint64_t p50_off =
+      flush_restore.stats.commit_latency_us.TakeSnapshot().Percentile(50);
+  const uint64_t p50_spans =
+      flush_spans.stats.commit_latency_us.TakeSnapshot().Percentile(50);
+  check(static_cast<double>(p50_spans) <=
+            1.05 * static_cast<double>(p50_off),
+        "span tracing adds <= 5% to the flush-commit p50");
   return ok ? 0 : 1;
 }
 

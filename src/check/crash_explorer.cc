@@ -42,6 +42,8 @@ RvmOptions MakeOptions(CrashSimEnv& env, const CheckerWorkload& workload) {
   options.runtime.use_incremental_truncation =
       workload.use_incremental_truncation;
   options.runtime.truncation_threshold = workload.truncation_threshold;
+  options.span_sample_rate = workload.span_sample_rate;
+  options.slow_commit_threshold_us = workload.slow_commit_threshold_us;
   return options;
 }
 

@@ -64,6 +64,12 @@ struct CheckerWorkload {
   static constexpr uint32_t kNoFaultShard = 0xffffffffu;
   uint32_t fault_shard = kNoFaultShard;
   uint64_t fault_at_txn = 5;
+  // Span tracing (DESIGN.md §15): when nonzero, the workload instance runs
+  // with the span layer enabled. Spans must never change durable bytes or
+  // the explorer's schedule space, so sweeps with and without these are
+  // expected to produce identical outcomes.
+  uint32_t span_sample_rate = 0;
+  uint64_t slow_commit_threshold_us = 0;
 };
 
 class WorkloadOracle {

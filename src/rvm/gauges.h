@@ -109,6 +109,13 @@ struct RvmGauges {
   uint64_t pages_repaired = 0;
   uint64_t pages_quarantined = 0;
 
+  // Span tracing (DESIGN.md §15): commits that blew the slow-commit
+  // threshold, spans recorded across every shard ring, and spans lost to
+  // ring wrap-around. All zero when span tracing is disabled.
+  uint64_t slow_commits = 0;
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+
   std::vector<RegionGauges> regions;
   // Per-shard rows; empty on a single-shard instance (whose snapshot is
   // fully described by the top-level gauges, keeping its JSON unchanged).
@@ -160,6 +167,9 @@ struct RvmGauges {
     fn("checksum_mismatches", static_cast<double>(checksum_mismatches));
     fn("pages_repaired", static_cast<double>(pages_repaired));
     fn("pages_quarantined", static_cast<double>(pages_quarantined));
+    fn("slow_commits", static_cast<double>(slow_commits));
+    fn("spans_recorded", static_cast<double>(spans_recorded));
+    fn("spans_dropped", static_cast<double>(spans_dropped));
   }
 };
 
@@ -290,6 +300,14 @@ inline std::string FormatGauges(const RvmGauges& gauges) {
         static_cast<unsigned long long>(gauges.checksum_mismatches),
         static_cast<unsigned long long>(gauges.pages_repaired),
         static_cast<unsigned long long>(gauges.pages_quarantined));
+    out += line;
+  }
+  if (gauges.spans_recorded != 0 || gauges.slow_commits != 0) {
+    std::snprintf(line, sizeof(line),
+                  "spans  recorded=%llu dropped=%llu slow-commits=%llu\n",
+                  static_cast<unsigned long long>(gauges.spans_recorded),
+                  static_cast<unsigned long long>(gauges.spans_dropped),
+                  static_cast<unsigned long long>(gauges.slow_commits));
     out += line;
   }
   for (const ShardGauges& s : gauges.shards) {

@@ -87,6 +87,20 @@ Status ValidateOptions(const RvmOptions& options) {
         "sample_interval_us requires sample_capacity > 0 (a sampling thread "
         "with no ring to record into)");
   }
+  if ((options.span_sample_rate > 0 || options.slow_commit_threshold_us > 0) &&
+      options.span_ring_capacity == 0) {
+    return InvalidArgument(
+        "span tracing requires span_ring_capacity > 0 (spans with no ring "
+        "to record into)");
+  }
+  // A million spans per shard (or retained outlier trees beyond any
+  // sidecar's usefulness) is a unit error, not a configuration.
+  if (options.span_ring_capacity > (1ull << 20)) {
+    return InvalidArgument("span_ring_capacity must be at most 2^20");
+  }
+  if (options.span_outlier_capacity > 64) {
+    return InvalidArgument("span_outlier_capacity must be at most 64");
+  }
   return ValidateRuntimeOptions(options.runtime);
 }
 

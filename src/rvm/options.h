@@ -141,6 +141,21 @@ struct RvmOptions {
   uint64_t sample_interval_us = 0;
   uint64_t sample_capacity = 0;
 
+  // Per-transaction span tracing (DESIGN.md §15). Two capture policies run
+  // simultaneously: span_sample_rate keeps the full span tree of every Nth
+  // transaction (1 = every transaction, 0 = sampling off), and any commit
+  // whose end-to-end latency exceeds slow_commit_threshold_us has its tree
+  // retained unconditionally by the slow-commit outlier recorder (0 = off).
+  // The span layer is allocated only when at least one knob is nonzero, so
+  // the all-zero default takes no memory, reads no clocks, and is
+  // bit-identical to spans never having existed. span_ring_capacity bounds
+  // each shard's lock-free span ring; span_outlier_capacity bounds the
+  // most-recent slow-commit trees kept for the poison sidecar.
+  uint32_t span_sample_rate = 0;
+  uint64_t slow_commit_threshold_us = 0;
+  uint64_t span_ring_capacity = 1024;
+  uint64_t span_outlier_capacity = 4;
+
   // Data-segment integrity (DESIGN.md §14). When enabled, every segment file
   // gains a "<path>.chk" sidecar holding one CRC32 per page, refreshed
   // whenever truncation or recovery writes committed bytes into the segment.

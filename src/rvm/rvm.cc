@@ -167,6 +167,31 @@ std::string RvmInstance::ShardRowsJson() const {
   return rows;
 }
 
+std::string RvmInstance::OutlierSpansJson() const {
+  if (spans_ == nullptr) {
+    return "";
+  }
+  std::string out = ",\"spans_schema\":\"";
+  out += kSpansSchemaVersion;
+  out += "\",\"slow_commit_spans\":[";
+  const std::vector<std::vector<Span>> trees = spans_->OutlierTrees();
+  for (size_t t = 0; t < trees.size(); ++t) {
+    if (t > 0) {
+      out += ',';
+    }
+    out += '[';
+    for (size_t i = 0; i < trees[t].size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += SpanJson(trees[t][i]);
+    }
+    out += ']';
+  }
+  out += ']';
+  return out;
+}
+
 void RvmInstance::DumpPoisonSidecar(const Status& cause) {
   // Flight-recorder dump (DESIGN.md §10). Everything here is best-effort:
   // the instance is entering fail-stop and the sidecar must never mask or
@@ -197,6 +222,7 @@ void RvmInstance::DumpPoisonSidecar(const Status& cause) {
     trace_json += TraceEventJson(tail[i]);
   }
   trace_json += ']';
+  trace_json += OutlierSpansJson();
   const std::string document = TelemetryJsonDocument(
       "poison-dump", {StatisticsJsonRun("at-poison", stats_.Snapshot())},
       trace_json);
@@ -238,7 +264,7 @@ void RvmInstance::PoisonShard(LogShard& shard, const Status& cause) {
   RVM_LOG_WARN("rvm shard %u quarantined (fault contained): %s", shard.index,
                cause.ToString().c_str());
   Trace(TraceEventType::kShardQuarantine, shard.index,
-        static_cast<uint64_t>(cause.code()));
+        static_cast<uint64_t>(cause.code()), shard.index);
   if (poison_dump_enabled_) {
     DumpQuarantineSidecar(shard, cause);
   }
@@ -263,6 +289,7 @@ void RvmInstance::DumpQuarantineSidecar(const LogShard& shard,
     trace_json += TraceEventJson(tail[i]);
   }
   trace_json += ']';
+  trace_json += OutlierSpansJson();
   const std::string document = TelemetryJsonDocument(
       "quarantine-dump",
       {StatisticsJsonRun("at-quarantine", stats_.Snapshot())}, trace_json);
@@ -458,6 +485,15 @@ RvmInstance::RvmInstance(const RvmOptions& options,
     sampler_options.shard_count = shards_.size();
     sampler_ = std::make_unique<StatsSampler>(
         sampler_options, [this] { return TakeTimeseriesSample(); });
+  }
+  if (options.span_sample_rate > 0 || options.slow_commit_threshold_us > 0) {
+    SpanCollector::Options span_options;
+    span_options.shards = static_cast<uint32_t>(shards_.size());
+    span_options.ring_capacity = options.span_ring_capacity;
+    span_options.sample_rate = options.span_sample_rate;
+    span_options.slow_threshold_us = options.slow_commit_threshold_us;
+    span_options.outlier_capacity = options.span_outlier_capacity;
+    spans_ = std::make_unique<SpanCollector>(span_options);
   }
 }
 
@@ -1073,7 +1109,7 @@ Status RvmInstance::AppendSpoolEntryLocked(LogShard& shard, SpoolEntry& entry,
   }
   stats_.bytes_logged += entry.encoded_size;
   shard.records_appended.fetch_add(1, std::memory_order_relaxed);
-  Trace(TraceEventType::kAppend, entry.tid, *offset);
+  Trace(TraceEventType::kAppend, entry.tid, *offset, shard.index);
 
   // Incremental-truncation bookkeeping (Fig. 7): the pages carrying this
   // record's changes become dirty; first-reference pages join the queue at
@@ -1123,7 +1159,7 @@ Status RvmInstance::AppendControlRecordLocked(LogShard& shard,
   }
   stats_.bytes_logged += kRecordHeaderSize;
   shard.records_appended.fetch_add(1, std::memory_order_relaxed);
-  Trace(TraceEventType::kAppend, tid, *offset);
+  Trace(TraceEventType::kAppend, tid, *offset, shard.index);
   return OkStatus();
 }
 
@@ -1137,7 +1173,7 @@ Status RvmInstance::ForceShardBothLocked(LogShard& shard) {
   }
   const uint64_t sync_us = env_->NowMicros() - sync_start_us;
   stats_.log_force_us.Record(sync_us);
-  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
+  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us, shard.index);
   ++stats_.log_forces;
   shard.forces.fetch_add(1, std::memory_order_relaxed);
   NotifyDurableWaiters(shard);
@@ -1145,7 +1181,8 @@ Status RvmInstance::ForceShardBothLocked(LogShard& shard) {
 }
 
 Status RvmInstance::CommitCrossShardLocked(
-    TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries) {
+    TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries,
+    CommitSpanScope* span_scope) {
   // Internal two-phase commit (DESIGN.md §12, src/dtx/shard_2pc.h). The
   // whole protocol runs under state_mu_ with direct per-shard forces rather
   // than the group stage: prepare/marker adjacency per shard and the
@@ -1173,8 +1210,37 @@ Status RvmInstance::CommitCrossShardLocked(
     // surfaced).
     return FailIfShardUnusable(*shards_[index]);
   };
+  // Span legs (DESIGN.md §15): a prepare leg opens at the prepare append
+  // and is extended through its force; the decision leg (the commit point)
+  // opens at the decision append and is extended through the coordinator
+  // force. RunShardedCommit calls force() per shard, so "extend the newest
+  // leg on that shard" attributes each force to the right leg.
+  auto open_leg = [&](uint32_t index, bool decision) {
+    if (span_scope == nullptr) {
+      return;
+    }
+    CommitSpanScope::TwoPcLeg leg;
+    leg.shard = index;
+    leg.decision = decision;
+    leg.start_us = env_->NowMicros();
+    leg.end_us = leg.start_us;
+    span_scope->two_pc.push_back(leg);
+  };
+  auto extend_leg = [&](uint32_t index) {
+    if (span_scope == nullptr) {
+      return;
+    }
+    for (auto it = span_scope->two_pc.rbegin(); it != span_scope->two_pc.rend();
+         ++it) {
+      if (it->shard == index) {
+        it->end_us = env_->NowMicros();
+        return;
+      }
+    }
+  };
   ops.append_prepare = [&](uint32_t index) -> Status {
     LogShard& shard = *shards_[index];
+    open_leg(index, /*decision=*/false);
     // Earlier no-flush commits must reach this shard's log first so log
     // order equals commit order (recovery applies newest-record-wins).
     while (!shard.spool.empty()) {
@@ -1189,10 +1255,18 @@ Status RvmInstance::CommitCrossShardLocked(
   };
   ops.force = [&](uint32_t index) -> Status {
     LogShard& shard = *shards_[index];
-    std::lock_guard<std::mutex> log_lock(shard.log_mu);
-    return ForceShardBothLocked(shard);
+    Status forced;
+    {
+      std::lock_guard<std::mutex> log_lock(shard.log_mu);
+      forced = ForceShardBothLocked(shard);
+    }
+    if (forced.ok()) {
+      extend_leg(index);
+    }
+    return forced;
   };
   ops.append_decision = [&](uint32_t index) -> Status {
+    open_leg(index, /*decision=*/true);
     RVM_RETURN_IF_ERROR(AppendControlRecordLocked(*shards_[index], txn.tid,
                                                   kRecordFlagShardDecision));
     // This shard now carries what may be the only durable commit evidence;
@@ -1269,7 +1343,7 @@ Status RvmInstance::CommitCrossShardLocked(
 Status RvmInstance::EndTransactionLocked(
     TxnState& txn, CommitMode mode,
     std::vector<std::pair<LogShard*, uint64_t>>* flush_targets,
-    bool* durable_inline) {
+    bool* durable_inline, CommitSpanScope* span_scope) {
   flush_targets->clear();
   *durable_inline = false;
   cpu_.Fixed(cpu_.model().commit_fixed_us);
@@ -1303,13 +1377,16 @@ Status RvmInstance::EndTransactionLocked(
     // The rare cross-shard transaction: committed eagerly (and durably)
     // through the internal 2PC, whatever the commit mode — bounded
     // persistence cannot span logs with independent force schedules.
-    RVM_RETURN_IF_ERROR(CommitCrossShardLocked(txn, entries));
+    RVM_RETURN_IF_ERROR(CommitCrossShardLocked(txn, entries, span_scope));
     *durable_inline = true;
     return OkStatus();
   }
 
   LogShard& shard = *shards_[entries.front().first];
   SpoolEntry& entry = entries.front().second;
+  if (span_scope != nullptr) {
+    span_scope->shard = shard.index;
+  }
 
   Status usable = FailIfShardUnusable(shard);
   if (!usable.ok()) {
@@ -1416,6 +1493,15 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
                                            std::vector<OldValueRecord>* undo) {
   RVM_RETURN_IF_ERROR(FailIfPoisoned());
   const uint64_t start_us = env_->NowMicros();
+  // Span scope (DESIGN.md §15): inactive (one branch per site) unless the
+  // span layer exists. Active, it reuses the timestamps the phase
+  // histograms already take and is materialized only at ack time.
+  CommitSpanScope span_scope;
+  if (spans_ != nullptr) {
+    span_scope.active = true;
+    span_scope.tid = tid;
+    span_scope.start_us = start_us;
+  }
   std::vector<std::pair<LogShard*, uint64_t>> flush_targets;
   bool durable_inline = false;
   uint64_t max_batch = 0;
@@ -1426,6 +1512,7 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
     // the time spent behind other committers' bookkeeping.
     const uint64_t locked_us = env_->NowMicros();
     stats_.commit_queue_wait_us.Record(locked_us - start_us);
+    span_scope.locked_us = locked_us;
     auto it = transactions_.find(tid);
     if (it == transactions_.end()) {
       return NotFound("no such transaction");
@@ -1448,28 +1535,41 @@ Status RvmInstance::EndTransactionInternal(TransactionId tid, CommitMode mode,
         undo->push_back(std::move(record));
       }
     }
-    RVM_RETURN_IF_ERROR(
-        EndTransactionLocked(txn, mode, &flush_targets, &durable_inline));
+    RVM_RETURN_IF_ERROR(EndTransactionLocked(
+        txn, mode, &flush_targets, &durable_inline,
+        span_scope.active ? &span_scope : nullptr));
     // Append phase: the state-locked section (bookkeeping, optimization
     // passes, and the log appends that fix this commit's sequence point).
-    stats_.commit_append_us.Record(env_->NowMicros() - locked_us);
+    const uint64_t append_end_us = env_->NowMicros();
+    stats_.commit_append_us.Record(append_end_us - locked_us);
+    span_scope.append_end_us = append_end_us;
     max_batch = runtime_.group_commit_max_batch;
     max_wait_us = runtime_.group_commit_max_wait_us;
   }
   if (flush_targets.empty() && !durable_inline) {
-    Trace(TraceEventType::kCommitAck, tid, env_->NowMicros() - start_us);
+    const uint64_t ack_us = env_->NowMicros();
+    Trace(TraceEventType::kCommitAck, tid, ack_us - start_us);
+    if (span_scope.active) {
+      EmitCommitSpans(span_scope, ack_us, ack_us - start_us);
+    }
     return OkStatus();
   }
   // Group-commit stage: no locks held, so concurrent SetRange/Map/Query and
   // other committers' appends proceed while the force is in flight. (A
   // cross-shard commit already forced inline and has no targets here.)
   for (const auto& [shard, target_lsn] : flush_targets) {
-    RVM_RETURN_IF_ERROR(
-        CommitDurable(*shard, target_lsn, max_batch, max_wait_us));
+    RVM_RETURN_IF_ERROR(CommitDurable(*shard, target_lsn, max_batch,
+                                      max_wait_us,
+                                      span_scope.active ? &span_scope
+                                                        : nullptr));
   }
-  uint64_t elapsed_us = env_->NowMicros() - start_us;
+  const uint64_t end_us = env_->NowMicros();
+  const uint64_t elapsed_us = end_us - start_us;
   stats_.commit_latency_us.Record(elapsed_us);
   Trace(TraceEventType::kCommitAck, tid, elapsed_us);
+  if (span_scope.active) {
+    EmitCommitSpans(span_scope, end_us, elapsed_us);
+  }
   // The transaction is durable; a truncation failure now is a maintenance
   // problem (it will resurface on the next operation), not a commit failure.
   Status truncate_status = MaybeTruncate();
@@ -1496,7 +1596,8 @@ Status RvmInstance::EndTransactionWithUndo(TransactionId tid, CommitMode mode,
 // ---------------------------------------------------------------------------
 
 Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
-                                  uint64_t max_batch, uint64_t max_wait_us) {
+                                  uint64_t max_batch, uint64_t max_wait_us,
+                                  CommitSpanScope* span_scope) {
   if (target_lsn == 0) {
     return OkStatus();
   }
@@ -1527,6 +1628,8 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
     if (!shard.group_leader_active) {
       // Become the leader for everyone whose record is already appended.
       shard.group_leader_active = true;
+      CommitSpanScope::ForceLeg force_leg;
+      force_leg.shard = shard.index;
       // Dwell until a full batch of appended-but-undurable records exists.
       // The LSN distance, not the waiter count, measures batchable work:
       // the waiter count still includes followers served by the previous
@@ -1542,8 +1645,10 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
                      shard.log->appended_lsn() - shard.log->durable_lsn() >=
                          max_batch;
             });
-        stats_.commit_group_dwell_us.Record(env_->NowMicros() -
-                                            dwell_start_us);
+        const uint64_t dwell_end_us = env_->NowMicros();
+        stats_.commit_group_dwell_us.Record(dwell_end_us - dwell_start_us);
+        force_leg.dwell_start_us = dwell_start_us;
+        force_leg.dwell_end_us = dwell_end_us;
       }
       group_lock.unlock();
       Status sync_status;
@@ -1556,6 +1661,8 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
           sync_status = shard.log->Sync();
           sync_us = env_->NowMicros() - sync_start_us;
           forced = sync_status.ok();
+          force_leg.sync_start_us = sync_start_us;
+          force_leg.sync_end_us = sync_start_us + sync_us;
           if (sync_status.ok() && shards_.size() == 1) {
             // Persist the batch's tail so recovery after a clean crash needs
             // no forward scan past it. The batch is already durable at this
@@ -1598,7 +1705,12 @@ Status RvmInstance::CommitDurable(LogShard& shard, uint64_t target_lsn,
         ++stats_.group_commit_batches;
         stats_.commit_fsync_us.Record(sync_us);
         stats_.log_force_us.Record(sync_us);
-        Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
+        Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us,
+              shard.index);
+      }
+      if (span_scope != nullptr &&
+          (forced || force_leg.dwell_end_us != 0)) {
+        span_scope->forces.push_back(force_leg);
       }
       shard.group_cv.notify_all();
       if (!result.ok()) {
@@ -1965,6 +2077,11 @@ RvmGauges RvmInstance::IntrospectLocked() {
   gauges.checksum_mismatches = stats_.checksum_mismatches.load();
   gauges.pages_repaired = stats_.pages_repaired.load();
   gauges.pages_quarantined = stats_.pages_quarantined.load();
+  gauges.slow_commits = stats_.slow_commits.load();
+  if (spans_ != nullptr) {
+    gauges.spans_recorded = spans_->recorded();
+    gauges.spans_dropped = spans_->dropped();
+  }
 
   for (const auto& [base, region] : regions_) {
     RegionGauges rg;
@@ -2019,6 +2136,112 @@ Status RvmInstance::DumpTimeseries(const std::string& path) {
     return FailedPrecondition("no samples recorded");
   }
   return WriteTimeseriesFile(path);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void RvmInstance::EmitCommitSpans(const CommitSpanScope& scope,
+                                  uint64_t end_us, uint64_t elapsed_us) {
+  const bool outlier = spans_->slow_threshold_us() > 0 &&
+                       elapsed_us > spans_->slow_threshold_us();
+  if (!outlier && !spans_->SampleTid(scope.tid)) {
+    return;  // neither capture policy wants this commit
+  }
+  std::vector<Span> tree;
+  tree.reserve(5 + scope.forces.size() * 2 + scope.two_pc.size());
+  Span root;
+  root.span_id = spans_->NextSpanId();
+  root.tid = scope.tid;
+  root.kind = SpanKind::kCommit;
+  root.shard = scope.shard;
+  root.start_us = scope.start_us;
+  root.end_us = end_us;
+  root.arg = elapsed_us;
+  tree.push_back(root);
+  auto child = [&](SpanKind kind, uint32_t shard, uint64_t start_us,
+                   uint64_t child_end_us, uint64_t arg) {
+    Span span;
+    span.span_id = spans_->NextSpanId();
+    span.parent_id = root.span_id;
+    span.tid = scope.tid;
+    span.kind = kind;
+    span.shard = shard;
+    span.start_us = start_us;
+    span.end_us = child_end_us < start_us ? start_us : child_end_us;
+    span.arg = arg;
+    tree.push_back(span);
+  };
+  child(SpanKind::kQueueWait, scope.shard, scope.start_us, scope.locked_us,
+        scope.locked_us - scope.start_us);
+  child(SpanKind::kAppend, scope.shard, scope.locked_us, scope.append_end_us,
+        scope.append_end_us - scope.locked_us);
+  // The last durable point this commit observed: the ack span runs from
+  // there to the ack itself (follower wake-up, batched-force wait).
+  uint64_t ack_start_us = scope.append_end_us;
+  for (const CommitSpanScope::ForceLeg& leg : scope.forces) {
+    if (leg.dwell_end_us > leg.dwell_start_us) {
+      child(SpanKind::kDwell, leg.shard, leg.dwell_start_us, leg.dwell_end_us,
+            leg.dwell_end_us - leg.dwell_start_us);
+    }
+    if (leg.sync_end_us != 0) {
+      child(SpanKind::kForce, leg.shard, leg.sync_start_us, leg.sync_end_us,
+            leg.sync_end_us - leg.sync_start_us);
+      if (leg.sync_end_us > ack_start_us) {
+        ack_start_us = leg.sync_end_us;
+      }
+    }
+  }
+  for (const CommitSpanScope::TwoPcLeg& leg : scope.two_pc) {
+    child(leg.decision ? SpanKind::kTwoPcDecision : SpanKind::kTwoPcPrepare,
+          leg.shard, leg.start_us, leg.end_us, leg.end_us - leg.start_us);
+  }
+  if (ack_start_us > end_us) {
+    ack_start_us = end_us;
+  }
+  child(SpanKind::kAck, scope.shard, ack_start_us, end_us,
+        end_us - ack_start_us);
+  if (outlier) {
+    ++stats_.slow_commits;
+  }
+  spans_->RecordTree(tree, outlier);
+}
+
+void RvmInstance::EmitMaintenanceSpan(SpanKind kind, uint32_t shard,
+                                      uint64_t start_us, uint64_t end_us,
+                                      uint64_t arg) {
+  if (spans_ == nullptr) {
+    return;
+  }
+  Span span;
+  span.span_id = spans_->NextSpanId();
+  span.kind = kind;
+  span.shard = shard;
+  span.start_us = start_us;
+  span.end_us = end_us < start_us ? start_us : end_us;
+  span.arg = arg;
+  spans_->Record(span);
+}
+
+StatusOr<std::string> RvmInstance::DumpSpansJsonl() const {
+  if (spans_ == nullptr) {
+    return FailedPrecondition(
+        "span tracing disabled (span_sample_rate and "
+        "slow_commit_threshold_us are 0)");
+  }
+  return SpansJsonl(spans_->Snapshot(), "rvm-spans",
+                    static_cast<uint32_t>(shards_.size()));
+}
+
+StatusOr<std::string> RvmInstance::DumpSpansChromeTrace() const {
+  if (spans_ == nullptr) {
+    return FailedPrecondition(
+        "span tracing disabled (span_sample_rate and "
+        "slow_commit_threshold_us are 0)");
+  }
+  return SpansToChromeTrace(spans_->Snapshot(),
+                            static_cast<uint32_t>(shards_.size()));
 }
 
 }  // namespace rvm

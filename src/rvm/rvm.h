@@ -64,6 +64,7 @@
 #include "src/rvm/statistics.h"
 #include "src/rvm/types.h"
 #include "src/telemetry/sampler.h"
+#include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/interval_set.h"
 #include "src/util/status.h"
@@ -200,6 +201,28 @@ class RvmInstance {
   // The same events rendered as JSONL, one event per line (the format
   // `rvmutl LOG trace` prints and the poison sidecar embeds).
   std::string DumpTraceJsonl() const { return TraceJsonl(trace_.Events()); }
+
+  // Per-transaction span tracing (DESIGN.md §15). Enabled when either
+  // RvmOptions::span_sample_rate or slow_commit_threshold_us is nonzero;
+  // disabled, the layer does not exist (no memory, no clock reads, commit
+  // behavior bit-identical).
+  bool spans_enabled() const { return spans_ != nullptr; }
+  // Point-in-time merge of every shard's span ring, ordered by
+  // (start_us, span_id). Empty when spans are disabled.
+  std::vector<Span> SpanSnapshot() const {
+    return spans_ != nullptr ? spans_->Snapshot() : std::vector<Span>();
+  }
+  // The most recent slow-commit outlier trees, oldest first (also embedded
+  // in the poison sidecar).
+  std::vector<std::vector<Span>> SlowCommitSpans() const {
+    return spans_ != nullptr ? spans_->OutlierTrees()
+                             : std::vector<std::vector<Span>>();
+  }
+  // The span snapshot as an rvm-spans-v1 JSONL document / a Chrome
+  // trace-event JSON object loadable in Perfetto (one track per shard, 2PC
+  // flow arrows). kFailedPrecondition when spans are disabled.
+  StatusOr<std::string> DumpSpansJsonl() const;
+  StatusOr<std::string> DumpSpansChromeTrace() const;
 
   uint64_t log_bytes_in_use();
   uint64_t log_capacity();
@@ -462,6 +485,49 @@ class RvmInstance {
   // Copies one shard's live records into a fresh, rvmutl-readable log (§6).
   Status ArchiveLiveLogBothLocked(LogShard& shard);
 
+  // Stack-side commit span context (DESIGN.md §15), filled along the commit
+  // path only when the span layer is enabled (`active`). Every field reuses
+  // a timestamp the path already takes for the phase histograms; the scope
+  // is materialized into a span tree at ack time when the commit is sampled
+  // or slower than the outlier threshold, and simply discarded otherwise.
+  // An inactive scope costs one branch per site.
+  struct CommitSpanScope {
+    bool active = false;
+    uint64_t tid = 0;
+    uint64_t start_us = 0;      // EndTransaction entry
+    uint64_t locked_us = 0;     // state lock acquired
+    uint64_t append_end_us = 0; // bookkeeping + append done
+    uint32_t shard = 0;         // single-shard commit: the target shard
+    // One per group-commit force this commit led (dwell may be absent).
+    struct ForceLeg {
+      uint32_t shard = 0;
+      uint64_t dwell_start_us = 0;
+      uint64_t dwell_end_us = 0;
+      uint64_t sync_start_us = 0;
+      uint64_t sync_end_us = 0;
+    };
+    std::vector<ForceLeg> forces;
+    // Cross-shard 2PC intervals: per-participant prepare (append through
+    // its force) and the coordinator decision (append through the decision
+    // force — the commit point).
+    struct TwoPcLeg {
+      uint32_t shard = 0;
+      bool decision = false;
+      uint64_t start_us = 0;
+      uint64_t end_us = 0;
+    };
+    std::vector<TwoPcLeg> two_pc;
+  };
+  // Builds and records the span tree for one acked commit. Call only with
+  // spans_ non-null and `scope.active`; `outlier` decides retention in the
+  // slow-commit store.
+  void EmitCommitSpans(const CommitSpanScope& scope, uint64_t end_us,
+                       uint64_t elapsed_us);
+  // Records one standalone maintenance span (truncation passes, recovery
+  // phases; tid 0). No-op when spans are disabled.
+  void EmitMaintenanceSpan(SpanKind kind, uint32_t shard, uint64_t start_us,
+                           uint64_t end_us, uint64_t arg);
+
   // --- commit path (rvm.cc) ---
   // Shared body of EndTransaction and EndTransactionWithUndo: bookkeeping
   // and appends under state_mu_, then the group-commit stage with no locks.
@@ -474,7 +540,7 @@ class RvmInstance {
   Status EndTransactionLocked(
       TxnState& txn, CommitMode mode,
       std::vector<std::pair<LogShard*, uint64_t>>* flush_targets,
-      bool* durable_inline);
+      bool* durable_inline, CommitSpanScope* span_scope);
   // Builds one spool entry per participating shard, ascending shard order.
   std::vector<std::pair<uint32_t, SpoolEntry>> BuildSpoolEntriesLocked(
       TxnState& txn);
@@ -489,7 +555,8 @@ class RvmInstance {
   // Commits a transaction spanning several shards through the internal
   // two-phase protocol (src/dtx/shard_2pc.h). Durable on success.
   Status CommitCrossShardLocked(
-      TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries);
+      TxnState& txn, std::vector<std::pair<uint32_t, SpoolEntry>>& entries,
+      CommitSpanScope* span_scope);
   // Forces one shard synchronously under its log lock (2PC, direct flush).
   Status ForceShardBothLocked(LogShard& shard);
   // Appends every spooled no-flush record on `shard` and reports the LSN
@@ -509,7 +576,8 @@ class RvmInstance {
   // original one-log format's recovery fast path); everyone else waits on
   // the shard's group_cv.
   Status CommitDurable(LogShard& shard, uint64_t target_lsn,
-                       uint64_t max_batch, uint64_t max_wait_us);
+                       uint64_t max_batch, uint64_t max_wait_us,
+                       CommitSpanScope* span_scope = nullptr);
   // Wakes group-stage waiters after a log force outside the leader protocol
   // (truncation, direct flush) advanced the durable LSN.
   void NotifyDurableWaiters(LogShard& shard);
@@ -539,6 +607,11 @@ class RvmInstance {
   // Poison; write failures are swallowed — the instance is already dying and
   // the sidecar must never mask the original cause.
   void DumpPoisonSidecar(const Status& cause);
+  // Renders the retained slow-commit outlier trees (DESIGN.md §15) as extra
+  // sidecar fields (",\"spans_schema\":...,\"slow_commit_spans\":[[...]]"),
+  // or an empty string when spans are disabled. Lock-free like the rest of
+  // the sidecar path.
+  std::string OutlierSpansJson() const;
   // Entry gate: returns the poison cause if the instance is poisoned,
   // adopting a self-poisoned device's cause on first observation — shard 0's
   // as instance death, any other shard's as a quarantine (which does NOT
@@ -628,9 +701,10 @@ class RvmInstance {
   // Records a trace event stamped with env_->NowMicros(). Callable with any
   // lock state (the recorder has its own leaf mutex); a no-op when tracing
   // is disabled.
-  void Trace(TraceEventType type, uint64_t arg0 = 0, uint64_t arg1 = 0) {
+  void Trace(TraceEventType type, uint64_t arg0 = 0, uint64_t arg1 = 0,
+             uint32_t shard = 0) {
     if (trace_.capacity() != 0) {
-      trace_.Record(env_->NowMicros(), type, arg0, arg1);
+      trace_.Record(env_->NowMicros(), type, arg0, arg1, shard);
     }
   }
 
@@ -691,6 +765,10 @@ class RvmInstance {
   // sample_interval_us > 0) pulls samples through TakeTimeseriesSample and
   // is stopped before Terminate takes the state lock.
   std::unique_ptr<StatsSampler> sampler_;
+  // Span collector (DESIGN.md §15); null unless span_sample_rate or
+  // slow_commit_threshold_us is set. Lock-free per-shard rings, safe from
+  // any thread / lock state.
+  std::unique_ptr<SpanCollector> spans_;
 };
 
 // RAII transaction helper. Aborts on destruction unless committed.

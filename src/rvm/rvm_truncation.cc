@@ -183,9 +183,15 @@ Status RvmInstance::RecoverLocked() {
   std::vector<LogShard*> live;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> log_lock(shard->log_mu);
+    const uint64_t scan_start_us = spans_ != nullptr ? env_->NowMicros() : 0;
     RVM_ASSIGN_OR_RETURN(uint64_t found, shard->log->ExtendTailForward());
     discovered += found;
-    Trace(TraceEventType::kRecoveryScan, found, shard->log->used());
+    Trace(TraceEventType::kRecoveryScan, found, shard->log->used(),
+          shard->index);
+    if (spans_ != nullptr) {
+      EmitMaintenanceSpan(SpanKind::kRecoveryScan, shard->index, scan_start_us,
+                          env_->NowMicros(), found);
+    }
     if (shard->log->used() > 0) {
       live.push_back(shard.get());
     }
@@ -258,7 +264,13 @@ Status RvmInstance::RecoverLocked() {
       threads.emplace_back([this, shard = live[i], decided_ptr, &caches,
                             &results, i] {
         std::lock_guard<std::mutex> log_lock(shard->log_mu);
+        const uint64_t apply_start_us =
+            spans_ != nullptr ? env_->NowMicros() : 0;
         results[i] = RecoverShardBothLocked(*shard, decided_ptr, caches[i]);
+        if (spans_ != nullptr) {
+          EmitMaintenanceSpan(SpanKind::kRecoveryApply, shard->index,
+                              apply_start_us, env_->NowMicros(), 0);
+        }
       });
     }
     for (std::thread& thread : threads) {
@@ -277,8 +289,13 @@ Status RvmInstance::RecoverLocked() {
   } else {
     for (LogShard* shard : live) {
       std::lock_guard<std::mutex> log_lock(shard->log_mu);
+      const uint64_t apply_start_us = spans_ != nullptr ? env_->NowMicros() : 0;
       RVM_RETURN_IF_ERROR(
           RecoverShardBothLocked(*shard, decided_ptr, segment_files_));
+      if (spans_ != nullptr) {
+        EmitMaintenanceSpan(SpanKind::kRecoveryApply, shard->index,
+                            apply_start_us, env_->NowMicros(), 0);
+      }
     }
   }
 
@@ -403,7 +420,7 @@ Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
   }
   const uint64_t sync_us = env_->NowMicros() - sync_start_us;
   stats_.log_force_us.Record(sync_us);
-  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us);
+  Trace(TraceEventType::kForce, shard.log->durable_lsn(), sync_us, shard.index);
   if (shard.log->used() == 0) {
     return OkStatus();
   }
@@ -411,7 +428,9 @@ Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
     RVM_RETURN_IF_ERROR(ArchiveLiveLogBothLocked(shard));
   }
   ++stats_.truncations_started;
-  Trace(TraceEventType::kTruncationStart, 0);
+  Trace(TraceEventType::kTruncationStart, 0, 0, shard.index);
+  const uint64_t truncation_start_us =
+      spans_ != nullptr ? env_->NowMicros() : 0;
   RVM_RETURN_IF_ERROR(ApplyLogToSegmentsBothLocked(
       shard, &stats_.truncation_records_applied,
       &stats_.truncation_bytes_applied, &stats_.truncation_step_us,
@@ -444,7 +463,11 @@ Status RvmInstance::TruncateEpochBothLocked(LogShard& shard) {
     ++stats_.truncations_completed;
     ++stats_.epoch_truncations;
   }
-  Trace(TraceEventType::kTruncationComplete, 0);
+  Trace(TraceEventType::kTruncationComplete, 0, 0, shard.index);
+  if (spans_ != nullptr) {
+    EmitMaintenanceSpan(SpanKind::kTruncation, shard.index,
+                        truncation_start_us, env_->NowMicros(), /*arg=*/0);
+  }
   return OkStatus();
 }
 
@@ -501,6 +524,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
   std::map<SegmentId, IntervalSet> written;
   bool advanced = false;
   uint64_t steps = 0;
+  uint64_t truncation_start_us = 0;
   while (shard.log->used() > target && !shard.page_queue.empty() &&
          steps < runtime_.incremental_max_steps) {
     const QueuedPage& front = shard.page_queue.front();
@@ -530,7 +554,10 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
     File* file = segment_files_[region->segment_id].get();
     if (!advanced) {
       ++stats_.truncations_started;
-      Trace(TraceEventType::kTruncationStart, 1);
+      Trace(TraceEventType::kTruncationStart, 1, 0, shard.index);
+      if (spans_ != nullptr) {
+        truncation_start_us = env_->NowMicros();
+      }
     }
     const uint64_t step_start_us = env_->NowMicros();
     RVM_RETURN_IF_ERROR(
@@ -543,7 +570,7 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
     entry.dirty = false;
     entry.in_queue = false;
     stats_.truncation_step_us.Record(env_->NowMicros() - step_start_us);
-    Trace(TraceEventType::kTruncationStep, front.page);
+    Trace(TraceEventType::kTruncationStep, front.page, 0, shard.index);
     shard.page_queue.pop_front();
     ++stats_.incremental_steps;
     ++stats_.incremental_pages_written;
@@ -594,7 +621,11 @@ Status RvmInstance::IncrementalTruncateBothLocked(LogShard& shard,
   }
   shard.truncations.fetch_add(1, std::memory_order_relaxed);
   ++stats_.truncations_completed;
-  Trace(TraceEventType::kTruncationComplete, 1);
+  Trace(TraceEventType::kTruncationComplete, 1, 0, shard.index);
+  if (spans_ != nullptr) {
+    EmitMaintenanceSpan(SpanKind::kTruncation, shard.index,
+                        truncation_start_us, env_->NowMicros(), /*arg=*/1);
+  }
   return status_write;
 }
 
@@ -634,7 +665,7 @@ Status RvmInstance::RepairShardLocked(uint32_t index) {
                        std::memory_order_release);
   }
   ++stats_.shard_repairs_started;
-  Trace(TraceEventType::kShardRepair, index, 0);
+  Trace(TraceEventType::kShardRepair, index, 0, index);
 
   Status result = [&]() -> Status {
     // Phase 0: a fresh device on the healed file — never the poisoned fd
@@ -657,8 +688,13 @@ Status RvmInstance::RepairShardLocked(uint32_t index) {
     // scanning (records appended after the last durable status write, and
     // everything a failed sync left behind, are rediscovered here; a torn
     // trailing record fails its checksum and bounds the scan).
+    const uint64_t scan_start_us = spans_ != nullptr ? env_->NowMicros() : 0;
     RVM_ASSIGN_OR_RETURN(uint64_t found, shard.log->ExtendTailForward());
-    Trace(TraceEventType::kRecoveryScan, found, shard.log->used());
+    Trace(TraceEventType::kRecoveryScan, found, shard.log->used(), shard.index);
+    if (spans_ != nullptr) {
+      EmitMaintenanceSpan(SpanKind::kRecoveryScan, shard.index, scan_start_us,
+                          env_->NowMicros(), found);
+    }
 
     if (shard.log->used() > 0) {
       // Phase 2: decided = (this shard's decisions ∪ every live sibling's
@@ -748,7 +784,8 @@ Status RvmInstance::RepairShardLocked(uint32_t index) {
               chk.crc(page)) {
             ++stats_.checksum_mismatches;
             ++stats_.pages_quarantined;
-            Trace(TraceEventType::kChecksumMismatch, region->segment_id, page);
+            Trace(TraceEventType::kChecksumMismatch, region->segment_id, page,
+                  shard.index);
             return Corruption("segment page failed checksum verification "
                               "during shard repair: " +
                               region->segment_path + " page " +
@@ -793,7 +830,7 @@ Status RvmInstance::RepairShardLocked(uint32_t index) {
                        std::memory_order_release);
   }
   ++stats_.shard_repairs_completed;
-  Trace(TraceEventType::kShardRepair, index, 1);
+  Trace(TraceEventType::kShardRepair, index, 1, index);
   RVM_LOG_INFO("rvm shard %u repaired and re-attached", index);
   // The quarantine sidecar is stale evidence now; best-effort cleanup.
   (void)env_->Delete(shard.path + ".quarantine.json");

@@ -122,6 +122,12 @@ struct RvmStatistics {
   StatCounter group_commit_batches;
   StatCounter group_commit_batched_txns;
 
+  // Commits whose end-to-end latency exceeded
+  // RvmOptions::slow_commit_threshold_us; each one's full span tree is
+  // retained by the slow-commit outlier recorder (DESIGN.md §15). Zero when
+  // span tracing is disabled.
+  StatCounter slow_commits;
+
   // In-flight cross-shard 2PC window, for the crash-schedule explorer
   // (mirrors the truncation window below): started is bumped when a
   // cross-shard commit begins appending prepares, decided once its decision
@@ -270,6 +276,7 @@ struct RvmStatistics {
     fn("log_forces", log_forces.load());
     fn("log_flush_calls", log_flush_calls.load());
     fn("group_commit_batches", group_commit_batches.load());
+    fn("slow_commits", slow_commits.load());
     fn("group_commit_batched_txns", group_commit_batched_txns.load());
     fn("group_commit_saved_forces", group_commit_saved_forces());
     fn("cross_shard_commits_started", cross_shard_commits_started.load());
@@ -465,6 +472,7 @@ inline std::string FormatStatistics(const RvmStatistics& stats) {
   row("log forces:", stats.log_forces);
   row("log flush calls:", stats.log_flush_calls);
   row("group commit batches:", stats.group_commit_batches);
+  row("slow commits:", stats.slow_commits);
   row("group commit batched txns:", stats.group_commit_batched_txns);
   row("group commit saved forces:", stats.group_commit_saved_forces());
   row("cross-shard 2pc commits:", stats.cross_shard_commits_started);

@@ -500,4 +500,93 @@ Status ValidateTimeseriesJsonl(std::string_view text) {
   return OkStatus();
 }
 
+Status ValidateSpansJsonl(std::string_view text) {
+  size_t line_number = 0;
+  size_t span_count = 0;
+  double shard_count = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    ++line_number;
+    const std::string where = "line " + std::to_string(line_number);
+    RVM_ASSIGN_OR_RETURN(JsonValue value, ParseJson(line));
+    if (!value.IsObject()) {
+      return InvalidArgument(where + " is not a JSON object");
+    }
+    if (line_number == 1) {
+      const JsonValue* schema = value.Find("schema");
+      if (schema == nullptr || !schema->IsString() ||
+          schema->string != kSpansSchemaVersion) {
+        return InvalidArgument(
+            std::string("header missing or wrong schema (expected \"") +
+            kSpansSchemaVersion + "\")");
+      }
+      const JsonValue* source = value.Find("source");
+      if (source == nullptr || !source->IsString() || source->string.empty()) {
+        return InvalidArgument("header missing nonempty string 'source'");
+      }
+      const JsonValue* shards = value.Find("shards");
+      if (shards == nullptr || !shards->IsNumber() || shards->number < 1) {
+        return InvalidArgument("header missing numeric 'shards' >= 1");
+      }
+      shard_count = shards->number;
+      continue;
+    }
+    const JsonValue* span_id = value.Find("span_id");
+    if (span_id == nullptr || !span_id->IsNumber() || span_id->number < 1) {
+      return InvalidArgument(where + " missing numeric 'span_id' >= 1");
+    }
+    const JsonValue* parent_id = value.Find("parent_id");
+    if (parent_id == nullptr || !parent_id->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'parent_id'");
+    }
+    const JsonValue* tid = value.Find("tid");
+    if (tid == nullptr || !tid->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'tid'");
+    }
+    const JsonValue* kind = value.Find("kind");
+    if (kind == nullptr || !kind->IsString() || kind->string.empty()) {
+      return InvalidArgument(where + " missing nonempty string 'kind'");
+    }
+    const JsonValue* shard = value.Find("shard");
+    if (shard == nullptr || !shard->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'shard'");
+    }
+    if (shard->number >= shard_count) {
+      return InvalidArgument(where + " 'shard' exceeds the header count");
+    }
+    const JsonValue* start_us = value.Find("start_us");
+    if (start_us == nullptr || !start_us->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'start_us'");
+    }
+    const JsonValue* end_us = value.Find("end_us");
+    if (end_us == nullptr || !end_us->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'end_us'");
+    }
+    if (end_us->number < start_us->number) {
+      return InvalidArgument(where + " 'end_us' precedes 'start_us'");
+    }
+    const JsonValue* arg = value.Find("arg");
+    if (arg == nullptr || !arg->IsNumber()) {
+      return InvalidArgument(where + " missing numeric 'arg'");
+    }
+    ++span_count;
+  }
+  if (line_number == 0) {
+    return InvalidArgument("empty span document");
+  }
+  if (span_count == 0) {
+    return InvalidArgument("span document has a header but no spans");
+  }
+  return OkStatus();
+}
+
 }  // namespace rvm

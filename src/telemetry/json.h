@@ -38,6 +38,17 @@
 //
 // Sample timestamps must be non-decreasing; "gauges" is required (flat
 // numbers plus the optional per-region array), "counters" is optional.
+//
+// The span schema ("rvm-spans-v1", DESIGN.md §15) is also JSONL — a header
+// line followed by one span per line, ordered by start time:
+//
+//   {"schema": "rvm-spans-v1", "source": "...", "shards": N}
+//   {"span_id": N, "parent_id": N, "tid": N, "kind": "commit",
+//    "shard": N, "start_us": N, "end_us": N, "arg": N}
+//   ...
+//
+// span_id is nonzero; parent_id 0 marks a root; end_us >= start_us; shard
+// must lie below the header's shard count.
 #ifndef RVM_TELEMETRY_JSON_H_
 #define RVM_TELEMETRY_JSON_H_
 
@@ -52,6 +63,7 @@ namespace rvm {
 
 inline constexpr char kTelemetrySchemaVersion[] = "rvm-telemetry-v1";
 inline constexpr char kTimeseriesSchemaVersion[] = "rvm-timeseries-v2";
+inline constexpr char kSpansSchemaVersion[] = "rvm-spans-v1";
 
 // Escapes `text` for embedding inside a JSON string literal (quotes not
 // included).
@@ -86,6 +98,10 @@ Status ValidateTelemetryJson(std::string_view text);
 // Structural validation of an rvm-timeseries-v2 JSONL document (header line
 // plus at least one sample line, per the layout described above).
 Status ValidateTimeseriesJsonl(std::string_view text);
+
+// Structural validation of an rvm-spans-v1 JSONL document (header line plus
+// at least one span line, per the layout described above).
+Status ValidateSpansJsonl(std::string_view text);
 
 }  // namespace rvm
 

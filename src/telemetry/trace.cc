@@ -49,9 +49,9 @@ std::string TraceEventJson(const TraceEvent& event) {
   char line[160];
   std::snprintf(line, sizeof(line),
                 "{\"ts_us\":%" PRIu64 ",\"event\":\"%s\",\"arg0\":%" PRIu64
-                ",\"arg1\":%" PRIu64 "}",
+                ",\"arg1\":%" PRIu64 ",\"shard\":%u}",
                 event.timestamp_us, TraceEventTypeName(event.type), event.arg0,
-                event.arg1);
+                event.arg1, event.shard);
   return line;
 }
 
@@ -69,12 +69,12 @@ TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRecorder::Record(uint64_t timestamp_us, TraceEventType type,
-                           uint64_t arg0, uint64_t arg1) {
+                           uint64_t arg0, uint64_t arg1, uint32_t shard) {
   if (capacity_ == 0) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  ring_[next_seq_ % capacity_] = {timestamp_us, type, arg0, arg1};
+  ring_[next_seq_ % capacity_] = {timestamp_us, type, arg0, arg1, shard};
   ++next_seq_;
 }
 

@@ -46,6 +46,10 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kTxnBegin;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
+  // Log shard the event ran against; 0 for instance-wide events (and for
+  // everything on a single-shard instance). `rvmutl LOG trace --shard=K`
+  // filters on this.
+  uint32_t shard = 0;
 };
 
 // One JSONL line (no trailing newline) for a single event.
@@ -61,7 +65,7 @@ class TraceRecorder {
   explicit TraceRecorder(size_t capacity);
 
   void Record(uint64_t timestamp_us, TraceEventType type, uint64_t arg0 = 0,
-              uint64_t arg1 = 0);
+              uint64_t arg1 = 0, uint32_t shard = 0);
 
   // Copies the live events, oldest first. The ring is not cleared: dumping
   // the flight recorder must not erase evidence a later dump still needs.

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "src/check/crash_explorer.h"
 #include "src/os/mem_env.h"
 #include "src/rvm/rvm.h"
 #include "src/sim/sim_clock.h"
@@ -90,6 +91,79 @@ TEST(DeterminismTest, LogBytesIdenticalAcrossRuns) {
   ASSERT_TRUE(bytes_a.ok());
   ASSERT_TRUE(bytes_b.ok());
   EXPECT_EQ(*bytes_a, *bytes_b) << "log contents must be deterministic";
+}
+
+// Span tracing must be pure observation (DESIGN.md §15): with the heaviest
+// capture settings the durable bytes are identical to a spans-off run.
+TEST(DeterminismTest, SpanTracingNeverChangesDurableBytes) {
+  auto run = [](MemEnv& env, bool spans) {
+    (void)RvmInstance::CreateLog(&env, "/log", kLogDataStart + 256 * 1024);
+    RvmOptions options;
+    options.env = &env;
+    options.log_path = "/log";
+    if (spans) {
+      options.span_sample_rate = 1;
+      options.slow_commit_threshold_us = 1;
+    }
+    auto rvm = RvmInstance::Initialize(options);
+    RegionDescriptor region;
+    region.segment_path = "/seg";
+    region.length = 4 * kPage;
+    (void)(*rvm)->Map(region);
+    auto* base = static_cast<uint8_t*>(region.address);
+    Xoshiro256 rng(99);
+    for (int i = 0; i < 40; ++i) {
+      Transaction txn(**rvm);
+      uint64_t offset = rng.Below(4 * kPage - 100);
+      (void)txn.SetRange(base + offset, 100);
+      std::memset(base + offset, i, 100);
+      (void)txn.Commit(i % 4 == 0 ? CommitMode::kFlush : CommitMode::kNoFlush);
+    }
+    (void)(*rvm)->Terminate();
+  };
+  MemEnv env_off;
+  MemEnv env_on;
+  run(env_off, false);
+  run(env_on, true);
+  for (const char* path : {"/log", "/seg"}) {
+    auto file_off = env_off.Open(path, OpenMode::kReadOnly);
+    auto file_on = env_on.Open(path, OpenMode::kReadOnly);
+    ASSERT_TRUE(file_off.ok()) << path;
+    ASSERT_TRUE(file_on.ok()) << path;
+    auto bytes_off = ReadWholeFile(**file_off);
+    auto bytes_on = ReadWholeFile(**file_on);
+    ASSERT_TRUE(bytes_off.ok());
+    ASSERT_TRUE(bytes_on.ok());
+    EXPECT_EQ(*bytes_off, *bytes_on)
+        << path << " must be identical with span tracing on";
+  }
+}
+
+// The crash explorer's schedule space is derived from the op sequence, which
+// span emission must not perturb.
+TEST(DeterminismTest, SpanTracingNeverChangesExplorerSchedules) {
+  auto sweep = [](bool spans) {
+    CheckerWorkload workload;
+    workload.total_txns = 6;
+    if (spans) {
+      workload.span_sample_rate = 1;
+      workload.slow_commit_threshold_us = 1;
+    }
+    ExploreLimits limits;
+    limits.max_depth = 1;
+    limits.forward_stride = 4;
+    CrashExplorer explorer(workload);
+    auto stats = explorer.ExploreAll(limits, [](const ScheduleOutcome&) {});
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+  const ExploreStats off = sweep(false);
+  const ExploreStats on = sweep(true);
+  EXPECT_EQ(off.schedules_run, on.schedules_run);
+  EXPECT_EQ(off.passed, on.passed);
+  EXPECT_EQ(off.failed, on.failed);
+  EXPECT_EQ(off.baseline_ops, on.baseline_ops);
+  EXPECT_EQ(on.failed, 0u);
 }
 
 // --- log lifecycle across incarnations ---------------------------------------

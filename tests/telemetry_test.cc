@@ -212,16 +212,21 @@ TEST(TraceRecorderTest, JsonlRendering) {
   event.type = TraceEventType::kForce;
   event.arg0 = 4096;
   event.arg1 = 17400;
+  event.shard = 2;
   EXPECT_EQ(TraceEventJson(event),
-            "{\"ts_us\":12,\"event\":\"force\",\"arg0\":4096,\"arg1\":17400}");
+            "{\"ts_us\":12,\"event\":\"force\",\"arg0\":4096,\"arg1\":17400,"
+            "\"shard\":2}");
 
   TraceRecorder recorder(4);
   recorder.Record(1, TraceEventType::kTxnBegin, 1);
   recorder.Record(2, TraceEventType::kCommitAck, 1, 3);
   std::string jsonl = TraceJsonl(recorder.Events());
-  EXPECT_EQ(jsonl,
-            "{\"ts_us\":1,\"event\":\"txn-begin\",\"arg0\":1,\"arg1\":0}\n"
-            "{\"ts_us\":2,\"event\":\"commit-ack\",\"arg0\":1,\"arg1\":3}\n");
+  EXPECT_EQ(
+      jsonl,
+      "{\"ts_us\":1,\"event\":\"txn-begin\",\"arg0\":1,\"arg1\":0,"
+      "\"shard\":0}\n"
+      "{\"ts_us\":2,\"event\":\"commit-ack\",\"arg0\":1,\"arg1\":3,"
+      "\"shard\":0}\n");
 }
 
 // ---------------------------------------------------------------------------

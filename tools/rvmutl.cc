@@ -29,7 +29,10 @@
 //                                          --replay=STRING re-runs one
 //                                          schedule deterministically
 //   rvmutl top [options]                   live gauge monitor (DESIGN.md §11)
-//   rvmutl timeline FILE                   validate/render a time-series dump
+//   rvmutl timeline FILE [--shard=K]       validate/render a time-series dump
+//   rvmutl spans [options]                 span-traced scratch workload +
+//                                          rvm-spans-v1 / Chrome trace export
+//                                          (DESIGN.md §15)
 #include <unistd.h>
 
 #include <algorithm>
@@ -43,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -457,9 +461,22 @@ int CmdStats(const std::string& log_path, int argc, char** argv) {
   return 0;
 }
 
-int CmdTrace(const std::string& log_path) {
+int CmdTrace(const std::string& log_path, int argc, char** argv) {
   // Initialize runs recovery, so the trace shows exactly what recovery did
   // to this log (recovery-scan, recovery-apply, forces) as JSONL.
+  bool shard_filter = false;
+  uint32_t shard = 0;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--shard=", 0) == 0) {
+      shard_filter = true;
+      shard =
+          static_cast<uint32_t>(std::stoul(arg.substr(std::strlen("--shard="))));
+    } else {
+      std::fprintf(stderr, "unknown trace option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
   RvmOptions options;
   options.log_path = log_path;
   auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), log_path);
@@ -472,7 +489,19 @@ int CmdTrace(const std::string& log_path) {
                  rvm.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", (*rvm)->DumpTraceJsonl().c_str());
+  if (!shard_filter) {
+    std::printf("%s", (*rvm)->DumpTraceJsonl().c_str());
+    return 0;
+  }
+  if (shard >= options.log_shards) {
+    std::fprintf(stderr, "--shard=%u out of range (log has %u shard(s))\n",
+                 shard, options.log_shards);
+    return 2;
+  }
+  std::vector<TraceEvent> events = (*rvm)->DumpTrace();
+  std::erase_if(events,
+                [shard](const TraceEvent& event) { return event.shard != shard; });
+  std::printf("%s", TraceJsonl(events).c_str());
   return 0;
 }
 
@@ -489,21 +518,50 @@ int CmdCheckJson(const std::string& path) {
     text.append(buffer, read);
   }
   std::fclose(in);
-  Status valid = ValidateTelemetryJson(text);
+  // Dispatch on the schema the document claims in its first line, so one
+  // entry point validates all three families: rvm-telemetry-v1 documents,
+  // rvm-timeseries-v2 dumps, and rvm-spans-v1 span exports.
+  const std::string_view head(text.data(),
+                              std::min<size_t>(text.size(), 256));
+  const char* schema = kTelemetrySchemaVersion;
+  Status valid = OkStatus();
+  if (head.find(kSpansSchemaVersion) != std::string_view::npos) {
+    schema = kSpansSchemaVersion;
+    valid = ValidateSpansJsonl(text);
+  } else if (head.find(kTimeseriesSchemaVersion) != std::string_view::npos) {
+    schema = kTimeseriesSchemaVersion;
+    valid = ValidateTimeseriesJsonl(text);
+  } else {
+    valid = ValidateTelemetryJson(text);
+  }
   if (!valid.ok()) {
     std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
                  valid.ToString().c_str());
     return 1;
   }
-  std::printf("OK %s: valid %s document\n", path.c_str(),
-              kTelemetrySchemaVersion);
+  std::printf("OK %s: valid %s document\n", path.c_str(), schema);
   return 0;
 }
 
-// `rvmutl timeline FILE`: validate an rvm-timeseries-v2 dump and render it
-// as a table, one row per sample. Exit codes match check-json: 0 valid,
-// 1 invalid, 2 file error.
-int CmdTimeline(const std::string& path) {
+// `rvmutl timeline FILE [--shard=K]`: validate an rvm-timeseries-v2 dump and
+// render it as a table, one row per sample. With --shard=K the row shows
+// shard K's slice of each sample (its "shards" array entry) instead of the
+// instance aggregates. Exit codes match check-json: 0 valid, 1 invalid,
+// 2 file error.
+int CmdTimeline(const std::string& path, int argc, char** argv) {
+  bool shard_filter = false;
+  uint32_t shard = 0;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--shard=", 0) == 0) {
+      shard_filter = true;
+      shard =
+          static_cast<uint32_t>(std::stoul(arg.substr(std::strlen("--shard="))));
+    } else {
+      std::fprintf(stderr, "unknown timeline option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -537,12 +595,19 @@ int CmdTimeline(const std::string& path) {
         counters != nullptr ? counters->Find(name) : nullptr;
     return value != nullptr && value->IsNumber() ? value->number : 0;
   };
-  std::printf("%10s %7s %12s %12s %7s %7s %7s %10s %8s\n", "t(ms)", "util%",
-              "in-use", "reclaimable", "pqueue", "spool", "txns", "committed",
-              "poisoned");
+  if (shard_filter) {
+    std::printf("%10s %7s %12s %7s %7s %9s %7s %11s\n", "t(ms)", "util%",
+                "in-use", "pqueue", "spool", "records", "forces",
+                "truncations");
+  } else {
+    std::printf("%10s %7s %12s %12s %7s %7s %7s %10s %8s\n", "t(ms)", "util%",
+                "in-use", "reclaimable", "pqueue", "spool", "txns", "committed",
+                "poisoned");
+  }
   bool first = true;
   double t0 = 0;
   size_t line_number = 0;
+  size_t shard_rows = 0;
   for (size_t start = 0; start < text.size();) {
     size_t end = text.find('\n', start);
     if (end == std::string::npos) {
@@ -562,6 +627,38 @@ int CmdTimeline(const std::string& path) {
       t0 = t;
       first = false;
     }
+    if (shard_filter) {
+      const JsonValue* gauges = sample->Find("gauges");
+      const JsonValue* shards =
+          gauges != nullptr ? gauges->Find("shards") : nullptr;
+      const JsonValue* row = nullptr;
+      if (shards != nullptr && shards->IsArray()) {
+        for (const JsonValue& candidate : shards->array) {
+          const JsonValue* index = candidate.Find("shard");
+          if (index != nullptr && index->IsNumber() &&
+              static_cast<uint32_t>(index->number) == shard) {
+            row = &candidate;
+            break;
+          }
+        }
+      }
+      if (row == nullptr) {
+        continue;  // single-shard dumps carry no per-shard rows
+      }
+      ++shard_rows;
+      auto field = [&](const char* name) -> double {
+        const JsonValue* value = row->Find(name);
+        return value != nullptr && value->IsNumber() ? value->number : 0;
+      };
+      const double capacity = field("capacity");
+      const double in_use = field("bytes_in_use");
+      std::printf("%10.1f %7.1f %12.0f %7.0f %7.0f %9.0f %7.0f %11.0f\n",
+                  (t - t0) / 1000.0,
+                  capacity > 0 ? in_use / capacity * 100.0 : 0.0, in_use,
+                  field("page_queue"), field("spool_entries"),
+                  field("records"), field("forces"), field("truncations"));
+      continue;
+    }
     std::printf("%10.1f %7.1f %12.0f %12.0f %7.0f %7.0f %7.0f %10.0f %8.0f\n",
                 (t - t0) / 1000.0, gauge(*sample, "log_utilization") * 100.0,
                 gauge(*sample, "log_bytes_in_use"),
@@ -571,6 +668,13 @@ int CmdTimeline(const std::string& path) {
                 gauge(*sample, "open_transactions"),
                 counter(*sample, "transactions_committed"),
                 gauge(*sample, "poisoned"));
+  }
+  if (shard_filter && shard_rows == 0) {
+    std::fprintf(stderr,
+                 "no samples carry a row for shard %u (single-shard dumps "
+                 "have no per-shard rows)\n",
+                 shard);
+    return 1;
   }
   return 0;
 }
@@ -710,6 +814,192 @@ int CmdTop(int argc, char** argv) {
   }
   std::printf("\ntime series dumped to %s.timeseries.jsonl\n",
               log_path.c_str());
+  return 0;
+}
+
+// Writes `text` to `path` (or stdout when the path is empty). Small
+// telemetry artifacts only.
+bool WriteStringToFile(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), out);
+  std::fclose(out);
+  return true;
+}
+
+// `rvmutl spans`: drive a scratch workload with span tracing enabled and
+// export the captured spans — rvm-spans-v1 JSONL via --out, Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing, one track per
+// shard, 2PC flow arrows) via --chrome. With --shards=N > 1 a slice of the
+// transactions span two regions on different shards, so the export shows
+// the cross-shard 2PC prepare/decision spans correlated by tid.
+int CmdSpans(int argc, char** argv) {
+  uint64_t txns = 200;
+  unsigned threads = 2;
+  uint32_t shards = 1;
+  uint32_t sample = 1;
+  uint64_t slow_us = 0;
+  std::string out_path;
+  std::string chrome_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--txns=", 0) == 0) {
+      txns = std::stoull(arg.substr(std::strlen("--txns=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::stoul(arg.substr(std::strlen("--threads="))));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<uint32_t>(
+          std::stoul(arg.substr(std::strlen("--shards="))));
+    } else if (arg.rfind("--sample=", 0) == 0) {
+      sample = static_cast<uint32_t>(
+          std::stoul(arg.substr(std::strlen("--sample="))));
+    } else if (arg.rfind("--slow-us=", 0) == 0) {
+      slow_us = std::stoull(arg.substr(std::strlen("--slow-us=")));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--chrome=", 0) == 0) {
+      chrome_path = arg.substr(std::strlen("--chrome="));
+    } else {
+      std::fprintf(stderr, "unknown spans option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (threads == 0 || shards == 0) {
+    std::fprintf(stderr, "spans: threads and shards must be nonzero\n");
+    return 2;
+  }
+  if (sample == 0 && slow_us == 0) {
+    std::fprintf(stderr,
+                 "spans: need --sample=N or --slow-us=N (both 0 disables the "
+                 "span layer)\n");
+    return 2;
+  }
+
+  char dir_template[] = "/tmp/rvmutl_spans_XXXXXX";
+  char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string log_path = std::string(dir) + "/log";
+  Status created =
+      RvmInstance::CreateLog(GetRealEnv(), log_path, 4 << 20,
+                             /*overwrite=*/false, shards);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.ToString().c_str());
+    return 1;
+  }
+  RvmOptions options;
+  options.log_path = log_path;
+  options.log_shards = shards;
+  options.span_sample_rate = sample;
+  options.slow_commit_threshold_us = slow_us;
+  options.span_ring_capacity = 1 << 16;
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "init: %s\n", rvm.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr uint64_t kPage = 4096;
+  constexpr uint64_t kRegionPages = 16;
+  // One region per worker, plus — multi-shard only — two regions that land
+  // on consecutive (hence distinct) shards for cross-shard transactions.
+  // Segment ids are assigned in Map order, and regions stripe to
+  // segment_id % shards (DESIGN.md §12).
+  const unsigned regions = threads + (shards > 1 ? 2 : 0);
+  std::vector<uint8_t*> bases;
+  for (unsigned r = 0; r < regions; ++r) {
+    RegionDescriptor region;
+    region.segment_path = std::string(dir) + "/seg" + std::to_string(r);
+    region.length = kRegionPages * kPage;
+    Status mapped = (*rvm)->Map(region);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "map: %s\n", mapped.ToString().c_str());
+      return 1;
+    }
+    bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+
+  std::atomic<int64_t> remaining{static_cast<int64_t>(txns)};
+  std::vector<std::thread> workers;
+  for (unsigned worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      uint8_t* base = bases[worker];
+      uint64_t i = 0;
+      while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        Transaction txn(**rvm, RestoreMode::kNoRestore);
+        if (!txn.ok()) {
+          return;
+        }
+        // Worker 0 commits every 4th transaction across the two dedicated
+        // cross-shard regions, exercising the internal 2PC path.
+        if (shards > 1 && worker == 0 && i % 4 == 3) {
+          if (!txn.SetRange(bases[threads], 128).ok() ||
+              !txn.SetRange(bases[threads + 1], 128).ok()) {
+            return;
+          }
+          std::memset(bases[threads], static_cast<int>(i & 0xFF), 128);
+          std::memset(bases[threads + 1], static_cast<int>(i & 0xFF), 128);
+        } else {
+          const uint64_t offset = (i * 257) % (kRegionPages * kPage - 256);
+          if (!txn.SetRange(base + offset, 256).ok()) {
+            return;
+          }
+          std::memset(base + offset, static_cast<int>(i & 0xFF), 256);
+        }
+        if (!txn.Commit(CommitMode::kFlush).ok()) {
+          return;
+        }
+        ++i;
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  const RvmGauges gauges = (*rvm)->Introspect();
+  auto jsonl = (*rvm)->DumpSpansJsonl();
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "spans: %s\n", jsonl.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteStringToFile(out_path, *jsonl)) {
+    return 1;
+  }
+  if (!chrome_path.empty()) {
+    auto chrome = (*rvm)->DumpSpansChromeTrace();
+    if (!chrome.ok()) {
+      std::fprintf(stderr, "spans: %s\n", chrome.status().ToString().c_str());
+      return 1;
+    }
+    if (!WriteStringToFile(chrome_path, *chrome)) {
+      return 1;
+    }
+  }
+  Status terminated = (*rvm)->Terminate();
+  if (!terminated.ok()) {
+    std::fprintf(stderr, "terminate: %s\n", terminated.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "recorded %llu span(s) (%llu dropped), %llu slow commit(s)%s%s"
+               "%s%s\n",
+               static_cast<unsigned long long>(gauges.spans_recorded),
+               static_cast<unsigned long long>(gauges.spans_dropped),
+               static_cast<unsigned long long>(gauges.slow_commits),
+               out_path.empty() ? "" : "; spans: ", out_path.c_str(),
+               chrome_path.empty() ? "" : "; chrome trace: ",
+               chrome_path.c_str());
   return 0;
 }
 
@@ -1087,6 +1377,12 @@ int CmdExplore(int argc, char** argv) {
       workload.fault_at_txn = std::strtoull(v, nullptr, 10);
     } else if (arg == "--epoch") {
       workload.use_incremental_truncation = false;
+    } else if (arg == "--spans") {
+      // Span tracing on the workload instance: sample every transaction and
+      // treat every commit as a slow outlier, the heaviest capture setting.
+      // Sweeps must be schedule-identical to the same sweep without it.
+      workload.span_sample_rate = 1;
+      workload.slow_commit_threshold_us = 1;
     } else if ((v = value("--depth="))) {
       limits.max_depth = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--forward-stride="))) {
@@ -1207,14 +1503,27 @@ int Usage() {
                "  stats [--json[=FILE]]    run recovery, print RVM statistics\n"
                "                           (--json emits the rvm-telemetry-v1\n"
                "                           schema)\n"
-               "  trace                    run recovery, dump the trace ring as\n"
-               "                           JSONL (one event per line)\n"
-               "  check-json FILE          validate FILE against the\n"
-               "                           rvm-telemetry-v1 schema (top-level\n"
-               "                           command: rvmutl check-json FILE)\n"
-               "  timeline FILE            validate and render an\n"
+               "  trace [--shard=K]        run recovery, dump the trace ring as\n"
+               "                           JSONL (one event per line;\n"
+               "                           --shard=K keeps shard K only)\n"
+               "  check-json FILE          validate FILE against the schema it\n"
+               "                           claims: rvm-telemetry-v1,\n"
+               "                           rvm-timeseries-v2 or rvm-spans-v1\n"
+               "                           (top-level command)\n"
+               "  timeline FILE [--shard=K] validate and render an\n"
                "                           rvm-timeseries-v2 dump (top-level\n"
-               "                           command; exit codes like check-json)\n"
+               "                           command; exit codes like check-json;\n"
+               "                           --shard=K renders shard K's slice)\n"
+               "  spans                    drive a scratch workload with span\n"
+               "                           tracing on and export the spans\n"
+               "                           (top-level command); options:\n"
+               "                           --txns=N --threads=N --shards=N\n"
+               "                           --sample=N (1-in-N tid sampling)\n"
+               "                           --slow-us=N (outlier threshold)\n"
+               "                           --out=FILE (rvm-spans-v1 JSONL)\n"
+               "                           --chrome=FILE (Chrome trace JSON\n"
+               "                           for Perfetto, one track per shard,\n"
+               "                           2PC flow arrows)\n"
                "  top                      live gauge monitor over a scratch\n"
                "                           workload (top-level command);\n"
                "                           options: --duration-ms=N\n"
@@ -1236,6 +1545,8 @@ int Usage() {
                "                           --shards=N --regions=N (sharded 2PC\n"
                "                           sweep), --fault-shard=N --fault-at=M\n"
                "                           (quarantine+repair sweep),\n"
+               "                           --spans (span tracing on the\n"
+               "                           workload instance),\n"
                "                           --max-schedules=N --out=FILE\n"
                "                           -v --replay=STRING (re-run one)\n"
                "\n"
@@ -1256,11 +1567,15 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 3 && std::strcmp(argv[1], "timeline") == 0) {
     // Validates/renders a time-series dump; takes no LOG.
-    return CmdTimeline(argv[2]);
+    return CmdTimeline(argv[2], argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "top") == 0) {
     // Self-contained live monitor; takes no LOG.
     return CmdTop(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "spans") == 0) {
+    // Self-contained span-tracing workload + export; takes no LOG.
+    return CmdSpans(argc, argv);
   }
   if (argc < 3) {
     return Usage();
@@ -1273,7 +1588,7 @@ int Main(int argc, char** argv) {
   }
   if (command_name == "trace") {
     // Same single-descriptor constraint as stats.
-    return CmdTrace(argv[1]);
+    return CmdTrace(argv[1], argc, argv);
   }
   if (command_name == "health") {
     // Offline probe: opens each shard read-only itself, no recovery.
