@@ -17,6 +17,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/status.h"
@@ -88,6 +89,14 @@ class Env {
   // no-op so simulated environments — whose clocks advance with modeled I/O,
   // not wall time — never stall a single-threaded test; RealEnv sleeps.
   virtual void SleepMicros(uint64_t micros) { (void)micros; }
+
+  // Replaces `to` with `from`. RealEnv overrides this with an atomic
+  // ::rename — the property the metrics exposition file relies on (a scraper
+  // never reads a half-written file). The default is a copy-then-delete
+  // built on Open/WriteAt/Sync/Delete, which is not atomic but preserves the
+  // same observable end state on the in-memory environments (whose files
+  // appear whole to their single-threaded readers anyway).
+  virtual Status Rename(const std::string& from, const std::string& to);
 };
 
 // The default production environment (POSIX files, wall clock). Singleton.
@@ -95,6 +104,12 @@ Env* GetRealEnv();
 
 // Convenience: read the entire file.
 StatusOr<std::vector<uint8_t>> ReadWholeFile(File& file);
+
+// Writes `content` to `path` via a "<path>.tmp" sibling plus Rename, so a
+// concurrent reader sees either the previous complete file or the new one —
+// never a prefix. The sampler tick uses this for the metrics exposition file.
+Status WriteFileAtomic(Env& env, const std::string& path,
+                       std::string_view content);
 
 }  // namespace rvm
 

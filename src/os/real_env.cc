@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -159,6 +160,16 @@ class RealEnv final : public Env {
   void SleepMicros(uint64_t micros) override {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return NotFound(ErrnoMessage("rename", from));
+      }
+      return IoError(ErrnoMessage("rename", from));
+    }
+    return OkStatus();
+  }
 };
 
 }  // namespace
@@ -176,6 +187,31 @@ StatusOr<std::vector<uint8_t>> ReadWholeFile(File& file) {
     data.resize(n);
   }
   return data;
+}
+
+Status Env::Rename(const std::string& from, const std::string& to) {
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> source,
+                       Open(from, OpenMode::kReadOnly));
+  RVM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadWholeFile(*source));
+  RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> target,
+                       Open(to, OpenMode::kTruncate));
+  RVM_RETURN_IF_ERROR(target->WriteAt(0, data));
+  RVM_RETURN_IF_ERROR(target->Sync());
+  return Delete(from);
+}
+
+Status WriteFileAtomic(Env& env, const std::string& path,
+                       std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    RVM_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                         env.Open(tmp, OpenMode::kTruncate));
+    std::span<const uint8_t> bytes(
+        reinterpret_cast<const uint8_t*>(content.data()), content.size());
+    RVM_RETURN_IF_ERROR(file->WriteAt(0, bytes));
+    RVM_RETURN_IF_ERROR(file->Sync());
+  }
+  return env.Rename(tmp, path);
 }
 
 }  // namespace rvm

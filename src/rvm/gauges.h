@@ -116,6 +116,19 @@ struct RvmGauges {
   uint64_t spans_recorded = 0;
   uint64_t spans_dropped = 0;
 
+  // Shards currently in quarantine (ShardHealth::kQuarantined), so health
+  // rules need not walk the per-shard rows. 0 on single-shard instances.
+  uint64_t quarantined_shards = 0;
+
+  // Derived commit-latency percentiles, interpolated from the cumulative
+  // commit_latency_us histogram at snapshot time (DESIGN.md §16). Carried as
+  // gauges so the time series, the OpenMetrics exposition, and the SLO
+  // signal map all see the same number under the same name — which is what
+  // lets `rvmutl slo --replay` re-evaluate commit-p99 rules offline.
+  double commit_p50_us = 0;
+  double commit_p90_us = 0;
+  double commit_p99_us = 0;
+
   std::vector<RegionGauges> regions;
   // Per-shard rows; empty on a single-shard instance (whose snapshot is
   // fully described by the top-level gauges, keeping its JSON unchanged).
@@ -170,6 +183,10 @@ struct RvmGauges {
     fn("slow_commits", static_cast<double>(slow_commits));
     fn("spans_recorded", static_cast<double>(spans_recorded));
     fn("spans_dropped", static_cast<double>(spans_dropped));
+    fn("quarantined_shards", static_cast<double>(quarantined_shards));
+    fn("commit_p50_us", commit_p50_us);
+    fn("commit_p90_us", commit_p90_us);
+    fn("commit_p99_us", commit_p99_us);
   }
 };
 

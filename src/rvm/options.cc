@@ -3,6 +3,8 @@
 // naming the field, not misbehave (or divide by zero) mid-commit.
 #include "src/rvm/options.h"
 
+#include "src/telemetry/slo.h"
+
 namespace rvm {
 
 namespace {
@@ -100,6 +102,26 @@ Status ValidateOptions(const RvmOptions& options) {
   }
   if (options.span_outlier_capacity > 64) {
     return InvalidArgument("span_outlier_capacity must be at most 64");
+  }
+  if (!options.metrics_export_path.empty() && options.sample_capacity == 0) {
+    return InvalidArgument(
+        "metrics_export_path requires sample_capacity > 0 (the exposition "
+        "file is rewritten on the sampler tick)");
+  }
+  if (options.metrics_http_port > 65535) {
+    return InvalidArgument("metrics_http_port must be at most 65535");
+  }
+  if (options.metrics_http_port >= 0 && options.env != nullptr &&
+      options.env != GetRealEnv()) {
+    return InvalidArgument(
+        "metrics_http_port requires the real environment (simulated envs "
+        "must use metrics_export_path for exposition)");
+  }
+  if (!options.slo_rules.empty()) {
+    StatusOr<std::vector<SloRule>> rules = ParseSloRules(options.slo_rules);
+    if (!rules.ok()) {
+      return rules.status();
+    }
   }
   return ValidateRuntimeOptions(options.runtime);
 }

@@ -156,6 +156,26 @@ struct RvmOptions {
   uint64_t span_ring_capacity = 1024;
   uint64_t span_outlier_capacity = 4;
 
+  // Live metrics export and health (DESIGN.md §16). When nonempty, every
+  // sampler tick additionally renders the full OpenMetrics exposition
+  // (counters, gauges, histograms — the same text a /metrics scrape returns)
+  // and rewrites this file atomically (temp file + rename), so a scraper or
+  // test reading it always sees a complete document. Requires sampling to be
+  // enabled (sample_capacity > 0): the exposition rides the sampler tick.
+  std::string metrics_export_path;
+  // TCP port for the embedded HTTP listener serving GET /metrics and
+  // GET /healthz from the live instance. -1 disables the listener; 0 binds
+  // an ephemeral port (tests and CI; read it back via metrics_port()).
+  // Real sockets require the real environment: simulated envs must use
+  // metrics_export_path instead, and ValidateOptions enforces that.
+  int32_t metrics_http_port = -1;
+  // Declarative SLO rules evaluated on every sampler tick (grammar in
+  // src/telemetry/slo.h): e.g. "rule p99 commit_p99_us > 50000 for=3".
+  // Firing/resolved transitions land in the trace ring, flip /healthz to
+  // 503/200, and the live rule state is embedded in the poison sidecar.
+  // Empty disables the engine. Parsed (and rejected) at Initialize.
+  std::string slo_rules;
+
   // Data-segment integrity (DESIGN.md §14). When enabled, every segment file
   // gains a "<path>.chk" sidecar holding one CRC32 per page, refreshed
   // whenever truncation or recovery writes committed bytes into the segment.

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/dtx/shard_2pc.h"
+#include "src/rvm/exposition.h"
 #include "src/util/logging.h"
 
 namespace rvm {
@@ -94,6 +95,16 @@ StatusOr<std::unique_ptr<RvmInstance>> RvmInstance::Initialize(
   // mid-recovery would show half-applied state under locks recovery holds.
   if (instance->sampler_ != nullptr) {
     instance->sampler_->Start();
+  }
+  // The HTTP listener likewise starts only once recovery has produced a
+  // consistent instance; its handlers snapshot through the staged locks.
+  if (resolved.metrics_http_port >= 0) {
+    RVM_ASSIGN_OR_RETURN(
+        instance->http_,
+        HttpServer::Start(static_cast<uint16_t>(resolved.metrics_http_port),
+                          [raw = instance.get()](const HttpRequest& request) {
+                            return raw->HandleHttp(request);
+                          }));
   }
   return instance;
 }
@@ -223,6 +234,11 @@ void RvmInstance::DumpPoisonSidecar(const Status& cause) {
   }
   trace_json += ']';
   trace_json += OutlierSpansJson();
+  if (slo_ != nullptr) {
+    // Live rule state at death (engine lock is a leaf, so this is callable
+    // under poison_mu_ like the rest of the sidecar path).
+    trace_json += ",\"slo\":" + slo_->StateJson();
+  }
   const std::string document = TelemetryJsonDocument(
       "poison-dump", {StatisticsJsonRun("at-poison", stats_.Snapshot())},
       trace_json);
@@ -471,7 +487,8 @@ RvmInstance::RvmInstance(const RvmOptions& options,
       verify_on_map_(options.verify_on_map),
       runtime_(options.runtime),
       truncation_mode_(options.truncation_mode),
-      trace_(options.trace_capacity) {
+      trace_(options.trace_capacity),
+      metrics_export_path_(options.metrics_export_path) {
   // Single-threaded here (pre-recovery), so touching the devices without
   // their log_mu is fine.
   for (const auto& shard : shards_) {
@@ -495,6 +512,15 @@ RvmInstance::RvmInstance(const RvmOptions& options,
     span_options.outlier_capacity = options.span_outlier_capacity;
     spans_ = std::make_unique<SpanCollector>(span_options);
   }
+  if (!options.slo_rules.empty()) {
+    // ValidateOptions already parsed this text; a failure here would mean
+    // the options changed between validation and construction, which the
+    // Initialize flow makes impossible.
+    StatusOr<std::vector<SloRule>> rules = ParseSloRules(options.slo_rules);
+    if (rules.ok()) {
+      slo_ = std::make_unique<SloEngine>(std::move(*rules));
+    }
+  }
 }
 
 RvmInstance::~RvmInstance() {
@@ -515,6 +541,11 @@ RvmInstance::~RvmInstance() {
 
 Status RvmInstance::Terminate() {
   StopTruncationThread();
+  // The HTTP listener's handlers walk the same staged locks the sampler
+  // does; stop it first so no scrape can race the teardown below.
+  if (http_ != nullptr) {
+    http_->Stop();
+  }
   // The sampler thread pulls samples through the staged locks; stop it
   // before taking state_mu_ so shutdown cannot race a sample. The final
   // explicit sample captures the instance's terminal state in the series.
@@ -2082,6 +2113,24 @@ RvmGauges RvmInstance::IntrospectLocked() {
     gauges.spans_recorded = spans_->recorded();
     gauges.spans_dropped = spans_->dropped();
   }
+  for (const auto& shard_ptr : shards_) {
+    if (shard_ptr->health.load(std::memory_order_acquire) ==
+        static_cast<uint32_t>(ShardHealth::kQuarantined)) {
+      ++gauges.quarantined_shards;
+    }
+  }
+  {
+    // Derived commit percentiles (DESIGN.md §16): interpolated from the
+    // cumulative histogram so the time series, the OpenMetrics exposition,
+    // and the SLO signal map all carry the same number under the same name.
+    const LatencyHistogram::Snapshot commit =
+        stats_.commit_latency_us.TakeSnapshot();
+    if (commit.count > 0) {
+      gauges.commit_p50_us = commit.Percentile(50.0);
+      gauges.commit_p90_us = commit.Percentile(90.0);
+      gauges.commit_p99_us = commit.Percentile(99.0);
+    }
+  }
 
   for (const auto& [base, region] : regions_) {
     RegionGauges rg;
@@ -2104,11 +2153,81 @@ RvmGauges RvmInstance::IntrospectLocked() {
 
 TimeseriesSample RvmInstance::TakeTimeseriesSample() {
   const RvmGauges gauges = Introspect();
+  const RvmStatistics stats = stats_.Snapshot();
   TimeseriesSample sample;
   sample.timestamp_us = gauges.timestamp_us;
   sample.body = "\"gauges\":" + GaugesJson(gauges) +
-                ",\"counters\":" + StatisticsCountersJson(stats_.Snapshot());
+                ",\"counters\":" + StatisticsCountersJson(stats);
+  // SLO evaluation rides the sampler tick (DESIGN.md §16): one rule pass per
+  // sample over the same signal map the time series records. No instance
+  // locks are held here and the engine's lock is a leaf, so tracing the
+  // transitions back into the flight recorder is safe.
+  if (slo_ != nullptr) {
+    for (const SloTransition& transition :
+         slo_->Evaluate(gauges.timestamp_us, SloSignals(gauges))) {
+      Trace(transition.firing ? TraceEventType::kSloFiring
+                              : TraceEventType::kSloResolved,
+            transition.rule_index,
+            static_cast<uint64_t>(transition.value < 0 ? 0 : transition.value));
+      RVM_LOG_WARN("rvm slo rule '%s' %s (value %.3f)",
+                   transition.rule.c_str(),
+                   transition.firing ? "firing" : "resolved",
+                   transition.value);
+    }
+  }
+  // File-based exposition: rewrite the OpenMetrics document atomically so a
+  // concurrent reader always sees a complete exposition — the SimEnv
+  // equivalent of a /metrics scrape. Best-effort: a full disk must not turn
+  // the sampler tick into a failure.
+  if (!metrics_export_path_.empty()) {
+    Status exported = WriteFileAtomic(*env_, metrics_export_path_,
+                                      RenderMetricsText(stats, gauges));
+    if (!exported.ok()) {
+      RVM_LOG_WARN("metrics export to %s failed: %s",
+                   metrics_export_path_.c_str(),
+                   exported.ToString().c_str());
+    }
+  }
   return sample;
+}
+
+std::string RvmInstance::RenderMetrics() {
+  const RvmGauges gauges = Introspect();
+  return RenderMetricsText(stats_.Snapshot(), gauges);
+}
+
+int RvmInstance::Healthz(std::string* body) {
+  const bool is_poisoned = poisoned();
+  const bool firing = slo_firing();
+  const bool healthy = !is_poisoned && !firing;
+  *body = std::string("{\"status\":\"") + (healthy ? "ok" : "unhealthy") +
+          "\",\"poisoned\":" + (is_poisoned ? "true" : "false");
+  if (slo_ != nullptr) {
+    *body += ",\"slo\":" + slo_->StateJson();
+  }
+  *body += "}\n";
+  return healthy ? 200 : 503;
+}
+
+HttpResponse RvmInstance::HandleHttp(const HttpRequest& request) {
+  HttpResponse response;
+  // Query strings are not split off by the listener; tolerate them here so
+  // "GET /metrics?format=openmetrics" style scrapes work.
+  std::string path = request.path;
+  if (size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+  if (path == "/metrics") {
+    response.content_type = kOpenMetricsContentType;
+    response.body = RenderMetrics();
+  } else if (path == "/healthz") {
+    response.content_type = "application/json";
+    response.status_code = Healthz(&response.body);
+  } else {
+    response.status_code = 404;
+    response.body = "not found (try /metrics or /healthz)\n";
+  }
+  return response;
 }
 
 void RvmInstance::SampleNow() {

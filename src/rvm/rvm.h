@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "src/os/file.h"
+#include "src/os/http.h"
 #include "src/rvm/checksum_map.h"
 #include "src/rvm/cpu_model.h"
 #include "src/rvm/gauges.h"
@@ -64,6 +65,7 @@
 #include "src/rvm/statistics.h"
 #include "src/rvm/types.h"
 #include "src/telemetry/sampler.h"
+#include "src/telemetry/slo.h"
 #include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/interval_set.h"
@@ -194,6 +196,30 @@ class RvmInstance {
   // been recorded. Terminate writes the same document to
   // "<log_path>.timeseries.jsonl" automatically; poison does so best-effort.
   Status DumpTimeseries(const std::string& path);
+
+  // Live metrics export and health (DESIGN.md §16).
+  //
+  // The full OpenMetrics exposition — every counter, histogram, gauge, and
+  // labeled per-shard/per-region series — rendered from a fresh snapshot.
+  // This is the body a GET /metrics scrape returns and the text the
+  // metrics_export_path file holds; callable any time, including on a
+  // poisoned instance (gauges are reads, not I/O).
+  std::string RenderMetrics();
+  // Health evaluation: writes a small JSON body into `*body` and returns the
+  // HTTP status a /healthz probe should serve — 200 when the instance is
+  // healthy, 503 when it is poisoned or any SLO rule is currently firing.
+  // The body carries "status", "poisoned", and (when the engine is
+  // configured) the per-rule "slo" state array.
+  int Healthz(std::string* body);
+  // True while at least one SLO rule is firing (always false when
+  // RvmOptions::slo_rules is empty).
+  bool slo_firing() const { return slo_ != nullptr && slo_->any_firing(); }
+  // The port the embedded HTTP listener is bound to, or -1 when the listener
+  // is disabled. With metrics_http_port = 0 this is how tests learn the
+  // ephemeral port the kernel picked.
+  int metrics_port() const {
+    return http_ != nullptr ? static_cast<int>(http_->port()) : -1;
+  }
 
   // Flight recorder (DESIGN.md §10): the newest trace events, oldest first
   // (up to RvmOptions::trace_capacity). Dumping does not clear the ring.
@@ -594,6 +620,10 @@ class RvmInstance {
   // and the poison path. Touches only the sampler ring and env_, so callable
   // from any lock state.
   Status WriteTimeseriesFile(const std::string& path);
+  // Request router for the embedded HTTP listener (DESIGN.md §16): /metrics
+  // and /healthz. Runs on the listener thread; takes the staged locks via
+  // Introspect, never the listener's own state.
+  HttpResponse HandleHttp(const HttpRequest& request);
 
   // --- failure containment ---
   // Enters fail-stop mode with `cause` (first call wins; later calls are
@@ -769,6 +799,17 @@ class RvmInstance {
   // slow_commit_threshold_us is set. Lock-free per-shard rings, safe from
   // any thread / lock state.
   std::unique_ptr<SpanCollector> spans_;
+  // SLO engine (DESIGN.md §16); null when RvmOptions::slo_rules is empty.
+  // Evaluated on every sampler tick; its own leaf mutex makes StateJson
+  // callable from the poison path.
+  std::unique_ptr<SloEngine> slo_;
+  // Exposition file path (RvmOptions::metrics_export_path); empty disables
+  // the file export. Immutable after construction, read on the sampler tick.
+  const std::string metrics_export_path_;
+  // Embedded HTTP listener (DESIGN.md §16); null unless
+  // RvmOptions::metrics_http_port >= 0. Started after recovery, stopped at
+  // the top of Terminate (before teardown invalidates what handlers read).
+  std::unique_ptr<HttpServer> http_;
 };
 
 // RAII transaction helper. Aborts on destruction unless committed.

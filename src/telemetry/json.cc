@@ -589,4 +589,35 @@ Status ValidateSpansJsonl(std::string_view text) {
   return OkStatus();
 }
 
+const std::vector<JsonSchema>& JsonSchemaRegistry() {
+  static const std::vector<JsonSchema> kRegistry = {
+      {kTelemetrySchemaVersion,
+       "single JSON document of per-run counters and histograms",
+       /*jsonl=*/false, &ValidateTelemetryJson},
+      {kTimeseriesSchemaVersion,
+       "JSONL time series of sampled gauges and counters",
+       /*jsonl=*/true, &ValidateTimeseriesJsonl},
+      {kSpansSchemaVersion,
+       "JSONL per-transaction span trees",
+       /*jsonl=*/true, &ValidateSpansJsonl},
+  };
+  return kRegistry;
+}
+
+const JsonSchema* SniffJsonSchema(std::string_view text) {
+  // Every schema self-identifies with a "schema" member in its first object
+  // (the JSONL header line or the document's top level), so the quoted name
+  // appears within the first few hundred bytes. Sniffing by substring keeps
+  // this usable on malformed documents — the point is to pick a validator,
+  // which then produces the real diagnostic.
+  std::string_view head = text.substr(0, 512);
+  for (const JsonSchema& schema : JsonSchemaRegistry()) {
+    std::string quoted = "\"" + std::string(schema.name) + "\"";
+    if (head.find(quoted) != std::string_view::npos) {
+      return &schema;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace rvm

@@ -103,6 +103,26 @@ Status ValidateTimeseriesJsonl(std::string_view text);
 // at least one span line, per the layout described above).
 Status ValidateSpansJsonl(std::string_view text);
 
+// One entry in the schema registry: everything a tool needs to recognize and
+// validate a telemetry document of this kind.
+struct JsonSchema {
+  const char* name;         // the "schema" field value, e.g. "rvm-spans-v1"
+  const char* description;  // one-line summary for --help / error messages
+  bool jsonl;               // line-oriented (header + records) vs one document
+  Status (*validate)(std::string_view text);
+};
+
+// Every schema the telemetry subsystem emits, in a fixed order. New schemas
+// register here and nowhere else: `rvmutl check-json` sniffs and validates
+// purely through this table, so a schema missing from it is invisible to the
+// tooling — the registry is the single source of truth.
+const std::vector<JsonSchema>& JsonSchemaRegistry();
+
+// Identifies which registered schema `text` declares, by locating the
+// schema name string near the start of the document (schemas self-identify
+// in their header/top object). nullptr when no registered schema matches.
+const JsonSchema* SniffJsonSchema(std::string_view text);
+
 }  // namespace rvm
 
 #endif  // RVM_TELEMETRY_JSON_H_

@@ -25,13 +25,19 @@ void StatsSampler::Start() {
 }
 
 void StatsSampler::Stop() {
+  // The handle is claimed under the lock so concurrent Stop() calls (the
+  // destructor racing an explicit Terminate, say) each join a distinct
+  // object — touching `thread_` outside thread_mu_ would race Start() and a
+  // second Stop()'s joinable() check.
+  std::thread to_join;
   {
     std::lock_guard<std::mutex> lock(thread_mu_);
     stop_requested_ = true;
+    to_join = std::move(thread_);
   }
   stop_cv_.notify_all();
-  if (thread_.joinable()) {
-    thread_.join();
+  if (to_join.joinable()) {
+    to_join.join();
   }
 }
 

@@ -41,6 +41,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "checksum-mismatch";
     case TraceEventType::kPageRepair:
       return "page-repair";
+    case TraceEventType::kSloFiring:
+      return "slo-firing";
+    case TraceEventType::kSloResolved:
+      return "slo-resolved";
   }
   return "unknown";
 }

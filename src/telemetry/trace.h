@@ -36,6 +36,8 @@ enum class TraceEventType : uint8_t {
   kScrub,               // arg0 = pages scrubbed, arg1 = mismatches found
   kChecksumMismatch,    // arg0 = segment id, arg1 = page index in the file
   kPageRepair,          // arg0 = segment id, arg1 = page index in the file
+  kSloFiring,           // arg0 = rule index, arg1 = signal value (truncated)
+  kSloResolved,         // arg0 = rule index, arg1 = signal value (truncated)
 };
 
 // Stable lowercase-dash name, used in the JSONL rendering.

@@ -355,5 +355,130 @@ TEST_F(RvmutlTest, UnknownSegmentInHistoryFails) {
   EXPECT_NE(result.output.find("unknown segment"), std::string::npos);
 }
 
+TEST_F(RvmutlTest, HelpListsEveryCommand) {
+  CommandResult result = RunTool("--help");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // The usage text is generated from the dispatch table, so every routed
+  // command must appear — a command added to the table can never be missing
+  // from the help.
+  for (const char* command :
+       {"status", "segments", "records", "history", "verify", "scrub",
+        "stats", "trace", "health", "repair", "explore", "top", "watch",
+        "spans", "timeline", "check-json", "check-metrics", "slo"}) {
+    EXPECT_NE(result.output.find(command), std::string::npos)
+        << "missing '" << command << "' in:\n"
+        << result.output;
+  }
+  EXPECT_NE(result.output.find("exit codes"), std::string::npos);
+  EXPECT_NE(result.output.find("check-json schemas:"), std::string::npos);
+  // `-h` and the bare `help` word route the same way.
+  EXPECT_EQ(RunTool("-h").exit_code, 0);
+  EXPECT_EQ(RunTool("help").exit_code, 0);
+}
+
+TEST_F(RvmutlTest, CheckMetricsValidatesExpositionFiles) {
+  const std::string good_path = (dir_ / "good.om").string();
+  FILE* good = std::fopen(good_path.c_str(), "w");
+  ASSERT_NE(good, nullptr);
+  std::fputs("# TYPE rvm_commits counter\nrvm_commits_total 3\n# EOF\n", good);
+  std::fclose(good);
+  CommandResult ok = RunTool("check-metrics " + good_path);
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("OK"), std::string::npos);
+  EXPECT_NE(ok.output.find("1 series"), std::string::npos);
+
+  const std::string bad_path = (dir_ / "bad.om").string();
+  FILE* bad = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(bad, nullptr);
+  std::fputs("# TYPE rvm_commits counter\nrvm_commits 3\n# EOF\n", bad);
+  std::fclose(bad);
+  CommandResult invalid = RunTool("check-metrics " + bad_path);
+  EXPECT_EQ(invalid.exit_code, 1) << invalid.output;
+  EXPECT_NE(invalid.output.find("INVALID"), std::string::npos);
+
+  CommandResult missing =
+      RunTool("check-metrics " + (dir_ / "nope.om").string());
+  EXPECT_EQ(missing.exit_code, 2);
+}
+
+TEST_F(RvmutlTest, WatchExportsLintedMetricsAndServesHttp) {
+  CommandResult result = RunTool(
+      "watch --duration-ms=600 --interval-ms=150 --threads=2 --port=0");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // --port=0 binds an ephemeral listener; the header advertises the URL.
+  EXPECT_NE(result.output.find("http://127.0.0.1:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("healthz 200"), std::string::npos);
+  EXPECT_NE(result.output.find("exposition lint OK"), std::string::npos);
+  // The exported file must satisfy the same lint CI runs.
+  const std::string marker = "metrics exported to ";
+  size_t at = result.output.find(marker);
+  ASSERT_NE(at, std::string::npos) << result.output;
+  at += marker.size();
+  const std::string path =
+      result.output.substr(at, result.output.find('\n', at) - at);
+  CommandResult check = RunTool("check-metrics " + path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+}
+
+TEST_F(RvmutlTest, SloReplayReportsTransitionsAndExitCodes) {
+  const std::string rules_path = (dir_ / "rules.slo").string();
+  FILE* rules = std::fopen(rules_path.c_str(), "w");
+  ASSERT_NE(rules, nullptr);
+  std::fputs("rule quarantine quarantined_shards >= 1\n"
+             "rule hot_commit commit_p99_us > 100000 for=3\n",
+             rules);
+  std::fclose(rules);
+  const std::string series_path = (dir_ / "series.jsonl").string();
+  FILE* series = std::fopen(series_path.c_str(), "w");
+  ASSERT_NE(series, nullptr);
+  std::fputs(
+      "{\"schema\":\"rvm-timeseries-v2\",\"source\":\"test\","
+      "\"sample_interval_us\":1000,\"shards\":2}\n"
+      "{\"t\":1000,\"gauges\":{\"quarantined_shards\":0}}\n"
+      "{\"t\":2000,\"gauges\":{\"quarantined_shards\":1}}\n"
+      "{\"t\":3000,\"gauges\":{\"quarantined_shards\":1}}\n"
+      "{\"t\":4000,\"gauges\":{\"quarantined_shards\":0}}\n",
+      series);
+  std::fclose(series);
+
+  // Rules alone parse and print; nothing to replay, exit 0.
+  CommandResult parse_only = RunTool("slo --rules=" + rules_path);
+  EXPECT_EQ(parse_only.exit_code, 0) << parse_only.output;
+  EXPECT_NE(parse_only.output.find("parsed 2 rule(s)"), std::string::npos);
+
+  // A replay with firing transitions exits 1 and shows both edges.
+  CommandResult replay =
+      RunTool("slo --rules=" + rules_path + " --replay=" + series_path);
+  EXPECT_EQ(replay.exit_code, 1) << replay.output;
+  EXPECT_NE(replay.output.find("FIRING"), std::string::npos);
+  EXPECT_NE(replay.output.find("RESOLVED"), std::string::npos);
+  EXPECT_NE(replay.output.find("quarantine"), std::string::npos);
+
+  // --expect-firing turns the expected alert into success, and a rule that
+  // never fired into failure.
+  CommandResult expected = RunTool("slo --rules=" + rules_path + " --replay=" +
+                                   series_path + " --expect-firing=quarantine");
+  EXPECT_EQ(expected.exit_code, 0) << expected.output;
+  CommandResult unexpected =
+      RunTool("slo --rules=" + rules_path + " --replay=" + series_path +
+              " --expect-firing=hot_commit");
+  EXPECT_EQ(unexpected.exit_code, 1) << unexpected.output;
+  EXPECT_NE(unexpected.output.find("never fired"), std::string::npos);
+
+  // Malformed rules are exit 3 (proven-bad input, not a usage slip).
+  const std::string bad_rules = (dir_ / "bad.slo").string();
+  FILE* bad = std::fopen(bad_rules.c_str(), "w");
+  ASSERT_NE(bad, nullptr);
+  std::fputs("rule broken >\n", bad);
+  std::fclose(bad);
+  CommandResult malformed =
+      RunTool("slo --rules=" + bad_rules + " --replay=" + series_path);
+  EXPECT_EQ(malformed.exit_code, 3) << malformed.output;
+
+  // Missing --rules is a usage error.
+  EXPECT_EQ(RunTool("slo --replay=" + series_path).exit_code, 2);
+}
+
 }  // namespace
 }  // namespace rvm

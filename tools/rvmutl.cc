@@ -29,10 +29,24 @@
 //                                          --replay=STRING re-runs one
 //                                          schedule deterministically
 //   rvmutl top [options]                   live gauge monitor (DESIGN.md §11)
+//   rvmutl watch [options]                 live OpenMetrics monitor over a
+//                                          scratch workload (DESIGN.md §16);
+//                                          --port=N serves real /metrics and
+//                                          /healthz endpoints, --rules=FILE
+//                                          arms the SLO engine
 //   rvmutl timeline FILE [--shard=K]       validate/render a time-series dump
 //   rvmutl spans [options]                 span-traced scratch workload +
 //                                          rvm-spans-v1 / Chrome trace export
 //                                          (DESIGN.md §15)
+//   rvmutl check-json FILE                 validate a telemetry document
+//                                          against the schema it declares
+//                                          (dispatched via the registry)
+//   rvmutl check-metrics FILE              lint an OpenMetrics exposition
+//   rvmutl slo --rules=F [--replay=F]      parse SLO rules / re-run them over
+//                                          a recorded time series offline
+//
+// `rvmutl --help` renders the usage text from the same dispatch table Main()
+// routes on, so the help cannot drift from the commands that actually exist.
 #include <unistd.h>
 
 #include <algorithm>
@@ -51,16 +65,23 @@
 #include <vector>
 
 #include "src/check/crash_explorer.h"
+#include "src/os/fault_env.h"
 #include "src/os/file.h"
 #include "src/rvm/checksum_map.h"
 #include "src/rvm/log_device.h"
 #include "src/rvm/rvm.h"
 #include "src/telemetry/json.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/slo.h"
 #include "src/util/crc32.h"
 #include "src/util/interval_set.h"
 
 namespace rvm {
 namespace {
+
+int Usage(std::FILE* out);
+bool ReadFileToString(const std::string& path, std::string* out);
+bool WriteStringToFile(const std::string& path, const std::string& text);
 
 void PrintHex(std::span<const uint8_t> data, uint64_t base_offset) {
   for (size_t row = 0; row < data.size(); row += 16) {
@@ -506,40 +527,60 @@ int CmdTrace(const std::string& log_path, int argc, char** argv) {
 }
 
 int CmdCheckJson(const std::string& path) {
-  std::FILE* in = std::fopen(path.c_str(), "rb");
-  if (in == nullptr) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 2;
   }
-  std::string text;
-  char buffer[4096];
-  size_t read = 0;
-  while ((read = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
-    text.append(buffer, read);
-  }
-  std::fclose(in);
-  // Dispatch on the schema the document claims in its first line, so one
-  // entry point validates all three families: rvm-telemetry-v1 documents,
-  // rvm-timeseries-v2 dumps, and rvm-spans-v1 span exports.
-  const std::string_view head(text.data(),
-                              std::min<size_t>(text.size(), 256));
-  const char* schema = kTelemetrySchemaVersion;
-  Status valid = OkStatus();
-  if (head.find(kSpansSchemaVersion) != std::string_view::npos) {
-    schema = kSpansSchemaVersion;
-    valid = ValidateSpansJsonl(text);
-  } else if (head.find(kTimeseriesSchemaVersion) != std::string_view::npos) {
-    schema = kTimeseriesSchemaVersion;
-    valid = ValidateTimeseriesJsonl(text);
-  } else {
-    valid = ValidateTelemetryJson(text);
-  }
+  // Dispatch purely through the schema registry: whichever schema the
+  // document self-identifies as picks the validator, so a new schema only
+  // has to register itself (src/telemetry/json.cc) to become checkable
+  // here. Documents that declare no registered schema fall back to the
+  // common telemetry validator, whose own header check produces the
+  // diagnostic.
+  const JsonSchema* schema = SniffJsonSchema(text);
+  const char* name = schema != nullptr ? schema->name : kTelemetrySchemaVersion;
+  Status valid =
+      schema != nullptr ? schema->validate(text) : ValidateTelemetryJson(text);
   if (!valid.ok()) {
     std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
                  valid.ToString().c_str());
     return 1;
   }
-  std::printf("OK %s: valid %s document\n", path.c_str(), schema);
+  std::printf("OK %s: valid %s document\n", path.c_str(), name);
+  return 0;
+}
+
+// `rvmutl check-metrics FILE`: lint an OpenMetrics exposition — a /metrics
+// response body or a metrics_export_path file — with the in-tree validator
+// (src/telemetry/metrics.h). CI's smoke job curls /metrics into a file and
+// runs this over it. Exit codes match check-json: 0 valid, 1 invalid,
+// 2 file error.
+int CmdCheckMetrics(const std::string& path) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  Status valid = ValidateOpenMetrics(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return 1;
+  }
+  size_t series = 0;
+  for (size_t start = 0; start < text.size();) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start && text[start] != '#') {
+      ++series;
+    }
+    start = end + 1;
+  }
+  std::printf("OK %s: valid OpenMetrics exposition (%zu series)\n",
+              path.c_str(), series);
   return 0;
 }
 
@@ -679,12 +720,114 @@ int CmdTimeline(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+// Shared scratch-workload plumbing for the self-contained monitors (`top`
+// and `watch`). Two processes cannot share one RvmInstance, so these
+// commands drive their own: a deliberately small log in a fresh temp dir
+// (truncation stays busy, so the head/queue/utilization gauges visibly move
+// between refreshes), one 64-page region per worker, and a truncation-heavy
+// commit loop — mostly no-flush commits keep the spool gauge nonzero, every
+// 8th commit flushes so the log keeps churning.
+constexpr uint64_t kScratchPage = 4096;
+constexpr uint64_t kScratchRegionPages = 64;
+
+struct ScratchWorkload {
+  std::string dir;
+  std::string log_path;
+  std::unique_ptr<RvmInstance> rvm;
+  std::vector<uint8_t*> bases;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> workers;
+
+  ~ScratchWorkload() { StopWorkers(); }
+
+  void StopWorkers() {
+    stop.store(true);
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    workers.clear();
+  }
+};
+
+// Creates the scratch log, opens the instance with the caller's
+// observability knobs (sampler cadence, HTTP port, SLO rules —
+// log_path/log_shards are filled in here, and `export_metrics` points
+// metrics_export_path at <log>.metrics so the sampler tick rewrites the
+// file exposition atomically), maps the regions and launches the workers.
+// Prints the failure and returns nonzero on error.
+int StartScratchWorkload(unsigned threads, uint32_t shards, RvmOptions options,
+                         bool export_metrics, RestoreMode restore_mode,
+                         ScratchWorkload* scratch) {
+  char dir_template[] = "/tmp/rvmutl_scratch_XXXXXX";
+  char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  scratch->dir = dir;
+  scratch->log_path = scratch->dir + "/log";
+  // With --shards=N the scratch instance stripes its regions across N
+  // shards and the monitors show per-shard rows/series.
+  Status created = RvmInstance::CreateLog(GetRealEnv(), scratch->log_path,
+                                          1 << 20, /*overwrite=*/false, shards);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.ToString().c_str());
+    return 1;
+  }
+  options.log_path = scratch->log_path;
+  options.log_shards = shards;
+  if (export_metrics) {
+    options.metrics_export_path = scratch->log_path + ".metrics";
+  }
+  auto rvm = RvmInstance::Initialize(options);
+  if (!rvm.ok()) {
+    std::fprintf(stderr, "init: %s\n", rvm.status().ToString().c_str());
+    return 1;
+  }
+  scratch->rvm = std::move(*rvm);
+  for (unsigned worker = 0; worker < threads; ++worker) {
+    RegionDescriptor region;
+    region.segment_path = scratch->dir + "/seg" + std::to_string(worker);
+    region.length = kScratchRegionPages * kScratchPage;
+    Status mapped = scratch->rvm->Map(region);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "map: %s\n", mapped.ToString().c_str());
+      return 1;
+    }
+    scratch->bases.push_back(static_cast<uint8_t*>(region.address));
+  }
+  for (unsigned worker = 0; worker < threads; ++worker) {
+    scratch->workers.emplace_back([scratch, worker, restore_mode] {
+      uint8_t* base = scratch->bases[worker];
+      uint64_t i = 0;
+      while (!scratch->stop.load(std::memory_order_relaxed)) {
+        Transaction txn(*scratch->rvm, restore_mode);
+        if (!txn.ok()) {
+          return;  // poisoned or shutting down
+        }
+        const uint64_t offset =
+            (i * 257) % (kScratchRegionPages * kScratchPage - 256);
+        if (!txn.SetRange(base + offset, 256).ok()) {
+          return;
+        }
+        std::memset(base + offset, static_cast<int>(i & 0xFF), 256);
+        const CommitMode mode =
+            i % 8 == 7 ? CommitMode::kFlush : CommitMode::kNoFlush;
+        if (!txn.Commit(mode).ok()) {
+          return;
+        }
+        scratch->committed.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+  return 0;
+}
+
 // `rvmutl top`: drive a live workload against a scratch instance and
 // periodically render its gauges — the operator's view of §5's log-space
-// quantities moving. Runs self-contained (two processes cannot share one
-// RvmInstance, so attaching to another process's log is not meaningful);
-// the workload is deliberately truncation-heavy so the page queue, head
-// advance, and utilization all visibly change between refreshes.
+// quantities moving.
 int CmdTop(int argc, char** argv) {
   uint64_t duration_ms = 3000;
   uint64_t interval_ms = 250;
@@ -712,77 +855,15 @@ int CmdTop(int argc, char** argv) {
     return 2;
   }
 
-  char dir_template[] = "/tmp/rvmutl_top_XXXXXX";
-  char* dir = ::mkdtemp(dir_template);
-  if (dir == nullptr) {
-    std::fprintf(stderr, "mkdtemp failed\n");
-    return 1;
-  }
-  const std::string log_path = std::string(dir) + "/log";
-  // A small log keeps truncation busy, so the head/queue gauges move.
-  // With --shards=N the scratch instance stripes its regions across N
-  // shards and the refresh shows one gauge row per shard.
-  Status created =
-      RvmInstance::CreateLog(GetRealEnv(), log_path, 1 << 20,
-                             /*overwrite=*/false, shards);
-  if (!created.ok()) {
-    std::fprintf(stderr, "create: %s\n", created.ToString().c_str());
-    return 1;
-  }
+  ScratchWorkload scratch;
   RvmOptions options;
-  options.log_path = log_path;
-  options.log_shards = shards;
   options.sample_capacity = 4096;
   options.sample_interval_us = interval_ms * 1000;
-  auto rvm = RvmInstance::Initialize(options);
-  if (!rvm.ok()) {
-    std::fprintf(stderr, "init: %s\n", rvm.status().ToString().c_str());
-    return 1;
-  }
-
-  constexpr uint64_t kPage = 4096;
-  constexpr uint64_t kRegionPages = 64;
-  std::vector<uint8_t*> bases;
-  for (unsigned worker = 0; worker < threads; ++worker) {
-    RegionDescriptor region;
-    region.segment_path = std::string(dir) + "/seg" + std::to_string(worker);
-    region.length = kRegionPages * kPage;
-    Status mapped = (*rvm)->Map(region);
-    if (!mapped.ok()) {
-      std::fprintf(stderr, "map: %s\n", mapped.ToString().c_str());
-      return 1;
-    }
-    bases.push_back(static_cast<uint8_t*>(region.address));
-  }
-
-  std::atomic<bool> stop{false};
-  std::atomic<uint64_t> committed{0};
-  std::vector<std::thread> workers;
-  for (unsigned worker = 0; worker < threads; ++worker) {
-    workers.emplace_back([&, worker] {
-      uint8_t* base = bases[worker];
-      uint64_t i = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        Transaction txn(**rvm, RestoreMode::kNoRestore);
-        if (!txn.ok()) {
-          return;  // poisoned or shutting down
-        }
-        const uint64_t offset = (i * 257) % (kRegionPages * kPage - 256);
-        if (!txn.SetRange(base + offset, 256).ok()) {
-          return;
-        }
-        std::memset(base + offset, static_cast<int>(i & 0xFF), 256);
-        // Mostly no-flush commits keep the spool gauge nonzero; every 8th
-        // commit flushes so the log (and truncation) stays busy too.
-        const CommitMode mode =
-            i % 8 == 7 ? CommitMode::kFlush : CommitMode::kNoFlush;
-        if (!txn.Commit(mode).ok()) {
-          return;
-        }
-        committed.fetch_add(1, std::memory_order_relaxed);
-        ++i;
-      }
-    });
+  if (int started = StartScratchWorkload(threads, shards, std::move(options),
+                                         /*export_metrics=*/false,
+                                         RestoreMode::kNoRestore, &scratch);
+      started != 0) {
+    return started;
   }
 
   Env* env = GetRealEnv();
@@ -791,30 +872,396 @@ int CmdTop(int argc, char** argv) {
   uint64_t refreshes = 0;
   while (env->NowMicros() - start_us < duration_ms * 1000) {
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
-    const RvmGauges gauges = (*rvm)->Introspect();
+    const RvmGauges gauges = scratch.rvm->Introspect();
     if (tty) {
       std::printf("\033[2J\033[H");  // clear screen, home cursor
     }
     std::printf("rvmutl top — %llu committed, refresh %llu (every %llu ms)\n",
-                static_cast<unsigned long long>(committed.load()),
+                static_cast<unsigned long long>(scratch.committed.load()),
                 static_cast<unsigned long long>(++refreshes),
                 static_cast<unsigned long long>(interval_ms));
     std::printf("%s", FormatGauges(gauges).c_str());
     std::fflush(stdout);
   }
 
-  stop.store(true);
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-  Status terminated = (*rvm)->Terminate();
+  scratch.StopWorkers();
+  Status terminated = scratch.rvm->Terminate();
   if (!terminated.ok()) {
     std::fprintf(stderr, "terminate: %s\n", terminated.ToString().c_str());
     return 1;
   }
   std::printf("\ntime series dumped to %s.timeseries.jsonl\n",
-              log_path.c_str());
+              scratch.log_path.c_str());
   return 0;
+}
+
+// `rvmutl watch`: the OpenMetrics twin of `top` — same scratch workload,
+// but each refresh renders the instance's live /metrics exposition
+// (DESIGN.md §16) and /healthz verdict instead of the gauge table. With
+// --port=N the instance serves the real HTTP endpoints too (N=0 picks an
+// ephemeral port, printed in the header), so an operator can curl a live
+// /metrics while the workload runs; --rules=FILE arms the SLO engine, and
+// a firing rule flips the health line to 503 in real time. The final
+// exposition is linted with the same validator `check-metrics` uses, so a
+// broken renderer fails the command instead of scrolling past.
+int CmdWatch(int argc, char** argv) {
+  uint64_t duration_ms = 3000;
+  uint64_t interval_ms = 250;
+  unsigned threads = 2;
+  uint32_t shards = 1;
+  uint64_t limit = 24;
+  int32_t port = -1;
+  bool port_set = false;
+  int32_t fault_shard = -1;
+  uint64_t fault_after_ms = 0;
+  std::string rules_path;
+  std::string filter;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--duration-ms=", 0) == 0) {
+      duration_ms = std::stoull(arg.substr(std::strlen("--duration-ms=")));
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      interval_ms = std::stoull(arg.substr(std::strlen("--interval-ms=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::stoul(arg.substr(std::strlen("--threads="))));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<uint32_t>(
+          std::stoul(arg.substr(std::strlen("--shards="))));
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      limit = std::stoull(arg.substr(std::strlen("--limit=")));
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<int32_t>(
+          std::stol(arg.substr(std::strlen("--port="))));
+      port_set = true;
+    } else if (arg.rfind("--fault-shard=", 0) == 0) {
+      fault_shard = static_cast<int32_t>(
+          std::stol(arg.substr(std::strlen("--fault-shard="))));
+    } else if (arg.rfind("--fault-after-ms=", 0) == 0) {
+      fault_after_ms =
+          std::stoull(arg.substr(std::strlen("--fault-after-ms=")));
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      rules_path = arg.substr(std::strlen("--rules="));
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(std::strlen("--filter="));
+    } else {
+      std::fprintf(stderr, "unknown watch option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (interval_ms == 0 || threads == 0 || shards == 0) {
+    std::fprintf(stderr,
+                 "watch: interval, threads and shards must be nonzero\n");
+    return 2;
+  }
+  if (fault_shard >= 0 &&
+      (shards < 2 || static_cast<uint32_t>(fault_shard) >= shards)) {
+    std::fprintf(stderr,
+                 "watch: --fault-shard needs --shards >= 2 and a shard index "
+                 "below the count (fault containment is per shard)\n");
+    return 2;
+  }
+  if (fault_shard >= 0 && port_set) {
+    // The HTTP listener is gated to the unwrapped real env; chaos mode runs
+    // on a fault-injection wrapper, so the two are mutually exclusive.
+    std::fprintf(stderr,
+                 "watch: --fault-shard and --port cannot be combined\n");
+    return 2;
+  }
+  if (fault_after_ms == 0) {
+    fault_after_ms = duration_ms / 3;
+  }
+  std::string rules_text;
+  if (!rules_path.empty() && !ReadFileToString(rules_path, &rules_text)) {
+    std::fprintf(stderr, "cannot open %s\n", rules_path.c_str());
+    return 2;
+  }
+
+  // Declared before the workload so the instance (destroyed with `scratch`)
+  // never outlives the env it runs on.
+  FaultInjectionEnv fault_env(GetRealEnv());
+  ScratchWorkload scratch;
+  RvmOptions options;
+  options.sample_capacity = 4096;
+  options.sample_interval_us = interval_ms * 1000;
+  options.slo_rules = rules_text;
+  if (port_set) {
+    options.metrics_http_port = port;
+  }
+  if (fault_shard >= 0) {
+    options.env = &fault_env;
+  }
+  // Chaos mode needs restore transactions: a failed no-restore commit has no
+  // old values to roll back and poisons the whole instance (rvm.cc), whereas
+  // a failed restore commit is contained to a shard quarantine — the arc the
+  // chaos run exists to record.
+  const RestoreMode restore_mode =
+      fault_shard >= 0 ? RestoreMode::kRestore : RestoreMode::kNoRestore;
+  if (int started = StartScratchWorkload(threads, shards, std::move(options),
+                                         /*export_metrics=*/true, restore_mode,
+                                         &scratch);
+      started != 0) {
+    return started;
+  }
+  const std::string metrics_path = scratch.log_path + ".metrics";
+
+  Env* env = GetRealEnv();
+  const uint64_t start_us = env->NowMicros();
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  uint64_t refreshes = 0;
+  // Chaos schedule (--fault-shard): a sticky write fault lands on the target
+  // shard's device at fault_after_ms, the failed commit quarantines it (the
+  // quarantined_shards gauge rises, SLO rules on it fire, /healthz flips to
+  // 503), and halfway through the remaining run the fault is cleared and
+  // RepairShard heals it — so the dumped time series carries the full
+  // fire-then-resolve arc for `rvmutl slo --replay`.
+  const uint64_t heal_after_ms = fault_after_ms + (duration_ms - std::min(
+      fault_after_ms, duration_ms)) / 2;
+  bool fault_injected = false;
+  bool fault_repaired = false;
+  std::string chaos_note;
+  while (env->NowMicros() - start_us < duration_ms * 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const uint64_t elapsed_ms = (env->NowMicros() - start_us) / 1000;
+    if (fault_shard >= 0 && !fault_injected && elapsed_ms >= fault_after_ms) {
+      FaultSpec spec;
+      spec.op = FaultOp::kWriteAt;
+      spec.sticky = true;
+      spec.message = "chaos: injected by rvmutl watch";
+      spec.path_substring =
+          ShardLogPath(scratch.log_path, static_cast<uint32_t>(fault_shard));
+      fault_env.InjectFault(spec);
+      fault_injected = true;
+      chaos_note = "chaos: sticky write fault on shard " +
+                   std::to_string(fault_shard) + " (quarantine expected)\n";
+    }
+    if (fault_injected && !fault_repaired && elapsed_ms >= heal_after_ms) {
+      fault_env.ClearFaults();
+      Status repaired =
+          scratch.rvm->RepairShard(static_cast<uint32_t>(fault_shard));
+      fault_repaired = true;
+      chaos_note = "chaos: fault cleared, RepairShard(" +
+                   std::to_string(fault_shard) + ") -> " +
+                   (repaired.ok() ? std::string("ok") : repaired.ToString()) +
+                   "\n";
+    }
+    const std::string exposition = scratch.rvm->RenderMetrics();
+    std::string health_body;
+    const int health = scratch.rvm->Healthz(&health_body);
+    if (tty) {
+      std::printf("\033[2J\033[H");  // clear screen, home cursor
+    }
+    std::printf("rvmutl watch — %llu committed, refresh %llu (every %llu ms)",
+                static_cast<unsigned long long>(scratch.committed.load()),
+                static_cast<unsigned long long>(++refreshes),
+                static_cast<unsigned long long>(interval_ms));
+    if (scratch.rvm->metrics_port() >= 0) {
+      std::printf(" — http://127.0.0.1:%d/metrics",
+                  scratch.rvm->metrics_port());
+    }
+    std::printf("\nhealthz %d %s", health, health_body.c_str());
+    if (!chaos_note.empty()) {
+      std::printf("%s", chaos_note.c_str());
+    }
+    size_t shown = 0;
+    size_t matched = 0;
+    for (size_t start = 0; start < exposition.size();) {
+      size_t end = exposition.find('\n', start);
+      if (end == std::string::npos) {
+        end = exposition.size();
+      }
+      const std::string_view line(exposition.data() + start, end - start);
+      start = end + 1;
+      if (line.empty() || line[0] == '#') {
+        continue;  // skip HELP/TYPE/EOF metadata; series lines only
+      }
+      if (!filter.empty() && line.find(filter) == std::string_view::npos) {
+        continue;
+      }
+      ++matched;
+      if (shown < limit) {
+        std::printf("%.*s\n", static_cast<int>(line.size()), line.data());
+        ++shown;
+      }
+    }
+    if (matched > shown) {
+      std::printf("... (%zu more series; narrow with --filter=SUBSTR or "
+                  "raise --limit=N)\n",
+                  matched - shown);
+    }
+    std::fflush(stdout);
+  }
+
+  scratch.StopWorkers();
+  const std::string final_exposition = scratch.rvm->RenderMetrics();
+  Status lint = ValidateOpenMetrics(final_exposition);
+  Status terminated = scratch.rvm->Terminate();
+  if (!terminated.ok()) {
+    std::fprintf(stderr, "terminate: %s\n", terminated.ToString().c_str());
+    return 1;
+  }
+  if (!lint.ok()) {
+    std::fprintf(stderr, "INVALID exposition: %s\n", lint.ToString().c_str());
+    return 1;
+  }
+  if (!WriteStringToFile(metrics_path, final_exposition)) {
+    return 1;
+  }
+  std::printf("\nexposition lint OK (%zu bytes)\n", final_exposition.size());
+  std::printf("metrics exported to %s\n", metrics_path.c_str());
+  std::printf("time series dumped to %s.timeseries.jsonl\n",
+              scratch.log_path.c_str());
+  return 0;
+}
+
+// `rvmutl slo --rules=FILE [--replay=FILE]`: offline SLO evaluation
+// (DESIGN.md §16). With only --rules the file is parsed and summarized — a
+// config check for CI. With --replay=FILE the rules run over a recorded
+// rvm-timeseries-v2 document exactly as the live engine would have seen the
+// samples (same signal names, same cadence), printing every firing/resolved
+// transition. Exit codes: 0 no rule fired (or, with --expect-firing=NAME,
+// NAME fired — the nightly chaos job uses this to assert the quarantine
+// rule trips), 1 a rule fired (or NAME did not), 2 usage/file error,
+// 3 invalid rules or replay document.
+int CmdSlo(int argc, char** argv) {
+  std::string rules_path;
+  std::string replay_path;
+  std::string expect;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--rules=", 0) == 0) {
+      rules_path = arg.substr(std::strlen("--rules="));
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_path = arg.substr(std::strlen("--replay="));
+    } else if (arg.rfind("--expect-firing=", 0) == 0) {
+      expect = arg.substr(std::strlen("--expect-firing="));
+    } else {
+      std::fprintf(stderr, "unknown slo option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (rules_path.empty()) {
+    std::fprintf(stderr, "slo: --rules=FILE is required\n");
+    return 2;
+  }
+  if (!expect.empty() && replay_path.empty()) {
+    std::fprintf(stderr, "slo: --expect-firing needs --replay=FILE\n");
+    return 2;
+  }
+  std::string rules_text;
+  if (!ReadFileToString(rules_path, &rules_text)) {
+    std::fprintf(stderr, "cannot open %s\n", rules_path.c_str());
+    return 2;
+  }
+  auto parsed = ParseSloRules(rules_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", rules_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 3;
+  }
+  const std::vector<SloRule> rules = *std::move(parsed);
+  std::printf("parsed %zu rule(s) from %s\n", rules.size(),
+              rules_path.c_str());
+  for (const SloRule& rule : rules) {
+    const char* op = rule.op == SloRule::Op::kGt   ? ">"
+                     : rule.op == SloRule::Op::kGe ? ">="
+                     : rule.op == SloRule::Op::kLt ? "<"
+                                                   : "<=";
+    if (rule.is_burn_rate()) {
+      std::printf("  %-24s %s %s %g window=%llu burn=%g\n", rule.name.c_str(),
+                  rule.signal.c_str(), op, rule.threshold,
+                  static_cast<unsigned long long>(rule.window_samples),
+                  rule.burn_budget);
+    } else {
+      std::printf("  %-24s %s %s %g for=%llu\n", rule.name.c_str(),
+                  rule.signal.c_str(), op, rule.threshold,
+                  static_cast<unsigned long long>(rule.for_samples));
+    }
+  }
+  if (replay_path.empty()) {
+    return 0;
+  }
+  std::string replay_text;
+  if (!ReadFileToString(replay_path, &replay_text)) {
+    std::fprintf(stderr, "cannot open %s\n", replay_path.c_str());
+    return 2;
+  }
+  Status valid = ValidateTimeseriesJsonl(replay_text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", replay_path.c_str(),
+                 valid.ToString().c_str());
+    return 3;
+  }
+  SloEngine engine(rules);
+  uint64_t samples = 0;
+  uint64_t firings = 0;
+  bool expect_fired = false;
+  bool first = true;
+  double t0 = 0;
+  size_t line_number = 0;
+  for (size_t start = 0; start < replay_text.size();) {
+    size_t end = replay_text.find('\n', start);
+    if (end == std::string::npos) {
+      end = replay_text.size();
+    }
+    const std::string_view line(replay_text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty() || line_number++ == 0) {
+      continue;  // skip blanks and the header line
+    }
+    auto sample = ParseJson(line);
+    if (!sample.ok()) {
+      continue;  // unreachable after validation
+    }
+    const JsonValue* t = sample->Find("t");
+    const JsonValue* gauges = sample->Find("gauges");
+    if (t == nullptr || !t->IsNumber() || gauges == nullptr ||
+        !gauges->IsObject()) {
+      continue;
+    }
+    if (first) {
+      t0 = t->number;
+      first = false;
+    }
+    // The flat numeric gauge members ARE the live engine's signal map
+    // (SloSignals walks the same names), so replay sees what production
+    // saw; nested members like the per-shard array carry no signals.
+    std::map<std::string, double> signals;
+    for (const auto& [key, value] : gauges->object) {
+      if (value.IsNumber()) {
+        signals[key] = value.number;
+      }
+    }
+    ++samples;
+    for (const SloTransition& transition :
+         engine.Evaluate(static_cast<uint64_t>(t->number), signals)) {
+      std::printf("%12.1f ms  %-8s %s (%s = %g)\n",
+                  (t->number - t0) / 1000.0,
+                  transition.firing ? "FIRING" : "RESOLVED",
+                  transition.rule.c_str(),
+                  rules[transition.rule_index].signal.c_str(),
+                  transition.value);
+      if (transition.firing) {
+        ++firings;
+        if (transition.rule == expect) {
+          expect_fired = true;
+        }
+      }
+    }
+  }
+  std::printf("replayed %llu sample(s): %llu firing transition(s)\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(firings));
+  std::printf("final state: %s\n", engine.StateJson().c_str());
+  if (!expect.empty()) {
+    if (expect_fired) {
+      std::printf("rule '%s' fired as expected\n", expect.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "rule '%s' never fired\n", expect.c_str());
+    return 1;
+  }
+  return firings == 0 ? 0 : 1;
 }
 
 // Writes `text` to `path` (or stdout when the path is empty). Small
@@ -1484,138 +1931,24 @@ int CmdExplore(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: rvmutl LOG COMMAND   |   rvmutl explore [options]\n"
-               "  status                   show the status block\n"
-               "  segments                 list the segment dictionary\n"
-               "  records [N]              list newest N live records (default 20)\n"
-               "  history SEG OFFSET LEN   modification history of a byte range\n"
-               "  verify [--segments]      validate the live log structure\n"
-               "                           (exit 3 if committed data is lost);\n"
-               "                           --segments also checks data-segment\n"
-               "                           pages against their .chk sidecars\n"
-               "                           (failures exit 1, never 3)\n"
-               "  scrub                    run recovery, then scrub every data\n"
-               "                           segment page: verify checksums,\n"
-               "                           repair from live log records,\n"
-               "                           quarantine what cannot be repaired\n"
-               "  stats [--json[=FILE]]    run recovery, print RVM statistics\n"
-               "                           (--json emits the rvm-telemetry-v1\n"
-               "                           schema)\n"
-               "  trace [--shard=K]        run recovery, dump the trace ring as\n"
-               "                           JSONL (one event per line;\n"
-               "                           --shard=K keeps shard K only)\n"
-               "  check-json FILE          validate FILE against the schema it\n"
-               "                           claims: rvm-telemetry-v1,\n"
-               "                           rvm-timeseries-v2 or rvm-spans-v1\n"
-               "                           (top-level command)\n"
-               "  timeline FILE [--shard=K] validate and render an\n"
-               "                           rvm-timeseries-v2 dump (top-level\n"
-               "                           command; exit codes like check-json;\n"
-               "                           --shard=K renders shard K's slice)\n"
-               "  spans                    drive a scratch workload with span\n"
-               "                           tracing on and export the spans\n"
-               "                           (top-level command); options:\n"
-               "                           --txns=N --threads=N --shards=N\n"
-               "                           --sample=N (1-in-N tid sampling)\n"
-               "                           --slow-us=N (outlier threshold)\n"
-               "                           --out=FILE (rvm-spans-v1 JSONL)\n"
-               "                           --chrome=FILE (Chrome trace JSON\n"
-               "                           for Perfetto, one track per shard,\n"
-               "                           2PC flow arrows)\n"
-               "  top                      live gauge monitor over a scratch\n"
-               "                           workload (top-level command);\n"
-               "                           options: --duration-ms=N\n"
-               "                           --interval-ms=N --threads=N\n"
-               "                           --shards=N (per-shard gauge rows)\n"
-               "  health [--json[=FILE]]   offline per-shard fault-domain probe;\n"
-               "                           exit code = worst shard (0 ok,\n"
-               "                           1 quarantined-but-readable,\n"
-               "                           2 device unreadable)\n"
-               "  repair                   offline shard repair: re-run recovery\n"
-               "                           over healed/replaced shard files and\n"
-               "                           clear stale quarantine sidecars (a\n"
-               "                           live instance calls RepairShard()\n"
-               "                           in-process instead)\n"
-               "  explore                  enumerate crash schedules against the\n"
-               "                           oracle; options: --txns=N --flush-every=N\n"
-               "                           --epoch --depth=N --forward-stride=N\n"
-               "                           --recovery-stride=N --subset-seeds=a,b\n"
-               "                           --shards=N --regions=N (sharded 2PC\n"
-               "                           sweep), --fault-shard=N --fault-at=M\n"
-               "                           (quarantine+repair sweep),\n"
-               "                           --spans (span tracing on the\n"
-               "                           workload instance),\n"
-               "                           --max-schedules=N --out=FILE\n"
-               "                           -v --replay=STRING (re-run one)\n"
-               "\n"
-               "Multi-shard logs (a manifest at LOG plus <LOG>.shard<K>): log\n"
-               "commands print one section per shard; verify exits the worst\n"
-               "code across shards.\n");
-  return 2;
-}
-
-int Main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "explore") == 0) {
-    // Runs entirely on an in-memory simulated environment; takes no LOG.
-    return CmdExplore(argc, argv);
-  }
-  if (argc >= 3 && std::strcmp(argv[1], "check-json") == 0) {
-    // Validates a telemetry document; takes no LOG.
-    return CmdCheckJson(argv[2]);
-  }
-  if (argc >= 3 && std::strcmp(argv[1], "timeline") == 0) {
-    // Validates/renders a time-series dump; takes no LOG.
-    return CmdTimeline(argv[2], argc, argv);
-  }
-  if (argc >= 2 && std::strcmp(argv[1], "top") == 0) {
-    // Self-contained live monitor; takes no LOG.
-    return CmdTop(argc, argv);
-  }
-  if (argc >= 2 && std::strcmp(argv[1], "spans") == 0) {
-    // Self-contained span-tracing workload + export; takes no LOG.
-    return CmdSpans(argc, argv);
-  }
-  if (argc < 3) {
-    return Usage();
-  }
-  std::string command_name = argv[2];
-  if (command_name == "stats") {
-    // Dispatched before LogDevice::Open below: Initialize opens (and
-    // recovers) the log itself, and must not race a second descriptor.
-    return CmdStats(argv[1], argc, argv);
-  }
-  if (command_name == "trace") {
-    // Same single-descriptor constraint as stats.
-    return CmdTrace(argv[1], argc, argv);
-  }
-  if (command_name == "health") {
-    // Offline probe: opens each shard read-only itself, no recovery.
-    return CmdHealth(argv[1], argc, argv);
-  }
-  if (command_name == "repair") {
-    // Initialize-family (runs recovery); same single-descriptor constraint.
-    return CmdRepair(argv[1]);
-  }
-  if (command_name == "scrub") {
-    // Initialize-family (runs recovery); same single-descriptor constraint.
-    return CmdScrub(argv[1]);
-  }
-  // A multi-shard log (DESIGN.md §12) is a manifest at LOG plus
-  // "<LOG>.shard<K>" devices; every log command runs per shard, and
-  // `verify` exits the worst code across shards, so committed-data loss on
-  // any one shard (exit 3) is never masked by healthy siblings.
-  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), argv[1]);
+// Opens every shard device of a (possibly multi-shard) log and hands the
+// vector to `fn`. A multi-shard log (DESIGN.md §12) is a manifest at LOG
+// plus "<LOG>.shard<K>" devices; every log command runs per shard, and
+// `verify` exits the worst code across shards, so committed-data loss on
+// any one shard (exit 3) is never masked by healthy siblings.
+int WithShardDevices(
+    const std::string& log_path,
+    const std::function<int(std::vector<std::unique_ptr<LogDevice>>&)>& fn) {
+  auto shard_count = LogDevice::DetectShardCount(GetRealEnv(), log_path);
   if (!shard_count.ok()) {
-    std::fprintf(stderr, "cannot read log %s: %s\n", argv[1],
+    std::fprintf(stderr, "cannot read log %s: %s\n", log_path.c_str(),
                  shard_count.status().ToString().c_str());
     return 1;
   }
   std::vector<std::unique_ptr<LogDevice>> logs;
   for (uint32_t s = 0; s < *shard_count; ++s) {
     const std::string path =
-        *shard_count == 1 ? argv[1] : ShardLogPath(argv[1], s);
+        *shard_count == 1 ? log_path : ShardLogPath(log_path, s);
     auto log = LogDevice::Open(GetRealEnv(), path);
     if (!log.ok()) {
       std::fprintf(stderr, "cannot open log %s: %s\n", path.c_str(),
@@ -1624,56 +1957,344 @@ int Main(int argc, char** argv) {
     }
     logs.push_back(std::move(*log));
   }
-  auto for_each_shard = [&](const std::function<int(LogDevice&)>& fn) {
-    int worst = 0;
-    for (uint32_t s = 0; s < logs.size(); ++s) {
-      if (logs.size() > 1) {
-        std::printf("=== shard %u of %zu ===\n", s, logs.size());
-      }
-      worst = std::max(worst, fn(*logs[s]));
+  return fn(logs);
+}
+
+// Runs `fn` once per shard (with a section header when there is more than
+// one) and returns the worst exit code.
+int ForEachShard(std::vector<std::unique_ptr<LogDevice>>& logs,
+                 const std::function<int(LogDevice&)>& fn) {
+  int worst = 0;
+  for (uint32_t s = 0; s < logs.size(); ++s) {
+    if (logs.size() > 1) {
+      std::printf("=== shard %u of %zu ===\n", s, logs.size());
     }
-    return worst;
-  };
-  std::string command = argv[2];
-  if (command == "status") {
-    return for_each_shard(CmdStatus);
+    worst = std::max(worst, fn(*logs[s]));
   }
-  if (command == "segments") {
-    return for_each_shard(CmdSegments);
+  return worst;
+}
+
+// ---- dispatch-table adapters -----------------------------------------
+//
+// Every handler takes (log_path, argc, argv) so they all fit one table
+// row; top-level commands receive an empty log_path. The Initialize-family
+// commands (stats/trace/repair/scrub) must NOT go through WithShardDevices:
+// Initialize opens (and recovers) the log itself and must not race a second
+// descriptor.
+
+int RunStatus(const std::string& log_path, int, char**) {
+  return WithShardDevices(
+      log_path, [](auto& logs) { return ForEachShard(logs, CmdStatus); });
+}
+
+int RunSegments(const std::string& log_path, int, char**) {
+  return WithShardDevices(
+      log_path, [](auto& logs) { return ForEachShard(logs, CmdSegments); });
+}
+
+int RunRecords(const std::string& log_path, int argc, char** argv) {
+  const uint64_t limit = argc > 3 ? std::stoull(argv[3]) : 20;
+  return WithShardDevices(log_path, [&](auto& logs) {
+    return ForEachShard(
+        logs, [&](LogDevice& log) { return CmdRecords(log, limit); });
+  });
+}
+
+int RunHistory(const std::string& log_path, int argc, char** argv) {
+  if (argc != 6) {
+    return Usage(stderr);
   }
-  if (command == "records") {
-    const uint64_t limit = argc > 3 ? std::stoull(argv[3]) : 20;
-    return for_each_shard([&](LogDevice& log) { return CmdRecords(log, limit); });
-  }
-  if (command == "history" && argc == 6) {
-    // A segment's records live on exactly one shard (static striping); the
-    // other shards simply contribute no history lines.
-    const std::string segment = argv[3];
-    const uint64_t offset = std::stoull(argv[4]);
-    const uint64_t length = std::stoull(argv[5]);
-    return for_each_shard([&](LogDevice& log) {
+  // A segment's records live on exactly one shard (static striping); the
+  // other shards simply contribute no history lines.
+  const std::string segment = argv[3];
+  const uint64_t offset = std::stoull(argv[4]);
+  const uint64_t length = std::stoull(argv[5]);
+  return WithShardDevices(log_path, [&](auto& logs) {
+    return ForEachShard(logs, [&](LogDevice& log) {
       return CmdHistory(log, segment, offset, length);
     });
-  }
-  if (command == "verify") {
-    bool segments_leg = false;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--segments") == 0) {
-        segments_leg = true;
-      } else {
-        std::fprintf(stderr, "unknown verify option: %s\n", argv[i]);
-        return 2;
-      }
+  });
+}
+
+int RunVerify(const std::string& log_path, int argc, char** argv) {
+  bool segments_leg = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--segments") == 0) {
+      segments_leg = true;
+    } else {
+      std::fprintf(stderr, "unknown verify option: %s\n", argv[i]);
+      return 2;
     }
-    int worst = for_each_shard(CmdVerify);
+  }
+  return WithShardDevices(log_path, [&](auto& logs) {
+    int worst = ForEachShard(logs, CmdVerify);
     if (segments_leg) {
       // The data-segment leg contributes at most exit 1: exit 3 remains a
       // proof of committed-log loss, which a bad segment page is not.
       worst = std::max(worst, VerifySegments(logs));
     }
     return worst;
+  });
+}
+
+int RunStats(const std::string& log_path, int argc, char** argv) {
+  return CmdStats(log_path, argc, argv);
+}
+
+int RunTrace(const std::string& log_path, int argc, char** argv) {
+  return CmdTrace(log_path, argc, argv);
+}
+
+int RunHealth(const std::string& log_path, int argc, char** argv) {
+  return CmdHealth(log_path, argc, argv);
+}
+
+int RunRepair(const std::string& log_path, int, char**) {
+  return CmdRepair(log_path);
+}
+
+int RunScrub(const std::string& log_path, int, char**) {
+  return CmdScrub(log_path);
+}
+
+int RunExplore(const std::string&, int argc, char** argv) {
+  return CmdExplore(argc, argv);
+}
+
+int RunTop(const std::string&, int argc, char** argv) {
+  return CmdTop(argc, argv);
+}
+
+int RunWatch(const std::string&, int argc, char** argv) {
+  return CmdWatch(argc, argv);
+}
+
+int RunSpans(const std::string&, int argc, char** argv) {
+  return CmdSpans(argc, argv);
+}
+
+int RunSlo(const std::string&, int argc, char** argv) {
+  return CmdSlo(argc, argv);
+}
+
+int RunTimeline(const std::string&, int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(stderr);
   }
-  return Usage();
+  return CmdTimeline(argv[2], argc, argv);
+}
+
+int RunCheckJson(const std::string&, int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(stderr);
+  }
+  return CmdCheckJson(argv[2]);
+}
+
+int RunCheckMetrics(const std::string&, int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(stderr);
+  }
+  return CmdCheckMetrics(argv[2]);
+}
+
+// One rvmutl subcommand. This table is the single source of truth for both
+// dispatch and the usage text: a command missing from it is unreachable AND
+// unlisted, so --help can no longer drift from the commands that exist (the
+// help-coverage test walks this same list through the rendered output).
+struct CommandSpec {
+  const char* name;
+  bool takes_log;        // `rvmutl LOG name ...` vs `rvmutl name ...`
+  const char* synopsis;  // argument synopsis following the name
+  const char* help;      // short description; '\n' separates wrapped lines
+  int (*run)(const std::string& log_path, int argc, char** argv);
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"status", true, "", "show the status block", RunStatus},
+    {"segments", true, "", "list the segment dictionary", RunSegments},
+    {"records", true, "[N]", "list newest N live records (default 20)",
+     RunRecords},
+    {"history", true, "SEG OFFSET LEN", "modification history of a byte range",
+     RunHistory},
+    {"verify", true, "[--segments]",
+     "validate the live log structure (exit 3 if\n"
+     "committed data is lost); --segments also checks\n"
+     "data-segment pages against their .chk sidecars\n"
+     "(failures exit 1, never 3)",
+     RunVerify},
+    {"scrub", true, "",
+     "run recovery, then scrub every data-segment\n"
+     "page: verify checksums, repair from live log\n"
+     "records, quarantine what cannot be repaired",
+     RunScrub},
+    {"stats", true, "[--json[=FILE]]",
+     "run recovery, print RVM statistics (--json\n"
+     "emits the rvm-telemetry-v1 schema)",
+     RunStats},
+    {"trace", true, "[--shard=K]",
+     "run recovery, dump the trace ring as JSONL\n"
+     "(one event per line; --shard=K keeps shard K)",
+     RunTrace},
+    {"health", true, "[--json[=FILE]]",
+     "offline per-shard fault-domain probe; exit =\n"
+     "worst shard (0 ok, 1 quarantined-but-readable,\n"
+     "2 device unreadable)",
+     RunHealth},
+    {"repair", true, "",
+     "offline shard repair: re-run recovery over\n"
+     "healed/replaced shard files and clear stale\n"
+     "quarantine sidecars (a live instance calls\n"
+     "RepairShard() in-process instead)",
+     RunRepair},
+    {"explore", false, "[options]",
+     "enumerate crash schedules against the oracle;\n"
+     "--txns=N --flush-every=N --epoch --depth=N\n"
+     "--forward-stride=N --recovery-stride=N\n"
+     "--subset-seeds=a,b --shards=N --regions=N\n"
+     "(sharded 2PC sweep), --fault-shard=N\n"
+     "--fault-at=M (quarantine+repair sweep), --spans\n"
+     "--max-schedules=N --out=FILE -v\n"
+     "--replay=STRING (re-run one schedule)",
+     RunExplore},
+    {"top", false, "[options]",
+     "live gauge monitor over a scratch workload;\n"
+     "--duration-ms=N --interval-ms=N --threads=N\n"
+     "--shards=N (per-shard gauge rows)",
+     RunTop},
+    {"watch", false, "[options]",
+     "live OpenMetrics monitor over a scratch\n"
+     "workload (DESIGN.md §16); --duration-ms=N\n"
+     "--interval-ms=N --threads=N --shards=N\n"
+     "--limit=N --filter=SUBSTR --port=N (serve\n"
+     "/metrics + /healthz; 0 picks an ephemeral\n"
+     "port) --rules=FILE (arm the SLO engine)\n"
+     "--fault-shard=K --fault-after-ms=N (chaos:\n"
+     "quarantine shard K mid-run, then repair it)",
+     RunWatch},
+    {"spans", false, "[options]",
+     "span-traced scratch workload + export;\n"
+     "--txns=N --threads=N --shards=N --sample=N\n"
+     "(1-in-N tid sampling) --slow-us=N (outliers)\n"
+     "--out=FILE (rvm-spans-v1 JSONL) --chrome=FILE\n"
+     "(Chrome trace JSON for Perfetto)",
+     RunSpans},
+    {"timeline", false, "FILE [--shard=K]",
+     "validate and render an rvm-timeseries-v2 dump\n"
+     "(exit codes like check-json; --shard=K renders\n"
+     "shard K's slice)",
+     RunTimeline},
+    {"check-json", false, "FILE",
+     "validate FILE against the telemetry schema it\n"
+     "declares, dispatched through the registry (see\n"
+     "the schema list below)",
+     RunCheckJson},
+    {"check-metrics", false, "FILE",
+     "lint an OpenMetrics exposition (a /metrics\n"
+     "body or metrics_export_path file)",
+     RunCheckMetrics},
+    {"slo", false, "--rules=FILE [--replay=FILE]",
+     "parse SLO rules; with --replay, re-run them\n"
+     "over a recorded rvm-timeseries-v2 document and\n"
+     "print firing/resolved transitions\n"
+     "(--expect-firing=NAME exits 0 iff NAME fired)",
+     RunSlo},
+};
+
+// Renders the usage text from kCommands — the same table Main() dispatches
+// on. Always returns 2 (the bad-usage exit code); the explicit --help path
+// discards it and exits 0.
+int Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: rvmutl LOG COMMAND [ARGS]   |   rvmutl COMMAND "
+               "[ARGS]\n");
+  const auto print = [out](const CommandSpec& spec) {
+    std::string heading = "  ";
+    heading += spec.name;
+    if (spec.synopsis[0] != '\0') {
+      heading += ' ';
+      heading += spec.synopsis;
+    }
+    constexpr size_t kHelpColumn = 28;
+    if (heading.size() < kHelpColumn) {
+      heading.append(kHelpColumn - heading.size(), ' ');
+    } else {
+      heading += '\n';
+      heading.append(kHelpColumn, ' ');
+    }
+    std::string_view help = spec.help;
+    bool first = true;
+    while (!help.empty()) {
+      const size_t newline = help.find('\n');
+      const std::string_view line = help.substr(0, newline);
+      help.remove_prefix(newline == std::string_view::npos ? help.size()
+                                                           : newline + 1);
+      if (first) {
+        std::fprintf(out, "%s%.*s\n", heading.c_str(),
+                     static_cast<int>(line.size()), line.data());
+        first = false;
+      } else {
+        std::fprintf(out, "%*s%.*s\n", static_cast<int>(kHelpColumn), "",
+                     static_cast<int>(line.size()), line.data());
+      }
+    }
+  };
+  std::fprintf(out, "\nlog commands (rvmutl LOG COMMAND):\n");
+  for (const CommandSpec& spec : kCommands) {
+    if (spec.takes_log) {
+      print(spec);
+    }
+  }
+  std::fprintf(out, "\ntop-level commands (rvmutl COMMAND):\n");
+  for (const CommandSpec& spec : kCommands) {
+    if (!spec.takes_log) {
+      print(spec);
+    }
+  }
+  // The registered schemas come from the registry itself, so this list can
+  // no more drift than the command table can.
+  std::fprintf(out, "\ncheck-json schemas:");
+  for (const JsonSchema& schema : JsonSchemaRegistry()) {
+    std::fprintf(out, " %s", schema.name);
+  }
+  std::fprintf(
+      out,
+      "\n\nMulti-shard logs (a manifest at LOG plus <LOG>.shard<K>): log\n"
+      "commands print one section per shard; verify exits the worst\n"
+      "code across shards.\n"
+      "\n"
+      "exit codes: 0 ok; 1 failure (invalid document, checksum\n"
+      "mismatch, quarantined shard, SLO rule fired); 2 usage error or\n"
+      "unreadable file; 3 proven committed-log loss (verify) or\n"
+      "invalid rules/replay (slo). health exits the worst shard state\n"
+      "(0 ok, 1 quarantined, 2 unreadable).\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc >= 2 &&
+      (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0 ||
+       std::strcmp(argv[1], "help") == 0)) {
+    Usage(stdout);
+    return 0;
+  }
+  // Top-level commands match on argv[1] first (so a log file that happens to
+  // share a command's name cannot shadow one), log commands on argv[2].
+  if (argc >= 2) {
+    for (const CommandSpec& spec : kCommands) {
+      if (!spec.takes_log && std::strcmp(argv[1], spec.name) == 0) {
+        return spec.run("", argc, argv);
+      }
+    }
+  }
+  if (argc >= 3) {
+    for (const CommandSpec& spec : kCommands) {
+      if (spec.takes_log && std::strcmp(argv[2], spec.name) == 0) {
+        return spec.run(argv[1], argc, argv);
+      }
+    }
+  }
+  return Usage(stderr);
 }
 
 }  // namespace
